@@ -1,0 +1,52 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate each paper figure at reduced repetition counts
+(wall-clock-bounded) and assert the figure's *shape*: who wins, by
+roughly what factor, where crossovers/plateaus fall.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Raw per-figure records at full repetitions are produced by the CLI
+(``beegfs-repro run all --out results/``); these benches are the
+regression harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration.plafrim import scenario1, scenario2
+
+
+@pytest.fixture(scope="session")
+def calib_s1():
+    return scenario1()
+
+
+@pytest.fixture(scope="session")
+def calib_s2():
+    return scenario2()
+
+
+@pytest.fixture(scope="session")
+def topo_s1(calib_s1):
+    return calib_s1.platform(32)
+
+
+@pytest.fixture(scope="session")
+def topo_s2(calib_s2):
+    return calib_s2.platform(32)
+
+
+def run_reduced(exp_id: str, repetitions: int, seed: int = 101):
+    """Run one registered experiment at reduced repetitions."""
+    from repro.experiments import get_experiment
+
+    return get_experiment(exp_id).run(repetitions=repetitions, seed=seed)
+
+
+def means_by(records, factor: str) -> dict:
+    return {
+        value: float(group.bandwidths().mean())
+        for value, group in records.group_by_factor(factor).items()
+    }

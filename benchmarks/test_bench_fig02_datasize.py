@@ -1,0 +1,15 @@
+"""Benchmark: Figure 2 — bandwidth vs total data size."""
+
+from conftest import means_by, run_reduced
+
+
+def test_bench_fig02_datasize(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_reduced("fig2", repetitions=8), rounds=1, iterations=1
+    )
+    records = out.records
+    for scenario in ("scenario1", "scenario2"):
+        means = means_by(records.filter(scenario=scenario), "total_gib")
+        # Shape: rises with size, stabilises between 16 and 32 GiB.
+        assert means[1] < means[16]
+        assert abs(means[64] - means[32]) / means[32] < 0.10

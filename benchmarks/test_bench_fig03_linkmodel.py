@@ -1,0 +1,13 @@
+"""Benchmark: Figure 3 — the analytic N-vs-M network bound."""
+
+from repro.analysis.netmodel import network_bound
+
+from conftest import run_reduced
+
+
+def test_bench_fig03_linkmodel(benchmark):
+    out = benchmark.pedantic(lambda: run_reduced("fig3", repetitions=1), rounds=3, iterations=1)
+    assert "narrow side" in out.figure
+    # Shape: the bound is flat above N = M.
+    assert network_bound(2, 2, 1100.0) == network_bound(16, 2, 1100.0) == 2200.0
+    assert network_bound(1, 2, 1100.0) == 1100.0

@@ -1,0 +1,23 @@
+"""Benchmark: Figure 4 — bandwidth vs compute node count."""
+
+import pytest
+
+from conftest import means_by, run_reduced
+
+
+def test_bench_fig04_nodes(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_reduced("fig4", repetitions=10), rounds=1, iterations=1
+    )
+    records = out.records
+    # Scenario 1: ~880 -> ~1460, plateau by ~4 nodes.
+    s1 = means_by(records.filter(scenario="scenario1"), "num_nodes")
+    assert s1[1] == pytest.approx(880, rel=0.12)
+    assert s1[8] == pytest.approx(1460, rel=0.12)
+    assert s1[4] > 0.93 * s1[8]
+    # Scenario 2: ~1630 -> plateau near 16 nodes, much larger gain.
+    s2 = means_by(records.filter(scenario="scenario2"), "num_nodes")
+    assert s2[1] == pytest.approx(1631, rel=0.12)
+    assert s2[16] > 0.9 * max(s2.values())
+    assert s2[4] < 0.9 * max(s2.values())
+    assert (max(s2.values()) / s2[1]) > (max(s1.values()) / s1[1])

@@ -1,0 +1,18 @@
+"""Benchmark: Figure 5 — 8 vs 16 processes per node."""
+
+import pytest
+
+from conftest import means_by, run_reduced
+
+
+def test_bench_fig05_ppn(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_reduced("fig5", repetitions=6), rounds=1, iterations=1
+    )
+    for scenario in ("scenario1", "scenario2"):
+        sub = out.records.filter(scenario=scenario)
+        m8 = means_by(sub.filter(ppn=8), "num_nodes")
+        m16 = means_by(sub.filter(ppn=16), "num_nodes")
+        # Shape: the curves nearly coincide at every node count.
+        for n in set(m8) & set(m16):
+            assert m16[n] == pytest.approx(m8[n], rel=0.12)

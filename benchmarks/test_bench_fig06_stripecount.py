@@ -1,0 +1,51 @@
+"""Benchmark: Figures 6, 8 and 10 — the stripe count study."""
+
+import numpy as np
+import pytest
+
+from conftest import means_by, run_reduced
+
+_OUT = {}
+
+
+def _fig6():
+    if "out" not in _OUT:
+        _OUT["out"] = run_reduced("fig6", repetitions=15)
+    return _OUT["out"]
+
+
+def test_bench_fig06_stripecount(benchmark):
+    out = benchmark.pedantic(_fig6, rounds=1, iterations=1)
+    s1 = means_by(out.records.filter(scenario="scenario1"), "stripe_count")
+    # Scenario 1 shape: count 8 (always balanced) beats the default 4
+    # by >= 40%; count 1 is a single link.
+    assert s1[8] / s1[4] - 1 >= 0.40
+    assert s1[1] == pytest.approx(1080, rel=0.1)
+    s2 = means_by(out.records.filter(scenario="scenario2"), "stripe_count")
+    # Scenario 2 shape: monotone growth, >3.5x from 1 to 8 targets.
+    assert s2[8] > s2[4] > s2[2] > s2[1]
+    assert s2[8] / s2[1] > 3.5
+    assert s2[1] == pytest.approx(1764, rel=0.1)
+    assert s2[8] == pytest.approx(8064, rel=0.12)
+
+
+def test_bench_fig08_allocation_scenario1(benchmark):
+    out = benchmark.pedantic(_fig6, rounds=1, iterations=1)
+    sub = out.records.filter(scenario="scenario1")
+    groups = {p: g.bandwidths().mean() for p, g in sub.group_by_placement().items()}
+    # Balance law ordering: balanced at the top, single-server at the
+    # bottom, count itself irrelevant.
+    balanced = [v for (lo, hi), v in groups.items() if lo == hi]
+    single_server = [v for (lo, hi), v in groups.items() if lo == 0]
+    assert min(balanced) > max(v for p, v in groups.items() if min(p) != max(p))
+    assert np.ptp(single_server) < 0.05 * np.mean(single_server)
+
+
+def test_bench_fig10_allocation_scenario2(benchmark):
+    out = benchmark.pedantic(_fig6, rounds=1, iterations=1)
+    sub = out.records.filter(scenario="scenario2")
+    six = sub.filter(stripe_count=6)
+    balanced = six.filter(predicate=lambda r: r.placement == (3, 3)).bandwidths().mean()
+    unbalanced = six.filter(predicate=lambda r: r.placement == (2, 4)).bandwidths().mean()
+    # (3,3) beats (2,4) by roughly 10%.
+    assert 1.02 < balanced / unbalanced < 1.30

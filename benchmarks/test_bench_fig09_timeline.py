@@ -1,0 +1,14 @@
+"""Benchmark: Figure 9 — per-server bandwidth timelines."""
+
+import pytest
+
+from conftest import run_reduced
+
+
+def test_bench_fig09_timeline(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_reduced("fig9", repetitions=1), rounds=3, iterations=1
+    )
+    bw = {r.factors["placement"]: r.bw_mib_s for r in out.records}
+    # Shape: one target per server doubles the single-server placement.
+    assert bw["(1,1)"] / bw["(0,2)"] == pytest.approx(2.0, rel=0.1)

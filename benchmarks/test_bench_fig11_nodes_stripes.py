@@ -1,0 +1,19 @@
+"""Benchmark: Figure 11 — node scaling by stripe count (scenario 2)."""
+
+from conftest import means_by, run_reduced
+
+
+def test_bench_fig11_nodes_stripes(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_reduced("fig11", repetitions=6), rounds=1, iterations=1
+    )
+    peaks, plateaus = {}, {}
+    for k, group in out.records.group_by_factor("stripe_count").items():
+        means = means_by(group, "num_nodes")
+        peak = max(means.values())
+        peaks[k] = peak
+        plateaus[k] = min(n for n, m in means.items() if m >= 0.95 * peak)
+    # Shape: more targets -> higher peak, reached only with more nodes.
+    assert peaks[8] > peaks[4] > peaks[2] > peaks[1]
+    assert plateaus[1] <= plateaus[2] <= plateaus[4] <= plateaus[8]
+    assert plateaus[8] >= 4 * plateaus[1]

@@ -1,0 +1,29 @@
+"""Benchmark: Figure 12 — concurrent applications."""
+
+import numpy as np
+
+from conftest import run_reduced
+
+
+def test_bench_fig12_concurrent(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_reduced("fig12", repetitions=6), rounds=1, iterations=1
+    )
+    records = out.records
+    for m in (2, 3, 4):
+        for k in (2, 4, 8):
+            concurrent = records.filter(num_apps=m, stripe_count=k)
+            scaled = records.filter(
+                predicate=lambda r, m=m, k=k: r.factors.get("scaled_baseline_for") == f"{m}x{k}"
+            )
+            # Shape: aggregate tracks the resource-scaled single app —
+            # sharing targets does not degrade global performance.
+            assert concurrent.aggregates().mean() > 0.85 * scaled.bandwidths().mean()
+    # Individual bandwidth drops when sharing the system (stripe 2:
+    # no target sharing, still slower than alone).
+    single = records.filter(num_apps=1, stripe_count=2, num_nodes=8).filter(
+        predicate=lambda r: "scaled_baseline_for" not in r.factors
+    )
+    two = records.filter(num_apps=2, stripe_count=2)
+    indiv = np.mean([app["bw_mib_s"] for r in two for app in r.apps])
+    assert indiv < single.bandwidths().mean()

@@ -1,0 +1,22 @@
+"""Benchmark: Figure 13 — shared vs distinct OSTs."""
+
+import numpy as np
+
+from repro.experiments import exp_sharing
+from repro.stats.tests import welch_ttest
+
+from conftest import run_reduced
+
+
+def test_bench_fig13_sharing(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_reduced("fig13", repetitions=40), rounds=1, iterations=1
+    )
+    shared, distinct = exp_sharing.split_groups(out.records)
+    assert len(shared) > 3 and len(distinct) > 3
+    a = exp_sharing.app_bandwidths(shared)
+    b = exp_sharing.app_bandwidths(distinct)
+    # Shape: sharing all four OSTs is indistinguishable from sharing
+    # none (the paper's Welch p = 0.9031).
+    assert abs(np.mean(a) / np.mean(b) - 1) < 0.05
+    assert welch_ttest(a, b).pvalue > 0.05

@@ -1,0 +1,11 @@
+"""Benchmark: the lessons-learned audit (all in-text claims)."""
+
+from conftest import run_reduced
+
+
+def test_bench_lessons(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_reduced("lessons", repetitions=20), rounds=1, iterations=1
+    )
+    assert "FAIL" not in out.figure
+    assert out.figure.count("PASS") >= 6

@@ -1,0 +1,84 @@
+"""Microbenchmarks of the substrates.
+
+These time the hot building blocks (max-min solver, striping math,
+chooser, fluid run, request-level DES, a full protocol sweep) so
+performance regressions in the simulator itself are visible — the
+100-repetition protocols only stay cheap while these stay fast.
+"""
+
+import numpy as np
+
+from repro.beegfs.choosers import RoundRobinChooser
+from repro.beegfs.filesystem import PLAFRIM_TARGET_ORDERING, BeeGFS, plafrim_deployment
+from repro.beegfs.management import TargetInfo
+from repro.beegfs.striping import StripePattern
+from repro.engine.base import EngineOptions
+from repro.engine.des_runner import DESEngine
+from repro.engine.fluid_runner import FluidEngine
+from repro.methodology.plan import ExperimentPlan, ExperimentSpec
+from repro.methodology.protocol import ProtocolConfig
+from repro.netsim.maxmin import max_min_rates
+from repro.units import GiB, KiB, MiB
+from repro.workload.generator import single_application
+
+
+def test_bench_maxmin_solver(benchmark):
+    """256 flows over 60 resources — one fluid segment's solve."""
+    rng = np.random.default_rng(0)
+    nflows, nres = 256, 60
+    memberships = [sorted(rng.choice(nres, size=7, replace=False)) for _ in range(nflows)]
+    capacities = rng.uniform(500, 12000, nres)
+    result = benchmark(lambda: max_min_rates(memberships, capacities))
+    assert result.shape == (nflows,)
+
+
+def test_bench_striping_bytes_per_target(benchmark):
+    """Per-target volume of a 4 GiB block (the per-rank hot path)."""
+    pattern = StripePattern(targets=(101, 201, 202, 203), chunk_size=512 * KiB)
+    counts = benchmark(lambda: pattern.bytes_per_target(4 * GiB, 12 * GiB))
+    assert sum(counts.values()) == 4 * GiB
+
+
+def test_bench_chooser_roundrobin(benchmark):
+    pool = [TargetInfo(t, "s1" if t < 200 else "s2", 10**12) for t in PLAFRIM_TARGET_ORDERING]
+    rng = np.random.default_rng(0)
+
+    def choose():
+        chooser = RoundRobinChooser(ordering=PLAFRIM_TARGET_ORDERING)
+        return chooser.choose(pool, 4, rng)
+
+    assert len(benchmark(choose)) == 4
+
+
+def test_bench_file_create(benchmark):
+    """Full metadata path: fresh fs + create (one per protocol run)."""
+
+    def create():
+        fs = BeeGFS(plafrim_deployment(keep_data=False), seed=1)
+        return fs.create_file("/bench.dat")
+
+    assert benchmark(create).pattern.stripe_count == 4
+
+
+def test_bench_fluid_engine_run(benchmark, calib_s2, topo_s2):
+    """One 32-node, 32 GiB scenario-2 run — the workhorse operation."""
+    engine = FluidEngine(calib_s2, topo_s2, calib_s2.deployment(stripe_count=8), seed=0)
+    app = single_application(topo_s2, 32, ppn=8)
+    result = benchmark(lambda: engine.run([app], rep=0))
+    assert result.single.bandwidth_mib_s > 5000
+
+
+def test_bench_des_engine_run(benchmark, calib_s1, topo_s1):
+    """A small request-level DES run (512 transfers)."""
+    options = EngineOptions(noise_enabled=False)
+    engine = DESEngine(calib_s1, topo_s1, calib_s1.deployment(stripe_count=4), seed=0, options=options)
+    app = single_application(topo_s1, 2, ppn=4, total_bytes=512 * MiB)
+    result = benchmark.pedantic(lambda: engine.run([app], rep=0), rounds=3, iterations=1)
+    assert result.single.bandwidth_mib_s > 500
+
+
+def test_bench_protocol_plan_build(benchmark):
+    """Planning 8 configurations x 100 repetitions."""
+    specs = [ExperimentSpec("fig6", "scenario1", {"stripe_count": k}) for k in range(1, 9)]
+    plan = benchmark(lambda: ExperimentPlan.build(specs, ProtocolConfig(), seed=0))
+    assert plan.num_runs == 800

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""The Section IV-D study: does sharing storage targets hurt?
+
+Reproduces the paper's concurrency analysis in miniature:
+
+* 2-4 identical IOR jobs on disjoint node sets (scenario 2), their
+  individual bandwidths and the Equation-1 aggregate vs scaled
+  single-application baselines (Figure 12);
+* the shared-vs-distinct OST comparison with the paper's statistical
+  procedure — KS normality, then Welch's t-test (Figure 13).
+
+Run:  python examples/concurrent_applications.py  (~20 s)
+"""
+
+import numpy as np
+
+from repro import EngineOptions, FluidEngine, scenario2, single_application
+from repro.figures import render_table
+from repro.stats import ks_normality, welch_ttest
+from repro.workload import concurrent_applications
+
+REPS = 40
+calib = scenario2()  # storage-bound: the scenario where sharing could hurt
+topology = calib.platform(32)
+
+# -- Figure 12 in miniature: aggregate vs scaled baselines ----------------------
+
+rows = []
+for num_apps in (1, 2, 4):
+    stripe = 8  # everyone on every target: maximal sharing
+    engine = FluidEngine(calib, topology, calib.deployment(stripe_count=stripe), seed=1)
+    aggregates, individuals = [], []
+    for rep in range(REPS // 2):
+        if num_apps == 1:
+            apps = [single_application(topology, 8 * 2, ppn=8)]  # scaled baseline
+        else:
+            apps = concurrent_applications(topology, num_apps, nodes_per_app=8)
+        result = engine.run(apps, rep=rep)
+        aggregates.append(result.aggregate_bandwidth_mib_s)
+        individuals.extend(a.bandwidth_mib_s for a in result.apps)
+    rows.append(
+        [
+            num_apps,
+            f"{np.mean(individuals):.0f}",
+            f"{np.mean(aggregates):.0f}",
+        ]
+    )
+print(render_table(
+    ["apps", "mean individual MiB/s", "mean aggregate (Eq. 1)"],
+    rows,
+    "Figure 12 in miniature (stripe 8, all targets shared by everyone):",
+))
+print("=> individual bandwidth divides between apps; the aggregate holds.\n")
+
+# -- Figure 13: shared vs distinct targets, the paper's t-test ------------------
+
+engine = FluidEngine(
+    calib,
+    topology,
+    calib.deployment(stripe_count=4),
+    seed=2,
+    options=EngineOptions(interleaved_creations=(0, 1, 2)),
+)
+# One sample per run (the two apps of a run share its system state,
+# so the run is the independent unit for the t-test).
+shared_bw, distinct_bw = [], []
+for rep in range(REPS * 2):
+    result = engine.run(concurrent_applications(topology, 2, nodes_per_app=8), rep=rep)
+    overlap = len(result.shared_targets())
+    assert overlap in (0, 4)  # round-robin windows: all or nothing
+    bucket = shared_bw if overlap == 4 else distinct_bw
+    bucket.append(np.mean([a.bandwidth_mib_s for a in result.apps]))
+
+print(f"runs sharing all 4 targets: {len(shared_bw)}, sharing none: {len(distinct_bw)}")
+print(f"  KS normality p (shared):   {ks_normality(shared_bw).pvalue:.3f}")
+print(f"  KS normality p (distinct): {ks_normality(distinct_bw).pvalue:.3f}")
+welch = welch_ttest(shared_bw, distinct_bw)
+print(f"  Welch two-sample t-test:   p = {welch.pvalue:.4f}  ({welch.detail})")
+if not welch.rejects_at(0.05):
+    print(
+        "\n=> cannot reject equal means (the paper found p = 0.9031):"
+        "\n   sharing OSTs does not significantly impact I/O performance"
+        "\n   — the slow-down comes from sharing bandwidth, not targets."
+    )
+else:  # pragma: no cover - statistically rare
+    print("\n=> unexpected: the groups differ in this sample; rerun with another seed.")

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""The metadata side: mdtest, directory layout, and interference.
+
+The paper deliberately keeps metadata out of its measurements (one
+shared file, Section III-B) and cites metadata intensity as a main
+root cause of I/O interference (Section IV-D).  This example measures
+both statements on the simulated deployment:
+
+1. mdtest create rates: a shared directory pins every operation to one
+   MDS; unique per-process directories spread over both and double the
+   throughput;
+2. interference: a victim job's file opens stretch severalfold while a
+   create storm runs — but the cost to a paper-style 32 GiB bandwidth
+   job stays negligible.
+
+Run:  python examples/metadata_study.py  (~30 s)
+"""
+
+from repro.calibration import scenario2
+from repro.engine.meta_engine import MDSPerformanceSpec, MetadataEngine
+from repro.figures import render_table
+from repro.workload.mdtest import MDTestConfig, MDTestPhase, MetadataOp
+
+deployment = scenario2().deployment()
+spec = MDSPerformanceSpec()
+print(
+    f"metadata model: {spec.workers} workers/MDS, "
+    f"{spec.create_service_s * 1e6:.0f} us/create "
+    f"(single-MDS peak {spec.peak_rate(MetadataOp.CREATE):.0f} creates/s)\n"
+)
+
+# -- 1. Directory layout: the mdtest -u effect ----------------------------------
+
+rows = []
+for mode in (MDTestPhase.SHARED_DIR, MDTestPhase.UNIQUE_DIRS):
+    for nprocs in (4, 32, 128):
+        engine = MetadataEngine(deployment, spec, seed=1)
+        result = engine.run(MDTestConfig(150, directory_mode=mode), nprocs)
+        rows.append(
+            [
+                mode.value,
+                nprocs,
+                f"{result.rate(MetadataOp.CREATE):.0f}",
+                f"{result.rate(MetadataOp.STAT):.0f}",
+                f"{result.busiest_mds_share() * 100:.0f}%",
+            ]
+        )
+print(render_table(
+    ["layout", "procs", "creates/s", "stats/s", "busiest MDS"],
+    rows,
+    "mdtest on two MDSes (150 files/proc):",
+))
+print(
+    "=> a shared directory lives on ONE metadata server (BeeGFS assigns\n"
+    "   each directory to a single MDS), so it cannot scale past one\n"
+    "   server's rate; unique directories double throughput.\n"
+)
+
+# -- 2. Interference: a victim's opens inside a create storm --------------------
+
+victim = ("victim", MDTestConfig(1, directory_mode=MDTestPhase.UNIQUE_DIRS), 64, 0.02)
+rows = []
+for storm_procs in (0, 64, 256):
+    groups = [victim]
+    if storm_procs:
+        groups = [victim, ("storm", MDTestConfig(300), storm_procs)]
+    engine = MetadataEngine(deployment, spec, seed=2)
+    finished = engine.run_concurrent(groups, op=MetadataOp.CREATE)
+    rows.append([storm_procs, f"{finished['victim'] * 1000:.1f}"])
+print(render_table(
+    ["storm procs", "victim's 64 opens (ms)"],
+    rows,
+    "A job's open phase while a metadata storm runs:",
+))
+print(
+    "=> interference flows through the metadata path. A 32 GiB write with\n"
+    "   a single shared file barely notices (milliseconds against seconds)\n"
+    "   — which is exactly why the paper's N-1 methodology was safe, and\n"
+    "   why its Lesson 7 ('sharing OSTs costs nothing') coexists with\n"
+    "   real-world interference reports."
+)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Quickstart: mount a simulated PlaFRIM, write a file, time an IOR run.
+
+Walks the three layers of the library in ~60 lines:
+
+1. the functional BeeGFS (create a striped file, read it back, inspect
+   where its chunks landed);
+2. the calibrated performance engine (time a 32 GiB IOR write);
+3. the headline question (what stripe count should the default be?).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BeeGFS,
+    BeeGFSClient,
+    EngineOptions,
+    FluidEngine,
+    plafrim_deployment,
+    scenario1,
+    single_application,
+)
+from repro.units import GiB, MiB, format_bandwidth
+
+# -- 1. The functional file system -------------------------------------------
+
+fs = BeeGFS(plafrim_deployment(), seed=42)
+client = BeeGFSClient(fs)
+client.mkdir("/data")
+
+with client.create("/data/hello.dat") as handle:
+    handle.write(b"hello, stripes!" * 100_000)  # ~1.4 MiB, crosses chunks
+    handle.seek(0)
+    assert handle.read(15) == b"hello, stripes!"
+
+inode = client.stat("/data/hello.dat")
+print("file size:", inode.size, "bytes")
+print("stripe targets:", inode.pattern.targets, "chunk size:", inode.pattern.chunk_size)
+print("placement across servers:", fs.placement_of(inode))
+print("bytes per target:", inode.pattern.bytes_per_target(inode.size))
+
+# -- 2. Timing an IOR run on the calibrated platform ---------------------------
+
+calib = scenario1()  # 10 GbE: the network is slower than the storage
+topology = calib.platform(8)
+engine = FluidEngine(
+    calib,
+    topology,
+    calib.deployment(stripe_count=4),  # PlaFRIM's original default
+    seed=0,
+    options=EngineOptions(noise_enabled=False),
+)
+app = single_application(topology, num_nodes=8, ppn=8, total_bytes=32 * GiB)
+print("\nequivalent IOR command:", app.config.ior_command(app.nprocs))
+
+result = engine.run([app])
+run = result.single
+print(
+    f"32 GiB N-1 write on 8 nodes x 8 ppn, stripe count 4: "
+    f"{format_bandwidth(run.bandwidth_mib_s)} "
+    f"(placement {run.placement_min_max}, {run.duration:.1f} s)"
+)
+
+# -- 3. The paper's question: what should the default stripe count be? ---------
+
+print("\nstripe count sweep (noise-free means):")
+for stripe_count in (1, 2, 4, 8):
+    engine = FluidEngine(
+        calib,
+        topology,
+        calib.deployment(stripe_count=stripe_count),
+        seed=0,
+        options=EngineOptions(noise_enabled=False),
+    )
+    run = engine.run([app]).single
+    print(
+        f"  stripe {stripe_count}: {format_bandwidth(run.bandwidth_mib_s):>14} "
+        f" placement {run.placement_min_max}"
+    )
+print(
+    "\n=> the maximum stripe count (8) is always balanced across the two"
+    "\n   servers and reaches peak bandwidth every run — the paper's"
+    "\n   recommendation, which PlaFRIM's administrators adopted."
+)

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""A miniature of the paper's core experiment (Figures 6 and 8).
+
+Runs the stripe-count sweep in scenario 1 under the full Section III-C
+protocol (randomized blocks, simulated waits, fresh file system and
+noise per repetition), then reproduces the paper's key analysis steps:
+
+* the per-stripe-count bandwidth clouds and their bi-modality,
+* the regrouping by (min, max) placement that explains the modes,
+* the balance law BW ~ B_eff * k / max(a, b),
+* the default-change recommendation with a bootstrap CI.
+
+Run:  python examples/stripe_count_study.py  (~20 s)
+"""
+
+from repro.analysis.netmodel import balance_bandwidth_law
+from repro.calibration import scenario1
+from repro.experiments.common import run_specs
+from repro.figures import box_panel, render_table
+from repro.methodology.plan import ExperimentSpec
+from repro.stats import bimodality, boxplot_stats, bootstrap_ratio_ci, describe
+
+REPETITIONS = 30  # the paper uses 100; 30 keeps this example snappy
+NUM_NODES = 8
+PPN = 8
+
+specs = [
+    ExperimentSpec(
+        "stripe-study",
+        "scenario1",
+        {"stripe_count": k, "num_nodes": NUM_NODES, "ppn": PPN, "total_gib": 32},
+    )
+    for k in range(1, 9)
+]
+print(f"running {len(specs)} configurations x {REPETITIONS} repetitions "
+      "under the randomized-block protocol...")
+records = run_specs(specs, repetitions=REPETITIONS, seed=7)
+
+# -- per-stripe-count summary ---------------------------------------------------
+
+rows = []
+for k, group in sorted(records.group_by_factor("stripe_count").items()):
+    values = group.bandwidths()
+    s = describe(values)
+    report = bimodality.is_bimodal(values)
+    modes = (
+        f"bimodal @ {report.mixture.means[0]:.0f}/{report.mixture.means[1]:.0f}"
+        if report.bimodal
+        else "unimodal"
+    )
+    placements = " ".join(
+        f"({lo},{hi})" for lo, hi in sorted({r.placement for r in group})
+    )
+    rows.append([k, f"{s.mean:.0f}", f"{s.std:.0f}", modes, placements])
+print()
+print(render_table(
+    ["stripe", "mean MiB/s", "std", "modality", "placements seen"],
+    rows,
+    "Figure 6a reproduction: never summarise by the mean alone (Lesson 5)",
+))
+
+# -- regroup by placement: the explanation (Figure 8) ---------------------------
+
+boxes = {
+    f"({lo},{hi})": boxplot_stats(group.bandwidths())
+    for (lo, hi), group in sorted(records.group_by_placement().items())
+}
+print()
+print(box_panel(boxes, "Figure 8 reproduction: bandwidth follows placement balance"))
+
+per_server = scenario1().per_server_network_mib_s
+law_rows = [
+    [
+        f"({lo},{hi})",
+        f"{group.bandwidths().mean():.0f}",
+        f"{balance_bandwidth_law((lo, hi), per_server):.0f}",
+    ]
+    for (lo, hi), group in sorted(records.group_by_placement().items())
+]
+print()
+print(render_table(
+    ["placement", "measured mean", "law: B*k/max(a,b)"],
+    law_rows,
+    "Lesson 4: the balance law predicts every placement's bandwidth",
+))
+
+# -- the recommendation ---------------------------------------------------------
+
+gain, low, high = bootstrap_ratio_ci(
+    records.filter(stripe_count=8).bandwidths(),
+    records.filter(stripe_count=4).bandwidths(),
+)
+print(
+    f"\ndefault stripe count 8 vs 4: x{gain:.2f} "
+    f"(95% bootstrap CI x{low:.2f}..x{high:.2f})"
+    "\n=> changing the default transparently gains >=40%, the paper's estimate."
+)

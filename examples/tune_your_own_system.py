@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Apply the paper's methodology to a *different* (hypothetical) system.
+
+The paper's Lesson 2: before evaluating anything else, find the node
+count that saturates your PFS — otherwise the effects of parameters
+like the stripe count stay hidden (their explanation for Chowdhury et
+al.'s contrary conclusions).  This example walks that methodology on a
+custom platform: four storage servers with two targets each behind a
+25 GbE fabric, built from the same model components as PlaFRIM.
+
+Run:  python examples/tune_your_own_system.py  (~15 s)
+"""
+
+from dataclasses import replace
+
+from repro.beegfs.filesystem import BeeGFSDeploymentSpec
+from repro.beegfs.meta import DirectoryConfig
+from repro.calibration import scenario1
+from repro.engine import EngineOptions, FluidEngine
+from repro.figures import render_table
+from repro.storage import ServerIngestSpec, StoragePoolSpec
+from repro.storage.san import SanRampSpec
+from repro.topology.builders import NetworkSpec, PlatformSpec, build_platform
+from repro.workload import single_application
+
+# -- 1. Describe the hypothetical system ---------------------------------------
+
+network = NetworkSpec(name="eth25", link_gbit_s=25.0, latency_s=20e-6)
+platform = build_platform(
+    PlatformSpec(name="mycluster", network=network, num_compute_nodes=32, num_storage_hosts=4)
+)
+deployment = BeeGFSDeploymentSpec(
+    servers=(
+        ("storage1", (101, 102)),
+        ("storage2", (201, 202)),
+        ("storage3", (301, 302)),
+        ("storage4", (401, 402)),
+    ),
+    default_config=DirectoryConfig(stripe_count=2),  # a cautious default
+    default_chooser="random",  # the BeeGFS default heuristic
+    keep_data=False,
+)
+
+# Reuse PlaFRIM's storage/client models, swap the fabric-dependent parts.
+calibration = replace(
+    scenario1(),
+    name="mycluster",
+    description="hypothetical 4-server cluster on 25 GbE",
+    network=network,
+    ingest=ServerIngestSpec(link_mib_s=network.link_mib_s, protocol_efficiency=0.92),
+    pool=StoragePoolSpec(per_target_mib_s=1764.0, scaling=(1.0, 0.92)),
+    san=SanRampSpec(base_mib_s=14000.0, depth_slow=400.0),
+)
+
+
+def mean_bw(stripe_count: int, num_nodes: int, chooser: str | None = None, reps: int = 8) -> float:
+    spec = replace(
+        deployment,
+        default_config=DirectoryConfig(stripe_count=stripe_count),
+        default_chooser=chooser or deployment.default_chooser,
+    )
+    engine = FluidEngine(calibration, platform, spec, seed=3, options=EngineOptions())
+    app = single_application(platform, num_nodes, ppn=8)
+    runs = [engine.run([app], rep=r).single.bandwidth_mib_s for r in range(reps)]
+    return sum(runs) / len(runs)
+
+
+# -- 2. Lesson 2: find the node plateau first -----------------------------------
+
+node_rows = []
+for n in (1, 2, 4, 8, 16, 32):
+    node_rows.append([n, f"{mean_bw(2, n):.0f}"])
+print(render_table(["nodes", "mean MiB/s (stripe 2)"], node_rows,
+                   "Step 1 (Lesson 2): node scaling with the current default"))
+saturating_nodes = 16
+print(f"-> evaluating stripe counts at {saturating_nodes} nodes\n")
+
+# -- 3. Now sweep the stripe count at saturation --------------------------------
+
+stripe_rows = []
+for k in (1, 2, 4, 8):
+    stripe_rows.append(
+        [k, f"{mean_bw(k, saturating_nodes):.0f}", f"{mean_bw(k, saturating_nodes, 'balanced'):.0f}"]
+    )
+print(render_table(
+    ["stripe", "random chooser", "balanced chooser"],
+    stripe_rows,
+    "Step 2: stripe count x chooser at the plateau",
+))
+best = mean_bw(8, saturating_nodes)
+default = mean_bw(2, saturating_nodes)
+print(
+    f"\n=> maximum stripe count gains x{best / default:.2f} over this system's"
+    "\n   cautious default — the paper's recommendation generalises: use all"
+    "\n   targets, and prefer a server-balanced selection heuristic."
+)

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+All metadata lives in ``pyproject.toml``; this file only exists so that
+``pip install -e .`` works on minimal offline environments that lack the
+``wheel`` package required by PEP 660 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

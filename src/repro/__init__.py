@@ -1,0 +1,61 @@
+"""repro — a full reproduction of Boito, Pallez & Teylo (CLUSTER 2022),
+"The role of storage target allocation in applications' I/O performance
+with BeeGFS".
+
+The package contains everything the study needs, implemented from
+scratch: a functional in-memory BeeGFS (striping, target choosers,
+per-directory patterns, metadata/storage services), a calibrated
+performance model of the PlaFRIM platform (fluid max-min network
+simulation plus a request-level DES cross-check), the IOR workload
+model, the paper's randomized-block experimental protocol, and one
+experiment module per figure.
+
+Quick start::
+
+    from repro import get_experiment
+
+    out = get_experiment("fig6").run(repetitions=20, seed=1)
+    print(out.figure)
+
+See README.md for the architecture tour and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from .calibration import Calibration, scenario1, scenario2, scenario_by_name
+from .beegfs import BeeGFS, BeeGFSClient, BeeGFSDeploymentSpec, StripePattern, plafrim_deployment
+from .engine import DESEngine, EngineOptions, FluidEngine, RunResult
+from .experiments import ExperimentOutput, get_experiment, list_experiments
+from .methodology import ProtocolConfig, RecordStore
+from .topology import Topology, plafrim_ethernet, plafrim_omnipath
+from .workload import Application, IORConfig, concurrent_applications, single_application
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Calibration",
+    "scenario1",
+    "scenario2",
+    "scenario_by_name",
+    "BeeGFS",
+    "BeeGFSClient",
+    "BeeGFSDeploymentSpec",
+    "StripePattern",
+    "plafrim_deployment",
+    "FluidEngine",
+    "DESEngine",
+    "EngineOptions",
+    "RunResult",
+    "ExperimentOutput",
+    "get_experiment",
+    "list_experiments",
+    "ProtocolConfig",
+    "RecordStore",
+    "Topology",
+    "plafrim_ethernet",
+    "plafrim_omnipath",
+    "Application",
+    "IORConfig",
+    "single_application",
+    "concurrent_applications",
+]

@@ -1,0 +1,42 @@
+"""Analyses specific to the paper's questions.
+
+* :mod:`repro.analysis.allocation` — the (min, max) placement notation
+  (Figure 7), allocation enumeration and chooser placement
+  distributions;
+* :mod:`repro.analysis.netmodel` — the analytic N-nodes-vs-M-servers
+  link-capacity model of Figure 3 and the balance-ratio bandwidth law
+  of Section IV-C1;
+* :mod:`repro.analysis.lessons` — programmatic verdicts for the seven
+  "lessons learned", evaluated on experiment records.
+"""
+
+from .allocation import (
+    AllocationDistribution,
+    min_max,
+    placement_distribution,
+    possible_placements,
+    random_placement_probabilities,
+)
+from .netmodel import balance_bandwidth_law, network_bound
+from .advisor import Recommendation, StripeOption, advise
+from .bottleneck import BottleneckReport, ResourceShare, attribute_bottlenecks, resource_kind
+from .lessons import LessonVerdict, evaluate_lessons
+
+__all__ = [
+    "min_max",
+    "possible_placements",
+    "random_placement_probabilities",
+    "placement_distribution",
+    "AllocationDistribution",
+    "network_bound",
+    "balance_bandwidth_law",
+    "LessonVerdict",
+    "evaluate_lessons",
+    "advise",
+    "Recommendation",
+    "StripeOption",
+    "attribute_bottlenecks",
+    "BottleneckReport",
+    "ResourceShare",
+    "resource_kind",
+]

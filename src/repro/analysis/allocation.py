@@ -1,0 +1,152 @@
+"""Target-allocation analysis: the (min, max) notation of Figure 7.
+
+The paper represents an OST allocation by the per-server target counts
+``(min, max)`` — e.g. one target on the first server and three on the
+second is (1, 3).  This module provides:
+
+* :func:`min_max` — classify a placement;
+* :func:`possible_placements` — enumerate the feasible (min, max)
+  pairs for a stripe count on a given server layout;
+* :func:`random_placement_probabilities` — the exact (hypergeometric)
+  distribution under the *random* chooser, which explains why a random
+  default would make stripe count 4's best case "as likely as the
+  worst case" (Section IV-C1);
+* :func:`placement_distribution` — the empirical distribution of any
+  chooser, sampled through a real file system.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..beegfs.filesystem import BeeGFS, BeeGFSDeploymentSpec
+from ..errors import AnalysisError
+
+__all__ = [
+    "min_max",
+    "possible_placements",
+    "random_placement_probabilities",
+    "placement_distribution",
+    "AllocationDistribution",
+]
+
+
+def min_max(placement: Sequence[int] | Mapping[str, int]) -> tuple[int, int]:
+    """The paper's (min, max) notation over the two busiest servers.
+
+    Accepts either per-server counts (a mapping) or a count sequence.
+    For deployments with more than two servers, the two largest counts
+    are reported (the notation's natural generalisation).
+    """
+    counts = sorted(placement.values() if isinstance(placement, Mapping) else placement)
+    if not counts:
+        raise AnalysisError("empty placement")
+    if any(c < 0 for c in counts):
+        raise AnalysisError(f"negative target count in {counts}")
+    if len(counts) == 1:
+        return (0, counts[0])
+    top_two = counts[-2:]
+    return (top_two[0], top_two[1])
+
+
+def possible_placements(
+    stripe_count: int, targets_per_server: Sequence[int] = (4, 4)
+) -> list[tuple[int, int]]:
+    """All feasible (min, max) pairs for a stripe count on a layout."""
+    if stripe_count < 1:
+        raise AnalysisError("stripe count must be >= 1")
+    if stripe_count > sum(targets_per_server):
+        raise AnalysisError(
+            f"stripe count {stripe_count} exceeds {sum(targets_per_server)} targets"
+        )
+    found = set()
+    ranges = [range(min(cap, stripe_count) + 1) for cap in targets_per_server]
+    for combo in itertools.product(*ranges):
+        if sum(combo) == stripe_count:
+            found.add(min_max(combo))
+    return sorted(found)
+
+
+def random_placement_probabilities(
+    stripe_count: int, targets_per_server: Sequence[int] = (4, 4)
+) -> dict[tuple[int, int], float]:
+    """Exact (min, max) distribution under uniform random selection.
+
+    Multivariate hypergeometric: every ``stripe_count``-subset of the
+    pooled targets is equally likely.
+    """
+    caps = list(targets_per_server)
+    total = sum(caps)
+    if stripe_count < 1 or stripe_count > total:
+        raise AnalysisError(f"invalid stripe count {stripe_count} for {total} targets")
+    denom = math.comb(total, stripe_count)
+    probs: dict[tuple[int, int], float] = {}
+    ranges = [range(min(cap, stripe_count) + 1) for cap in caps]
+    for combo in itertools.product(*ranges):
+        if sum(combo) != stripe_count:
+            continue
+        ways = math.prod(math.comb(cap, k) for cap, k in zip(caps, combo))
+        key = min_max(combo)
+        probs[key] = probs.get(key, 0.0) + ways / denom
+    return dict(sorted(probs.items()))
+
+
+@dataclass(frozen=True)
+class AllocationDistribution:
+    """Empirical placement distribution of one chooser configuration."""
+
+    chooser: str
+    stripe_count: int
+    samples: int
+    counts: Mapping[tuple[int, int], int]
+
+    @property
+    def probabilities(self) -> dict[tuple[int, int], float]:
+        return {k: v / self.samples for k, v in sorted(self.counts.items())}
+
+    @property
+    def modes(self) -> list[tuple[int, int]]:
+        """Placements that actually occur."""
+        return sorted(k for k, v in self.counts.items() if v > 0)
+
+    @property
+    def balanced_fraction(self) -> float:
+        """Fraction of allocations with equal counts on both servers."""
+        return sum(v for (lo, hi), v in self.counts.items() if lo == hi) / self.samples
+
+    def is_deterministic(self) -> bool:
+        return len(self.modes) == 1
+
+
+def placement_distribution(
+    deployment: BeeGFSDeploymentSpec,
+    stripe_count: int,
+    chooser: str | None = None,
+    samples: int = 200,
+    seed: int = 0,
+) -> AllocationDistribution:
+    """Sample a chooser's (min, max) distribution through real creations.
+
+    Each sample creates one file in a *fresh* file system (the paper's
+    convention: a new file per benchmark run), so stateful choosers
+    like round-robin are sampled at their per-run starting phases.
+    """
+    if samples < 1:
+        raise AnalysisError("need at least one sample")
+    chooser_name = chooser or deployment.default_chooser
+    counts: dict[tuple[int, int], int] = {}
+    for i in range(samples):
+        fs = BeeGFS(deployment, seed=seed * 1_000_003 + i)
+        fs.set_pattern("/", stripe_count=stripe_count, chooser=chooser_name)
+        inode = fs.create_file(f"/sample-{i}.dat")
+        key = min_max(fs.placement_of(inode))
+        counts[key] = counts.get(key, 0) + 1
+    return AllocationDistribution(
+        chooser=chooser_name,
+        stripe_count=stripe_count,
+        samples=samples,
+        counts=counts,
+    )

@@ -1,0 +1,139 @@
+"""Bottleneck attribution: *why* a run performed the way it did.
+
+The paper's methodology revolves around identifying the binding
+constraint of each configuration (network link vs storage vs client,
+Lessons 1-6).  This module turns the fluid engine's per-segment
+constraint records into a time-weighted report: for what fraction of
+the run each resource was saturated, grouped by resource class.
+
+Used by :meth:`repro.engine.fluid_runner.FluidEngine.explain` and the
+``beegfs-repro explain`` command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import AnalysisError
+from ..figures.ascii import render_table
+from ..netsim.fluid import SegmentDetail
+
+__all__ = ["ResourceShare", "BottleneckReport", "attribute_bottlenecks", "resource_kind"]
+
+_KINDS = {
+    "client": "per-node client ceiling",
+    "link": "network link",
+    "fabric": "switch fabric",
+    "ingest": "server ingest ramp",
+    "san": "system storage ramp",
+    "pool": "per-server storage pool",
+    "ost": "storage target",
+}
+
+
+def resource_kind(resource_id: str) -> str:
+    """Human-readable class of a resource id (by prefix)."""
+    prefix = resource_id.split(":", 1)[0]
+    return _KINDS.get(prefix, prefix)
+
+
+@dataclass(frozen=True)
+class ResourceShare:
+    """One resource's share of the run's binding time."""
+
+    resource_id: str
+    binding_share: float  # fraction of run time this resource was saturated
+    mean_utilization: float  # time-weighted utilization while active
+
+    @property
+    def kind(self) -> str:
+        return resource_kind(self.resource_id)
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Time-weighted constraint attribution of one run."""
+
+    total_s: float
+    shares: tuple[ResourceShare, ...]  # sorted by binding share, descending
+    latency_capped_share: float  # fraction of time some flow was latency-capped
+
+    @property
+    def dominant(self) -> ResourceShare:
+        """The resource that bound the run the longest."""
+        return self.shares[0]
+
+    def by_kind(self) -> dict[str, float]:
+        """Binding share aggregated per resource class.
+
+        A segment where e.g. both server links bind counts once for the
+        'network link' class, so class shares stay in [0, 1].
+        """
+        out: dict[str, float] = {}
+        for share in self.shares:
+            out[share.kind] = min(1.0, out.get(share.kind, 0.0) + share.binding_share)
+        return dict(sorted(out.items(), key=lambda kv: -kv[1]))
+
+    def to_text(self, top: int = 8) -> str:
+        rows = [
+            [
+                s.resource_id,
+                s.kind,
+                f"{s.binding_share * 100:.0f}%",
+                f"{s.mean_utilization * 100:.0f}%",
+            ]
+            for s in self.shares[:top]
+            if s.binding_share > 0
+        ]
+        table = render_table(
+            ["resource", "class", "binding time", "mean utilization"],
+            rows,
+            f"Bottleneck attribution over {self.total_s:.1f}s of run time:",
+        )
+        extra = ""
+        if self.latency_capped_share > 0.01:
+            extra = (
+                f"\n(some flows were blocking-request-latency capped for "
+                f"{self.latency_capped_share * 100:.0f}% of the time)"
+            )
+        return table + extra
+
+
+def attribute_bottlenecks(details: Sequence[SegmentDetail]) -> BottleneckReport:
+    """Aggregate per-segment constraint records into a report."""
+    if not details:
+        raise AnalysisError("no segment details (run the engine with detail=True)")
+    total = sum(d.duration for d in details)
+    if total <= 0:
+        raise AnalysisError("segments carry no duration")
+    binding_time: dict[str, float] = {}
+    util_time: dict[str, float] = {}
+    active_time: dict[str, float] = {}
+    latency_time = 0.0
+    for d in details:
+        for rid in d.binding:
+            binding_time[rid] = binding_time.get(rid, 0.0) + d.duration
+        for rid, util in d.utilization.items():
+            util_time[rid] = util_time.get(rid, 0.0) + util * d.duration
+            active_time[rid] = active_time.get(rid, 0.0) + d.duration
+        if d.latency_capped > 0:
+            latency_time += d.duration
+    shares = tuple(
+        sorted(
+            (
+                ResourceShare(
+                    resource_id=rid,
+                    binding_share=binding_time.get(rid, 0.0) / total,
+                    mean_utilization=util_time[rid] / active_time[rid],
+                )
+                for rid in util_time
+            ),
+            key=lambda s: (-s.binding_share, -s.mean_utilization, s.resource_id),
+        )
+    )
+    return BottleneckReport(
+        total_s=total,
+        shares=shares,
+        latency_capped_share=latency_time / total,
+    )

@@ -1,0 +1,56 @@
+"""Closed-form network models: Figures 3 and 9's arithmetic.
+
+* :func:`network_bound` — the Figure 3 argument: with ``N`` client
+  nodes and ``M`` storage servers on equal links of capacity ``B``,
+  the network bound is ``B * min(N, M)``.
+* :func:`balance_bandwidth_law` — Section IV-C1's consequence for a
+  network-bound scenario: a file striped over ``k`` targets placed
+  ``(a, b)`` across two servers moves ``b/k`` of its bytes through the
+  busier link, so the bandwidth is ``B_eff * k / max(a, b)``; placement
+  balance, not target count, sets the performance (Lesson 4).
+"""
+
+from __future__ import annotations
+
+from ..errors import AnalysisError
+
+__all__ = ["network_bound", "balance_bandwidth_law"]
+
+
+def network_bound(num_nodes: int, num_servers: int, link_mib_s: float) -> float:
+    """Aggregate network capacity between N client nodes and M servers.
+
+    The narrower side of the fabric limits: ``min(N, M) * B``.  This is
+    why single-node evaluations (Chowdhury et al.) cannot expose
+    storage-side effects — the client side caps everything first.
+    """
+    if num_nodes < 1 or num_servers < 1:
+        raise AnalysisError("need at least one node and one server")
+    if link_mib_s <= 0:
+        raise AnalysisError("link capacity must be positive")
+    return link_mib_s * min(num_nodes, num_servers)
+
+
+def balance_bandwidth_law(
+    placement: tuple[int, int],
+    per_server_mib_s: float,
+) -> float:
+    """Write bandwidth of a network-bound striped file, by placement.
+
+    For placement ``(a, b)`` (with ``a + b = k`` targets), the busier
+    server carries ``max(a, b) / k`` of the file at its effective link
+    rate, and every server finishes no later than it does:
+
+        BW = per_server * k / max(a, b)
+
+    Checks against the paper's Figure 8: (1, 1), (3, 3), (4, 4) reach
+    ``2 * per_server``; (0, x) stalls at ``per_server``; (1, 3) reaches
+    ``4/3 * per_server``.
+    """
+    a, b = placement
+    if a < 0 or b < 0 or a + b < 1:
+        raise AnalysisError(f"invalid placement {placement}")
+    if per_server_mib_s <= 0:
+        raise AnalysisError("per-server rate must be positive")
+    k = a + b
+    return per_server_mib_s * k / max(a, b)

@@ -1,0 +1,65 @@
+"""A functional in-memory reimplementation of BeeGFS.
+
+This package reproduces the *logic* of the parallel file system the
+paper studies (Section II): a Management Service tracking servers and
+targets, Metadata Servers owning a directory namespace with
+per-directory stripe configuration (count, chunk size, chooser — in
+BeeGFS striping is configured per folder by the administrator, which is
+why the paper's default-value question matters), Object Storage Servers
+with their Object Storage Targets, and a client offering a POSIX-like
+file interface.
+
+Data placement is exact: byte ranges map to chunks on targets through
+:class:`~repro.beegfs.striping.StripePattern`, target selection runs
+through pluggable choosers (round-robin as deployed on PlaFRIM, random
+as the BeeGFS default, plus balanced/capacity-aware policies for the
+allocation-policy studies), and an optional in-memory chunk store keeps
+real bytes so tests can verify write/read-back through the stripes.
+
+Performance is *not* modelled here — the engines in
+:mod:`repro.engine` translate client traffic into fluid flows or DES
+requests over the platform models.
+"""
+
+from .striping import ChunkExtent, StripePattern
+from .choosers import (
+    BalancedChooser,
+    CapacityChooser,
+    RandomChooser,
+    RoundRobinChooser,
+    TargetChooser,
+    chooser_from_name,
+    CHOOSER_NAMES,
+)
+from .management import ManagementService, TargetInfo, TargetState
+from .meta import DirectoryConfig, FileInode, MetadataServer
+from .storage_service import ObjectStorageServer, ObjectStorageTarget
+from .chunks import ChunkStore
+from .filesystem import BeeGFS, BeeGFSDeploymentSpec, plafrim_deployment
+from .client import BeeGFSClient, FileHandle
+
+__all__ = [
+    "StripePattern",
+    "ChunkExtent",
+    "TargetChooser",
+    "RoundRobinChooser",
+    "RandomChooser",
+    "BalancedChooser",
+    "CapacityChooser",
+    "chooser_from_name",
+    "CHOOSER_NAMES",
+    "ManagementService",
+    "TargetInfo",
+    "TargetState",
+    "MetadataServer",
+    "DirectoryConfig",
+    "FileInode",
+    "ObjectStorageServer",
+    "ObjectStorageTarget",
+    "ChunkStore",
+    "BeeGFS",
+    "BeeGFSDeploymentSpec",
+    "plafrim_deployment",
+    "BeeGFSClient",
+    "FileHandle",
+]

@@ -1,0 +1,258 @@
+"""Target choosers: the OST allocation heuristics.
+
+When a file is created, BeeGFS must pick ``stripe_count`` targets from
+the available pool.  The heuristic used is central to the paper:
+
+* **random** — the BeeGFS default: a uniform sample of the targets.
+  Under it every (min, max) placement is possible, which is why the
+  paper notes that random selection with stripe count 4 *could* produce
+  the balanced (2, 2) — at the price of high run-to-run variability.
+* **roundrobin** — what PlaFRIM's vendor configured: targets are taken
+  consecutively from a fixed ordering, and the cursor advances by the
+  stripe count at each file creation.  With PlaFRIM's target ordering
+  this yields exactly the two ``(101, 201, 202, 203)`` /
+  ``(204, 102, 103, 104)`` allocations the paper reports for stripe
+  count 4 — both (1, 3) — and the bi-modal mixtures for counts 2, 3, 5
+  and 6 (Section IV-C1).
+* **balanced** — the policy Lesson 4 recommends: pick the same number
+  of targets on every server (round-robin over servers, random within
+  a server).
+* **capacity** — free-space weighted (BeeGFS's preference for targets
+  with more room), included for the allocation-policy study.
+
+Choosers see the pool through :class:`~repro.beegfs.management.TargetInfo`
+records and draw randomness from an explicit generator, so experiments
+are reproducible.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..errors import TargetChooserError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .management import TargetInfo
+
+__all__ = [
+    "TargetChooser",
+    "RandomChooser",
+    "RoundRobinChooser",
+    "BalancedChooser",
+    "CapacityChooser",
+    "chooser_from_name",
+    "CHOOSER_NAMES",
+]
+
+
+class TargetChooser(abc.ABC):
+    """Strategy interface for picking stripe targets at file creation."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def choose(
+        self,
+        pool: Sequence["TargetInfo"],
+        count: int,
+        rng: np.random.Generator,
+    ) -> tuple[int, ...]:
+        """Pick ``count`` distinct target ids from ``pool``.
+
+        The returned order is the stripe order (chunk ``i`` goes to the
+        ``i % count``-th entry).
+        """
+
+    def _check(self, pool: Sequence["TargetInfo"], count: int) -> None:
+        if count < 1:
+            raise TargetChooserError(f"stripe count must be >= 1, got {count}")
+        if count > len(pool):
+            raise TargetChooserError(
+                f"stripe count {count} exceeds available targets ({len(pool)})"
+            )
+
+
+class RandomChooser(TargetChooser):
+    """Uniform sample without replacement (the BeeGFS default)."""
+
+    name = "random"
+
+    def choose(
+        self, pool: Sequence["TargetInfo"], count: int, rng: np.random.Generator
+    ) -> tuple[int, ...]:
+        self._check(pool, count)
+        ids = [t.target_id for t in pool]
+        picked = rng.choice(len(ids), size=count, replace=False)
+        return tuple(ids[i] for i in picked)
+
+
+class RoundRobinChooser(TargetChooser):
+    """Deterministic cursor over a fixed target ordering.
+
+    ``ordering`` defaults to the pool order; PlaFRIM's deployment uses
+    the interleaved ordering exposed by
+    :func:`repro.beegfs.filesystem.plafrim_deployment`.  The cursor
+    position is persistent chooser state: consecutive file creations
+    get consecutive target windows.  When experiments want to sample
+    the allocation distribution (the paper creates a fresh file per
+    run), the cursor start can be randomised per run via
+    ``randomize_start``.
+    """
+
+    name = "roundrobin"
+
+    def __init__(self, ordering: Sequence[int] | None = None, randomize_start: bool = True):
+        self.ordering = tuple(ordering) if ordering is not None else None
+        self.randomize_start = randomize_start
+        self._cursor = 0
+        self._started = False
+        if self.ordering is not None and len(set(self.ordering)) != len(self.ordering):
+            raise TargetChooserError(f"duplicate ids in ordering {self.ordering}")
+
+    def reset(self, cursor: int = 0) -> None:
+        self._cursor = cursor
+        self._started = cursor != 0
+
+    @property
+    def cursor(self) -> int:
+        return self._cursor
+
+    def _effective_ordering(self, pool: Sequence["TargetInfo"]) -> tuple[int, ...]:
+        available = {t.target_id for t in pool}
+        if self.ordering is None:
+            return tuple(t.target_id for t in pool)
+        ordering = tuple(t for t in self.ordering if t in available)
+        missing = available - set(ordering)
+        if missing:
+            raise TargetChooserError(f"targets {sorted(missing)} absent from ordering")
+        return ordering
+
+    def choose(
+        self, pool: Sequence["TargetInfo"], count: int, rng: np.random.Generator
+    ) -> tuple[int, ...]:
+        self._check(pool, count)
+        ordering = self._effective_ordering(pool)
+        n = len(ordering)
+        if self.randomize_start and not self._started:
+            # A production cursor that advanced by ``count`` per creation
+            # sits at some multiple of gcd(count, n): randomising over
+            # exactly those phases samples the same window set the
+            # production system cycles through (all two of them for
+            # PlaFRIM's stripe count 4 — both (1, 3)).
+            g = math.gcd(count, n)
+            self._cursor = int(rng.integers(n // g)) * g
+        self._started = True
+        start = self._cursor % n
+        picked = tuple(ordering[(start + i) % n] for i in range(count))
+        self._cursor = (start + count) % n
+        return picked
+
+
+class BalancedChooser(TargetChooser):
+    """Even split across servers (Lesson 4's recommended heuristic).
+
+    Servers are prioritised by how many targets they have already been
+    assigned in this allocation, tie-broken randomly, so the final
+    per-server counts differ by at most one.
+    """
+
+    name = "balanced"
+
+    def choose(
+        self, pool: Sequence["TargetInfo"], count: int, rng: np.random.Generator
+    ) -> tuple[int, ...]:
+        self._check(pool, count)
+        by_server: dict[str, list[int]] = {}
+        for t in pool:
+            by_server.setdefault(t.server, []).append(t.target_id)
+        servers = sorted(by_server)
+        for ids in by_server.values():
+            rng.shuffle(ids)
+        order = list(rng.permutation(len(servers)))
+        picked: list[int] = []
+        taken = {s: 0 for s in servers}
+        while len(picked) < count:
+            progressed = False
+            for idx in order:
+                server = servers[idx]
+                if taken[server] < len(by_server[server]):
+                    picked.append(by_server[server][taken[server]])
+                    taken[server] += 1
+                    progressed = True
+                    if len(picked) == count:
+                        break
+            if not progressed:  # pragma: no cover - guarded by _check
+                raise TargetChooserError("ran out of targets while balancing")
+        return tuple(picked)
+
+
+class CapacityChooser(TargetChooser):
+    """Free-space weighted random choice (capacity pools, simplified)."""
+
+    name = "capacity"
+
+    def choose(
+        self, pool: Sequence["TargetInfo"], count: int, rng: np.random.Generator
+    ) -> tuple[int, ...]:
+        self._check(pool, count)
+        free = np.array([max(t.free_bytes, 0) for t in pool], dtype=float)
+        if free.sum() <= 0:
+            weights = np.full(len(pool), 1.0 / len(pool))
+        else:
+            weights = free / free.sum()
+        picked = rng.choice(len(pool), size=count, replace=False, p=weights)
+        return tuple(pool[i].target_id for i in picked)
+
+
+class FixedChooser(TargetChooser):
+    """Always returns a fixed target tuple (experiment control).
+
+    Used to force specific placements, e.g. the (0, 2) vs (1, 1)
+    comparison of the paper's Figure 9.  The fixed ids must exist in
+    the pool and match the requested count.
+    """
+
+    name = "fixed"
+
+    def __init__(self, target_ids: Sequence[int]):
+        self.target_ids = tuple(int(t) for t in target_ids)
+        if not self.target_ids:
+            raise TargetChooserError("fixed chooser needs at least one target")
+        if len(set(self.target_ids)) != len(self.target_ids):
+            raise TargetChooserError(f"duplicate ids in {self.target_ids}")
+
+    def choose(
+        self, pool: Sequence["TargetInfo"], count: int, rng: np.random.Generator
+    ) -> tuple[int, ...]:
+        self._check(pool, count)
+        if count != len(self.target_ids):
+            raise TargetChooserError(
+                f"fixed chooser holds {len(self.target_ids)} targets, asked for {count}"
+            )
+        available = {t.target_id for t in pool}
+        missing = set(self.target_ids) - available
+        if missing:
+            raise TargetChooserError(f"fixed targets {sorted(missing)} not available")
+        return self.target_ids
+
+
+CHOOSER_NAMES = ("random", "roundrobin", "balanced", "capacity", "fixed")
+
+
+def chooser_from_name(name: str, **kwargs: object) -> TargetChooser:
+    """Instantiate a chooser by its registry name."""
+    classes: dict[str, type[TargetChooser]] = {
+        RandomChooser.name: RandomChooser,
+        RoundRobinChooser.name: RoundRobinChooser,
+        BalancedChooser.name: BalancedChooser,
+        CapacityChooser.name: CapacityChooser,
+    }
+    try:
+        cls = classes[name]
+    except KeyError:
+        raise TargetChooserError(f"unknown chooser {name!r}; known: {sorted(classes)}") from None
+    return cls(**kwargs)  # type: ignore[arg-type]

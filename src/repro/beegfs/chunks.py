@@ -1,0 +1,95 @@
+"""Chunk storage: the per-target data plane.
+
+Each Object Storage Target stores one *chunk file* per (file inode,
+target): the concatenation of that target's chunks.  The store can hold
+real bytes (so tests verify that striped writes read back intact) or
+merely track sizes, which is what performance experiments use — a
+32 GiB IOR run should not allocate 32 GiB of Python bytearrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import StorageError
+
+__all__ = ["ChunkStore"]
+
+
+@dataclass
+class _ChunkFile:
+    """The portion of one file stored on one target."""
+
+    data: bytearray | None  # None in size-only mode
+    size: int = 0
+
+
+@dataclass
+class ChunkStore:
+    """Per-target chunk files, keyed by inode id.
+
+    ``keep_data`` selects between the byte-accurate mode (default: real
+    contents, for correctness tests and small examples) and the
+    size-only mode used by large performance runs.
+    """
+
+    target_id: int
+    keep_data: bool = True
+    _files: dict[int, _ChunkFile] = field(default_factory=dict, repr=False)
+
+    def write(self, inode_id: int, chunk_file_offset: int, data: bytes | None, length: int) -> None:
+        """Write ``length`` bytes at ``chunk_file_offset`` of the chunk file.
+
+        ``data`` may be ``None`` in size-only mode (or when the caller
+        only has sizes); if given, it must match ``length``.
+        """
+        if chunk_file_offset < 0 or length < 0:
+            raise StorageError("negative write coordinates")
+        if data is not None and len(data) != length:
+            raise StorageError(f"data length {len(data)} != declared length {length}")
+        cf = self._files.get(inode_id)
+        if cf is None:
+            cf = _ChunkFile(data=bytearray() if self.keep_data else None)
+            self._files[inode_id] = cf
+        end = chunk_file_offset + length
+        if self.keep_data:
+            assert cf.data is not None
+            if end > len(cf.data):
+                cf.data.extend(b"\x00" * (end - len(cf.data)))
+            if data is not None:
+                cf.data[chunk_file_offset:end] = data
+        cf.size = max(cf.size, end)
+
+    def read(self, inode_id: int, chunk_file_offset: int, length: int) -> bytes:
+        """Read bytes back (only available with ``keep_data``).
+
+        Reads past the chunk file's end return zero bytes, matching
+        sparse-file POSIX semantics.
+        """
+        if not self.keep_data:
+            raise StorageError(f"target {self.target_id}: store is size-only")
+        if chunk_file_offset < 0 or length < 0:
+            raise StorageError("negative read coordinates")
+        cf = self._files.get(inode_id)
+        if cf is None or cf.data is None:
+            return b"\x00" * length
+        end = chunk_file_offset + length
+        chunk = bytes(cf.data[chunk_file_offset:end])
+        return chunk + b"\x00" * (length - len(chunk))
+
+    def chunk_file_size(self, inode_id: int) -> int:
+        cf = self._files.get(inode_id)
+        return cf.size if cf is not None else 0
+
+    def remove(self, inode_id: int) -> int:
+        """Drop a file's chunk file, returning the bytes freed."""
+        cf = self._files.pop(inode_id, None)
+        return cf.size if cf is not None else 0
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(cf.size for cf in self._files.values())
+
+    @property
+    def nfiles(self) -> int:
+        return len(self._files)

@@ -1,0 +1,137 @@
+"""The File System Client (FSC): a POSIX-like interface.
+
+In real BeeGFS the client is a kernel module mounting the remote file
+system; here it is the object through which applications (and the IOR
+driver) talk to a :class:`~repro.beegfs.filesystem.BeeGFS` instance.
+The interface deliberately mirrors the POSIX calls IOR issues with its
+POSIX backend: ``open``/``creat``, ``pwrite``/``pread`` (and the
+cursor-based ``write``/``read``), ``fstat``, ``close``.
+
+Writes may carry real bytes or just a length (``data=None``), matching
+the two chunk-store modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import BeeGFSError, NoSuchEntityError
+from .filesystem import BeeGFS
+from .meta import FileInode
+
+__all__ = ["FileHandle", "BeeGFSClient"]
+
+
+@dataclass
+class FileHandle:
+    """An open file: inode reference plus a cursor and mode flags."""
+
+    client: "BeeGFSClient"
+    path: str
+    inode: FileInode
+    writable: bool
+    pos: int = 0
+    closed: bool = field(default=False, init=False)
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise BeeGFSError(f"I/O on closed handle for {self.path!r}")
+
+    # -- positioned I/O --------------------------------------------------------
+
+    def pwrite(self, offset: int, data: bytes | None = None, length: int | None = None) -> int:
+        """Write at an absolute offset without moving the cursor.
+
+        Either real ``data`` or a bare ``length`` must be given.
+        Returns the number of bytes written (always the full amount —
+        the simulated PFS has no short writes).
+        """
+        self._check_open()
+        if not self.writable:
+            raise BeeGFSError(f"handle for {self.path!r} is read-only")
+        if data is None and length is None:
+            raise BeeGFSError("pwrite needs data or length")
+        if data is not None and length is not None and len(data) != length:
+            raise BeeGFSError(f"data length {len(data)} != length {length}")
+        n = len(data) if data is not None else int(length)  # type: ignore[arg-type]
+        if n == 0:
+            return 0
+        self.client.fs.write_extents(self.inode, offset, data, n)
+        return n
+
+    def pread(self, offset: int, length: int) -> bytes:
+        self._check_open()
+        return self.client.fs.read_extents(self.inode, offset, length)
+
+    # -- cursor I/O ---------------------------------------------------------------
+
+    def write(self, data: bytes | None = None, length: int | None = None) -> int:
+        n = self.pwrite(self.pos, data, length)
+        self.pos += n
+        return n
+
+    def read(self, length: int) -> bytes:
+        data = self.pread(self.pos, length)
+        self.pos += len(data)
+        return data
+
+    def seek(self, offset: int) -> None:
+        self._check_open()
+        if offset < 0:
+            raise BeeGFSError(f"negative seek offset {offset}")
+        self.pos = offset
+
+    def fstat(self) -> FileInode:
+        self._check_open()
+        return self.inode
+
+    def close(self) -> None:
+        self.closed = True
+
+    def __enter__(self) -> "FileHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class BeeGFSClient:
+    """A mounted view of a BeeGFS instance on one compute node."""
+
+    def __init__(self, fs: BeeGFS, node: str = "localhost"):
+        self.fs = fs
+        self.node = node
+
+    # -- namespace operations -----------------------------------------------------
+
+    def mkdir(self, path: str) -> None:
+        self.fs.mkdir(path)
+
+    def listdir(self, path: str) -> list[str]:
+        return self.fs.namespace.listdir(path)
+
+    def exists(self, path: str) -> bool:
+        return self.fs.namespace.exists(path)
+
+    def stat(self, path: str) -> FileInode:
+        return self.fs.namespace.file(path)
+
+    def unlink(self, path: str) -> None:
+        self.fs.unlink(path)
+
+    # -- open ------------------------------------------------------------------------
+
+    def create(self, path: str) -> FileHandle:
+        """O_CREAT | O_EXCL | O_WRONLY: create and open for writing."""
+        inode = self.fs.create_file(path)
+        return FileHandle(client=self, path=path, inode=inode, writable=True)
+
+    def open(self, path: str, write: bool = False, create: bool = False) -> FileHandle:
+        """Open an existing file (optionally creating it)."""
+        if create and not self.fs.namespace.exists(path):
+            return self.create(path)
+        try:
+            inode = self.fs.namespace.file(path)
+        except NoSuchEntityError:
+            raise NoSuchEntityError(f"no such file: {path!r}") from None
+        return FileHandle(client=self, path=path, inode=inode, writable=write)

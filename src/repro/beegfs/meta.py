@@ -1,0 +1,306 @@
+"""Metadata service: namespace tree and per-directory stripe configuration.
+
+BeeGFS metadata lives on Metadata Servers (MDS), each owning an
+exclusive portion of the file-system tree and backed by one MetaData
+Target (MDT).  The property that motivates the whole paper: striping is
+configured **per directory** (stripe count + chunk size + chooser), set
+by the administrator, and inherited by new subdirectories — users
+cannot easily tune it per file as in Lustre, so the default matters.
+
+This module provides:
+
+* :class:`DirectoryConfig` — the per-directory stripe configuration;
+* :class:`FileInode` — a file's metadata: its concrete
+  :class:`~repro.beegfs.striping.StripePattern` (targets chosen at
+  creation and immutable afterwards — changing stripe count post hoc
+  would require data migration, which is why the paper studies writes),
+  size and timestamps;
+* :class:`Namespace` — the tree with POSIX-ish operations;
+* :class:`MetadataServer` — ownership/accounting of tree portions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+
+from ..errors import (
+    ConfigError,
+    EntityExistsError,
+    IsADirectoryBeeGFSError,
+    NoSuchEntityError,
+    NotADirectoryBeeGFSError,
+    StripingError,
+)
+from .striping import DEFAULT_CHUNK_SIZE, StripePattern
+
+__all__ = ["DirectoryConfig", "FileInode", "Namespace", "MetadataServer", "split_path", "normalize_path"]
+
+
+def normalize_path(path: str) -> str:
+    """Normalise to an absolute, slash-separated path without '.'/'..'."""
+    if not path or not path.startswith("/"):
+        raise ConfigError(f"paths must be absolute, got {path!r}")
+    parts: list[str] = []
+    for part in path.split("/"):
+        if part in ("", "."):
+            continue
+        if part == "..":
+            if not parts:
+                raise ConfigError(f"path escapes root: {path!r}")
+            parts.pop()
+        else:
+            parts.append(part)
+    return "/" + "/".join(parts)
+
+
+def split_path(path: str) -> tuple[str, str]:
+    """(parent, name) of a normalised path; root has no parent."""
+    norm = normalize_path(path)
+    if norm == "/":
+        raise ConfigError("the root directory has no parent")
+    parent, _, name = norm.rpartition("/")
+    return (parent or "/", name)
+
+
+@dataclass(frozen=True)
+class DirectoryConfig:
+    """Stripe configuration attached to a directory.
+
+    ``chooser`` names the target-selection heuristic
+    (:mod:`repro.beegfs.choosers`); ``None`` defers to the file system
+    default.  PlaFRIM's production values were stripe count 4, 512 KiB
+    chunks, round-robin chooser — the configuration the paper shows to
+    cost up to half the achievable bandwidth in scenario 1.
+    """
+
+    stripe_count: int = 4
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    chooser: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.stripe_count < 1:
+            raise ConfigError(f"stripe count must be >= 1, got {self.stripe_count}")
+        if self.chunk_size < 64 * 1024:
+            # BeeGFS enforces a 64 KiB minimum chunk size.
+            raise ConfigError(f"chunk size must be >= 64 KiB, got {self.chunk_size}")
+        if self.chunk_size & (self.chunk_size - 1):
+            raise ConfigError(f"chunk size must be a power of two, got {self.chunk_size}")
+
+
+@dataclass
+class FileInode:
+    """Metadata record of one regular file."""
+
+    inode_id: int
+    pattern: StripePattern
+    size: int = 0
+    ctime: float = 0.0
+    mtime: float = 0.0
+    mds: str = ""
+
+    def grow_to(self, size: int) -> None:
+        if size < 0:
+            raise StripingError(f"negative file size {size}")
+        self.size = max(self.size, size)
+
+
+@dataclass
+class _DirNode:
+    config: DirectoryConfig
+    mds: str
+    children: dict[str, "_DirNode | FileInode"] = field(default_factory=dict)
+
+
+class MetadataServer:
+    """One MDS with its MDT accounting.
+
+    The MDT (an SSD RAID-1 on PlaFRIM) stores inodes and dentries; we
+    track counts and an approximate byte footprint so metadata-heavy
+    workloads can be reasoned about, even though the paper deliberately
+    minimises metadata load (shared-file N-1 strategy, Section III-B).
+    """
+
+    INODE_BYTES = 512
+
+    def __init__(self, name: str, mdt_capacity_bytes: int):
+        if mdt_capacity_bytes <= 0:
+            raise ConfigError("MDT capacity must be positive")
+        self.name = name
+        self.mdt_capacity_bytes = mdt_capacity_bytes
+        self.inodes = 0
+        self.dirents = 0
+
+    @property
+    def mdt_used_bytes(self) -> int:
+        return (self.inodes + self.dirents) * self.INODE_BYTES
+
+    def account_create(self, is_dir: bool) -> None:
+        if self.mdt_used_bytes + self.INODE_BYTES > self.mdt_capacity_bytes:
+            raise ConfigError(f"MDT of {self.name!r} is full")
+        if is_dir:
+            self.dirents += 1
+        else:
+            self.inodes += 1
+
+    def account_unlink(self, is_dir: bool) -> None:
+        if is_dir:
+            self.dirents -= 1
+        else:
+            self.inodes -= 1
+
+
+class Namespace:
+    """The directory tree with per-directory stripe configuration.
+
+    Directory-to-MDS assignment follows BeeGFS's model: each directory
+    is owned by one MDS, chosen round-robin at creation time, and a
+    file's metadata lives on its parent directory's MDS.
+    """
+
+    def __init__(self, mdses: list[MetadataServer], root_config: DirectoryConfig):
+        if not mdses:
+            raise ConfigError("need at least one metadata server")
+        self._mdses = {m.name: m for m in mdses}
+        self._mds_cycle = itertools.cycle(list(self._mdses))
+        self._inode_counter = itertools.count(1)
+        root_mds = next(self._mds_cycle)
+        self._root = _DirNode(config=root_config, mds=root_mds)
+
+    # -- resolution -----------------------------------------------------------
+
+    def _resolve(self, path: str) -> "_DirNode | FileInode":
+        norm = normalize_path(path)
+        node: _DirNode | FileInode = self._root
+        if norm == "/":
+            return node
+        for part in norm[1:].split("/"):
+            if not isinstance(node, _DirNode):
+                raise NotADirectoryBeeGFSError(f"{path!r}: component is a file")
+            try:
+                node = node.children[part]
+            except KeyError:
+                raise NoSuchEntityError(f"no such path: {path!r}") from None
+        return node
+
+    def _resolve_dir(self, path: str) -> _DirNode:
+        node = self._resolve(path)
+        if not isinstance(node, _DirNode):
+            raise NotADirectoryBeeGFSError(f"{path!r} is not a directory")
+        return node
+
+    def exists(self, path: str) -> bool:
+        try:
+            self._resolve(path)
+            return True
+        except (NoSuchEntityError, NotADirectoryBeeGFSError):
+            return False
+
+    def is_dir(self, path: str) -> bool:
+        try:
+            return isinstance(self._resolve(path), _DirNode)
+        except (NoSuchEntityError, NotADirectoryBeeGFSError):
+            return False
+
+    # -- directory operations ----------------------------------------------------
+
+    def mkdir(self, path: str, config: DirectoryConfig | None = None) -> DirectoryConfig:
+        """Create a directory; stripe config is inherited unless given."""
+        parent_path, name = split_path(path)
+        parent = self._resolve_dir(parent_path)
+        if name in parent.children:
+            raise EntityExistsError(f"{path!r} already exists")
+        mds_name = next(self._mds_cycle)
+        effective = config if config is not None else parent.config
+        parent.children[name] = _DirNode(config=effective, mds=mds_name)
+        self._mdses[mds_name].account_create(is_dir=True)
+        return effective
+
+    def rmdir(self, path: str) -> None:
+        parent_path, name = split_path(path)
+        parent = self._resolve_dir(parent_path)
+        node = self._resolve(path)
+        if not isinstance(node, _DirNode):
+            raise NotADirectoryBeeGFSError(f"{path!r} is not a directory")
+        if node.children:
+            raise ConfigError(f"directory not empty: {path!r}")
+        del parent.children[name]
+        self._mdses[node.mds].account_unlink(is_dir=True)
+
+    def listdir(self, path: str) -> list[str]:
+        return sorted(self._resolve_dir(path).children)
+
+    def get_config(self, path: str) -> DirectoryConfig:
+        return self._resolve_dir(path).config
+
+    def set_config(self, path: str, config: DirectoryConfig) -> None:
+        """Admin operation (``beegfs-ctl --setpattern``): affects new files only."""
+        self._resolve_dir(path).config = config
+
+    def set_stripe_count(self, path: str, stripe_count: int) -> None:
+        node = self._resolve_dir(path)
+        node.config = replace(node.config, stripe_count=stripe_count)
+
+    def mds_of(self, path: str) -> str:
+        node = self._resolve(path)
+        if isinstance(node, _DirNode):
+            return node.mds
+        return node.mds
+
+    # -- file operations ------------------------------------------------------------
+
+    def create_file(self, path: str, pattern: StripePattern, ctime: float = 0.0) -> FileInode:
+        """Attach a new file inode with an already-chosen stripe pattern.
+
+        Target choice happens in the file-system facade (it needs the
+        management registry and the chooser); the namespace records the
+        immutable result.
+        """
+        parent_path, name = split_path(path)
+        parent = self._resolve_dir(parent_path)
+        if name in parent.children:
+            raise EntityExistsError(f"{path!r} already exists")
+        inode = FileInode(
+            inode_id=next(self._inode_counter),
+            pattern=pattern,
+            ctime=ctime,
+            mtime=ctime,
+            mds=parent.mds,
+        )
+        parent.children[name] = inode
+        self._mdses[parent.mds].account_create(is_dir=False)
+        return inode
+
+    def file(self, path: str) -> FileInode:
+        node = self._resolve(path)
+        if isinstance(node, _DirNode):
+            raise IsADirectoryBeeGFSError(f"{path!r} is a directory")
+        return node
+
+    def unlink(self, path: str) -> FileInode:
+        parent_path, name = split_path(path)
+        parent = self._resolve_dir(parent_path)
+        node = parent.children.get(name)
+        if node is None:
+            raise NoSuchEntityError(f"no such file: {path!r}")
+        if isinstance(node, _DirNode):
+            raise IsADirectoryBeeGFSError(f"{path!r} is a directory")
+        del parent.children[name]
+        self._mdses[node.mds].account_unlink(is_dir=False)
+        return node
+
+    def walk_files(self, path: str = "/") -> list[tuple[str, FileInode]]:
+        """All (path, inode) pairs under ``path``, depth-first sorted."""
+        out: list[tuple[str, FileInode]] = []
+
+        def recurse(prefix: str, node: _DirNode) -> None:
+            for name in sorted(node.children):
+                child = node.children[name]
+                child_path = f"{prefix.rstrip('/')}/{name}"
+                if isinstance(child, _DirNode):
+                    recurse(child_path, child)
+                else:
+                    out.append((child_path, child))
+
+        recurse(normalize_path(path), self._resolve_dir(path))
+        return out

@@ -1,0 +1,105 @@
+"""Object Storage Servers and Targets (the data services).
+
+An OSS is the service process keeping file data; each OSS owns one or
+more OSTs, each handling actual storage through a chunk store.  These
+classes are the functional side; their performance twins live in
+:mod:`repro.storage` and are connected by the engines through shared
+target ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import NoSuchEntityError, StorageError
+from .chunks import ChunkStore
+from .management import ManagementService
+
+__all__ = ["ObjectStorageTarget", "ObjectStorageServer"]
+
+
+@dataclass
+class ObjectStorageTarget:
+    """One OST: a target id bound to a chunk store."""
+
+    target_id: int
+    store: ChunkStore = field(default=None)  # type: ignore[assignment]
+    keep_data: bool = True
+
+    def __post_init__(self) -> None:
+        if self.store is None:
+            self.store = ChunkStore(target_id=self.target_id, keep_data=self.keep_data)
+        elif self.store.target_id != self.target_id:
+            raise StorageError("chunk store bound to a different target")
+
+    @property
+    def used_bytes(self) -> int:
+        return self.store.used_bytes
+
+
+class ObjectStorageServer:
+    """One OSS process with its targets.
+
+    Write/read paths update the management registry's capacity
+    accounting, mirroring BeeGFS's heartbeat-reported free space.
+    """
+
+    def __init__(self, name: str, management: ManagementService, keep_data: bool = True):
+        self.name = name
+        self._management = management
+        self._targets: dict[int, ObjectStorageTarget] = {}
+        self._keep_data = keep_data
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    def add_target(self, target_id: int, capacity_bytes: int) -> ObjectStorageTarget:
+        """Create an OST on this server and register it with the MS."""
+        if target_id in self._targets:
+            raise StorageError(f"OSS {self.name!r}: duplicate target {target_id}")
+        self._management.register_target(target_id, self.name, capacity_bytes)
+        ost = ObjectStorageTarget(target_id=target_id, keep_data=self._keep_data)
+        self._targets[target_id] = ost
+        return ost
+
+    def target(self, target_id: int) -> ObjectStorageTarget:
+        try:
+            return self._targets[target_id]
+        except KeyError:
+            raise NoSuchEntityError(f"OSS {self.name!r} has no target {target_id}") from None
+
+    def target_ids(self) -> list[int]:
+        return list(self._targets)
+
+    # -- data path ------------------------------------------------------------
+
+    def write_chunk(
+        self,
+        target_id: int,
+        inode_id: int,
+        chunk_file_offset: int,
+        data: bytes | None,
+        length: int,
+    ) -> None:
+        """Store a piece of a chunk file on one of this server's targets."""
+        ost = self.target(target_id)
+        before = ost.store.chunk_file_size(inode_id)
+        ost.store.write(inode_id, chunk_file_offset, data, length)
+        grown = ost.store.chunk_file_size(inode_id) - before
+        if grown > 0:
+            self._management.consume(target_id, grown)
+        self.bytes_written += length
+
+    def read_chunk(self, target_id: int, inode_id: int, chunk_file_offset: int, length: int) -> bytes:
+        data = self.target(target_id).store.read(inode_id, chunk_file_offset, length)
+        self.bytes_read += length
+        return data
+
+    def remove_file(self, inode_id: int) -> int:
+        """Drop a file's chunk files on all local targets; returns bytes freed."""
+        freed = 0
+        for tid, ost in self._targets.items():
+            n = ost.store.remove(inode_id)
+            if n:
+                self._management.consume(tid, -n)
+                freed += n
+        return freed

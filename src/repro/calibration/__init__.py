@@ -1,0 +1,29 @@
+"""Model calibration: parameter sets tying the simulator to PlaFRIM.
+
+The paper reports enough anchor points (single-node bandwidths, plateau
+values, per-scenario peaks, noise magnitudes) to pin every model
+parameter; :mod:`repro.calibration.plafrim` packages them as the two
+scenarios, and :mod:`repro.calibration.fitting` provides the helpers
+used to derive/check them.
+"""
+
+from .plafrim import (
+    Calibration,
+    scenario1,
+    scenario2,
+    SCENARIOS,
+    scenario_by_name,
+)
+from .fitting import AnchorCheck, anchor_report, check_anchors, fit_depth_constant
+
+__all__ = [
+    "Calibration",
+    "scenario1",
+    "scenario2",
+    "SCENARIOS",
+    "scenario_by_name",
+    "AnchorCheck",
+    "anchor_report",
+    "check_anchors",
+    "fit_depth_constant",
+]

@@ -1,0 +1,242 @@
+"""The calibrated PlaFRIM model: scenarios 1 and 2.
+
+Anchor points from the paper and the derived parameters:
+
+========================================  =======================================
+Paper observation                          Model parameter
+========================================  =======================================
+1 node x 8 ppn, eth: ~880 MiB/s            client base capacity (eth) = 880
+1 node x 8 ppn, opath: ~1631 MiB/s         client base capacity (opath) = 1630
+stripe 1, 32 nodes, opath: ~1764 MiB/s     storage pool S(1) = 1764
+stripe 4, opath plateau ~6100 (Fig 4b)     pool S(3) = 4900 (6530 via (1,3) split)
+(3,3) ~10.15% over (2,4) (Fig 10)          pool S(2) = 3400, S(4) = 5200
+stripe 8, opath mean ~8064 (Fig 6b)        SAN ramp base 11800 (x0.73 at 32 nodes)
+plateau node count grows with stripe       SAN ramp (a=.25, d_fast=10, d_slow=500)
+  count: ~2/3/14/32 nodes for k=1/2/4/8      -> Figure 11's plateau positions
+sharing all OSTs == sharing none (Fig 13)  SAN depends on *total* concurrency only
+scenario 1 balanced peak: ~2200 MiB/s      per-server ingest = 1100 (10G x 0.923)
+scenario 1 plateau at 4 nodes (Fig 4a)     ingest depth constant = 5
+16 ppn ~= 8 ppn, slight degradation        client contention 0.003/proc past 8
+sigma 139.8 -> 787.9 MiB/s (stripe 1->8)   pool/SAN noise sigmas below
+Fig 2 stabilises at 16-32 GiB              noisy metadata overhead (0.3-0.35 s,
+  and is far more variable at small sizes     sigma 0.4) + epoch noise averaging
+========================================  =======================================
+
+The per-target service curve peak (2000 MiB/s) sits above the pool's
+single-target rate S(1) = 1764 so that the *pool* and the *SAN ramp*
+(the noisy resources) are the binding constraints; the per-target
+curve saturates within a few outstanding requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..beegfs.filesystem import BeeGFSDeploymentSpec, plafrim_deployment
+from ..errors import ConfigError
+from ..storage.client_model import ClientServiceSpec
+from ..storage.san import SanRampSpec
+from ..storage.server import ServerIngestSpec, StorageHostSpec, StoragePoolSpec
+from ..storage.target import TargetServiceSpec
+from ..storage.variability import CompositeNoise, NoiseSpec, SharedStateNoise, StochasticNoise
+from ..topology.builders import ETHERNET_10G, OMNIPATH_100G, NetworkSpec, plafrim_spec, build_platform
+from ..topology.graph import Topology
+
+__all__ = ["Calibration", "scenario1", "scenario2", "SCENARIOS", "scenario_by_name"]
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Every parameter the engines need, for one scenario."""
+
+    name: str
+    description: str
+    network: NetworkSpec
+    client: ClientServiceSpec
+    ingest: ServerIngestSpec
+    target: TargetServiceSpec
+    pool: StoragePoolSpec
+    san: SanRampSpec
+    request_rtt_s: float
+    metadata_overhead_s: float
+    metadata_sigma: float
+    storage_noise: NoiseSpec
+    network_noise: NoiseSpec | None = None
+    # Reads skip the RAID-6 read-modify-write parity penalty, so the
+    # storage side is somewhat faster.  The paper defers reads to future
+    # work ("we expect the observed behaviors to be the same", citing
+    # Chowdhury et al.); this factor is our documented extrapolation.
+    read_storage_factor: float = 1.12
+
+    def __post_init__(self) -> None:
+        if self.request_rtt_s < 0 or self.metadata_overhead_s < 0:
+            raise ConfigError("negative overheads")
+        if self.metadata_sigma < 0:
+            raise ConfigError("negative metadata sigma")
+        if self.read_storage_factor <= 0:
+            raise ConfigError("read factor must be positive")
+
+    @property
+    def san_mib_s(self) -> float:
+        """The global storage ceiling at full concurrency."""
+        return self.san.base_mib_s
+
+    # -- factories -------------------------------------------------------------
+
+    def platform(self, num_compute_nodes: int = 64) -> Topology:
+        """Build the scenario's topology."""
+        return build_platform(plafrim_spec(self.network, num_compute_nodes))
+
+    def deployment(self, **kwargs: object) -> BeeGFSDeploymentSpec:
+        """The PlaFRIM BeeGFS deployment (see ``plafrim_deployment``)."""
+        kwargs.setdefault("keep_data", False)
+        return plafrim_deployment(**kwargs)  # type: ignore[arg-type]
+
+    def storage_hosts(
+        self, deployment: BeeGFSDeploymentSpec, operation: str = "write"
+    ) -> list[StorageHostSpec]:
+        """Per-host performance specs matching a deployment's targets.
+
+        For ``operation="read"`` the storage-side peaks are scaled by
+        ``read_storage_factor`` (no parity penalty).
+        """
+        factor = self.read_storage_factor if operation == "read" else 1.0
+        target = replace(self.target, peak_mib_s=self.target.peak_mib_s * factor)
+        pool = replace(self.pool, per_target_mib_s=self.pool.per_target_mib_s * factor)
+        return [
+            StorageHostSpec(
+                host=host,
+                target_ids=tuple(tids),
+                target_spec=target,
+                ingest_spec=self.ingest,
+                pool_spec=pool,
+            )
+            for host, tids in deployment.servers
+        ]
+
+    def san_for(self, operation: str = "write") -> SanRampSpec:
+        """The SAN ramp, scaled for the operation direction."""
+        if operation == "read":
+            return replace(self.san, base_mib_s=self.san.base_mib_s * self.read_storage_factor)
+        return self.san
+
+    def make_noise(self) -> CompositeNoise:
+        """A fresh (single-run) noise model instance.
+
+        Storage noise is *shared-state* (one multiplier for the whole
+        storage stack — see :class:`SharedStateNoise`); network noise,
+        when present, varies per server link.
+        """
+        models: list[StochasticNoise | SharedStateNoise] = [
+            SharedStateNoise(self.storage_noise)
+        ]
+        if self.network_noise is not None:
+            models.append(StochasticNoise(self.network_noise))
+        return CompositeNoise(tuple(models))
+
+    # -- analytic anchors ---------------------------------------------------------
+
+    @property
+    def per_server_network_mib_s(self) -> float:
+        """Effective per-server ingest at full concurrency."""
+        return self.ingest.effective_link_mib_s
+
+    @property
+    def per_server_storage_mib_s(self) -> float:
+        """Storage-side per-server ceiling with all four targets busy."""
+        return self.pool.aggregate_mib_s(4)
+
+    @property
+    def network_bound(self) -> bool:
+        """True for scenario 1: the network is slower than the storage."""
+        return self.per_server_network_mib_s < self.pool.aggregate_mib_s(1)
+
+    def with_overrides(self, **kwargs: object) -> "Calibration":
+        """A modified copy (ablation studies)."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+# The per-target curve saturates almost immediately (one busy process
+# fills a target's command queue); system-level concurrency effects
+# live in the SAN ramp below.
+_TARGET_SPEC = TargetServiceSpec(peak_mib_s=2000.0, depth_constant=2.0)
+_POOL_SPEC = StoragePoolSpec(
+    per_target_mib_s=1764.0,
+    scaling=(1.0, 0.964, 0.926, 0.737),
+    tail_decay=0.95,
+)
+_SAN_SPEC = SanRampSpec(base_mib_s=11800.0, fast_fraction=0.25, depth_fast=10.0, depth_slow=500.0)
+
+_STORAGE_NOISE = NoiseSpec(
+    sigma_run=0.08,
+    sigma_epoch=0.05,
+    epoch_length_s=4.0,
+    transient_prob=0.01,
+    transient_severity=0.55,
+    scope_prefixes=("pool:", "san:", "ost:"),
+)
+
+
+def scenario1() -> Calibration:
+    """Scenario 1 — 10 GbE: the network is slower than the storage."""
+    return Calibration(
+        name="scenario1",
+        description="network is slower than storage (10 Gbit/s Ethernet)",
+        network=ETHERNET_10G,
+        client=ClientServiceSpec(base_mib_s=880.0),
+        ingest=ServerIngestSpec(
+            link_mib_s=ETHERNET_10G.link_mib_s,  # ~1192 MiB/s raw
+            protocol_efficiency=0.923,  # -> ~1100 MiB/s effective
+            depth_constant=5.0,
+        ),
+        target=_TARGET_SPEC,
+        pool=_POOL_SPEC,
+        san=_SAN_SPEC,
+        request_rtt_s=3.0e-4,
+        metadata_overhead_s=0.35,
+        metadata_sigma=0.4,
+        storage_noise=_STORAGE_NOISE,
+        network_noise=NoiseSpec(
+            sigma_run=0.012,
+            sigma_epoch=0.022,
+            epoch_length_s=4.0,
+            transient_prob=0.004,
+            transient_severity=0.6,
+            scope_prefixes=("ingest:",),
+        ),
+    )
+
+
+def scenario2() -> Calibration:
+    """Scenario 2 — 100 Gb Omnipath: the storage is slower than the network."""
+    return Calibration(
+        name="scenario2",
+        description="storage is slower than network (100 Gbit/s Omnipath)",
+        network=OMNIPATH_100G,
+        client=ClientServiceSpec(base_mib_s=1630.0),
+        ingest=ServerIngestSpec(
+            link_mib_s=OMNIPATH_100G.link_mib_s,  # ~11921 MiB/s raw
+            protocol_efficiency=0.92,
+            depth_constant=5.0,
+        ),
+        target=_TARGET_SPEC,
+        pool=_POOL_SPEC,
+        san=_SAN_SPEC,
+        request_rtt_s=1.0e-4,
+        metadata_overhead_s=0.30,
+        metadata_sigma=0.4,
+        storage_noise=_STORAGE_NOISE,
+        network_noise=None,
+    )
+
+
+SCENARIOS = ("scenario1", "scenario2")
+
+
+def scenario_by_name(name: str) -> Calibration:
+    """Look a scenario up by its registry name."""
+    if name == "scenario1":
+        return scenario1()
+    if name == "scenario2":
+        return scenario2()
+    raise ConfigError(f"unknown scenario {name!r}; known: {SCENARIOS}")

@@ -1,0 +1,217 @@
+"""Command-line interface: ``beegfs-repro`` / ``python -m repro``.
+
+Subcommands
+-----------
+
+``list``
+    Show every registered experiment with its paper reference.
+``run EXP_ID [--reps N] [--seed S] [--out DIR]``
+    Run one experiment (or ``all``), print its figure, optionally
+    archive the raw records as CSV — the way the paper publishes its
+    results repository.
+``calibration``
+    Print the calibrated model parameters and their paper anchors.
+``placements [--stripe-count K] [--samples N]``
+    Show the (min, max) allocation distribution of each chooser.
+``recommend [--scenario S | --system FILE] [--nodes N] [--ppn P]``
+    Run the stripe-configuration advisor.
+``system export PATH [--scenario S]``
+    Write a JSON system description to edit for your own cluster.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis.allocation import placement_distribution, random_placement_probabilities
+from .calibration.fitting import anchor_report
+from .calibration.plafrim import SCENARIOS, scenario_by_name
+from .experiments.registry import get_experiment, list_experiments
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="beegfs-repro",
+        description="Reproduction of 'The role of storage target allocation in "
+        "applications' I/O performance with BeeGFS' (CLUSTER 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the reproducible experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("exp_id", help="experiment id (see 'list'), or 'all'")
+    run_p.add_argument("--reps", type=int, default=None, help="repetitions (default: paper's)")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--out", type=Path, default=None, help="directory for CSV records")
+    run_p.add_argument("--quiet", action="store_true", help="suppress progress lines")
+
+    sub.add_parser("calibration", help="print calibrated parameters and anchors")
+
+    place_p = sub.add_parser("placements", help="chooser placement distributions")
+    place_p.add_argument("--stripe-count", type=int, default=4)
+    place_p.add_argument("--samples", type=int, default=300)
+
+    rec_p = sub.add_parser("recommend", help="stripe configuration advisor")
+    rec_p.add_argument("--scenario", choices=list(SCENARIOS), default="scenario1")
+    rec_p.add_argument("--system", type=Path, default=None,
+                       help="JSON system file (see 'system export') instead of a scenario")
+    rec_p.add_argument("--nodes", type=int, default=8)
+    rec_p.add_argument("--ppn", type=int, default=8)
+
+    exp_p = sub.add_parser("explain", help="bottleneck attribution of one run")
+    exp_p.add_argument("--scenario", choices=list(SCENARIOS), default="scenario1")
+    exp_p.add_argument("--nodes", type=int, default=8)
+    exp_p.add_argument("--ppn", type=int, default=8)
+    exp_p.add_argument("--stripe-count", type=int, default=4)
+    exp_p.add_argument("--chooser", default=None)
+    exp_p.add_argument("--rep", type=int, default=0)
+
+    sys_p = sub.add_parser("system", help="export a system description as JSON")
+    sys_p.add_argument("action", choices=["export"])
+    sys_p.add_argument("path", type=Path)
+    sys_p.add_argument("--scenario", choices=list(SCENARIOS), default="scenario1")
+    return parser
+
+
+def _cmd_list() -> int:
+    for info in list_experiments():
+        print(f"{info.exp_id:10s} {info.paper_ref:42s} {info.title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ids = [i.exp_id for i in list_experiments()] if args.exp_id == "all" else [args.exp_id]
+    progress = None if args.quiet else lambda msg: print(f"  .. {msg}", file=sys.stderr)
+    for exp_id in ids:
+        info = get_experiment(exp_id)
+        reps = args.reps if args.reps is not None else info.default_repetitions
+        kwargs = {"repetitions": reps, "seed": args.seed}
+        print(f"== {info.exp_id}: {info.title} ({info.paper_ref}, {reps} reps) ==")
+        output = info.run(progress=progress, **kwargs)
+        print(output.figure)
+        if output.notes:
+            print(f"\nnotes: {output.notes}")
+        if args.out is not None and len(output.records) > 0:
+            path = args.out / f"{exp_id}.csv"
+            output.records.write_csv(path)
+            print(f"records written to {path}")
+        print()
+    return 0
+
+
+def _cmd_calibration() -> int:
+    for name in SCENARIOS:
+        calib = scenario_by_name(name)
+        print(f"== {calib.name}: {calib.description} ==")
+        print(f"  client/node (8 ppn): {calib.client.node_capacity(8):8.1f} MiB/s")
+        print(f"  server ingest (sat): {calib.per_server_network_mib_s:8.1f} MiB/s")
+        print(f"  pool S(1)..S(4):     "
+              + ", ".join(f"{calib.pool.aggregate_mib_s(m):.0f}" for m in range(1, 5)))
+        print(f"  SAN ceiling:         {calib.san_mib_s:8.1f} MiB/s")
+        print(f"  request RTT:         {calib.request_rtt_s * 1e6:8.0f} us")
+        print(f"  metadata overhead:   {calib.metadata_overhead_s:8.2f} s")
+        print("  anchors (paper vs model):")
+        for check in anchor_report(calib):
+            print(
+                f"    {check.name}: paper {check.paper_value:.0f}, "
+                f"model {check.model_value:.0f} ({check.relative_error:+.1%})"
+            )
+        print()
+    return 0
+
+
+def _cmd_placements(args: argparse.Namespace) -> int:
+    calib = scenario_by_name("scenario1")
+    deployment = calib.deployment(stripe_count=args.stripe_count, keep_data=False)
+    print(f"(min, max) distributions for stripe count {args.stripe_count}:")
+    for chooser in ("roundrobin", "random", "balanced", "capacity"):
+        dist = placement_distribution(
+            deployment, args.stripe_count, chooser=chooser, samples=args.samples
+        )
+        probs = ", ".join(f"({lo},{hi}): {p * 100:.0f}%" for (lo, hi), p in dist.probabilities.items())
+        print(f"  {chooser:10s} {probs}")
+    exact = random_placement_probabilities(args.stripe_count)
+    probs = ", ".join(f"({lo},{hi}): {p * 100:.1f}%" for (lo, hi), p in exact.items())
+    print(f"  random (exact hypergeometric): {probs}")
+    return 0
+
+
+def _cmd_recommend(args: argparse.Namespace) -> int:
+    from .analysis.advisor import advise
+
+    if args.system is not None:
+        from .config import load_system
+
+        calib, _ = load_system(args.system)
+    else:
+        calib = scenario_by_name(args.scenario)
+    print(f"advising for {calib.name} ({calib.description}), "
+          f"{args.nodes} nodes x {args.ppn} ppn:\n")
+    print(advise(calib, num_nodes=args.nodes, ppn=args.ppn).to_table())
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .engine.base import EngineOptions
+    from .engine.fluid_runner import FluidEngine
+    from .workload.generator import single_application
+
+    calib = scenario_by_name(args.scenario)
+    topology = calib.platform(max(args.nodes, 2))
+    kwargs = {"stripe_count": args.stripe_count}
+    if args.chooser:
+        kwargs["chooser"] = args.chooser
+    engine = FluidEngine(
+        calib, topology, calib.deployment(**kwargs), seed=0, options=EngineOptions()
+    )
+    app = single_application(topology, args.nodes, ppn=args.ppn)
+    result, report = engine.explain([app], rep=args.rep)
+    run = result.single
+    print(
+        f"{calib.name}: {args.nodes} nodes x {args.ppn} ppn, stripe "
+        f"{args.stripe_count}, placement {run.placement_min_max}: "
+        f"{run.bandwidth_mib_s:.0f} MiB/s\n"
+    )
+    print(report.to_text())
+    by_kind = ", ".join(f"{k}: {v * 100:.0f}%" for k, v in report.by_kind().items() if v > 0.01)
+    print(f"\nby class: {by_kind}")
+    return 0
+
+
+def _cmd_system(args: argparse.Namespace) -> int:
+    from .config import save_system
+
+    calib = scenario_by_name(args.scenario)
+    save_system(args.path, calib, calib.deployment())
+    print(f"system description for {calib.name} written to {args.path}")
+    print("edit the JSON to describe your own cluster, then e.g.:")
+    print(f"  beegfs-repro recommend --system {args.path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "calibration":
+        return _cmd_calibration()
+    if args.command == "placements":
+        return _cmd_placements(args)
+    if args.command == "recommend":
+        return _cmd_recommend(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
+    if args.command == "system":
+        return _cmd_system(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,176 @@
+"""Configuration serialization: calibrations and deployments as JSON.
+
+The methodology's portability claim ("a methodology that can be applied
+in other systems") needs the model parameters to travel: this module
+round-trips :class:`~repro.calibration.plafrim.Calibration` and
+:class:`~repro.beegfs.filesystem.BeeGFSDeploymentSpec` through plain
+JSON, so a user can describe *their* cluster in a file and run every
+experiment and the advisor against it.
+
+Example file (see ``save_calibration`` for the full schema)::
+
+    {
+      "calibration": { "name": "mycluster", ... },
+      "deployment": { "servers": [["storage1", [101, 102]], ...], ... }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any
+
+from .beegfs.filesystem import BeeGFSDeploymentSpec
+from .beegfs.meta import DirectoryConfig
+from .calibration.plafrim import Calibration
+from .errors import ConfigError
+from .storage.client_model import ClientServiceSpec
+from .storage.san import SanRampSpec
+from .storage.server import ServerIngestSpec, StoragePoolSpec
+from .storage.target import TargetServiceSpec
+from .storage.variability import NoiseSpec
+from .topology.builders import NetworkSpec
+
+__all__ = [
+    "calibration_to_dict",
+    "calibration_from_dict",
+    "deployment_to_dict",
+    "deployment_from_dict",
+    "save_system",
+    "load_system",
+]
+
+
+def calibration_to_dict(calibration: Calibration) -> dict[str, Any]:
+    """A plain-JSON representation of a calibration."""
+    out = {
+        "name": calibration.name,
+        "description": calibration.description,
+        "network": asdict(calibration.network),
+        "client": asdict(calibration.client),
+        "ingest": asdict(calibration.ingest),
+        "target": asdict(calibration.target),
+        "pool": asdict(calibration.pool),
+        "san": asdict(calibration.san),
+        "request_rtt_s": calibration.request_rtt_s,
+        "metadata_overhead_s": calibration.metadata_overhead_s,
+        "metadata_sigma": calibration.metadata_sigma,
+        "storage_noise": asdict(calibration.storage_noise),
+        "network_noise": (
+            asdict(calibration.network_noise) if calibration.network_noise is not None else None
+        ),
+        "read_storage_factor": calibration.read_storage_factor,
+    }
+    return out
+
+
+def _require(data: dict[str, Any], key: str, what: str) -> Any:
+    try:
+        return data[key]
+    except KeyError:
+        raise ConfigError(f"{what}: missing required key {key!r}") from None
+
+
+def _tupled(data: dict[str, Any], *keys: str) -> dict[str, Any]:
+    out = dict(data)
+    for key in keys:
+        if key in out and out[key] is not None:
+            out[key] = tuple(out[key])
+    return out
+
+
+def calibration_from_dict(data: dict[str, Any]) -> Calibration:
+    """Inverse of :func:`calibration_to_dict` (validating)."""
+    try:
+        network_noise = data.get("network_noise")
+        return Calibration(
+            name=_require(data, "name", "calibration"),
+            description=data.get("description", ""),
+            network=NetworkSpec(**_require(data, "network", "calibration")),
+            client=ClientServiceSpec(**_require(data, "client", "calibration")),
+            ingest=ServerIngestSpec(**_require(data, "ingest", "calibration")),
+            target=TargetServiceSpec(**_require(data, "target", "calibration")),
+            pool=StoragePoolSpec(**_tupled(_require(data, "pool", "calibration"), "scaling")),
+            san=SanRampSpec(**_require(data, "san", "calibration")),
+            request_rtt_s=float(_require(data, "request_rtt_s", "calibration")),
+            metadata_overhead_s=float(_require(data, "metadata_overhead_s", "calibration")),
+            metadata_sigma=float(data.get("metadata_sigma", 0.4)),
+            storage_noise=NoiseSpec(
+                **_tupled(_require(data, "storage_noise", "calibration"), "scope_prefixes")
+            ),
+            network_noise=(
+                NoiseSpec(**_tupled(network_noise, "scope_prefixes"))
+                if network_noise is not None
+                else None
+            ),
+            read_storage_factor=float(data.get("read_storage_factor", 1.12)),
+        )
+    except TypeError as err:
+        raise ConfigError(f"invalid calibration document: {err}") from err
+
+
+def deployment_to_dict(deployment: BeeGFSDeploymentSpec) -> dict[str, Any]:
+    """A plain-JSON representation of a deployment."""
+    return {
+        "servers": [[host, list(tids)] for host, tids in deployment.servers],
+        "target_capacity_bytes": deployment.target_capacity_bytes,
+        "default_config": asdict(deployment.default_config),
+        "default_chooser": deployment.default_chooser,
+        "target_ordering": (
+            list(deployment.target_ordering) if deployment.target_ordering is not None else None
+        ),
+        "mdt_capacity_bytes": deployment.mdt_capacity_bytes,
+        "keep_data": deployment.keep_data,
+    }
+
+
+def deployment_from_dict(data: dict[str, Any]) -> BeeGFSDeploymentSpec:
+    """Inverse of :func:`deployment_to_dict` (validating)."""
+    try:
+        servers = tuple(
+            (host, tuple(int(t) for t in tids))
+            for host, tids in _require(data, "servers", "deployment")
+        )
+        ordering = data.get("target_ordering")
+        return BeeGFSDeploymentSpec(
+            servers=servers,
+            target_capacity_bytes=int(data.get("target_capacity_bytes", 16 * 1024**4)),
+            default_config=DirectoryConfig(**data.get("default_config", {})),
+            default_chooser=data.get("default_chooser", "roundrobin"),
+            target_ordering=tuple(int(t) for t in ordering) if ordering is not None else None,
+            mdt_capacity_bytes=int(data.get("mdt_capacity_bytes", int(1.6 * 1024**4))),
+            keep_data=bool(data.get("keep_data", False)),
+        )
+    except TypeError as err:
+        raise ConfigError(f"invalid deployment document: {err}") from err
+
+
+def save_system(
+    path: str | Path,
+    calibration: Calibration,
+    deployment: BeeGFSDeploymentSpec | None = None,
+) -> None:
+    """Write a system description (calibration + optional deployment)."""
+    document: dict[str, Any] = {"calibration": calibration_to_dict(calibration)}
+    if deployment is not None:
+        document["deployment"] = deployment_to_dict(deployment)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def load_system(path: str | Path) -> tuple[Calibration, BeeGFSDeploymentSpec | None]:
+    """Read a system description written by :func:`save_system`."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        raise ConfigError(f"cannot read system file {path}: {err}") from err
+    if "calibration" not in document:
+        raise ConfigError(f"{path}: missing 'calibration' section")
+    calibration = calibration_from_dict(document["calibration"])
+    deployment = (
+        deployment_from_dict(document["deployment"]) if "deployment" in document else None
+    )
+    return calibration, deployment

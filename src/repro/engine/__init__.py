@@ -1,0 +1,27 @@
+"""Execution engines: turning workloads into timed runs.
+
+Two engines share the same inputs (a platform topology, a BeeGFS
+instance, a calibration, a set of applications):
+
+* :class:`~repro.engine.fluid_runner.FluidEngine` — the fast fluid
+  model used by all experiments: per-(node, target) flows, max-min
+  fair rates, piecewise integration.  Sub-millisecond per run.
+* :class:`~repro.engine.des_runner.DESEngine` — a request-level
+  processor-sharing discrete-event simulation: every transfer of every
+  process is an individual flow released only when the process's
+  previous transfer completed (blocking POSIX semantics).  Orders of
+  magnitude slower; used to cross-validate the fluid engine on small
+  configurations.
+"""
+
+from .result import ApplicationResult, RunResult
+from .fluid_runner import EngineOptions, FluidEngine
+from .des_runner import DESEngine
+
+__all__ = [
+    "ApplicationResult",
+    "RunResult",
+    "EngineOptions",
+    "FluidEngine",
+    "DESEngine",
+]

@@ -1,0 +1,300 @@
+"""Shared engine machinery: preparing a run.
+
+Both engines perform the same setup — build a fresh file system for the
+repetition, create the applications' files through the metadata path
+(chooser included), derive per-(node, target) volumes, and wire the
+calibrated capacity providers.  :class:`EngineBase` owns that;
+subclasses integrate time differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..beegfs.filesystem import BeeGFS, BeeGFSDeploymentSpec
+from ..beegfs.meta import FileInode
+from ..calibration.plafrim import Calibration
+from ..errors import ExperimentError
+from ..netsim.flows import FluidFlow
+from ..netsim.fluid import CapacityProvider, ConstantCapacity, NoiseModel, NoNoise
+from ..netsim.latency import BlockingRequestModel
+from ..rng import SeedTree, stable_hash32
+from ..storage.san import SanModel
+from ..storage.server import ServerIngestModel, StorageHostSpec, StoragePoolModel
+from ..storage.target import StorageTargetModel
+from ..topology.builders import SWITCH_NAME
+from ..topology.graph import Topology
+from ..workload.application import Application
+from ..workload.patterns import AccessPattern
+
+__all__ = ["EngineOptions", "PreparedRun", "EngineBase", "FABRIC_RESOURCE", "SAN_RESOURCE"]
+
+# Beyond this many per-rank regions, per-target volumes are computed by
+# the uniform-striping approximation instead of exact region walking.
+_EXACT_REGION_LIMIT = 4096
+
+FABRIC_RESOURCE = f"fabric:{SWITCH_NAME}"
+SAN_RESOURCE = "san:storage"
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Knobs shared by the engines."""
+
+    noise_enabled: bool = True
+    observe_servers: bool = False
+    include_metadata_overhead: bool = True
+    cap_iterations: int = 4
+    # Candidate counts of *other users'* file creations interposed
+    # between consecutive application file creations (one draw per
+    # gap, uniform over the tuple).  Advances stateful choosers the
+    # way a busy production system does: with PlaFRIM's round-robin
+    # and (0, 1, 2), two stripe-4 apps share all four targets in 1/3
+    # of runs and none otherwise — the paper's Section IV-D mixture.
+    interleaved_creations: tuple[int, ...] = ()
+
+
+@dataclass
+class PreparedRun:
+    """Everything a repetition needs, ready to integrate."""
+
+    apps: tuple[Application, ...]
+    fs: BeeGFS
+    providers: dict[str, CapacityProvider]
+    flows: list[FluidFlow]
+    inodes: dict[str, dict[int | None, FileInode]]
+    app_targets: dict[str, tuple[int, ...]]
+    app_stripe: dict[str, int]
+    target_host: dict[int, str]
+    hosts: list[StorageHostSpec]
+    noise: NoiseModel
+    latency: BlockingRequestModel
+    seeds: SeedTree
+    routes: dict[tuple[str, int], tuple[str, ...]] = field(default_factory=dict)
+
+
+def _metadata_overheads(calibration, options, prepared: "PreparedRun"):
+    """Per-application metadata/startup overhead draws for one run.
+
+    File create/open/close involves MDS round trips and target
+    allocation whose latency varies a lot on a production system; the
+    lognormal draw (sigma ``metadata_sigma``) is what makes small data
+    sizes far more variable than large ones (Figure 2).  Noise-free
+    runs (``noise_enabled=False``) use the deterministic mean.
+    """
+    if not options.include_metadata_overhead:
+        return lambda app_id: 0.0
+    base = calibration.metadata_overhead_s
+    sigma = calibration.metadata_sigma
+    if not options.noise_enabled or sigma == 0:
+        return lambda app_id: base
+    rng = prepared.seeds.rng("metadata-overhead")
+    draws = {
+        app.app_id: base * float(np.exp(rng.normal(-0.5 * sigma * sigma, sigma)))
+        for app in prepared.apps
+    }
+    return lambda app_id: draws[app_id]
+
+
+class EngineBase:
+    """Common construction/prepare logic of the engines."""
+
+    def __init__(
+        self,
+        calibration: Calibration,
+        topology: Topology,
+        deployment: BeeGFSDeploymentSpec,
+        seed: int = 0,
+        options: EngineOptions = EngineOptions(),
+    ):
+        self.calibration = calibration
+        self.topology = topology
+        self.deployment = deployment
+        self.seed = seed
+        self.options = options
+        self._seeds = SeedTree(seed).child(type(self).__name__)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _create_files(self, fs: BeeGFS, app: Application) -> dict[int | None, FileInode]:
+        """Create the application's files; keys are ranks (None = shared)."""
+        if not fs.namespace.is_dir(app.directory):
+            fs.mkdir(app.directory)
+        if app.config.pattern.shared_file:
+            return {None: fs.create_file(app.file_path())}
+        return {rank: fs.create_file(app.file_path(rank)) for rank in range(app.nprocs)}
+
+    @staticmethod
+    def per_target_volume(app: Application, rank: int, inode: FileInode) -> dict[int, float]:
+        """Bytes of ``rank``'s writes landing on each target of its file."""
+        pattern = inode.pattern
+        total_regions = app.config.segments * (
+            app.config.transfers_per_block
+            if app.config.pattern is AccessPattern.N1_STRIDED
+            else 1
+        )
+        if total_regions > _EXACT_REGION_LIMIT:
+            # Uniform approximation: many transfers round-robin evenly.
+            share = app.config.bytes_per_process / pattern.stripe_count
+            return {t: share for t in pattern.targets}
+        out: dict[int, float] = {}
+        for region in app.config.regions(rank, app.nprocs):
+            for tid, n in pattern.bytes_per_target(region.length, region.offset).items():
+                if n:
+                    out[tid] = out.get(tid, 0.0) + n
+        return out
+
+    def _route_resources(self, node: str, server: str, target_id: int) -> tuple[str, ...]:
+        links = self.topology.route(node, server)
+        resources = [f"client:{node}", links[0].resource_id, FABRIC_RESOURCE]
+        for link in links[1:]:
+            resources.append(link.resource_id)
+        resources.extend(
+            [f"ingest:{server}", SAN_RESOURCE, f"pool:{server}", f"ost:{target_id}"]
+        )
+        return tuple(resources)
+
+    def _check_node_ownership(self, apps: tuple[Application, ...]) -> dict[str, str]:
+        node_owner: dict[str, str] = {}
+        ids = [a.app_id for a in apps]
+        if len(set(ids)) != len(ids):
+            raise ExperimentError(f"duplicate app ids: {ids}")
+        for app in apps:
+            for node in app.nodes:
+                if node not in self.topology:
+                    raise ExperimentError(f"{app.app_id}: unknown node {node!r}")
+                if node_owner.setdefault(node, app.app_id) != app.app_id:
+                    raise ExperimentError(
+                        f"node {node!r} allocated to both {node_owner[node]!r} "
+                        f"and {app.app_id!r} (jobs must not share nodes)"
+                    )
+        return node_owner
+
+    # -- the heavy lifting ----------------------------------------------------------
+
+    def prepare(self, apps: list[Application] | tuple[Application, ...], rep: int = 0) -> PreparedRun:
+        """Build the complete simulation input for one repetition."""
+        apps = tuple(apps)
+        if not apps:
+            raise ExperimentError("no applications to run")
+        node_owner = self._check_node_ownership(apps)
+
+        operations = {a.config.operation for a in apps}
+        if len(operations) > 1:
+            raise ExperimentError(
+                "mixed read/write runs are not supported (storage-side rates differ)"
+            )
+        operation = operations.pop()
+
+        rep_seeds = self._seeds.child("rep", rep)
+        fs = BeeGFS(self.deployment, seed=stable_hash32(self.seed, "fs", rep))
+        calib = self.calibration
+
+        providers: dict[str, CapacityProvider] = {}
+        switch = self.topology.host(SWITCH_NAME)
+        providers[FABRIC_RESOURCE] = ConstantCapacity(float(switch.attrs["fabric_mib_s"]))
+        hosts = calib.storage_hosts(self.deployment, operation=operation)
+        providers[SAN_RESOURCE] = SanModel(calib.san_for(operation))
+        target_host: dict[int, str] = {}
+        for host_spec in hosts:
+            for link in self.topology.route(host_spec.host, SWITCH_NAME):
+                providers.setdefault(link.resource_id, ConstantCapacity(link.capacity_mib_s))
+            providers[f"ingest:{host_spec.host}"] = ServerIngestModel(
+                host_spec.host, host_spec.ingest_spec
+            )
+            providers[host_spec.pool_resource_id] = StoragePoolModel(
+                host_spec.host, host_spec.pool_spec
+            )
+            for tid in host_spec.target_ids:
+                providers[f"ost:{tid}"] = StorageTargetModel(str(tid), host_spec.spec_for(tid))
+                target_host[tid] = host_spec.host
+
+        app_by_id = {a.app_id: a for a in apps}
+        for node, owner in node_owner.items():
+            ppn = app_by_id[owner].ppn
+            providers[f"client:{node}"] = ConstantCapacity(calib.client.node_capacity(ppn))
+            for link in self.topology.route(node, SWITCH_NAME):
+                providers.setdefault(link.resource_id, ConstantCapacity(link.capacity_mib_s))
+
+        flows: list[FluidFlow] = []
+        routes: dict[tuple[str, int], tuple[str, ...]] = {}
+        inodes_by_app: dict[str, dict[int | None, FileInode]] = {}
+        app_targets: dict[str, tuple[int, ...]] = {}
+        app_stripe: dict[str, int] = {}
+        background_rng = rep_seeds.rng("background-creations")
+        for app_index, app in enumerate(apps):
+            if app_index > 0 and self.options.interleaved_creations:
+                if not fs.namespace.is_dir("/other-users"):
+                    fs.mkdir("/other-users")
+                gap = int(background_rng.choice(self.options.interleaved_creations))
+                for j in range(gap):
+                    fs.create_file(f"/other-users/bg-{app_index}-{j}.dat")
+            inodes = self._create_files(fs, app)
+            inodes_by_app[app.app_id] = inodes
+            app_stripe[app.app_id] = next(iter(inodes.values())).pattern.stripe_count
+            volumes: dict[tuple[str, int], float] = {}
+            weights: dict[tuple[str, int], float] = {}
+            nprocs_w: dict[tuple[str, int], float] = {}
+            targets: set[int] = set()
+            for node in app.nodes:
+                for rank in app.ranks_of_node(node):
+                    inode = inodes[None] if None in inodes else inodes[rank]
+                    k = inode.pattern.stripe_count
+                    # A blocking transfer of t bytes holds one chunk
+                    # request per crossed chunk concurrently, so each
+                    # process contributes e/k outstanding requests to
+                    # each of its k targets (e = chunks per transfer) —
+                    # clamped below by the node's client RPC slots.
+                    e = max(1, app.config.transfer_size // inode.pattern.chunk_size)
+                    for tid, nbytes in self.per_target_volume(app, rank, inode).items():
+                        volumes[(node, tid)] = volumes.get((node, tid), 0.0) + nbytes
+                        weights[(node, tid)] = weights.get((node, tid), 0.0) + e / k
+                        nprocs_w[(node, tid)] = nprocs_w.get((node, tid), 0.0) + 1.0 / k
+                        targets.add(tid)
+            app_targets[app.app_id] = tuple(sorted(targets))
+            # The client keeps at most ``max_inflight_requests`` chunk
+            # requests outstanding per node: extra processes queue at
+            # the client instead of adding storage-side parallelism
+            # (Lesson 3), so per-(node, target) depth is clamped.
+            slot_cap = calib.client.max_inflight_requests / app_stripe[app.app_id]
+            for key in weights:
+                weights[key] = min(weights[key], slot_cap)
+            for (node, tid), volume in sorted(volumes.items()):
+                server = target_host[tid]
+                route = self._route_resources(node, server, tid)
+                routes[(node, tid)] = route
+                flows.append(
+                    FluidFlow(
+                        flow_id=f"{app.app_id}:{node}:{tid}",
+                        resources=route,
+                        volume_bytes=volume,
+                        weight=weights[(node, tid)],
+                        nprocs=nprocs_w[(node, tid)],
+                        start_time=app.start_time,
+                        request_size_bytes=float(app.config.transfer_size),
+                        tags={"app": app.app_id, "node": node, "target": tid, "server": server},
+                    )
+                )
+
+        latency = BlockingRequestModel(
+            request_size_bytes=apps[0].config.transfer_size,
+            round_trip_latency_s=calib.request_rtt_s,
+        )
+        noise: NoiseModel = calib.make_noise() if self.options.noise_enabled else NoNoise()
+        return PreparedRun(
+            apps=apps,
+            fs=fs,
+            providers=providers,
+            flows=flows,
+            inodes=inodes_by_app,
+            app_targets=app_targets,
+            app_stripe=app_stripe,
+            target_host=target_host,
+            hosts=hosts,
+            noise=noise,
+            latency=latency,
+            seeds=rep_seeds,
+            routes=routes,
+        )

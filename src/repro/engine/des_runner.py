@@ -1,0 +1,280 @@
+"""Request-level discrete-event engine (processor sharing).
+
+Every process issues its transfers one at a time, exactly as IOR's
+blocking POSIX writes do: a 1 MiB transfer splits into its chunk
+extents (with 512 KiB chunks, two extents on two different targets),
+the extents progress concurrently under max-min fair processor sharing
+of the calibrated resources, and the process issues its next transfer
+one request round-trip after the previous one completed.
+
+This engine makes no fluid-scale approximations — no aggregate flows,
+no latency *model* (latency is an explicit gap) — so it serves as the
+ground truth against which the fluid engine is validated
+(``tests/test_engine/test_cross_validation.py``).  The price is cost:
+event count scales with the number of transfers, so use it with small
+volumes (a guard raises beyond ``max_requests``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ExperimentError, SimulationError
+from ..netsim.fluid import ResourceContext
+from ..netsim.maxmin import max_min_rates
+from ..units import MiB
+from ..workload.application import Application
+from .base import EngineBase, PreparedRun, _metadata_overheads
+from .result import ApplicationResult, RunResult
+
+__all__ = ["DESEngine"]
+
+_TIME_EPS = 1e-12
+_BYTES_EPS = 1e-3
+
+
+@dataclass
+class _Extent:
+    """One in-flight piece of a transfer on one target."""
+
+    remaining: float
+    resource_idxs: tuple[int, ...]
+    target: int
+    proc: "_Proc"
+
+
+@dataclass
+class _Proc:
+    """One application process: its transfer stream and its state."""
+
+    app_id: str
+    rank: int
+    transfers: "list[list[tuple[int, float]]]"  # per transfer: [(target, bytes)] per chunk
+    next_transfer: int = 0
+    outstanding: int = 0
+    finished_at: float | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.next_transfer >= len(self.transfers) and self.outstanding == 0
+
+
+class DESEngine(EngineBase):
+    """Request-level cross-validation engine."""
+
+    max_requests = 120_000
+    # Per-process start skew; see the arrival-heap comment in _integrate.
+    startup_jitter_s = 0.002
+
+    def run(self, apps: list[Application] | tuple[Application, ...], rep: int = 0) -> RunResult:
+        prepared = self.prepare(apps, rep)
+        procs = self._build_procs(prepared)
+        total_transfers = sum(len(p.transfers) for p in procs)
+        if total_transfers > self.max_requests:
+            raise ExperimentError(
+                f"DES run would issue {total_transfers} transfers "
+                f"(> {self.max_requests}); reduce the data volume"
+            )
+        return self._integrate(prepared, procs)
+
+    # -- setup -----------------------------------------------------------------
+
+    def _build_procs(self, prepared: PreparedRun) -> list[_Proc]:
+        procs: list[_Proc] = []
+        for app in prepared.apps:
+            inodes = prepared.inodes[app.app_id]
+            for rank in range(app.nprocs):
+                inode = inodes[None] if None in inodes else inodes[rank]
+                transfers: list[list[tuple[int, float]]] = []
+                for tr in app.config.transfers(rank, app.nprocs):
+                    # One concurrent chunk request per crossed chunk —
+                    # BeeGFS issues chunk requests individually, so two
+                    # requests to the *same* target still count twice
+                    # toward its queue depth.
+                    transfers.append(
+                        [
+                            (ext.target_id, float(ext.length))
+                            for ext in inode.pattern.extents(tr.offset, tr.length)
+                        ]
+                    )
+                procs.append(_Proc(app_id=app.app_id, rank=rank, transfers=transfers))
+        return procs
+
+    # -- the event loop ----------------------------------------------------------
+
+    def _integrate(self, prepared: PreparedRun, procs: list[_Proc]) -> RunResult:
+        rids = list(prepared.providers)
+        rid_index = {rid: i for i, rid in enumerate(rids)}
+        providers = [prepared.providers[rid] for rid in rids]
+        route_idx = {
+            key: tuple(rid_index[r] for r in route) for key, route in prepared.routes.items()
+        }
+        node_of_rank = {
+            (app.app_id, rank): app.node_of_rank(rank)
+            for app in prepared.apps
+            for rank in range(app.nprocs)
+        }
+        app_start = {app.app_id: app.start_time for app in prepared.apps}
+        rtt = self.calibration.request_rtt_s
+
+        noise = prepared.noise
+        noise_rng = prepared.seeds.rng("noise")
+        epoch_len = noise.epoch_length_s
+        has_epochs = math.isfinite(epoch_len)
+        multipliers = np.ones(len(rids))
+        current_epoch = -1
+
+        def resample(epoch: int) -> None:
+            nonlocal current_epoch
+            if epoch == current_epoch:
+                return
+            current_epoch = epoch
+            for i, rid in enumerate(rids):
+                multipliers[i] = noise.multiplier(rid, epoch, noise_rng)
+
+        def issue(proc: _Proc, now: float, active: list[_Extent]) -> None:
+            idx = proc.next_transfer
+            proc.next_transfer += 1
+            node = node_of_rank[(proc.app_id, proc.rank)]
+            for target, nbytes in proc.transfers[idx]:
+                active.append(
+                    _Extent(
+                        remaining=float(nbytes),
+                        resource_idxs=route_idx[(node, target)],
+                        target=target,
+                        proc=proc,
+                    )
+                )
+                proc.outstanding += 1
+
+        # Arrival heap: (time, seq, proc) for the next transfer of a
+        # process.  Two desynchronisation measures prevent an artefact
+        # a fully deterministic DES would otherwise produce (every rank
+        # stuck on the same stripe phase, hammering two targets at a
+        # time — real ranks drift apart immediately through service
+        # noise): each rank's transfer sequence is rotated to a random
+        # starting phase (bandwidth-equivalent: same writes, different
+        # order), and starts carry a tiny uniform jitter to break ties.
+        jitter_rng = prepared.seeds.rng("des-startup-jitter")
+        for proc in procs:
+            if len(proc.transfers) > 1:
+                cut = int(jitter_rng.integers(len(proc.transfers)))
+                proc.transfers = proc.transfers[cut:] + proc.transfers[:cut]
+        arrivals: list[tuple[float, int, _Proc]] = []
+        seq = 0
+        for proc in procs:
+            if not proc.transfers:
+                proc.finished_at = app_start[proc.app_id]
+                continue
+            jitter = float(jitter_rng.uniform(0.0, self.startup_jitter_s))
+            heapq.heappush(arrivals, (app_start[proc.app_id] + jitter, seq, proc))
+            seq += 1
+
+        active: list[_Extent] = []
+        now = arrivals[0][0] if arrivals else 0.0
+        segments = 0
+        guard = 0
+        max_iterations = 10 * self.max_requests + 1000
+        while arrivals or active:
+            guard += 1
+            if guard > max_iterations:  # pragma: no cover - hard safety net
+                raise SimulationError("DES engine exceeded its iteration budget")
+            while arrivals and arrivals[0][0] <= now + _TIME_EPS:
+                _, _, proc = heapq.heappop(arrivals)
+                issue(proc, now, active)
+            if not active:
+                now = arrivals[0][0]
+                continue
+
+            epoch = int(now / epoch_len) if has_epochs else 0
+            resample(epoch)
+
+            depth = np.zeros(len(rids))
+            nflows = np.zeros(len(rids), dtype=int)
+            distinct: dict[int, set[int]] = {}
+            memberships = []
+            for ext in active:
+                memberships.append(ext.resource_idxs)
+                for i in ext.resource_idxs:
+                    depth[i] += 1.0
+                    nflows[i] += 1
+                    if getattr(providers[i], "distinct_tag", None) is not None:
+                        distinct.setdefault(i, set()).add(ext.target)
+            capacities = np.array(
+                [
+                    providers[i].capacity(
+                        ResourceContext(
+                            now,
+                            depth[i],
+                            int(nflows[i]),
+                            multipliers[i],
+                            len(distinct.get(i, ())) or 1,
+                        )
+                    )
+                    for i in range(len(rids))
+                ]
+            )
+            rates = max_min_rates(memberships, capacities) * float(MiB)
+
+            dt = math.inf
+            for ext, rate in zip(active, rates):
+                if rate > 0:
+                    dt = min(dt, ext.remaining / rate)
+            if arrivals:
+                dt = min(dt, arrivals[0][0] - now)
+            if has_epochs:
+                dt = min(dt, (epoch + 1) * epoch_len - now)
+            if not math.isfinite(dt) or dt < 0:
+                raise SimulationError(f"DES engine stalled at t={now}")
+
+            now += dt
+            segments += 1
+            still: list[_Extent] = []
+            for ext, rate in zip(active, rates):
+                ext.remaining -= rate * dt
+                if ext.remaining <= _BYTES_EPS:
+                    proc = ext.proc
+                    proc.outstanding -= 1
+                    if proc.outstanding == 0:
+                        if proc.next_transfer < len(proc.transfers):
+                            heapq.heappush(arrivals, (now + rtt, seq, proc))
+                            seq += 1
+                        else:
+                            proc.finished_at = now
+                else:
+                    still.append(ext)
+            active = still
+
+        return self._collect(prepared, procs, segments)
+
+    def _collect(self, prepared: PreparedRun, procs: list[_Proc], segments: int) -> RunResult:
+        servers = [h.host for h in prepared.hosts]
+        meta_draw = _metadata_overheads(self.calibration, self.options, prepared)
+        results = []
+        for app in prepared.apps:
+            meta = meta_draw(app.app_id)
+            mine = [p for p in procs if p.app_id == app.app_id]
+            assert all(p.finished_at is not None for p in mine)
+            end = max(p.finished_at for p in mine)  # type: ignore[type-var]
+            targets = prepared.app_targets[app.app_id]
+            per_server = {s: 0 for s in servers}
+            for tid in targets:
+                per_server[prepared.target_host[tid]] += 1
+            results.append(
+                ApplicationResult(
+                    app_id=app.app_id,
+                    start_time=app.start_time,
+                    end_time=float(end) + meta,
+                    volume_bytes=float(app.total_bytes),
+                    num_nodes=app.num_nodes,
+                    ppn=app.ppn,
+                    stripe_count=prepared.app_stripe[app.app_id],
+                    targets=targets,
+                    placement=tuple(sorted(per_server.values())),
+                )
+            )
+        return RunResult(apps=tuple(results), segments=segments, resource_series={})

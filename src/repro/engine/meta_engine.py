@@ -1,0 +1,228 @@
+"""Metadata-performance engine on the DES kernel.
+
+Simulates an mdtest run against the deployment's metadata servers
+using :mod:`repro.simcore`: every client process is a simulation
+process issuing blocking metadata RPCs; every MDS is a bounded worker
+pool (a :class:`~repro.simcore.resources.Resource`) whose service
+times reflect the MDT (SSD RAID-1) commit costs.  Directory-to-MDS
+ownership follows BeeGFS: a directory's entries live on *one* MDS, so
+a shared-directory run serialises on a single server no matter how
+many exist — the structural effect this engine exposes.
+
+The service-time constants are *not* calibrated to the paper (it
+reports no metadata numbers); they are order-of-magnitude figures for
+SSD-backed BeeGFS metadata documented here as an extension substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..beegfs.filesystem import BeeGFS, BeeGFSDeploymentSpec
+from ..errors import ExperimentError
+from ..rng import SeedTree
+from ..simcore.kernel import Simulator, Timeout
+from ..simcore.resources import Resource
+from ..workload.mdtest import MDTestConfig, MetadataOp
+
+__all__ = ["MDSPerformanceSpec", "MDTestResult", "MetadataEngine"]
+
+
+@dataclass(frozen=True)
+class MDSPerformanceSpec:
+    """Service model of one metadata server.
+
+    ``workers`` parallel service slots (BeeGFS ``tuneNumWorkers``);
+    per-op service times include the MDT commit; ``rpc_latency_s`` is
+    the client-observed network round trip added outside the server.
+    """
+
+    workers: int = 8
+    create_service_s: float = 450e-6
+    stat_service_s: float = 120e-6
+    unlink_service_s: float = 350e-6
+    rpc_latency_s: float = 120e-6
+    service_jitter: float = 0.25  # lognormal sigma on service times
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ExperimentError("MDS needs at least one worker")
+        for value in (self.create_service_s, self.stat_service_s, self.unlink_service_s):
+            if value <= 0:
+                raise ExperimentError("service times must be positive")
+        if self.rpc_latency_s < 0 or self.service_jitter < 0:
+            raise ExperimentError("negative latency/jitter")
+
+    def service_time(self, op: MetadataOp) -> float:
+        return {
+            MetadataOp.CREATE: self.create_service_s,
+            MetadataOp.STAT: self.stat_service_s,
+            MetadataOp.UNLINK: self.unlink_service_s,
+        }[op]
+
+    def peak_rate(self, op: MetadataOp) -> float:
+        """Saturated single-MDS throughput for one op type (ops/s)."""
+        return self.workers / self.service_time(op)
+
+
+@dataclass
+class MDTestResult:
+    """Timing summary of one simulated mdtest run."""
+
+    nprocs: int
+    config: MDTestConfig
+    phase_seconds: dict[MetadataOp, float]
+    mds_ops: dict[str, int]
+
+    def rate(self, op: MetadataOp) -> float:
+        """Aggregate ops/s of one phase (mdtest's headline numbers)."""
+        total = self.config.total_files(self.nprocs)
+        return total / self.phase_seconds[op]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    def busiest_mds_share(self) -> float:
+        """Fraction of all ops served by the most loaded MDS."""
+        total = sum(self.mds_ops.values())
+        return max(self.mds_ops.values()) / total if total else 0.0
+
+
+class MetadataEngine:
+    """Run mdtest workloads against a deployment's metadata servers."""
+
+    def __init__(
+        self,
+        deployment: BeeGFSDeploymentSpec,
+        spec: MDSPerformanceSpec = MDSPerformanceSpec(),
+        seed: int = 0,
+    ):
+        self.deployment = deployment
+        self.spec = spec
+        self.seed = seed
+
+    def run(self, config: MDTestConfig, nprocs: int, rep: int = 0) -> MDTestResult:
+        """Simulate one mdtest run and return the per-phase timings.
+
+        Phases run in mdtest's order (create, stat, unlink), separated
+        by barriers, exactly like the real tool.
+        """
+        if nprocs < 1:
+            raise ExperimentError("need at least one process")
+        fs = BeeGFS(self.deployment, seed=self.seed)
+        # Resolve each rank's directory to its owning MDS through the
+        # real namespace (round-robin directory ownership).
+        fs.mkdir("/mdtest")
+        ranks_mds: dict[int, str] = {}
+        for rank in range(nprocs):
+            directory = config.directory_of(rank)
+            if not fs.namespace.is_dir(directory):
+                fs.mkdir(directory)
+            ranks_mds[rank] = fs.namespace.mds_of(directory)
+
+        rng = SeedTree(self.seed).rng("mdtest", rep=rep)
+        phase_seconds: dict[MetadataOp, float] = {}
+        mds_ops: dict[str, int] = {m.name: 0 for m in fs.mdses}
+
+        for op in config.ops:
+            sim = Simulator()
+            servers = {m.name: Resource(sim, self.spec.workers, name=m.name) for m in fs.mdses}
+            # Pre-draw jittered service times so process scheduling
+            # order cannot perturb the random stream.
+            jitter = self.spec.service_jitter
+            base = self.spec.service_time(op)
+            times = base * np.exp(
+                rng.normal(-0.5 * jitter * jitter, jitter, size=(nprocs, config.files_per_process))
+            )
+
+            def client(rank: int):
+                mds = servers[ranks_mds[rank]]
+                for i in range(config.files_per_process):
+                    yield Timeout(self.spec.rpc_latency_s / 2)
+                    request = mds.request()
+                    yield request
+                    try:
+                        yield Timeout(float(times[rank, i]))
+                    finally:
+                        mds.release()
+                    yield Timeout(self.spec.rpc_latency_s / 2)
+                    mds_ops[ranks_mds[rank]] += 1
+
+            for rank in range(nprocs):
+                sim.process(client(rank), name=f"rank{rank}")
+            phase_seconds[op] = sim.run()
+
+        return MDTestResult(
+            nprocs=nprocs,
+            config=config,
+            phase_seconds=phase_seconds,
+            mds_ops=mds_ops,
+        )
+
+    def run_concurrent(
+        self,
+        groups: "list[tuple[str, MDTestConfig, int] | tuple[str, MDTestConfig, int, float]]",
+        op: MetadataOp = MetadataOp.CREATE,
+        rep: int = 0,
+    ) -> dict[str, float]:
+        """One phase with several workloads running at once.
+
+        ``groups`` are ``(label, config, nprocs[, start_delay_s])``
+        tuples; their processes contend for the metadata servers
+        simultaneously (the interference situation the paper cites:
+        metadata-intensive neighbours slow everyone's opens).  A start
+        delay lets a group arrive while the others' queues are already
+        deep.  Returns each group's completion time in seconds,
+        measured from its own start.
+        """
+        if not groups:
+            raise ExperimentError("need at least one group")
+        fs = BeeGFS(self.deployment, seed=self.seed)
+        fs.mkdir("/mdtest")
+        rng = SeedTree(self.seed).rng("mdtest-mixed", rep=rep)
+        sim = Simulator()
+        servers = {m.name: Resource(sim, self.spec.workers, name=m.name) for m in fs.mdses}
+        jitter = self.spec.service_jitter
+        base = self.spec.service_time(op)
+        finished: dict[str, float] = {}
+        normalised = [
+            (g[0], g[1], g[2], g[3] if len(g) > 3 else 0.0) for g in groups
+        ]
+        remaining = {label: nprocs for label, _, nprocs, _ in normalised}
+        delays = {label: delay for label, _, _, delay in normalised}
+
+        for gi, (label, config, nprocs, delay) in enumerate(normalised):
+            for rank in range(nprocs):
+                directory = config.directory_of(rank, base=f"/mdtest/g{gi}")
+                parent = f"/mdtest/g{gi}"
+                if not fs.namespace.is_dir(parent):
+                    fs.mkdir(parent)
+                if not fs.namespace.is_dir(directory):
+                    fs.mkdir(directory)
+                mds_name = fs.namespace.mds_of(directory)
+                times = base * np.exp(
+                    rng.normal(-0.5 * jitter * jitter, jitter, size=config.files_per_process)
+                )
+
+                def client(label=label, mds_name=mds_name, times=times, delay=delay):
+                    mds = servers[mds_name]
+                    if delay > 0:
+                        yield Timeout(delay)
+                    for service in times:
+                        yield Timeout(self.spec.rpc_latency_s / 2)
+                        yield mds.request()
+                        try:
+                            yield Timeout(float(service))
+                        finally:
+                            mds.release()
+                        yield Timeout(self.spec.rpc_latency_s / 2)
+                    remaining[label] -= 1
+                    if remaining[label] == 0:
+                        finished[label] = sim.now - delays[label]
+
+                sim.process(client(), name=f"{label}-r{rank}")
+        sim.run()
+        return finished

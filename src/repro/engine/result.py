@@ -1,0 +1,116 @@
+"""Run results: per-application and per-run summaries.
+
+The aggregate bandwidth of concurrent applications follows the paper's
+Equation 1:
+
+    sum_i vol_i / (max_i end_i - min_i start_i)
+
+and each application's individual bandwidth is its own volume over its
+own span — the two quantities Figure 12 compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..errors import AnalysisError
+from ..simcore.monitor import TimeSeries
+from ..units import bandwidth_mib_s
+
+__all__ = ["ApplicationResult", "RunResult", "aggregate_bandwidth"]
+
+
+@dataclass(frozen=True)
+class ApplicationResult:
+    """Timing and placement of one application in one run."""
+
+    app_id: str
+    start_time: float
+    end_time: float
+    volume_bytes: float
+    num_nodes: int
+    ppn: int
+    stripe_count: int
+    targets: tuple[int, ...]
+    placement: tuple[int, ...]  # sorted per-server target counts, e.g. (1, 3)
+
+    def __post_init__(self) -> None:
+        if self.end_time <= self.start_time:
+            raise AnalysisError(f"{self.app_id}: non-positive duration")
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def bandwidth_mib_s(self) -> float:
+        """The application's individual write bandwidth."""
+        return bandwidth_mib_s(self.volume_bytes, self.duration)
+
+    @property
+    def placement_min_max(self) -> tuple[int, int]:
+        """The paper's (min, max) notation over the two busiest servers."""
+        if not self.placement:
+            return (0, 0)
+        return (min(self.placement), max(self.placement))
+
+    @property
+    def balanced(self) -> bool:
+        """True when every involved server serves the same target count."""
+        lo, hi = self.placement_min_max
+        return lo == hi
+
+
+def aggregate_bandwidth(apps: list[ApplicationResult] | tuple[ApplicationResult, ...]) -> float:
+    """Equation 1 of the paper: total volume over the overall span."""
+    if not apps:
+        raise AnalysisError("aggregate bandwidth of zero applications")
+    start = min(a.start_time for a in apps)
+    end = max(a.end_time for a in apps)
+    return bandwidth_mib_s(sum(a.volume_bytes for a in apps), end - start)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything one engine run produced."""
+
+    apps: tuple[ApplicationResult, ...]
+    segments: int
+    resource_series: Mapping[str, TimeSeries] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.apps:
+            raise AnalysisError("a run needs at least one application")
+        ids = [a.app_id for a in self.apps]
+        if len(set(ids)) != len(ids):
+            raise AnalysisError(f"duplicate app ids in run: {ids}")
+
+    def app(self, app_id: str) -> ApplicationResult:
+        for a in self.apps:
+            if a.app_id == app_id:
+                return a
+        raise AnalysisError(f"no application {app_id!r} in run")
+
+    @property
+    def makespan(self) -> float:
+        return max(a.end_time for a in self.apps)
+
+    @property
+    def aggregate_bandwidth_mib_s(self) -> float:
+        return aggregate_bandwidth(list(self.apps))
+
+    @property
+    def single(self) -> ApplicationResult:
+        """The only application of a single-app run."""
+        if len(self.apps) != 1:
+            raise AnalysisError(f"run has {len(self.apps)} applications, not 1")
+        return self.apps[0]
+
+    def shared_targets(self) -> set[int]:
+        """Targets used by more than one application."""
+        seen: dict[int, int] = {}
+        for a in self.apps:
+            for t in a.targets:
+                seen[t] = seen.get(t, 0) + 1
+        return {t for t, n in seen.items() if n > 1}

@@ -1,0 +1,106 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+mistakes (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "UnitParseError",
+    "SimulationError",
+    "DeadlockError",
+    "TopologyError",
+    "RoutingError",
+    "FlowError",
+    "StorageError",
+    "BeeGFSError",
+    "NoSuchEntityError",
+    "EntityExistsError",
+    "NotADirectoryBeeGFSError",
+    "IsADirectoryBeeGFSError",
+    "StripingError",
+    "TargetChooserError",
+    "WorkloadError",
+    "ExperimentError",
+    "AnalysisError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration value was supplied."""
+
+
+class UnitParseError(ConfigError):
+    """A human-readable quantity string could not be parsed."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulation kernel reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """The event loop ran out of events while processes were still waiting."""
+
+
+class TopologyError(ReproError, ValueError):
+    """The platform topology is malformed."""
+
+
+class RoutingError(TopologyError):
+    """No route exists between two endpoints of the topology."""
+
+
+class FlowError(ReproError, ValueError):
+    """A network flow was declared or driven inconsistently."""
+
+
+class StorageError(ReproError, ValueError):
+    """A storage device/target model was configured inconsistently."""
+
+
+class BeeGFSError(ReproError):
+    """Base class for errors of the simulated BeeGFS services."""
+
+
+class NoSuchEntityError(BeeGFSError, KeyError):
+    """A path, target or server id does not exist (ENOENT-like)."""
+
+
+class EntityExistsError(BeeGFSError, FileExistsError):
+    """Attempt to create an entity that already exists (EEXIST-like)."""
+
+
+class NotADirectoryBeeGFSError(BeeGFSError, NotADirectoryError):
+    """A path component used as a directory is a regular file (ENOTDIR)."""
+
+
+class IsADirectoryBeeGFSError(BeeGFSError, IsADirectoryError):
+    """A file operation was attempted on a directory (EISDIR)."""
+
+
+class StripingError(BeeGFSError, ValueError):
+    """A stripe pattern is invalid (bad count/chunk size)."""
+
+
+class TargetChooserError(BeeGFSError, ValueError):
+    """A target chooser cannot satisfy the request (e.g. too few targets)."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """An I/O workload description is invalid."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment plan or execution failed."""
+
+
+class AnalysisError(ReproError, ValueError):
+    """A statistical analysis was requested on unsuitable data."""

@@ -1,0 +1,181 @@
+"""Shared experiment machinery.
+
+:class:`StandardExecutor` turns an :class:`ExperimentSpec` plus a
+repetition index into one engine run.  It understands the factor names
+the paper's experiments sweep:
+
+==================  =========================================================
+factor              meaning (default)
+==================  =========================================================
+``num_nodes``       compute nodes of the application (8)
+``ppn``             processes per node (8)
+``total_gib``       total data volume in GiB (32)
+``stripe_count``    per-directory stripe count (4)
+``chooser``         target chooser name (deployment default: round-robin)
+``transfer_mib``    IOR transfer size in MiB (1)
+``pattern``         access pattern name (``n1-contiguous``)
+``operation``       ``write`` (default) or ``read``
+``num_apps``        concurrent applications on disjoint node sets (1)
+``nodes_per_app``   nodes of each concurrent application (``num_nodes``)
+==================  =========================================================
+
+Engines (and their platform topologies) are cached per configuration
+key so a 100-repetition protocol pays construction once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from ..calibration.plafrim import Calibration, scenario_by_name
+from ..engine.base import EngineOptions
+from ..engine.fluid_runner import FluidEngine
+from ..engine.result import RunResult
+from ..errors import ExperimentError
+from ..methodology.plan import ExperimentPlan, ExperimentSpec
+from ..methodology.protocol import ProtocolConfig
+from ..methodology.records import RecordStore
+from ..methodology.runner import ProtocolRunner
+from ..topology.graph import Topology
+from ..units import GiB, MiB
+from ..workload.application import Application
+from ..workload.generator import concurrent_applications, single_application
+from ..workload.patterns import AccessPattern
+
+__all__ = ["ExperimentOutput", "StandardExecutor", "run_specs", "AppsBuilder"]
+
+AppsBuilder = Callable[[Topology, Mapping[str, Any]], list[Application]]
+
+
+@dataclass
+class ExperimentOutput:
+    """What running one experiment produces."""
+
+    exp_id: str
+    title: str
+    records: RecordStore
+    figure: str
+    notes: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"{self.exp_id}: {self.title}\n{self.figure}"
+
+
+def _pattern_from_name(name: str) -> AccessPattern:
+    for pattern in AccessPattern:
+        if pattern.value == name:
+            return pattern
+    raise ExperimentError(f"unknown access pattern {name!r}")
+
+
+def default_apps_builder(topology: Topology, factors: Mapping[str, Any]) -> list[Application]:
+    """Build the applications a factor dict describes (see module doc)."""
+    num_nodes = int(factors.get("num_nodes", 8))
+    ppn = int(factors.get("ppn", 8))
+    total_bytes = int(float(factors.get("total_gib", 32)) * GiB)
+    transfer = int(float(factors.get("transfer_mib", 1)) * MiB)
+    pattern = _pattern_from_name(str(factors.get("pattern", "n1-contiguous")))
+    operation = str(factors.get("operation", "write"))
+    num_apps = int(factors.get("num_apps", 1))
+    if num_apps == 1:
+        return [
+            single_application(
+                topology,
+                num_nodes,
+                ppn=ppn,
+                total_bytes=total_bytes,
+                transfer_size=transfer,
+                pattern=pattern,
+                operation=operation,
+            )
+        ]
+    nodes_per_app = int(factors.get("nodes_per_app", num_nodes))
+    return concurrent_applications(
+        topology,
+        num_apps,
+        nodes_per_app=nodes_per_app,
+        ppn=ppn,
+        total_bytes_each=total_bytes,
+        transfer_size=transfer,
+        pattern=pattern,
+    )
+
+
+@dataclass
+class StandardExecutor:
+    """Executor for :class:`~repro.methodology.runner.ProtocolRunner`."""
+
+    seed: int = 0
+    options: EngineOptions = field(default_factory=EngineOptions)
+    engine_cls: type = FluidEngine
+    max_nodes: int = 32
+    apps_builder: AppsBuilder = field(default=None)  # type: ignore[assignment]
+    _calibrations: dict[str, Calibration] = field(default_factory=dict, repr=False)
+    _topologies: dict[str, Topology] = field(default_factory=dict, repr=False)
+    _engines: dict[str, Any] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.apps_builder is None:
+            self.apps_builder = default_apps_builder
+
+    def calibration(self, scenario: str) -> Calibration:
+        if scenario not in self._calibrations:
+            self._calibrations[scenario] = scenario_by_name(scenario)
+        return self._calibrations[scenario]
+
+    def topology(self, scenario: str) -> Topology:
+        if scenario not in self._topologies:
+            self._topologies[scenario] = self.calibration(scenario).platform(self.max_nodes)
+        return self._topologies[scenario]
+
+    def engine(self, spec: ExperimentSpec):
+        key = spec.key
+        if key not in self._engines:
+            calibration = self.calibration(spec.scenario)
+            deployment_kwargs: dict[str, Any] = {
+                "stripe_count": int(spec.factors.get("stripe_count", 4)),
+            }
+            if spec.factors.get("chooser"):
+                deployment_kwargs["chooser"] = str(spec.factors["chooser"])
+            if spec.factors.get("chunk_kib"):
+                deployment_kwargs["chunk_size"] = int(spec.factors["chunk_kib"]) * 1024
+            self._engines[key] = self.engine_cls(
+                calibration,
+                self.topology(spec.scenario),
+                calibration.deployment(**deployment_kwargs),
+                seed=self.seed,
+                options=self.options,
+            )
+        return self._engines[key]
+
+    def __call__(self, spec: ExperimentSpec, rep: int) -> RunResult:
+        engine = self.engine(spec)
+        apps = self.apps_builder(self.topology(spec.scenario), spec.factors)
+        return engine.run(apps, rep=rep)
+
+
+def run_specs(
+    specs: Sequence[ExperimentSpec],
+    repetitions: int = 100,
+    seed: int = 0,
+    options: EngineOptions = EngineOptions(),
+    apps_builder: AppsBuilder | None = None,
+    max_nodes: int = 32,
+    progress: Callable[[str], None] | None = None,
+) -> RecordStore:
+    """Run a sweep under the paper's protocol and return the records."""
+    protocol = ProtocolConfig(
+        repetitions=repetitions,
+        block_size=min(10, max(1, repetitions)),
+        min_wait_s=60.0 if repetitions >= 20 else 0.0,
+        max_wait_s=1800.0 if repetitions >= 20 else 0.0,
+    )
+    plan = ExperimentPlan.build(specs, protocol, seed=seed)
+    executor = StandardExecutor(
+        seed=seed,
+        options=options,
+        max_nodes=max_nodes,
+        apps_builder=apps_builder if apps_builder is not None else default_apps_builder,
+    )
+    return ProtocolRunner(executor).run(plan, progress=progress)

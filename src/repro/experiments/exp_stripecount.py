@@ -1,0 +1,122 @@
+"""Figures 6, 8 and 10 — the stripe count study, the paper's core.
+
+One hundred repetitions per stripe count (1-8), 8 nodes in scenario 1
+and 32 in scenario 2, 8 ppn, 32 GiB.  The same records yield:
+
+* Figure 6 — bandwidth per stripe count, every individual run plotted
+  (the bi-modal clouds of scenario 1, the noisy near-linear growth of
+  scenario 2);
+* Figure 8 — scenario 1 boxplots regrouped by (min, max) placement:
+  performance follows the balance, not the count;
+* Figure 10 — scenario 2 boxplots by placement: the count dominates,
+  but balanced placements still win at equal count ((3,3) vs (2,4)).
+"""
+
+from __future__ import annotations
+
+from ..figures.ascii import box_panel, render_table, series_panel
+from ..methodology.plan import ExperimentSpec
+from ..stats.bimodality import is_bimodal
+from ..stats.boxplot import boxplot_stats
+from ..stats.summary import describe
+from .common import ExperimentOutput, run_specs
+from .registry import ExperimentInfo, register
+
+EXP_ID = "fig6"
+TITLE = "I/O bandwidth vs stripe count, and by OST placement"
+PAPER_REF = "Figures 6, 8 and 10"
+
+STRIPE_COUNTS = (1, 2, 3, 4, 5, 6, 7, 8)
+NODES = {"scenario1": 8, "scenario2": 32}
+PPN = 8
+
+
+def specs(scenarios: tuple[str, ...] = ("scenario1", "scenario2")) -> list[ExperimentSpec]:
+    return [
+        ExperimentSpec(
+            EXP_ID,
+            scenario,
+            {
+                "stripe_count": k,
+                "num_nodes": NODES[scenario],
+                "ppn": PPN,
+                "total_gib": 32,
+            },
+        )
+        for scenario in scenarios
+        for k in STRIPE_COUNTS
+    ]
+
+
+def placement_boxes(records, scenario: str):
+    """Boxplot stats keyed by (min, max) placement string (Figs 8/10)."""
+    sub = records.filter(scenario=scenario)
+    return {
+        f"({lo},{hi})": boxplot_stats(group.bandwidths())
+        for (lo, hi), group in sorted(sub.group_by_placement().items())
+    }
+
+
+def render(records) -> str:
+    parts = []
+    fig_by_scenario = {"scenario1": "Fig 8", "scenario2": "Fig 10"}
+    for scenario in ("scenario1", "scenario2"):
+        sub = records.filter(scenario=scenario)
+        if len(sub) == 0:
+            continue
+        pts, rows = [], []
+        for k, group in sorted(sub.group_by_factor("stripe_count").items()):
+            values = group.bandwidths()
+            pts.append((float(k), list(values)))
+            s = describe(values)
+            modes = "bimodal" if len(values) >= 10 and is_bimodal(values).bimodal else "unimodal"
+            placements = sorted({r.placement for r in group})
+            rows.append(
+                [
+                    k,
+                    f"{s.mean:.0f}",
+                    f"{s.std:.0f}",
+                    modes,
+                    " ".join(f"({lo},{hi})" for lo, hi in placements),
+                ]
+            )
+        parts.append(
+            series_panel(
+                {"runs": pts},
+                f"Fig 6 ({scenario}): bandwidth vs stripe count "
+                f"({NODES[scenario]} nodes x {PPN} ppn, every run plotted)",
+                xlabel="stripe count",
+            )
+        )
+        parts.append(
+            render_table(
+                ["stripe", "mean", "std", "modality", "observed placements"],
+                rows,
+                f"Fig 6 summary ({scenario})",
+            )
+        )
+        parts.append(
+            box_panel(
+                placement_boxes(records, scenario),
+                f"{fig_by_scenario[scenario]} ({scenario}): bandwidth by (min,max) placement",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def run(repetitions: int = 100, seed: int = 0, scenarios=("scenario1", "scenario2"), progress=None) -> ExperimentOutput:
+    records = run_specs(specs(tuple(scenarios)), repetitions=repetitions, seed=seed, progress=progress)
+    return ExperimentOutput(
+        exp_id=EXP_ID,
+        title=TITLE,
+        records=records,
+        figure=render(records),
+        notes=(
+            "Scenario 1: peak only at stripe counts 2, 6, 8; bi-modal at 2/3/5/6; "
+            "(1,3) of count 4 ~49% below (3,3). Scenario 2: near-linear growth "
+            "~1764 -> ~8064 MiB/s; balanced placements ~10% above unbalanced."
+        ),
+    )
+
+
+register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run))

@@ -1,0 +1,70 @@
+"""Experiment registry: the per-figure index of DESIGN.md as code."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ExperimentError
+from .common import ExperimentOutput
+
+__all__ = ["ExperimentInfo", "EXPERIMENTS", "register", "get_experiment", "list_experiments"]
+
+
+@dataclass(frozen=True)
+class ExperimentInfo:
+    """One reproducible artefact of the paper."""
+
+    exp_id: str
+    title: str
+    paper_ref: str
+    run: Callable[..., ExperimentOutput]
+    default_repetitions: int = 100
+
+
+EXPERIMENTS: dict[str, ExperimentInfo] = {}
+
+
+def register(info: ExperimentInfo) -> ExperimentInfo:
+    if info.exp_id in EXPERIMENTS:
+        raise ExperimentError(f"duplicate experiment id {info.exp_id!r}")
+    EXPERIMENTS[info.exp_id] = info
+    return info
+
+
+def get_experiment(exp_id: str) -> ExperimentInfo:
+    _ensure_loaded()
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+
+
+def list_experiments() -> list[ExperimentInfo]:
+    _ensure_loaded()
+    return [EXPERIMENTS[k] for k in sorted(EXPERIMENTS)]
+
+
+def _ensure_loaded() -> None:
+    """Import every experiment module exactly once (self-registration)."""
+    from . import (  # noqa: F401
+        exp_datasize,
+        exp_nodes,
+        exp_ppn,
+        exp_stripecount,
+        exp_linkmodel,
+        exp_timeline,
+        exp_nodes_stripes,
+        exp_concurrent,
+        exp_sharing,
+        exp_choosers,
+        exp_read,
+        exp_patterns,
+        exp_scaleout,
+        exp_metadata,
+        exp_chunksize,
+        exp_interference,
+        exp_lessons,
+    )

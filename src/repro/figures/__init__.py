@@ -1,0 +1,24 @@
+"""Text rendering of the paper's figures.
+
+Every experiment regenerates its figure as plain text (the offline
+environment has no plotting stack): scatter/line panels for the
+bandwidth curves, box panels for the allocation figures, bar panels
+for the concurrency study, plus small tables.  The renderers are pure
+functions of data, so they are unit-testable and stable.
+"""
+
+from .ascii import (
+    bar_panel,
+    box_panel,
+    render_table,
+    series_panel,
+    timeline_panel,
+)
+
+__all__ = [
+    "series_panel",
+    "box_panel",
+    "bar_panel",
+    "timeline_panel",
+    "render_table",
+]

@@ -1,0 +1,224 @@
+"""ASCII chart primitives.
+
+Conventions shared by all panels:
+
+* y axes auto-scale to the data and do *not* start at zero — exactly
+  like the paper's figures (which the captions call out every time);
+* every panel carries a title line and a y-axis legend;
+* widths stay under ~100 columns so panels render in terminals, logs
+  and Markdown code fences alike.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..stats.boxplot import BoxplotStats
+
+__all__ = ["series_panel", "box_panel", "bar_panel", "timeline_panel", "render_table"]
+
+_HEIGHT = 16
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(lo: float, hi: float) -> tuple[float, float]:
+    if hi <= lo:
+        pad = abs(hi) * 0.05 + 1.0
+        return lo - pad, hi + pad
+    pad = (hi - lo) * 0.08
+    return lo - pad, hi + pad
+
+
+def _row_of(value: float, lo: float, hi: float, height: int) -> int:
+    frac = (value - lo) / (hi - lo)
+    return min(height - 1, max(0, int(round(frac * (height - 1)))))
+
+
+def series_panel(
+    series: Mapping[str, Sequence[tuple[float, Sequence[float]]]],
+    title: str,
+    xlabel: str = "",
+    ylabel: str = "MiB/s",
+    height: int = _HEIGHT,
+) -> str:
+    """Scatter panel: named series of (x, samples-at-x).
+
+    Each series plots every individual sample (the paper's dots) with
+    its own marker and a mean marker ``=`` per x position.
+    """
+    if not series:
+        raise AnalysisError("no series to plot")
+    xs: list[float] = sorted({x for pts in series.values() for x, _ in pts})
+    if not xs:
+        raise AnalysisError("series contain no points")
+    all_values = [v for pts in series.values() for _, vals in pts for v in vals]
+    if not all_values:
+        raise AnalysisError("series contain no samples")
+    lo, hi = _scale(min(all_values), max(all_values))
+
+    col_width = max(7, max(len(f"{x:g}") for x in xs) + 2)
+    grid = [[" "] * (col_width * len(xs)) for _ in range(height)]
+    for si, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[si % len(_MARKERS)]
+        by_x = {x: vals for x, vals in pts}
+        for xi, x in enumerate(xs):
+            vals = by_x.get(x)
+            if not vals:
+                continue
+            center = xi * col_width + col_width // 2
+            for vi, v in enumerate(sorted(vals)):
+                row = height - 1 - _row_of(v, lo, hi, height)
+                offset = (vi % 3) - 1  # spread ties slightly
+                col = min(len(grid[0]) - 1, max(0, center + offset))
+                grid[row][col] = marker
+            mean_row = height - 1 - _row_of(float(np.mean(vals)), lo, hi, height)
+            grid[mean_row][center] = "="
+
+    lines = [title]
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{hi:8.0f} |"
+        elif i == height - 1:
+            label = f"{lo:8.0f} |"
+        else:
+            label = "         |"
+        lines.append(label + "".join(row))
+    axis = "         +" + "-" * (col_width * len(xs))
+    ticks = "          " + "".join(f"{x:^{col_width}g}" for x in xs)
+    lines.append(axis)
+    lines.append(ticks)
+    footer = f"          x: {xlabel}   y: {ylabel} (axis does not start at zero)"
+    legend = "          legend: " + "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(series)
+    ) + "  (= mean)"
+    lines.append(footer)
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def box_panel(
+    boxes: Mapping[str, BoxplotStats],
+    title: str,
+    ylabel: str = "MiB/s",
+    width: int = 40,
+) -> str:
+    """Horizontal boxplot panel, one row per group."""
+    if not boxes:
+        raise AnalysisError("no boxes to plot")
+    lo = min(min(b.whisker_low, *(b.outliers or (b.whisker_low,))) for b in boxes.values())
+    hi = max(max(b.whisker_high, *(b.outliers or (b.whisker_high,))) for b in boxes.values())
+    lo, hi = _scale(lo, hi)
+    span = hi - lo
+
+    def col(v: float) -> int:
+        return min(width - 1, max(0, int(round((v - lo) / span * (width - 1)))))
+
+    label_width = max(len(str(k)) for k in boxes)
+    lines = [title]
+    for key, b in boxes.items():
+        row = [" "] * width
+        for c in range(col(b.whisker_low), col(b.whisker_high) + 1):
+            row[c] = "-"
+        for c in range(col(b.q1), col(b.q3) + 1):
+            row[c] = "="
+        row[col(b.median)] = "|"
+        for o in b.outliers:
+            row[col(o)] = "o"
+        lines.append(f"  {str(key):>{label_width}} [{''.join(row)}] n={b.n} median={b.median:.0f}")
+    lines.append(f"  {'':>{label_width}}  {lo:<12.0f}{'':^{max(0, width - 24)}}{hi:>12.0f}")
+    lines.append(f"  y: {ylabel} ('=' box, '|' median, '-' whiskers, 'o' outliers)")
+    return "\n".join(lines)
+
+
+def bar_panel(
+    bars: Mapping[str, Sequence[tuple[str, float]]],
+    title: str,
+    ylabel: str = "MiB/s",
+    width: int = 46,
+) -> str:
+    """Stacked horizontal bars: each bar is a list of (segment, value).
+
+    Used for Figure 12: one bar per configuration, the segments being
+    the concurrent applications' individual bandwidths (their sum is
+    the stack height the paper plots).
+    """
+    if not bars:
+        raise AnalysisError("no bars to plot")
+    totals = {k: sum(v for _, v in segs) for k, segs in bars.items()}
+    hi = max(totals.values())
+    if hi <= 0:
+        raise AnalysisError("bar totals must be positive")
+    label_width = max(len(str(k)) for k in bars)
+    lines = [title]
+    for key, segs in bars.items():
+        row = ""
+        for si, (_name, value) in enumerate(segs):
+            cols = int(round(value / hi * width))
+            row += _MARKERS[si % len(_MARKERS)] * cols
+        lines.append(f"  {str(key):>{label_width}} |{row:<{width}}| total={totals[key]:8.1f}")
+    seg_names = {name for segs in bars.values() for name, _ in segs}
+    lines.append(f"  y: {ylabel}; segments: " + ", ".join(sorted(seg_names)))
+    return "\n".join(lines)
+
+
+def timeline_panel(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str,
+    ylabel: str = "MiB/s",
+    width: int = 64,
+    height: int = 10,
+) -> str:
+    """Step-function timelines (Figure 9's per-server bandwidth)."""
+    if not series:
+        raise AnalysisError("no timelines to plot")
+    t_max = max(t for pts in series.values() for t, _ in pts)
+    if t_max <= 0:
+        raise AnalysisError("timelines must span positive time")
+    v_max = max(v for pts in series.values() for _, v in pts)
+    lines = [title]
+    for si, (name, pts) in enumerate(series.items()):
+        marker = _MARKERS[si % len(_MARKERS)]
+        row = [" "] * width
+        pts = sorted(pts)
+        for c in range(width):
+            t = c / (width - 1) * t_max
+            value = 0.0
+            for pt, pv in pts:
+                if pt <= t:
+                    value = pv
+                else:
+                    break
+            if value > 0:
+                level = "#" if value > 0.66 * v_max else (marker if value > 0.33 * v_max else ".")
+                row[c] = level
+        lines.append(f"  {name:>12} |{''.join(row)}|")
+    lines.append(f"  {'':>12}  0{'':^{width - 10}}t={t_max:.1f}s")
+    lines.append(f"  y: {ylabel} ('#' high, marker mid, '.' low, ' ' idle)")
+    return "\n".join(lines)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """A compact fixed-width table."""
+    if not headers:
+        raise AnalysisError("table needs headers")
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise AnalysisError("row length does not match headers")
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  " + "-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise AnalysisError("row length does not match headers")
+        lines.append("  " + " | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

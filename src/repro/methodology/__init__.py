@@ -1,0 +1,28 @@
+"""The experimental methodology of Section III-C.
+
+The paper's protocol, reproduced verbatim in simulated wall-clock time:
+
+1. generate the list of all benchmark runs, 100 repetitions of each
+   experiment configuration;
+2. divide the list into blocks of ten executions;
+3. execute blocks one run at a time, in random order;
+4. impose a randomly selected wait (1-30 minutes) between blocks.
+
+This package also owns the run records (CSV-friendly flat rows) used by
+every analysis and figure.
+"""
+
+from .plan import ExperimentSpec, PlannedRun, ExperimentPlan
+from .protocol import ProtocolConfig
+from .records import RunRecord, RecordStore
+from .runner import ProtocolRunner
+
+__all__ = [
+    "ExperimentSpec",
+    "PlannedRun",
+    "ExperimentPlan",
+    "ProtocolConfig",
+    "RunRecord",
+    "RecordStore",
+    "ProtocolRunner",
+]

@@ -1,0 +1,42 @@
+"""Protocol configuration: Section III-C's constants as a dataclass."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["ProtocolConfig"]
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """The execution protocol parameters.
+
+    Defaults are the paper's: 100 repetitions, blocks of 10, random
+    block order, waits uniformly drawn from 1-30 minutes.
+    """
+
+    repetitions: int = 100
+    block_size: int = 10
+    shuffle_blocks: bool = True
+    min_wait_s: float = 60.0
+    max_wait_s: float = 1800.0
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ConfigError("repetitions must be >= 1")
+        if self.block_size < 1:
+            raise ConfigError("block size must be >= 1")
+        if not 0 <= self.min_wait_s <= self.max_wait_s:
+            raise ConfigError("need 0 <= min_wait_s <= max_wait_s")
+
+    def quick(self, repetitions: int = 10) -> "ProtocolConfig":
+        """A reduced copy for tests and smoke runs."""
+        return ProtocolConfig(
+            repetitions=repetitions,
+            block_size=min(self.block_size, max(1, repetitions // 2)),
+            shuffle_blocks=self.shuffle_blocks,
+            min_wait_s=0.0,
+            max_wait_s=0.0,
+        )

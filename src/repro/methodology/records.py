@@ -1,0 +1,230 @@
+"""Run records: flat, CSV-friendly result rows.
+
+Each executed run yields one :class:`RunRecord` holding the run's
+context (experiment, scenario, factors, repetition, simulated wall
+clock) plus per-application outcomes and the Equation-1 aggregate.
+:class:`RecordStore` is the query surface every figure and analysis
+uses, with CSV round-tripping so experiment outputs can be archived the
+way the paper publishes its raw results.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping
+
+import numpy as np
+
+from ..engine.result import RunResult
+from ..errors import ExperimentError
+
+__all__ = ["RunRecord", "RecordStore"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One run's flattened outcome."""
+
+    exp_id: str
+    scenario: str
+    rep: int
+    factors: Mapping[str, Any]
+    aggregate_bw_mib_s: float
+    apps: tuple[Mapping[str, Any], ...]  # per-app dicts (see from_run_result)
+    wall_clock_s: float = 0.0
+    block: int = -1
+
+    @classmethod
+    def from_run_result(
+        cls,
+        result: RunResult,
+        exp_id: str,
+        scenario: str,
+        rep: int,
+        factors: Mapping[str, Any],
+        wall_clock_s: float = 0.0,
+        block: int = -1,
+    ) -> "RunRecord":
+        apps = tuple(
+            {
+                "app_id": a.app_id,
+                "bw_mib_s": a.bandwidth_mib_s,
+                "start_s": a.start_time,
+                "end_s": a.end_time,
+                "volume_bytes": a.volume_bytes,
+                "num_nodes": a.num_nodes,
+                "ppn": a.ppn,
+                "stripe_count": a.stripe_count,
+                "targets": a.targets,
+                "placement": a.placement,
+            }
+            for a in result.apps
+        )
+        return cls(
+            exp_id=exp_id,
+            scenario=scenario,
+            rep=rep,
+            factors=dict(factors),
+            aggregate_bw_mib_s=result.aggregate_bandwidth_mib_s,
+            apps=apps,
+            wall_clock_s=wall_clock_s,
+            block=block,
+        )
+
+    # -- convenience ------------------------------------------------------------
+
+    @property
+    def num_apps(self) -> int:
+        return len(self.apps)
+
+    @property
+    def bw_mib_s(self) -> float:
+        """Bandwidth of a single-app run (raises on concurrent runs)."""
+        if len(self.apps) != 1:
+            raise ExperimentError(f"record has {len(self.apps)} apps; use aggregate_bw_mib_s")
+        return float(self.apps[0]["bw_mib_s"])
+
+    @property
+    def placement(self) -> tuple[int, ...]:
+        """Placement of a single-app run."""
+        if len(self.apps) != 1:
+            raise ExperimentError("placement of a concurrent run is per-app")
+        return tuple(self.apps[0]["placement"])
+
+    def shared_target_count(self) -> int:
+        """How many targets are used by more than one application."""
+        seen: dict[int, int] = {}
+        for app in self.apps:
+            for t in app["targets"]:
+                seen[t] = seen.get(t, 0) + 1
+        return sum(1 for n in seen.values() if n > 1)
+
+    def to_row(self) -> dict[str, str]:
+        """Flatten to a CSV row (factors and apps JSON-encoded)."""
+        return {
+            "exp_id": self.exp_id,
+            "scenario": self.scenario,
+            "rep": str(self.rep),
+            "factors": json.dumps(dict(self.factors), sort_keys=True),
+            "aggregate_bw_mib_s": repr(self.aggregate_bw_mib_s),
+            "apps": json.dumps([dict(a) for a in self.apps]),
+            "wall_clock_s": repr(self.wall_clock_s),
+            "block": str(self.block),
+        }
+
+    @classmethod
+    def from_row(cls, row: Mapping[str, str]) -> "RunRecord":
+        apps = tuple(
+            {**a, "targets": tuple(a["targets"]), "placement": tuple(a["placement"])}
+            for a in json.loads(row["apps"])
+        )
+        return cls(
+            exp_id=row["exp_id"],
+            scenario=row["scenario"],
+            rep=int(row["rep"]),
+            factors=json.loads(row["factors"]),
+            aggregate_bw_mib_s=float(row["aggregate_bw_mib_s"]),
+            apps=apps,
+            wall_clock_s=float(row["wall_clock_s"]),
+            block=int(row["block"]),
+        )
+
+
+_CSV_FIELDS = [
+    "exp_id",
+    "scenario",
+    "rep",
+    "factors",
+    "aggregate_bw_mib_s",
+    "apps",
+    "wall_clock_s",
+    "block",
+]
+
+
+class RecordStore:
+    """An in-memory collection of run records with query helpers."""
+
+    def __init__(self, records: list[RunRecord] | None = None):
+        self._records: list[RunRecord] = list(records or [])
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self._records)
+
+    def append(self, record: RunRecord) -> None:
+        self._records.append(record)
+
+    def extend(self, records: "RecordStore | list[RunRecord]") -> None:
+        self._records.extend(records)
+
+    # -- queries --------------------------------------------------------------
+
+    def filter(
+        self,
+        exp_id: str | None = None,
+        scenario: str | None = None,
+        predicate: Callable[[RunRecord], bool] | None = None,
+        **factors: Any,
+    ) -> "RecordStore":
+        out = []
+        for r in self._records:
+            if exp_id is not None and r.exp_id != exp_id:
+                continue
+            if scenario is not None and r.scenario != scenario:
+                continue
+            if any(r.factors.get(k) != v for k, v in factors.items()):
+                continue
+            if predicate is not None and not predicate(r):
+                continue
+            out.append(r)
+        return RecordStore(out)
+
+    def bandwidths(self) -> np.ndarray:
+        """Single-app bandwidths of every record, in order."""
+        return np.array([r.bw_mib_s for r in self._records])
+
+    def aggregates(self) -> np.ndarray:
+        return np.array([r.aggregate_bw_mib_s for r in self._records])
+
+    def factor_values(self, name: str) -> list[Any]:
+        """Distinct values of one factor, in sorted order."""
+        values = {r.factors.get(name) for r in self._records}
+        return sorted(values, key=lambda v: (v is None, v))
+
+    def group_by_factor(self, name: str) -> dict[Any, "RecordStore"]:
+        out: dict[Any, RecordStore] = {}
+        for r in self._records:
+            out.setdefault(r.factors.get(name), RecordStore()).append(r)
+        return out
+
+    def group_by_placement(self) -> dict[tuple[int, ...], "RecordStore"]:
+        """Group single-app records by their (min, max) placement."""
+        out: dict[tuple[int, ...], RecordStore] = {}
+        for r in self._records:
+            out.setdefault(r.placement, RecordStore()).append(r)
+        return out
+
+    # -- persistence -----------------------------------------------------------
+
+    def write_csv(self, path: str | Path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=_CSV_FIELDS)
+            writer.writeheader()
+            for record in self._records:
+                writer.writerow(record.to_row())
+
+    @classmethod
+    def read_csv(cls, path: str | Path) -> "RecordStore":
+        store = cls()
+        with Path(path).open(newline="") as fh:
+            for row in csv.DictReader(fh):
+                store.append(RunRecord.from_row(row))
+        return store

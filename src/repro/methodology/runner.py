@@ -1,0 +1,68 @@
+"""Protocol runner: executes a plan block by block.
+
+The runner walks an :class:`~repro.methodology.plan.ExperimentPlan` in
+its (shuffled) block order, maintains a simulated wall clock (run
+durations plus the randomly drawn inter-block waits), and hands every
+planned run to a caller-provided executor — typically a closure around
+an engine built per experiment configuration.
+
+The executor contract::
+
+    executor(spec: ExperimentSpec, rep: int) -> RunResult
+
+The repetition index fully determines the run's randomness (engines
+seed their file system, chooser and noise from it), so records are
+reproducible irrespective of block order — yet the protocol order and
+waits are recorded, as the paper archives them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..engine.result import RunResult
+from ..errors import ExperimentError
+from .plan import ExperimentPlan, ExperimentSpec
+from .records import RecordStore, RunRecord
+
+__all__ = ["ProtocolRunner"]
+
+Executor = Callable[[ExperimentSpec, int], RunResult]
+
+
+class ProtocolRunner:
+    """Walks a plan and collects records."""
+
+    def __init__(self, executor: Executor):
+        self.executor = executor
+
+    def run(self, plan: ExperimentPlan, progress: Callable[[str], None] | None = None) -> RecordStore:
+        """Execute every planned run in protocol order."""
+        store = RecordStore()
+        wall_clock = 0.0
+        for block_index, (block, wait) in enumerate(zip(plan.blocks, plan.waits_s)):
+            for planned in block:
+                result = self.executor(planned.spec, planned.rep)
+                if not isinstance(result, RunResult):
+                    raise ExperimentError(
+                        f"executor returned {type(result).__name__}, expected RunResult"
+                    )
+                store.append(
+                    RunRecord.from_run_result(
+                        result,
+                        exp_id=planned.spec.exp_id,
+                        scenario=planned.spec.scenario,
+                        rep=planned.rep,
+                        factors=planned.spec.factors,
+                        wall_clock_s=wall_clock,
+                        block=block_index,
+                    )
+                )
+                wall_clock += result.makespan
+            wall_clock += wait
+            if progress is not None:
+                progress(
+                    f"block {block_index + 1}/{len(plan.blocks)} done "
+                    f"(wall clock {wall_clock / 60:.1f} min)"
+                )
+        return store

@@ -1,0 +1,44 @@
+"""Flow-level network/storage simulation.
+
+The engine models each steady data stream (one compute node writing to
+one storage target) as a *fluid flow* crossing a set of capacitated
+resources (NIC links, switch fabric, server ingest, server backplane,
+target service).  At every instant the rates of all active flows are
+the **max-min fair** allocation subject to the resource capacities —
+the standard fluid abstraction of TCP-like fair sharing (progressive
+filling).  The simulation advances through piecewise-constant segments
+delimited by flow arrivals, flow completions and noise epochs.
+
+A per-flow cap derived from the blocking-request latency model
+(:mod:`repro.netsim.latency`) accounts for the fact that IOR processes
+issue synchronous POSIX writes and therefore cannot fully pipeline.
+"""
+
+from .flows import FluidFlow, FlowStats
+from .latency import BlockingRequestModel, NoLatency
+from .maxmin import max_min_rates, solve_with_caps
+from .fluid import (
+    CapacityProvider,
+    ConstantCapacity,
+    FluidSimulation,
+    FluidResult,
+    NoiseModel,
+    NoNoise,
+    ResourceContext,
+)
+
+__all__ = [
+    "FluidFlow",
+    "FlowStats",
+    "max_min_rates",
+    "solve_with_caps",
+    "BlockingRequestModel",
+    "NoLatency",
+    "CapacityProvider",
+    "ConstantCapacity",
+    "ResourceContext",
+    "NoiseModel",
+    "NoNoise",
+    "FluidSimulation",
+    "FluidResult",
+]

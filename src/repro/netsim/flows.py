@@ -1,0 +1,115 @@
+"""Fluid flow descriptions and per-flow statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..errors import FlowError
+from ..units import bandwidth_mib_s
+
+__all__ = ["FluidFlow", "FlowStats"]
+
+
+@dataclass
+class FluidFlow:
+    """One steady data stream across a fixed set of resources.
+
+    Attributes
+    ----------
+    flow_id:
+        Unique identifier within a simulation.
+    resources:
+        Resource ids the flow crosses (every byte consumes capacity on
+        each of them simultaneously).
+    volume_bytes:
+        Total bytes to move; the flow completes when they are done.
+    weight:
+        *Depth weight*: the average number of outstanding requests this
+        flow keeps at a service-type resource.  For an N-1 IOR write
+        with ``ppn`` processes per node striped over ``k`` targets, the
+        per-(node, target) flow has weight ``ppn / k`` — summing over a
+        target's flows recovers the paper's total-concurrency argument.
+    nprocs:
+        Number of client processes behind the flow (used by the
+        blocking-request latency cap).
+    start_time:
+        Simulated arrival time (supports staggered concurrent apps).
+    tags:
+        Free-form labels (application id, server name, target id, ...)
+        used by analyses to group flows.
+    """
+
+    flow_id: str
+    resources: tuple[str, ...]
+    volume_bytes: float
+    weight: float = 1.0
+    nprocs: float = 1.0
+    start_time: float = 0.0
+    request_size_bytes: float | None = None
+    tags: Mapping[str, Any] = field(default_factory=dict)
+
+    # Runtime state managed by the simulation.
+    remaining_bytes: float = field(init=False)
+    rate_mib_s: float = field(init=False, default=0.0)
+    started_at: float | None = field(init=False, default=None)
+    finished_at: float | None = field(init=False, default=None)
+
+    def __post_init__(self) -> None:
+        if not self.flow_id:
+            raise FlowError("flow_id must be non-empty")
+        if not self.resources:
+            raise FlowError(f"flow {self.flow_id!r}: needs at least one resource")
+        if len(set(self.resources)) != len(self.resources):
+            raise FlowError(f"flow {self.flow_id!r}: duplicate resources {self.resources}")
+        if self.volume_bytes <= 0:
+            raise FlowError(f"flow {self.flow_id!r}: volume must be positive")
+        if self.weight <= 0 or self.nprocs <= 0:
+            raise FlowError(f"flow {self.flow_id!r}: weight/nprocs must be positive")
+        if self.start_time < 0:
+            raise FlowError(f"flow {self.flow_id!r}: negative start time")
+        if self.request_size_bytes is not None and self.request_size_bytes <= 0:
+            raise FlowError(f"flow {self.flow_id!r}: request size must be positive")
+        self.remaining_bytes = float(self.volume_bytes)
+        self.resources = tuple(self.resources)
+        self.tags = dict(self.tags)
+
+    @property
+    def done(self) -> bool:
+        return self.finished_at is not None
+
+    @property
+    def duration(self) -> float:
+        """Wall time from start to completion; raises if not finished."""
+        if self.started_at is None or self.finished_at is None:
+            raise FlowError(f"flow {self.flow_id!r} has not completed")
+        return self.finished_at - self.started_at
+
+    def stats(self) -> "FlowStats":
+        """Summary of a completed flow."""
+        return FlowStats(
+            flow_id=self.flow_id,
+            volume_bytes=self.volume_bytes,
+            started_at=self.started_at if self.started_at is not None else float("nan"),
+            finished_at=self.finished_at if self.finished_at is not None else float("nan"),
+            tags=dict(self.tags),
+        )
+
+
+@dataclass(frozen=True)
+class FlowStats:
+    """Immutable completion record of one flow."""
+
+    flow_id: str
+    volume_bytes: float
+    started_at: float
+    finished_at: float
+    tags: Mapping[str, Any]
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def mean_bandwidth_mib_s(self) -> float:
+        return bandwidth_mib_s(self.volume_bytes, self.duration)

@@ -1,0 +1,398 @@
+"""The fluid (piecewise-constant-rate) simulation engine.
+
+Time is partitioned into segments delimited by flow arrivals, flow
+completions and noise epochs.  Within a segment every capacity is
+constant, so rates are the max-min fair allocation and volumes advance
+linearly; the engine finds the earliest next boundary, integrates, and
+repeats.  Complexity is ``O(segments * maxmin)``, which for the paper's
+experiments (a few hundred flows, tens of segments) is sub-millisecond
+per run — this is what makes 100-repetition protocols practical.
+
+Capacities may depend on the set of active flows through the resource
+(e.g. a storage target whose service rate grows with the number of
+outstanding requests) and on multiplicative noise resampled every
+*epoch* (the production-system variability of Section III-C).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol, Sequence
+
+import numpy as np
+
+from ..errors import FlowError, SimulationError
+from ..simcore.monitor import TimeSeries
+from .flows import FlowStats, FluidFlow
+from .latency import BlockingRequestModel, NoLatency
+from .maxmin import max_min_rates
+
+__all__ = [
+    "ResourceContext",
+    "CapacityProvider",
+    "ConstantCapacity",
+    "NoiseModel",
+    "NoNoise",
+    "FluidSimulation",
+    "FluidResult",
+    "SegmentDetail",
+]
+
+_BYTES_EPS = 1e-3  # a flow with less than this many bytes left is done
+# A resource counts as *binding* in a segment when its usage reaches
+# this fraction of capacity: blocking-request latency caps legitimately
+# hold flows a few percent below the saturating resource, so exact
+# saturation would under-attribute (see analysis.bottleneck).
+_BINDING_UTILIZATION = 0.94
+_TIME_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class ResourceContext:
+    """What a capacity provider may depend on, for one segment."""
+
+    time: float
+    depth: float  # sum of depth weights of active flows through the resource
+    nflows: int  # number of active flows through the resource
+    noise: float  # multiplicative noise for this epoch (1.0 when noiseless)
+    distinct: int = 1  # distinct values of the provider's ``distinct_tag``
+
+
+def _distinct_tag_of(provider: object) -> str | None:
+    """Tag key a provider wants counted across its active flows, if any."""
+    return getattr(provider, "distinct_tag", None)
+
+
+class CapacityProvider(Protocol):
+    """Anything that yields a capacity (MiB/s) for a segment context."""
+
+    def capacity(self, ctx: ResourceContext) -> float:  # pragma: no cover
+        ...
+
+
+@dataclass(frozen=True)
+class ConstantCapacity:
+    """A fixed-capacity resource (a plain link); noise still applies."""
+
+    mib_s: float
+
+    def __post_init__(self) -> None:
+        if self.mib_s < 0:
+            raise FlowError(f"negative capacity {self.mib_s}")
+
+    def capacity(self, ctx: ResourceContext) -> float:
+        return self.mib_s * ctx.noise
+
+
+class NoiseModel(Protocol):
+    """Multiplicative capacity noise, piecewise-constant per epoch."""
+
+    @property
+    def epoch_length_s(self) -> float:  # pragma: no cover
+        """Correlation time of the noise (``inf`` = one draw per run)."""
+        ...
+
+    def multiplier(
+        self, resource_id: str, epoch: int, rng: np.random.Generator
+    ) -> float:  # pragma: no cover
+        ...
+
+
+class NoNoise:
+    """The noiseless model: every multiplier is exactly 1."""
+
+    epoch_length_s = math.inf
+
+    def multiplier(self, resource_id: str, epoch: int, rng: np.random.Generator) -> float:
+        return 1.0
+
+
+@dataclass(frozen=True)
+class SegmentDetail:
+    """One piecewise-constant segment's constraint picture.
+
+    ``binding`` lists the resources that were saturated during the
+    segment (the constraints that set the rates); ``utilization`` maps
+    every resource with active flows to usage/capacity;
+    ``latency_capped`` counts flows held below their fair share by the
+    blocking-request cap rather than by any resource.
+    """
+
+    start: float
+    duration: float
+    binding: tuple[str, ...]
+    utilization: dict[str, float]
+    latency_capped: int
+
+
+@dataclass
+class FluidResult:
+    """Outcome of a fluid simulation run."""
+
+    stats: list[FlowStats]
+    makespan: float
+    segments: int
+    resource_series: dict[str, TimeSeries] = field(default_factory=dict)
+    segment_details: list[SegmentDetail] = field(default_factory=list)
+
+    def stats_by_tag(self, key: str, value: object) -> list[FlowStats]:
+        """Completion records of flows tagged ``key=value``."""
+        return [s for s in self.stats if s.tags.get(key) == value]
+
+    def span(self, stats: Sequence[FlowStats] | None = None) -> tuple[float, float]:
+        """(earliest start, latest finish) over the given flows (or all)."""
+        chosen = self.stats if stats is None else list(stats)
+        if not chosen:
+            raise FlowError("no flows to span")
+        return (min(s.started_at for s in chosen), max(s.finished_at for s in chosen))
+
+    def total_volume(self, stats: Sequence[FlowStats] | None = None) -> float:
+        chosen = self.stats if stats is None else list(stats)
+        return float(sum(s.volume_bytes for s in chosen))
+
+
+class FluidSimulation:
+    """Build-and-run container for one fluid simulation.
+
+    Typical use::
+
+        sim = FluidSimulation()
+        sim.add_resource("link:a", 1100.0)
+        sim.add_flow(FluidFlow("f1", ("link:a",), volume_bytes=32 * GiB))
+        result = sim.run()
+    """
+
+    def __init__(
+        self,
+        noise: NoiseModel | None = None,
+        latency: BlockingRequestModel | NoLatency | None = None,
+        cap_iterations: int = 4,
+    ):
+        self._providers: dict[str, CapacityProvider] = {}
+        self._flows: list[FluidFlow] = []
+        self.noise: NoiseModel = noise if noise is not None else NoNoise()
+        self.latency = latency if latency is not None else NoLatency()
+        self.cap_iterations = cap_iterations
+
+    # -- construction --------------------------------------------------------
+
+    def add_resource(self, resource_id: str, capacity: CapacityProvider | float) -> None:
+        """Register a resource; a bare float means a constant capacity."""
+        if resource_id in self._providers:
+            raise FlowError(f"duplicate resource {resource_id!r}")
+        if isinstance(capacity, (int, float)):
+            capacity = ConstantCapacity(float(capacity))
+        self._providers[resource_id] = capacity
+
+    def has_resource(self, resource_id: str) -> bool:
+        return resource_id in self._providers
+
+    def add_flow(self, flow: FluidFlow) -> None:
+        missing = [r for r in flow.resources if r not in self._providers]
+        if missing:
+            raise FlowError(f"flow {flow.flow_id!r}: unknown resources {missing}")
+        if any(f.flow_id == flow.flow_id for f in self._flows):
+            raise FlowError(f"duplicate flow id {flow.flow_id!r}")
+        self._flows.append(flow)
+
+    def add_flows(self, flows: Iterable[FluidFlow]) -> None:
+        for flow in flows:
+            self.add_flow(flow)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(
+        self,
+        rng: np.random.Generator | None = None,
+        observe: Sequence[str] = (),
+        max_time: float = 1e7,
+        detail: bool = False,
+    ) -> FluidResult:
+        """Run to completion of all flows.
+
+        Parameters
+        ----------
+        rng:
+            Generator for the noise model (unused when noiseless).
+        observe:
+            Resource ids whose aggregate throughput should be recorded
+            as a :class:`~repro.simcore.monitor.TimeSeries` (this is the
+            data behind the paper's Figure 9).
+        max_time:
+            Hard stop to turn accidental stalls into loud errors.
+        detail:
+            Record a :class:`SegmentDetail` per segment (binding
+            resources, utilizations) for bottleneck attribution.
+        """
+        if not self._flows:
+            raise FlowError("no flows to simulate")
+        for rid in observe:
+            if rid not in self._providers:
+                raise FlowError(f"cannot observe unknown resource {rid!r}")
+
+        rids = list(self._providers)
+        rid_index = {rid: i for i, rid in enumerate(rids)}
+        flows = sorted(self._flows, key=lambda f: (f.start_time, f.flow_id))
+        pending = list(flows)
+        active: list[FluidFlow] = []
+        series = {rid: TimeSeries() for rid in observe}
+
+        epoch_len = self.noise.epoch_length_s
+        has_epochs = math.isfinite(epoch_len)
+        noise_rng = rng
+        multipliers = np.ones(len(rids))
+        current_epoch = -1
+
+        def resample_noise(epoch: int) -> None:
+            nonlocal current_epoch
+            if epoch == current_epoch:
+                return
+            current_epoch = epoch
+            if isinstance(self.noise, NoNoise) or noise_rng is None:
+                return
+            for i, rid in enumerate(rids):
+                multipliers[i] = self.noise.multiplier(rid, epoch, noise_rng)
+
+        now = pending[0].start_time
+        segments = 0
+        details: list[SegmentDetail] = []
+        while pending or active:
+            # Admit arrivals.
+            while pending and pending[0].start_time <= now + _TIME_EPS:
+                flow = pending.pop(0)
+                flow.started_at = now
+                active.append(flow)
+            if not active:
+                # Idle gap until the next arrival: the observed series
+                # must record zero throughput, or integration would
+                # extend the previous segment's rate across the gap.
+                for rid in observe:
+                    series[rid].append(now, 0.0)
+                now = pending[0].start_time
+                continue
+
+            epoch = int(now / epoch_len) if has_epochs else 0
+            resample_noise(epoch)
+
+            # Per-resource context: depth, flow count and distinct tags.
+            depth = np.zeros(len(rids))
+            nflows = np.zeros(len(rids), dtype=int)
+            distinct: dict[int, set] = {}
+            memberships: list[list[int]] = []
+            for flow in active:
+                idxs = [rid_index[r] for r in flow.resources]
+                memberships.append(idxs)
+                for i in idxs:
+                    depth[i] += flow.weight
+                    nflows[i] += 1
+                    tag = _distinct_tag_of(self._providers[rids[i]])
+                    if tag is not None:
+                        distinct.setdefault(i, set()).add(flow.tags.get(tag))
+
+            capacities = np.array(
+                [
+                    self._providers[rid].capacity(
+                        ResourceContext(
+                            now,
+                            depth[i],
+                            int(nflows[i]),
+                            multipliers[i],
+                            len(distinct.get(i, ())) or 1,
+                        )
+                    )
+                    for i, rid in enumerate(rids)
+                ]
+            )
+            if np.any(capacities < 0):
+                raise SimulationError("capacity provider returned a negative capacity")
+
+            nprocs = np.array([f.nprocs for f in active])
+            req_sizes = np.array(
+                [f.request_size_bytes if f.request_size_bytes is not None else np.nan for f in active]
+            )
+            # Latency caps are seeded from the uncapped (offered) shares
+            # and only allowed to rise afterwards (see solve_with_caps).
+            rates = max_min_rates(memberships, capacities)
+            caps = self.latency.flow_caps(rates, nprocs, req_sizes)
+            for _ in range(self.cap_iterations):
+                rates = max_min_rates(memberships, capacities, caps)
+                new_caps = np.maximum(caps, self.latency.flow_caps(rates, nprocs, req_sizes))
+                if np.allclose(new_caps, caps, rtol=1e-6, atol=1e-9):
+                    break
+                caps = new_caps
+            for flow, rate in zip(active, rates):
+                flow.rate_mib_s = float(rate)
+
+            # Segment boundary: earliest of completion / arrival / epoch end.
+            dt = math.inf
+            rates_bytes = rates * 1024.0**2
+            for flow, rb in zip(active, rates_bytes):
+                if rb > 0:
+                    dt = min(dt, flow.remaining_bytes / rb)
+            if pending:
+                dt = min(dt, pending[0].start_time - now)
+            if has_epochs:
+                dt = min(dt, (epoch + 1) * epoch_len - now)
+            if not math.isfinite(dt) or dt < 0:
+                stuck = [f.flow_id for f in active]
+                raise SimulationError(f"fluid simulation stalled at t={now}: flows {stuck}")
+            dt = max(dt, 0.0)
+
+            for rid in observe:
+                i = rid_index[rid]
+                throughput = sum(r for idxs, r in zip(memberships, rates) if i in idxs)
+                series[rid].append(now, float(throughput))
+
+            if detail:
+                usage = np.zeros(len(rids))
+                for idxs, rate in zip(memberships, rates):
+                    for i in idxs:
+                        usage[i] += rate
+                utilization = {}
+                binding = []
+                for i, rid in enumerate(rids):
+                    if nflows[i] == 0:
+                        continue
+                    cap = capacities[i]
+                    utilization[rid] = float(usage[i] / cap) if cap > 0 else 1.0
+                    if usage[i] >= _BINDING_UTILIZATION * cap:
+                        binding.append(rid)
+                latency_capped = int(np.sum((caps < np.inf) & (rates >= caps - 1e-9)))
+                details.append(
+                    SegmentDetail(
+                        start=now,
+                        duration=dt,
+                        binding=tuple(binding),
+                        utilization=utilization,
+                        latency_capped=latency_capped,
+                    )
+                )
+
+            # Integrate the segment.
+            now += dt
+            if now > max_time:
+                raise SimulationError(f"fluid simulation exceeded max_time={max_time}")
+            still_active: list[FluidFlow] = []
+            for flow, rb in zip(active, rates_bytes):
+                flow.remaining_bytes -= rb * dt
+                if flow.remaining_bytes <= _BYTES_EPS:
+                    flow.remaining_bytes = 0.0
+                    flow.finished_at = now
+                else:
+                    still_active.append(flow)
+            active = still_active
+            segments += 1
+
+        for rid in observe:
+            series[rid].append(now, 0.0)
+
+        stats = [f.stats() for f in flows]
+        makespan = max(s.finished_at for s in stats)
+        return FluidResult(
+            stats=stats,
+            makespan=makespan,
+            segments=segments,
+            resource_series=series,
+            segment_details=details,
+        )

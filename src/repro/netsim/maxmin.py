@@ -1,0 +1,156 @@
+"""Max-min fair rate allocation (progressive filling / water-filling).
+
+Given flows, each crossing a subset of capacitated resources, the
+max-min fair allocation raises all rates together until a resource
+saturates, freezes the flows crossing it, and continues with the rest.
+This is the classic fluid model of fair bandwidth sharing; it is what
+makes the paper's Figure 9 argument quantitative (an unbalanced (1,3)
+allocation leaves one server link idle for part of the run).
+
+Per-flow rate caps are supported both directly (``flow_caps``) and as
+rate-dependent callables through :func:`solve_with_caps`, which runs a
+short damped fixed-point iteration (caps only ever shrink, so the
+iteration converges monotonically).
+
+The implementation is vectorised with NumPy over an incidence matrix;
+problem sizes here are a few hundred flows over a few dozen resources,
+for which this is effectively instantaneous.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import FlowError
+
+__all__ = ["max_min_rates", "solve_with_caps"]
+
+_EPS = 1e-9
+
+
+def max_min_rates(
+    memberships: Sequence[Sequence[int]],
+    capacities: np.ndarray | Sequence[float],
+    flow_caps: np.ndarray | Sequence[float] | None = None,
+) -> np.ndarray:
+    """Compute the max-min fair rates of ``F`` flows over ``R`` resources.
+
+    Parameters
+    ----------
+    memberships:
+        For each flow, the indices of the resources it crosses.
+    capacities:
+        Capacity of each resource (same unit as the returned rates).
+    flow_caps:
+        Optional hard per-flow rate caps (``inf`` for uncapped).
+
+    Returns
+    -------
+    numpy.ndarray
+        The rate of each flow.  Flows crossing a zero-capacity resource
+        get rate 0.  The allocation saturates at least one constraint
+        per flow (resource or cap), the defining property of max-min
+        fairness.
+    """
+    caps = np.asarray(capacities, dtype=float)
+    nres = caps.shape[0]
+    nflows = len(memberships)
+    if np.any(caps < 0):
+        raise FlowError("negative resource capacity")
+    rates = np.zeros(nflows)
+    if nflows == 0:
+        return rates
+
+    incidence = np.zeros((nflows, nres), dtype=bool)
+    for f, res in enumerate(memberships):
+        if len(res) == 0:
+            raise FlowError(f"flow {f} crosses no resources")
+        for r in res:
+            if not 0 <= r < nres:
+                raise FlowError(f"flow {f}: resource index {r} out of range")
+            incidence[f, r] = True
+
+    if flow_caps is None:
+        cap_rem = np.full(nflows, np.inf)
+    else:
+        cap_rem = np.asarray(flow_caps, dtype=float).copy()
+        if cap_rem.shape != (nflows,):
+            raise FlowError("flow_caps must have one entry per flow")
+        if np.any(cap_rem < 0):
+            raise FlowError("negative flow cap")
+
+    active = np.ones(nflows, dtype=bool)
+    rem = caps.astype(float).copy()
+
+    # Flows through zero-capacity resources can never move.
+    dead = incidence[:, rem <= _EPS].any(axis=1)
+    active &= ~dead
+    # Flows capped at zero are immediately frozen at rate 0.
+    active &= cap_rem > _EPS
+
+    # Each iteration freezes at least one flow, so this terminates in at
+    # most ``nflows`` iterations.
+    for _ in range(nflows + nres + 1):
+        if not active.any():
+            break
+        users = incidence[active].sum(axis=0)  # active flows per resource
+        with np.errstate(divide="ignore", invalid="ignore"):
+            headroom = np.where(users > 0, rem / np.maximum(users, 1), np.inf)
+        delta_res = headroom.min() if np.isfinite(headroom).any() else np.inf
+        delta_cap = cap_rem[active].min()
+        delta = min(delta_res, delta_cap)
+        if not np.isfinite(delta):
+            raise FlowError("unbounded max-min allocation (no finite constraint)")
+        delta = max(delta, 0.0)
+
+        rates[active] += delta
+        rem -= delta * users
+        cap_rem[active] -= delta
+
+        saturated_res = (rem <= _EPS) & (users > 0)
+        freeze = active & (incidence[:, saturated_res].any(axis=1) | (cap_rem <= _EPS))
+        if not freeze.any():
+            # Numerical corner: force-freeze the flows at the tightest
+            # constraint so progress is guaranteed.
+            tight = np.argmin(np.where(active, cap_rem, np.inf))
+            freeze = np.zeros(nflows, dtype=bool)
+            freeze[tight] = True
+        active &= ~freeze
+    else:  # pragma: no cover - loop bound is a hard invariant
+        raise FlowError("max-min allocation did not converge")
+    return rates
+
+
+def solve_with_caps(
+    memberships: Sequence[Sequence[int]],
+    capacities: np.ndarray | Sequence[float],
+    cap_fn: Callable[[np.ndarray], np.ndarray] | None,
+    iterations: int = 4,
+) -> np.ndarray:
+    """Max-min allocation with rate-dependent per-flow caps.
+
+    ``cap_fn(rates)`` returns, for each flow, the maximum rate it can
+    actually sustain when offered that share (e.g. the blocking-request
+    model of :mod:`repro.netsim.latency`).  Because ``cap_fn`` maps an
+    offered share to a strictly smaller achieved rate, naively iterating
+    it on its own output spirals to zero; the physically meaningful cap
+    is the one evaluated at the *offered* (uncapped) share.  So the caps
+    are seeded from the uncapped allocation and afterwards only allowed
+    to **rise** — a flow whose share grows when others are capped may
+    achieve more — which converges monotonically.
+    """
+    rates = max_min_rates(memberships, capacities, None)
+    if cap_fn is None:
+        return rates
+    caps = np.asarray(cap_fn(rates), dtype=float)
+    if caps.shape != rates.shape:
+        raise FlowError("cap_fn returned wrong shape")
+    for _ in range(max(1, iterations)):
+        rates = max_min_rates(memberships, capacities, caps)
+        new_caps = np.maximum(caps, np.asarray(cap_fn(rates), dtype=float))
+        if np.allclose(new_caps, caps, rtol=1e-6, atol=1e-9):
+            break
+        caps = new_caps
+    return rates

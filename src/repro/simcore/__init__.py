@@ -1,0 +1,33 @@
+"""A small discrete-event simulation (DES) kernel.
+
+This is the substrate under the request-level BeeGFS engine
+(:mod:`repro.engine.des_runner`).  It follows the classic
+process-interaction style (a la SimPy): simulation processes are Python
+generators that ``yield`` waitables — :class:`Timeout`, :class:`Event`,
+resource requests — and the :class:`Simulator` advances virtual time by
+draining a priority queue of scheduled callbacks.
+
+The kernel is deliberately self-contained (no dependency on the rest of
+the library) and fully deterministic: ties in time are broken by a
+monotonically increasing sequence number.
+"""
+
+from .events import Event, EventQueue, ScheduledCallback
+from .kernel import Process, Simulator, Timeout
+from .monitor import Probe, TimeSeries, Trace
+from .resources import Container, Resource, Store
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "ScheduledCallback",
+    "Simulator",
+    "Process",
+    "Timeout",
+    "Resource",
+    "Container",
+    "Store",
+    "Trace",
+    "TimeSeries",
+    "Probe",
+]

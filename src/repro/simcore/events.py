@@ -1,0 +1,165 @@
+"""Event primitives for the DES kernel.
+
+Two concepts live here:
+
+* :class:`ScheduledCallback` — an entry of the simulator's time-ordered
+  queue (a callable to run at an absolute virtual time).
+* :class:`Event` — a one-shot synchronisation object processes can wait
+  on; it carries a value or an exception once triggered.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator
+
+from ..errors import SimulationError
+
+__all__ = ["ScheduledCallback", "EventQueue", "Event"]
+
+
+class ScheduledCallback:
+    """A callback scheduled at an absolute simulation time.
+
+    ``priority`` orders callbacks scheduled at the same instant (lower runs
+    first); ``seq`` breaks remaining ties FIFO, making execution order
+    fully deterministic.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "cancelled")
+
+    def __init__(self, time: float, priority: int, seq: int, fn: Callable[[], None]):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the callback as cancelled; the queue will skip it."""
+        self.cancelled = True
+
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "ScheduledCallback") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<ScheduledCallback t={self.time:.6g} prio={self.priority}{state}>"
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`ScheduledCallback`.
+
+    Cancelled entries are dropped lazily on pop, which keeps ``cancel`` O(1).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledCallback] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return sum(1 for cb in self._heap if not cb.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not cb.cancelled for cb in self._heap)
+
+    def push(self, time: float, fn: Callable[[], None], priority: int = 0) -> ScheduledCallback:
+        """Schedule ``fn`` at absolute time ``time`` and return the handle."""
+        cb = ScheduledCallback(time, priority, self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._heap, cb)
+        return cb
+
+    def peek_time(self) -> float | None:
+        """Time of the next live callback, or ``None`` if empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> ScheduledCallback:
+        """Remove and return the next live callback."""
+        self._drop_cancelled()
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        return heapq.heappop(self._heap)
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def __iter__(self) -> Iterator[ScheduledCallback]:  # pragma: no cover
+        return (cb for cb in sorted(self._heap) if not cb.cancelled)
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    An event is *triggered* at most once, either with :meth:`succeed`
+    (carrying an optional value) or :meth:`fail` (carrying an exception
+    that is re-raised inside every waiting process).
+    """
+
+    __slots__ = ("_callbacks", "_triggered", "_value", "_exception", "name")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._callbacks: list[Callable[[Event], None]] = []
+        self._triggered = False
+        self._value: Any = None
+        self._exception: BaseException | None = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True once the event succeeded."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError(f"value of untriggered event {self.name!r}")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> BaseException | None:
+        return self._exception
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when triggered (immediately if already done)."""
+        if self._triggered:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully."""
+        self._trigger(value, None)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._trigger(None, exception)
+        return self
+
+    def _trigger(self, value: Any, exception: BaseException | None) -> None:
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        self._exception = exception
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<Event {self.name!r} {state}>"

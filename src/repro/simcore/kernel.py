@@ -1,0 +1,218 @@
+"""The simulation kernel: virtual clock, scheduler and processes.
+
+A *process* is a Python generator that yields waitables:
+
+* ``Timeout(delay)`` — resume after ``delay`` units of virtual time;
+* :class:`~repro.simcore.events.Event` — resume when triggered (the
+  ``yield`` expression evaluates to the event's value);
+* another :class:`Process` — resume when that process terminates (its
+  return value is delivered);
+* a list/tuple of events — resume when *all* have triggered.
+
+Exceptions travel: if a waited-on event fails, the exception is thrown
+into the waiting generator at the ``yield`` site.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from ..errors import DeadlockError, SimulationError
+from .events import Event, EventQueue, ScheduledCallback
+
+__all__ = ["Timeout", "Process", "Simulator"]
+
+ProcessGenerator = Generator[Any, Any, Any]
+
+
+class Timeout:
+    """A relative delay a process can yield on."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay}")
+        self.delay = delay
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeout({self.delay!r})"
+
+
+class Process(Event):
+    """A running simulation process.
+
+    A process *is* an event: it triggers (with the generator's return
+    value) when the generator is exhausted, so processes can wait on each
+    other directly.
+    """
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = ""):
+        super().__init__(name=name or getattr(generator, "__name__", "process"))
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process body must be a generator, got {generator!r}")
+        self._sim = sim
+        self._generator = generator
+        # Kick off at the current time, after already-scheduled events.
+        sim._schedule(0.0, lambda: self._resume(None, None), priority=1)
+
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: BaseException | None = None) -> None:
+        """Throw an exception into the process at its current yield point."""
+        if self.triggered:
+            raise SimulationError(f"interrupting finished process {self.name!r}")
+        exc = cause if cause is not None else SimulationError("interrupted")
+        self._sim._schedule(0.0, lambda: self._resume(None, exc), priority=0)
+
+    # -- internal machinery -------------------------------------------------
+
+    def _resume(self, value: Any, exc: BaseException | None) -> None:
+        if self.triggered:  # interrupted after completion already queued
+            return
+        try:
+            if exc is not None:
+                target = self._generator.throw(exc)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:
+            self.fail(err)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        sim = self._sim
+        if isinstance(target, Timeout):
+            sim._schedule(target.delay, lambda: self._resume(target.value, None))
+        elif isinstance(target, Event):
+            target.add_callback(self._on_event)
+        elif isinstance(target, (list, tuple)):
+            self._wait_all(list(target))
+        else:
+            exc = SimulationError(f"process {self.name!r} yielded non-waitable {target!r}")
+            sim._schedule(0.0, lambda: self._resume(None, exc))
+
+    def _on_event(self, event: Event) -> None:
+        if event.exception is not None:
+            self._resume(None, event.exception)
+        else:
+            self._resume(event._value, None)
+
+    def _wait_all(self, events: list[Any]) -> None:
+        pending = [ev for ev in events if isinstance(ev, Event) and not ev.triggered]
+        bad = [ev for ev in events if not isinstance(ev, Event)]
+        if bad:
+            exc = SimulationError(f"process {self.name!r} yielded non-event in all-of: {bad[0]!r}")
+            self._sim._schedule(0.0, lambda: self._resume(None, exc))
+            return
+        failed = next((ev for ev in events if ev.triggered and ev.exception is not None), None)
+        if failed is not None:
+            self._resume(None, failed.exception)
+            return
+        if not pending:
+            self._resume([ev._value for ev in events], None)
+            return
+        remaining = {"n": len(pending)}
+
+        def one_done(ev: Event) -> None:
+            if self.triggered:
+                return
+            if ev.exception is not None:
+                self._resume(None, ev.exception)
+                return
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                self._resume([e._value for e in events], None)
+
+        for ev in pending:
+            ev.add_callback(one_done)
+
+
+class Simulator:
+    """Virtual clock plus deterministic event loop."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self.processes: list[Process] = []
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds by library convention)."""
+        return self._now
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, delay: float, fn: Callable[[], None], priority: int = 0) -> ScheduledCallback:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self._queue.push(self._now + delay, fn, priority)
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> ScheduledCallback:
+        """Run a plain callback after ``delay`` virtual seconds."""
+        return self._schedule(delay, fn)
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh one-shot event bound to this simulator."""
+        return Event(name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` (sugar matching SimPy's API)."""
+        return Timeout(delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a new process from a generator and return its handle."""
+        proc = Process(self, generator, name=name)
+        self.processes.append(proc)
+        return proc
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute the single next callback, advancing the clock."""
+        cb = self._queue.pop()
+        if cb.time < self._now:
+            raise SimulationError("event queue went backwards in time")
+        self._now = cb.time
+        cb.fn()
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the event queue; optionally stop at virtual time ``until``.
+
+        Returns the final virtual time.  Raises :class:`DeadlockError` if
+        the queue empties while processes are still alive (a process waits
+        on an event nobody will trigger).
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if until is None:
+            stuck = [p.name for p in self.processes if p.alive]
+            if stuck:
+                raise DeadlockError(f"simulation deadlocked; waiting processes: {stuck}")
+        return self._now
+
+    def run_process(self, generator: ProcessGenerator, name: str = "") -> Any:
+        """Convenience: start one process, run to completion, return its value."""
+        proc = self.process(generator, name=name)
+        self.run()
+        return proc.value

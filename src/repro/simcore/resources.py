@@ -1,0 +1,146 @@
+"""Shared-resource primitives for the DES kernel.
+
+* :class:`Resource` — a counted semaphore with a FIFO wait queue (models
+  e.g. the bounded worker pool of a storage service, or the limited
+  number of in-flight requests a BeeGFS client node sustains).
+* :class:`Container` — a continuous quantity that can be put/got (models
+  buffer space).
+* :class:`Store` — a FIFO of Python objects with blocking get (models
+  request queues between services).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from ..errors import SimulationError
+from .events import Event
+from .kernel import Simulator
+
+__all__ = ["Resource", "Container", "Store"]
+
+
+class Resource:
+    """A counted resource with FIFO queueing.
+
+    Usage inside a process::
+
+        req = resource.request()
+        yield req
+        try:
+            ...critical section...
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that triggers once a unit is granted."""
+        ev = Event(name=f"{self.name}.request")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Return one unit; wakes the longest-waiting requester."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            # Hand the unit directly to the next waiter: occupancy unchanged.
+            self._waiters.popleft().succeed(self)
+        else:
+            self._in_use -= 1
+
+
+class Container:
+    """A continuous quantity with blocking ``get``.
+
+    ``put`` never blocks (unbounded by default); ``get`` blocks until the
+    requested amount is available.  Waiters are served FIFO.
+    """
+
+    def __init__(self, sim: Simulator, init: float = 0.0, capacity: float = float("inf")):
+        if init < 0 or init > capacity:
+            raise ValueError(f"invalid initial level {init} (capacity {capacity})")
+        self._sim = sim
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: Deque[tuple[float, Event]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> None:
+        if amount < 0:
+            raise ValueError(f"negative put: {amount}")
+        if self._level + amount > self.capacity + 1e-12:
+            raise SimulationError("container overflow")
+        self._level += amount
+        self._drain()
+
+    def get(self, amount: float) -> Event:
+        if amount < 0:
+            raise ValueError(f"negative get: {amount}")
+        ev = Event(name="container.get")
+        self._getters.append((amount, ev))
+        self._drain()
+        return ev
+
+    def _drain(self) -> None:
+        while self._getters:
+            amount, ev = self._getters[0]
+            if amount > self._level + 1e-12:
+                break
+            self._getters.popleft()
+            self._level -= amount
+            ev.succeed(amount)
+
+
+class Store:
+    """A FIFO queue of items with blocking ``get``."""
+
+    def __init__(self, sim: Simulator, name: str = "store"):
+        self._sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Add an item; wakes the longest-waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event carrying the next item once available."""
+        ev = Event(name=f"{self.name}.get")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev

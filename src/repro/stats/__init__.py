@@ -1,0 +1,34 @@
+"""Statistics used by the paper's analysis.
+
+* descriptive summaries and confidence intervals (Lesson 5's "look at
+  all the points, not only the mean"),
+* boxplot statistics (Figures 8, 10, 13),
+* bi-modality detection (the scenario-1 allocation mixtures),
+* Welch's t-test and Kolmogorov-Smirnov normality checks (the
+  shared-vs-distinct OST comparison of Section IV-D),
+* bootstrap confidence intervals for ratio-of-means claims.
+"""
+
+from .summary import Summary, describe, mean_ci
+from .boxplot import BoxplotStats, boxplot_stats, grouped_boxplots
+from .bimodality import BimodalityReport, bimodality_coefficient, fit_two_gaussians, is_bimodal
+from .tests import TestResult, ks_normality, welch_ttest
+from .bootstrap import bootstrap_ci, bootstrap_ratio_ci
+
+__all__ = [
+    "Summary",
+    "describe",
+    "mean_ci",
+    "BoxplotStats",
+    "boxplot_stats",
+    "grouped_boxplots",
+    "BimodalityReport",
+    "bimodality_coefficient",
+    "fit_two_gaussians",
+    "is_bimodal",
+    "TestResult",
+    "welch_ttest",
+    "ks_normality",
+    "bootstrap_ci",
+    "bootstrap_ratio_ci",
+]

@@ -1,0 +1,171 @@
+"""Bi-modality detection.
+
+Scenario 1's stripe counts 2, 3, 5 and 6 produce *bi-modal* bandwidth
+distributions because the round-robin chooser lands on different
+(min, max) placements in different runs (Section IV-C1).  Two
+detectors are provided:
+
+* the **bimodality coefficient** ``BC = (skew^2 + 1) / kurtosis`` —
+  values above the uniform-distribution benchmark (5/9 ~ 0.555)
+  suggest more than one mode;
+* a **two-component Gaussian mixture** fitted by EM, compared against
+  a single Gaussian by BIC, with a separation requirement between the
+  fitted means (Ashman's D > 2 is the classic "clearly separated"
+  threshold).
+
+:func:`is_bimodal` combines them: the mixture must win the BIC
+comparison *and* be well separated with non-trivial weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+from ..errors import AnalysisError
+
+__all__ = ["bimodality_coefficient", "fit_two_gaussians", "BimodalityReport", "is_bimodal"]
+
+BC_UNIFORM_BENCHMARK = 5.0 / 9.0
+
+
+def bimodality_coefficient(values: object) -> float:
+    """Sarle's bimodality coefficient with small-sample correction."""
+    arr = np.asarray(values, dtype=float).ravel()
+    n = arr.size
+    if n < 4:
+        raise AnalysisError(f"bimodality coefficient needs >= 4 samples, got {n}")
+    if np.allclose(arr, arr[0]):
+        return 0.0
+    skew = float(sps.skew(arr, bias=False))
+    kurt = float(sps.kurtosis(arr, bias=False))  # excess kurtosis
+    denom = kurt + 3.0 * (n - 1) ** 2 / ((n - 2) * (n - 3))
+    if denom <= 0:
+        return 1.0
+    return (skew**2 + 1.0) / denom
+
+
+@dataclass(frozen=True)
+class GaussianMixture2:
+    """A fitted two-component 1-D Gaussian mixture."""
+
+    weights: tuple[float, float]
+    means: tuple[float, float]
+    stds: tuple[float, float]
+    log_likelihood: float
+    converged: bool
+
+    @property
+    def ashman_d(self) -> float:
+        """Ashman's D: separation of the two means in pooled-sigma units."""
+        m1, m2 = self.means
+        s1, s2 = self.stds
+        return float(np.sqrt(2.0) * abs(m1 - m2) / np.sqrt(s1**2 + s2**2))
+
+    @property
+    def minor_weight(self) -> float:
+        return min(self.weights)
+
+    def bic(self, n: int) -> float:
+        # 5 free parameters: 2 means, 2 stds, 1 weight.
+        return 5.0 * np.log(n) - 2.0 * self.log_likelihood
+
+
+def _single_gaussian_bic(arr: np.ndarray) -> float:
+    mu, sigma = float(arr.mean()), float(arr.std())
+    sigma = max(sigma, 1e-12)
+    loglik = float(np.sum(sps.norm.logpdf(arr, mu, sigma)))
+    return 2.0 * np.log(arr.size) - 2.0 * loglik
+
+
+def fit_two_gaussians(values: object, max_iter: int = 200, tol: float = 1e-8) -> GaussianMixture2:
+    """EM fit of a two-component Gaussian mixture (deterministic init).
+
+    Initialisation splits the sorted sample at the median, which is
+    robust for the well-separated mixtures we care about.
+    """
+    arr = np.sort(np.asarray(values, dtype=float).ravel())
+    n = arr.size
+    if n < 6:
+        raise AnalysisError(f"mixture fit needs >= 6 samples, got {n}")
+    spread = float(arr.std())
+    if spread == 0:
+        return GaussianMixture2((0.5, 0.5), (arr[0], arr[0]), (1e-12, 1e-12), np.inf, True)
+
+    half = n // 2
+    mu = np.array([arr[:half].mean(), arr[half:].mean()])
+    sigma = np.array([max(arr[:half].std(), spread / 10), max(arr[half:].std(), spread / 10)])
+    w = np.array([0.5, 0.5])
+    floor = max(spread * 1e-3, 1e-12)
+
+    loglik = -np.inf
+    converged = False
+    for _ in range(max_iter):
+        # E step.
+        comp = np.stack([w[k] * sps.norm.pdf(arr, mu[k], sigma[k]) for k in range(2)])
+        total = comp.sum(axis=0)
+        total = np.maximum(total, 1e-300)
+        resp = comp / total
+        new_loglik = float(np.sum(np.log(total)))
+        # M step.
+        nk = resp.sum(axis=1)
+        nk = np.maximum(nk, 1e-12)
+        w = nk / n
+        mu = (resp @ arr) / nk
+        for k in range(2):
+            var = float(resp[k] @ (arr - mu[k]) ** 2) / nk[k]
+            sigma[k] = max(np.sqrt(var), floor)
+        if abs(new_loglik - loglik) < tol * (1 + abs(new_loglik)):
+            loglik = new_loglik
+            converged = True
+            break
+        loglik = new_loglik
+
+    order = np.argsort(mu)
+    return GaussianMixture2(
+        weights=(float(w[order[0]]), float(w[order[1]])),
+        means=(float(mu[order[0]]), float(mu[order[1]])),
+        stds=(float(sigma[order[0]]), float(sigma[order[1]])),
+        log_likelihood=loglik,
+        converged=converged,
+    )
+
+
+@dataclass(frozen=True)
+class BimodalityReport:
+    """Combined evidence for/against bi-modality of one sample."""
+
+    n: int
+    coefficient: float
+    mixture: GaussianMixture2
+    bic_single: float
+    bic_mixture: float
+
+    @property
+    def mixture_preferred(self) -> bool:
+        return self.bic_mixture < self.bic_single
+
+    @property
+    def bimodal(self) -> bool:
+        """Conservative verdict: BIC prefers the mixture, the modes are
+        separated (Ashman's D > 2) and neither mode is negligible."""
+        return (
+            self.mixture_preferred
+            and self.mixture.ashman_d > 2.0
+            and self.mixture.minor_weight > 0.1
+        )
+
+
+def is_bimodal(values: object) -> BimodalityReport:
+    """Run both detectors and return the combined report."""
+    arr = np.asarray(values, dtype=float).ravel()
+    mixture = fit_two_gaussians(arr)
+    return BimodalityReport(
+        n=int(arr.size),
+        coefficient=bimodality_coefficient(arr),
+        mixture=mixture,
+        bic_single=_single_gaussian_bic(arr),
+        bic_mixture=mixture.bic(arr.size),
+    )

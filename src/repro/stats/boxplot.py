@@ -1,0 +1,71 @@
+"""Boxplot statistics (Tukey): the data behind Figures 8, 10 and 13."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+__all__ = ["BoxplotStats", "boxplot_stats", "grouped_boxplots"]
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Five-number summary with 1.5-IQR whiskers and outliers."""
+
+    n: int
+    q1: float
+    median: float
+    q3: float
+    whisker_low: float
+    whisker_high: float
+    outliers: tuple[float, ...]
+    mean: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+
+def boxplot_stats(values: object, whisker: float = 1.5) -> BoxplotStats:
+    """Tukey boxplot statistics of one sample.
+
+    Whiskers extend to the most extreme data point within
+    ``whisker * IQR`` of the box; everything beyond is an outlier.
+    """
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        raise AnalysisError("boxplot of an empty sample")
+    if np.any(~np.isfinite(arr)):
+        raise AnalysisError("sample contains non-finite values")
+    if whisker < 0:
+        raise AnalysisError("whisker factor must be non-negative")
+    q1, median, q3 = np.percentile(arr, [25, 50, 75])
+    iqr = q3 - q1
+    lo_fence = q1 - whisker * iqr
+    hi_fence = q3 + whisker * iqr
+    inside = arr[(arr >= lo_fence) & (arr <= hi_fence)]
+    outliers = arr[(arr < lo_fence) | (arr > hi_fence)]
+    return BoxplotStats(
+        n=int(arr.size),
+        q1=float(q1),
+        median=float(median),
+        q3=float(q3),
+        # Whiskers reach the most extreme in-fence point but never
+        # retreat inside the box (interpolated quartiles can exceed
+        # every in-fence sample on small discrete data).
+        whisker_low=float(min(inside.min(), q1)) if inside.size else float(q1),
+        whisker_high=float(max(inside.max(), q3)) if inside.size else float(q3),
+        outliers=tuple(float(x) for x in np.sort(outliers)),
+        mean=float(arr.mean()),
+    )
+
+
+def grouped_boxplots(groups: Mapping[Any, object], whisker: float = 1.5) -> dict[Any, BoxplotStats]:
+    """Boxplot statistics per group, keys preserved and sorted."""
+    if not groups:
+        raise AnalysisError("no groups to summarise")
+    return {key: boxplot_stats(vals, whisker) for key, vals in sorted(groups.items(), key=lambda kv: str(kv[0]))}

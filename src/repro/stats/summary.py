@@ -1,0 +1,94 @@
+"""Descriptive summaries and confidence intervals."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+from ..errors import AnalysisError
+
+__all__ = ["Summary", "describe", "mean_ci"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Descriptive statistics of one sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (std / mean)."""
+        if self.mean == 0:
+            raise AnalysisError("CV of a zero-mean sample")
+        return self.std / abs(self.mean)
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    @property
+    def spread(self) -> float:
+        """Max minus min — the 'shadow' of the paper's Figure 2."""
+        return self.maximum - self.minimum
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "q1": self.q1,
+            "median": self.median,
+            "q3": self.q3,
+            "max": self.maximum,
+        }
+
+
+def _clean(values: object) -> np.ndarray:
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        raise AnalysisError("empty sample")
+    if np.any(~np.isfinite(arr)):
+        raise AnalysisError("sample contains non-finite values")
+    return arr
+
+
+def describe(values: object) -> Summary:
+    """Descriptive summary (std is the sample standard deviation)."""
+    arr = _clean(values)
+    q1, median, q3 = np.percentile(arr, [25, 50, 75])
+    # Clamp against 1-ulp float dust so mean respects [min, max] exactly.
+    mean = float(min(max(arr.mean(), arr.min()), arr.max()))
+    return Summary(
+        n=int(arr.size),
+        mean=mean,
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        q1=float(q1),
+        median=float(median),
+        q3=float(q3),
+        maximum=float(arr.max()),
+    )
+
+
+def mean_ci(values: object, confidence: float = 0.95) -> tuple[float, float, float]:
+    """(mean, low, high): Student-t confidence interval of the mean."""
+    if not 0 < confidence < 1:
+        raise AnalysisError(f"confidence must be in (0, 1), got {confidence}")
+    arr = _clean(values)
+    mean = float(arr.mean())
+    if arr.size < 2:
+        return (mean, mean, mean)
+    sem = float(arr.std(ddof=1)) / np.sqrt(arr.size)
+    half = float(sps.t.ppf(0.5 + confidence / 2, df=arr.size - 1)) * sem
+    return (mean, mean - half, mean + half)

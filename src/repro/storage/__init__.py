@@ -1,0 +1,44 @@
+"""Storage hardware models.
+
+Bottom-up: physical devices (HDD/SSD specs, RAID arrays) determine the
+peak streaming rate of a storage target; a target's *achieved* rate
+additionally depends on how many requests are outstanding against it
+(the concurrency/queue-depth effect at the heart of the paper's
+Lessons 1, 2 and 6); a storage host (OSS machine) adds a bounded
+backplane and a network-ingest service with its own concurrency ramp.
+Multiplicative noise models reproduce the production-system variability
+the paper's protocol is designed around.
+"""
+
+from .device import HDDSpec, RAIDArray, SSDSpec
+from .target import StorageTargetModel, TargetServiceSpec
+from .server import (
+    ServerIngestModel,
+    ServerIngestSpec,
+    StorageHostSpec,
+    StoragePoolModel,
+    StoragePoolSpec,
+)
+from .san import SanModel, SanRampSpec
+from .client_model import ClientServiceSpec
+from .variability import CompositeNoise, NoiseSpec, SharedStateNoise, StochasticNoise
+
+__all__ = [
+    "HDDSpec",
+    "SSDSpec",
+    "RAIDArray",
+    "TargetServiceSpec",
+    "StorageTargetModel",
+    "ServerIngestSpec",
+    "ServerIngestModel",
+    "StorageHostSpec",
+    "StoragePoolSpec",
+    "StoragePoolModel",
+    "SanRampSpec",
+    "SanModel",
+    "ClientServiceSpec",
+    "NoiseSpec",
+    "StochasticNoise",
+    "SharedStateNoise",
+    "CompositeNoise",
+]

@@ -1,0 +1,65 @@
+"""BeeGFS client-side service capacity.
+
+The paper's Lesson 3: the number of processes per node and the number
+of nodes have *independent* effects — doubling the processes on each
+node does not substitute for more nodes, because each node's BeeGFS
+client (a kernel module funnelling every process's traffic) has its own
+service ceiling, and processes additionally contend for the NIC,
+memory bus and client worker threads (Section IV-B, citing Dorier et
+al. on intra-node contention).
+
+We model each compute node as one capacitated resource whose value
+depends on the process count placed on the node:
+
+    cap(ppn) = base / (1 + contention * max(0, ppn - knee))
+
+so up to ``knee`` processes share the full client capacity and beyond
+it the ceiling *decreases slightly* — matching Figure 5's "very
+similar, with a slight degradation" at 16 processes per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import StorageError
+
+__all__ = ["ClientServiceSpec"]
+
+
+@dataclass(frozen=True)
+class ClientServiceSpec:
+    """Per-compute-node client throughput ceiling.
+
+    ``max_inflight_requests`` is the number of chunk requests one
+    node's client keeps on the wire at once (BeeGFS bounds per-node
+    server connections/RPC slots).  It is why extra processes per node
+    do not create extra *storage-side* parallelism — the paper's
+    Lesson 3 — while extra nodes do.
+    """
+
+    base_mib_s: float
+    contention_per_proc: float = 0.003
+    knee_procs: int = 8
+    max_inflight_requests: int = 16
+
+    def __post_init__(self) -> None:
+        if self.base_mib_s <= 0:
+            raise StorageError("client base capacity must be positive")
+        if self.contention_per_proc < 0:
+            raise StorageError("negative contention coefficient")
+        if self.knee_procs < 1:
+            raise StorageError("knee must be >= 1 process")
+        if self.max_inflight_requests < 1:
+            raise StorageError("need at least one in-flight request slot")
+
+    def node_capacity(self, ppn: int) -> float:
+        """Client throughput ceiling of one node running ``ppn`` processes."""
+        if ppn < 1:
+            raise StorageError(f"ppn must be >= 1, got {ppn}")
+        excess = max(0, ppn - self.knee_procs)
+        return self.base_mib_s / (1.0 + self.contention_per_proc * excess)
+
+    @staticmethod
+    def resource_id(node: str) -> str:
+        return f"client:{node}"

@@ -1,0 +1,128 @@
+"""Physical storage devices and RAID arrays.
+
+PlaFRIM's OSTs are RAID-6 arrays of twelve Toshiba AL15SEB18EOY 1.8 TB
+10k-RPM HDDs; its MDTs are RAID-1 pairs of Samsung MZILT1T6HAJQ0D3
+SSDs (paper, Section III-A).  These classes turn such descriptions into
+peak streaming-write rates that feed the target service model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from ..errors import StorageError
+from ..units import TiB
+
+__all__ = ["HDDSpec", "SSDSpec", "RAIDArray", "TOSHIBA_AL15SEB18EOY", "SAMSUNG_MZILT1T6HAJQ"]
+
+
+@dataclass(frozen=True)
+class HDDSpec:
+    """A hard disk drive: streaming rate plus the facts the paper lists."""
+
+    model: str
+    capacity_bytes: int
+    rpm: int
+    sustained_write_mib_s: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise StorageError(f"{self.model}: capacity must be positive")
+        if self.rpm <= 0:
+            raise StorageError(f"{self.model}: rpm must be positive")
+        if self.sustained_write_mib_s <= 0:
+            raise StorageError(f"{self.model}: write rate must be positive")
+
+
+@dataclass(frozen=True)
+class SSDSpec:
+    """A solid-state drive (metadata targets)."""
+
+    model: str
+    capacity_bytes: int
+    sustained_write_mib_s: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise StorageError(f"{self.model}: capacity must be positive")
+        if self.sustained_write_mib_s <= 0:
+            raise StorageError(f"{self.model}: write rate must be positive")
+
+
+# The drives of the PlaFRIM deployment.  Rates are the vendor-sheet
+# sustained transfer rates; the RAID controller efficiency below absorbs
+# everything between sheet numbers and the achieved array throughput.
+TOSHIBA_AL15SEB18EOY = HDDSpec(
+    model="Toshiba AL15SEB18EOY",
+    capacity_bytes=int(1.8 * TiB),
+    rpm=10_000,
+    sustained_write_mib_s=210.0,
+)
+
+SAMSUNG_MZILT1T6HAJQ = SSDSpec(
+    model="Samsung MZILT1T6HAJQ0D3",
+    capacity_bytes=int(1.6 * TiB),
+    sustained_write_mib_s=900.0,
+)
+
+RAIDLevel = Literal["raid0", "raid1", "raid5", "raid6", "raid10"]
+
+_PARITY_DEVICES: dict[str, int] = {"raid0": 0, "raid5": 1, "raid6": 2}
+
+
+@dataclass(frozen=True)
+class RAIDArray:
+    """A RAID array of identical devices behind one controller.
+
+    ``controller_efficiency`` is the fraction of the ideal striped rate
+    the controller actually delivers for large sequential writes
+    (parity computation, chunk alignment, command overhead).  With the
+    PlaFRIM calibration (12 drives, RAID-6, efficiency 0.84) an OST
+    peaks at ~1764 MiB/s, the stripe-count-1 mean of Figure 6b.
+    """
+
+    level: RAIDLevel
+    devices: int
+    device: HDDSpec | SSDSpec
+    controller_efficiency: float = 0.84
+
+    def __post_init__(self) -> None:
+        if self.devices < 1:
+            raise StorageError("RAID array needs at least one device")
+        if not 0 < self.controller_efficiency <= 1:
+            raise StorageError("controller efficiency must be in (0, 1]")
+        if self.level in ("raid5",) and self.devices < 3:
+            raise StorageError("RAID-5 needs >= 3 devices")
+        if self.level == "raid6" and self.devices < 4:
+            raise StorageError("RAID-6 needs >= 4 devices")
+        if self.level in ("raid1", "raid10") and self.devices % 2 != 0:
+            raise StorageError(f"{self.level} needs an even device count")
+
+    @property
+    def data_devices(self) -> int:
+        """Devices contributing write bandwidth (excludes parity/mirrors)."""
+        if self.level == "raid1":
+            return 1
+        if self.level == "raid10":
+            return self.devices // 2
+        return self.devices - _PARITY_DEVICES[self.level]
+
+    @property
+    def usable_capacity_bytes(self) -> int:
+        return self.data_devices * self.device.capacity_bytes
+
+    @property
+    def streaming_write_mib_s(self) -> float:
+        """Peak large-sequential write rate of the array."""
+        return self.data_devices * self.device.sustained_write_mib_s * self.controller_efficiency
+
+
+def plafrim_ost_array() -> RAIDArray:
+    """The RAID-6 x12-HDD array behind each PlaFRIM OST."""
+    return RAIDArray(level="raid6", devices=12, device=TOSHIBA_AL15SEB18EOY)
+
+
+def plafrim_mdt_array() -> RAIDArray:
+    """The RAID-1 SSD pair behind each PlaFRIM MDT."""
+    return RAIDArray(level="raid1", devices=2, device=SAMSUNG_MZILT1T6HAJQ, controller_efficiency=0.95)

@@ -1,0 +1,80 @@
+"""Object Storage Target (OST) service model.
+
+A storage array only reaches its peak streaming rate when enough
+requests are outstanding against it: command queues must stay full
+across all spindles.  We model the achieved service rate as a concave
+saturating function of the concurrency (*depth*):
+
+    rate(depth) = peak * (1 - exp(-depth / depth_constant))
+
+With the PlaFRIM calibration (``depth_constant = 6``) an OST delivers
+~74% of peak at depth 8 and ~99% at depth 32.  Because an N-1 write
+over ``k`` targets spreads its ``P`` processes as depth ``P / k`` per
+target, this single curve produces the paper's observations that the
+node count needed to reach the bandwidth plateau grows with the stripe
+count (Figure 11, Lesson 6) and that single-node runs hide the effect
+of the stripe count entirely (Lesson 1, the Chowdhury et al. critique).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import StorageError
+from ..netsim.fluid import ResourceContext
+from .device import RAIDArray
+
+__all__ = ["TargetServiceSpec", "StorageTargetModel"]
+
+
+@dataclass(frozen=True)
+class TargetServiceSpec:
+    """Parameters of one OST's service curve."""
+
+    peak_mib_s: float
+    depth_constant: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.peak_mib_s <= 0:
+            raise StorageError("target peak rate must be positive")
+        if self.depth_constant <= 0:
+            raise StorageError("depth constant must be positive")
+
+    @classmethod
+    def from_array(cls, array: RAIDArray, depth_constant: float = 6.0) -> "TargetServiceSpec":
+        """Derive the service spec from the backing RAID array."""
+        return cls(peak_mib_s=array.streaming_write_mib_s, depth_constant=depth_constant)
+
+    def rate_at_depth(self, depth: float) -> float:
+        """Achieved service rate at the given request concurrency."""
+        if depth <= 0:
+            return 0.0
+        return self.peak_mib_s * (1.0 - math.exp(-depth / self.depth_constant))
+
+    def depth_for_fraction(self, fraction: float) -> float:
+        """Concurrency needed to achieve ``fraction`` of the peak rate."""
+        if not 0 < fraction < 1:
+            raise StorageError("fraction must be in (0, 1)")
+        return -self.depth_constant * math.log(1.0 - fraction)
+
+
+@dataclass(frozen=True)
+class StorageTargetModel:
+    """Capacity provider for one OST (plugs into the fluid engine).
+
+    The context's ``depth`` is the summed depth weight of the active
+    flows through this target, and ``noise`` the epoch's multiplicative
+    variability — storage devices are where the paper locates the high
+    variance of scenario 2 (Section IV-C2, citing Cao et al.).
+    """
+
+    target_id: str
+    spec: TargetServiceSpec
+
+    def capacity(self, ctx: ResourceContext) -> float:
+        return self.spec.rate_at_depth(ctx.depth) * ctx.noise
+
+    @property
+    def resource_id(self) -> str:
+        return f"ost:{self.target_id}"

@@ -1,0 +1,32 @@
+"""Platform topology: hosts, switches and capacitated links.
+
+The paper's experiments run on PlaFRIM's Bora cluster, whose compute
+nodes reach the two BeeGFS storage hosts through a single switch over
+either a 10 Gbit/s Ethernet or a 100 Gbit/s Omnipath fabric.  This
+package models that wiring explicitly (backed by a :mod:`networkx`
+graph) and provides builders for both scenarios plus arbitrary custom
+platforms.
+"""
+
+from .graph import Host, HostRole, Link, Topology
+from .builders import (
+    PlatformSpec,
+    NetworkSpec,
+    build_platform,
+    plafrim_ethernet,
+    plafrim_omnipath,
+    plafrim_spec,
+)
+
+__all__ = [
+    "Host",
+    "HostRole",
+    "Link",
+    "Topology",
+    "PlatformSpec",
+    "NetworkSpec",
+    "build_platform",
+    "plafrim_ethernet",
+    "plafrim_omnipath",
+    "plafrim_spec",
+]

@@ -1,0 +1,178 @@
+"""Builders for concrete platforms, in particular PlaFRIM.
+
+The paper (Section III-A) describes PlaFRIM's Bora cluster:
+
+* up to 192 compute nodes, each with two 18-core Xeons and 192 GiB RAM;
+* two storage hosts, each running one OSS with four OSTs (12x 1.8 TB
+  10k-RPM HDDs in RAID-6 per OST) and one MDS with one MDT (2 SSDs in
+  RAID-1);
+* *Scenario 1*: a 10 Gbit/s Ethernet fabric (Dell S4148F-ON switch) —
+  the network is slower than the storage;
+* *Scenario 2*: a 100 Gbit/s Omnipath fabric (Dell H1048-OPF switch) —
+  the storage is slower than the network.
+
+:func:`build_platform` turns a :class:`PlatformSpec` into a
+:class:`~repro.topology.graph.Topology`; :func:`plafrim_ethernet` and
+:func:`plafrim_omnipath` build the two scenarios with the paper's
+values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigError
+from ..units import gbit_s_to_mib_s
+from .graph import HostRole, Topology
+
+__all__ = [
+    "NetworkSpec",
+    "PlatformSpec",
+    "build_platform",
+    "plafrim_spec",
+    "plafrim_ethernet",
+    "plafrim_omnipath",
+    "SWITCH_NAME",
+    "compute_node_name",
+    "storage_host_name",
+]
+
+SWITCH_NAME = "switch0"
+
+
+def compute_node_name(index: int) -> str:
+    """Canonical name of the i-th compute node (0-based)."""
+    return f"bora{index + 1:03d}"
+
+
+def storage_host_name(index: int) -> str:
+    """Canonical name of the i-th storage host (0-based)."""
+    return f"storage{index + 1}"
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """One fabric: per-port line rate and latency, plus a switch fabric cap."""
+
+    name: str
+    link_gbit_s: float
+    latency_s: float = 5e-6
+    switch_model: str = ""
+    # Switch backplanes are non-blocking for our port counts; modelled as a
+    # large-but-finite fabric capacity so pathological configs still saturate.
+    fabric_gbit_s: float = 3200.0
+
+    def __post_init__(self) -> None:
+        if self.link_gbit_s <= 0:
+            raise ConfigError(f"network {self.name!r}: link speed must be positive")
+        if self.fabric_gbit_s < self.link_gbit_s:
+            raise ConfigError(f"network {self.name!r}: fabric slower than one port")
+
+    @property
+    def link_mib_s(self) -> float:
+        """Raw per-port capacity in MiB/s."""
+        return gbit_s_to_mib_s(self.link_gbit_s)
+
+    @property
+    def fabric_mib_s(self) -> float:
+        return gbit_s_to_mib_s(self.fabric_gbit_s)
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Everything needed to instantiate a platform topology."""
+
+    name: str
+    network: NetworkSpec
+    num_compute_nodes: int = 192
+    num_storage_hosts: int = 2
+    cores_per_node: int = 36
+    node_memory_gib: int = 192
+    extra_attrs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_compute_nodes < 1:
+            raise ConfigError("platform needs at least one compute node")
+        if self.num_storage_hosts < 1:
+            raise ConfigError("platform needs at least one storage host")
+        if self.cores_per_node < 1:
+            raise ConfigError("cores_per_node must be >= 1")
+
+    def with_network(self, network: NetworkSpec) -> "PlatformSpec":
+        """A copy of this spec on a different fabric."""
+        return replace(self, network=network, name=f"{self.name}-{network.name}")
+
+
+def build_platform(spec: PlatformSpec) -> Topology:
+    """Instantiate the star topology described by ``spec``."""
+    topo = Topology(name=spec.name)
+    topo.add_host(
+        SWITCH_NAME,
+        HostRole.SWITCH,
+        model=spec.network.switch_model,
+        fabric_mib_s=spec.network.fabric_mib_s,
+    )
+    names = []
+    for i in range(spec.num_compute_nodes):
+        name = compute_node_name(i)
+        topo.add_host(
+            name,
+            HostRole.COMPUTE,
+            cores=spec.cores_per_node,
+            memory_gib=spec.node_memory_gib,
+            **spec.extra_attrs,
+        )
+        names.append(name)
+    topo.add_star(SWITCH_NAME, names, spec.network.link_mib_s, spec.network.latency_s)
+
+    storage_names = []
+    for i in range(spec.num_storage_hosts):
+        name = storage_host_name(i)
+        topo.add_host(name, HostRole.STORAGE)
+        storage_names.append(name)
+    topo.add_star(SWITCH_NAME, storage_names, spec.network.link_mib_s, spec.network.latency_s)
+    topo.validate()
+    return topo
+
+
+# -- PlaFRIM ------------------------------------------------------------------
+
+ETHERNET_10G = NetworkSpec(
+    name="ethernet",
+    link_gbit_s=10.0,
+    latency_s=25e-6,
+    switch_model="Dell S4148F-ON",
+)
+
+OMNIPATH_100G = NetworkSpec(
+    name="omnipath",
+    link_gbit_s=100.0,
+    latency_s=2e-6,
+    switch_model="Dell H1048-OPF",
+)
+
+
+def plafrim_spec(network: NetworkSpec, num_compute_nodes: int = 64) -> PlatformSpec:
+    """The Bora/PlaFRIM platform on the given fabric.
+
+    The paper uses at most 32 nodes; the default of 64 leaves headroom
+    for extension studies while keeping topology construction cheap.
+    """
+    return PlatformSpec(
+        name=f"plafrim-{network.name}",
+        network=network,
+        num_compute_nodes=num_compute_nodes,
+        num_storage_hosts=2,
+        cores_per_node=36,
+        node_memory_gib=192,
+    )
+
+
+def plafrim_ethernet(num_compute_nodes: int = 64) -> Topology:
+    """Scenario 1 platform: the network is slower than the storage."""
+    return build_platform(plafrim_spec(ETHERNET_10G, num_compute_nodes))
+
+
+def plafrim_omnipath(num_compute_nodes: int = 64) -> Topology:
+    """Scenario 2 platform: the storage is slower than the network."""
+    return build_platform(plafrim_spec(OMNIPATH_100G, num_compute_nodes))

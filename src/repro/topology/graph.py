@@ -1,0 +1,222 @@
+"""Topology graph: hosts, switches and links with capacities.
+
+A :class:`Topology` is an undirected graph whose vertices are
+:class:`Host` objects (compute nodes, storage hosts, switches) and whose
+edges are :class:`Link` objects carrying a capacity in MiB/s and a
+one-way latency in seconds.  Routes are shortest paths (hop count); the
+PlaFRIM platforms built in :mod:`repro.topology.builders` are stars, so
+every route is ``host - switch - host``, but the code handles arbitrary
+multi-switch fabrics.
+
+Each link exposes a stable ``resource_id`` so the network simulator can
+treat links as capacitated resources.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from ..errors import RoutingError, TopologyError
+
+__all__ = ["HostRole", "Host", "Link", "Topology"]
+
+
+class HostRole(enum.Enum):
+    """What a vertex of the platform graph is."""
+
+    COMPUTE = "compute"
+    STORAGE = "storage"
+    SWITCH = "switch"
+    MANAGEMENT = "management"
+
+
+@dataclass(frozen=True)
+class Host:
+    """A vertex of the platform graph.
+
+    ``attrs`` carries free-form hardware details (cores, memory, ...)
+    that models may consult; the simulator core only needs ``name`` and
+    ``role``.
+    """
+
+    name: str
+    role: HostRole
+    attrs: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TopologyError("host name must be non-empty")
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected capacitated link between two hosts.
+
+    ``capacity_mib_s`` is the raw line rate of the link in MiB/s;
+    effective throughput (protocol efficiency, server-side ingest
+    behaviour) is modelled separately by the capacity providers of the
+    engine, so the topology stays a pure hardware description.
+    """
+
+    a: str
+    b: str
+    capacity_mib_s: float
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise TopologyError(f"self-link on {self.a!r}")
+        if self.capacity_mib_s <= 0:
+            raise TopologyError(f"link {self.a}-{self.b}: capacity must be positive")
+        if self.latency_s < 0:
+            raise TopologyError(f"link {self.a}-{self.b}: negative latency")
+
+    @property
+    def resource_id(self) -> str:
+        """Stable identifier used by the network simulator (order-free)."""
+        lo, hi = sorted((self.a, self.b))
+        return f"link:{lo}<->{hi}"
+
+    def other(self, host: str) -> str:
+        """The endpoint opposite to ``host``."""
+        if host == self.a:
+            return self.b
+        if host == self.b:
+            return self.a
+        raise TopologyError(f"{host!r} is not an endpoint of {self.resource_id}")
+
+
+class Topology:
+    """The platform graph with role-aware queries and routing."""
+
+    def __init__(self, name: str = "platform"):
+        self.name = name
+        self._graph = nx.Graph()
+        self._hosts: dict[str, Host] = {}
+        self._links: dict[str, Link] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_host(self, name: str, role: HostRole, **attrs: object) -> Host:
+        """Add a vertex; raises if the name is taken."""
+        if name in self._hosts:
+            raise TopologyError(f"duplicate host {name!r}")
+        host = Host(name, role, dict(attrs))
+        self._hosts[name] = host
+        self._graph.add_node(name, role=role)
+        return host
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        capacity_mib_s: float,
+        latency_s: float = 0.0,
+    ) -> Link:
+        """Connect two existing hosts; raises on duplicates or unknown hosts."""
+        for end in (a, b):
+            if end not in self._hosts:
+                raise TopologyError(f"unknown host {end!r}")
+        link = Link(a, b, capacity_mib_s, latency_s)
+        if link.resource_id in self._links:
+            raise TopologyError(f"duplicate link {link.resource_id}")
+        self._links[link.resource_id] = link
+        self._graph.add_edge(a, b, resource_id=link.resource_id)
+        return link
+
+    # -- queries -------------------------------------------------------------
+
+    def host(self, name: str) -> Host:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise TopologyError(f"unknown host {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._hosts
+
+    def hosts(self, role: HostRole | None = None) -> list[Host]:
+        """All hosts, optionally filtered by role, in insertion order."""
+        if role is None:
+            return list(self._hosts.values())
+        return [h for h in self._hosts.values() if h.role is role]
+
+    def compute_nodes(self) -> list[Host]:
+        return self.hosts(HostRole.COMPUTE)
+
+    def storage_hosts(self) -> list[Host]:
+        return self.hosts(HostRole.STORAGE)
+
+    def links(self) -> list[Link]:
+        return list(self._links.values())
+
+    def link(self, resource_id: str) -> Link:
+        try:
+            return self._links[resource_id]
+        except KeyError:
+            raise TopologyError(f"unknown link {resource_id!r}") from None
+
+    def links_of(self, host: str) -> list[Link]:
+        """All links incident to ``host``."""
+        self.host(host)
+        return [lk for lk in self._links.values() if host in (lk.a, lk.b)]
+
+    def degree(self, host: str) -> int:
+        return len(self.links_of(host))
+
+    # -- routing ---------------------------------------------------------------
+
+    def route(self, src: str, dst: str) -> list[Link]:
+        """Links along the (hop-count) shortest path from ``src`` to ``dst``."""
+        for end in (src, dst):
+            self.host(end)
+        if src == dst:
+            return []
+        try:
+            path = nx.shortest_path(self._graph, src, dst)
+        except nx.NetworkXNoPath:
+            raise RoutingError(f"no route from {src!r} to {dst!r}") from None
+        return [self._links[self._graph.edges[u, v]["resource_id"]] for u, v in zip(path, path[1:])]
+
+    def route_latency(self, src: str, dst: str) -> float:
+        """Sum of one-way link latencies along the route."""
+        return sum(link.latency_s for link in self.route(src, dst))
+
+    def route_capacity(self, src: str, dst: str) -> float:
+        """Raw capacity of the narrowest link along the route."""
+        route = self.route(src, dst)
+        if not route:
+            raise RoutingError(f"empty route {src!r}->{dst!r}")
+        return min(link.capacity_mib_s for link in route)
+
+    def validate(self) -> None:
+        """Check the platform is usable for an I/O experiment."""
+        if not self.compute_nodes():
+            raise TopologyError("platform has no compute nodes")
+        if not self.storage_hosts():
+            raise TopologyError("platform has no storage hosts")
+        if not nx.is_connected(self._graph):
+            raise TopologyError("platform graph is not connected")
+
+    def __iter__(self) -> Iterator[Host]:
+        return iter(self._hosts.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        counts = {role.value: len(self.hosts(role)) for role in HostRole if self.hosts(role)}
+        return f"<Topology {self.name!r} {counts} links={len(self._links)}>"
+
+    # -- bulk helpers ----------------------------------------------------------
+
+    def add_star(
+        self,
+        switch: str,
+        hosts: Iterable[str],
+        capacity_mib_s: float,
+        latency_s: float = 0.0,
+    ) -> list[Link]:
+        """Link every host in ``hosts`` to ``switch`` with identical links."""
+        return [self.add_link(h, switch, capacity_mib_s, latency_s) for h in hosts]

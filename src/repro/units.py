@@ -1,0 +1,214 @@
+"""Units and human-readable quantities.
+
+The whole library uses a single convention internally:
+
+* data sizes are **bytes** (``int`` where exactness matters, ``float`` in
+  rate computations),
+* time is **seconds** (``float``),
+* bandwidth is **MiB/s** (``float``) because that is the unit used by IOR
+  and by every figure of the paper.
+
+This module provides the constants and the conversion/parsing helpers used
+at API boundaries so that the rest of the code never multiplies magic
+numbers.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Final
+
+from .errors import UnitParseError
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "KB",
+    "MB",
+    "GB",
+    "bytes_to_mib",
+    "mib_to_bytes",
+    "bytes_to_gib",
+    "gib_to_bytes",
+    "gbit_s_to_mib_s",
+    "mib_s_to_gbit_s",
+    "bandwidth_mib_s",
+    "parse_size",
+    "format_size",
+    "parse_duration",
+    "format_duration",
+    "format_bandwidth",
+]
+
+KiB: Final[int] = 1024
+MiB: Final[int] = 1024**2
+GiB: Final[int] = 1024**3
+TiB: Final[int] = 1024**4
+
+# Decimal units (used by network vendors: a "10 Gbit/s" link).
+KB: Final[int] = 1000
+MB: Final[int] = 1000**2
+GB: Final[int] = 1000**3
+
+_SIZE_UNITS: Final[dict[str, int]] = {
+    "": 1,
+    "b": 1,
+    "k": KiB,
+    "kib": KiB,
+    "kb": KB,
+    "m": MiB,
+    "mib": MiB,
+    "mb": MB,
+    "g": GiB,
+    "gib": GiB,
+    "gb": GB,
+    "t": TiB,
+    "tib": TiB,
+    "tb": 1000**4,
+}
+
+_DURATION_UNITS: Final[dict[str, float]] = {
+    "": 1.0,
+    "s": 1.0,
+    "sec": 1.0,
+    "ms": 1e-3,
+    "us": 1e-6,
+    "min": 60.0,
+    "m": 60.0,
+    "h": 3600.0,
+}
+
+_QTY_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z/]*)\s*$")
+
+
+def bytes_to_mib(nbytes: float) -> float:
+    """Convert a byte count to MiB."""
+    return nbytes / MiB
+
+
+def mib_to_bytes(mib: float) -> float:
+    """Convert MiB to bytes (float: callers round if exactness matters)."""
+    return mib * MiB
+
+
+def bytes_to_gib(nbytes: float) -> float:
+    """Convert a byte count to GiB."""
+    return nbytes / GiB
+
+
+def gib_to_bytes(gib: float) -> float:
+    """Convert GiB to bytes."""
+    return gib * GiB
+
+
+def gbit_s_to_mib_s(gbit: float) -> float:
+    """Convert a link speed in Gbit/s (decimal) to MiB/s (binary).
+
+    A 10 Gbit/s Ethernet link moves ``10e9 / 8`` bytes per second, which is
+    ~1192.1 MiB/s of *raw* capacity.
+    """
+    return gbit * 1e9 / 8 / MiB
+
+
+def mib_s_to_gbit_s(mib_s: float) -> float:
+    """Inverse of :func:`gbit_s_to_mib_s`."""
+    return mib_s * MiB * 8 / 1e9
+
+
+def bandwidth_mib_s(nbytes: float, seconds: float) -> float:
+    """Bandwidth (MiB/s) of moving ``nbytes`` in ``seconds``.
+
+    Returns ``0.0`` for a zero-byte transfer and raises for non-positive
+    durations of a non-empty transfer, which always indicates a bug in a
+    timing computation.
+    """
+    if nbytes == 0:
+        return 0.0
+    if seconds <= 0:
+        raise ValueError(f"non-positive duration {seconds!r} for {nbytes} bytes")
+    return bytes_to_mib(nbytes) / seconds
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable data size into bytes.
+
+    Accepts plain numbers (bytes) or strings such as ``"32GiB"``,
+    ``"512 KiB"``, ``"1m"`` (case-insensitive).  IEC suffixes (KiB/MiB/...)
+    and the bare letters k/m/g/t are binary; SI suffixes (KB/MB/...) are
+    decimal, matching common HPC tool conventions.
+    """
+    if isinstance(text, (int, float)):
+        if text < 0 or text != int(text):
+            raise UnitParseError(f"invalid byte count: {text!r}")
+        return int(text)
+    match = _QTY_RE.match(text)
+    if not match:
+        raise UnitParseError(f"cannot parse size {text!r}")
+    value, unit = float(match.group(1)), match.group(2).lower()
+    try:
+        factor = _SIZE_UNITS[unit]
+    except KeyError:
+        raise UnitParseError(f"unknown size unit {unit!r} in {text!r}") from None
+    nbytes = value * factor
+    rounded = round(nbytes)
+    # Tolerate float formatting residue well below one millionth of the
+    # unit, but reject genuinely fractional byte counts ("1.5B").
+    if abs(nbytes - rounded) > max(1e-6 * factor, 1e-9):
+        raise UnitParseError(f"{text!r} is not a whole number of bytes")
+    return int(rounded)
+
+
+def format_size(nbytes: float, precision: int = 1) -> str:
+    """Render a byte count with the largest IEC unit that keeps value >= 1."""
+    if nbytes < 0:
+        return "-" + format_size(-nbytes, precision)
+    for unit, factor in (("TiB", TiB), ("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if nbytes >= factor:
+            value = nbytes / factor
+            if math.isclose(value, round(value)):
+                return f"{round(value):d}{unit}"
+            return f"{value:.{precision}f}{unit}"
+    return f"{int(nbytes)}B"
+
+
+def parse_duration(text: str | int | float) -> float:
+    """Parse a duration such as ``"30min"``, ``"1.5s"`` or ``250`` (seconds)."""
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise UnitParseError(f"negative duration: {text!r}")
+        return float(text)
+    match = _QTY_RE.match(text)
+    if not match:
+        raise UnitParseError(f"cannot parse duration {text!r}")
+    value, unit = float(match.group(1)), match.group(2).lower()
+    try:
+        factor = _DURATION_UNITS[unit]
+    except KeyError:
+        raise UnitParseError(f"unknown duration unit {unit!r} in {text!r}") from None
+    return value * factor
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration compactly (``"2.5s"``, ``"3min 20s"``, ``"12ms"``)."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds == 0:
+        return "0s"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1:
+        return f"{seconds * 1e3:.0f}ms"
+    if seconds < 60:
+        return f"{seconds:.3g}s"
+    minutes, rem = divmod(seconds, 60.0)
+    if rem < 0.5:
+        return f"{int(minutes)}min"
+    return f"{int(minutes)}min {rem:.0f}s"
+
+
+def format_bandwidth(mib_s: float, precision: int = 1) -> str:
+    """Render a bandwidth in MiB/s, the unit of every figure in the paper."""
+    return f"{mib_s:.{precision}f} MiB/s"

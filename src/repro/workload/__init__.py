@@ -1,0 +1,27 @@
+"""Application workloads: the IOR benchmark model.
+
+The paper generates all measurements with IOR 3.4 (POSIX API, 1 MiB
+transfers, shared-file N-1 contiguous accesses, 32 GiB total).  This
+package models IOR's workload geometry exactly — block/transfer/segment
+sizes, N-1 contiguous, N-1 strided and N-N (file-per-process) layouts —
+plus the application abstraction (which nodes, how many processes per
+node, when it starts) used by the engines, and builders for the
+concurrent-application scenarios of Section IV-D.
+"""
+
+from .patterns import AccessPattern, IORConfig, Region
+from .application import Application, allocate_nodes
+from .ior import IORDriver, IORReport
+from .generator import concurrent_applications, single_application
+
+__all__ = [
+    "AccessPattern",
+    "IORConfig",
+    "Region",
+    "Application",
+    "allocate_nodes",
+    "IORDriver",
+    "IORReport",
+    "single_application",
+    "concurrent_applications",
+]

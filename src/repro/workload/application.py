@@ -1,0 +1,109 @@
+"""The application abstraction: an IOR run placed on the platform.
+
+An :class:`Application` is one job: an IOR configuration executed by
+``ppn`` processes on each of a set of compute nodes, writing into a
+directory of the file system from a given start time.  Ranks follow the
+standard block layout of ``mpirun``: node ``i`` hosts ranks
+``[i * ppn, (i + 1) * ppn)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import WorkloadError
+from ..topology.graph import HostRole, Topology
+from .patterns import IORConfig
+
+__all__ = ["Application", "allocate_nodes"]
+
+
+@dataclass(frozen=True)
+class Application:
+    """One job of the simulated system."""
+
+    app_id: str
+    nodes: tuple[str, ...]
+    ppn: int
+    config: IORConfig
+    directory: str = "/bench"
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.app_id:
+            raise WorkloadError("app_id must be non-empty")
+        if not self.nodes:
+            raise WorkloadError(f"{self.app_id}: needs at least one node")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise WorkloadError(f"{self.app_id}: duplicate nodes")
+        if self.ppn < 1:
+            raise WorkloadError(f"{self.app_id}: ppn must be >= 1")
+        if self.start_time < 0:
+            raise WorkloadError(f"{self.app_id}: negative start time")
+        if not self.directory.startswith("/"):
+            raise WorkloadError(f"{self.app_id}: directory must be absolute")
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def nprocs(self) -> int:
+        return self.num_nodes * self.ppn
+
+    @property
+    def total_bytes(self) -> int:
+        return self.config.total_bytes(self.nprocs)
+
+    def ranks_of_node(self, node: str) -> range:
+        """Ranks hosted on ``node`` (block layout)."""
+        try:
+            i = self.nodes.index(node)
+        except ValueError:
+            raise WorkloadError(f"{self.app_id}: node {node!r} not allocated") from None
+        return range(i * self.ppn, (i + 1) * self.ppn)
+
+    def node_of_rank(self, rank: int) -> str:
+        if not 0 <= rank < self.nprocs:
+            raise WorkloadError(f"{self.app_id}: rank {rank} out of range")
+        return self.nodes[rank // self.ppn]
+
+    def file_path(self, rank: int | None = None) -> str:
+        """Path of the shared file, or of ``rank``'s file for N-N runs."""
+        base = f"{self.directory.rstrip('/')}/{self.app_id}"
+        if self.config.pattern.shared_file:
+            if rank is not None and not 0 <= rank < self.nprocs:
+                raise WorkloadError(f"{self.app_id}: rank {rank} out of range")
+            return f"{base}.dat"
+        if rank is None:
+            raise WorkloadError(f"{self.app_id}: N-N runs need a rank for file_path")
+        return f"{base}.{rank:05d}.dat"
+
+    def file_paths(self) -> list[str]:
+        """Every file the application writes."""
+        if self.config.pattern.shared_file:
+            return [self.file_path()]
+        return [self.file_path(r) for r in range(self.nprocs)]
+
+    def delayed(self, dt: float) -> "Application":
+        """A copy starting ``dt`` seconds later."""
+        return replace(self, start_time=self.start_time + dt)
+
+
+def allocate_nodes(
+    topology: Topology,
+    num_nodes: int,
+    exclude: tuple[str, ...] = (),
+) -> tuple[str, ...]:
+    """Pick ``num_nodes`` compute nodes, skipping ``exclude`` (disjoint jobs).
+
+    Allocation is first-fit in node order, like a simple batch
+    scheduler filling an idle machine.
+    """
+    taken = set(exclude)
+    free = [h.name for h in topology.hosts(HostRole.COMPUTE) if h.name not in taken]
+    if len(free) < num_nodes:
+        raise WorkloadError(
+            f"need {num_nodes} free compute nodes, only {len(free)} available"
+        )
+    return tuple(free[:num_nodes])

@@ -1,0 +1,102 @@
+"""Builders for the experiment workloads.
+
+Helpers that turn "the paper's configuration" into
+:class:`~repro.workload.application.Application` objects:
+
+* :func:`single_application` — one IOR job with the paper's fixed-total
+  convention (32 GiB shared file, adapted per-process block);
+* :func:`concurrent_applications` — the Section IV-D scenarios: 2-4
+  identical jobs on *disjoint* node sets ("they do not share nodes"),
+  optionally with small start-time jitter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..topology.graph import Topology
+from ..units import GiB, MiB
+from .application import Application, allocate_nodes
+from .patterns import AccessPattern, IORConfig
+
+__all__ = ["single_application", "concurrent_applications"]
+
+
+def single_application(
+    topology: Topology,
+    num_nodes: int,
+    ppn: int = 8,
+    total_bytes: int = 32 * GiB,
+    transfer_size: int = MiB,
+    pattern: AccessPattern = AccessPattern.N1_CONTIGUOUS,
+    operation: str = "write",
+    app_id: str = "app0",
+    directory: str = "/bench",
+    start_time: float = 0.0,
+) -> Application:
+    """One IOR job with the paper's fixed-total-size convention."""
+    nodes = allocate_nodes(topology, num_nodes)
+    config = IORConfig.for_total_size(
+        total_bytes,
+        num_nodes * ppn,
+        transfer_size=transfer_size,
+        pattern=pattern,
+        operation=operation,
+    )
+    return Application(
+        app_id=app_id,
+        nodes=nodes,
+        ppn=ppn,
+        config=config,
+        directory=directory,
+        start_time=start_time,
+    )
+
+
+def concurrent_applications(
+    topology: Topology,
+    num_apps: int,
+    nodes_per_app: int = 8,
+    ppn: int = 8,
+    total_bytes_each: int = 32 * GiB,
+    transfer_size: int = MiB,
+    pattern: AccessPattern = AccessPattern.N1_CONTIGUOUS,
+    directory: str = "/bench",
+    start_jitter_s: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> list[Application]:
+    """``num_apps`` identical jobs on disjoint node sets (Section IV-D).
+
+    ``start_jitter_s > 0`` draws each job's start uniformly from
+    ``[0, start_jitter_s]`` — the paper launches concurrent instances
+    together, but jitter is useful for robustness studies of the
+    aggregate-bandwidth metric (Equation 1 handles it by construction).
+    """
+    if num_apps < 1:
+        raise WorkloadError(f"num_apps must be >= 1, got {num_apps}")
+    if start_jitter_s < 0:
+        raise WorkloadError("negative start jitter")
+    if start_jitter_s > 0 and rng is None:
+        raise WorkloadError("start_jitter_s > 0 requires an rng")
+
+    apps: list[Application] = []
+    used: tuple[str, ...] = ()
+    for i in range(num_apps):
+        nodes = allocate_nodes(topology, nodes_per_app, exclude=used)
+        used = used + nodes
+        config = IORConfig.for_total_size(
+            total_bytes_each, nodes_per_app * ppn, transfer_size=transfer_size, pattern=pattern
+        )
+        start = float(rng.uniform(0.0, start_jitter_s)) if start_jitter_s > 0 else 0.0
+        apps.append(
+            Application(
+                app_id=f"app{i}",
+                nodes=nodes,
+                ppn=ppn,
+                config=config,
+                directory=directory,
+                start_time=start,
+            )
+        )
+    return apps

@@ -1,0 +1,153 @@
+"""A functional IOR driver.
+
+Executes an application's writes against the BeeGFS data plane — for
+real (bytes through the striping layer into chunk stores) or size-only.
+This is the *correctness* path: it verifies that the workload geometry,
+striping and chunk storage agree (what lands on each target, whether a
+read-back returns what was written).  Timing comes from the engines in
+:mod:`repro.engine`, which consume the same applications.
+
+The report mirrors the fields IOR prints after a write phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..beegfs.client import BeeGFSClient
+from ..beegfs.filesystem import BeeGFS
+from ..errors import WorkloadError
+from ..units import bytes_to_mib
+from .application import Application
+
+__all__ = ["IORDriver", "IORReport"]
+
+
+@dataclass(frozen=True)
+class IORReport:
+    """Summary of one functional IOR execution."""
+
+    app_id: str
+    nprocs: int
+    total_bytes: int
+    files: tuple[str, ...]
+    bytes_per_target: dict[int, int]
+
+    @property
+    def total_mib(self) -> float:
+        return bytes_to_mib(self.total_bytes)
+
+    def placement(self, fs: BeeGFS) -> dict[str, int]:
+        """Bytes per storage server for this run."""
+        out: dict[str, int] = {}
+        for tid, nbytes in self.bytes_per_target.items():
+            server = fs.management.server_of(tid)
+            out[server] = out.get(server, 0) + nbytes
+        return out
+
+
+class IORDriver:
+    """Run IOR workloads against a BeeGFS instance."""
+
+    def __init__(self, fs: BeeGFS, verify: bool = False, fill_byte: bytes = b"\xa5"):
+        """``verify`` reads every region back and checks its contents
+        (requires a data-keeping deployment)."""
+        self.fs = fs
+        self.verify = verify
+        self.fill_byte = fill_byte
+
+    def run_write_phase(self, app: Application, rng: np.random.Generator | None = None) -> IORReport:
+        """Execute the write phase of ``app`` and return the report.
+
+        Files are created through the normal path (so the directory's
+        stripe configuration and chooser apply); ranks then write their
+        regions in rank order — ordering does not matter functionally.
+        """
+        client = BeeGFSClient(self.fs)
+        if not self.fs.namespace.is_dir(app.directory):
+            client.mkdir(app.directory)
+
+        keep_data = self.fs.spec.keep_data
+        handles = {}
+        for path in app.file_paths():
+            if client.exists(path):
+                raise WorkloadError(f"{app.app_id}: output file {path!r} already exists")
+        if app.config.pattern.shared_file:
+            handles[None] = client.create(app.file_path())
+        else:
+            for rank in range(app.nprocs):
+                handles[rank] = client.create(app.file_path(rank))
+
+        bytes_per_target: dict[int, int] = {}
+        for rank in range(app.nprocs):
+            handle = handles[None] if None in handles else handles[rank]
+            for region in app.config.regions(rank, app.nprocs):
+                data = self.fill_byte * region.length if keep_data else None
+                handle.pwrite(region.offset, data, region.length)
+                for tid, n in handle.inode.pattern.bytes_per_target(
+                    region.length, region.offset
+                ).items():
+                    if n:
+                        bytes_per_target[tid] = bytes_per_target.get(tid, 0) + n
+                if self.verify:
+                    if not keep_data:
+                        raise WorkloadError("verify requires a data-keeping deployment")
+                    back = handle.pread(region.offset, region.length)
+                    if back != data:
+                        raise WorkloadError(
+                            f"{app.app_id}: verification failed at rank {rank}, "
+                            f"offset {region.offset}"
+                        )
+        for handle in handles.values():
+            handle.close()
+
+        return IORReport(
+            app_id=app.app_id,
+            nprocs=app.nprocs,
+            total_bytes=app.total_bytes,
+            files=tuple(app.file_paths()),
+            bytes_per_target=bytes_per_target,
+        )
+
+    def run_read_phase(self, app: Application) -> IORReport:
+        """Execute the read phase of ``app`` against existing files.
+
+        The files must have been written (e.g. by :meth:`run_write_phase`
+        of a matching application).  With ``verify`` and a data-keeping
+        deployment, contents are checked against the fill byte.
+        """
+        client = BeeGFSClient(self.fs)
+        bytes_per_target: dict[int, int] = {}
+        handles = {}
+        if app.config.pattern.shared_file:
+            handles[None] = client.open(app.file_path())
+        else:
+            for rank in range(app.nprocs):
+                handles[rank] = client.open(app.file_path(rank))
+        keep_data = self.fs.spec.keep_data
+        for rank in range(app.nprocs):
+            handle = handles[None] if None in handles else handles[rank]
+            for region in app.config.regions(rank, app.nprocs):
+                if keep_data:
+                    data = handle.pread(region.offset, region.length)
+                    if self.verify and data != self.fill_byte * region.length:
+                        raise WorkloadError(
+                            f"{app.app_id}: read verification failed at rank {rank}, "
+                            f"offset {region.offset}"
+                        )
+                for tid, n in handle.inode.pattern.bytes_per_target(
+                    region.length, region.offset
+                ).items():
+                    if n:
+                        bytes_per_target[tid] = bytes_per_target.get(tid, 0) + n
+        for handle in handles.values():
+            handle.close()
+        return IORReport(
+            app_id=app.app_id,
+            nprocs=app.nprocs,
+            total_bytes=app.total_bytes,
+            files=tuple(app.file_paths()),
+            bytes_per_target=bytes_per_target,
+        )

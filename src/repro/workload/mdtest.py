@@ -1,0 +1,83 @@
+"""An mdtest-like metadata workload.
+
+The paper sidesteps metadata costs by design ("to limit the impact of
+metadata overhead ... we used a shared-file strategy", Section III-B)
+and points at metadata intensity as a root cause of I/O interference
+(Section IV-D, citing Yang et al.).  This module provides the standard
+tool for measuring that side of the file system: an `mdtest`-style
+workload — every process creates, stats and removes its own set of
+files — plus the knob that matters on BeeGFS: whether all processes
+work in one **shared directory** (whose dentries live on a single MDS)
+or in **unique per-process directories** (spread round-robin over the
+metadata servers).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+
+__all__ = ["MetadataOp", "MDTestConfig", "MDTestPhase"]
+
+
+class MetadataOp(enum.Enum):
+    """The metadata operations mdtest times."""
+
+    CREATE = "create"
+    STAT = "stat"
+    UNLINK = "unlink"
+
+
+class MDTestPhase(enum.Enum):
+    """Directory layout mode (mdtest's ``-u`` flag)."""
+
+    SHARED_DIR = "shared-dir"
+    UNIQUE_DIRS = "unique-dirs"
+
+
+@dataclass(frozen=True)
+class MDTestConfig:
+    """Geometry of one mdtest run.
+
+    ``files_per_process`` files are created, statted and unlinked by
+    each process (mdtest's ``-n``); ``directory_mode`` selects the
+    shared-vs-unique-directory layout.
+    """
+
+    files_per_process: int
+    directory_mode: MDTestPhase = MDTestPhase.SHARED_DIR
+    ops: tuple[MetadataOp, ...] = (MetadataOp.CREATE, MetadataOp.STAT, MetadataOp.UNLINK)
+
+    def __post_init__(self) -> None:
+        if self.files_per_process < 1:
+            raise WorkloadError("files_per_process must be >= 1")
+        if not self.ops:
+            raise WorkloadError("need at least one metadata operation")
+        if len(set(self.ops)) != len(self.ops):
+            raise WorkloadError("duplicate metadata operations")
+
+    def total_files(self, nprocs: int) -> int:
+        return self.files_per_process * nprocs
+
+    def total_ops(self, nprocs: int) -> int:
+        return self.total_files(nprocs) * len(self.ops)
+
+    def file_path(self, rank: int, index: int, base: str = "/mdtest") -> str:
+        """Path of one file under the selected directory layout."""
+        if self.directory_mode is MDTestPhase.UNIQUE_DIRS:
+            return f"{base}/rank{rank:05d}/f{index:06d}"
+        return f"{base}/shared/r{rank:05d}.f{index:06d}"
+
+    def directory_of(self, rank: int, base: str = "/mdtest") -> str:
+        if self.directory_mode is MDTestPhase.UNIQUE_DIRS:
+            return f"{base}/rank{rank:05d}"
+        return f"{base}/shared"
+
+    def mdtest_command(self, nprocs: int) -> str:
+        """The equivalent mdtest invocation (documentation aid)."""
+        parts = [f"mpirun -n {nprocs}", "mdtest", f"-n {self.files_per_process}", "-F"]
+        if self.directory_mode is MDTestPhase.UNIQUE_DIRS:
+            parts.append("-u")
+        return " ".join(parts)

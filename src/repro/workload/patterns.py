@@ -1,0 +1,196 @@
+"""IOR workload geometry.
+
+IOR's data layout is controlled by three sizes and a mode:
+
+* ``transfer_size`` (``-t``): bytes per I/O call;
+* ``block_size`` (``-b``): contiguous bytes per process per segment;
+* ``segments`` (``-s``): repetitions of the whole block pattern;
+* shared file (N-1, ``-F`` absent) vs file per process (N-N, ``-F``).
+
+For a shared file, segment ``s`` of rank ``r`` occupies
+
+    offset = s * (nprocs * block_size) + r * block_size      (contiguous)
+
+and the strided (interleaved) variant spreads transfers round-robin
+across ranks inside the segment.  The paper uses N-1 contiguous with a
+single segment: "application processes write to contiguous portions
+within a shared file" at peak-friendly 1 MiB transfers (Section III-B).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import WorkloadError
+from ..units import MiB, format_size
+
+__all__ = ["AccessPattern", "Region", "IORConfig"]
+
+
+class AccessPattern(enum.Enum):
+    """File layout mode of an IOR run."""
+
+    N1_CONTIGUOUS = "n1-contiguous"
+    N1_STRIDED = "n1-strided"
+    NN = "file-per-process"
+
+    @property
+    def shared_file(self) -> bool:
+        return self is not AccessPattern.NN
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous byte range of one file written by one rank."""
+
+    offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.length <= 0:
+            raise WorkloadError(f"invalid region ({self.offset}, {self.length})")
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+
+@dataclass(frozen=True)
+class IORConfig:
+    """Geometry of one IOR run (the subset of flags the paper uses).
+
+    ``block_size`` is per process per segment, so the total data volume
+    of a run is ``nprocs * block_size * segments`` regardless of the
+    pattern.  The paper fixes the *total* at 32 GiB and adapts the
+    per-process block to the process count; use :meth:`for_total_size`
+    for that convention.
+    """
+
+    block_size: int
+    transfer_size: int = MiB
+    segments: int = 1
+    pattern: AccessPattern = AccessPattern.N1_CONTIGUOUS
+    api: str = "POSIX"
+    operation: str = "write"
+
+    def __post_init__(self) -> None:
+        if self.operation not in ("write", "read"):
+            raise WorkloadError(f"unsupported operation {self.operation!r}")
+        if self.block_size <= 0:
+            raise WorkloadError(f"block size must be positive, got {self.block_size}")
+        if self.transfer_size <= 0:
+            raise WorkloadError(f"transfer size must be positive, got {self.transfer_size}")
+        if self.segments < 1:
+            raise WorkloadError(f"segments must be >= 1, got {self.segments}")
+        if self.block_size % self.transfer_size != 0:
+            raise WorkloadError(
+                f"block size {self.block_size} is not a multiple of "
+                f"transfer size {self.transfer_size} (IOR requires this)"
+            )
+        if self.api not in ("POSIX", "MPIIO"):
+            raise WorkloadError(f"unsupported api {self.api!r}")
+
+    @classmethod
+    def for_total_size(
+        cls,
+        total_bytes: int,
+        nprocs: int,
+        transfer_size: int = MiB,
+        segments: int = 1,
+        pattern: AccessPattern = AccessPattern.N1_CONTIGUOUS,
+        operation: str = "write",
+    ) -> "IORConfig":
+        """The paper's convention: fixed total volume, adapted block size.
+
+        E.g. 32 GiB over 8 processes -> 4 GiB blocks; over 64 processes
+        -> 512 MiB blocks (Section IV-A's example).  When the total does
+        not divide evenly, the per-process block is rounded *down* to a
+        whole number of transfers (IOR requires block % transfer == 0),
+        so the realised total can be slightly below the request.
+        """
+        if nprocs < 1:
+            raise WorkloadError(f"nprocs must be >= 1, got {nprocs}")
+        per_proc = total_bytes // (nprocs * segments)
+        per_proc -= per_proc % transfer_size
+        if per_proc <= 0:
+            raise WorkloadError(
+                f"total size {total_bytes} too small for {nprocs} procs x "
+                f"{segments} segments at transfer size {transfer_size}"
+            )
+        return cls(
+            block_size=per_proc,
+            transfer_size=transfer_size,
+            segments=segments,
+            pattern=pattern,
+            operation=operation,
+        )
+
+    # -- derived sizes ------------------------------------------------------------
+
+    @property
+    def bytes_per_process(self) -> int:
+        return self.block_size * self.segments
+
+    def total_bytes(self, nprocs: int) -> int:
+        return self.bytes_per_process * nprocs
+
+    def file_size(self, nprocs: int) -> int:
+        """Size of the (shared) file, or of each process file for N-N."""
+        if self.pattern is AccessPattern.NN:
+            return self.bytes_per_process
+        return self.total_bytes(nprocs)
+
+    @property
+    def transfers_per_block(self) -> int:
+        return self.block_size // self.transfer_size
+
+    # -- layout ---------------------------------------------------------------------
+
+    def regions(self, rank: int, nprocs: int) -> Iterator[Region]:
+        """Byte regions written by ``rank``, in issue order.
+
+        For N-N the offsets are within the rank's own file.  Contiguous
+        layouts yield one region per segment; the strided layout yields
+        one region per transfer.
+        """
+        if not 0 <= rank < nprocs:
+            raise WorkloadError(f"rank {rank} out of range for {nprocs} procs")
+        if self.pattern is AccessPattern.NN:
+            for s in range(self.segments):
+                yield Region(s * self.block_size, self.block_size)
+        elif self.pattern is AccessPattern.N1_CONTIGUOUS:
+            stride = nprocs * self.block_size
+            for s in range(self.segments):
+                yield Region(s * stride + rank * self.block_size, self.block_size)
+        else:  # N1_STRIDED
+            stride = nprocs * self.block_size
+            for s in range(self.segments):
+                base = s * stride
+                for t in range(self.transfers_per_block):
+                    yield Region(
+                        base + (t * nprocs + rank) * self.transfer_size,
+                        self.transfer_size,
+                    )
+
+    def transfers(self, rank: int, nprocs: int) -> Iterator[Region]:
+        """Individual transfer-sized writes of ``rank``, in issue order."""
+        for region in self.regions(rank, nprocs):
+            for off in range(region.offset, region.end, self.transfer_size):
+                yield Region(off, min(self.transfer_size, region.end - off))
+
+    def ior_command(self, nprocs: int) -> str:
+        """The equivalent IOR invocation (documentation/reporting aid)."""
+        parts = [
+            f"mpirun -n {nprocs}",
+            "ior",
+            f"-a {self.api}",
+            "-w" if self.operation == "write" else "-r",
+            f"-t {format_size(self.transfer_size, 0)}",
+            f"-b {format_size(self.block_size, 0)}",
+            f"-s {self.segments}",
+        ]
+        if self.pattern is AccessPattern.NN:
+            parts.append("-F")
+        return " ".join(parts)

@@ -1,0 +1,63 @@
+"""The stripe-configuration advisor."""
+
+import pytest
+
+from repro.analysis.advisor import advise
+from repro.calibration.plafrim import scenario1
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def recommendation():
+    return advise(
+        scenario1(),
+        num_nodes=4,
+        ppn=8,
+        choosers=("roundrobin", "balanced"),
+        stripe_counts=(1, 2, 4, 8),
+        samples=40,
+    )
+
+
+class TestAdvise:
+    def test_recommends_maximum_stripe_count(self, recommendation):
+        """The paper's headline: use all targets."""
+        assert recommendation.recommended.stripe_count == 8
+        assert recommendation.recommended.deterministic
+
+    def test_worst_case_ordering(self, recommendation):
+        """Options are sorted by worst-case bandwidth (a default must
+        not gamble on the placement lottery)."""
+        worsts = [o.worst_mib_s for o in recommendation.options]
+        assert worsts == sorted(worsts, reverse=True)
+
+    def test_balanced_chooser_removes_lottery(self, recommendation):
+        by_key = {(o.stripe_count, o.chooser): o for o in recommendation.options}
+        # Stripe 2 round-robin is the bi-modal lottery: (1,1) or (0,2).
+        assert not by_key[(2, "roundrobin")].deterministic
+        assert by_key[(2, "roundrobin")].lottery_spread > 1.5
+        assert by_key[(2, "balanced")].deterministic
+        assert by_key[(2, "balanced")].worst_mib_s > by_key[(2, "roundrobin")].worst_mib_s
+        # Balanced beats round-robin at the paper's default count too.
+        assert by_key[(4, "balanced")].worst_mib_s > by_key[(4, "roundrobin")].worst_mib_s
+
+    def test_roundrobin_stripe4_lottery_is_degenerate(self, recommendation):
+        """PlaFRIM's round-robin at stripe 4: only (1,3), so the lottery
+        collapses — but to the *bad* value."""
+        by_key = {(o.stripe_count, o.chooser): o for o in recommendation.options}
+        option = by_key[(4, "roundrobin")]
+        assert option.deterministic
+        assert option.expected_mib_s < by_key[(8, "roundrobin")].expected_mib_s
+
+    def test_expected_within_bounds(self, recommendation):
+        for o in recommendation.options:
+            assert o.worst_mib_s <= o.expected_mib_s <= o.best_mib_s + 1e-6
+
+    def test_table_renders(self, recommendation):
+        text = recommendation.to_table()
+        assert "recommendation: stripe count 8" in text
+        assert "rationale" in text
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            advise(scenario1(), num_nodes=0)

@@ -1,0 +1,109 @@
+"""(min, max) allocation analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis.allocation import (
+    min_max,
+    placement_distribution,
+    possible_placements,
+    random_placement_probabilities,
+)
+from repro.beegfs.filesystem import plafrim_deployment
+from repro.errors import AnalysisError
+
+
+class TestMinMax:
+    def test_figure7_example(self):
+        """One target on server 1, three on server 2 -> (1, 3)."""
+        assert min_max({"storage1": 1, "storage2": 3}) == (1, 3)
+
+    def test_sequence_input(self):
+        assert min_max([3, 1]) == (1, 3)
+        assert min_max([2, 2]) == (2, 2)
+
+    def test_single_server(self):
+        assert min_max([4]) == (0, 4)
+
+    def test_more_than_two_servers_takes_busiest(self):
+        assert min_max([0, 1, 3]) == (1, 3)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            min_max([])
+        with pytest.raises(AnalysisError):
+            min_max([-1, 2])
+
+
+class TestPossiblePlacements:
+    @pytest.mark.parametrize(
+        "count,expected",
+        [
+            (1, [(0, 1)]),
+            (2, [(0, 2), (1, 1)]),
+            (4, [(0, 4), (1, 3), (2, 2)]),
+            (8, [(4, 4)]),
+        ],
+    )
+    def test_two_by_four_layout(self, count, expected):
+        assert possible_placements(count) == expected
+
+    def test_bounds(self):
+        with pytest.raises(AnalysisError):
+            possible_placements(0)
+        with pytest.raises(AnalysisError):
+            possible_placements(9)
+
+
+class TestRandomProbabilities:
+    def test_sums_to_one(self):
+        for count in range(1, 9):
+            probs = random_placement_probabilities(count)
+            assert sum(probs.values()) == pytest.approx(1.0)
+
+    def test_stripe4_exact_values(self):
+        """C(8,4)=70: (0,4) 2/70, (1,3) 32/70, (2,2) 36/70."""
+        probs = random_placement_probabilities(4)
+        assert probs[(0, 4)] == pytest.approx(2 / 70)
+        assert probs[(1, 3)] == pytest.approx(32 / 70)
+        assert probs[(2, 2)] == pytest.approx(36 / 70)
+
+    def test_paper_claim_best_as_likely_as_worst(self):
+        """Under random selection the balanced (2,2) and unbalanced
+        cases both occur with substantial probability."""
+        probs = random_placement_probabilities(4)
+        assert probs[(2, 2)] > 0.4
+        assert probs[(1, 3)] + probs[(0, 4)] > 0.4
+
+
+class TestEmpiricalDistribution:
+    def test_roundrobin_stripe4_always_1_3(self):
+        dist = placement_distribution(plafrim_deployment(keep_data=False), 4, samples=60)
+        assert dist.modes == [(1, 3)]
+        assert dist.is_deterministic()
+        assert dist.balanced_fraction == 0.0
+
+    def test_roundrobin_stripe6_bimodal(self):
+        dist = placement_distribution(plafrim_deployment(keep_data=False), 6, samples=80)
+        assert dist.modes == [(2, 4), (3, 3)]
+        assert 0.3 < dist.balanced_fraction < 0.7
+
+    def test_balanced_chooser_always_balanced(self):
+        dist = placement_distribution(
+            plafrim_deployment(keep_data=False), 4, chooser="balanced", samples=40
+        )
+        assert dist.modes == [(2, 2)]
+        assert dist.balanced_fraction == 1.0
+
+    def test_random_matches_hypergeometric(self):
+        dist = placement_distribution(
+            plafrim_deployment(keep_data=False), 4, chooser="random", samples=400
+        )
+        exact = random_placement_probabilities(4)
+        for key, p in dist.probabilities.items():
+            assert p == pytest.approx(exact[key], abs=0.08)
+
+    def test_probabilities_sum_to_one(self):
+        dist = placement_distribution(plafrim_deployment(keep_data=False), 3, samples=50)
+        assert math.fsum(dist.probabilities.values()) == pytest.approx(1.0)

@@ -1,0 +1,117 @@
+"""Bottleneck attribution."""
+
+import pytest
+
+from repro.analysis.bottleneck import (
+    attribute_bottlenecks,
+    resource_kind,
+)
+from repro.errors import AnalysisError
+from repro.netsim.fluid import SegmentDetail
+from repro.workload.generator import single_application
+
+from ..conftest import make_engine
+
+
+def segment(start, duration, binding, utilization, latency=0):
+    return SegmentDetail(
+        start=start,
+        duration=duration,
+        binding=tuple(binding),
+        utilization=dict(utilization),
+        latency_capped=latency,
+    )
+
+
+class TestAttribution:
+    def test_time_weighted_shares(self):
+        details = [
+            segment(0.0, 6.0, ["link:a"], {"link:a": 1.0, "link:b": 0.5}),
+            segment(6.0, 4.0, ["link:b"], {"link:a": 0.2, "link:b": 1.0}),
+        ]
+        report = attribute_bottlenecks(details)
+        shares = {s.resource_id: s for s in report.shares}
+        assert shares["link:a"].binding_share == pytest.approx(0.6)
+        assert shares["link:b"].binding_share == pytest.approx(0.4)
+        assert shares["link:a"].mean_utilization == pytest.approx((6 + 0.8) / 10)
+        assert report.dominant.resource_id == "link:a"
+        assert report.total_s == pytest.approx(10.0)
+
+    def test_latency_share(self):
+        details = [
+            segment(0.0, 1.0, [], {"link:a": 0.9}, latency=3),
+            segment(1.0, 3.0, ["link:a"], {"link:a": 1.0}, latency=0),
+        ]
+        report = attribute_bottlenecks(details)
+        assert report.latency_capped_share == pytest.approx(0.25)
+
+    def test_by_kind_groups_and_caps(self):
+        details = [
+            segment(0.0, 1.0, ["link:a", "link:b"], {"link:a": 1.0, "link:b": 1.0}),
+        ]
+        by_kind = attribute_bottlenecks(details).by_kind()
+        assert by_kind == {"network link": 1.0}
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            attribute_bottlenecks([])
+
+    def test_to_text(self):
+        details = [segment(0.0, 2.0, ["pool:s1"], {"pool:s1": 1.0})]
+        text = attribute_bottlenecks(details).to_text()
+        assert "pool:s1" in text and "per-server storage pool" in text
+
+    @pytest.mark.parametrize(
+        "rid,kind",
+        [
+            ("client:bora001", "per-node client ceiling"),
+            ("san:storage", "system storage ramp"),
+            ("ost:101", "storage target"),
+            ("mystery:x", "mystery"),
+        ],
+    )
+    def test_resource_kind(self, rid, kind):
+        assert resource_kind(rid) == kind
+
+
+class TestEngineExplain:
+    def test_scenario1_is_network_bound(self, calib_s1, topo_s1):
+        engine = make_engine(calib_s1, topo_s1, stripe_count=4)
+        result, report = engine.explain([single_application(topo_s1, 8, ppn=8)], rep=0)
+        by_kind = report.by_kind()
+        network_share = by_kind.get("server ingest ramp", 0) + by_kind.get("network link", 0)
+        assert network_share > 0.9
+        assert "pool" not in report.dominant.resource_id
+
+    def test_scenario2_stripe8_is_san_bound(self, calib_s2, topo_s2):
+        engine = make_engine(calib_s2, topo_s2, stripe_count=8)
+        result, report = engine.explain([single_application(topo_s2, 32, ppn=8)], rep=0)
+        assert report.dominant.resource_id == "san:storage"
+
+    def test_scenario2_stripe4_is_pool_bound(self, calib_s2, topo_s2):
+        engine = make_engine(calib_s2, topo_s2, stripe_count=4)
+        result, report = engine.explain([single_application(topo_s2, 32, ppn=8)], rep=0)
+        assert report.dominant.kind == "per-server storage pool"
+
+    def test_single_node_is_client_bound(self, calib_s2, topo_s2):
+        engine = make_engine(calib_s2, topo_s2, stripe_count=8)
+        result, report = engine.explain([single_application(topo_s2, 1, ppn=8)], rep=0)
+        assert report.dominant.kind == "per-node client ceiling"
+
+    def test_explain_result_matches_run(self, calib_s1, topo_s1):
+        engine = make_engine(calib_s1, topo_s1)
+        app = single_application(topo_s1, 4, ppn=8)
+        plain = engine.run([app], rep=2).single.bandwidth_mib_s
+        explained, _ = engine.explain([app], rep=2)
+        assert explained.single.bandwidth_mib_s == pytest.approx(plain)
+
+
+class TestExplainConcurrent:
+    def test_concurrent_apps_share_the_san(self, calib_s2, topo_s2):
+        from repro.workload.generator import concurrent_applications
+
+        engine = make_engine(calib_s2, topo_s2, stripe_count=8)
+        apps = concurrent_applications(topo_s2, 2, nodes_per_app=8)
+        result, report = engine.explain(apps, rep=0)
+        assert len(result.apps) == 2
+        assert report.dominant.resource_id == "san:storage"

@@ -1,0 +1,142 @@
+"""Lesson verdict functions on synthetic record stores."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.lessons import (
+    LessonVerdict,
+    default_stripe_gain,
+    evaluate_lessons,
+    lesson_1_2_node_count,
+    lesson_3_ppn,
+    lesson_5_bimodality,
+    lesson_7_sharing,
+)
+from repro.engine.result import ApplicationResult, RunResult
+from repro.errors import AnalysisError
+from repro.methodology.records import RecordStore, RunRecord
+from repro.units import GiB
+
+
+def record(bw_mib_s, factors, apps=1, targets=((101, 201),)):
+    """A synthetic single- or multi-app record with given bandwidth(s)."""
+    bws = bw_mib_s if isinstance(bw_mib_s, (list, tuple)) else [bw_mib_s]
+    results = tuple(
+        ApplicationResult(
+            app_id=f"app{i}",
+            start_time=0.0,
+            end_time=32 * 1024 / bw,
+            volume_bytes=float(32 * GiB),
+            num_nodes=int(factors.get("num_nodes", 8)),
+            ppn=int(factors.get("ppn", 8)),
+            stripe_count=int(factors.get("stripe_count", 4)),
+            targets=tuple(targets[i % len(targets)]),
+            placement=(1, 1),
+        )
+        for i, bw in enumerate(bws)
+    )
+    return RunRecord.from_run_result(
+        RunResult(apps=results, segments=1), "syn", "scenario1", 0, factors
+    )
+
+
+def store_of(rows):
+    store = RecordStore()
+    for bw, factors in rows:
+        store.append(record(bw, factors))
+    return store
+
+
+class TestLesson12:
+    def test_passes_on_paper_shape(self):
+        s1 = store_of([(880, {"num_nodes": 1}), (1460, {"num_nodes": 4})] * 2)
+        s2 = store_of([(1630, {"num_nodes": 1}), (6100, {"num_nodes": 16})] * 2)
+        verdict = lesson_1_2_node_count(s1, s2)
+        assert verdict.passed
+        assert verdict.observed["gain_s2"] > verdict.observed["gain_s1"]
+
+    def test_fails_when_nodes_do_not_matter(self):
+        flat = store_of([(1000, {"num_nodes": 1}), (1010, {"num_nodes": 16})] * 2)
+        assert not lesson_1_2_node_count(flat, flat).passed
+
+    def test_needs_a_sweep(self):
+        single = store_of([(1000, {"num_nodes": 1})])
+        with pytest.raises(AnalysisError):
+            lesson_1_2_node_count(single, single)
+
+
+class TestLesson3:
+    def test_passes_on_matching_curves(self):
+        rows = []
+        for n, bw in ((1, 1600), (4, 4000)):
+            rows += [(bw, {"num_nodes": n, "ppn": 8}), (bw * 0.99, {"num_nodes": n, "ppn": 16})]
+        assert lesson_3_ppn(store_of(rows)).passed
+
+    def test_fails_when_ppn_substitutes(self):
+        rows = [
+            (1600, {"num_nodes": 1, "ppn": 8}),
+            (3000, {"num_nodes": 1, "ppn": 16}),  # doubled!
+        ]
+        assert not lesson_3_ppn(store_of(rows)).passed
+
+    def test_requires_both_ppns(self):
+        with pytest.raises(AnalysisError):
+            lesson_3_ppn(store_of([(1000, {"num_nodes": 1, "ppn": 8})]))
+
+
+class TestLesson5:
+    def test_needs_enough_reps(self):
+        store = store_of([(1000, {"stripe_count": k}) for k in range(1, 9)])
+        with pytest.raises(AnalysisError):
+            lesson_5_bimodality(store)
+
+    def test_passes_on_paper_modality(self):
+        rng = np.random.default_rng(0)
+        rows = []
+        modes = {1: (1082,), 2: (1082, 2125), 3: (1082, 1609), 4: (1435,),
+                 5: (1347, 1783), 6: (1609, 2125), 7: (1869,), 8: (2125,)}
+        for k, mus in modes.items():
+            for i in range(30):
+                mu = mus[i % len(mus)]
+                rows.append((float(rng.normal(mu, 25)), {"stripe_count": k}))
+        assert lesson_5_bimodality(store_of(rows)).passed
+
+
+class TestLesson7:
+    def test_passes_on_equal_groups(self):
+        rng = np.random.default_rng(1)
+        shared = RecordStore()
+        distinct = RecordStore()
+        for i in range(30):
+            shared.append(record([float(rng.normal(3000, 200))] * 2, {}))
+            distinct.append(record([float(rng.normal(3000, 200))] * 2, {}))
+        verdict = lesson_7_sharing(shared, distinct)
+        assert verdict.passed
+        assert verdict.observed["pvalue"] > 0.05
+
+    def test_fails_on_degraded_sharing(self):
+        rng = np.random.default_rng(2)
+        shared = RecordStore()
+        distinct = RecordStore()
+        for i in range(30):
+            shared.append(record([float(rng.normal(2400, 100))] * 2, {}))
+            distinct.append(record([float(rng.normal(3000, 100))] * 2, {}))
+        assert not lesson_7_sharing(shared, distinct).passed
+
+
+class TestRecommendationGain:
+    def test_gain_threshold(self):
+        good = store_of([(1434, {"stripe_count": 4}), (2107, {"stripe_count": 8})] * 2)
+        assert default_stripe_gain(good).passed
+        bad = store_of([(2000, {"stripe_count": 4}), (2100, {"stripe_count": 8})] * 2)
+        assert not default_stripe_gain(bad).passed
+
+
+class TestEvaluate:
+    def test_requires_known_keys(self):
+        with pytest.raises(AnalysisError):
+            evaluate_lessons({"unknown": RecordStore()})
+
+    def test_verdict_str(self):
+        verdict = LessonVerdict(lesson=4, claim="c", observed={"x": 1.0}, passed=True)
+        assert "Lesson 4 [PASS]" in str(verdict)

@@ -1,0 +1,64 @@
+"""Closed-form network models (Figures 3 and 8's law)."""
+
+import pytest
+
+from repro.analysis.netmodel import balance_bandwidth_law, network_bound
+from repro.errors import AnalysisError
+
+
+class TestNetworkBound:
+    def test_client_side_limits_below_m(self):
+        assert network_bound(1, 2, 1100.0) == 1100.0
+
+    def test_server_side_limits_above_m(self):
+        assert network_bound(8, 2, 1100.0) == 2200.0
+
+    def test_crossover_at_n_equals_m(self):
+        assert network_bound(2, 2, 1100.0) == network_bound(16, 2, 1100.0)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            network_bound(0, 2, 1100.0)
+        with pytest.raises(AnalysisError):
+            network_bound(2, 2, 0.0)
+
+
+class TestBalanceLaw:
+    @pytest.mark.parametrize(
+        "placement,expected_factor",
+        [
+            ((1, 1), 2.0),
+            ((3, 3), 2.0),
+            ((4, 4), 2.0),
+            ((0, 1), 1.0),
+            ((0, 2), 1.0),
+            ((0, 3), 1.0),
+            ((1, 3), 4 / 3),
+            ((1, 2), 3 / 2),
+            ((2, 4), 3 / 2),
+            ((2, 3), 5 / 3),
+            ((3, 4), 7 / 4),
+            ((1, 4), 5 / 4),
+        ],
+    )
+    def test_figure8_ordering(self, placement, expected_factor):
+        """The exact multipliers behind Figure 8's boxes."""
+        assert balance_bandwidth_law(placement, 1100.0) == pytest.approx(
+            1100.0 * expected_factor
+        )
+
+    def test_count_independence_single_server(self):
+        """(0,1), (0,2), (0,3) identical: Lesson 4."""
+        values = {balance_bandwidth_law((0, k), 1100.0) for k in (1, 2, 3)}
+        assert len(values) == 1
+
+    def test_paper_49_percent_claim(self):
+        """(3,3) over (1,3): the paper reports >49%."""
+        gain = balance_bandwidth_law((3, 3), 1100.0) / balance_bandwidth_law((1, 3), 1100.0)
+        assert gain == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            balance_bandwidth_law((0, 0), 1100.0)
+        with pytest.raises(AnalysisError):
+            balance_bandwidth_law((1, 1), 0.0)

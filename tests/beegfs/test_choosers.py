@@ -1,0 +1,214 @@
+"""Target choosers: the allocation heuristics of Section IV-C."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.beegfs.choosers import (
+    BalancedChooser,
+    CapacityChooser,
+    FixedChooser,
+    RandomChooser,
+    RoundRobinChooser,
+    chooser_from_name,
+)
+from repro.beegfs.filesystem import PLAFRIM_TARGET_ORDERING
+from repro.beegfs.management import TargetInfo
+from repro.errors import TargetChooserError
+
+
+def plafrim_pool():
+    infos = []
+    for tid in (101, 102, 103, 104):
+        infos.append(TargetInfo(tid, "storage1", 10**12))
+    for tid in (201, 202, 203, 204):
+        infos.append(TargetInfo(tid, "storage2", 10**12))
+    return infos
+
+
+def placement(picked, pool):
+    server_of = {t.target_id: t.server for t in pool}
+    counts = Counter(server_of[t] for t in picked)
+    return tuple(sorted((counts.get("storage1", 0), counts.get("storage2", 0))))
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestRoundRobin:
+    def test_paper_stripe4_windows(self):
+        """Stripe count 4 yields exactly the two windows the paper saw."""
+        seen = set()
+        for seed in range(50):
+            chooser = RoundRobinChooser(ordering=PLAFRIM_TARGET_ORDERING)
+            seen.add(chooser.choose(plafrim_pool(), 4, rng(seed)))
+        assert seen == {(101, 201, 202, 203), (204, 102, 103, 104)}
+
+    def test_stripe4_always_1_3(self):
+        pool = plafrim_pool()
+        for seed in range(30):
+            chooser = RoundRobinChooser(ordering=PLAFRIM_TARGET_ORDERING)
+            assert placement(chooser.choose(pool, 4, rng(seed)), pool) == (1, 3)
+
+    @pytest.mark.parametrize(
+        "count,expected",
+        [
+            (1, {(0, 1)}),
+            (2, {(1, 1), (0, 2)}),
+            (3, {(1, 2), (0, 3)}),
+            (5, {(1, 4), (2, 3)}),
+            (6, {(2, 4), (3, 3)}),
+            (7, {(3, 4)}),
+            (8, {(4, 4)}),
+        ],
+    )
+    def test_placement_modes_per_count(self, count, expected):
+        """Bi-modality for 2/3/5/6, determinism for 1/7/8 (Fig 6a)."""
+        pool = plafrim_pool()
+        seen = set()
+        for seed in range(80):
+            chooser = RoundRobinChooser(ordering=PLAFRIM_TARGET_ORDERING)
+            seen.add(placement(chooser.choose(pool, count, rng(seed)), pool))
+        assert seen == expected
+
+    def test_cursor_advances_by_count(self):
+        chooser = RoundRobinChooser(ordering=PLAFRIM_TARGET_ORDERING, randomize_start=False)
+        first = chooser.choose(plafrim_pool(), 4, rng())
+        second = chooser.choose(plafrim_pool(), 4, rng())
+        assert first == (101, 201, 202, 203)
+        assert second == (204, 102, 103, 104)
+        assert set(first).isdisjoint(second)
+
+    def test_reset(self):
+        chooser = RoundRobinChooser(ordering=PLAFRIM_TARGET_ORDERING, randomize_start=False)
+        first = chooser.choose(plafrim_pool(), 4, rng())
+        chooser.reset(0)
+        assert chooser.choose(plafrim_pool(), 4, rng()) == first
+
+    def test_default_ordering_is_pool_order(self):
+        chooser = RoundRobinChooser(randomize_start=False)
+        picked = chooser.choose(plafrim_pool(), 3, rng())
+        assert picked == (101, 102, 103)
+
+    def test_missing_target_in_ordering(self):
+        chooser = RoundRobinChooser(ordering=(101, 102))
+        with pytest.raises(TargetChooserError):
+            chooser.choose(plafrim_pool(), 2, rng())
+
+    def test_duplicate_ordering_rejected(self):
+        with pytest.raises(TargetChooserError):
+            RoundRobinChooser(ordering=(101, 101))
+
+
+class TestRandom:
+    def test_no_duplicates_and_valid(self):
+        pool = plafrim_pool()
+        for seed in range(20):
+            picked = RandomChooser().choose(pool, 5, rng(seed))
+            assert len(set(picked)) == 5
+            assert set(picked) <= {t.target_id for t in pool}
+
+    def test_all_placements_reachable_for_4(self):
+        """Random selection can produce (2,2) — the paper's point about
+        what PlaFRIM's round-robin forfeits."""
+        pool = plafrim_pool()
+        seen = {placement(RandomChooser().choose(pool, 4, rng(s)), pool) for s in range(300)}
+        assert (2, 2) in seen
+        assert (1, 3) in seen
+        assert (0, 4) in seen
+
+    def test_deterministic_given_rng(self):
+        pool = plafrim_pool()
+        assert RandomChooser().choose(pool, 4, rng(5)) == RandomChooser().choose(pool, 4, rng(5))
+
+
+class TestBalanced:
+    @pytest.mark.parametrize("count,expected", [(2, (1, 1)), (4, (2, 2)), (6, (3, 3)), (8, (4, 4))])
+    def test_even_counts_balanced(self, count, expected):
+        pool = plafrim_pool()
+        for seed in range(20):
+            picked = BalancedChooser().choose(pool, count, rng(seed))
+            assert placement(picked, pool) == expected
+
+    def test_odd_counts_off_by_one(self):
+        pool = plafrim_pool()
+        for count in (1, 3, 5, 7):
+            picked = BalancedChooser().choose(pool, count, rng(count))
+            lo, hi = placement(picked, pool)
+            assert hi - lo == 1
+
+    def test_randomises_within_server(self):
+        pool = plafrim_pool()
+        picks = {BalancedChooser().choose(pool, 2, rng(s)) for s in range(40)}
+        assert len(picks) > 3
+
+
+class TestCapacity:
+    def test_prefers_free_targets(self):
+        pool = plafrim_pool()
+        for t in pool:
+            if t.target_id != 104:
+                t.used_bytes = int(t.capacity_bytes * 0.99)
+        hits = sum(
+            104 in CapacityChooser().choose(pool, 2, rng(s)) for s in range(200)
+        )
+        assert hits > 180
+
+    def test_handles_all_full(self):
+        pool = plafrim_pool()
+        for t in pool:
+            t.used_bytes = t.capacity_bytes
+        picked = CapacityChooser().choose(pool, 3, rng())
+        assert len(set(picked)) == 3
+
+
+class TestFixed:
+    def test_returns_exactly_fixed(self):
+        chooser = FixedChooser((202, 203))
+        assert chooser.choose(plafrim_pool(), 2, rng()) == (202, 203)
+
+    def test_count_mismatch(self):
+        with pytest.raises(TargetChooserError):
+            FixedChooser((202, 203)).choose(plafrim_pool(), 3, rng())
+
+    def test_unknown_target(self):
+        with pytest.raises(TargetChooserError):
+            FixedChooser((999,)).choose(plafrim_pool(), 1, rng())
+
+
+class TestCommon:
+    @pytest.mark.parametrize("name", ["random", "roundrobin", "balanced", "capacity"])
+    def test_factory(self, name):
+        assert chooser_from_name(name).name == name
+
+    def test_factory_unknown(self):
+        with pytest.raises(TargetChooserError):
+            chooser_from_name("bogus")
+
+    @pytest.mark.parametrize("chooser", [RandomChooser(), BalancedChooser(), CapacityChooser()])
+    def test_count_bounds(self, chooser):
+        pool = plafrim_pool()
+        with pytest.raises(TargetChooserError):
+            chooser.choose(pool, 0, rng())
+        with pytest.raises(TargetChooserError):
+            chooser.choose(pool, 9, rng())
+
+    @given(count=st.integers(1, 8), seed=st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_all_choosers_return_valid_subsets(self, count, seed):
+        pool = plafrim_pool()
+        ids = {t.target_id for t in pool}
+        for chooser in (
+            RandomChooser(),
+            RoundRobinChooser(ordering=PLAFRIM_TARGET_ORDERING),
+            BalancedChooser(),
+            CapacityChooser(),
+        ):
+            picked = chooser.choose(pool, count, rng(seed))
+            assert len(picked) == count
+            assert len(set(picked)) == count
+            assert set(picked) <= ids

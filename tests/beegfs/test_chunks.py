@@ -1,0 +1,73 @@
+"""Chunk store: data plane correctness and size-only mode."""
+
+import pytest
+
+from repro.beegfs.chunks import ChunkStore
+from repro.errors import StorageError
+
+
+class TestDataMode:
+    def test_write_read_roundtrip(self):
+        store = ChunkStore(target_id=101)
+        store.write(1, 0, b"hello", 5)
+        assert store.read(1, 0, 5) == b"hello"
+
+    def test_sparse_reads_zero_filled(self):
+        store = ChunkStore(target_id=101)
+        store.write(1, 10, b"xy", 2)
+        assert store.read(1, 0, 12) == b"\x00" * 10 + b"xy"
+        assert store.read(1, 10, 5) == b"xy\x00\x00\x00"
+
+    def test_read_unknown_file(self):
+        store = ChunkStore(target_id=101)
+        assert store.read(99, 0, 4) == b"\x00" * 4
+
+    def test_overwrite(self):
+        store = ChunkStore(target_id=101)
+        store.write(1, 0, b"aaaa", 4)
+        store.write(1, 1, b"bb", 2)
+        assert store.read(1, 0, 4) == b"abba"
+        assert store.chunk_file_size(1) == 4
+
+    def test_mismatched_length(self):
+        store = ChunkStore(target_id=101)
+        with pytest.raises(StorageError):
+            store.write(1, 0, b"abc", 5)
+
+    def test_negative_coordinates(self):
+        store = ChunkStore(target_id=101)
+        with pytest.raises(StorageError):
+            store.write(1, -1, b"a", 1)
+        with pytest.raises(StorageError):
+            store.read(1, 0, -1)
+
+
+class TestSizeOnlyMode:
+    def test_tracks_sizes_without_data(self):
+        store = ChunkStore(target_id=101, keep_data=False)
+        store.write(1, 0, None, 1000)
+        store.write(1, 500, None, 1000)
+        assert store.chunk_file_size(1) == 1500
+        assert store.used_bytes == 1500
+
+    def test_read_rejected(self):
+        store = ChunkStore(target_id=101, keep_data=False)
+        store.write(1, 0, None, 10)
+        with pytest.raises(StorageError):
+            store.read(1, 0, 10)
+
+
+class TestAccounting:
+    def test_used_bytes_and_nfiles(self):
+        store = ChunkStore(target_id=101)
+        store.write(1, 0, b"abc", 3)
+        store.write(2, 0, b"defg", 4)
+        assert store.used_bytes == 7
+        assert store.nfiles == 2
+
+    def test_remove(self):
+        store = ChunkStore(target_id=101)
+        store.write(1, 0, b"abc", 3)
+        assert store.remove(1) == 3
+        assert store.remove(1) == 0
+        assert store.used_bytes == 0

@@ -1,0 +1,102 @@
+"""The POSIX-like client."""
+
+import pytest
+
+from repro.beegfs.client import BeeGFSClient
+from repro.errors import BeeGFSError, NoSuchEntityError
+from repro.units import KiB
+
+
+@pytest.fixture
+def client(fs):
+    return BeeGFSClient(fs, node="bora001")
+
+
+class TestNamespaceOps:
+    def test_mkdir_listdir(self, client):
+        client.mkdir("/data")
+        assert client.listdir("/") == ["data"]
+        assert client.exists("/data")
+
+    def test_stat(self, client):
+        handle = client.create("/f")
+        handle.pwrite(0, b"abc")
+        assert client.stat("/f").size == 3
+
+    def test_unlink(self, client):
+        client.create("/f").close()
+        client.unlink("/f")
+        assert not client.exists("/f")
+
+
+class TestOpenModes:
+    def test_create_is_exclusive(self, client):
+        client.create("/f").close()
+        with pytest.raises(Exception):
+            client.create("/f")
+
+    def test_open_missing(self, client):
+        with pytest.raises(NoSuchEntityError):
+            client.open("/missing")
+
+    def test_open_create_flag(self, client):
+        handle = client.open("/new", write=True, create=True)
+        assert handle.writable
+        handle.close()
+        reopened = client.open("/new")
+        assert not reopened.writable
+
+    def test_readonly_write_rejected(self, client):
+        client.create("/f").close()
+        handle = client.open("/f")
+        with pytest.raises(BeeGFSError):
+            handle.pwrite(0, b"x")
+
+
+class TestHandleIO:
+    def test_cursor_semantics(self, client):
+        with client.create("/f") as handle:
+            handle.write(b"hello ")
+            handle.write(b"world")
+            handle.seek(0)
+            assert handle.read(11) == b"hello world"
+            assert handle.pos == 11
+
+    def test_pwrite_does_not_move_cursor(self, client):
+        handle = client.create("/f")
+        handle.pwrite(100, b"x")
+        assert handle.pos == 0
+
+    def test_length_only_write(self, client):
+        handle = client.create("/f")
+        assert handle.pwrite(0, length=2 * KiB) == 2 * KiB
+        assert handle.fstat().size == 2 * KiB
+
+    def test_zero_length_write(self, client):
+        handle = client.create("/f")
+        assert handle.pwrite(0, b"") == 0
+
+    def test_conflicting_args(self, client):
+        handle = client.create("/f")
+        with pytest.raises(BeeGFSError):
+            handle.pwrite(0, b"abc", length=5)
+        with pytest.raises(BeeGFSError):
+            handle.pwrite(0)
+
+    def test_closed_handle_rejected(self, client):
+        handle = client.create("/f")
+        handle.close()
+        with pytest.raises(BeeGFSError):
+            handle.pwrite(0, b"x")
+        with pytest.raises(BeeGFSError):
+            handle.pread(0, 1)
+
+    def test_negative_seek(self, client):
+        handle = client.create("/f")
+        with pytest.raises(BeeGFSError):
+            handle.seek(-1)
+
+    def test_context_manager_closes(self, client):
+        with client.create("/f") as handle:
+            pass
+        assert handle.closed

@@ -1,0 +1,125 @@
+"""The assembled BeeGFS: deployment, creation path, data path, admin ops."""
+
+import pytest
+
+from repro.beegfs.filesystem import BeeGFS, BeeGFSDeploymentSpec, plafrim_deployment
+from repro.beegfs.meta import DirectoryConfig
+from repro.errors import ConfigError, TargetChooserError
+from repro.units import KiB, MiB, TiB
+
+
+class TestDeploymentSpec:
+    def test_plafrim_layout(self):
+        spec = plafrim_deployment()
+        assert spec.all_target_ids == (101, 102, 103, 104, 201, 202, 203, 204)
+        assert spec.num_targets == 8
+        assert spec.server_of(203) == "storage2"
+        assert spec.default_config.stripe_count == 4
+        assert spec.default_chooser == "roundrobin"
+
+    def test_duplicate_targets_rejected(self):
+        with pytest.raises(ConfigError):
+            BeeGFSDeploymentSpec(servers=(("a", (1, 2)), ("b", (2, 3))))
+
+    def test_ordering_must_cover_targets(self):
+        with pytest.raises(ConfigError):
+            BeeGFSDeploymentSpec(servers=(("a", (1, 2)),), target_ordering=(1, 2, 3))
+
+
+class TestCreationPath:
+    def test_create_uses_directory_config(self, fs):
+        fs.mkdir("/two", DirectoryConfig(stripe_count=2))
+        inode = fs.create_file("/two/f.dat")
+        assert inode.pattern.stripe_count == 2
+
+    def test_stripe_count_clamped_to_pool(self):
+        spec = plafrim_deployment(stripe_count=8)
+        fs = BeeGFS(spec, seed=0)
+        fs.set_pattern("/", stripe_count=64)
+        inode = fs.create_file("/f")
+        assert inode.pattern.stripe_count == 8
+
+    def test_placement_of(self, fs):
+        inode = fs.create_file("/f")
+        placement = fs.placement_of(inode)
+        assert sorted(placement.values()) == [1, 3]  # PlaFRIM's stripe 4
+
+    def test_set_pattern_affects_new_files_only(self, fs):
+        before = fs.create_file("/before")
+        fs.set_pattern("/", stripe_count=8)
+        after = fs.create_file("/after")
+        assert before.pattern.stripe_count == 4
+        assert after.pattern.stripe_count == 8
+
+    def test_set_pattern_chunk_size(self, fs):
+        fs.mkdir("/big")
+        fs.set_pattern("/big", chunk_size=MiB)
+        assert fs.create_file("/big/f").pattern.chunk_size == MiB
+
+    def test_fixed_chooser_via_config(self, fs):
+        fs.mkdir("/pinned")
+        fs.set_pattern("/pinned", stripe_count=2, chooser="fixed:202,203")
+        inode = fs.create_file("/pinned/f")
+        assert inode.pattern.targets == (202, 203)
+
+    def test_fixed_chooser_count_mismatch(self, fs):
+        fs.mkdir("/pinned")
+        fs.set_pattern("/pinned", stripe_count=3, chooser="fixed:202,203")
+        with pytest.raises(TargetChooserError):
+            fs.create_file("/pinned/f")
+
+    def test_chooser_instances_cached(self, fs):
+        assert fs.chooser("roundrobin") is fs.chooser("roundrobin")
+
+    def test_reproducible_with_seed(self):
+        spec = plafrim_deployment(keep_data=False)
+        t1 = BeeGFS(spec, seed=33).create_file("/f").pattern.targets
+        t2 = BeeGFS(spec, seed=33).create_file("/f").pattern.targets
+        assert t1 == t2
+
+
+class TestDataPath:
+    def test_write_read_through_stripes(self, fs):
+        inode = fs.create_file("/f")
+        payload = bytes(range(256)) * 8 * KiB  # 2 MiB, crosses chunks
+        fs.write_extents(inode, 0, payload, len(payload))
+        assert fs.read_extents(inode, 0, len(payload)) == payload
+        assert inode.size == len(payload)
+
+    def test_offset_write(self, fs):
+        inode = fs.create_file("/f")
+        fs.write_extents(inode, 600 * KiB, b"mark", 4)
+        back = fs.read_extents(inode, 600 * KiB - 2, 8)
+        assert back == b"\x00\x00mark\x00\x00"
+
+    def test_chunk_accounting_matches_striping(self, fs):
+        inode = fs.create_file("/f")
+        size = 5 * 512 * KiB
+        fs.write_extents(inode, 0, None, size)
+        by_target = inode.pattern.bytes_per_target(size)
+        for tid, expected in by_target.items():
+            host = fs.management.server_of(tid)
+            assert fs.oss[host].target(tid).store.chunk_file_size(inode.inode_id) >= 0
+            assert fs.management.target(tid).used_bytes == by_target[tid] if expected else True
+
+    def test_df_reflects_usage(self, fs):
+        inode = fs.create_file("/f")
+        fs.write_extents(inode, 0, None, 4 * 512 * KiB)
+        used = {t.target_id: t.used_bytes for t in fs.df()}
+        assert sum(used.values()) == 4 * 512 * KiB
+        assert all(used[tid] == 512 * KiB for tid in inode.pattern.targets)
+
+    def test_unlink_frees_space(self, fs):
+        fs.create_file("/f")
+        inode = fs.namespace.file("/f")
+        fs.write_extents(inode, 0, None, MiB)
+        fs.unlink("/f")
+        assert all(t.used_bytes == 0 for t in fs.df())
+        assert not fs.namespace.exists("/f")
+
+    def test_size_only_deployment(self):
+        fs = BeeGFS(plafrim_deployment(keep_data=False), seed=0)
+        inode = fs.create_file("/f")
+        fs.write_extents(inode, 0, None, 10 * MiB)
+        assert inode.size == 10 * MiB
+        assert sum(t.used_bytes for t in fs.df()) == 10 * MiB

@@ -1,0 +1,85 @@
+"""Management service: registry and capacity accounting."""
+
+import pytest
+
+from repro.beegfs.management import ManagementService, TargetInfo, TargetState
+from repro.errors import EntityExistsError, NoSuchEntityError, StorageError
+
+
+def build_ms():
+    ms = ManagementService()
+    ms.register_server("storage1")
+    ms.register_server("storage2")
+    for tid in (101, 102):
+        ms.register_target(tid, "storage1", 1000)
+    for tid in (201, 202):
+        ms.register_target(tid, "storage2", 1000)
+    return ms
+
+
+class TestRegistration:
+    def test_duplicate_server(self):
+        ms = build_ms()
+        with pytest.raises(EntityExistsError):
+            ms.register_server("storage1")
+
+    def test_duplicate_target(self):
+        ms = build_ms()
+        with pytest.raises(EntityExistsError):
+            ms.register_target(101, "storage2", 1000)
+
+    def test_target_on_unknown_server(self):
+        with pytest.raises(NoSuchEntityError):
+            ManagementService().register_target(1, "ghost", 1000)
+
+    def test_target_info_validation(self):
+        with pytest.raises(StorageError):
+            TargetInfo(-1, "s", 1000)
+        with pytest.raises(StorageError):
+            TargetInfo(1, "s", 0)
+
+
+class TestQueries:
+    def test_targets_in_registration_order(self):
+        ms = build_ms()
+        assert [t.target_id for t in ms.targets()] == [101, 102, 201, 202]
+        assert [t.target_id for t in ms.targets("storage2")] == [201, 202]
+
+    def test_server_of(self):
+        ms = build_ms()
+        assert ms.server_of(102) == "storage1"
+        with pytest.raises(NoSuchEntityError):
+            ms.server_of(999)
+
+    def test_online_filter(self):
+        ms = build_ms()
+        ms.set_state(101, TargetState.OFFLINE)
+        assert [t.target_id for t in ms.targets(online_only=True)] == [102, 201, 202]
+        assert 101 in ms.target_ids()
+        assert 101 not in ms.target_ids(online_only=True)
+
+    def test_total_capacity(self):
+        assert build_ms().total_capacity_bytes() == 4000
+
+    def test_placement_of(self):
+        ms = build_ms()
+        assert ms.placement_of((101, 201, 202)) == {"storage1": 1, "storage2": 2}
+
+
+class TestAccounting:
+    def test_consume_and_free(self):
+        ms = build_ms()
+        ms.consume(101, 600)
+        assert ms.target(101).free_bytes == 400
+        ms.consume(101, -600)
+        assert ms.target(101).free_bytes == 1000
+
+    def test_out_of_space(self):
+        ms = build_ms()
+        with pytest.raises(StorageError):
+            ms.consume(101, 1001)
+
+    def test_free_more_than_used(self):
+        ms = build_ms()
+        with pytest.raises(StorageError):
+            ms.consume(101, -1)

@@ -1,0 +1,209 @@
+"""Metadata namespace: paths, directories, per-directory stripe config."""
+
+import pytest
+
+from repro.beegfs.meta import (
+    DirectoryConfig,
+    MetadataServer,
+    Namespace,
+    normalize_path,
+    split_path,
+)
+from repro.beegfs.striping import StripePattern
+from repro.errors import (
+    ConfigError,
+    EntityExistsError,
+    IsADirectoryBeeGFSError,
+    NoSuchEntityError,
+    NotADirectoryBeeGFSError,
+)
+from repro.units import KiB, TiB
+
+
+def make_namespace(config=None):
+    mdses = [MetadataServer("mds1", TiB), MetadataServer("mds2", TiB)]
+    return Namespace(mdses, config or DirectoryConfig()), mdses
+
+
+def pattern():
+    return StripePattern(targets=(101, 201), chunk_size=512 * KiB)
+
+
+class TestPaths:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("/", "/"),
+            ("/a/b/", "/a/b"),
+            ("/a//b", "/a/b"),
+            ("/a/./b", "/a/b"),
+            ("/a/x/../b", "/a/b"),
+        ],
+    )
+    def test_normalize(self, raw, expected):
+        assert normalize_path(raw) == expected
+
+    def test_relative_rejected(self):
+        with pytest.raises(ConfigError):
+            normalize_path("a/b")
+
+    def test_escape_rejected(self):
+        with pytest.raises(ConfigError):
+            normalize_path("/../x")
+
+    def test_split(self):
+        assert split_path("/a/b/c") == ("/a/b", "c")
+        assert split_path("/top") == ("/", "top")
+        with pytest.raises(ConfigError):
+            split_path("/")
+
+
+class TestDirectoryConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DirectoryConfig(stripe_count=0)
+        with pytest.raises(ConfigError):
+            DirectoryConfig(chunk_size=32 * KiB)  # BeeGFS minimum is 64 KiB
+        with pytest.raises(ConfigError):
+            DirectoryConfig(chunk_size=100 * KiB)  # not a power of two
+
+    def test_plafrim_defaults(self):
+        config = DirectoryConfig()
+        assert config.stripe_count == 4
+        assert config.chunk_size == 512 * KiB
+
+
+class TestDirectories:
+    def test_mkdir_and_listing(self):
+        ns, _ = make_namespace()
+        ns.mkdir("/data")
+        ns.mkdir("/data/run1")
+        assert ns.listdir("/") == ["data"]
+        assert ns.listdir("/data") == ["run1"]
+        assert ns.is_dir("/data/run1")
+
+    def test_mkdir_inherits_config(self):
+        ns, _ = make_namespace(DirectoryConfig(stripe_count=2))
+        ns.mkdir("/a")
+        assert ns.get_config("/a").stripe_count == 2
+        ns.set_stripe_count("/a", 8)
+        ns.mkdir("/a/b")
+        assert ns.get_config("/a/b").stripe_count == 8
+
+    def test_mkdir_with_explicit_config(self):
+        ns, _ = make_namespace()
+        ns.mkdir("/fast", DirectoryConfig(stripe_count=8))
+        assert ns.get_config("/fast").stripe_count == 8
+
+    def test_mkdir_duplicate(self):
+        ns, _ = make_namespace()
+        ns.mkdir("/a")
+        with pytest.raises(EntityExistsError):
+            ns.mkdir("/a")
+
+    def test_mkdir_missing_parent(self):
+        ns, _ = make_namespace()
+        with pytest.raises(NoSuchEntityError):
+            ns.mkdir("/no/such")
+
+    def test_rmdir(self):
+        ns, _ = make_namespace()
+        ns.mkdir("/a")
+        ns.rmdir("/a")
+        assert not ns.exists("/a")
+
+    def test_rmdir_nonempty(self):
+        ns, _ = make_namespace()
+        ns.mkdir("/a")
+        ns.mkdir("/a/b")
+        with pytest.raises(ConfigError):
+            ns.rmdir("/a")
+
+    def test_mds_round_robin_assignment(self):
+        ns, mdses = make_namespace()
+        for i in range(4):
+            ns.mkdir(f"/d{i}")
+        owners = {ns.mds_of(f"/d{i}") for i in range(4)}
+        assert owners == {"mds1", "mds2"}
+        assert mdses[0].dirents + mdses[1].dirents == 4
+
+
+class TestFiles:
+    def test_create_and_stat(self):
+        ns, _ = make_namespace()
+        inode = ns.create_file("/f.dat", pattern(), ctime=12.5)
+        assert ns.file("/f.dat") is inode
+        assert inode.ctime == 12.5
+        assert inode.pattern.targets == (101, 201)
+
+    def test_grow(self):
+        ns, _ = make_namespace()
+        inode = ns.create_file("/f", pattern())
+        inode.grow_to(100)
+        inode.grow_to(50)
+        assert inode.size == 100
+
+    def test_create_duplicate(self):
+        ns, _ = make_namespace()
+        ns.create_file("/f", pattern())
+        with pytest.raises(EntityExistsError):
+            ns.create_file("/f", pattern())
+
+    def test_file_on_dir_path(self):
+        ns, _ = make_namespace()
+        ns.mkdir("/d")
+        with pytest.raises(IsADirectoryBeeGFSError):
+            ns.file("/d")
+
+    def test_traverse_through_file(self):
+        ns, _ = make_namespace()
+        ns.create_file("/f", pattern())
+        with pytest.raises(NotADirectoryBeeGFSError):
+            ns.file("/f/sub")
+
+    def test_unlink(self):
+        ns, mdses = make_namespace()
+        ns.create_file("/f", pattern())
+        before = sum(m.inodes for m in mdses)
+        ns.unlink("/f")
+        assert not ns.exists("/f")
+        assert sum(m.inodes for m in mdses) == before - 1
+
+    def test_unlink_missing(self):
+        ns, _ = make_namespace()
+        with pytest.raises(NoSuchEntityError):
+            ns.unlink("/nope")
+
+    def test_walk_files(self):
+        ns, _ = make_namespace()
+        ns.mkdir("/a")
+        ns.create_file("/a/x", pattern())
+        ns.create_file("/top", pattern())
+        paths = [p for p, _ in ns.walk_files()]
+        assert paths == ["/a/x", "/top"]
+
+    def test_inode_ids_unique(self):
+        ns, _ = make_namespace()
+        ids = {ns.create_file(f"/f{i}", pattern()).inode_id for i in range(10)}
+        assert len(ids) == 10
+
+
+class TestMDS:
+    def test_mdt_accounting(self):
+        mds = MetadataServer("m", mdt_capacity_bytes=10_000)
+        mds.account_create(is_dir=False)
+        mds.account_create(is_dir=True)
+        assert mds.inodes == 1 and mds.dirents == 1
+        assert mds.mdt_used_bytes == 2 * MetadataServer.INODE_BYTES
+        mds.account_unlink(is_dir=False)
+        assert mds.inodes == 0
+
+    def test_mdt_full(self):
+        mds = MetadataServer("m", mdt_capacity_bytes=MetadataServer.INODE_BYTES)
+        mds.account_create(is_dir=False)
+        with pytest.raises(ConfigError):
+            mds.account_create(is_dir=False)
+
+    def test_namespace_needs_mds(self):
+        with pytest.raises(ConfigError):
+            Namespace([], DirectoryConfig())

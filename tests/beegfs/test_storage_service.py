@@ -1,0 +1,69 @@
+"""OSS/OST services."""
+
+import pytest
+
+from repro.beegfs.management import ManagementService
+from repro.beegfs.storage_service import ObjectStorageServer, ObjectStorageTarget
+from repro.errors import NoSuchEntityError, StorageError
+
+
+def build_oss():
+    ms = ManagementService()
+    ms.register_server("storage1")
+    oss = ObjectStorageServer("storage1", ms)
+    oss.add_target(101, 10_000)
+    oss.add_target(102, 10_000)
+    return oss, ms
+
+
+class TestTargets:
+    def test_add_registers_with_ms(self):
+        oss, ms = build_oss()
+        assert ms.target_ids() == [101, 102]
+        assert oss.target_ids() == [101, 102]
+
+    def test_duplicate_target(self):
+        oss, _ = build_oss()
+        with pytest.raises(StorageError):
+            oss.add_target(101, 10_000)
+
+    def test_unknown_target(self):
+        oss, _ = build_oss()
+        with pytest.raises(NoSuchEntityError):
+            oss.target(999)
+
+    def test_mismatched_store_rejected(self):
+        from repro.beegfs.chunks import ChunkStore
+
+        with pytest.raises(StorageError):
+            ObjectStorageTarget(target_id=1, store=ChunkStore(target_id=2))
+
+
+class TestDataPath:
+    def test_write_updates_accounting(self):
+        oss, ms = build_oss()
+        oss.write_chunk(101, inode_id=1, chunk_file_offset=0, data=b"abcd", length=4)
+        assert ms.target(101).used_bytes == 4
+        assert oss.bytes_written == 4
+
+    def test_overwrite_does_not_double_count(self):
+        oss, ms = build_oss()
+        oss.write_chunk(101, 1, 0, b"abcd", 4)
+        oss.write_chunk(101, 1, 0, b"efgh", 4)
+        assert ms.target(101).used_bytes == 4
+        assert oss.bytes_written == 8
+
+    def test_read_chunk(self):
+        oss, _ = build_oss()
+        oss.write_chunk(101, 1, 0, b"data", 4)
+        assert oss.read_chunk(101, 1, 0, 4) == b"data"
+        assert oss.bytes_read == 4
+
+    def test_remove_file_frees_all_targets(self):
+        oss, ms = build_oss()
+        oss.write_chunk(101, 1, 0, b"aa", 2)
+        oss.write_chunk(102, 1, 0, b"bbb", 3)
+        freed = oss.remove_file(1)
+        assert freed == 5
+        assert ms.target(101).used_bytes == 0
+        assert ms.target(102).used_bytes == 0

@@ -1,0 +1,134 @@
+"""Striping arithmetic: exact cases plus heavy property testing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.beegfs.striping import DEFAULT_CHUNK_SIZE, StripePattern
+from repro.errors import StripingError
+from repro.units import KiB, MiB
+
+PLAFRIM_TARGETS = (101, 201, 202, 203)
+
+
+def pattern(targets=PLAFRIM_TARGETS, chunk=512 * KiB):
+    return StripePattern(targets=targets, chunk_size=chunk)
+
+
+class TestBasics:
+    def test_default_chunk_is_512k(self):
+        assert DEFAULT_CHUNK_SIZE == 512 * KiB
+
+    def test_round_robin_chunk_mapping(self):
+        p = pattern()
+        assert [p.target_of_chunk(i) for i in range(6)] == [101, 201, 202, 203, 101, 201]
+
+    def test_offset_mapping(self):
+        p = pattern()
+        assert p.target_of_offset(0) == 101
+        assert p.target_of_offset(512 * KiB - 1) == 101
+        assert p.target_of_offset(512 * KiB) == 201
+        assert p.chunk_of_offset(3 * 512 * KiB + 7) == 3
+
+    def test_validation(self):
+        with pytest.raises(StripingError):
+            StripePattern(targets=())
+        with pytest.raises(StripingError):
+            StripePattern(targets=(1, 1))
+        with pytest.raises(StripingError):
+            StripePattern(targets=(1,), chunk_size=0)
+        with pytest.raises(StripingError):
+            pattern().target_of_chunk(-1)
+        with pytest.raises(StripingError):
+            pattern().chunk_of_offset(-5)
+
+
+class TestExtents:
+    def test_one_mib_transfer_spans_two_targets(self):
+        """The paper's setup: 1 MiB transfers over 512 KiB chunks touch
+        two consecutive targets."""
+        p = pattern()
+        extents = list(p.extents(0, MiB))
+        assert [e.target_id for e in extents] == [101, 201]
+        assert [e.length for e in extents] == [512 * KiB, 512 * KiB]
+
+    def test_unaligned_range(self):
+        p = pattern(chunk=1024)
+        extents = list(p.extents(500, 1600))
+        assert [(e.chunk_index, e.chunk_offset, e.length) for e in extents] == [
+            (0, 500, 524),
+            (1, 0, 1024),
+            (2, 0, 52),
+        ]
+
+    def test_empty_range(self):
+        assert list(pattern().extents(123, 0)) == []
+
+    @given(
+        offset=st.integers(0, 10 * MiB),
+        length=st.integers(0, 10 * MiB),
+        nt=st.integers(1, 8),
+        chunk_pow=st.integers(10, 21),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_extents_partition_range(self, offset, length, nt, chunk_pow):
+        p = pattern(targets=tuple(range(1, nt + 1)), chunk=2**chunk_pow)
+        pos = offset
+        for e in p.extents(offset, length):
+            assert e.file_offset == pos
+            assert 0 < e.length <= p.chunk_size
+            assert e.chunk_offset + e.length <= p.chunk_size
+            assert e.target_id == p.target_of_offset(e.file_offset)
+            pos += e.length
+        assert pos == offset + length
+
+
+class TestBytesPerTarget:
+    def test_even_split_on_aligned_file(self):
+        p = pattern()
+        counts = p.bytes_per_target(8 * 512 * KiB)
+        assert all(v == 2 * 512 * KiB for v in counts.values())
+
+    def test_remainder_goes_to_first_targets(self):
+        p = pattern()
+        counts = p.bytes_per_target(5 * 512 * KiB)
+        assert counts[101] == 2 * 512 * KiB
+        assert counts[201] == 512 * KiB
+
+    def test_zero_length(self):
+        assert all(v == 0 for v in pattern().bytes_per_target(0).values())
+
+    def test_single_target(self):
+        p = pattern(targets=(7,))
+        assert p.bytes_per_target(12345) == {7: 12345}
+
+    @given(
+        offset=st.integers(0, 4 * MiB),
+        length=st.integers(0, 16 * MiB),
+        nt=st.integers(1, 8),
+        chunk_pow=st.integers(12, 20),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_extent_enumeration(self, offset, length, nt, chunk_pow):
+        """The O(k) formula must agree with brute-force extent walking."""
+        p = pattern(targets=tuple(range(nt)), chunk=2**chunk_pow)
+        fast = p.bytes_per_target(length, offset)
+        slow = {t: 0 for t in p.targets}
+        for e in p.extents(offset, length):
+            slow[e.target_id] += e.length
+        assert fast == slow
+
+    @given(length=st.integers(1, 64 * MiB), nt=st.integers(1, 8))
+    @settings(max_examples=100, deadline=None)
+    def test_balance_within_one_chunk(self, length, nt):
+        """Per-target byte counts differ by at most one chunk."""
+        p = pattern(targets=tuple(range(nt)))
+        counts = p.bytes_per_target(length)
+        assert sum(counts.values()) == length
+        assert max(counts.values()) - min(counts.values()) <= p.chunk_size
+
+    def test_file_size_on_target(self):
+        p = pattern()
+        assert p.file_size_on_target(5 * 512 * KiB, 101) == 2 * 512 * KiB
+        with pytest.raises(StripingError):
+            p.file_size_on_target(100, 999)

@@ -1,0 +1,61 @@
+"""Calibration fitting and anchor checks."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.fitting import (
+    AnchorCheck,
+    anchor_report,
+    check_anchors,
+    fit_depth_constant,
+)
+from repro.calibration.plafrim import scenario1, scenario2
+from repro.errors import AnalysisError
+
+
+class TestFitDepthConstant:
+    def test_recovers_known_constant(self):
+        d0 = 12.5
+        depths = np.array([2.0, 4.0, 8.0, 16.0, 32.0])
+        frac = 1.0 - np.exp(-depths / d0)
+        assert fit_depth_constant(depths, frac) == pytest.approx(d0, rel=1e-4)
+
+    def test_robust_to_noise(self):
+        rng = np.random.default_rng(0)
+        d0 = 8.0
+        depths = np.linspace(1, 40, 20)
+        frac = np.clip(1.0 - np.exp(-depths / d0) + rng.normal(0, 0.01, 20), 0.01, 0.99)
+        assert fit_depth_constant(depths, frac) == pytest.approx(d0, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            fit_depth_constant([1.0], [0.5])
+        with pytest.raises(AnalysisError):
+            fit_depth_constant([1.0, 2.0], [0.5, 1.0])  # fraction must be < 1
+        with pytest.raises(AnalysisError):
+            fit_depth_constant([0.0, 2.0], [0.5, 0.6])
+
+
+class TestAnchors:
+    def test_both_scenarios_within_tolerance(self):
+        check_anchors(scenario1(), tolerance=0.10)
+        check_anchors(scenario2(), tolerance=0.10)
+
+    def test_report_contents(self):
+        names = {c.name for c in anchor_report(scenario1())}
+        assert any("balanced two-server peak" in n for n in names)
+        names2 = {c.name for c in anchor_report(scenario2())}
+        assert any("client ceiling (scenario 2" in n for n in names2)
+
+    def test_anchor_check_math(self):
+        check = AnchorCheck("x", paper_value=100.0, model_value=104.0)
+        assert check.relative_error == pytest.approx(0.04)
+        assert check.within(0.05)
+        assert not check.within(0.03)
+
+    def test_check_anchors_raises_when_off(self):
+        from repro.storage.san import SanRampSpec
+
+        bad = scenario1().with_overrides(san=SanRampSpec(base_mib_s=50_000.0))
+        with pytest.raises(AnalysisError):
+            check_anchors(bad, tolerance=0.10)

@@ -1,0 +1,80 @@
+"""Calibration parameter sets."""
+
+import math
+
+import pytest
+
+from repro.calibration.plafrim import SCENARIOS, scenario1, scenario2, scenario_by_name
+from repro.errors import ConfigError
+from repro.storage.variability import CompositeNoise
+
+
+class TestScenarioFacts:
+    def test_scenario1_is_network_bound(self):
+        calib = scenario1()
+        assert calib.network_bound
+        assert calib.per_server_network_mib_s < calib.pool.aggregate_mib_s(1)
+
+    def test_scenario2_is_storage_bound(self):
+        calib = scenario2()
+        assert not calib.network_bound
+        assert calib.per_server_network_mib_s > calib.per_server_storage_mib_s
+
+    def test_client_ceilings_match_paper(self):
+        assert scenario1().client.node_capacity(8) == pytest.approx(880.0)
+        assert scenario2().client.node_capacity(8) == pytest.approx(1630.0)
+
+    def test_balanced_peak_scenario1(self):
+        """Two saturated ingests ~ the paper's 2200 MiB/s peak."""
+        assert 2 * scenario1().per_server_network_mib_s == pytest.approx(2200, rel=0.01)
+
+    def test_pool_single_target_rate(self):
+        assert scenario1().pool.aggregate_mib_s(1) == pytest.approx(1764.0)
+
+    def test_scenarios_share_storage_model(self):
+        """Same storage hardware behind both fabrics."""
+        s1, s2 = scenario1(), scenario2()
+        assert s1.pool == s2.pool
+        assert s1.target == s2.target
+        assert s1.san_mib_s == s2.san_mib_s
+
+    def test_lookup(self):
+        assert scenario_by_name("scenario1").name == "scenario1"
+        assert set(SCENARIOS) == {"scenario1", "scenario2"}
+        with pytest.raises(ConfigError):
+            scenario_by_name("scenario3")
+
+
+class TestFactories:
+    def test_platform(self):
+        topo = scenario1().platform(4)
+        assert len(topo.compute_nodes()) == 4
+        assert len(topo.storage_hosts()) == 2
+
+    def test_deployment_defaults_size_only(self):
+        spec = scenario1().deployment(stripe_count=6)
+        assert spec.keep_data is False
+        assert spec.default_config.stripe_count == 6
+
+    def test_storage_hosts_match_deployment(self):
+        calib = scenario2()
+        deployment = calib.deployment()
+        hosts = calib.storage_hosts(deployment)
+        assert [h.host for h in hosts] == ["storage1", "storage2"]
+        assert hosts[0].target_ids == (101, 102, 103, 104)
+
+    def test_make_noise_fresh_instances(self):
+        calib = scenario2()
+        a, b = calib.make_noise(), calib.make_noise()
+        assert isinstance(a, CompositeNoise)
+        assert a is not b
+        assert math.isfinite(a.epoch_length_s)
+
+    def test_scenario1_has_network_noise(self):
+        assert len(scenario1().make_noise().models) == 2  # storage + network
+        assert len(scenario2().make_noise().models) == 1  # storage only
+
+    def test_with_overrides(self):
+        calib = scenario1().with_overrides(metadata_overhead_s=0.0)
+        assert calib.metadata_overhead_s == 0.0
+        assert calib.name == "scenario1"

@@ -1,0 +1,66 @@
+"""Shared fixtures: calibrated platforms, deployments and engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.beegfs.filesystem import BeeGFS, plafrim_deployment
+from repro.calibration.plafrim import scenario1, scenario2
+from repro.engine.base import EngineOptions
+from repro.engine.fluid_runner import FluidEngine
+
+
+@pytest.fixture(scope="session")
+def calib_s1():
+    return scenario1()
+
+
+@pytest.fixture(scope="session")
+def calib_s2():
+    return scenario2()
+
+
+@pytest.fixture(scope="session")
+def topo_s1(calib_s1):
+    return calib_s1.platform(32)
+
+
+@pytest.fixture(scope="session")
+def topo_s2(calib_s2):
+    return calib_s2.platform(32)
+
+
+@pytest.fixture
+def deployment():
+    """A data-keeping PlaFRIM deployment (correctness tests)."""
+    return plafrim_deployment(keep_data=True)
+
+
+@pytest.fixture
+def fs(deployment):
+    return BeeGFS(deployment, seed=1)
+
+
+@pytest.fixture
+def quiet_options():
+    """Engine options for deterministic (noise-free) runs."""
+    return EngineOptions(noise_enabled=False)
+
+
+def make_engine(calib, topo, stripe_count=4, chooser=None, seed=0, **opts):
+    """Helper used across engine tests."""
+    kwargs = {"stripe_count": stripe_count}
+    if chooser is not None:
+        kwargs["chooser"] = chooser
+    options = EngineOptions(**opts) if opts else EngineOptions(noise_enabled=False)
+    return FluidEngine(calib, topo, calib.deployment(**kwargs), seed=seed, options=options)
+
+
+@pytest.fixture
+def engine_s1(calib_s1, topo_s1):
+    return make_engine(calib_s1, topo_s1)
+
+
+@pytest.fixture
+def engine_s2(calib_s2, topo_s2):
+    return make_engine(calib_s2, topo_s2)

@@ -1,0 +1,66 @@
+"""Fluid-vs-DES cross-validation.
+
+The fluid engine's aggregate-flow + latency-cap approximations must
+agree with the request-level processor-sharing DES on configurations
+small enough for the DES to run.  Tolerances are loose-ish (the DES
+resolves transfer granularity the fluid model blurs) but tight enough
+to catch calibration-plumbing regressions.
+"""
+
+import pytest
+
+from repro.engine.base import EngineOptions
+from repro.engine.des_runner import DESEngine
+from repro.engine.fluid_runner import FluidEngine
+from repro.units import MiB
+from repro.workload.generator import single_application
+
+
+def pair(calib, topo, stripe_count, chooser=None):
+    kwargs = {"stripe_count": stripe_count}
+    if chooser:
+        kwargs["chooser"] = chooser
+    options = EngineOptions(noise_enabled=False, include_metadata_overhead=False)
+    deployment = calib.deployment(**kwargs)
+    return (
+        FluidEngine(calib, topo, deployment, seed=0, options=options),
+        DESEngine(calib, topo, deployment, seed=0, options=options),
+    )
+
+
+CASES = [
+    # (scenario fixture name, stripe, chooser, nodes, ppn, volume MiB)
+    ("s1", 4, None, 2, 4, 512),
+    ("s1", 2, "fixed:101,201", 4, 4, 512),
+    ("s1", 2, "fixed:201,202", 4, 4, 512),
+    ("s1", 8, None, 4, 8, 1024),
+    ("s2", 4, None, 2, 4, 512),
+    ("s2", 8, None, 4, 8, 1024),
+    ("s2", 1, None, 2, 4, 256),
+]
+
+
+@pytest.mark.parametrize("scenario,stripe,chooser,nodes,ppn,volume_mib", CASES)
+def test_fluid_matches_des(scenario, stripe, chooser, nodes, ppn, volume_mib, request):
+    calib = request.getfixturevalue(f"calib_{scenario}")
+    topo = request.getfixturevalue(f"topo_{scenario}")
+    fluid, des = pair(calib, topo, stripe, chooser)
+    app = single_application(topo, nodes, ppn=ppn, total_bytes=volume_mib * MiB)
+    bw_fluid = fluid.run([app], rep=0).single.bandwidth_mib_s
+    bw_des = des.run([app], rep=0).single.bandwidth_mib_s
+    assert bw_fluid == pytest.approx(bw_des, rel=0.15), (
+        f"fluid {bw_fluid:.0f} vs DES {bw_des:.0f} MiB/s"
+    )
+
+
+def test_both_engines_rank_placements_identically(calib_s1, topo_s1):
+    ranking = {}
+    for engine_kind in ("fluid", "des"):
+        values = []
+        for chooser in ("fixed:201,202", "fixed:101,201"):
+            fluid, des = pair(calib_s1, topo_s1, 2, chooser)
+            engine = fluid if engine_kind == "fluid" else des
+            app = single_application(topo_s1, 4, ppn=4, total_bytes=256 * MiB)
+            values.append(engine.run([app], rep=0).single.bandwidth_mib_s)
+        ranking[engine_kind] = values[1] > values[0]
+    assert ranking["fluid"] == ranking["des"] is True

@@ -1,0 +1,71 @@
+"""Request-level DES engine."""
+
+import pytest
+
+from repro.engine.des_runner import DESEngine
+from repro.engine.base import EngineOptions
+from repro.errors import ExperimentError
+from repro.units import GiB, MiB
+from repro.workload.generator import concurrent_applications, single_application
+
+
+def des(calib, topo, stripe_count=4, **opts):
+    options = EngineOptions(noise_enabled=False, **opts)
+    return DESEngine(calib, topo, calib.deployment(stripe_count=stripe_count), seed=0, options=options)
+
+
+class TestBasics:
+    def test_small_run_completes(self, calib_s1, topo_s1):
+        engine = des(calib_s1, topo_s1)
+        app = single_application(topo_s1, 2, ppn=2, total_bytes=64 * MiB)
+        result = engine.run([app], rep=0)
+        assert result.single.volume_bytes == 64 * MiB
+        assert result.single.duration > 0
+        assert result.segments > 0
+
+    def test_reproducible(self, calib_s1, topo_s1):
+        engine = des(calib_s1, topo_s1)
+        app = single_application(topo_s1, 2, ppn=2, total_bytes=32 * MiB)
+        a = engine.run([app], rep=3).single.bandwidth_mib_s
+        b = engine.run([app], rep=3).single.bandwidth_mib_s
+        assert a == b
+
+    def test_request_budget_guard(self, calib_s1, topo_s1):
+        engine = des(calib_s1, topo_s1)
+        app = single_application(topo_s1, 8, ppn=8, total_bytes=200 * GiB)
+        with pytest.raises(ExperimentError):
+            engine.run([app], rep=0)
+
+    def test_concurrent_apps(self, calib_s2, topo_s2):
+        engine = des(calib_s2, topo_s2, stripe_count=8)
+        apps = concurrent_applications(topo_s2, 2, nodes_per_app=2, ppn=2, total_bytes_each=64 * MiB)
+        result = engine.run(apps, rep=0)
+        assert len(result.apps) == 2
+        assert result.aggregate_bandwidth_mib_s > 0
+
+    def test_balanced_beats_single_server_des(self, calib_s1, topo_s1):
+        """The Figure 9 effect reproduced at request level."""
+
+        def run(chooser):
+            options = EngineOptions(noise_enabled=False, include_metadata_overhead=False)
+            engine = DESEngine(
+                calib_s1, topo_s1,
+                calib_s1.deployment(stripe_count=2, chooser=chooser),
+                seed=0, options=options,
+            )
+            app = single_application(topo_s1, 4, ppn=4, total_bytes=256 * MiB)
+            return engine.run([app], rep=0).single.bandwidth_mib_s
+
+        assert run("fixed:101,201") > 1.6 * run("fixed:201,202")
+
+
+class TestDESWithNoise:
+    def test_noisy_run_completes_and_varies(self, calib_s2, topo_s2):
+        options = EngineOptions(noise_enabled=True)
+        engine = DESEngine(
+            calib_s2, topo_s2, calib_s2.deployment(stripe_count=4), seed=0, options=options
+        )
+        app = single_application(topo_s2, 2, ppn=2, total_bytes=128 * MiB)
+        values = {round(engine.run([app], rep=r).single.bandwidth_mib_s, 2) for r in range(3)}
+        assert len(values) > 1
+        assert all(v > 100 for v in values)

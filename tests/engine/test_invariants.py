@@ -1,0 +1,114 @@
+"""Cross-cutting engine invariants (property-style)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.beegfs.management import TargetState
+from repro.engine.base import EngineOptions
+from repro.engine.fluid_runner import FluidEngine
+from repro.units import GiB, MiB
+from repro.workload.generator import single_application
+
+from ..conftest import make_engine
+
+
+class TestMonotonicity:
+    """Noise-free runs must respect obvious physical orderings."""
+
+    @given(n_pair=st.tuples(st.integers(1, 16), st.integers(1, 16)))
+    @settings(max_examples=12, deadline=None)
+    def test_more_nodes_never_slower(self, n_pair):
+        # Built directly (hypothesis does not mix with function fixtures).
+        from repro.calibration.plafrim import scenario2
+
+        calib = scenario2()
+        topo = calib.platform(16)
+        engine = make_engine(calib, topo, stripe_count=4)
+        lo, hi = sorted(n_pair)
+        if lo == hi:
+            return
+        bw_lo = engine.run([single_application(topo, lo, ppn=8)], rep=0).single.bandwidth_mib_s
+        bw_hi = engine.run([single_application(topo, hi, ppn=8)], rep=0).single.bandwidth_mib_s
+        assert bw_hi >= bw_lo * 0.999
+
+    def test_more_targets_never_slower_balanced(self, calib_s2, topo_s2):
+        previous = 0.0
+        for k in (2, 4, 6, 8):
+            engine = make_engine(calib_s2, topo_s2, stripe_count=k, chooser="balanced")
+            bw = engine.run([single_application(topo_s2, 16, ppn=8)], rep=0).single.bandwidth_mib_s
+            assert bw >= previous * 0.999
+            previous = bw
+
+    def test_volume_scales_duration_linearly(self, calib_s1, topo_s1):
+        """Noise-free: past the fixed overhead, time ~ volume."""
+        engine = make_engine(calib_s1, topo_s1, noise_enabled=False, include_metadata_overhead=False)
+        d16 = engine.run([single_application(topo_s1, 4, ppn=8, total_bytes=16 * GiB)], rep=0).single.duration
+        d32 = engine.run([single_application(topo_s1, 4, ppn=8, total_bytes=32 * GiB)], rep=0).single.duration
+        assert d32 == pytest.approx(2 * d16, rel=0.02)
+
+
+class TestDegradedDeployments:
+    def test_offline_target_avoided(self, calib_s1, topo_s1):
+        """A chooser never places new files on an offline target."""
+        engine = make_engine(calib_s1, topo_s1, stripe_count=8)
+        prepared = engine.prepare([single_application(topo_s1, 2, ppn=4, total_bytes=GiB)], rep=0)
+        fs = prepared.fs
+        fs.management.set_state(101, TargetState.OFFLINE)
+        inode = fs.create_file("/after-failure.dat")
+        assert 101 not in inode.pattern.targets
+        assert inode.pattern.stripe_count == 7  # clamped to the live pool
+
+    def test_run_with_degraded_stripe(self, calib_s2, topo_s2):
+        """A 7-target deployment still runs end to end."""
+        from repro.beegfs.filesystem import BeeGFSDeploymentSpec
+        from repro.beegfs.meta import DirectoryConfig
+
+        spec = BeeGFSDeploymentSpec(
+            servers=(("storage1", (101, 102, 103)), ("storage2", (201, 202, 203, 204))),
+            default_config=DirectoryConfig(stripe_count=7),
+            default_chooser="balanced",
+            keep_data=False,
+        )
+        engine = FluidEngine(
+            calib_s2, topo_s2, spec, seed=0, options=EngineOptions(noise_enabled=False)
+        )
+        result = engine.run([single_application(topo_s2, 8, ppn=8, total_bytes=4 * GiB)], rep=0)
+        assert result.single.placement == (3, 4)
+        assert result.single.bandwidth_mib_s > 1000
+
+
+class TestAccounting:
+    @given(
+        nodes=st.integers(1, 8),
+        ppn=st.sampled_from([2, 4, 8]),
+        stripe=st.integers(1, 8),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_flow_volumes_sum_to_app_volume(self, nodes, ppn, stripe):
+        from repro.calibration.plafrim import scenario1
+
+        calib = scenario1()
+        topo = calib.platform(8)
+        engine = make_engine(calib, topo, stripe_count=stripe)
+        app = single_application(topo, nodes, ppn=ppn, total_bytes=2 * GiB)
+        prepared = engine.prepare([app], rep=0)
+        assert sum(f.volume_bytes for f in prepared.flows) == pytest.approx(app.total_bytes)
+        # Depth weights: ppn * e / k per node, clamped at the RPC slots.
+        e = max(1, app.config.transfer_size // 512 / 1024 * 1024)  # 1 MiB / 512 KiB
+        per_node = sum(f.weight for f in prepared.flows) / nodes
+        assert per_node <= calib.client.max_inflight_requests + 1e-9
+
+    def test_engines_share_prepare(self, calib_s1, topo_s1):
+        """Fluid and DES prepare identical flow sets for the same rep."""
+        from repro.engine.des_runner import DESEngine
+
+        options = EngineOptions(noise_enabled=False)
+        app = single_application(topo_s1, 2, ppn=4, total_bytes=GiB)
+        fluid = FluidEngine(calib_s1, topo_s1, calib_s1.deployment(), seed=3, options=options)
+        des = DESEngine(calib_s1, topo_s1, calib_s1.deployment(), seed=3, options=options)
+        pf = fluid.prepare([app], rep=5)
+        pd = des.prepare([app], rep=5)
+        assert pf.app_targets == pd.app_targets
+        assert [f.flow_id for f in pf.flows] == [f.flow_id for f in pd.flows]
+        assert [f.volume_bytes for f in pf.flows] == [f.volume_bytes for f in pd.flows]

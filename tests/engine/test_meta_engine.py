@@ -1,0 +1,114 @@
+"""The metadata (mdtest) engine on the DES kernel."""
+
+import pytest
+
+from repro.beegfs.filesystem import plafrim_deployment
+from repro.engine.meta_engine import MDSPerformanceSpec, MetadataEngine
+from repro.errors import ExperimentError
+from repro.workload.mdtest import MDTestConfig, MDTestPhase, MetadataOp
+
+
+def engine(seed=0, **spec_kw):
+    return MetadataEngine(
+        plafrim_deployment(keep_data=False), MDSPerformanceSpec(**spec_kw), seed=seed
+    )
+
+
+class TestSpec:
+    def test_peak_rate(self):
+        spec = MDSPerformanceSpec(workers=8, create_service_s=500e-6)
+        assert spec.peak_rate(MetadataOp.CREATE) == pytest.approx(16000)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            MDSPerformanceSpec(workers=0)
+        with pytest.raises(ExperimentError):
+            MDSPerformanceSpec(create_service_s=0)
+
+
+class TestRuns:
+    def test_single_process_latency_bound(self):
+        """One blocking client cannot saturate the MDS: its rate is
+        1 / (rpc latency + service time)-ish."""
+        result = engine(service_jitter=0.0).run(MDTestConfig(50), nprocs=1)
+        rate = result.rate(MetadataOp.CREATE)
+        spec = MDSPerformanceSpec(service_jitter=0.0)
+        expected = 1.0 / (spec.rpc_latency_s + spec.create_service_s)
+        assert rate == pytest.approx(expected, rel=0.05)
+
+    def test_rate_saturates_at_worker_pool(self):
+        spec_kw = dict(service_jitter=0.0)
+        result = engine(**spec_kw).run(MDTestConfig(50), nprocs=64)
+        peak = MDSPerformanceSpec(service_jitter=0.0).peak_rate(MetadataOp.CREATE)
+        assert result.rate(MetadataOp.CREATE) == pytest.approx(peak, rel=0.05)
+
+    def test_shared_dir_uses_one_mds(self):
+        result = engine().run(MDTestConfig(20, directory_mode=MDTestPhase.SHARED_DIR), nprocs=8)
+        assert result.busiest_mds_share() == 1.0
+
+    def test_unique_dirs_spread_over_mdses(self):
+        result = engine().run(MDTestConfig(20, directory_mode=MDTestPhase.UNIQUE_DIRS), nprocs=8)
+        assert result.busiest_mds_share() == pytest.approx(0.5)
+
+    def test_unique_dirs_scale_throughput(self):
+        """The headline: ~2x creates/s with two MDSes once saturated."""
+        shared = engine().run(MDTestConfig(40, directory_mode=MDTestPhase.SHARED_DIR), nprocs=32)
+        unique = engine().run(MDTestConfig(40, directory_mode=MDTestPhase.UNIQUE_DIRS), nprocs=32)
+        ratio = unique.rate(MetadataOp.CREATE) / shared.rate(MetadataOp.CREATE)
+        assert ratio == pytest.approx(2.0, rel=0.15)
+
+    def test_stat_faster_than_create(self):
+        result = engine().run(MDTestConfig(50), nprocs=16)
+        assert result.rate(MetadataOp.STAT) > result.rate(MetadataOp.CREATE)
+
+    def test_phases_accounted(self):
+        config = MDTestConfig(10)
+        result = engine().run(config, nprocs=4)
+        assert set(result.phase_seconds) == set(config.ops)
+        assert result.total_seconds == pytest.approx(sum(result.phase_seconds.values()))
+        assert sum(result.mds_ops.values()) == config.total_ops(4)
+
+    def test_reproducible(self):
+        a = engine(seed=5).run(MDTestConfig(20), nprocs=4, rep=1)
+        b = engine(seed=5).run(MDTestConfig(20), nprocs=4, rep=1)
+        assert a.phase_seconds == b.phase_seconds
+
+    def test_rep_varies(self):
+        a = engine(seed=5).run(MDTestConfig(20), nprocs=4, rep=1)
+        b = engine(seed=5).run(MDTestConfig(20), nprocs=4, rep=2)
+        assert a.phase_seconds != b.phase_seconds
+
+    def test_nprocs_validation(self):
+        with pytest.raises(ExperimentError):
+            engine().run(MDTestConfig(10), nprocs=0)
+
+
+class TestConcurrentGroups:
+    def test_storm_slows_victim(self):
+        from repro.workload.mdtest import MDTestPhase
+
+        eng = engine()
+        victim = ("victim", MDTestConfig(1, directory_mode=MDTestPhase.UNIQUE_DIRS), 32, 0.02)
+        alone = eng.run_concurrent([victim])["victim"]
+        storm = ("storm", MDTestConfig(200, directory_mode=MDTestPhase.SHARED_DIR), 128)
+        contended = engine().run_concurrent([victim, storm])["victim"]
+        assert contended > 1.5 * alone
+
+    def test_delay_measured_from_group_start(self):
+        eng = engine(service_jitter=0.0)
+        undelayed = eng.run_concurrent([("a", MDTestConfig(5), 2)])["a"]
+        delayed = engine(service_jitter=0.0).run_concurrent(
+            [("a", MDTestConfig(5), 2, 1.0)]
+        )["a"]
+        assert delayed == pytest.approx(undelayed, rel=0.01)
+
+    def test_all_groups_reported(self):
+        finished = engine().run_concurrent(
+            [("a", MDTestConfig(3), 2), ("b", MDTestConfig(3), 2)]
+        )
+        assert set(finished) == {"a", "b"}
+        assert all(v > 0 for v in finished.values())
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(ExperimentError):
+            engine().run_concurrent([])

@@ -1,0 +1,103 @@
+"""Read-phase engine runs and access-pattern behaviour."""
+
+import pytest
+
+from repro.errors import ExperimentError, WorkloadError
+from repro.units import GiB
+from repro.workload.generator import single_application
+from repro.workload.patterns import AccessPattern, IORConfig
+
+from ..conftest import make_engine
+
+
+class TestIORConfigOperation:
+    def test_defaults_to_write(self):
+        assert IORConfig(block_size=GiB).operation == "write"
+
+    def test_read_command_flag(self):
+        read = IORConfig.for_total_size(GiB, 4, operation="read")
+        assert "-r" in read.ior_command(4)
+        assert "-w" not in read.ior_command(4)
+
+    def test_invalid_operation(self):
+        with pytest.raises(WorkloadError):
+            IORConfig(block_size=GiB, operation="append")
+
+
+class TestReadRuns:
+    def test_reads_faster_when_storage_bound(self, calib_s2, topo_s2):
+        engine = make_engine(calib_s2, topo_s2, stripe_count=8)
+        write = engine.run(
+            [single_application(topo_s2, 32, ppn=8, operation="write")], rep=0
+        ).single.bandwidth_mib_s
+        read = engine.run(
+            [single_application(topo_s2, 32, ppn=8, operation="read")], rep=0
+        ).single.bandwidth_mib_s
+        factor = calib_s2.read_storage_factor
+        assert read == pytest.approx(write * factor, rel=0.05)
+
+    def test_reads_identical_when_network_bound(self, calib_s1, topo_s1):
+        """Scenario 1: the link limits; the parity-free storage gain is
+        invisible — the paper's 'we expect the observed behaviors to be
+        the same' for the network-bound case."""
+        engine = make_engine(calib_s1, topo_s1, stripe_count=8)
+        write = engine.run(
+            [single_application(topo_s1, 8, ppn=8, operation="write")], rep=0
+        ).single.bandwidth_mib_s
+        read = engine.run(
+            [single_application(topo_s1, 8, ppn=8, operation="read")], rep=0
+        ).single.bandwidth_mib_s
+        assert read == pytest.approx(write, rel=0.01)
+
+    def test_mixed_operations_rejected(self, calib_s2, topo_s2):
+        engine = make_engine(calib_s2, topo_s2)
+        writer = single_application(topo_s2, 2, ppn=8, operation="write", app_id="w")
+        reader = single_application(topo_s2, 2, ppn=8, operation="read", app_id="r")
+        reader = reader.delayed(0.0)
+        # put reader on other nodes
+        from repro.workload.application import Application
+
+        reader = Application(
+            app_id="r",
+            nodes=("bora003", "bora004"),
+            ppn=8,
+            config=reader.config,
+        )
+        with pytest.raises(ExperimentError):
+            engine.run([writer, reader], rep=0)
+
+    def test_read_placement_behaviour_matches_write(self, calib_s1, topo_s1):
+        """Balance still rules reads in scenario 1."""
+        def bw(chooser):
+            engine = make_engine(calib_s1, topo_s1, stripe_count=2, chooser=chooser)
+            app = single_application(topo_s1, 8, ppn=8, operation="read")
+            return engine.run([app], rep=0).single.bandwidth_mib_s
+
+        assert bw("fixed:101,201") > 1.8 * bw("fixed:201,202")
+
+
+class TestNNPattern:
+    def test_nn_uses_all_targets_regardless_of_stripe(self, calib_s2, topo_s2):
+        """Round-robin over many files covers the whole pool."""
+        engine = make_engine(calib_s2, topo_s2, stripe_count=1)
+        app = single_application(topo_s2, 8, ppn=8, pattern=AccessPattern.NN)
+        result = engine.run([app], rep=0)
+        assert len(result.single.targets) == 8
+
+    def test_nn_insensitive_to_stripe_count(self, calib_s2, topo_s2):
+        values = []
+        for k in (1, 4, 8):
+            engine = make_engine(calib_s2, topo_s2, stripe_count=k)
+            app = single_application(topo_s2, 8, ppn=8, pattern=AccessPattern.NN)
+            values.append(engine.run([app], rep=0).single.bandwidth_mib_s)
+        assert max(values) / min(values) < 1.05
+
+    def test_nn_matches_n1_best_case(self, calib_s2, topo_s2):
+        engine = make_engine(calib_s2, topo_s2, stripe_count=8)
+        nn = engine.run(
+            [single_application(topo_s2, 8, ppn=8, pattern=AccessPattern.NN)], rep=0
+        ).single.bandwidth_mib_s
+        n1 = engine.run(
+            [single_application(topo_s2, 8, ppn=8)], rep=0
+        ).single.bandwidth_mib_s
+        assert nn == pytest.approx(n1, rel=0.05)

@@ -1,0 +1,91 @@
+"""Run results and Equation 1."""
+
+import pytest
+
+from repro.engine.result import ApplicationResult, RunResult, aggregate_bandwidth
+from repro.errors import AnalysisError
+from repro.units import GiB
+
+
+def app_result(app_id="a", start=0.0, end=32.0, volume=32 * GiB, **kw):
+    defaults = dict(
+        app_id=app_id,
+        start_time=start,
+        end_time=end,
+        volume_bytes=float(volume),
+        num_nodes=8,
+        ppn=8,
+        stripe_count=4,
+        targets=(101, 201, 202, 203),
+        placement=(1, 3),
+    )
+    defaults.update(kw)
+    return ApplicationResult(**defaults)
+
+
+class TestApplicationResult:
+    def test_bandwidth(self):
+        a = app_result(end=32.0)
+        assert a.bandwidth_mib_s == pytest.approx(1024.0)
+        assert a.duration == 32.0
+
+    def test_placement_min_max(self):
+        assert app_result(placement=(1, 3)).placement_min_max == (1, 3)
+        assert app_result(placement=(0, 2)).placement_min_max == (0, 2)
+
+    def test_balanced(self):
+        assert app_result(placement=(2, 2)).balanced
+        assert not app_result(placement=(1, 3)).balanced
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(AnalysisError):
+            app_result(start=5.0, end=5.0)
+
+
+class TestEquation1:
+    def test_single_app_equals_own_bandwidth(self):
+        a = app_result()
+        assert aggregate_bandwidth([a]) == pytest.approx(a.bandwidth_mib_s)
+
+    def test_paper_formula(self):
+        """sum(vol) / (max(end) - min(start))."""
+        a = app_result("a", start=0.0, end=40.0)
+        b = app_result("b", start=2.0, end=50.0)
+        expected = (2 * 32 * 1024) / (50.0 - 0.0)
+        assert aggregate_bandwidth([a, b]) == pytest.approx(expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            aggregate_bandwidth([])
+
+
+class TestRunResult:
+    def test_queries(self):
+        a, b = app_result("a"), app_result("b", end=48.0)
+        run = RunResult(apps=(a, b), segments=5)
+        assert run.app("b") is b
+        assert run.makespan == 48.0
+        assert run.aggregate_bandwidth_mib_s == pytest.approx((2 * 32 * 1024) / 48.0)
+        with pytest.raises(AnalysisError):
+            run.app("ghost")
+
+    def test_single_accessor(self):
+        run = RunResult(apps=(app_result(),), segments=1)
+        assert run.single.app_id == "a"
+        two = RunResult(apps=(app_result("a"), app_result("b")), segments=1)
+        with pytest.raises(AnalysisError):
+            _ = two.single
+
+    def test_shared_targets(self):
+        a = app_result("a", targets=(101, 201))
+        b = app_result("b", targets=(201, 202))
+        run = RunResult(apps=(a, b), segments=1)
+        assert run.shared_targets() == {201}
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(AnalysisError):
+            RunResult(apps=(app_result("a"), app_result("a")), segments=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            RunResult(apps=(), segments=0)

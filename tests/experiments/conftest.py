@@ -1,0 +1,46 @@
+"""Session-scoped experiment data for the paper-claims tests.
+
+Experiments run once per session at reduced (but statistically
+meaningful) repetition counts and are shared by every claim test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+@pytest.fixture(scope="session")
+def fig2_out():
+    return get_experiment("fig2").run(repetitions=20, seed=11)
+
+
+@pytest.fixture(scope="session")
+def fig4_out():
+    return get_experiment("fig4").run(repetitions=25, seed=12)
+
+
+@pytest.fixture(scope="session")
+def fig5_out():
+    return get_experiment("fig5").run(repetitions=15, seed=13)
+
+
+@pytest.fixture(scope="session")
+def fig6_out():
+    return get_experiment("fig6").run(repetitions=40, seed=14)
+
+
+@pytest.fixture(scope="session")
+def fig11_out():
+    return get_experiment("fig11").run(repetitions=15, seed=15)
+
+
+@pytest.fixture(scope="session")
+def fig12_out():
+    return get_experiment("fig12").run(repetitions=15, seed=16)
+
+
+@pytest.fixture(scope="session")
+def fig13_out():
+    return get_experiment("fig13").run(repetitions=60, seed=17)

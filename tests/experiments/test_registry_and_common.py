@@ -1,0 +1,81 @@
+"""Experiment registry, common machinery, and figure rendering."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import get_experiment, list_experiments
+from repro.experiments.common import StandardExecutor, default_apps_builder
+from repro.methodology.plan import ExperimentSpec
+from repro.topology.builders import plafrim_omnipath
+from repro.units import GiB
+
+
+EXPECTED_IDS = {
+    "fig2", "fig3", "fig4", "fig5", "fig6", "fig9", "fig11", "fig12", "fig13",
+    "choosers", "lessons", "read", "patterns", "scaleout", "metadata", "chunksize", "interference",
+}
+
+
+class TestRegistry:
+    def test_every_figure_registered(self):
+        assert {info.exp_id for info in list_experiments()} == EXPECTED_IDS
+
+    def test_lookup(self):
+        info = get_experiment("fig6")
+        assert "stripe count" in info.title
+        assert info.default_repetitions == 100
+
+    def test_unknown(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99")
+
+    def test_infos_have_paper_refs(self):
+        for info in list_experiments():
+            assert info.paper_ref
+            assert callable(info.run)
+
+
+class TestDefaultAppsBuilder:
+    def test_single_app_from_factors(self):
+        topo = plafrim_omnipath(8)
+        apps = default_apps_builder(topo, {"num_nodes": 4, "ppn": 8, "total_gib": 16})
+        assert len(apps) == 1
+        assert apps[0].num_nodes == 4
+        assert apps[0].total_bytes == 16 * GiB
+
+    def test_concurrent_apps_from_factors(self):
+        topo = plafrim_omnipath(32)
+        apps = default_apps_builder(topo, {"num_apps": 3, "nodes_per_app": 8, "ppn": 8})
+        assert len(apps) == 3
+        nodes = [n for a in apps for n in a.nodes]
+        assert len(set(nodes)) == 24
+
+    def test_unknown_pattern_rejected(self):
+        topo = plafrim_omnipath(4)
+        with pytest.raises(ExperimentError):
+            default_apps_builder(topo, {"pattern": "zigzag"})
+
+
+class TestStandardExecutor:
+    def test_caches_engines_per_spec(self):
+        executor = StandardExecutor(seed=1)
+        spec = ExperimentSpec("e", "scenario1", {"stripe_count": 2, "num_nodes": 2, "total_gib": 1})
+        assert executor.engine(spec) is executor.engine(spec)
+
+    def test_executes_and_varies_with_rep(self):
+        executor = StandardExecutor(seed=1)
+        spec = ExperimentSpec("e", "scenario2", {"stripe_count": 4, "num_nodes": 2, "total_gib": 2})
+        a = executor(spec, 0).single.bandwidth_mib_s
+        b = executor(spec, 1).single.bandwidth_mib_s
+        assert a != b
+
+    def test_chooser_factor_respected(self):
+        executor = StandardExecutor(seed=1)
+        spec = ExperimentSpec(
+            "e",
+            "scenario1",
+            {"stripe_count": 2, "chooser": "fixed:201,202", "num_nodes": 2, "total_gib": 1},
+        )
+        result = executor(spec, 0)
+        assert result.single.targets == (201, 202)
+        assert result.single.placement == (0, 2)

@@ -1,0 +1,87 @@
+"""Every experiment's figure renders with the expected elements."""
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+class TestAnalyticExperiments:
+    def test_fig3_table(self):
+        out = get_experiment("fig3").run()
+        assert "min(N, M)" in out.figure
+        assert "scenario1" in out.figure and "scenario2" in out.figure
+
+    def test_fig9_timelines_show_balance_effect(self):
+        out = get_experiment("fig9").run(seed=3)
+        assert "(0,2)" in out.figure and "(1,1)" in out.figure
+        bw = {r.factors["placement"]: r.bw_mib_s for r in out.records}
+        assert bw["(1,1)"] > 1.8 * bw["(0,2)"]
+        # The (1,1) run is roughly twice as fast.
+        assert "2.0" in out.figure or "1.9" in out.figure or "2.1" in out.figure
+
+
+class TestSimulatedRenders:
+    @pytest.mark.parametrize(
+        "exp_id,needles",
+        [
+            ("fig2", ["Fig 2 (scenario1", "spread"]),
+            ("fig4", ["plateau (95% of peak)", "Fig 4 (scenario2"]),
+            ("fig5", ["8 ppn", "16 ppn"]),
+            ("fig6", ["Fig 8 (scenario1", "Fig 10 (scenario2", "(1,3)"]),
+            ("fig11", ["plateau positions", "stripe 8"]),
+        ],
+    )
+    def test_render_contains(self, exp_id, needles):
+        out = get_experiment(exp_id).run(repetitions=4, seed=5)
+        for needle in needles:
+            assert needle in out.figure, f"{exp_id}: missing {needle!r}"
+        assert len(out.records) > 0
+
+    def test_fig12_bars_and_summary(self):
+        out = get_experiment("fig12").run(repetitions=3, seed=5)
+        assert "Fig 12 (2 concurrent apps)" in out.figure
+        assert "aggregate (Eq.1)" in out.figure
+
+    def test_fig13_test_report(self):
+        out = get_experiment("fig13").run(repetitions=30, seed=5)
+        assert "Welch t-test p" in out.figure
+        assert "NOT significantly different" in out.figure
+
+    def test_read_extension(self):
+        out = get_experiment("read").run(repetitions=4, seed=5)
+        assert "read vs write" in out.figure
+        assert "scenario2" in out.figure
+
+    def test_patterns_extension(self):
+        out = get_experiment("patterns").run(repetitions=4, seed=5)
+        assert "N-N vs N-1" in out.figure
+        assert "targets used by N-N" in out.figure
+
+    def test_scaleout_extension(self):
+        out = get_experiment("scaleout").run(repetitions=3, seed=5)
+        assert "8 storage hosts (32 targets)" in out.figure
+
+    def test_metadata_extension(self):
+        out = get_experiment("metadata").run(repetitions=2, seed=5)
+        assert "creates/s" in out.figure
+        assert "busiest MDS share" in out.figure
+
+    def test_choosers_table(self):
+        out = get_experiment("choosers").run(repetitions=4, seed=5)
+        assert "roundrobin" in out.figure and "balanced" in out.figure
+        assert "% bal" in out.figure
+
+    def test_records_archivable(self, tmp_path):
+        out = get_experiment("fig4").run(repetitions=2, seed=5)
+        path = tmp_path / "fig4.csv"
+        out.records.write_csv(path)
+        assert path.exists()
+
+
+class TestLessonsAudit:
+    def test_all_lessons_pass_at_reduced_reps(self):
+        out = get_experiment("lessons").run(repetitions=25, seed=2)
+        assert "Lessons audit" in out.figure
+        assert "FAIL" not in out.figure
+        # 8 verdicts: lessons 1, 3, 4, 5, 6, 7 + the 40% recommendation.
+        assert out.figure.count("PASS") >= 6

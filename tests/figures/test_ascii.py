@@ -1,0 +1,113 @@
+"""ASCII figure primitives."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.figures.ascii import (
+    bar_panel,
+    box_panel,
+    render_table,
+    series_panel,
+    timeline_panel,
+)
+from repro.stats.boxplot import boxplot_stats
+
+
+class TestSeriesPanel:
+    def test_contains_title_ticks_and_legend(self):
+        text = series_panel(
+            {"runs": [(1.0, [100.0, 110.0]), (2.0, [200.0])]},
+            "my title",
+            xlabel="nodes",
+        )
+        assert "my title" in text
+        assert "nodes" in text
+        assert "legend" in text
+        assert "does not start at zero" in text
+
+    def test_multiple_series_get_distinct_markers(self):
+        text = series_panel(
+            {"8 ppn": [(1.0, [10.0])], "16 ppn": [(1.0, [20.0])]},
+            "t",
+        )
+        assert "o=8 ppn" in text and "x=16 ppn" in text
+
+    def test_constant_data_does_not_crash(self):
+        text = series_panel({"s": [(1.0, [5.0]), (2.0, [5.0])]}, "flat")
+        assert "flat" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            series_panel({}, "t")
+        with pytest.raises(AnalysisError):
+            series_panel({"s": []}, "t")
+
+
+class TestBoxPanel:
+    def test_renders_groups(self):
+        boxes = {
+            "(1,3)": boxplot_stats([1400, 1430, 1450, 1460]),
+            "(3,3)": boxplot_stats([2100, 2120, 2130]),
+        }
+        text = box_panel(boxes, "Fig 8")
+        assert "(1,3)" in text and "(3,3)" in text
+        assert "median=1440" in text or "median=" in text
+        assert text.count("\n") >= 4
+
+    def test_outliers_marked(self):
+        boxes = {"g": boxplot_stats([10, 11, 12, 13, 100])}
+        assert "o" in box_panel(boxes, "t").split("\n")[1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            box_panel({}, "t")
+
+
+class TestBarPanel:
+    def test_stacked_totals(self):
+        text = bar_panel(
+            {"k=4 concurrent": [("app0", 2000.0), ("app1", 2100.0)], "k=4 single": [("single", 4000.0)]},
+            "Fig 12",
+        )
+        assert "total=  4100.0" in text
+        assert "app0" in text
+
+    def test_empty_and_zero_rejected(self):
+        with pytest.raises(AnalysisError):
+            bar_panel({}, "t")
+        with pytest.raises(AnalysisError):
+            bar_panel({"a": [("x", 0.0)]}, "t")
+
+
+class TestTimelinePanel:
+    def test_step_rendering(self):
+        text = timeline_panel(
+            {"storage1": [(0.0, 1100.0), (7.4, 0.0)], "storage2": [(0.0, 1100.0), (22.3, 0.0)]},
+            "Fig 9",
+        )
+        lines = text.split("\n")
+        s1 = next(l for l in lines if "storage1" in l)
+        s2 = next(l for l in lines if "storage2" in l)
+        # storage1 goes idle earlier: fewer busy columns.
+        assert s1.count("#") < s2.count("#")
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            timeline_panel({}, "t")
+
+
+class TestTable:
+    def test_alignment_and_rows(self):
+        text = render_table(["a", "bb"], [[1, "xx"], [22, "y"]], "title")
+        lines = text.split("\n")
+        assert lines[0] == "title"
+        assert "a " in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5  # title, header, separator, 2 rows
+
+    def test_row_length_checked(self):
+        with pytest.raises(AnalysisError):
+            render_table(["a", "b"], [[1]])
+
+    def test_headers_required(self):
+        with pytest.raises(AnalysisError):
+            render_table([], [])

@@ -1,0 +1,124 @@
+"""Run records and the record store."""
+
+import numpy as np
+import pytest
+
+from repro.engine.result import ApplicationResult, RunResult
+from repro.errors import ExperimentError
+from repro.methodology.records import RecordStore, RunRecord
+from repro.units import GiB
+
+
+def run_result(app_ids=("a",), targets=((101, 201, 202, 203),), placement=(1, 3)):
+    apps = tuple(
+        ApplicationResult(
+            app_id=aid,
+            start_time=0.0,
+            end_time=32.0,
+            volume_bytes=float(32 * GiB),
+            num_nodes=8,
+            ppn=8,
+            stripe_count=4,
+            targets=tuple(t),
+            placement=tuple(placement),
+        )
+        for aid, t in zip(app_ids, targets)
+    )
+    return RunResult(apps=apps, segments=3)
+
+
+def record(rep=0, stripe=4, **extra):
+    return RunRecord.from_run_result(
+        run_result(),
+        exp_id="fig6",
+        scenario="scenario1",
+        rep=rep,
+        factors={"stripe_count": stripe, **extra},
+    )
+
+
+class TestRunRecord:
+    def test_from_run_result(self):
+        r = record()
+        assert r.bw_mib_s == pytest.approx(1024.0)
+        assert r.placement == (1, 3)
+        assert r.num_apps == 1
+
+    def test_single_app_accessors_guarded(self):
+        r = RunRecord.from_run_result(
+            run_result(("a", "b"), ((101,), (201,))), "e", "s", 0, {}
+        )
+        with pytest.raises(ExperimentError):
+            _ = r.bw_mib_s
+        with pytest.raises(ExperimentError):
+            _ = r.placement
+
+    def test_shared_target_count(self):
+        shared = RunRecord.from_run_result(
+            run_result(("a", "b"), ((101, 201), (101, 201))), "e", "s", 0, {}
+        )
+        disjoint = RunRecord.from_run_result(
+            run_result(("a", "b"), ((101,), (201,))), "e", "s", 0, {}
+        )
+        assert shared.shared_target_count() == 2
+        assert disjoint.shared_target_count() == 0
+
+    def test_row_roundtrip(self):
+        r = record(rep=5, stripe=6, extra_flag="x")
+        back = RunRecord.from_row(r.to_row())
+        assert back.exp_id == r.exp_id
+        assert back.rep == 5
+        assert back.factors == dict(r.factors)
+        assert back.bw_mib_s == pytest.approx(r.bw_mib_s)
+        assert back.placement == r.placement
+
+
+class TestRecordStore:
+    def build(self):
+        store = RecordStore()
+        for rep in range(5):
+            store.append(record(rep=rep, stripe=4))
+        for rep in range(3):
+            store.append(record(rep=rep, stripe=8))
+        return store
+
+    def test_filter_by_factor(self):
+        store = self.build()
+        assert len(store.filter(stripe_count=4)) == 5
+        assert len(store.filter(stripe_count=8)) == 3
+        assert len(store.filter(exp_id="nope")) == 0
+
+    def test_filter_predicate(self):
+        store = self.build()
+        assert len(store.filter(predicate=lambda r: r.rep == 0)) == 2
+
+    def test_bandwidths_array(self):
+        values = self.build().bandwidths()
+        assert values.shape == (8,)
+        assert np.all(values > 0)
+
+    def test_group_by_factor(self):
+        groups = self.build().group_by_factor("stripe_count")
+        assert set(groups) == {4, 8}
+        assert len(groups[4]) == 5
+
+    def test_factor_values_sorted(self):
+        assert self.build().factor_values("stripe_count") == [4, 8]
+
+    def test_group_by_placement(self):
+        groups = self.build().group_by_placement()
+        assert set(groups) == {(1, 3)}
+
+    def test_csv_roundtrip(self, tmp_path):
+        store = self.build()
+        path = tmp_path / "out" / "records.csv"
+        store.write_csv(path)
+        back = RecordStore.read_csv(path)
+        assert len(back) == len(store)
+        assert np.allclose(back.bandwidths(), store.bandwidths())
+        assert [r.factors for r in back] == [dict(r.factors) for r in store]
+
+    def test_extend(self):
+        a, b = self.build(), self.build()
+        a.extend(b)
+        assert len(a) == 16

@@ -1,0 +1,81 @@
+"""The protocol runner."""
+
+import pytest
+
+from repro.engine.result import ApplicationResult, RunResult
+from repro.errors import ExperimentError
+from repro.methodology.plan import ExperimentPlan, ExperimentSpec
+from repro.methodology.protocol import ProtocolConfig
+from repro.methodology.runner import ProtocolRunner
+from repro.units import GiB
+
+
+def fake_result(duration=10.0):
+    app = ApplicationResult(
+        app_id="a",
+        start_time=0.0,
+        end_time=duration,
+        volume_bytes=float(GiB),
+        num_nodes=1,
+        ppn=8,
+        stripe_count=4,
+        targets=(101,),
+        placement=(0, 1),
+    )
+    return RunResult(apps=(app,), segments=1)
+
+
+class TestRunner:
+    def test_executes_every_planned_run(self):
+        calls = []
+
+        def executor(spec, rep):
+            calls.append((spec.key, rep))
+            return fake_result()
+
+        plan = ExperimentPlan.build(
+            [ExperimentSpec("e", "s", {"x": i}) for i in range(2)],
+            ProtocolConfig(repetitions=6, block_size=3, min_wait_s=0, max_wait_s=0),
+            seed=0,
+        )
+        store = ProtocolRunner(executor).run(plan)
+        assert len(store) == 12
+        assert len(calls) == 12
+        assert len(set(calls)) == 12  # every (spec, rep) exactly once
+
+    def test_wall_clock_accumulates_runs_and_waits(self):
+        plan = ExperimentPlan.build(
+            [ExperimentSpec("e", "s")],
+            ProtocolConfig(repetitions=4, block_size=2, min_wait_s=100, max_wait_s=100),
+            seed=0,
+        )
+        store = ProtocolRunner(lambda s, r: fake_result(duration=10.0)).run(plan)
+        clocks = sorted(r.wall_clock_s for r in store)
+        # Runs: 0, 10, (wait 100) 120, 130.
+        assert clocks == [0.0, 10.0, 120.0, 130.0]
+
+    def test_block_indices_recorded(self):
+        plan = ExperimentPlan.build(
+            [ExperimentSpec("e", "s")],
+            ProtocolConfig(repetitions=4, block_size=2, min_wait_s=0, max_wait_s=0),
+            seed=0,
+        )
+        store = ProtocolRunner(lambda s, r: fake_result()).run(plan)
+        assert sorted({r.block for r in store}) == [0, 1]
+
+    def test_progress_callback(self):
+        plan = ExperimentPlan.build(
+            [ExperimentSpec("e", "s")],
+            ProtocolConfig(repetitions=2, block_size=1, min_wait_s=0, max_wait_s=0),
+        )
+        messages = []
+        ProtocolRunner(lambda s, r: fake_result()).run(plan, progress=messages.append)
+        assert len(messages) == 2
+
+    def test_bad_executor_return(self):
+        plan = ExperimentPlan.build(
+            [ExperimentSpec("e", "s")],
+            ProtocolConfig(repetitions=1, block_size=1, min_wait_s=0, max_wait_s=0),
+        )
+        with pytest.raises(ExperimentError):
+            ProtocolRunner(lambda s, r: "nope").run(plan)

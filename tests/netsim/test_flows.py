@@ -1,0 +1,64 @@
+"""Fluid flow objects."""
+
+import math
+
+import pytest
+
+from repro.errors import FlowError
+from repro.netsim.flows import FluidFlow
+from repro.units import GiB, MiB
+
+
+def make_flow(**kwargs):
+    defaults = dict(flow_id="f", resources=("r1", "r2"), volume_bytes=float(GiB))
+    defaults.update(kwargs)
+    return FluidFlow(**defaults)
+
+
+class TestValidation:
+    def test_valid_flow(self):
+        flow = make_flow(weight=2.0, nprocs=2.0, tags={"app": "a"})
+        assert flow.remaining_bytes == GiB
+        assert not flow.done
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"flow_id": ""},
+            {"resources": ()},
+            {"resources": ("r", "r")},
+            {"volume_bytes": 0},
+            {"volume_bytes": -1},
+            {"weight": 0},
+            {"nprocs": -1},
+            {"start_time": -0.1},
+            {"request_size_bytes": 0},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(FlowError):
+            make_flow(**kwargs)
+
+
+class TestLifecycle:
+    def test_duration_requires_completion(self):
+        flow = make_flow()
+        with pytest.raises(FlowError):
+            _ = flow.duration
+        flow.started_at = 1.0
+        flow.finished_at = 3.0
+        assert flow.duration == 2.0
+        assert flow.done
+
+    def test_stats(self):
+        flow = make_flow(volume_bytes=float(2 * GiB), tags={"app": "x"})
+        flow.started_at = 0.0
+        flow.finished_at = 2.0
+        stats = flow.stats()
+        assert stats.duration == 2.0
+        assert stats.mean_bandwidth_mib_s == pytest.approx(1024.0)
+        assert stats.tags["app"] == "x"
+
+    def test_stats_of_unfinished_flow_is_nan(self):
+        stats = make_flow().stats()
+        assert math.isnan(stats.started_at)

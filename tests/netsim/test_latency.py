@@ -1,0 +1,97 @@
+"""Blocking-request latency model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.netsim.latency import BlockingRequestModel, NoLatency
+from repro.units import KiB, MiB
+
+
+class TestPerProcess:
+    def test_zero_latency_is_transparent(self):
+        model = BlockingRequestModel(MiB, 0.0)
+        assert model.per_process_rate(100.0) == pytest.approx(100.0)
+
+    def test_known_value(self):
+        # 1 MiB transfers, 1 ms overhead, 100 MiB/s share:
+        # achieved = 1 / (1/100 + 0.001) MiB/s = 90.909...
+        model = BlockingRequestModel(MiB, 1e-3)
+        assert model.per_process_rate(100.0) == pytest.approx(90.909, rel=1e-3)
+
+    def test_small_requests_collapse(self):
+        fast = BlockingRequestModel(MiB, 1e-3).per_process_rate(500.0)
+        slow = BlockingRequestModel(64 * KiB, 1e-3).per_process_rate(500.0)
+        assert slow < fast / 3
+
+    def test_zero_rate(self):
+        assert BlockingRequestModel(MiB, 1e-3).per_process_rate(0.0) == 0.0
+
+    @given(st.floats(1.0, 5000.0), st.floats(0.0, 0.01))
+    @settings(max_examples=60, deadline=None)
+    def test_achieved_below_offered(self, rate, latency):
+        model = BlockingRequestModel(MiB, latency)
+        achieved = model.per_process_rate(rate)
+        assert 0 < achieved <= rate + 1e-9
+
+    @given(st.floats(1.0, 5000.0))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_rate(self, rate):
+        model = BlockingRequestModel(MiB, 5e-4)
+        assert model.per_process_rate(rate * 2) >= model.per_process_rate(rate)
+
+    def test_efficiency(self):
+        model = BlockingRequestModel(MiB, 1e-3)
+        assert model.efficiency(0.0) == 1.0
+        assert 0 < model.efficiency(1000.0) < 1.0
+
+
+class TestFlowCaps:
+    def test_vectorised_matches_scalar(self):
+        model = BlockingRequestModel(MiB, 1e-3)
+        rates = np.array([100.0, 200.0])
+        procs = np.array([1.0, 2.0])
+        caps = model.flow_caps(rates, procs)
+        assert caps[0] == pytest.approx(model.per_process_rate(100.0))
+        assert caps[1] == pytest.approx(2 * model.per_process_rate(100.0))
+
+    def test_zero_rate_uncapped(self):
+        model = BlockingRequestModel(MiB, 1e-3)
+        caps = model.flow_caps(np.array([0.0]), np.array([1.0]))
+        assert caps[0] == np.inf
+
+    def test_per_flow_request_sizes(self):
+        model = BlockingRequestModel(MiB, 1e-3)
+        rates = np.array([100.0, 100.0])
+        procs = np.array([1.0, 1.0])
+        caps = model.flow_caps(rates, procs, np.array([float(MiB), float(64 * KiB)]))
+        assert caps[1] < caps[0]
+
+    def test_nan_sizes_fall_back(self):
+        model = BlockingRequestModel(MiB, 1e-3)
+        caps = model.flow_caps(
+            np.array([100.0]), np.array([1.0]), np.array([np.nan])
+        )
+        assert caps[0] == pytest.approx(model.per_process_rate(100.0))
+
+    def test_shape_mismatch(self):
+        model = BlockingRequestModel(MiB, 1e-3)
+        with pytest.raises(ConfigError):
+            model.flow_caps(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BlockingRequestModel(0, 1e-3)
+        with pytest.raises(ConfigError):
+            BlockingRequestModel(MiB, -1.0)
+
+
+class TestNoLatency:
+    def test_never_caps(self):
+        model = NoLatency()
+        assert model.per_process_rate(123.0) == 123.0
+        assert model.efficiency(1e9) == 1.0
+        caps = model.flow_caps(np.array([1.0, 2.0]), np.array([1.0, 1.0]))
+        assert np.all(np.isinf(caps))

@@ -1,0 +1,149 @@
+"""Max-min fairness: exactness on known cases plus invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FlowError
+from repro.netsim.maxmin import max_min_rates, solve_with_caps
+
+
+class TestKnownAllocations:
+    def test_single_resource_equal_split(self):
+        rates = max_min_rates([[0], [0], [0]], [90.0])
+        assert rates.tolist() == [30.0, 30.0, 30.0]
+
+    def test_classic_three_flow_example(self):
+        # Two links of 10; flow A crosses both, B only link0, C only link1.
+        rates = max_min_rates([[0, 1], [0], [1]], [10.0, 10.0])
+        assert rates.tolist() == [5.0, 5.0, 5.0]
+
+    def test_bottleneck_freeing(self):
+        # link0 tight (10), link1 loose (100): the shared flow is stuck
+        # at 5, the private flow on link1 gets the rest.
+        rates = max_min_rates([[0, 1], [0], [1]], [10.0, 100.0])
+        assert rates[0] == pytest.approx(5.0)
+        assert rates[1] == pytest.approx(5.0)
+        assert rates[2] == pytest.approx(95.0)
+
+    def test_unbalanced_server_links(self):
+        # The paper's (1,3) story: 4 flows, one to server A, three to
+        # server B, both server links 1100.
+        rates = max_min_rates([[0], [1], [1], [1]], [1100.0, 1100.0])
+        assert rates[0] == pytest.approx(1100.0)
+        assert rates[1:].sum() == pytest.approx(1100.0)
+
+    def test_zero_capacity_resource(self):
+        rates = max_min_rates([[0], [1]], [0.0, 10.0])
+        assert rates.tolist() == [0.0, 10.0]
+
+    def test_flow_caps_respected(self):
+        rates = max_min_rates([[0], [0]], [100.0], flow_caps=[10.0, np.inf])
+        assert rates[0] == pytest.approx(10.0)
+        assert rates[1] == pytest.approx(90.0)
+
+    def test_no_flows(self):
+        assert max_min_rates([], [10.0]).size == 0
+
+    def test_unbounded_rejected(self):
+        with pytest.raises(FlowError):
+            max_min_rates([[0]], [np.inf])
+
+    def test_flow_without_resources_rejected(self):
+        with pytest.raises(FlowError):
+            max_min_rates([[]], [10.0])
+
+    def test_bad_resource_index(self):
+        with pytest.raises(FlowError):
+            max_min_rates([[5]], [10.0])
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(FlowError):
+            max_min_rates([[0]], [-1.0])
+
+
+@st.composite
+def maxmin_problem(draw):
+    nres = draw(st.integers(1, 6))
+    nflows = draw(st.integers(1, 12))
+    caps = draw(
+        st.lists(st.floats(0.5, 1000.0), min_size=nres, max_size=nres)
+    )
+    memberships = [
+        draw(st.sets(st.integers(0, nres - 1), min_size=1, max_size=nres))
+        for _ in range(nflows)
+    ]
+    return [sorted(m) for m in memberships], np.array(caps)
+
+
+class TestInvariants:
+    @given(maxmin_problem())
+    @settings(max_examples=80, deadline=None)
+    def test_feasibility_and_saturation(self, problem):
+        memberships, caps = problem
+        rates = max_min_rates(memberships, caps)
+        # Feasibility: no resource over capacity.
+        usage = np.zeros(len(caps))
+        for m, r in zip(memberships, rates):
+            for i in m:
+                usage[i] += r
+        assert np.all(usage <= caps * (1 + 1e-6) + 1e-6)
+        # Max-min property: every flow crosses at least one saturated
+        # resource (otherwise it could be raised).
+        for m, r in zip(memberships, rates):
+            assert any(usage[i] >= caps[i] - 1e-5 for i in m), (m, r, usage, caps)
+
+    @given(maxmin_problem())
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, problem):
+        """Flows with identical memberships get identical rates."""
+        memberships, caps = problem
+        rates = max_min_rates(memberships, caps)
+        seen = {}
+        for m, r in zip(memberships, rates):
+            key = tuple(m)
+            if key in seen:
+                assert r == pytest.approx(seen[key], rel=1e-6, abs=1e-6)
+            seen[key] = r
+
+    @given(maxmin_problem())
+    @settings(max_examples=50, deadline=None)
+    def test_scaling_invariance(self, problem):
+        """Doubling all capacities doubles all rates."""
+        memberships, caps = problem
+        r1 = max_min_rates(memberships, caps)
+        r2 = max_min_rates(memberships, caps * 2.0)
+        assert np.allclose(r2, 2.0 * r1, rtol=1e-6, atol=1e-6)
+
+
+class TestSolveWithCaps:
+    def test_none_cap_fn(self):
+        rates = solve_with_caps([[0]], [10.0], None)
+        assert rates[0] == 10.0
+
+    def test_shrinking_cap_converges_not_to_zero(self):
+        """The blocking-request-style cap must not spiral downward."""
+
+        def cap_fn(rates):
+            # achieved(r) = r * 1 / (1 + 0.1 r): strictly below r.
+            return rates / (1.0 + 0.1 * rates)
+
+        rates = solve_with_caps([[0], [0]], [100.0], cap_fn, iterations=10)
+        # Offered share is 50 each -> achieved cap = 50/6 each; a naive
+        # fixpoint on its own output would collapse toward 0.
+        assert np.all(rates > 8.0)
+        assert np.all(rates <= 50.0 / (1 + 0.1 * 50.0) + 1e-9)
+
+    def test_freed_capacity_redistributes(self):
+        def cap_fn(rates):
+            # Cap the first flow hard; the second is uncapped.
+            return np.array([5.0, np.inf])
+
+        rates = solve_with_caps([[0], [0]], [100.0], cap_fn)
+        assert rates[0] == pytest.approx(5.0)
+        assert rates[1] == pytest.approx(95.0)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(FlowError):
+            solve_with_caps([[0]], [10.0], lambda r: np.ones(3))

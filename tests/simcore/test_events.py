@@ -1,0 +1,104 @@
+"""Event queue and one-shot events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore.events import Event, EventQueue
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.push(2.0, lambda: fired.append("b"))
+        q.push(1.0, lambda: fired.append("a"))
+        q.push(3.0, lambda: fired.append("c"))
+        while q:
+            q.pop().fn()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        q = EventQueue()
+        fired = []
+        for name in "abc":
+            q.push(1.0, lambda n=name: fired.append(n))
+        while q:
+            q.pop().fn()
+        assert fired == ["a", "b", "c"]
+
+    def test_priority_before_seq(self):
+        q = EventQueue()
+        fired = []
+        q.push(1.0, lambda: fired.append("low"), priority=1)
+        q.push(1.0, lambda: fired.append("high"), priority=0)
+        while q:
+            q.pop().fn()
+        assert fired == ["high", "low"]
+
+    def test_cancel(self):
+        q = EventQueue()
+        fired = []
+        handle = q.push(1.0, lambda: fired.append("x"))
+        q.push(2.0, lambda: fired.append("y"))
+        handle.cancel()
+        assert len(q) == 1
+        while q:
+            q.pop().fn()
+        assert fired == ["y"]
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        handle = q.push(1.0, lambda: None)
+        q.push(5.0, lambda: None)
+        handle.cancel()
+        assert q.peek_time() == 5.0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_empty_peek_none(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestEvent:
+    def test_succeed_carries_value(self):
+        ev = Event("e")
+        ev.succeed(41)
+        assert ev.triggered and ev.ok
+        assert ev.value == 41
+
+    def test_callbacks_fire_on_trigger(self):
+        ev = Event()
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        ev.succeed("v")
+        assert got == ["v"]
+
+    def test_late_callback_fires_immediately(self):
+        ev = Event()
+        ev.succeed(1)
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        assert got == [1]
+
+    def test_fail_reraises_on_value(self):
+        ev = Event()
+        ev.fail(RuntimeError("boom"))
+        assert ev.triggered and not ev.ok
+        with pytest.raises(RuntimeError, match="boom"):
+            _ = ev.value
+
+    def test_double_trigger_rejected(self):
+        ev = Event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self):
+        with pytest.raises(TypeError):
+            Event().fail("not an exception")
+
+    def test_value_of_pending_raises(self):
+        with pytest.raises(SimulationError):
+            _ = Event("pending").value

@@ -1,0 +1,171 @@
+"""The DES kernel: processes, timeouts, waiting semantics."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.simcore.kernel import Simulator, Timeout
+
+
+class TestClockAndScheduling:
+    def test_run_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(sim.now))
+        assert sim.run() == 5.0
+        assert fired == [5.0]
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+
+class TestProcesses:
+    def test_timeout_sequence(self):
+        sim = Simulator()
+        trace = []
+
+        def body():
+            trace.append(sim.now)
+            yield Timeout(2.0)
+            trace.append(sim.now)
+            yield Timeout(3.0)
+            trace.append(sim.now)
+            return "done"
+
+        proc = sim.process(body())
+        sim.run()
+        assert trace == [0.0, 2.0, 5.0]
+        assert proc.value == "done"
+
+    def test_processes_wait_on_each_other(self):
+        sim = Simulator()
+
+        def worker():
+            yield Timeout(4.0)
+            return 99
+
+        def boss():
+            result = yield sim.process(worker())
+            return result + 1
+
+        assert sim.run_process(boss()) == 100
+
+    def test_wait_on_event_value(self):
+        sim = Simulator()
+        ev = sim.event("data")
+
+        def producer():
+            yield Timeout(1.0)
+            ev.succeed("payload")
+
+        def consumer():
+            value = yield ev
+            return (sim.now, value)
+
+        sim.process(producer())
+        proc = sim.process(consumer())
+        sim.run()
+        assert proc.value == (1.0, "payload")
+
+    def test_wait_all_list(self):
+        sim = Simulator()
+        e1, e2 = sim.event(), sim.event()
+        sim.schedule(1.0, lambda: e1.succeed("a"))
+        sim.schedule(2.0, lambda: e2.succeed("b"))
+
+        def body():
+            values = yield [e1, e2]
+            return (sim.now, values)
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.value == (2.0, ["a", "b"])
+
+    def test_event_failure_propagates(self):
+        sim = Simulator()
+        ev = sim.event()
+        sim.schedule(1.0, lambda: ev.fail(ValueError("bad")))
+
+        def body():
+            try:
+                yield ev
+            except ValueError:
+                return "caught"
+
+        assert sim.run_process(body()) == "caught"
+
+    def test_uncaught_failure_marks_process(self):
+        sim = Simulator()
+
+        def body():
+            yield Timeout(1.0)
+            raise RuntimeError("oops")
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.triggered and proc.exception is not None
+        with pytest.raises(RuntimeError):
+            _ = proc.value
+
+    def test_interrupt(self):
+        sim = Simulator()
+
+        def body():
+            try:
+                yield Timeout(100.0)
+            except SimulationError:
+                return sim.now
+
+        proc = sim.process(body())
+        sim.schedule(3.0, proc.interrupt)
+        sim.run()
+        assert proc.value == 3.0
+
+    def test_yield_garbage_fails_process(self):
+        sim = Simulator()
+
+        def body():
+            yield 42
+
+        proc = sim.process(body())
+        sim.run()
+        assert proc.exception is not None
+
+    def test_deadlock_detection(self):
+        sim = Simulator()
+
+        def body():
+            yield sim.event("never")
+
+        sim.process(body())
+        with pytest.raises(DeadlockError):
+            sim.run()
+
+    def test_non_generator_rejected(self):
+        with pytest.raises(TypeError):
+            Simulator().process(lambda: None)  # type: ignore[arg-type]
+
+    def test_many_processes_deterministic(self):
+        def run_once():
+            sim = Simulator()
+            order = []
+
+            def body(i):
+                yield Timeout(float(i % 3))
+                order.append(i)
+
+            for i in range(20):
+                sim.process(body(i))
+            sim.run()
+            return order
+
+        assert run_once() == run_once()

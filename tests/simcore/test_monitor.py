@@ -1,0 +1,81 @@
+"""Traces and time series."""
+
+import numpy as np
+import pytest
+
+from repro.simcore.monitor import Probe, TimeSeries, Trace
+
+
+class TestTrace:
+    def test_record_and_select(self):
+        tr = Trace()
+        tr.record(0.0, "bw", 100)
+        tr.record(1.0, "qlen", 3)
+        tr.record(2.0, "bw", 120)
+        assert [r.value for r in tr.select("bw")] == [100, 120]
+        assert tr.keys() == {"bw", "qlen"}
+        assert len(tr) == 3
+
+    def test_out_of_order_rejected(self):
+        tr = Trace()
+        tr.record(5.0, "x", 1)
+        with pytest.raises(ValueError):
+            tr.record(4.0, "x", 2)
+
+    def test_series_extraction(self):
+        tr = Trace()
+        tr.record(0.0, "bw", 10.0)
+        tr.record(2.0, "bw", 20.0)
+        series = tr.series("bw")
+        assert series.value_at(1.0) == 10.0
+        assert series.value_at(2.0) == 20.0
+
+
+class TestTimeSeries:
+    def test_step_semantics(self):
+        ts = TimeSeries([0.0, 10.0], [5.0, 1.0])
+        assert ts.value_at(-1.0) == 0.0
+        assert ts.value_at(0.0) == 5.0
+        assert ts.value_at(9.999) == 5.0
+        assert ts.value_at(10.0) == 1.0
+        assert ts.value_at(100.0) == 1.0
+
+    def test_integrate(self):
+        ts = TimeSeries([0.0, 10.0], [5.0, 1.0])
+        assert ts.integrate(0.0, 20.0) == pytest.approx(5.0 * 10 + 1.0 * 10)
+        assert ts.integrate(5.0, 15.0) == pytest.approx(5.0 * 5 + 1.0 * 5)
+
+    def test_integrate_before_first_sample(self):
+        ts = TimeSeries([10.0], [2.0])
+        assert ts.integrate(0.0, 10.0) == 0.0
+
+    def test_mean(self):
+        ts = TimeSeries([0.0, 10.0], [4.0, 0.0])
+        assert ts.mean(0.0, 20.0) == pytest.approx(2.0)
+
+    def test_append_order_enforced(self):
+        ts = TimeSeries()
+        ts.append(1.0, 10.0)
+        with pytest.raises(ValueError):
+            ts.append(0.5, 20.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries([0.0, 1.0], [1.0])
+
+    def test_as_arrays(self):
+        ts = TimeSeries([0.0, 1.0], [1.0, 2.0])
+        times, values = ts.as_arrays()
+        assert isinstance(times, np.ndarray)
+        assert times.tolist() == [0.0, 1.0]
+        assert values.tolist() == [1.0, 2.0]
+
+
+class TestProbe:
+    def test_sampling(self):
+        state = {"v": 1.0}
+        probe = Probe("queue", lambda: state["v"])
+        probe.sample(0.0)
+        state["v"] = 3.0
+        probe.sample(1.0)
+        assert probe.series.values == [1.0, 3.0]

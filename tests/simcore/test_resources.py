@@ -1,0 +1,149 @@
+"""Resources, containers and stores."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore.kernel import Simulator, Timeout
+from repro.simcore.resources import Container, Resource, Store
+
+
+class TestResource:
+    def test_capacity_enforced_fifo(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        log = []
+
+        def user(name, hold):
+            req = res.request()
+            yield req
+            log.append((sim.now, name, "in"))
+            yield Timeout(hold)
+            res.release()
+            log.append((sim.now, name, "out"))
+
+        sim.process(user("a", 2.0))
+        sim.process(user("b", 1.0))
+        sim.run()
+        # The handed-over unit wakes "b" synchronously inside release(),
+        # so "b in" logs before "a out" at t=2.
+        assert log == [(0.0, "a", "in"), (2.0, "b", "in"), (2.0, "a", "out"), (3.0, "b", "out")]
+
+    def test_parallel_within_capacity(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=2)
+        done = []
+
+        def user(name):
+            yield res.request()
+            yield Timeout(1.0)
+            res.release()
+            done.append((name, sim.now))
+
+        for name in "abc":
+            sim.process(user(name))
+        sim.run()
+        assert done == [("a", 1.0), ("b", 1.0), ("c", 2.0)]
+
+    def test_queue_length_tracking(self):
+        sim = Simulator()
+        res = Resource(sim, capacity=1)
+        res.request()
+        res.request()
+        res.request()
+        assert res.in_use == 1
+        assert res.queue_length == 2
+
+    def test_release_idle_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=1).release()
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Simulator(), capacity=0)
+
+
+class TestContainer:
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        box = Container(sim, init=0.0)
+        got = []
+
+        def consumer():
+            yield box.get(5.0)
+            got.append(sim.now)
+
+        def producer():
+            yield Timeout(2.0)
+            box.put(5.0)
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [2.0]
+        assert box.level == 0.0
+
+    def test_overflow_rejected(self):
+        box = Container(Simulator(), init=0.0, capacity=1.0)
+        with pytest.raises(SimulationError):
+            box.put(2.0)
+
+    def test_fifo_getters(self):
+        sim = Simulator()
+        box = Container(sim, init=0.0)
+        order = []
+
+        def consumer(name, amount):
+            yield box.get(amount)
+            order.append(name)
+
+        sim.process(consumer("big", 10.0))
+        sim.process(consumer("small", 1.0))
+        sim.schedule(1.0, lambda: box.put(11.0))
+        sim.run()
+        # FIFO: the big request is served first even though the small
+        # one could have been satisfied earlier.
+        assert order == ["big", "small"]
+
+    def test_invalid_init(self):
+        with pytest.raises(ValueError):
+            Container(Simulator(), init=-1.0)
+
+
+class TestStore:
+    def test_put_get_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("a")
+        store.put("b")
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append(item)
+            item = yield store.get()
+            got.append(item)
+
+        sim.process(consumer())
+        sim.run()
+        assert got == ["a", "b"]
+
+    def test_get_blocks(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        sim.process(consumer())
+        sim.schedule(3.0, lambda: store.put("late"))
+        sim.run()
+        assert got == [(3.0, "late")]
+
+    def test_len(self):
+        store = Store(Simulator())
+        assert len(store) == 0
+        store.put(1)
+        assert len(store) == 1

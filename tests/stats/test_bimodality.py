@@ -1,0 +1,89 @@
+"""Bi-modality detection: the scenario-1 mixtures must be found."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.stats.bimodality import (
+    bimodality_coefficient,
+    fit_two_gaussians,
+    is_bimodal,
+)
+
+
+def mixture(rng, mu1, mu2, sigma, n1=50, n2=50):
+    return np.concatenate([rng.normal(mu1, sigma, n1), rng.normal(mu2, sigma, n2)])
+
+
+class TestCoefficient:
+    def test_unimodal_below_benchmark(self):
+        rng = np.random.default_rng(0)
+        bc = bimodality_coefficient(rng.normal(1000, 50, 200))
+        assert bc < 5 / 9
+
+    def test_clear_mixture_above_benchmark(self):
+        rng = np.random.default_rng(0)
+        bc = bimodality_coefficient(mixture(rng, 1100, 2100, 40))
+        assert bc > 5 / 9
+
+    def test_constant_sample(self):
+        assert bimodality_coefficient([3.0] * 10) == 0.0
+
+    def test_small_sample_rejected(self):
+        with pytest.raises(AnalysisError):
+            bimodality_coefficient([1, 2, 3])
+
+
+class TestMixtureFit:
+    def test_recovers_separated_components(self):
+        rng = np.random.default_rng(1)
+        gmm = fit_two_gaussians(mixture(rng, 1100, 2100, 50))
+        assert gmm.converged
+        assert gmm.means[0] == pytest.approx(1100, abs=40)
+        assert gmm.means[1] == pytest.approx(2100, abs=40)
+        assert gmm.weights[0] == pytest.approx(0.5, abs=0.1)
+        assert gmm.ashman_d > 2
+
+    def test_uneven_weights(self):
+        """The paper's stripe-count-3 case: (1,2) twice as likely as (0,3)."""
+        rng = np.random.default_rng(2)
+        gmm = fit_two_gaussians(mixture(rng, 1082, 1609, 30, n1=33, n2=67))
+        assert gmm.weights[0] == pytest.approx(0.33, abs=0.1)
+
+    def test_constant_sample(self):
+        gmm = fit_two_gaussians([5.0] * 10)
+        assert gmm.converged
+
+    def test_small_sample_rejected(self):
+        with pytest.raises(AnalysisError):
+            fit_two_gaussians([1, 2, 3, 4, 5])
+
+
+class TestVerdict:
+    def test_paper_like_bimodal_cases(self):
+        """Mode pairs with the spacing/noise of Figure 6a."""
+        rng = np.random.default_rng(3)
+        for mu1, mu2, w1 in ((1082, 2125, 0.5), (1082, 1609, 0.33), (1609, 2125, 0.5)):
+            n1 = int(100 * w1)
+            sample = mixture(rng, mu1, mu2, 35, n1=n1, n2=100 - n1)
+            report = is_bimodal(sample)
+            assert report.bimodal, (mu1, mu2)
+
+    def test_paper_like_unimodal_cases(self):
+        """Single placements (stripe 1, 4, 7, 8) must not be flagged."""
+        rng = np.random.default_rng(4)
+        for mu in (1082, 1435, 1869, 2125):
+            sample = rng.normal(mu, 40, 100)
+            assert not is_bimodal(sample).bimodal, mu
+
+    def test_tiny_minor_mode_not_flagged(self):
+        rng = np.random.default_rng(5)
+        sample = np.concatenate([rng.normal(1000, 30, 98), rng.normal(2000, 30, 2)])
+        assert not is_bimodal(sample).bimodal
+
+    def test_report_fields(self):
+        rng = np.random.default_rng(6)
+        report = is_bimodal(mixture(rng, 1000, 2000, 30))
+        assert report.n == 100
+        assert report.mixture_preferred
+        assert report.bic_mixture < report.bic_single

@@ -1,0 +1,57 @@
+"""Bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.stats.bootstrap import bootstrap_ci, bootstrap_ratio_ci
+
+
+class TestBootstrapCI:
+    def test_estimate_is_statistic(self):
+        values = [10.0, 20.0, 30.0]
+        est, low, high = bootstrap_ci(values)
+        assert est == pytest.approx(20.0)
+        assert low <= est <= high
+
+    def test_custom_statistic(self):
+        values = np.arange(1, 101, dtype=float)
+        est, low, high = bootstrap_ci(values, statistic=np.median)
+        assert est == pytest.approx(50.5)
+        assert low <= est <= high
+
+    def test_deterministic_with_rng(self):
+        values = np.random.default_rng(0).normal(100, 10, 40)
+        a = bootstrap_ci(values, rng=np.random.default_rng(7))
+        b = bootstrap_ci(values, rng=np.random.default_rng(7))
+        assert a == b
+
+    def test_interval_shrinks_with_n(self):
+        rng = np.random.default_rng(1)
+        _, lo_s, hi_s = bootstrap_ci(rng.normal(0, 1, 15), rng=np.random.default_rng(0))
+        _, lo_l, hi_l = bootstrap_ci(rng.normal(0, 1, 500), rng=np.random.default_rng(0))
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            bootstrap_ci([1.0])
+        with pytest.raises(AnalysisError):
+            bootstrap_ci([1.0, 2.0], confidence=2.0)
+        with pytest.raises(AnalysisError):
+            bootstrap_ci([1.0, np.inf])
+
+
+class TestRatioCI:
+    def test_known_ratio(self):
+        """The paper's 49% (3,3)-over-(1,3) claim shape."""
+        rng = np.random.default_rng(2)
+        high = rng.normal(2125, 40, 100)
+        low = rng.normal(1435, 40, 100)
+        ratio, lo, hi = bootstrap_ratio_ci(high, low, rng=np.random.default_rng(0))
+        assert ratio == pytest.approx(2125 / 1435, rel=0.02)
+        assert lo <= ratio <= hi
+        assert lo > 1.40  # the gain is significantly above 40%
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(AnalysisError):
+            bootstrap_ratio_ci([1.0, 2.0], [-1.0, 1.0])

@@ -1,0 +1,66 @@
+"""Boxplot statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.stats.boxplot import boxplot_stats, grouped_boxplots
+
+
+class TestBoxplotStats:
+    def test_known_quartiles(self):
+        b = boxplot_stats(range(1, 101))
+        assert b.median == pytest.approx(50.5)
+        assert b.q1 == pytest.approx(25.75)
+        assert b.q3 == pytest.approx(75.25)
+        assert b.outliers == ()
+        assert b.n == 100
+
+    def test_outlier_detection(self):
+        data = list(np.ones(20)) + [100.0]
+        b = boxplot_stats(data)
+        assert b.outliers == (100.0,)
+        assert b.whisker_high == 1.0
+
+    def test_whiskers_clamped_to_data(self):
+        b = boxplot_stats([1, 2, 3, 4, 100])
+        assert b.whisker_low >= 1
+        assert b.whisker_high <= 100
+
+    def test_zero_whisker_factor(self):
+        b = boxplot_stats([1, 2, 3, 4, 5], whisker=0.0)
+        assert b.whisker_low == b.q1
+        assert b.whisker_high == b.q3
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            boxplot_stats([])
+        with pytest.raises(AnalysisError):
+            boxplot_stats([1.0, np.inf])
+        with pytest.raises(AnalysisError):
+            boxplot_stats([1, 2], whisker=-1)
+
+    @given(st.lists(st.floats(-1e4, 1e4), min_size=4, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_invariants(self, values):
+        b = boxplot_stats(values)
+        assert b.whisker_low <= b.q1 <= b.median <= b.q3 <= b.whisker_high
+        # Outliers lie strictly outside the whiskers.
+        for o in b.outliers:
+            assert o < b.whisker_low or o > b.whisker_high
+        # Every sample is accounted for.
+        inside = sum(1 for v in values if b.whisker_low <= v <= b.whisker_high)
+        assert inside + len(b.outliers) == len(values)
+
+
+class TestGrouped:
+    def test_keys_preserved(self):
+        groups = grouped_boxplots({"(1,3)": [1, 2, 3, 4], "(2,2)": [5, 6, 7, 8]})
+        assert set(groups) == {"(1,3)", "(2,2)"}
+        assert groups["(2,2)"].median == 6.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            grouped_boxplots({})

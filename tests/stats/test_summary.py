@@ -1,0 +1,81 @@
+"""Descriptive summaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.stats.summary import describe, mean_ci
+
+
+class TestDescribe:
+    def test_known_values(self):
+        s = describe([1, 2, 3, 4, 5])
+        assert s.n == 5
+        assert s.mean == 3.0
+        assert s.median == 3.0
+        assert s.minimum == 1 and s.maximum == 5
+        assert s.std == pytest.approx(np.std([1, 2, 3, 4, 5], ddof=1))
+        assert s.spread == 4.0
+
+    def test_single_value(self):
+        s = describe([7.0])
+        assert s.std == 0.0 and s.mean == 7.0
+
+    def test_cv(self):
+        assert describe([90, 110]).cv == pytest.approx(np.std([90, 110], ddof=1) / 100)
+        with pytest.raises(AnalysisError):
+            describe([-1, 1]).cv
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(AnalysisError):
+            describe([])
+        with pytest.raises(AnalysisError):
+            describe([1.0, float("nan")])
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_order_invariants(self, values):
+        s = describe(values)
+        assert s.minimum <= s.q1 <= s.median <= s.q3 <= s.maximum
+        assert s.minimum <= s.mean <= s.maximum
+        assert s.iqr >= 0
+
+    def test_as_dict(self):
+        d = describe([1, 2, 3]).as_dict()
+        assert d["n"] == 3 and "q1" in d
+
+
+class TestMeanCI:
+    def test_contains_mean(self):
+        mean, low, high = mean_ci([10, 12, 14, 16])
+        assert low <= mean <= high
+        assert mean == 13.0
+
+    def test_tightens_with_samples(self):
+        rng = np.random.default_rng(0)
+        small = rng.normal(100, 10, 10)
+        large = rng.normal(100, 10, 1000)
+        _, lo_s, hi_s = mean_ci(small)
+        _, lo_l, hi_l = mean_ci(large)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_single_sample_degenerate(self):
+        mean, low, high = mean_ci([5.0])
+        assert mean == low == high == 5.0
+
+    def test_confidence_bounds_checked(self):
+        with pytest.raises(AnalysisError):
+            mean_ci([1, 2], confidence=1.5)
+
+    def test_coverage_simulation(self):
+        """~95% of intervals should contain the true mean."""
+        rng = np.random.default_rng(42)
+        hits = 0
+        trials = 300
+        for _ in range(trials):
+            sample = rng.normal(50, 5, 20)
+            _, low, high = mean_ci(sample, confidence=0.95)
+            hits += low <= 50 <= high
+        assert 0.90 <= hits / trials <= 0.99

@@ -1,0 +1,71 @@
+"""Welch's t-test and KS normality: the Section IV-D procedure."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.errors import AnalysisError
+from repro.stats.tests import ks_normality, welch_ttest
+
+
+class TestWelch:
+    def test_identical_distributions_high_p(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(5000, 300, 60)
+        b = rng.normal(5000, 300, 60)
+        result = welch_ttest(a, b)
+        assert result.pvalue > 0.05
+        assert not result.rejects_at(0.05)
+
+    def test_shifted_means_low_p(self):
+        rng = np.random.default_rng(1)
+        result = welch_ttest(rng.normal(5000, 100, 60), rng.normal(5400, 100, 60))
+        assert result.pvalue < 1e-6
+        assert result.rejects_at(0.05)
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(0, 1, 30), rng.normal(0.3, 2, 40)
+        ours = welch_ttest(a, b)
+        stat, p = sps.ttest_ind(a, b, equal_var=False)
+        assert ours.statistic == pytest.approx(float(stat))
+        assert ours.pvalue == pytest.approx(float(p))
+
+    def test_unequal_variances_handled(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(100, 1, 50)
+        b = rng.normal(100, 50, 50)
+        result = welch_ttest(a, b)
+        assert 0 <= result.pvalue <= 1
+        assert "df=" in result.detail
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            welch_ttest([1.0], [1.0, 2.0])
+        with pytest.raises(AnalysisError):
+            welch_ttest([1.0, np.nan], [1.0, 2.0])
+
+    def test_alpha_bounds(self):
+        result = welch_ttest([1, 2, 3], [1, 2, 3])
+        with pytest.raises(AnalysisError):
+            result.rejects_at(0)
+
+
+class TestKSNormality:
+    def test_normal_sample_passes(self):
+        rng = np.random.default_rng(4)
+        result = ks_normality(rng.normal(5000, 300, 100))
+        assert result.pvalue > 0.05
+
+    def test_bimodal_sample_fails(self):
+        rng = np.random.default_rng(5)
+        sample = np.concatenate([rng.normal(1000, 20, 50), rng.normal(2000, 20, 50)])
+        assert ks_normality(sample).pvalue < 0.01
+
+    def test_constant_sample_rejected(self):
+        with pytest.raises(AnalysisError):
+            ks_normality([5.0] * 10)
+
+    def test_small_sample_rejected(self):
+        with pytest.raises(AnalysisError):
+            ks_normality([1, 2, 3])

@@ -1,0 +1,40 @@
+"""Client service ceiling (Lesson 3's intra-node contention)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.client_model import ClientServiceSpec
+
+
+class TestClientCeiling:
+    def test_full_capacity_up_to_knee(self):
+        spec = ClientServiceSpec(880.0, contention_per_proc=0.003, knee_procs=8)
+        assert spec.node_capacity(1) == 880.0
+        assert spec.node_capacity(8) == 880.0
+
+    def test_slight_degradation_past_knee(self):
+        """16 ppn vs 8 ppn: 'very similar, with a slight degradation'."""
+        spec = ClientServiceSpec(880.0, contention_per_proc=0.003, knee_procs=8)
+        cap16 = spec.node_capacity(16)
+        assert cap16 < 880.0
+        assert cap16 > 880.0 * 0.95
+
+    def test_monotone_decreasing(self):
+        spec = ClientServiceSpec(1630.0)
+        caps = [spec.node_capacity(p) for p in (8, 16, 32, 64)]
+        assert caps == sorted(caps, reverse=True)
+
+    def test_zero_contention(self):
+        spec = ClientServiceSpec(1000.0, contention_per_proc=0.0)
+        assert spec.node_capacity(100) == 1000.0
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            ClientServiceSpec(0.0)
+        with pytest.raises(StorageError):
+            ClientServiceSpec(100.0, contention_per_proc=-1)
+        with pytest.raises(StorageError):
+            ClientServiceSpec(100.0).node_capacity(0)
+
+    def test_resource_id(self):
+        assert ClientServiceSpec.resource_id("bora001") == "client:bora001"

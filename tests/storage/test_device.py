@@ -1,0 +1,65 @@
+"""Device and RAID models."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.device import (
+    HDDSpec,
+    RAIDArray,
+    SAMSUNG_MZILT1T6HAJQ,
+    SSDSpec,
+    TOSHIBA_AL15SEB18EOY,
+    plafrim_mdt_array,
+    plafrim_ost_array,
+)
+
+
+class TestSpecs:
+    def test_plafrim_drive_facts(self):
+        assert TOSHIBA_AL15SEB18EOY.rpm == 10_000
+        assert TOSHIBA_AL15SEB18EOY.capacity_bytes == pytest.approx(1.8 * 2**40, rel=1e-6)
+        assert SAMSUNG_MZILT1T6HAJQ.capacity_bytes == pytest.approx(1.6 * 2**40, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            HDDSpec("x", 0, 7200, 100.0)
+        with pytest.raises(StorageError):
+            SSDSpec("x", 100, -1.0)
+
+
+class TestRAID:
+    def test_raid6_data_devices(self):
+        array = plafrim_ost_array()
+        assert array.level == "raid6"
+        assert array.devices == 12
+        assert array.data_devices == 10
+
+    def test_raid1_data_devices(self):
+        array = plafrim_mdt_array()
+        assert array.data_devices == 1
+
+    def test_raid0_and_raid10(self):
+        hdd = TOSHIBA_AL15SEB18EOY
+        assert RAIDArray("raid0", 4, hdd).data_devices == 4
+        assert RAIDArray("raid10", 8, hdd).data_devices == 4
+
+    def test_ost_streaming_rate_matches_calibration(self):
+        # 10 data drives x 210 MiB/s x 0.84 controller = 1764 MiB/s,
+        # the paper's single-target rate.
+        assert plafrim_ost_array().streaming_write_mib_s == pytest.approx(1764.0)
+
+    def test_usable_capacity(self):
+        array = plafrim_ost_array()
+        assert array.usable_capacity_bytes == 10 * TOSHIBA_AL15SEB18EOY.capacity_bytes
+
+    @pytest.mark.parametrize(
+        "level,devices",
+        [("raid6", 3), ("raid5", 2), ("raid1", 3), ("raid10", 5)],
+    )
+    def test_device_count_validation(self, level, devices):
+        with pytest.raises(StorageError):
+            RAIDArray(level, devices, TOSHIBA_AL15SEB18EOY)
+
+    def test_efficiency_bounds(self):
+        with pytest.raises(StorageError):
+            RAIDArray("raid6", 12, TOSHIBA_AL15SEB18EOY, controller_efficiency=1.5)

@@ -1,0 +1,118 @@
+"""Server ingest and storage pool models."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.netsim.fluid import ResourceContext
+from repro.storage.server import (
+    ServerIngestModel,
+    ServerIngestSpec,
+    StorageHostSpec,
+    StoragePoolModel,
+    StoragePoolSpec,
+)
+from repro.storage.target import TargetServiceSpec
+
+
+def ctx(depth=10.0, nflows=4, noise=1.0, distinct=1):
+    return ResourceContext(time=0.0, depth=depth, nflows=nflows, noise=noise, distinct=distinct)
+
+
+class TestIngest:
+    def test_effective_link(self):
+        spec = ServerIngestSpec(1192.0, protocol_efficiency=0.923)
+        assert spec.effective_link_mib_s == pytest.approx(1100.2, rel=1e-3)
+
+    def test_ramp(self):
+        spec = ServerIngestSpec(1192.0, 0.923, depth_constant=5.0)
+        assert spec.rate_at_depth(0) == 0.0
+        assert spec.rate_at_depth(5) < spec.rate_at_depth(50)
+        assert spec.rate_at_depth(1000) == pytest.approx(spec.effective_link_mib_s, rel=1e-3)
+
+    def test_model_applies_noise(self):
+        model = ServerIngestModel("storage1", ServerIngestSpec(1000.0, 1.0, 5.0))
+        assert model.capacity(ctx(depth=1e6, noise=0.9)) == pytest.approx(900.0, rel=1e-3)
+        assert model.resource_id == "ingest:storage1"
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            ServerIngestSpec(0.0)
+        with pytest.raises(StorageError):
+            ServerIngestSpec(100.0, protocol_efficiency=1.5)
+
+
+class TestPool:
+    def test_single_target_rate(self):
+        spec = StoragePoolSpec(1764.0, scaling=(1.0, 0.9, 0.8, 0.7))
+        assert spec.aggregate_mib_s(1) == pytest.approx(1764.0)
+
+    def test_sublinear_growth(self):
+        spec = StoragePoolSpec(1764.0, scaling=(1.0, 0.907, 0.756, 0.670))
+        rates = [spec.aggregate_mib_s(m) for m in range(1, 5)]
+        assert rates == sorted(rates)  # total grows
+        per_target = [r / m for m, r in enumerate(rates, start=1)]
+        assert per_target == sorted(per_target, reverse=True)  # efficiency falls
+
+    def test_tail_extension(self):
+        spec = StoragePoolSpec(1000.0, scaling=(1.0, 0.9), tail_decay=0.5)
+        assert spec.efficiency(3) == pytest.approx(0.45)
+        assert spec.efficiency(4) == pytest.approx(0.225)
+
+    def test_zero_targets(self):
+        assert StoragePoolSpec().aggregate_mib_s(0) == 0.0
+        with pytest.raises(StorageError):
+            StoragePoolSpec().efficiency(0)
+
+    def test_model_uses_distinct_count(self):
+        spec = StoragePoolSpec(1000.0, scaling=(1.0, 0.9))
+        model = StoragePoolModel("storage1", spec)
+        assert model.distinct_tag == "target"
+        assert model.capacity(ctx(distinct=1)) == pytest.approx(1000.0)
+        assert model.capacity(ctx(distinct=2)) == pytest.approx(1800.0)
+        assert model.capacity(ctx(nflows=0)) == 0.0
+        assert model.resource_id == "pool:storage1"
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            StoragePoolSpec(0.0)
+        with pytest.raises(StorageError):
+            StoragePoolSpec(100.0, scaling=())
+        with pytest.raises(StorageError):
+            StoragePoolSpec(100.0, scaling=(1.2,))
+
+
+class TestHostSpec:
+    def make(self, **kwargs):
+        defaults = dict(
+            host="storage1",
+            target_ids=(101, 102, 103, 104),
+            target_spec=TargetServiceSpec(2000.0, 10.0),
+            ingest_spec=ServerIngestSpec(1192.0),
+        )
+        defaults.update(kwargs)
+        return StorageHostSpec(**defaults)
+
+    def test_spec_for_with_override(self):
+        slow = TargetServiceSpec(500.0)
+        host = self.make(per_target_specs={103: slow})
+        assert host.spec_for(101).peak_mib_s == 2000.0
+        assert host.spec_for(103).peak_mib_s == 500.0
+
+    def test_spec_for_unknown_target(self):
+        with pytest.raises(StorageError):
+            self.make().spec_for(999)
+
+    def test_peak_storage(self):
+        host = self.make(pool_spec=StoragePoolSpec(1764.0, scaling=(1.0, 0.907, 0.756, 0.670)))
+        assert host.peak_storage_mib_s == pytest.approx(4 * 1764 * 0.670)
+
+    def test_duplicate_targets_rejected(self):
+        with pytest.raises(StorageError):
+            self.make(target_ids=(101, 101))
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(StorageError):
+            self.make(per_target_specs={999: TargetServiceSpec(1.0)})
+
+    def test_pool_resource_id(self):
+        assert self.make().pool_resource_id == "pool:storage1"

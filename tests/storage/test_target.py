@@ -1,0 +1,66 @@
+"""OST service curve."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.netsim.fluid import ResourceContext
+from repro.storage.device import plafrim_ost_array
+from repro.storage.target import StorageTargetModel, TargetServiceSpec
+
+
+class TestServiceCurve:
+    def test_zero_depth_zero_rate(self):
+        spec = TargetServiceSpec(1764.0, depth_constant=10.0)
+        assert spec.rate_at_depth(0) == 0.0
+        assert spec.rate_at_depth(-1) == 0.0
+
+    def test_saturation(self):
+        spec = TargetServiceSpec(1764.0, depth_constant=10.0)
+        assert spec.rate_at_depth(1000) == pytest.approx(1764.0, rel=1e-3)
+
+    def test_known_points(self):
+        spec = TargetServiceSpec(1000.0, depth_constant=10.0)
+        assert spec.rate_at_depth(10) == pytest.approx(1000 * (1 - math.exp(-1)))
+
+    @given(st.floats(0.1, 500.0), st.floats(0.2, 600.0))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_and_bounded(self, d1, d2):
+        spec = TargetServiceSpec(1764.0, depth_constant=6.0)
+        lo, hi = sorted((d1, d2))
+        assert spec.rate_at_depth(lo) <= spec.rate_at_depth(hi) + 1e-9
+        assert spec.rate_at_depth(hi) <= spec.peak_mib_s
+
+    def test_depth_for_fraction_inverts(self):
+        spec = TargetServiceSpec(1764.0, depth_constant=10.0)
+        depth = spec.depth_for_fraction(0.95)
+        assert spec.rate_at_depth(depth) == pytest.approx(0.95 * 1764.0)
+
+    def test_depth_for_fraction_bounds(self):
+        spec = TargetServiceSpec(100.0)
+        with pytest.raises(StorageError):
+            spec.depth_for_fraction(1.0)
+
+    def test_from_array(self):
+        spec = TargetServiceSpec.from_array(plafrim_ost_array())
+        assert spec.peak_mib_s == pytest.approx(1764.0)
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            TargetServiceSpec(0.0)
+        with pytest.raises(StorageError):
+            TargetServiceSpec(100.0, depth_constant=0)
+
+
+class TestProvider:
+    def test_capacity_uses_noise(self):
+        model = StorageTargetModel("101", TargetServiceSpec(1000.0, 10.0))
+        ctx = ResourceContext(time=0.0, depth=1000.0, nflows=8, noise=0.5)
+        assert model.capacity(ctx) == pytest.approx(500.0, rel=1e-2)
+
+    def test_resource_id(self):
+        model = StorageTargetModel("101", TargetServiceSpec(1000.0))
+        assert model.resource_id == "ost:101"

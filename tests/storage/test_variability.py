@@ -1,0 +1,108 @@
+"""Noise models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.variability import CompositeNoise, NoiseSpec, StochasticNoise
+
+
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestNoiseSpec:
+    def test_quiet_detection(self):
+        assert NoiseSpec(sigma_run=0, sigma_epoch=0, transient_prob=0).quiet
+        assert not NoiseSpec().quiet
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            NoiseSpec(sigma_run=-0.1)
+        with pytest.raises(StorageError):
+            NoiseSpec(epoch_length_s=0)
+        with pytest.raises(StorageError):
+            NoiseSpec(transient_prob=1.5)
+        with pytest.raises(StorageError):
+            NoiseSpec(transient_severity=0)
+
+
+class TestStochasticNoise:
+    def test_scope(self):
+        noise = StochasticNoise(NoiseSpec(scope_prefixes=("pool:",)))
+        assert noise.multiplier("client:bora001", 0, rng()) == 1.0
+        assert noise.in_scope("pool:storage1")
+        assert not noise.in_scope("ost:101")
+
+    def test_quiet_is_identity(self):
+        noise = StochasticNoise(NoiseSpec(sigma_run=0, sigma_epoch=0, transient_prob=0))
+        assert math.isinf(noise.epoch_length_s)
+        assert noise.multiplier("pool:x", 3, rng()) == 1.0
+
+    def test_run_level_cached_within_instance(self):
+        spec = NoiseSpec(sigma_run=0.3, sigma_epoch=0.0, transient_prob=0.0)
+        noise = StochasticNoise(spec)
+        g = rng()
+        a = noise.multiplier("pool:x", 0, g)
+        b = noise.multiplier("pool:x", 1, g)
+        assert a == pytest.approx(b)  # epoch sigma 0 -> pure run level
+
+    def test_fresh_instance_redraws(self):
+        spec = NoiseSpec(sigma_run=0.3, sigma_epoch=0.0, transient_prob=0.0)
+        a = StochasticNoise(spec).multiplier("pool:x", 0, np.random.default_rng(1))
+        b = StochasticNoise(spec).multiplier("pool:x", 0, np.random.default_rng(2))
+        assert a != b
+
+    def test_mean_is_approximately_one(self):
+        spec = NoiseSpec(sigma_run=0.1, sigma_epoch=0.1, transient_prob=0.0)
+        g = rng()
+        draws = [
+            StochasticNoise(spec).multiplier("pool:x", 0, g) for _ in range(4000)
+        ]
+        assert np.mean(draws) == pytest.approx(1.0, abs=0.02)
+
+    def test_transients_cut_capacity(self):
+        spec = NoiseSpec(
+            sigma_run=0.0, sigma_epoch=0.0, transient_prob=1.0, transient_severity=0.5
+        )
+        noise = StochasticNoise(spec)
+        assert noise.multiplier("pool:x", 0, rng()) == pytest.approx(0.5)
+
+    def test_positive_multipliers(self):
+        noise = StochasticNoise(NoiseSpec(sigma_run=0.5, sigma_epoch=0.5, transient_prob=0.2))
+        g = rng()
+        for epoch in range(200):
+            assert noise.multiplier("pool:x", epoch, g) > 0
+
+
+class TestCompositeNoise:
+    def test_multiplies_members(self):
+        always_half = StochasticNoise(
+            NoiseSpec(sigma_run=0, sigma_epoch=0, transient_prob=1.0, transient_severity=0.5,
+                      scope_prefixes=("pool:",))
+        )
+        quarter = StochasticNoise(
+            NoiseSpec(sigma_run=0, sigma_epoch=0, transient_prob=1.0, transient_severity=0.25,
+                      scope_prefixes=("pool:",))
+        )
+        comp = CompositeNoise((always_half, quarter))
+        assert comp.multiplier("pool:x", 0, rng()) == pytest.approx(0.125)
+        assert comp.multiplier("client:x", 0, rng()) == 1.0
+
+    def test_epoch_length_is_min(self):
+        a = StochasticNoise(NoiseSpec(epoch_length_s=4.0))
+        quiet = StochasticNoise(NoiseSpec(sigma_run=0, sigma_epoch=0, transient_prob=0))
+        comp = CompositeNoise((a, quiet))
+        assert comp.epoch_length_s == 4.0
+
+    def test_incompatible_epochs_rejected(self):
+        a = StochasticNoise(NoiseSpec(epoch_length_s=4.0))
+        b = StochasticNoise(NoiseSpec(epoch_length_s=2.0))
+        with pytest.raises(StorageError):
+            CompositeNoise((a, b))
+
+    def test_empty_rejected(self):
+        with pytest.raises(StorageError):
+            CompositeNoise(())

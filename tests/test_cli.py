@@ -1,0 +1,83 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_args(self):
+        args = build_parser().parse_args(["run", "fig6", "--reps", "5", "--seed", "3"])
+        assert args.exp_id == "fig6"
+        assert args.reps == 5
+        assert args.seed == 3
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "fig13" in out
+
+    def test_calibration(self, capsys):
+        assert main(["calibration"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario1" in out and "anchors" in out
+        assert "880.0 MiB/s" in out
+
+    def test_placements(self, capsys):
+        assert main(["placements", "--stripe-count", "4", "--samples", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "roundrobin" in out
+        assert "(1,3): 100%" in out
+        assert "hypergeometric" in out
+
+    def test_run_analytic_experiment(self, capsys):
+        assert main(["run", "fig3", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "min(N, M)" in out
+
+    def test_run_with_csv_output(self, tmp_path, capsys):
+        assert main(["run", "fig4", "--reps", "2", "--quiet", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "fig4.csv").exists()
+        out = capsys.readouterr().out
+        assert "records written" in out
+
+    def test_run_unknown_experiment(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["run", "fig99", "--quiet"])
+
+
+class TestSystemCommands:
+    def test_system_export_and_recommend(self, tmp_path, capsys):
+        path = tmp_path / "sys.json"
+        assert main(["system", "export", str(path), "--scenario", "scenario2"]) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert main(["recommend", "--system", str(path), "--nodes", "2", "--ppn", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "recommendation: stripe count 8" in out
+        assert "scenario2" in out
+
+    def test_recommend_builtin_scenario(self, capsys):
+        assert main(["recommend", "--scenario", "scenario1", "--nodes", "2", "--ppn", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "rationale" in out
+
+
+class TestExplainCommand:
+    def test_explain_prints_attribution(self, capsys):
+        assert main([
+            "explain", "--scenario", "scenario2", "--nodes", "8",
+            "--stripe-count", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Bottleneck attribution" in out
+        assert "by class:" in out
+        assert "MiB/s" in out

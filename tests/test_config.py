@@ -1,0 +1,108 @@
+"""System configuration serialization."""
+
+import json
+
+import pytest
+
+from repro.beegfs.filesystem import plafrim_deployment
+from repro.calibration.plafrim import scenario1, scenario2
+from repro.config import (
+    calibration_from_dict,
+    calibration_to_dict,
+    deployment_from_dict,
+    deployment_to_dict,
+    load_system,
+    save_system,
+)
+from repro.errors import ConfigError
+
+
+class TestCalibrationRoundTrip:
+    @pytest.mark.parametrize("factory", [scenario1, scenario2])
+    def test_roundtrip_identity(self, factory):
+        original = factory()
+        restored = calibration_from_dict(calibration_to_dict(original))
+        assert restored == original
+
+    def test_dict_is_json_safe(self):
+        text = json.dumps(calibration_to_dict(scenario1()))
+        assert "scenario1" in text
+
+    def test_missing_key_rejected(self):
+        data = calibration_to_dict(scenario1())
+        del data["pool"]
+        with pytest.raises(ConfigError):
+            calibration_from_dict(data)
+
+    def test_unknown_field_rejected(self):
+        data = calibration_to_dict(scenario1())
+        data["client"]["warp_drive"] = 9
+        with pytest.raises(ConfigError):
+            calibration_from_dict(data)
+
+    def test_invalid_value_rejected(self):
+        data = calibration_to_dict(scenario1())
+        data["san"]["base_mib_s"] = -1
+        with pytest.raises(Exception):
+            calibration_from_dict(data)
+
+
+class TestDeploymentRoundTrip:
+    def test_roundtrip_identity(self):
+        original = plafrim_deployment(keep_data=False)
+        restored = deployment_from_dict(deployment_to_dict(original))
+        assert restored == original
+
+    def test_defaults_filled(self):
+        restored = deployment_from_dict({"servers": [["s1", [1, 2]], ["s2", [3, 4]]]})
+        assert restored.default_chooser == "roundrobin"
+        assert restored.num_targets == 4
+
+
+class TestFiles:
+    def test_save_load_full_system(self, tmp_path):
+        path = tmp_path / "systems" / "plafrim.json"
+        save_system(path, scenario2(), plafrim_deployment(keep_data=False))
+        calibration, deployment = load_system(path)
+        assert calibration == scenario2()
+        assert deployment == plafrim_deployment(keep_data=False)
+
+    def test_save_without_deployment(self, tmp_path):
+        path = tmp_path / "calib-only.json"
+        save_system(path, scenario1())
+        calibration, deployment = load_system(path)
+        assert calibration == scenario1()
+        assert deployment is None
+
+    def test_loaded_calibration_is_usable(self, tmp_path):
+        """A restored system drives the engine end to end."""
+        from repro.engine.base import EngineOptions
+        from repro.engine.fluid_runner import FluidEngine
+        from repro.units import GiB
+        from repro.workload.generator import single_application
+
+        path = tmp_path / "system.json"
+        save_system(path, scenario1(), plafrim_deployment(keep_data=False))
+        calibration, deployment = load_system(path)
+        topology = calibration.platform(4)
+        engine = FluidEngine(
+            calibration, topology, deployment, seed=0,
+            options=EngineOptions(noise_enabled=False),
+        )
+        result = engine.run(
+            [single_application(topology, 4, ppn=8, total_bytes=4 * GiB)], rep=0
+        )
+        assert result.single.bandwidth_mib_s > 1000
+
+    def test_malformed_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError):
+            load_system(path)
+        path.write_text("{}")
+        with pytest.raises(ConfigError):
+            load_system(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_system(tmp_path / "nope.json")

@@ -1,0 +1,44 @@
+"""The exception hierarchy: catchability contracts."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_reproerror(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    @pytest.mark.parametrize(
+        "cls,builtin",
+        [
+            (errors.ConfigError, ValueError),
+            (errors.UnitParseError, ValueError),
+            (errors.SimulationError, RuntimeError),
+            (errors.DeadlockError, RuntimeError),
+            (errors.TopologyError, ValueError),
+            (errors.NoSuchEntityError, KeyError),
+            (errors.EntityExistsError, FileExistsError),
+            (errors.NotADirectoryBeeGFSError, NotADirectoryError),
+            (errors.IsADirectoryBeeGFSError, IsADirectoryError),
+            (errors.ExperimentError, RuntimeError),
+        ],
+    )
+    def test_builtin_compatibility(self, cls, builtin):
+        """Library errors stay catchable as the matching builtin."""
+        assert issubclass(cls, builtin)
+
+    def test_specialisations(self):
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+        assert issubclass(errors.RoutingError, errors.TopologyError)
+        assert issubclass(errors.UnitParseError, errors.ConfigError)
+        assert issubclass(errors.StripingError, errors.BeeGFSError)
+        assert issubclass(errors.TargetChooserError, errors.BeeGFSError)
+
+    def test_catch_library_without_builtins(self):
+        """ReproError does not swallow programming mistakes."""
+        with pytest.raises(errors.ReproError):
+            raise errors.FlowError("x")
+        assert not issubclass(KeyError, errors.ReproError)

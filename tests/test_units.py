@@ -1,0 +1,141 @@
+"""Units: parsing, formatting, conversions."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import UnitParseError
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    TiB,
+    bandwidth_mib_s,
+    bytes_to_gib,
+    bytes_to_mib,
+    format_bandwidth,
+    format_duration,
+    format_size,
+    gbit_s_to_mib_s,
+    gib_to_bytes,
+    mib_s_to_gbit_s,
+    mib_to_bytes,
+    parse_duration,
+    parse_size,
+)
+
+
+class TestConstants:
+    def test_binary_ladder(self):
+        assert KiB == 1024
+        assert MiB == 1024 * KiB
+        assert GiB == 1024 * MiB
+        assert TiB == 1024 * GiB
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("32GiB", 32 * GiB),
+            ("512 KiB", 512 * KiB),
+            ("1m", MiB),
+            ("1MiB", MiB),
+            ("2g", 2 * GiB),
+            ("10MB", 10_000_000),
+            ("0.5GiB", GiB // 2),
+            ("123", 123),
+            ("123B", 123),
+            ("1.8TB", 1_800_000_000_000),
+        ],
+    )
+    def test_accepts(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_accepts_numbers(self):
+        assert parse_size(4096) == 4096
+        assert parse_size(4096.0) == 4096
+
+    @pytest.mark.parametrize("text", ["", "GiB", "12XiB", "-3MiB", "1.5B"])
+    def test_rejects(self, text):
+        with pytest.raises(UnitParseError):
+            parse_size(text)
+
+    def test_rejects_fractional_bytes(self):
+        with pytest.raises(UnitParseError):
+            parse_size(12.5)
+
+    @given(st.integers(min_value=0, max_value=2**50))
+    def test_format_parse_roundtrip(self, nbytes):
+        # format_size rounds; only exact multiples round-trip exactly.
+        text = format_size(nbytes, precision=6)
+        parsed = parse_size(text)
+        assert parsed == pytest.approx(nbytes, rel=2e-6, abs=1)
+
+
+class TestFormatSize:
+    def test_picks_largest_unit(self):
+        assert format_size(32 * GiB) == "32GiB"
+        assert format_size(512 * KiB) == "512KiB"
+        assert format_size(MiB) == "1MiB"
+        assert format_size(100) == "100B"
+
+    def test_negative(self):
+        assert format_size(-MiB) == "-1MiB"
+
+    def test_fractional(self):
+        assert format_size(int(1.5 * GiB)) == "1.5GiB"
+
+
+class TestDurations:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("30min", 1800.0), ("1.5s", 1.5), ("250ms", 0.25), ("2h", 7200.0), (90, 90.0)],
+    )
+    def test_parse(self, text, expected):
+        assert parse_duration(text) == pytest.approx(expected)
+
+    def test_parse_rejects(self):
+        with pytest.raises(UnitParseError):
+            parse_duration("5 fortnights")
+        with pytest.raises(UnitParseError):
+            parse_duration(-1)
+
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [(0, "0s"), (0.012, "12ms"), (2.5, "2.5s"), (60, "1min"), (200, "3min 20s")],
+    )
+    def test_format(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+
+class TestConversions:
+    def test_gbit_to_mib(self):
+        # 10 Gbit/s ~ 1192 MiB/s raw: the paper's Ethernet ports.
+        assert gbit_s_to_mib_s(10) == pytest.approx(1192.09, rel=1e-4)
+
+    def test_gbit_roundtrip(self):
+        assert mib_s_to_gbit_s(gbit_s_to_mib_s(100.0)) == pytest.approx(100.0)
+
+    def test_bytes_mib_roundtrip(self):
+        assert mib_to_bytes(bytes_to_mib(123456789)) == pytest.approx(123456789)
+
+    def test_bytes_gib(self):
+        assert bytes_to_gib(gib_to_bytes(32)) == pytest.approx(32)
+
+
+class TestBandwidth:
+    def test_simple(self):
+        assert bandwidth_mib_s(32 * GiB, 32.0) == pytest.approx(1024.0)
+
+    def test_zero_bytes(self):
+        assert bandwidth_mib_s(0, 0) == 0.0
+
+    def test_rejects_zero_duration(self):
+        with pytest.raises(ValueError):
+            bandwidth_mib_s(MiB, 0.0)
+
+    def test_format(self):
+        assert format_bandwidth(1234.56) == "1234.6 MiB/s"

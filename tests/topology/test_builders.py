@@ -1,0 +1,87 @@
+"""PlaFRIM platform builders."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.topology.builders import (
+    ETHERNET_10G,
+    OMNIPATH_100G,
+    NetworkSpec,
+    PlatformSpec,
+    SWITCH_NAME,
+    build_platform,
+    compute_node_name,
+    plafrim_ethernet,
+    plafrim_omnipath,
+    plafrim_spec,
+    storage_host_name,
+)
+from repro.topology.graph import HostRole
+
+
+class TestNetworkSpec:
+    def test_ethernet_port_rate(self):
+        assert ETHERNET_10G.link_mib_s == pytest.approx(1192.09, rel=1e-4)
+
+    def test_omnipath_port_rate(self):
+        assert OMNIPATH_100G.link_mib_s == pytest.approx(11920.9, rel=1e-4)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            NetworkSpec("bad", link_gbit_s=0)
+
+    def test_fabric_must_exceed_port(self):
+        with pytest.raises(ConfigError):
+            NetworkSpec("bad", link_gbit_s=100, fabric_gbit_s=10)
+
+
+class TestPlatformSpec:
+    def test_plafrim_defaults(self):
+        spec = plafrim_spec(ETHERNET_10G)
+        assert spec.num_storage_hosts == 2
+        assert spec.cores_per_node == 36  # two 18-core Xeons
+        assert spec.node_memory_gib == 192
+
+    def test_with_network(self):
+        spec = plafrim_spec(ETHERNET_10G).with_network(OMNIPATH_100G)
+        assert spec.network is OMNIPATH_100G
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PlatformSpec("p", ETHERNET_10G, num_compute_nodes=0)
+
+
+class TestBuiltPlatforms:
+    def test_counts(self):
+        topo = plafrim_ethernet(8)
+        assert len(topo.compute_nodes()) == 8
+        assert len(topo.storage_hosts()) == 2
+        assert len(topo.hosts(HostRole.SWITCH)) == 1
+        # star: every non-switch host has exactly one link
+        assert len(topo.links()) == 10
+
+    def test_names(self):
+        assert compute_node_name(0) == "bora001"
+        assert storage_host_name(1) == "storage2"
+        topo = plafrim_omnipath(4)
+        assert "bora004" in topo
+        assert "storage2" in topo
+
+    def test_every_node_routes_to_storage(self):
+        topo = plafrim_ethernet(4)
+        for node in topo.compute_nodes():
+            for server in topo.storage_hosts():
+                route = topo.route(node.name, server.name)
+                assert len(route) == 2
+                assert all(SWITCH_NAME in (l.a, l.b) for l in route)
+
+    def test_scenario_capacities_differ(self):
+        eth = plafrim_ethernet(2)
+        opa = plafrim_omnipath(2)
+        assert opa.route_capacity("bora001", "storage1") == pytest.approx(
+            10 * eth.route_capacity("bora001", "storage1")
+        )
+
+    def test_switch_carries_fabric_attr(self):
+        topo = plafrim_ethernet(2)
+        assert topo.host(SWITCH_NAME).attrs["fabric_mib_s"] > 0

@@ -1,0 +1,120 @@
+"""Topology graph: construction, queries, routing."""
+
+import pytest
+
+from repro.errors import RoutingError, TopologyError
+from repro.topology.graph import Host, HostRole, Link, Topology
+
+
+def star() -> Topology:
+    topo = Topology("t")
+    topo.add_host("sw", HostRole.SWITCH)
+    topo.add_host("n1", HostRole.COMPUTE)
+    topo.add_host("n2", HostRole.COMPUTE)
+    topo.add_host("s1", HostRole.STORAGE)
+    topo.add_link("n1", "sw", 100.0, 1e-6)
+    topo.add_link("n2", "sw", 100.0, 1e-6)
+    topo.add_link("sw", "s1", 200.0, 2e-6)
+    return topo
+
+
+class TestConstruction:
+    def test_duplicate_host_rejected(self):
+        topo = Topology()
+        topo.add_host("a", HostRole.COMPUTE)
+        with pytest.raises(TopologyError):
+            topo.add_host("a", HostRole.COMPUTE)
+
+    def test_link_requires_hosts(self):
+        topo = Topology()
+        topo.add_host("a", HostRole.COMPUTE)
+        with pytest.raises(TopologyError):
+            topo.add_link("a", "ghost", 1.0)
+
+    def test_duplicate_link_rejected(self):
+        topo = star()
+        with pytest.raises(TopologyError):
+            topo.add_link("sw", "n1", 5.0)  # same edge, either order
+
+    def test_self_link_rejected(self):
+        with pytest.raises(TopologyError):
+            Link("a", "a", 1.0)
+
+    def test_bad_capacity(self):
+        with pytest.raises(TopologyError):
+            Link("a", "b", 0.0)
+
+    def test_empty_host_name(self):
+        with pytest.raises(TopologyError):
+            Host("", HostRole.COMPUTE)
+
+    def test_add_star_helper(self):
+        topo = Topology()
+        topo.add_host("sw", HostRole.SWITCH)
+        for n in ("a", "b"):
+            topo.add_host(n, HostRole.COMPUTE)
+        links = topo.add_star("sw", ["a", "b"], 10.0)
+        assert len(links) == 2
+        assert topo.degree("sw") == 2
+
+
+class TestQueries:
+    def test_roles(self):
+        topo = star()
+        assert [h.name for h in topo.compute_nodes()] == ["n1", "n2"]
+        assert [h.name for h in topo.storage_hosts()] == ["s1"]
+
+    def test_contains(self):
+        topo = star()
+        assert "n1" in topo and "ghost" not in topo
+
+    def test_unknown_host_raises(self):
+        with pytest.raises(TopologyError):
+            star().host("ghost")
+
+    def test_links_of(self):
+        topo = star()
+        assert len(topo.links_of("sw")) == 3
+        assert len(topo.links_of("n1")) == 1
+
+    def test_link_resource_id_order_free(self):
+        assert Link("b", "a", 1.0).resource_id == Link("a", "b", 1.0).resource_id
+
+    def test_link_other(self):
+        link = Link("a", "b", 1.0)
+        assert link.other("a") == "b"
+        assert link.other("b") == "a"
+        with pytest.raises(TopologyError):
+            link.other("c")
+
+
+class TestRouting:
+    def test_route_via_switch(self):
+        topo = star()
+        route = topo.route("n1", "s1")
+        assert [l.resource_id for l in route] == [
+            "link:n1<->sw",
+            "link:s1<->sw",
+        ]
+
+    def test_route_latency_and_capacity(self):
+        topo = star()
+        assert topo.route_latency("n1", "s1") == pytest.approx(3e-6)
+        assert topo.route_capacity("n1", "s1") == 100.0
+
+    def test_route_to_self_empty(self):
+        assert star().route("n1", "n1") == []
+
+    def test_no_route(self):
+        topo = star()
+        topo.add_host("island", HostRole.COMPUTE)
+        with pytest.raises(RoutingError):
+            topo.route("n1", "island")
+
+    def test_validate(self):
+        topo = star()
+        topo.validate()
+        lonely = Topology()
+        lonely.add_host("n", HostRole.COMPUTE)
+        with pytest.raises(TopologyError):
+            lonely.validate()

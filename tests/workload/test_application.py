@@ -1,0 +1,95 @@
+"""Application model and node allocation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.topology.builders import plafrim_ethernet
+from repro.units import GiB, MiB
+from repro.workload.application import Application, allocate_nodes
+from repro.workload.patterns import AccessPattern, IORConfig
+
+
+def make_app(**kwargs):
+    defaults = dict(
+        app_id="app0",
+        nodes=("bora001", "bora002"),
+        ppn=8,
+        config=IORConfig.for_total_size(32 * GiB, 16),
+    )
+    defaults.update(kwargs)
+    return Application(**defaults)
+
+
+class TestBasics:
+    def test_derived_sizes(self):
+        app = make_app()
+        assert app.num_nodes == 2
+        assert app.nprocs == 16
+        assert app.total_bytes == 32 * GiB
+
+    def test_rank_layout_is_block(self):
+        app = make_app()
+        assert list(app.ranks_of_node("bora001")) == list(range(8))
+        assert list(app.ranks_of_node("bora002")) == list(range(8, 16))
+        assert app.node_of_rank(0) == "bora001"
+        assert app.node_of_rank(15) == "bora002"
+
+    def test_rank_errors(self):
+        app = make_app()
+        with pytest.raises(WorkloadError):
+            app.ranks_of_node("ghost")
+        with pytest.raises(WorkloadError):
+            app.node_of_rank(16)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            make_app(nodes=())
+        with pytest.raises(WorkloadError):
+            make_app(nodes=("a", "a"))
+        with pytest.raises(WorkloadError):
+            make_app(ppn=0)
+        with pytest.raises(WorkloadError):
+            make_app(start_time=-1)
+        with pytest.raises(WorkloadError):
+            make_app(directory="relative")
+
+    def test_delayed(self):
+        app = make_app(start_time=1.0)
+        assert app.delayed(2.5).start_time == 3.5
+
+
+class TestFilePaths:
+    def test_shared_file(self):
+        app = make_app()
+        assert app.file_path() == "/bench/app0.dat"
+        assert app.file_paths() == ["/bench/app0.dat"]
+
+    def test_nn_files(self):
+        config = IORConfig(block_size=MiB, pattern=AccessPattern.NN)
+        app = make_app(config=config)
+        assert app.file_path(3) == "/bench/app0.00003.dat"
+        assert len(app.file_paths()) == 16
+        with pytest.raises(WorkloadError):
+            app.file_path()
+
+    def test_rank_bounds_checked(self):
+        app = make_app()
+        with pytest.raises(WorkloadError):
+            app.file_path(99)
+
+
+class TestAllocateNodes:
+    def test_first_fit(self):
+        topo = plafrim_ethernet(8)
+        assert allocate_nodes(topo, 3) == ("bora001", "bora002", "bora003")
+
+    def test_exclusion(self):
+        topo = plafrim_ethernet(8)
+        first = allocate_nodes(topo, 4)
+        second = allocate_nodes(topo, 4, exclude=first)
+        assert set(first).isdisjoint(second)
+
+    def test_exhaustion(self):
+        topo = plafrim_ethernet(4)
+        with pytest.raises(WorkloadError):
+            allocate_nodes(topo, 5)

@@ -1,0 +1,61 @@
+"""Workload builders for the paper's scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.topology.builders import plafrim_ethernet
+from repro.units import GiB
+from repro.workload.generator import concurrent_applications, single_application
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return plafrim_ethernet(32)
+
+
+class TestSingleApplication:
+    def test_paper_convention(self, topo):
+        app = single_application(topo, 8, ppn=8)
+        assert app.num_nodes == 8
+        assert app.nprocs == 64
+        assert app.total_bytes == 32 * GiB
+        assert app.config.block_size == 512 * 1024**2  # 512 MiB each
+
+    def test_custom_size(self, topo):
+        app = single_application(topo, 4, ppn=8, total_bytes=16 * GiB)
+        assert app.total_bytes == 16 * GiB
+
+
+class TestConcurrentApplications:
+    def test_disjoint_node_sets(self, topo):
+        apps = concurrent_applications(topo, 4, nodes_per_app=8)
+        assert len(apps) == 4
+        all_nodes = [n for a in apps for n in a.nodes]
+        assert len(all_nodes) == len(set(all_nodes)) == 32
+
+    def test_each_app_full_volume(self, topo):
+        """Section IV-D: every concurrent app writes the full 32 GiB."""
+        for app in concurrent_applications(topo, 3):
+            assert app.total_bytes == 32 * GiB
+
+    def test_unique_ids(self, topo):
+        ids = {a.app_id for a in concurrent_applications(topo, 4)}
+        assert len(ids) == 4
+
+    def test_simultaneous_start_by_default(self, topo):
+        assert all(a.start_time == 0.0 for a in concurrent_applications(topo, 2))
+
+    def test_jitter(self, topo):
+        rng = np.random.default_rng(3)
+        apps = concurrent_applications(topo, 3, start_jitter_s=5.0, rng=rng)
+        assert all(0 <= a.start_time <= 5.0 for a in apps)
+        assert len({a.start_time for a in apps}) > 1
+
+    def test_jitter_requires_rng(self, topo):
+        with pytest.raises(WorkloadError):
+            concurrent_applications(topo, 2, start_jitter_s=1.0)
+
+    def test_too_many_apps(self, topo):
+        with pytest.raises(WorkloadError):
+            concurrent_applications(topo, 5, nodes_per_app=8)  # 40 > 32 nodes

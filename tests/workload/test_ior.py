@@ -1,0 +1,121 @@
+"""The functional IOR driver against the real data plane."""
+
+import pytest
+
+from repro.beegfs.filesystem import BeeGFS, plafrim_deployment
+from repro.errors import WorkloadError
+from repro.topology.builders import plafrim_ethernet
+from repro.units import KiB, MiB
+from repro.workload.application import Application
+from repro.workload.ior import IORDriver
+from repro.workload.patterns import AccessPattern, IORConfig
+
+
+def small_app(pattern=AccessPattern.N1_CONTIGUOUS, nodes=2, ppn=2, block=2 * MiB):
+    return Application(
+        app_id="ior-test",
+        nodes=tuple(f"bora{i + 1:03d}" for i in range(nodes)),
+        ppn=ppn,
+        config=IORConfig(block_size=block, transfer_size=MiB, pattern=pattern),
+    )
+
+
+class TestWritePhase:
+    def test_shared_file_totals(self):
+        fs = BeeGFS(plafrim_deployment(), seed=1)
+        report = IORDriver(fs).run_write_phase(small_app())
+        assert report.total_bytes == 4 * 2 * MiB
+        assert sum(report.bytes_per_target.values()) == report.total_bytes
+        assert fs.namespace.file("/bench/ior-test.dat").size == report.total_bytes
+
+    def test_verification_roundtrip(self):
+        fs = BeeGFS(plafrim_deployment(), seed=1)
+        IORDriver(fs, verify=True).run_write_phase(small_app())
+
+    def test_verify_requires_data_mode(self):
+        fs = BeeGFS(plafrim_deployment(keep_data=False), seed=1)
+        with pytest.raises(WorkloadError):
+            IORDriver(fs, verify=True).run_write_phase(small_app())
+
+    def test_nn_creates_file_per_process(self):
+        fs = BeeGFS(plafrim_deployment(), seed=1)
+        app = small_app(pattern=AccessPattern.NN)
+        report = IORDriver(fs).run_write_phase(app)
+        assert len(report.files) == app.nprocs
+        for path in report.files:
+            assert fs.namespace.file(path).size == app.config.bytes_per_process
+
+    def test_strided_same_totals_as_contiguous(self):
+        fs1 = BeeGFS(plafrim_deployment(), seed=1)
+        fs2 = BeeGFS(plafrim_deployment(), seed=1)
+        contiguous = IORDriver(fs1).run_write_phase(small_app())
+        strided = IORDriver(fs2).run_write_phase(small_app(pattern=AccessPattern.N1_STRIDED))
+        assert contiguous.total_bytes == strided.total_bytes
+        assert contiguous.bytes_per_target == strided.bytes_per_target
+
+    def test_existing_file_rejected(self):
+        fs = BeeGFS(plafrim_deployment(), seed=1)
+        driver = IORDriver(fs)
+        driver.run_write_phase(small_app())
+        with pytest.raises(WorkloadError):
+            driver.run_write_phase(small_app())
+
+    def test_size_only_mode(self):
+        fs = BeeGFS(plafrim_deployment(keep_data=False), seed=1)
+        report = IORDriver(fs).run_write_phase(small_app())
+        assert report.total_mib == pytest.approx(8.0)
+
+    def test_placement_report(self):
+        fs = BeeGFS(plafrim_deployment(), seed=1)
+        report = IORDriver(fs).run_write_phase(small_app())
+        placement = report.placement(fs)
+        assert sum(placement.values()) == report.total_bytes
+        assert set(placement) <= {"storage1", "storage2"}
+
+    def test_bytes_per_target_match_stripe_math(self):
+        fs = BeeGFS(plafrim_deployment(), seed=1)
+        app = small_app(nodes=1, ppn=1, block=5 * 512 * KiB + 512 * KiB * 3)
+        # block must be multiple of transfer: use 4 MiB instead
+        app = small_app(nodes=1, ppn=1, block=4 * MiB)
+        report = IORDriver(fs).run_write_phase(app)
+        inode = fs.namespace.file(app.file_path())
+        assert report.bytes_per_target == {
+            t: n for t, n in inode.pattern.bytes_per_target(4 * MiB).items() if n
+        }
+
+
+class TestReadPhase:
+    def test_read_after_write_verifies(self):
+        fs = BeeGFS(plafrim_deployment(), seed=1)
+        driver = IORDriver(fs, verify=True)
+        app = small_app()
+        driver.run_write_phase(app)
+        report = driver.run_read_phase(app)
+        assert report.total_bytes == app.total_bytes
+        assert sum(report.bytes_per_target.values()) == app.total_bytes
+
+    def test_read_missing_file_fails(self):
+        from repro.errors import NoSuchEntityError
+
+        fs = BeeGFS(plafrim_deployment(), seed=1)
+        with pytest.raises(NoSuchEntityError):
+            IORDriver(fs).run_read_phase(small_app())
+
+    def test_read_detects_corruption(self):
+        fs = BeeGFS(plafrim_deployment(), seed=1)
+        driver = IORDriver(fs, verify=True)
+        app = small_app(nodes=1, ppn=1, block=MiB)
+        driver.run_write_phase(app)
+        # Corrupt one byte through the data plane.
+        inode = fs.namespace.file(app.file_path())
+        fs.write_extents(inode, 600 * 1024, b"X", 1)
+        with pytest.raises(WorkloadError):
+            driver.run_read_phase(app)
+
+    def test_nn_read(self):
+        fs = BeeGFS(plafrim_deployment(), seed=1)
+        driver = IORDriver(fs, verify=True)
+        app = small_app(pattern=AccessPattern.NN)
+        driver.run_write_phase(app)
+        report = driver.run_read_phase(app)
+        assert len(report.files) == app.nprocs

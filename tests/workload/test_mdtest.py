@@ -1,0 +1,43 @@
+"""mdtest workload geometry."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload.mdtest import MDTestConfig, MDTestPhase, MetadataOp
+
+
+class TestConfig:
+    def test_totals(self):
+        config = MDTestConfig(files_per_process=100)
+        assert config.total_files(8) == 800
+        assert config.total_ops(8) == 2400  # create+stat+unlink
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            MDTestConfig(files_per_process=0)
+        with pytest.raises(WorkloadError):
+            MDTestConfig(files_per_process=1, ops=())
+        with pytest.raises(WorkloadError):
+            MDTestConfig(files_per_process=1, ops=(MetadataOp.CREATE, MetadataOp.CREATE))
+
+    def test_shared_dir_paths(self):
+        config = MDTestConfig(10, directory_mode=MDTestPhase.SHARED_DIR)
+        assert config.directory_of(3) == "/mdtest/shared"
+        assert config.directory_of(4) == config.directory_of(5)
+        assert config.file_path(3, 7).startswith("/mdtest/shared/")
+
+    def test_unique_dir_paths(self):
+        config = MDTestConfig(10, directory_mode=MDTestPhase.UNIQUE_DIRS)
+        assert config.directory_of(3) != config.directory_of(4)
+        assert config.file_path(3, 7).startswith(config.directory_of(3))
+
+    def test_paths_unique_per_file(self):
+        config = MDTestConfig(5)
+        paths = {config.file_path(r, i) for r in range(4) for i in range(5)}
+        assert len(paths) == 20
+
+    def test_command_echo(self):
+        config = MDTestConfig(100, directory_mode=MDTestPhase.UNIQUE_DIRS)
+        cmd = config.mdtest_command(16)
+        assert "mdtest" in cmd and "-n 100" in cmd and "-u" in cmd
+        assert "-u" not in MDTestConfig(100).mdtest_command(16)

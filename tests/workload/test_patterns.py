@@ -1,0 +1,142 @@
+"""IOR workload geometry: regions, transfers, coverage properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.units import GiB, KiB, MiB
+from repro.workload.patterns import AccessPattern, IORConfig, Region
+
+
+class TestValidation:
+    def test_block_multiple_of_transfer(self):
+        with pytest.raises(WorkloadError):
+            IORConfig(block_size=MiB + 1, transfer_size=MiB)
+
+    def test_positive_sizes(self):
+        with pytest.raises(WorkloadError):
+            IORConfig(block_size=0)
+        with pytest.raises(WorkloadError):
+            IORConfig(block_size=MiB, transfer_size=0)
+        with pytest.raises(WorkloadError):
+            IORConfig(block_size=MiB, segments=0)
+
+    def test_unknown_api(self):
+        with pytest.raises(WorkloadError):
+            IORConfig(block_size=MiB, api="HDF5")
+
+    def test_region_validation(self):
+        with pytest.raises(WorkloadError):
+            Region(-1, 10)
+        with pytest.raises(WorkloadError):
+            Region(0, 0)
+
+
+class TestForTotalSize:
+    def test_papers_examples(self):
+        """32 GiB over 8 procs -> 4 GiB blocks; over 64 -> 512 MiB."""
+        assert IORConfig.for_total_size(32 * GiB, 8).block_size == 4 * GiB
+        assert IORConfig.for_total_size(32 * GiB, 64).block_size == 512 * MiB
+
+    def test_rounds_down_to_transfer(self):
+        config = IORConfig.for_total_size(32 * GiB, 24)
+        assert config.block_size % MiB == 0
+        assert config.total_bytes(24) <= 32 * GiB
+
+    def test_too_small_rejected(self):
+        with pytest.raises(WorkloadError):
+            IORConfig.for_total_size(KiB, 8, transfer_size=MiB)
+
+
+class TestLayouts:
+    def test_n1_contiguous_offsets(self):
+        config = IORConfig(block_size=4 * MiB, pattern=AccessPattern.N1_CONTIGUOUS)
+        regions = list(config.regions(rank=2, nprocs=4))
+        assert regions == [Region(8 * MiB, 4 * MiB)]
+
+    def test_n1_contiguous_with_segments(self):
+        config = IORConfig(block_size=2 * MiB, segments=2)
+        regions = list(config.regions(rank=1, nprocs=2))
+        assert regions == [Region(2 * MiB, 2 * MiB), Region(6 * MiB, 2 * MiB)]
+
+    def test_nn_offsets_are_file_local(self):
+        config = IORConfig(block_size=MiB, segments=3, pattern=AccessPattern.NN)
+        regions = list(config.regions(rank=5, nprocs=8))
+        assert [r.offset for r in regions] == [0, MiB, 2 * MiB]
+
+    def test_strided_interleaves_by_transfer(self):
+        config = IORConfig(block_size=2 * MiB, transfer_size=MiB, pattern=AccessPattern.N1_STRIDED)
+        regions = list(config.regions(rank=1, nprocs=2))
+        assert [r.offset for r in regions] == [MiB, 3 * MiB]
+
+    def test_shared_file_flag(self):
+        assert AccessPattern.N1_CONTIGUOUS.shared_file
+        assert AccessPattern.N1_STRIDED.shared_file
+        assert not AccessPattern.NN.shared_file
+
+    def test_bad_rank(self):
+        config = IORConfig(block_size=MiB)
+        with pytest.raises(WorkloadError):
+            list(config.regions(rank=4, nprocs=4))
+
+
+@st.composite
+def geometry(draw):
+    transfer = draw(st.sampled_from([256 * KiB, 512 * KiB, MiB]))
+    blocks = draw(st.integers(1, 8))
+    segments = draw(st.integers(1, 3))
+    nprocs = draw(st.integers(1, 8))
+    pattern = draw(st.sampled_from(list(AccessPattern)))
+    return IORConfig(
+        block_size=blocks * transfer,
+        transfer_size=transfer,
+        segments=segments,
+        pattern=pattern,
+    ), nprocs
+
+
+class TestCoverageProperties:
+    @given(geometry())
+    @settings(max_examples=80, deadline=None)
+    def test_shared_file_exactly_partitioned(self, geo):
+        """All ranks' regions tile the shared file with no gaps/overlap."""
+        config, nprocs = geo
+        if config.pattern is AccessPattern.NN:
+            return
+        covered = []
+        for rank in range(nprocs):
+            covered.extend((r.offset, r.end) for r in config.regions(rank, nprocs))
+        covered.sort()
+        assert covered[0][0] == 0
+        for (a_start, a_end), (b_start, _) in zip(covered, covered[1:]):
+            assert a_end == b_start, "gap or overlap in shared-file coverage"
+        assert covered[-1][1] == config.file_size(nprocs)
+
+    @given(geometry())
+    @settings(max_examples=80, deadline=None)
+    def test_transfers_tile_regions(self, geo):
+        config, nprocs = geo
+        for rank in range(min(nprocs, 3)):
+            transfers = list(config.transfers(rank, nprocs))
+            assert all(t.length <= config.transfer_size for t in transfers)
+            assert sum(t.length for t in transfers) == config.bytes_per_process
+
+    @given(geometry())
+    @settings(max_examples=40, deadline=None)
+    def test_total_volume_invariant(self, geo):
+        config, nprocs = geo
+        assert config.total_bytes(nprocs) == nprocs * config.block_size * config.segments
+
+
+class TestCommandEcho:
+    def test_ior_command_posix_shared(self):
+        config = IORConfig(block_size=4 * GiB, transfer_size=MiB)
+        cmd = config.ior_command(8)
+        assert "mpirun -n 8" in cmd
+        assert "-a POSIX" in cmd and "-t 1MiB" in cmd and "-b 4GiB" in cmd
+        assert "-F" not in cmd
+
+    def test_ior_command_nn(self):
+        config = IORConfig(block_size=MiB, pattern=AccessPattern.NN)
+        assert "-F" in config.ior_command(4)
