@@ -1,0 +1,23 @@
+"""Benchmark: fault injection — outage timeline and degraded allocation."""
+
+from conftest import run_reduced
+
+
+def test_bench_faults(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_reduced("faults", repetitions=3), rounds=3, iterations=1
+    )
+    # Timeline: the mid-run outage stretches the run, costs retries, loses no data.
+    timeline = {r.factors["condition"]: r for r in out.records.filter(stage="timeline")}
+    healthy, outage = timeline["healthy"], timeline["outage"]
+    assert outage.apps[0]["end_s"] > healthy.apps[0]["end_s"]
+    assert outage.retries > 0 and outage.complete
+    assert healthy.retries == 0 and healthy.complete
+
+    # Degraded allocation: failover always balances across the survivors
+    # and beats round-robin's unbalanced rotations on average.
+    degraded = out.records.filter(exp_id="faults", stage=None)
+    by_chooser = degraded.group_by_factor("chooser")
+    failover, roundrobin = by_chooser["failover"], by_chooser["roundrobin"]
+    assert all(min(r.placement) == max(r.placement) for r in failover)
+    assert float(failover.bandwidths().mean()) >= float(roundrobin.bandwidths().mean())

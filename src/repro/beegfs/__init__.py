@@ -25,6 +25,7 @@ from .striping import ChunkExtent, StripePattern
 from .choosers import (
     BalancedChooser,
     CapacityChooser,
+    FailoverChooser,
     RandomChooser,
     RoundRobinChooser,
     TargetChooser,
@@ -46,6 +47,7 @@ __all__ = [
     "RandomChooser",
     "BalancedChooser",
     "CapacityChooser",
+    "FailoverChooser",
     "chooser_from_name",
     "CHOOSER_NAMES",
     "ManagementService",

@@ -33,7 +33,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from ..errors import TargetChooserError
+from ..errors import InsufficientTargetsError, TargetChooserError
 
 if TYPE_CHECKING:  # pragma: no cover
     from .management import TargetInfo
@@ -44,6 +44,7 @@ __all__ = [
     "RoundRobinChooser",
     "BalancedChooser",
     "CapacityChooser",
+    "FailoverChooser",
     "chooser_from_name",
     "CHOOSER_NAMES",
 ]
@@ -71,8 +72,8 @@ class TargetChooser(abc.ABC):
         if count < 1:
             raise TargetChooserError(f"stripe count must be >= 1, got {count}")
         if count > len(pool):
-            raise TargetChooserError(
-                f"stripe count {count} exceeds available targets ({len(pool)})"
+            raise InsufficientTargetsError(
+                count, len(pool), tuple(t.target_id for t in pool)
             )
 
 
@@ -240,7 +241,49 @@ class FixedChooser(TargetChooser):
         return self.target_ids
 
 
-CHOOSER_NAMES = ("random", "roundrobin", "balanced", "capacity", "fixed")
+class FailoverChooser(TargetChooser):
+    """Deterministic re-balance across the *surviving* servers.
+
+    The Lesson-4 balance rule applied under failure: whatever targets
+    remain eligible, spread the allocation as evenly as possible over
+    the servers that still have them.  Unlike :class:`BalancedChooser`
+    it is fully deterministic — servers are visited from most aggregate
+    free space (the least-loaded survivor first, tie-broken by name)
+    and targets within a server from least used bytes (tie-broken by
+    id) — so a degraded campaign places every replica-run identically
+    and the (min, max) classifier sees the pure policy, not sampling
+    noise.
+    """
+
+    name = "failover"
+
+    def choose(
+        self, pool: Sequence["TargetInfo"], count: int, rng: np.random.Generator
+    ) -> tuple[int, ...]:
+        self._check(pool, count)
+        by_server: dict[str, list["TargetInfo"]] = {}
+        for t in pool:
+            by_server.setdefault(t.server, []).append(t)
+        for infos in by_server.values():
+            infos.sort(key=lambda t: (t.used_bytes, t.target_id))
+        servers = sorted(by_server, key=lambda s: (-sum(t.free_bytes for t in by_server[s]), s))
+        picked: list[int] = []
+        taken = {s: 0 for s in servers}
+        while len(picked) < count:
+            progressed = False
+            for server in servers:
+                if taken[server] < len(by_server[server]):
+                    picked.append(by_server[server][taken[server]].target_id)
+                    taken[server] += 1
+                    progressed = True
+                    if len(picked) == count:
+                        break
+            if not progressed:  # pragma: no cover - guarded by _check
+                raise TargetChooserError("ran out of targets while failing over")
+        return tuple(picked)
+
+
+CHOOSER_NAMES = ("random", "roundrobin", "balanced", "capacity", "failover", "fixed")
 
 
 def chooser_from_name(name: str, **kwargs: object) -> TargetChooser:
@@ -250,6 +293,7 @@ def chooser_from_name(name: str, **kwargs: object) -> TargetChooser:
         RoundRobinChooser.name: RoundRobinChooser,
         BalancedChooser.name: BalancedChooser,
         CapacityChooser.name: CapacityChooser,
+        FailoverChooser.name: FailoverChooser,
     }
     try:
         cls = classes[name]

@@ -145,15 +145,24 @@ class BeeGFS:
     def get_pattern(self, path: str) -> DirectoryConfig:
         return self.namespace.get_config(path)
 
-    def create_file(self, path: str, rng: np.random.Generator | None = None) -> FileInode:
-        """Create a file, choosing its stripe targets per directory config."""
+    def create_file(
+        self, path: str, rng: np.random.Generator | None = None, strict: bool = False
+    ) -> FileInode:
+        """Create a file, choosing its stripe targets per directory config.
+
+        With ``strict=True`` the configured stripe count is not clamped
+        to the reachable pool, so a degraded deployment raises
+        :class:`~repro.errors.InsufficientTargetsError` instead of
+        silently narrowing the stripe — callers that must preserve the
+        experiment's striping factor (or fail loudly) use this.
+        """
         parent, _ = split_path(path)
         config = self.namespace.get_config(parent)
         pool = self.management.targets(online_only=True)
         if not pool:
             raise NoSuchEntityError("no online storage targets")
         # BeeGFS clamps the desired stripe count to the reachable pool.
-        count = min(config.stripe_count, len(pool))
+        count = config.stripe_count if strict else min(config.stripe_count, len(pool))
         chooser = self.chooser(config.chooser or self.spec.default_chooser)
         targets = chooser.choose(pool, count, rng if rng is not None else self._chooser_rng)
         pattern = StripePattern(targets=targets, chunk_size=config.chunk_size)

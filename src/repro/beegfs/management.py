@@ -18,9 +18,17 @@ __all__ = ["TargetState", "TargetInfo", "ManagementService"]
 
 
 class TargetState(enum.Enum):
-    """Reachability/consistency state of a target (simplified)."""
+    """Reachability/consistency state of a target (simplified).
+
+    Mirrors BeeGFS's reachability (Online/Offline) and consistency
+    (Good/Needs-resync) states: DEGRADED is a reachable target running
+    below its rated capacity (a limping disk or saturated server) —
+    still eligible for allocation, but a fault-aware chooser may
+    deprioritise it.
+    """
 
     ONLINE = "online"
+    DEGRADED = "degraded"
     OFFLINE = "offline"
     NEEDS_RESYNC = "needs-resync"
 
@@ -49,7 +57,8 @@ class TargetInfo:
 
     @property
     def available(self) -> bool:
-        return self.state is TargetState.ONLINE
+        """Eligible for new allocations (reachable, even if slow)."""
+        return self.state in (TargetState.ONLINE, TargetState.DEGRADED)
 
 
 class ManagementService:
@@ -111,6 +120,11 @@ class ManagementService:
 
     def set_state(self, target_id: int, state: TargetState) -> None:
         self.target(target_id).state = state
+
+    def set_server_state(self, server: str, state: TargetState) -> None:
+        """Transition every target of a server at once (server outage)."""
+        for info in self.targets(server=server):
+            info.state = state
 
     def consume(self, target_id: int, nbytes: int) -> None:
         """Account ``nbytes`` written to a target (negative frees space)."""

@@ -5,10 +5,14 @@ Subcommands
 
 ``list``
     Show every registered experiment with its paper reference.
-``run EXP_ID [--reps N] [--seed S] [--out DIR]``
+``run EXP_ID [--reps N] [--seed S] [--out DIR] [--on-error {fail,skip}]
+[--checkpoint PATH] [--resume]``
     Run one experiment (or ``all``), print its figure, optionally
     archive the raw records as CSV — the way the paper publishes its
-    results repository.
+    results repository.  ``--on-error skip`` quarantines raising runs
+    instead of aborting the campaign (summarised on stderr, exit code
+    1); ``--checkpoint``/``--resume`` make long campaigns crash-safe
+    and restartable.
 ``calibration``
     Print the calibrated model parameters and their paper anchors.
 ``placements [--stripe-count K] [--samples N]``
@@ -49,6 +53,24 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--out", type=Path, default=None, help="directory for CSV records")
     run_p.add_argument("--quiet", action="store_true", help="suppress progress lines")
+    run_p.add_argument(
+        "--on-error",
+        choices=["fail", "skip"],
+        default="fail",
+        help="'skip' quarantines raising runs and continues (default: fail fast)",
+    )
+    run_p.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        help="JSON checkpoint file, written periodically (per-experiment suffix "
+        "when running 'all')",
+    )
+    run_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip runs already in the checkpoint (requires --checkpoint)",
+    )
 
     sub.add_parser("calibration", help="print calibrated parameters and anchors")
 
@@ -84,15 +106,34 @@ def _cmd_list() -> int:
     return 0
 
 
+def _checkpoint_path_for(base: Path | None, exp_id: str, multiple: bool) -> Path | None:
+    """Per-experiment checkpoint file when one invocation runs several."""
+    if base is None or not multiple:
+        return base
+    suffix = base.suffix or ".json"
+    return base.with_name(f"{base.stem}.{exp_id}{suffix}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    from .experiments.common import protocol_options
+
+    if args.resume and args.checkpoint is None:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
     ids = [i.exp_id for i in list_experiments()] if args.exp_id == "all" else [args.exp_id]
     progress = None if args.quiet else lambda msg: print(f"  .. {msg}", file=sys.stderr)
+    quarantined = 0
     for exp_id in ids:
         info = get_experiment(exp_id)
         reps = args.reps if args.reps is not None else info.default_repetitions
         kwargs = {"repetitions": reps, "seed": args.seed}
         print(f"== {info.exp_id}: {info.title} ({info.paper_ref}, {reps} reps) ==")
-        output = info.run(progress=progress, **kwargs)
+        with protocol_options(
+            on_error=args.on_error,
+            checkpoint=_checkpoint_path_for(args.checkpoint, exp_id, len(ids) > 1),
+            resume=args.resume,
+        ):
+            output = info.run(progress=progress, **kwargs)
         print(output.figure)
         if output.notes:
             print(f"\nnotes: {output.notes}")
@@ -100,7 +141,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
             path = args.out / f"{exp_id}.csv"
             output.records.write_csv(path)
             print(f"records written to {path}")
+        for failure in output.records.failures:
+            quarantined += 1
+            print(
+                f"quarantined: {failure.spec_key} rep {failure.rep}: "
+                f"{failure.error_type}: {failure.message}",
+                file=sys.stderr,
+            )
         print()
+    if quarantined:
+        print(
+            f"{quarantined} run(s) quarantined; re-run with --resume to retry them",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

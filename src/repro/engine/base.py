@@ -17,10 +17,12 @@ from ..beegfs.filesystem import BeeGFS, BeeGFSDeploymentSpec
 from ..beegfs.meta import FileInode
 from ..calibration.plafrim import Calibration
 from ..errors import ExperimentError
+from ..faults import FaultSchedule, wrap_providers
 from ..netsim.flows import FluidFlow
 from ..netsim.fluid import CapacityProvider, ConstantCapacity, NoiseModel, NoNoise
 from ..netsim.latency import BlockingRequestModel
 from ..rng import SeedTree, stable_hash32
+from ..storage.client_model import RetryPolicy
 from ..storage.san import SanModel
 from ..storage.server import ServerIngestModel, StorageHostSpec, StoragePoolModel
 from ..storage.target import StorageTargetModel
@@ -54,6 +56,24 @@ class EngineOptions:
     # and (0, 1, 2), two stripe-4 apps share all four targets in 1/3
     # of runs and none otherwise — the paper's Section IV-D mixture.
     interleaved_creations: tuple[int, ...] = ()
+    # Fault injection: the schedule drives both the management state at
+    # file creation (choosers see only reachable targets) and the
+    # capacity timeline during the run.  ``retry`` overrides the client
+    # robustness knobs; when None and faults are scheduled, the engines
+    # fall back to the default RetryPolicy.  Both must be left at None
+    # for byte-identical fault-free behaviour.
+    fault_schedule: FaultSchedule | None = None
+    retry: RetryPolicy | None = None
+
+    @property
+    def faults_enabled(self) -> bool:
+        return self.fault_schedule is not None and not self.fault_schedule.is_empty
+
+    def effective_retry(self) -> RetryPolicy | None:
+        """The client retry policy the engines should run with."""
+        if self.retry is not None:
+            return self.retry
+        return RetryPolicy() if self.faults_enabled else None
 
 
 @dataclass
@@ -191,6 +211,13 @@ class EngineBase:
         rep_seeds = self._seeds.child("rep", rep)
         fs = BeeGFS(self.deployment, seed=stable_hash32(self.seed, "fs", rep))
         calib = self.calibration
+        schedule = self.options.fault_schedule
+        if self.options.faults_enabled:
+            # Mark targets unreachable/degraded *before* any file is
+            # created, so the choosers allocate around the failures the
+            # way a live management service would.
+            assert schedule is not None
+            schedule.apply_to_management(fs.management, time=0.0)
 
         providers: dict[str, CapacityProvider] = {}
         switch = self.topology.host(SWITCH_NAME)
@@ -283,6 +310,9 @@ class EngineBase:
             round_trip_latency_s=calib.request_rtt_s,
         )
         noise: NoiseModel = calib.make_noise() if self.options.noise_enabled else NoNoise()
+        if self.options.faults_enabled:
+            assert schedule is not None
+            providers = wrap_providers(providers, schedule)
         return PreparedRun(
             apps=apps,
             fs=fs,

@@ -23,8 +23,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from bisect import bisect_right
+
 from ..errors import ExperimentError, SimulationError
-from ..netsim.fluid import ResourceContext
+from ..netsim.fluid import FlowTraceEvent, ResourceContext
 from ..netsim.maxmin import max_min_rates
 from ..units import MiB
 from ..workload.application import Application
@@ -35,6 +37,7 @@ __all__ = ["DESEngine"]
 
 _TIME_EPS = 1e-12
 _BYTES_EPS = 1e-3
+_RATE_EPS = 1e-9 * float(MiB)  # bytes/s below which a request is stalled
 
 
 @dataclass
@@ -45,6 +48,13 @@ class _Extent:
     resource_idxs: tuple[int, ...]
     target: int
     proc: "_Proc"
+    # Fault-injection state: stall clock and timeout count.
+    stalled_since: float | None = None
+    attempts: int = 0
+
+    @property
+    def request_id(self) -> str:
+        return f"{self.proc.app_id}:r{self.proc.rank}:t{self.target}"
 
 
 @dataclass
@@ -151,6 +161,17 @@ class DESEngine(EngineBase):
                 )
                 proc.outstanding += 1
 
+        def finish_request(proc: _Proc, now: float, seq: int) -> int:
+            """Retire one outstanding chunk request (completed or abandoned)."""
+            proc.outstanding -= 1
+            if proc.outstanding == 0:
+                if proc.next_transfer < len(proc.transfers):
+                    heapq.heappush(arrivals, (now + rtt, seq, proc))
+                    seq += 1
+                else:
+                    proc.finished_at = now
+            return seq
+
         # Arrival heap: (time, seq, proc) for the next transfer of a
         # process.  Two desynchronisation measures prevent an artefact
         # a fully deterministic DES would otherwise produce (every rank
@@ -174,20 +195,32 @@ class DESEngine(EngineBase):
             heapq.heappush(arrivals, (app_start[proc.app_id] + jitter, seq, proc))
             seq += 1
 
+        retry = self.options.effective_retry()
+        bounds = self._breakpoints()
+        retry_heap: list[tuple[float, int, _Extent]] = []
+        trace: list[FlowTraceEvent] = []
+        lost_bytes: dict[str, float] = {}
+        abandoned = 0
+
         active: list[_Extent] = []
         now = arrivals[0][0] if arrivals else 0.0
         segments = 0
         guard = 0
         max_iterations = 10 * self.max_requests + 1000
-        while arrivals or active:
+        while arrivals or active or retry_heap:
             guard += 1
             if guard > max_iterations:  # pragma: no cover - hard safety net
                 raise SimulationError("DES engine exceeded its iteration budget")
             while arrivals and arrivals[0][0] <= now + _TIME_EPS:
                 _, _, proc = heapq.heappop(arrivals)
                 issue(proc, now, active)
+            while retry_heap and retry_heap[0][0] <= now + _TIME_EPS:
+                active.append(heapq.heappop(retry_heap)[2])
             if not active:
-                now = arrivals[0][0]
+                next_times = [arrivals[0][0]] if arrivals else []
+                if retry_heap:
+                    next_times.append(retry_heap[0][0])
+                now = min(next_times)
                 continue
 
             epoch = int(now / epoch_len) if has_epochs else 0
@@ -219,6 +252,15 @@ class DESEngine(EngineBase):
                 ]
             )
             rates = max_min_rates(memberships, capacities) * float(MiB)
+            if retry is not None:
+                # A zero-rate chunk request is making no progress: run
+                # its stall clock; any progress clears it.
+                for ext, rate in zip(active, rates):
+                    if rate <= _RATE_EPS:
+                        if ext.stalled_since is None:
+                            ext.stalled_since = now
+                    else:
+                        ext.stalled_since = None
 
             dt = math.inf
             for ext, rate in zip(active, rates):
@@ -228,8 +270,19 @@ class DESEngine(EngineBase):
                 dt = min(dt, arrivals[0][0] - now)
             if has_epochs:
                 dt = min(dt, (epoch + 1) * epoch_len - now)
+            if bounds:
+                nxt = bisect_right(bounds, now + _TIME_EPS)
+                if nxt < len(bounds):
+                    dt = min(dt, bounds[nxt] - now)
+            if retry_heap:
+                dt = min(dt, retry_heap[0][0] - now)
+            if retry is not None:
+                for ext in active:
+                    if ext.stalled_since is not None:
+                        dt = min(dt, ext.stalled_since + retry.timeout_s - now)
             if not math.isfinite(dt) or dt < 0:
                 raise SimulationError(f"DES engine stalled at t={now}")
+            dt = max(dt, 0.0)
 
             now += dt
             segments += 1
@@ -237,21 +290,60 @@ class DESEngine(EngineBase):
             for ext, rate in zip(active, rates):
                 ext.remaining -= rate * dt
                 if ext.remaining <= _BYTES_EPS:
-                    proc = ext.proc
-                    proc.outstanding -= 1
-                    if proc.outstanding == 0:
-                        if proc.next_transfer < len(proc.transfers):
-                            heapq.heappush(arrivals, (now + rtt, seq, proc))
-                            seq += 1
-                        else:
-                            proc.finished_at = now
+                    seq = finish_request(ext.proc, now, seq)
+                elif (
+                    retry is not None
+                    and ext.stalled_since is not None
+                    and now >= ext.stalled_since + retry.timeout_s - _TIME_EPS
+                ):
+                    # Chunk-request timeout: back off and retry, or drop
+                    # the request's remaining bytes once the budget is
+                    # spent (the run degrades to a partial result).
+                    ext.attempts += 1
+                    ext.stalled_since = None
+                    if ext.attempts > retry.max_retries:
+                        abandoned += 1
+                        app_id = ext.proc.app_id
+                        lost_bytes[app_id] = lost_bytes.get(app_id, 0.0) + ext.remaining
+                        trace.append(FlowTraceEvent(now, ext.request_id, "abandon", ext.attempts))
+                        seq = finish_request(ext.proc, now, seq)
+                    else:
+                        trace.append(FlowTraceEvent(now, ext.request_id, "retry", ext.attempts))
+                        heapq.heappush(retry_heap, (now + retry.backoff_s(ext.attempts), seq, ext))
+                        seq += 1
                 else:
                     still.append(ext)
             active = still
 
-        return self._collect(prepared, procs, segments)
+        return self._collect(
+            prepared,
+            procs,
+            segments,
+            trace=trace,
+            lost_bytes=lost_bytes,
+            retries=sum(1 for e in trace if e.action == "retry"),
+            abandoned=abandoned,
+        )
 
-    def _collect(self, prepared: PreparedRun, procs: list[_Proc], segments: int) -> RunResult:
+    def _breakpoints(self) -> tuple[float, ...]:
+        """Fault transition instants become extra segment boundaries."""
+        if not self.options.faults_enabled:
+            return ()
+        assert self.options.fault_schedule is not None
+        return self.options.fault_schedule.boundaries()
+
+    def _collect(
+        self,
+        prepared: PreparedRun,
+        procs: list[_Proc],
+        segments: int,
+        trace: list[FlowTraceEvent] | None = None,
+        lost_bytes: dict[str, float] | None = None,
+        retries: int = 0,
+        abandoned: int = 0,
+    ) -> RunResult:
+        trace = trace or []
+        lost_bytes = lost_bytes or {}
         servers = [h.host for h in prepared.hosts]
         meta_draw = _metadata_overheads(self.calibration, self.options, prepared)
         results = []
@@ -269,7 +361,7 @@ class DESEngine(EngineBase):
                     app_id=app.app_id,
                     start_time=app.start_time,
                     end_time=float(end) + meta,
-                    volume_bytes=float(app.total_bytes),
+                    volume_bytes=float(app.total_bytes) - lost_bytes.get(app.app_id, 0.0),
                     num_nodes=app.num_nodes,
                     ppn=app.ppn,
                     stripe_count=prepared.app_stripe[app.app_id],
@@ -277,4 +369,11 @@ class DESEngine(EngineBase):
                     placement=tuple(sorted(per_server.values())),
                 )
             )
-        return RunResult(apps=tuple(results), segments=segments, resource_series={})
+        return RunResult(
+            apps=tuple(results),
+            segments=segments,
+            resource_series={},
+            fault_events=tuple(e.to_dict() for e in trace),
+            retries=retries,
+            abandoned_flows=abandoned,
+        )

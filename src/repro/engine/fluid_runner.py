@@ -37,6 +37,7 @@ class FluidEngine(EngineBase):
             noise=prepared.noise,
             latency=prepared.latency,
             cap_iterations=self.options.cap_iterations,
+            retry=self.options.effective_retry(),
         )
         for rid, provider in prepared.providers.items():
             sim.add_resource(rid, provider)
@@ -47,8 +48,19 @@ class FluidEngine(EngineBase):
             if self.options.observe_servers
             else ()
         )
-        fluid_result = sim.run(rng=prepared.seeds.rng("noise"), observe=observe)
+        fluid_result = sim.run(
+            rng=prepared.seeds.rng("noise"),
+            observe=observe,
+            breakpoints=self._breakpoints(),
+        )
         return self._collect(prepared, fluid_result)
+
+    def _breakpoints(self) -> tuple[float, ...]:
+        """Fault transition instants become extra segment boundaries."""
+        if not self.options.faults_enabled:
+            return ()
+        assert self.options.fault_schedule is not None
+        return self.options.fault_schedule.boundaries()
 
     def explain(self, apps: list[Application] | tuple[Application, ...], rep: int = 0):
         """Run one repetition with constraint tracking.
@@ -64,11 +76,14 @@ class FluidEngine(EngineBase):
             noise=prepared.noise,
             latency=prepared.latency,
             cap_iterations=self.options.cap_iterations,
+            retry=self.options.effective_retry(),
         )
         for rid, provider in prepared.providers.items():
             sim.add_resource(rid, provider)
         sim.add_flows(prepared.flows)
-        fluid_result = sim.run(rng=prepared.seeds.rng("noise"), detail=True)
+        fluid_result = sim.run(
+            rng=prepared.seeds.rng("noise"), detail=True, breakpoints=self._breakpoints()
+        )
         report = attribute_bottlenecks(fluid_result.segment_details)
         return self._collect(prepared, fluid_result), report
 
@@ -89,7 +104,7 @@ class FluidEngine(EngineBase):
                     app_id=app.app_id,
                     start_time=start,
                     end_time=end + meta,
-                    volume_bytes=fluid_result.total_volume(stats),
+                    volume_bytes=fluid_result.total_delivered(stats),
                     num_nodes=app.num_nodes,
                     ppn=app.ppn,
                     stripe_count=prepared.app_stripe[app.app_id],
@@ -101,4 +116,7 @@ class FluidEngine(EngineBase):
             apps=tuple(app_results),
             segments=fluid_result.segments,
             resource_series=fluid_result.resource_series,
+            fault_events=tuple(e.to_dict() for e in fluid_result.trace),
+            retries=sum(s.retries for s in fluid_result.stats),
+            abandoned_flows=sum(1 for s in fluid_result.stats if s.abandoned),
         )

@@ -12,7 +12,7 @@ own span — the two quantities Figure 12 compares.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Any, Mapping
 
 from ..errors import AnalysisError
 from ..simcore.monitor import TimeSeries
@@ -73,11 +73,28 @@ def aggregate_bandwidth(apps: list[ApplicationResult] | tuple[ApplicationResult,
 
 @dataclass(frozen=True)
 class RunResult:
-    """Everything one engine run produced."""
+    """Everything one engine run produced.
+
+    Under fault injection a run may degrade instead of crashing:
+    ``fault_events`` is the client's timeout/retry/abandon trace (dicts
+    from :class:`~repro.netsim.fluid.FlowTraceEvent`), ``retries``
+    counts the chunk-request timeouts suffered, and ``abandoned_flows``
+    the flows the client gave up on (their undelivered bytes are
+    excluded from the apps' ``volume_bytes``).  All three stay at their
+    zero defaults in fault-free runs.
+    """
 
     apps: tuple[ApplicationResult, ...]
     segments: int
     resource_series: Mapping[str, TimeSeries] = field(default_factory=dict)
+    fault_events: tuple[Mapping[str, Any], ...] = ()
+    retries: int = 0
+    abandoned_flows: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """True when every flow delivered its full volume."""
+        return self.abandoned_flows == 0
 
     def __post_init__(self) -> None:
         if not self.apps:

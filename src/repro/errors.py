@@ -24,8 +24,11 @@ __all__ = [
     "IsADirectoryBeeGFSError",
     "StripingError",
     "TargetChooserError",
+    "InsufficientTargetsError",
     "WorkloadError",
+    "FaultError",
     "ExperimentError",
+    "CheckpointError",
     "AnalysisError",
 ]
 
@@ -73,6 +76,12 @@ class BeeGFSError(ReproError):
 class NoSuchEntityError(BeeGFSError, KeyError):
     """A path, target or server id does not exist (ENOENT-like)."""
 
+    def __str__(self) -> str:
+        # KeyError.__str__ renders the repr of its argument (useful for
+        # ``d[key]`` tracebacks, noise for prose messages): bypass it so
+        # ``str(exc)`` shows the message exactly as raised.
+        return Exception.__str__(self)
+
 
 class EntityExistsError(BeeGFSError, FileExistsError):
     """Attempt to create an entity that already exists (EEXIST-like)."""
@@ -94,12 +103,38 @@ class TargetChooserError(BeeGFSError, ValueError):
     """A target chooser cannot satisfy the request (e.g. too few targets)."""
 
 
+class InsufficientTargetsError(TargetChooserError):
+    """The eligible (online) target pool is smaller than the stripe count.
+
+    Carries the shortfall so degraded-mode callers can decide between
+    clamping, failing the creation, or waiting for recovery.
+    """
+
+    def __init__(self, requested: int, available: int, pool_ids: tuple[int, ...] = ()):
+        self.requested = int(requested)
+        self.available = int(available)
+        self.pool_ids = tuple(pool_ids)
+        detail = f": eligible {sorted(self.pool_ids)}" if self.pool_ids else ""
+        super().__init__(
+            f"stripe count {self.requested} exceeds the eligible target pool "
+            f"({self.available} available{detail})"
+        )
+
+
 class WorkloadError(ReproError, ValueError):
     """An I/O workload description is invalid."""
 
 
+class FaultError(ReproError, ValueError):
+    """A fault schedule or fault-injection request is invalid."""
+
+
 class ExperimentError(ReproError, RuntimeError):
     """An experiment plan or execution failed."""
+
+
+class CheckpointError(ExperimentError):
+    """A campaign checkpoint could not be written or read."""
 
 
 class AnalysisError(ReproError, ValueError):

@@ -13,13 +13,14 @@ Default repetition counts are the paper's 100; tests and benchmarks
 pass reduced counts.
 """
 
-from .common import ExperimentOutput, StandardExecutor, run_specs
+from .common import ExperimentOutput, StandardExecutor, protocol_options, run_specs
 from .registry import EXPERIMENTS, ExperimentInfo, get_experiment, list_experiments
 
 __all__ = [
     "ExperimentOutput",
     "StandardExecutor",
     "run_specs",
+    "protocol_options",
     "EXPERIMENTS",
     "ExperimentInfo",
     "get_experiment",

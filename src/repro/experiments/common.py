@@ -25,8 +25,10 @@ key so a 100-repetition protocol pays construction once.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from ..calibration.plafrim import Calibration, scenario_by_name
 from ..engine.base import EngineOptions
@@ -43,7 +45,13 @@ from ..workload.application import Application
 from ..workload.generator import concurrent_applications, single_application
 from ..workload.patterns import AccessPattern
 
-__all__ = ["ExperimentOutput", "StandardExecutor", "run_specs", "AppsBuilder"]
+__all__ = [
+    "ExperimentOutput",
+    "StandardExecutor",
+    "run_specs",
+    "protocol_options",
+    "AppsBuilder",
+]
 
 AppsBuilder = Callable[[Topology, Mapping[str, Any]], list[Application]]
 
@@ -155,6 +163,40 @@ class StandardExecutor:
         return engine.run(apps, rep=rep)
 
 
+# Campaign-resilience knobs for every run_specs() call in the active
+# context.  The CLI sets these via protocol_options() so experiment
+# modules need no per-module plumbing for --on-error / --checkpoint.
+_RUNNER_OVERRIDES: dict[str, Any] = {}
+
+
+@contextmanager
+def protocol_options(
+    on_error: str | None = None,
+    checkpoint: str | Path | None = None,
+    resume: bool | None = None,
+    checkpoint_every: int | None = None,
+) -> Iterator[None]:
+    """Override the runner policy of every ``run_specs`` call inside.
+
+    Only the arguments given (non-``None``) are overridden; nesting
+    restores the previous overrides on exit.
+    """
+    previous = dict(_RUNNER_OVERRIDES)
+    for name, value in (
+        ("on_error", on_error),
+        ("checkpoint", checkpoint),
+        ("resume", resume),
+        ("checkpoint_every", checkpoint_every),
+    ):
+        if value is not None:
+            _RUNNER_OVERRIDES[name] = value
+    try:
+        yield
+    finally:
+        _RUNNER_OVERRIDES.clear()
+        _RUNNER_OVERRIDES.update(previous)
+
+
 def run_specs(
     specs: Sequence[ExperimentSpec],
     repetitions: int = 100,
@@ -163,8 +205,21 @@ def run_specs(
     apps_builder: AppsBuilder | None = None,
     max_nodes: int = 32,
     progress: Callable[[str], None] | None = None,
+    on_error: str = "fail",
+    checkpoint: str | Path | None = None,
+    resume: bool = False,
+    checkpoint_every: int = 10,
 ) -> RecordStore:
-    """Run a sweep under the paper's protocol and return the records."""
+    """Run a sweep under the paper's protocol and return the records.
+
+    ``on_error``/``checkpoint``/``resume``/``checkpoint_every`` configure
+    the :class:`~repro.methodology.runner.ProtocolRunner`'s resilience;
+    an enclosing :func:`protocol_options` context overrides them.
+    """
+    on_error = _RUNNER_OVERRIDES.get("on_error", on_error)
+    checkpoint = _RUNNER_OVERRIDES.get("checkpoint", checkpoint)
+    resume = _RUNNER_OVERRIDES.get("resume", resume)
+    checkpoint_every = _RUNNER_OVERRIDES.get("checkpoint_every", checkpoint_every)
     protocol = ProtocolConfig(
         repetitions=repetitions,
         block_size=min(10, max(1, repetitions)),
@@ -178,4 +233,12 @@ def run_specs(
         max_nodes=max_nodes,
         apps_builder=apps_builder if apps_builder is not None else default_apps_builder,
     )
-    return ProtocolRunner(executor).run(plan, progress=progress)
+    runner = ProtocolRunner(
+        executor,
+        on_error=on_error,
+        checkpoint_path=checkpoint,
+        checkpoint_every=checkpoint_every,
+    )
+    if resume and checkpoint is not None:
+        return runner.resume(plan, progress=progress)
+    return runner.run(plan, progress=progress)

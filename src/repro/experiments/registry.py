@@ -67,4 +67,5 @@ def _ensure_loaded() -> None:
         exp_chunksize,
         exp_interference,
         exp_lessons,
+        exp_faults,
     )

@@ -1,0 +1,32 @@
+"""Fault injection and degraded-mode operation.
+
+Declarative, seeded fault schedules (target/server outages, limping
+targets, degraded links) consumed by the engines as capacity-timeline
+events and by the management service as target reachability states —
+the machinery behind the reproduction's robustness experiments: what
+happens to allocation balance and bandwidth when targets die
+mid-campaign?
+"""
+
+from .schedule import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    degraded_link,
+    degraded_target,
+    server_outage,
+    target_outage,
+)
+from .inject import FaultyCapacity, wrap_providers
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultSchedule",
+    "target_outage",
+    "degraded_target",
+    "server_outage",
+    "degraded_link",
+    "FaultyCapacity",
+    "wrap_providers",
+]

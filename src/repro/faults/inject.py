@@ -1,0 +1,58 @@
+"""Injecting a fault schedule into the capacity layer.
+
+:class:`FaultyCapacity` wraps any capacity provider and scales its
+output by the schedule's combined multiplier for that resource at the
+segment's evaluation time.  Because the engines evaluate capacities at
+the *start* of each piecewise-constant segment and the schedule's
+:meth:`~repro.faults.FaultSchedule.boundaries` are added to the segment
+breakpoints, the product is exact: no fault transition is ever averaged
+into a segment.
+
+The wrapper is only installed for resources the schedule actually
+affects, so an empty schedule leaves the capacity graph — and therefore
+every simulated byte — untouched.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from ..netsim.fluid import CapacityProvider, ResourceContext
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .schedule import FaultSchedule
+
+__all__ = ["FaultyCapacity", "wrap_providers"]
+
+
+class FaultyCapacity:
+    """A capacity provider throttled by a fault schedule."""
+
+    def __init__(self, inner: CapacityProvider, schedule: "FaultSchedule", resource_id: str):
+        self.inner = inner
+        self.schedule = schedule
+        self.resource_id = resource_id
+
+    @property
+    def distinct_tag(self) -> object:
+        # Concurrency ramps count distinct *underlying* components, so the
+        # wrapper must be transparent to tag-based grouping.
+        return getattr(self.inner, "distinct_tag", None)
+
+    def capacity(self, ctx: ResourceContext) -> float:
+        return self.inner.capacity(ctx) * self.schedule.multiplier(self.resource_id, ctx.time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultyCapacity({self.inner!r}, resource={self.resource_id!r})"
+
+
+def wrap_providers(
+    providers: Mapping[str, CapacityProvider], schedule: "FaultSchedule"
+) -> dict[str, CapacityProvider]:
+    """Wrap exactly the providers the schedule affects; share the rest."""
+    if schedule.is_empty:
+        return dict(providers)
+    return {
+        rid: FaultyCapacity(provider, schedule, rid) if schedule.affects(rid) else provider
+        for rid, provider in providers.items()
+    }

@@ -1,0 +1,307 @@
+"""Declarative fault schedules: who fails, when, and how badly.
+
+A :class:`FaultSchedule` is a set of :class:`FaultEvent` windows —
+target/server outages, degraded ("limping") targets with a capacity
+multiplier, and link degradation or flapping — known up front, exactly
+like the injection plans of fault-tolerance experiments.  Engines
+consume a schedule two ways:
+
+* as a **capacity timeline**: every affected resource's capacity is
+  multiplied by the product of its active events' multipliers, and the
+  event boundaries become extra piecewise-constant segment breakpoints
+  (the same machinery that handles flow arrivals and noise epochs);
+* as **management state**: :meth:`FaultSchedule.apply_to_management`
+  marks targets ONLINE/DEGRADED/OFFLINE at a point in time, so the
+  choosers allocate around failures (BeeGFS's reachability states).
+
+Schedules are plain data: seeded builders (:meth:`random_target_outages`,
+:meth:`flapping_link`) draw starts and durations from distributions
+through the package's named seed tree, so campaigns are reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from ..errors import FaultError
+from ..rng import SeedTree
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..beegfs.management import ManagementService
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultSchedule",
+    "target_outage",
+    "degraded_target",
+    "server_outage",
+    "degraded_link",
+]
+
+
+class FaultKind(enum.Enum):
+    """What kind of component failure an event models."""
+
+    TARGET_OFFLINE = "target-offline"
+    TARGET_DEGRADED = "target-degraded"
+    SERVER_OFFLINE = "server-offline"
+    LINK_DEGRADED = "link-degraded"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault window: a component, a start, a duration, a severity.
+
+    ``multiplier`` scales the affected resources' capacity while the
+    event is active: 0 for a hard outage, between 0 and 1 for a limping
+    component.  ``duration_s`` may be ``math.inf`` for a permanent
+    failure.  Windows are half-open: active for ``start_s <= t < end_s``.
+    """
+
+    kind: FaultKind
+    start_s: float
+    duration_s: float
+    target_id: int | None = None
+    server: str | None = None
+    resource_id: str | None = None
+    multiplier: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise FaultError(f"fault starts before t=0: {self.start_s}")
+        if self.duration_s <= 0:
+            raise FaultError(f"fault duration must be positive, got {self.duration_s}")
+        if not 0.0 <= self.multiplier <= 1.0:
+            raise FaultError(f"capacity multiplier must be in [0, 1], got {self.multiplier}")
+        if self.kind in (FaultKind.TARGET_OFFLINE, FaultKind.TARGET_DEGRADED):
+            if self.target_id is None:
+                raise FaultError(f"{self.kind.value} event needs a target_id")
+        elif self.kind is FaultKind.SERVER_OFFLINE:
+            if self.server is None:
+                raise FaultError("server-offline event needs a server name")
+        elif self.kind is FaultKind.LINK_DEGRADED:
+            if self.resource_id is None:
+                raise FaultError("link-degraded event needs a resource_id")
+        if self.kind in (FaultKind.TARGET_OFFLINE, FaultKind.SERVER_OFFLINE):
+            if self.multiplier != 0.0:
+                raise FaultError("hard outages have multiplier 0")
+        elif self.multiplier == 0.0:
+            raise FaultError(f"{self.kind.value} event needs a multiplier in (0, 1)")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def active_at(self, time: float) -> bool:
+        return self.start_s <= time < self.end_s
+
+    @property
+    def resources(self) -> tuple[str, ...]:
+        """Capacity-provider resource ids this event throttles."""
+        if self.kind in (FaultKind.TARGET_OFFLINE, FaultKind.TARGET_DEGRADED):
+            return (f"ost:{self.target_id}",)
+        if self.kind is FaultKind.SERVER_OFFLINE:
+            return (f"ingest:{self.server}", f"pool:{self.server}")
+        return (str(self.resource_id),)
+
+    def describe(self) -> str:
+        component = (
+            f"target {self.target_id}"
+            if self.target_id is not None
+            else (f"server {self.server}" if self.server is not None else str(self.resource_id))
+        )
+        window = "permanently" if math.isinf(self.duration_s) else f"for {self.duration_s:g}s"
+        return f"{self.kind.value} of {component} at t={self.start_s:g}s {window}"
+
+
+def target_outage(target_id: int, start_s: float, duration_s: float = math.inf) -> FaultEvent:
+    """A storage target becomes unreachable (Offline)."""
+    return FaultEvent(FaultKind.TARGET_OFFLINE, start_s, duration_s, target_id=target_id)
+
+
+def degraded_target(
+    target_id: int, start_s: float, duration_s: float, multiplier: float
+) -> FaultEvent:
+    """A limping target: still reachable, at a fraction of its rate."""
+    return FaultEvent(
+        FaultKind.TARGET_DEGRADED, start_s, duration_s, target_id=target_id, multiplier=multiplier
+    )
+
+
+def server_outage(server: str, start_s: float, duration_s: float = math.inf) -> FaultEvent:
+    """A whole storage server (ingest + pool) becomes unreachable."""
+    return FaultEvent(FaultKind.SERVER_OFFLINE, start_s, duration_s, server=server)
+
+
+def degraded_link(
+    resource_id: str, start_s: float, duration_s: float, multiplier: float
+) -> FaultEvent:
+    """A network link runs at a fraction of its capacity."""
+    return FaultEvent(
+        FaultKind.LINK_DEGRADED, start_s, duration_s, resource_id=resource_id, multiplier=multiplier
+    )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable collection of fault windows with timeline queries."""
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        object.__setattr__(self, "events", tuple(events))
+        by_resource: dict[str, list[FaultEvent]] = {}
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise FaultError(f"not a FaultEvent: {event!r}")
+            for rid in event.resources:
+                by_resource.setdefault(rid, []).append(event)
+        object.__setattr__(self, "_by_resource", by_resource)
+
+    _by_resource: dict[str, list[FaultEvent]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    # -- basic queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    def affects(self, resource_id: str) -> bool:
+        return resource_id in self._by_resource
+
+    def events_for(self, resource_id: str) -> tuple[FaultEvent, ...]:
+        return tuple(self._by_resource.get(resource_id, ()))
+
+    # -- the capacity timeline ---------------------------------------------------
+
+    def multiplier(self, resource_id: str, time: float) -> float:
+        """Combined capacity multiplier of a resource at a point in time."""
+        out = 1.0
+        for event in self._by_resource.get(resource_id, ()):
+            if event.active_at(time):
+                out *= event.multiplier
+        return out
+
+    def boundaries(self) -> tuple[float, ...]:
+        """Every finite instant at which some capacity changes, sorted.
+
+        These are the extra segment breakpoints the piecewise-constant
+        engines integrate across, so a capacity is never averaged over
+        a fault transition.
+        """
+        times = set()
+        for event in self.events:
+            times.add(event.start_s)
+            if math.isfinite(event.end_s):
+                times.add(event.end_s)
+        return tuple(sorted(times))
+
+    # -- the management view ------------------------------------------------------
+
+    def offline_target_ids(self, management: "ManagementService", time: float) -> set[int]:
+        """Targets unreachable at ``time`` (direct or via their server)."""
+        out: set[int] = set()
+        for event in self.events:
+            if not event.active_at(time):
+                continue
+            if event.kind is FaultKind.TARGET_OFFLINE:
+                out.add(int(event.target_id))  # type: ignore[arg-type]
+            elif event.kind is FaultKind.SERVER_OFFLINE:
+                out.update(t.target_id for t in management.targets(server=event.server))
+        return out
+
+    def degraded_target_ids(self, time: float) -> set[int]:
+        return {
+            int(e.target_id)  # type: ignore[arg-type]
+            for e in self.events
+            if e.kind is FaultKind.TARGET_DEGRADED and e.active_at(time)
+        }
+
+    def apply_to_management(self, management: "ManagementService", time: float = 0.0) -> None:
+        """Set every target's reachability state as of ``time``.
+
+        Resets all targets to ONLINE first, then applies the active
+        events, so the same schedule can be replayed at any instant
+        (recovery included).  Unknown targets or servers raise
+        :class:`~repro.errors.NoSuchEntityError` — a schedule must match
+        its deployment.
+        """
+        from ..beegfs.management import TargetState
+
+        for info in management.targets():
+            info.state = TargetState.ONLINE
+        for tid in self.degraded_target_ids(time):
+            management.set_state(tid, TargetState.DEGRADED)
+        for tid in self.offline_target_ids(management, time):
+            management.set_state(tid, TargetState.OFFLINE)
+
+    # -- seeded builders ----------------------------------------------------------
+
+    @classmethod
+    def random_target_outages(
+        cls,
+        target_ids: Sequence[int],
+        *,
+        horizon_s: float,
+        mtbf_s: float,
+        mttr_s: float,
+        seed: int = 0,
+    ) -> "FaultSchedule":
+        """Exponential failure/repair processes per target, seeded.
+
+        Each target alternates up (mean ``mtbf_s``) and down (mean
+        ``mttr_s``) exponentially-distributed intervals over
+        ``[0, horizon_s)`` — the classic renewal model of long, noisy
+        measurement campaigns.
+        """
+        if horizon_s <= 0 or mtbf_s <= 0 or mttr_s <= 0:
+            raise FaultError("horizon, MTBF and MTTR must be positive")
+        rng = SeedTree(seed).rng("fault-schedule")
+        events = []
+        for tid in target_ids:
+            t = float(rng.exponential(mtbf_s))
+            while t < horizon_s:
+                duration = max(float(rng.exponential(mttr_s)), 1e-6)
+                events.append(target_outage(int(tid), t, duration))
+                t += duration + float(rng.exponential(mtbf_s))
+        return cls(events)
+
+    @classmethod
+    def flapping_link(
+        cls,
+        resource_id: str,
+        *,
+        horizon_s: float,
+        period_s: float,
+        down_fraction: float,
+        multiplier: float,
+        start_s: float = 0.0,
+    ) -> "FaultSchedule":
+        """A periodically degrading link: down ``down_fraction`` of each period."""
+        if horizon_s <= 0 or period_s <= 0:
+            raise FaultError("horizon and period must be positive")
+        if not 0.0 < down_fraction < 1.0:
+            raise FaultError("down_fraction must be in (0, 1)")
+        events = []
+        t = start_s
+        while t < horizon_s:
+            events.append(degraded_link(resource_id, t, down_fraction * period_s, multiplier))
+            t += period_s
+        return cls(events)
+
+    def describe(self) -> str:
+        if self.is_empty:
+            return "no faults"
+        return "; ".join(e.describe() for e in self.events)

@@ -14,7 +14,7 @@ every analysis and figure.
 
 from .plan import ExperimentSpec, PlannedRun, ExperimentPlan
 from .protocol import ProtocolConfig
-from .records import RunRecord, RecordStore
+from .records import FailedRunRecord, RunRecord, RecordStore
 from .runner import ProtocolRunner
 
 __all__ = [
@@ -23,6 +23,7 @@ __all__ = [
     "ExperimentPlan",
     "ProtocolConfig",
     "RunRecord",
+    "FailedRunRecord",
     "RecordStore",
     "ProtocolRunner",
 ]

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import csv
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterator, Mapping
@@ -19,9 +21,15 @@ from typing import Any, Callable, Iterator, Mapping
 import numpy as np
 
 from ..engine.result import RunResult
-from ..errors import ExperimentError
+from ..errors import CheckpointError, ExperimentError
 
-__all__ = ["RunRecord", "RecordStore"]
+__all__ = ["RunRecord", "FailedRunRecord", "RecordStore"]
+
+
+def _spec_key(exp_id: str, scenario: str, factors: Mapping[str, Any]) -> str:
+    # Must match ExperimentSpec.key exactly: resume matching is by key.
+    parts = [f"{k}={factors[k]}" for k in sorted(factors)]
+    return f"{exp_id}[{scenario}]({','.join(parts)})"
 
 
 @dataclass(frozen=True)
@@ -36,6 +44,18 @@ class RunRecord:
     apps: tuple[Mapping[str, Any], ...]  # per-app dicts (see from_run_result)
     wall_clock_s: float = 0.0
     block: int = -1
+    # Fault-injection trace: chunk-request timeouts suffered, whether
+    # every flow delivered its full volume, and the engine's
+    # timeout/retry/abandon events.  Defaults describe a fault-free run
+    # (and let pre-fault-tracking CSV files load unchanged).
+    retries: int = 0
+    complete: bool = True
+    fault_events: tuple[Mapping[str, Any], ...] = ()
+
+    @property
+    def spec_key(self) -> str:
+        """The owning ExperimentSpec's key (resume matching)."""
+        return _spec_key(self.exp_id, self.scenario, self.factors)
 
     @classmethod
     def from_run_result(
@@ -50,16 +70,18 @@ class RunRecord:
     ) -> "RunRecord":
         apps = tuple(
             {
+                # float()/int() casts keep numpy scalars out of the rows
+                # (their repr does not round-trip through CSV/JSON).
                 "app_id": a.app_id,
-                "bw_mib_s": a.bandwidth_mib_s,
-                "start_s": a.start_time,
-                "end_s": a.end_time,
-                "volume_bytes": a.volume_bytes,
-                "num_nodes": a.num_nodes,
-                "ppn": a.ppn,
-                "stripe_count": a.stripe_count,
-                "targets": a.targets,
-                "placement": a.placement,
+                "bw_mib_s": float(a.bandwidth_mib_s),
+                "start_s": float(a.start_time),
+                "end_s": float(a.end_time),
+                "volume_bytes": float(a.volume_bytes),
+                "num_nodes": int(a.num_nodes),
+                "ppn": int(a.ppn),
+                "stripe_count": int(a.stripe_count),
+                "targets": tuple(int(t) for t in a.targets),
+                "placement": tuple(int(p) for p in a.placement),
             }
             for a in result.apps
         )
@@ -68,10 +90,13 @@ class RunRecord:
             scenario=scenario,
             rep=rep,
             factors=dict(factors),
-            aggregate_bw_mib_s=result.aggregate_bandwidth_mib_s,
+            aggregate_bw_mib_s=float(result.aggregate_bandwidth_mib_s),
             apps=apps,
-            wall_clock_s=wall_clock_s,
+            wall_clock_s=float(wall_clock_s),
             block=block,
+            retries=result.retries,
+            complete=result.complete,
+            fault_events=result.fault_events,
         )
 
     # -- convenience ------------------------------------------------------------
@@ -113,6 +138,9 @@ class RunRecord:
             "apps": json.dumps([dict(a) for a in self.apps]),
             "wall_clock_s": repr(self.wall_clock_s),
             "block": str(self.block),
+            "retries": str(self.retries),
+            "complete": str(int(self.complete)),
+            "fault_events": json.dumps([dict(e) for e in self.fault_events]),
         }
 
     @classmethod
@@ -130,6 +158,58 @@ class RunRecord:
             apps=apps,
             wall_clock_s=float(row["wall_clock_s"]),
             block=int(row["block"]),
+            # ``get`` defaults keep files written before fault tracking loadable.
+            retries=int(row.get("retries") or 0),
+            complete=bool(int(row.get("complete") or 1)),
+            fault_events=tuple(json.loads(row.get("fault_events") or "[]")),
+        )
+
+
+@dataclass(frozen=True)
+class FailedRunRecord:
+    """A quarantined run: the executor raised instead of returning.
+
+    Keeps the campaign's failure context (what, when, why) next to the
+    successful records, so a long protocol survives partial failures
+    and the analysis can see exactly what is missing.
+    """
+
+    exp_id: str
+    scenario: str
+    rep: int
+    factors: Mapping[str, Any]
+    error_type: str
+    message: str
+    wall_clock_s: float = 0.0
+    block: int = -1
+
+    @property
+    def spec_key(self) -> str:
+        return _spec_key(self.exp_id, self.scenario, self.factors)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "exp_id": self.exp_id,
+            "scenario": self.scenario,
+            "rep": self.rep,
+            "factors": dict(self.factors),
+            "error_type": self.error_type,
+            "message": self.message,
+            "wall_clock_s": self.wall_clock_s,
+            "block": self.block,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FailedRunRecord":
+        return cls(
+            exp_id=data["exp_id"],
+            scenario=data["scenario"],
+            rep=int(data["rep"]),
+            factors=dict(data["factors"]),
+            error_type=data["error_type"],
+            message=data["message"],
+            wall_clock_s=float(data.get("wall_clock_s", 0.0)),
+            block=int(data.get("block", -1)),
         )
 
 
@@ -142,14 +222,51 @@ _CSV_FIELDS = [
     "apps",
     "wall_clock_s",
     "block",
+    "retries",
+    "complete",
+    "fault_events",
 ]
 
 
-class RecordStore:
-    """An in-memory collection of run records with query helpers."""
+def _atomic_write(path: Path, write_body: Callable[[Any], None]) -> None:
+    """Write a file via a same-directory temp file + ``os.replace``.
 
-    def __init__(self, records: list[RunRecord] | None = None):
+    An interrupted run can therefore never leave a truncated results
+    file: readers see either the previous complete version or the new
+    complete version, nothing in between.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", newline="") as fh:
+            write_body(fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class RecordStore:
+    """An in-memory collection of run records with query helpers.
+
+    Besides the successful :class:`RunRecord` rows it carries the
+    campaign's quarantined failures (:class:`FailedRunRecord`), so a
+    checkpoint holds the full execution state of an interrupted
+    protocol.
+    """
+
+    def __init__(
+        self,
+        records: list[RunRecord] | None = None,
+        failures: list[FailedRunRecord] | None = None,
+    ):
         self._records: list[RunRecord] = list(records or [])
+        self.failures: list[FailedRunRecord] = list(failures or [])
 
     def __len__(self) -> int:
         return len(self._records)
@@ -161,7 +278,18 @@ class RecordStore:
         self._records.append(record)
 
     def extend(self, records: "RecordStore | list[RunRecord]") -> None:
+        if isinstance(records, RecordStore):
+            self.failures.extend(records.failures)
         self._records.extend(records)
+
+    def completed_keys(self) -> set[tuple[str, int]]:
+        """The (spec key, rep) pairs already recorded (resume skips them)."""
+        return {(r.spec_key, r.rep) for r in self._records}
+
+    def max_wall_clock_s(self) -> float:
+        """Latest simulated wall clock of any record (0 when empty)."""
+        clocks = [r.wall_clock_s for r in self._records] + [f.wall_clock_s for f in self.failures]
+        return max(clocks, default=0.0)
 
     # -- queries --------------------------------------------------------------
 
@@ -213,13 +341,15 @@ class RecordStore:
     # -- persistence -----------------------------------------------------------
 
     def write_csv(self, path: str | Path) -> None:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("w", newline="") as fh:
+        """Archive the successful records as CSV, crash-safely."""
+
+        def body(fh: Any) -> None:
             writer = csv.DictWriter(fh, fieldnames=_CSV_FIELDS)
             writer.writeheader()
             for record in self._records:
                 writer.writerow(record.to_row())
+
+        _atomic_write(Path(path), body)
 
     @classmethod
     def read_csv(cls, path: str | Path) -> "RecordStore":
@@ -228,3 +358,26 @@ class RecordStore:
             for row in csv.DictReader(fh):
                 store.append(RunRecord.from_row(row))
         return store
+
+    def write_json(self, path: str | Path) -> None:
+        """Checkpoint the full store (records AND failures), crash-safely."""
+        payload = {
+            "records": [r.to_row() for r in self._records],
+            "failures": [f.to_dict() for f in self.failures],
+        }
+        _atomic_write(Path(path), lambda fh: json.dump(payload, fh))
+
+    @classmethod
+    def read_json(cls, path: str | Path) -> "RecordStore":
+        try:
+            with Path(path).open() as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+        try:
+            return cls(
+                records=[RunRecord.from_row(row) for row in payload["records"]],
+                failures=[FailedRunRecord.from_dict(f) for f in payload["failures"]],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(f"malformed checkpoint {path}: {exc}") from exc

@@ -1,4 +1,4 @@
-"""Protocol runner: executes a plan block by block.
+"""Protocol runner: executes a plan block by block, resiliently.
 
 The runner walks an :class:`~repro.methodology.plan.ExperimentPlan` in
 its (shuffled) block order, maintains a simulated wall clock (run
@@ -14,36 +14,121 @@ The repetition index fully determines the run's randomness (engines
 seed their file system, chooser and noise from it), so records are
 reproducible irrespective of block order — yet the protocol order and
 waits are recorded, as the paper archives them.
+
+Long campaigns on production systems fail partially: a run raises, a
+node dies, the job hits its time limit.  The runner therefore supports
+
+* ``on_error="skip"``: a raising run is quarantined as a
+  :class:`~repro.methodology.records.FailedRunRecord` and the campaign
+  continues (``"fail"``, the default, re-raises after checkpointing);
+* periodic crash-safe checkpoints of the full store to
+  ``checkpoint_path`` (JSON, atomic replace);
+* :meth:`resume`, which loads the checkpoint and re-executes only the
+  (spec, rep) pairs that have no successful record yet — quarantined
+  failures are retried.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable
 
 from ..engine.result import RunResult
 from ..errors import ExperimentError
 from .plan import ExperimentPlan, ExperimentSpec
-from .records import RecordStore, RunRecord
+from .records import FailedRunRecord, RecordStore, RunRecord
 
 __all__ = ["ProtocolRunner"]
 
 Executor = Callable[[ExperimentSpec, int], RunResult]
 
+_ON_ERROR_POLICIES = ("fail", "skip")
+
 
 class ProtocolRunner:
-    """Walks a plan and collects records."""
+    """Walks a plan and collects records, surviving partial failures."""
 
-    def __init__(self, executor: Executor):
+    def __init__(
+        self,
+        executor: Executor,
+        on_error: str = "fail",
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 10,
+    ):
+        if on_error not in _ON_ERROR_POLICIES:
+            raise ExperimentError(
+                f"on_error must be one of {_ON_ERROR_POLICIES}, got {on_error!r}"
+            )
+        if checkpoint_every < 1:
+            raise ExperimentError("checkpoint_every must be >= 1")
         self.executor = executor
+        self.on_error = on_error
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path is not None else None
+        self.checkpoint_every = checkpoint_every
 
-    def run(self, plan: ExperimentPlan, progress: Callable[[str], None] | None = None) -> RecordStore:
+    # -- checkpointing -----------------------------------------------------------
+
+    def _checkpoint(self, store: RecordStore) -> None:
+        if self.checkpoint_path is not None:
+            store.write_json(self.checkpoint_path)
+
+    def resume(self, plan: ExperimentPlan, progress: Callable[[str], None] | None = None) -> RecordStore:
+        """Continue an interrupted campaign from its checkpoint.
+
+        Already-recorded (spec, rep) pairs are skipped; quarantined
+        failures are dropped from the store and re-executed (they get a
+        second chance under the current ``on_error`` policy).  Without a
+        checkpoint file the campaign simply starts from scratch.
+        """
+        if self.checkpoint_path is None:
+            raise ExperimentError("resume() needs a checkpoint_path")
+        if self.checkpoint_path.exists():
+            store = RecordStore.read_json(self.checkpoint_path)
+            store.failures.clear()
+        else:
+            store = RecordStore()
+        return self.run(plan, progress=progress, resume_from=store)
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(
+        self,
+        plan: ExperimentPlan,
+        progress: Callable[[str], None] | None = None,
+        resume_from: RecordStore | None = None,
+    ) -> RecordStore:
         """Execute every planned run in protocol order."""
-        store = RecordStore()
-        wall_clock = 0.0
+        store = resume_from if resume_from is not None else RecordStore()
+        done = store.completed_keys()
+        wall_clock = store.max_wall_clock_s()
+        executed_since_checkpoint = 0
         for block_index, (block, wait) in enumerate(zip(plan.blocks, plan.waits_s)):
+            block_ran = False
             for planned in block:
-                result = self.executor(planned.spec, planned.rep)
+                if (planned.spec.key, planned.rep) in done:
+                    continue
+                block_ran = True
+                try:
+                    result = self.executor(planned.spec, planned.rep)
+                except Exception as exc:
+                    if self.on_error == "fail":
+                        self._checkpoint(store)
+                        raise
+                    store.failures.append(
+                        FailedRunRecord(
+                            exp_id=planned.spec.exp_id,
+                            scenario=planned.spec.scenario,
+                            rep=planned.rep,
+                            factors=planned.spec.factors,
+                            error_type=type(exc).__name__,
+                            message=str(exc),
+                            wall_clock_s=wall_clock,
+                            block=block_index,
+                        )
+                    )
+                    continue
                 if not isinstance(result, RunResult):
+                    self._checkpoint(store)
                     raise ExperimentError(
                         f"executor returned {type(result).__name__}, expected RunResult"
                     )
@@ -58,11 +143,18 @@ class ProtocolRunner:
                         block=block_index,
                     )
                 )
-                wall_clock += result.makespan
-            wall_clock += wait
+                done.add((planned.spec.key, planned.rep))
+                wall_clock += float(result.makespan)
+                executed_since_checkpoint += 1
+                if executed_since_checkpoint >= self.checkpoint_every:
+                    self._checkpoint(store)
+                    executed_since_checkpoint = 0
+            if block_ran:
+                wall_clock += wait
             if progress is not None:
                 progress(
                     f"block {block_index + 1}/{len(plan.blocks)} done "
                     f"(wall clock {wall_clock / 60:.1f} min)"
                 )
+        self._checkpoint(store)
         return store

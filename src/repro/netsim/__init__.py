@@ -20,6 +20,7 @@ from .maxmin import max_min_rates, solve_with_caps
 from .fluid import (
     CapacityProvider,
     ConstantCapacity,
+    FlowTraceEvent,
     FluidSimulation,
     FluidResult,
     NoiseModel,
@@ -39,6 +40,7 @@ __all__ = [
     "ResourceContext",
     "NoiseModel",
     "NoNoise",
+    "FlowTraceEvent",
     "FluidSimulation",
     "FluidResult",
 ]

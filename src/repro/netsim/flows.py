@@ -54,6 +54,12 @@ class FluidFlow:
     rate_mib_s: float = field(init=False, default=0.0)
     started_at: float | None = field(init=False, default=None)
     finished_at: float | None = field(init=False, default=None)
+    # Robustness state (fault injection): when the flow last dropped to
+    # zero rate, how many timeouts it has suffered, and whether the
+    # client finally gave up on it.
+    stalled_since: float | None = field(init=False, default=None)
+    attempts: int = field(init=False, default=0)
+    abandoned: bool = field(init=False, default=False)
 
     def __post_init__(self) -> None:
         if not self.flow_id:
@@ -86,25 +92,47 @@ class FluidFlow:
         return self.finished_at - self.started_at
 
     def stats(self) -> "FlowStats":
-        """Summary of a completed flow."""
+        """Summary of a completed (or abandoned) flow."""
         return FlowStats(
             flow_id=self.flow_id,
             volume_bytes=self.volume_bytes,
             started_at=self.started_at if self.started_at is not None else float("nan"),
             finished_at=self.finished_at if self.finished_at is not None else float("nan"),
             tags=dict(self.tags),
+            # Only an abandoned flow delivers less than its volume; for
+            # completed flows None keeps payload_bytes == volume_bytes.
+            delivered_bytes=(
+                float(self.volume_bytes) - float(self.remaining_bytes) if self.abandoned else None
+            ),
+            retries=self.attempts,
+            abandoned=self.abandoned,
         )
 
 
 @dataclass(frozen=True)
 class FlowStats:
-    """Immutable completion record of one flow."""
+    """Immutable completion record of one flow.
+
+    ``delivered_bytes`` equals ``volume_bytes`` for a flow that ran to
+    completion and falls short of it for one the client abandoned after
+    exhausting its retries (``abandoned=True``); ``retries`` counts the
+    timeouts the flow suffered on the way.  ``None`` means the record
+    predates fault tracking and the flow is complete.
+    """
 
     flow_id: str
     volume_bytes: float
     started_at: float
     finished_at: float
     tags: Mapping[str, Any]
+    delivered_bytes: float | None = None
+    retries: int = 0
+    abandoned: bool = False
+
+    @property
+    def payload_bytes(self) -> float:
+        """Bytes that actually moved (volume for a complete flow)."""
+        return self.volume_bytes if self.delivered_bytes is None else self.delivered_bytes
 
     @property
     def duration(self) -> float:
@@ -112,4 +140,4 @@ class FlowStats:
 
     @property
     def mean_bandwidth_mib_s(self) -> float:
-        return bandwidth_mib_s(self.volume_bytes, self.duration)
+        return bandwidth_mib_s(self.payload_bytes, self.duration)

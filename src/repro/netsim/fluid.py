@@ -16,9 +16,11 @@ outstanding requests) and on multiplicative noise resampled every
 
 from __future__ import annotations
 
+import heapq
 import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Iterable, Protocol, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Protocol, Sequence
 
 import numpy as np
 
@@ -28,12 +30,16 @@ from .flows import FlowStats, FluidFlow
 from .latency import BlockingRequestModel, NoLatency
 from .maxmin import max_min_rates
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..storage.client_model import RetryPolicy
+
 __all__ = [
     "ResourceContext",
     "CapacityProvider",
     "ConstantCapacity",
     "NoiseModel",
     "NoNoise",
+    "FlowTraceEvent",
     "FluidSimulation",
     "FluidResult",
     "SegmentDetail",
@@ -46,6 +52,7 @@ _BYTES_EPS = 1e-3  # a flow with less than this many bytes left is done
 # saturation would under-attribute (see analysis.bottleneck).
 _BINDING_UTILIZATION = 0.94
 _TIME_EPS = 1e-12
+_RATE_EPS = 1e-9  # MiB/s below which a flow counts as stalled (no progress)
 
 
 @dataclass(frozen=True)
@@ -126,6 +133,29 @@ class SegmentDetail:
     latency_capped: int
 
 
+@dataclass(frozen=True)
+class FlowTraceEvent:
+    """One client robustness decision: a chunk-request timeout outcome.
+
+    ``action`` is ``"retry"`` (the flow backs off and will be retried)
+    or ``"abandon"`` (retries exhausted; the flow ends incomplete).
+    ``attempt`` is the 1-based count of timeouts the flow has suffered.
+    """
+
+    time: float
+    flow_id: str
+    action: str
+    attempt: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "time": float(self.time),
+            "flow_id": self.flow_id,
+            "action": self.action,
+            "attempt": int(self.attempt),
+        }
+
+
 @dataclass
 class FluidResult:
     """Outcome of a fluid simulation run."""
@@ -135,6 +165,12 @@ class FluidResult:
     segments: int
     resource_series: dict[str, TimeSeries] = field(default_factory=dict)
     segment_details: list[SegmentDetail] = field(default_factory=list)
+    trace: list[FlowTraceEvent] = field(default_factory=list)
+
+    def total_delivered(self, stats: Sequence[FlowStats] | None = None) -> float:
+        """Bytes that actually moved (equals total_volume when no faults)."""
+        chosen = self.stats if stats is None else list(stats)
+        return float(sum(s.payload_bytes for s in chosen))
 
     def stats_by_tag(self, key: str, value: object) -> list[FlowStats]:
         """Completion records of flows tagged ``key=value``."""
@@ -168,12 +204,20 @@ class FluidSimulation:
         noise: NoiseModel | None = None,
         latency: BlockingRequestModel | NoLatency | None = None,
         cap_iterations: int = 4,
+        retry: "RetryPolicy | None" = None,
     ):
         self._providers: dict[str, CapacityProvider] = {}
         self._flows: list[FluidFlow] = []
         self.noise: NoiseModel = noise if noise is not None else NoNoise()
         self.latency = latency if latency is not None else NoLatency()
         self.cap_iterations = cap_iterations
+        # Client robustness: when set, a flow whose rate stays at zero
+        # for ``retry.timeout_s`` is pulled off the wire, backs off, and
+        # re-enters; after ``retry.max_retries`` timeouts it is abandoned
+        # and the run degrades to a partial result.  When ``None`` (the
+        # default) a permanently-stalled flow is a loud SimulationError,
+        # exactly as before fault injection existed.
+        self.retry = retry
 
     # -- construction --------------------------------------------------------
 
@@ -208,8 +252,9 @@ class FluidSimulation:
         observe: Sequence[str] = (),
         max_time: float = 1e7,
         detail: bool = False,
+        breakpoints: Sequence[float] = (),
     ) -> FluidResult:
-        """Run to completion of all flows.
+        """Run to completion (or abandonment) of all flows.
 
         Parameters
         ----------
@@ -224,6 +269,10 @@ class FluidSimulation:
         detail:
             Record a :class:`SegmentDetail` per segment (binding
             resources, utilizations) for bottleneck attribution.
+        breakpoints:
+            Extra segment boundaries (instants at which time-dependent
+            capacities change, e.g. fault starts/recoveries), so no
+            capacity transition is averaged into a segment.
         """
         if not self._flows:
             raise FlowError("no flows to simulate")
@@ -237,6 +286,11 @@ class FluidSimulation:
         pending = list(flows)
         active: list[FluidFlow] = []
         series = {rid: TimeSeries() for rid in observe}
+        bounds = tuple(sorted({float(b) for b in breakpoints}))
+        # Flows sleeping out a retry backoff: (ready_time, seq, flow).
+        retry_heap: list[tuple[float, int, FluidFlow]] = []
+        retry_seq = 0
+        trace: list[FlowTraceEvent] = []
 
         epoch_len = self.noise.epoch_length_s
         has_epochs = math.isfinite(epoch_len)
@@ -257,19 +311,25 @@ class FluidSimulation:
         now = pending[0].start_time
         segments = 0
         details: list[SegmentDetail] = []
-        while pending or active:
-            # Admit arrivals.
+        while pending or active or retry_heap:
+            # Admit arrivals and due retries.
             while pending and pending[0].start_time <= now + _TIME_EPS:
                 flow = pending.pop(0)
                 flow.started_at = now
                 active.append(flow)
+            while retry_heap and retry_heap[0][0] <= now + _TIME_EPS:
+                active.append(heapq.heappop(retry_heap)[2])
             if not active:
-                # Idle gap until the next arrival: the observed series
-                # must record zero throughput, or integration would
-                # extend the previous segment's rate across the gap.
+                # Idle gap until the next arrival or retry wake-up: the
+                # observed series must record zero throughput, or
+                # integration would extend the previous segment's rate
+                # across the gap.
                 for rid in observe:
                     series[rid].append(now, 0.0)
-                now = pending[0].start_time
+                next_times = [pending[0].start_time] if pending else []
+                if retry_heap:
+                    next_times.append(retry_heap[0][0])
+                now = min(next_times)
                 continue
 
             epoch = int(now / epoch_len) if has_epochs else 0
@@ -323,8 +383,18 @@ class FluidSimulation:
                 caps = new_caps
             for flow, rate in zip(active, rates):
                 flow.rate_mib_s = float(rate)
+            if self.retry is not None:
+                # A zero-rate flow is a chunk request making no progress:
+                # start (or keep) its stall clock; any progress clears it.
+                for flow, rate in zip(active, rates):
+                    if rate <= _RATE_EPS:
+                        if flow.stalled_since is None:
+                            flow.stalled_since = now
+                    else:
+                        flow.stalled_since = None
 
-            # Segment boundary: earliest of completion / arrival / epoch end.
+            # Segment boundary: earliest of completion / arrival / epoch
+            # end / capacity breakpoint / retry wake-up / stall timeout.
             dt = math.inf
             rates_bytes = rates * 1024.0**2
             for flow, rb in zip(active, rates_bytes):
@@ -334,6 +404,16 @@ class FluidSimulation:
                 dt = min(dt, pending[0].start_time - now)
             if has_epochs:
                 dt = min(dt, (epoch + 1) * epoch_len - now)
+            if bounds:
+                nxt = bisect_right(bounds, now + _TIME_EPS)
+                if nxt < len(bounds):
+                    dt = min(dt, bounds[nxt] - now)
+            if retry_heap:
+                dt = min(dt, retry_heap[0][0] - now)
+            if self.retry is not None:
+                for flow in active:
+                    if flow.stalled_since is not None:
+                        dt = min(dt, flow.stalled_since + self.retry.timeout_s - now)
             if not math.isfinite(dt) or dt < 0:
                 stuck = [f.flow_id for f in active]
                 raise SimulationError(f"fluid simulation stalled at t={now}: flows {stuck}")
@@ -379,6 +459,24 @@ class FluidSimulation:
                 if flow.remaining_bytes <= _BYTES_EPS:
                     flow.remaining_bytes = 0.0
                     flow.finished_at = now
+                elif (
+                    self.retry is not None
+                    and flow.stalled_since is not None
+                    and now >= flow.stalled_since + self.retry.timeout_s - _TIME_EPS
+                ):
+                    # Chunk-request timeout: back off and retry, or give
+                    # up once the retry budget is spent.
+                    flow.attempts += 1
+                    flow.stalled_since = None
+                    if flow.attempts > self.retry.max_retries:
+                        flow.abandoned = True
+                        flow.finished_at = now
+                        trace.append(FlowTraceEvent(now, flow.flow_id, "abandon", flow.attempts))
+                    else:
+                        trace.append(FlowTraceEvent(now, flow.flow_id, "retry", flow.attempts))
+                        retry_seq += 1
+                        ready = now + self.retry.backoff_s(flow.attempts)
+                        heapq.heappush(retry_heap, (ready, retry_seq, flow))
                 else:
                     still_active.append(flow)
             active = still_active
@@ -395,4 +493,5 @@ class FluidSimulation:
             segments=segments,
             resource_series=series,
             segment_details=details,
+            trace=trace,
         )

@@ -20,7 +20,7 @@ from .server import (
     StoragePoolSpec,
 )
 from .san import SanModel, SanRampSpec
-from .client_model import ClientServiceSpec
+from .client_model import ClientServiceSpec, RetryPolicy
 from .variability import CompositeNoise, NoiseSpec, SharedStateNoise, StochasticNoise
 
 __all__ = [
@@ -37,6 +37,7 @@ __all__ = [
     "SanRampSpec",
     "SanModel",
     "ClientServiceSpec",
+    "RetryPolicy",
     "NoiseSpec",
     "StochasticNoise",
     "SharedStateNoise",

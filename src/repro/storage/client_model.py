@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 from ..errors import StorageError
 
-__all__ = ["ClientServiceSpec"]
+__all__ = ["ClientServiceSpec", "RetryPolicy"]
 
 
 @dataclass(frozen=True)
@@ -63,3 +63,42 @@ class ClientServiceSpec:
     @staticmethod
     def resource_id(node: str) -> str:
         return f"client:{node}"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Client-side chunk-request robustness knobs (simulated time).
+
+    A BeeGFS client whose chunk request makes no progress (the target or
+    its server is unreachable) times out after ``timeout_s``, backs off
+    ``backoff_base_s * backoff_factor**(attempt-1)`` seconds (capped at
+    ``backoff_max_s``) and retries, up to ``max_retries`` times.  When
+    the retries are exhausted the request is abandoned and the run
+    degrades gracefully to a partial result instead of hanging — the
+    engines record every timeout/retry/abandon in the run's fault trace.
+
+    The defaults ride out outages of roughly a minute: timeouts plus
+    backoffs sum to ~100 s of simulated patience before giving up.
+    """
+
+    timeout_s: float = 1.0
+    max_retries: int = 8
+    backoff_base_s: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_s <= 0:
+            raise StorageError("request timeout must be positive")
+        if self.max_retries < 0:
+            raise StorageError("negative retry count")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise StorageError("negative backoff")
+        if self.backoff_factor < 1.0:
+            raise StorageError("backoff factor must be >= 1")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise StorageError(f"attempt must be >= 1, got {attempt}")
+        return min(self.backoff_max_s, self.backoff_base_s * self.backoff_factor ** (attempt - 1))

@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 from repro.beegfs.choosers import (
     BalancedChooser,
     CapacityChooser,
+    FailoverChooser,
     FixedChooser,
     RandomChooser,
     RoundRobinChooser,
@@ -17,7 +18,7 @@ from repro.beegfs.choosers import (
 )
 from repro.beegfs.filesystem import PLAFRIM_TARGET_ORDERING
 from repro.beegfs.management import TargetInfo
-from repro.errors import TargetChooserError
+from repro.errors import InsufficientTargetsError, TargetChooserError
 
 
 def plafrim_pool():
@@ -212,3 +213,83 @@ class TestCommon:
             assert len(picked) == count
             assert len(set(picked)) == count
             assert set(picked) <= ids
+
+
+def all_choosers():
+    return (
+        RandomChooser(),
+        RoundRobinChooser(ordering=PLAFRIM_TARGET_ORDERING),
+        BalancedChooser(),
+        CapacityChooser(),
+        FailoverChooser(),
+    )
+
+
+class TestFailover:
+    def test_factory(self):
+        assert chooser_from_name("failover").name == "failover"
+
+    def test_balances_full_pool(self):
+        chooser = FailoverChooser()
+        picked = chooser.choose(plafrim_pool(), 4, rng())
+        assert placement(picked, plafrim_pool()) == (2, 2)
+
+    def test_deterministic(self):
+        pool = plafrim_pool()
+        first = FailoverChooser().choose(pool, 4, rng(0))
+        second = FailoverChooser().choose(pool, 4, rng(99))
+        assert first == second
+
+    def test_rebalances_around_missing_target(self):
+        """With 201 gone, failover still spreads 4 targets (2, 2)."""
+        pool = [t for t in plafrim_pool() if t.target_id != 201]
+        picked = FailoverChooser().choose(pool, 4, rng())
+        assert placement(picked, plafrim_pool()) == (2, 2)
+        assert 201 not in picked
+
+    def test_prefers_least_used_targets(self):
+        pool = plafrim_pool()
+        pool[0] = TargetInfo(101, "storage1", 10**12, used_bytes=10**9)
+        picked = FailoverChooser().choose(pool, 2, rng())
+        assert 101 not in picked
+
+    def test_drains_unbalanced_pools(self):
+        """All but one target on one server: take what exists."""
+        pool = [t for t in plafrim_pool() if t.server == "storage1" or t.target_id == 201]
+        picked = FailoverChooser().choose(pool, 5, rng())
+        assert set(picked) == {101, 102, 103, 104, 201}
+
+
+class TestDegradedPools:
+    """Edge cases every chooser must survive when targets fail."""
+
+    @pytest.mark.parametrize("chooser", all_choosers(), ids=lambda c: c.name)
+    def test_count_above_pool_raises_insufficient(self, chooser):
+        pool = plafrim_pool()[:3]
+        with pytest.raises(InsufficientTargetsError) as exc_info:
+            chooser.choose(pool, 4, rng())
+        exc = exc_info.value
+        assert exc.requested == 4
+        assert exc.available == 3
+        assert sorted(exc.pool_ids) == [101, 102, 103]
+
+    def test_insufficient_is_a_chooser_error(self):
+        """Existing except TargetChooserError handlers keep working."""
+        assert issubclass(InsufficientTargetsError, TargetChooserError)
+
+    @pytest.mark.parametrize("chooser", all_choosers(), ids=lambda c: c.name)
+    def test_empty_pool_raises(self, chooser):
+        with pytest.raises(TargetChooserError):
+            chooser.choose([], 1, rng())
+
+    @pytest.mark.parametrize("chooser", all_choosers(), ids=lambda c: c.name)
+    def test_all_targets_on_one_server(self, chooser):
+        """A whole-server loss leaves a one-server pool; allocation works."""
+        pool = [t for t in plafrim_pool() if t.server == "storage1"]
+        picked = chooser.choose(pool, 4, rng())
+        assert sorted(picked) == [101, 102, 103, 104]
+
+    @pytest.mark.parametrize("chooser", all_choosers(), ids=lambda c: c.name)
+    def test_single_survivor(self, chooser):
+        pool = [t for t in plafrim_pool() if t.target_id == 204]
+        assert chooser.choose(pool, 1, rng()) == (204,)

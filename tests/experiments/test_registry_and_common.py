@@ -13,6 +13,7 @@ from repro.units import GiB
 EXPECTED_IDS = {
     "fig2", "fig3", "fig4", "fig5", "fig6", "fig9", "fig11", "fig12", "fig13",
     "choosers", "lessons", "read", "patterns", "scaleout", "metadata", "chunksize", "interference",
+    "faults",
 }
 
 

@@ -1,0 +1,124 @@
+"""The acceptance scenario: a faulty campaign survives, resumes, renders."""
+
+import pytest
+
+from repro.engine.base import EngineOptions
+from repro.faults import FaultSchedule, target_outage
+from repro.methodology.plan import ExperimentSpec
+from repro.methodology.records import RecordStore
+from repro.storage.client_model import RetryPolicy
+from repro.experiments.common import run_specs
+
+
+def campaign_specs(chooser="fixed:101,201,102,202"):
+    return [
+        ExperimentSpec(
+            "camp",
+            "scenario1",
+            {
+                "chooser": chooser,
+                "stripe_count": 4,
+                "num_nodes": 8,
+                "ppn": 8,
+                "total_gib": 1,
+            },
+        )
+    ]
+
+
+def faulty_options():
+    return EngineOptions(
+        noise_enabled=False,
+        fault_schedule=FaultSchedule([target_outage(201, 0.1, 0.2)]),
+        retry=RetryPolicy(timeout_s=0.05, max_retries=8, backoff_base_s=0.02),
+    )
+
+
+class TestFaultyCampaign:
+    def test_campaign_with_outage_completes_under_skip(self):
+        store = run_specs(
+            campaign_specs(),
+            repetitions=3,
+            seed=0,
+            options=faulty_options(),
+            on_error="skip",
+        )
+        assert len(store) == 3
+        assert store.failures == []
+        for record in store:
+            assert record.retries > 0
+            assert record.complete
+            assert any(e["action"] == "retry" for e in record.fault_events)
+
+    def test_raising_specs_are_quarantined(self):
+        store = run_specs(
+            campaign_specs(chooser="bogus"),
+            repetitions=2,
+            seed=0,
+            on_error="skip",
+        )
+        assert len(store) == 0
+        assert len(store.failures) == 2
+        assert all("bogus" in f.message for f in store.failures)
+
+    def test_interrupted_campaign_resumes_missing_reps_only(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        first = run_specs(
+            campaign_specs(),
+            repetitions=2,
+            seed=0,
+            options=faulty_options(),
+            checkpoint=path,
+            checkpoint_every=1,
+        )
+        assert len(RecordStore.read_json(path)) == 2
+        # "Restart" the campaign at its full length: the two recorded
+        # repetitions are skipped, only the missing ones execute.
+        resumed = run_specs(
+            campaign_specs(),
+            repetitions=4,
+            seed=0,
+            options=faulty_options(),
+            checkpoint=path,
+            resume=True,
+            checkpoint_every=1,
+        )
+        assert len(resumed) == 4
+        assert {r.rep for r in resumed} == {0, 1, 2, 3}
+        by_rep = {r.rep: r for r in resumed}
+        for record in first:
+            # The checkpointed records are reloaded verbatim, not re-run.
+            assert by_rep[record.rep].aggregate_bw_mib_s == record.aggregate_bw_mib_s
+            assert by_rep[record.rep].wall_clock_s == record.wall_clock_s
+
+
+class TestFaultsExperiment:
+    @pytest.fixture(scope="class")
+    def faults_out(self):
+        from repro.experiments import get_experiment
+
+        return get_experiment("faults").run(repetitions=3, seed=1)
+
+    def test_timeline_shows_outage_and_recovery(self, faults_out):
+        assert "Target 201 offline" in faults_out.figure
+        assert "chunk-request timeouts" in faults_out.figure
+        timeline = {
+            r.factors["condition"]: r
+            for r in faults_out.records.filter(stage="timeline")
+        }
+        assert timeline["outage"].retries > 0
+        assert timeline["outage"].complete
+        assert timeline["healthy"].retries == 0
+
+    def test_failover_beats_roundrobin_when_degraded(self, faults_out):
+        degraded = faults_out.records.filter(stage=None)
+        by_chooser = degraded.group_by_factor("chooser")
+        failover = by_chooser["failover"]
+        roundrobin = by_chooser["roundrobin"]
+        assert all(min(r.placement) == max(r.placement) for r in failover)
+        assert 201 not in {t for r in failover for t in r.apps[0]["targets"]}
+        assert float(failover.bandwidths().mean()) >= float(roundrobin.bandwidths().mean())
+
+    def test_renders_placement_distribution(self, faults_out):
+        assert "permanently offline" in faults_out.figure
+        assert "(2,2): 100%" in faults_out.figure

@@ -1,0 +1,146 @@
+"""Fault injection end to end: both engines, degraded and identical paths."""
+
+import pytest
+
+from repro.beegfs.filesystem import BeeGFS, plafrim_deployment
+from repro.engine.base import EngineOptions
+from repro.engine.des_runner import DESEngine
+from repro.engine.fluid_runner import FluidEngine
+from repro.errors import InsufficientTargetsError
+from repro.faults import FaultSchedule, target_outage
+from repro.storage.client_model import RetryPolicy
+from repro.units import MiB
+from repro.workload.generator import single_application
+
+STRIPE_ALL = "fixed:101,201,102,202"
+
+
+def engine(calib, topo, engine_cls=FluidEngine, chooser=STRIPE_ALL, **opts):
+    options = EngineOptions(noise_enabled=False, **opts)
+    deployment = calib.deployment(stripe_count=4, chooser=chooser)
+    return engine_cls(calib, topo, deployment, seed=0, options=options)
+
+
+def small_app(topo):
+    return single_application(topo, 8, ppn=8, total_bytes=2048 * MiB)
+
+
+class TestZeroFaultIdentity:
+    """An empty schedule must be byte-identical to no schedule at all."""
+
+    @pytest.mark.parametrize("engine_cls", [FluidEngine, DESEngine])
+    def test_empty_schedule_is_identical(self, calib_s1, topo_s1, engine_cls):
+        baseline = engine(calib_s1, topo_s1, engine_cls).run([small_app(topo_s1)], rep=0)
+        empty = engine(
+            calib_s1, topo_s1, engine_cls, fault_schedule=FaultSchedule()
+        ).run([small_app(topo_s1)], rep=0)
+        assert empty.single == baseline.single
+        assert empty.makespan == baseline.makespan
+        assert empty.fault_events == () and empty.retries == 0
+        assert empty.complete
+
+    @pytest.mark.parametrize("engine_cls", [FluidEngine, DESEngine])
+    def test_none_schedule_is_identical(self, calib_s1, topo_s1, engine_cls):
+        baseline = engine(calib_s1, topo_s1, engine_cls).run([small_app(topo_s1)], rep=0)
+        explicit = engine(
+            calib_s1, topo_s1, engine_cls, fault_schedule=None
+        ).run([small_app(topo_s1)], rep=0)
+        assert explicit.single == baseline.single
+
+
+class TestMidRunOutage:
+    """A recoverable outage stretches the run; retries survive it."""
+
+    def test_fluid_outage_extends_makespan(self, calib_s1, topo_s1):
+        schedule = FaultSchedule([target_outage(201, 0.3, 0.5)])
+        healthy = engine(calib_s1, topo_s1).run([small_app(topo_s1)], rep=0)
+        faulty = engine(
+            calib_s1, topo_s1, fault_schedule=schedule
+        ).run([small_app(topo_s1)], rep=0)
+        assert faulty.makespan > healthy.makespan
+        assert faulty.complete
+        assert faulty.single.volume_bytes == pytest.approx(healthy.single.volume_bytes)
+
+    def test_des_outage_extends_makespan(self, calib_s1, topo_s1):
+        schedule = FaultSchedule([target_outage(201, 0.1, 0.2)])
+        healthy = engine(calib_s1, topo_s1, DESEngine).run([small_app(topo_s1)], rep=0)
+        faulty = engine(
+            calib_s1, topo_s1, DESEngine, fault_schedule=schedule
+        ).run([small_app(topo_s1)], rep=0)
+        assert faulty.makespan > healthy.makespan
+        assert faulty.complete
+
+    def test_trace_events_are_plain_dicts(self, calib_s1, topo_s1):
+        schedule = FaultSchedule([target_outage(201, 0.3, 0.5)])
+        retry = RetryPolicy(timeout_s=0.1, max_retries=8, backoff_base_s=0.05)
+        result = engine(
+            calib_s1, topo_s1, fault_schedule=schedule, retry=retry
+        ).run([small_app(topo_s1)], rep=0)
+        assert result.retries > 0
+        assert len(result.fault_events) > 0
+        for event in result.fault_events:
+            assert event["action"] in ("retry", "abandon")
+            assert isinstance(event["time"], float)
+            assert isinstance(event["attempt"], int)
+
+
+class TestPermanentOutage:
+    """Exhausted retries abandon the flow; the run degrades, not crashes."""
+
+    @pytest.mark.parametrize("engine_cls", [FluidEngine, DESEngine])
+    def test_abandonment_loses_bytes_gracefully(self, calib_s1, topo_s1, engine_cls):
+        # Permanent failure shortly after the run starts: flows to 201
+        # exhaust their retries and are abandoned.
+        schedule = FaultSchedule([target_outage(201, 0.05)])
+        retry = RetryPolicy(timeout_s=0.05, max_retries=2, backoff_base_s=0.02)
+        healthy = engine(calib_s1, topo_s1, engine_cls).run([small_app(topo_s1)], rep=0)
+        result = engine(
+            calib_s1, topo_s1, engine_cls, fault_schedule=schedule, retry=retry
+        ).run([small_app(topo_s1)], rep=0)
+        assert not result.complete
+        assert result.abandoned_flows > 0
+        assert result.retries > 0
+        assert result.single.volume_bytes < healthy.single.volume_bytes
+        assert any(e["action"] == "abandon" for e in result.fault_events)
+
+
+class TestDegradedAllocation:
+    """Choosers only see reachable targets."""
+
+    def test_chooser_avoids_offline_target(self, calib_s1, topo_s1):
+        schedule = FaultSchedule([target_outage(201, 0.0)])
+        result = engine(
+            calib_s1, topo_s1, chooser="roundrobin", fault_schedule=schedule
+        ).run([small_app(topo_s1)], rep=0)
+        assert 201 not in result.single.targets
+        assert len(result.single.targets) == 4
+
+    def test_failover_balances_survivors(self, calib_s1, topo_s1):
+        schedule = FaultSchedule([target_outage(201, 0.0)])
+        result = engine(
+            calib_s1, topo_s1, chooser="failover", fault_schedule=schedule
+        ).run([small_app(topo_s1)], rep=0)
+        assert 201 not in result.single.targets
+        assert result.single.placement_min_max == (2, 2)
+
+    def test_strict_creation_raises_when_pool_too_small(self):
+        fs = BeeGFS(plafrim_deployment(keep_data=True), seed=1)
+        schedule = FaultSchedule(
+            [target_outage(tid, 0.0) for tid in (101, 102, 103, 201, 202, 203)]
+        )
+        schedule.apply_to_management(fs.management, time=0.0)
+        with pytest.raises(InsufficientTargetsError) as exc_info:
+            fs.create_file("/f.dat", strict=True)
+        exc = exc_info.value
+        assert exc.requested == 4
+        assert exc.available == 2
+        assert sorted(exc.pool_ids) == [104, 204]
+
+    def test_lenient_creation_clamps_to_survivors(self):
+        fs = BeeGFS(plafrim_deployment(keep_data=True), seed=1)
+        schedule = FaultSchedule(
+            [target_outage(tid, 0.0) for tid in (101, 102, 103, 201, 202, 203)]
+        )
+        schedule.apply_to_management(fs.management, time=0.0)
+        inode = fs.create_file("/f.dat")
+        assert sorted(inode.pattern.targets) == [104, 204]

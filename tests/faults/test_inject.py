@@ -1,0 +1,63 @@
+"""Capacity wrapping: faults as a multiplier on the provider timeline."""
+
+from repro.faults import FaultSchedule, FaultyCapacity, target_outage, degraded_target
+from repro.faults.inject import wrap_providers
+from repro.netsim.fluid import ResourceContext
+
+
+class ConstantCapacity:
+    def __init__(self, mib_s: float, distinct_tag: str | None = None):
+        self.mib_s = mib_s
+        if distinct_tag is not None:
+            self.distinct_tag = distinct_tag
+
+    def capacity(self, ctx: ResourceContext) -> float:
+        return self.mib_s
+
+
+def ctx(time: float) -> ResourceContext:
+    return ResourceContext(time=time, depth=1.0, nflows=1, noise=1.0, distinct=1)
+
+
+class TestFaultyCapacity:
+    def test_multiplies_during_window(self):
+        schedule = FaultSchedule([degraded_target(201, 2.0, 3.0, multiplier=0.25)])
+        provider = FaultyCapacity(ConstantCapacity(1000.0), schedule, "ost:201")
+        assert provider.capacity(ctx(0.0)) == 1000.0
+        assert provider.capacity(ctx(2.5)) == 250.0
+        assert provider.capacity(ctx(5.0)) == 1000.0
+
+    def test_outage_zeroes(self):
+        schedule = FaultSchedule([target_outage(201, 1.0, 1.0)])
+        provider = FaultyCapacity(ConstantCapacity(1000.0), schedule, "ost:201")
+        assert provider.capacity(ctx(1.5)) == 0.0
+
+    def test_forwards_distinct_tag(self):
+        schedule = FaultSchedule([target_outage(201, 0.0, 1.0)])
+        tagged = FaultyCapacity(ConstantCapacity(10.0, distinct_tag="pool"), schedule, "ost:201")
+        untagged = FaultyCapacity(ConstantCapacity(10.0), schedule, "ost:201")
+        assert tagged.distinct_tag == "pool"
+        assert untagged.distinct_tag is None
+
+
+class TestWrapProviders:
+    def providers(self):
+        return {"ost:201": ConstantCapacity(100.0), "ost:101": ConstantCapacity(100.0)}
+
+    def test_empty_schedule_wraps_nothing(self):
+        providers = self.providers()
+        wrapped = wrap_providers(providers, FaultSchedule())
+        assert wrapped == providers
+        assert not any(isinstance(p, FaultyCapacity) for p in wrapped.values())
+
+    def test_only_affected_resources_wrapped(self):
+        schedule = FaultSchedule([target_outage(201, 0.0, 1.0)])
+        wrapped = wrap_providers(self.providers(), schedule)
+        assert isinstance(wrapped["ost:201"], FaultyCapacity)
+        assert not isinstance(wrapped["ost:101"], FaultyCapacity)
+
+    def test_original_mapping_untouched(self):
+        providers = self.providers()
+        schedule = FaultSchedule([target_outage(201, 0.0, 1.0)])
+        wrap_providers(providers, schedule)
+        assert not isinstance(providers["ost:201"], FaultyCapacity)

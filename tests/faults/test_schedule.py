@@ -1,0 +1,214 @@
+"""Fault schedules: windows, multipliers, boundaries, management state."""
+
+import math
+
+import pytest
+
+from repro.beegfs.filesystem import BeeGFS, plafrim_deployment
+from repro.beegfs.management import TargetState
+from repro.errors import FaultError, NoSuchEntityError
+from repro.faults import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    degraded_link,
+    degraded_target,
+    server_outage,
+    target_outage,
+)
+
+
+class TestEventValidation:
+    def test_negative_start(self):
+        with pytest.raises(FaultError):
+            target_outage(101, -1.0, 5.0)
+
+    def test_nonpositive_duration(self):
+        with pytest.raises(FaultError):
+            target_outage(101, 0.0, 0.0)
+
+    def test_hard_outage_rejects_nonzero_multiplier(self):
+        with pytest.raises(FaultError):
+            FaultEvent(FaultKind.TARGET_OFFLINE, 0.0, 1.0, target_id=101, multiplier=0.5)
+
+    def test_degraded_needs_fractional_multiplier(self):
+        with pytest.raises(FaultError):
+            FaultEvent(FaultKind.TARGET_DEGRADED, 0.0, 1.0, target_id=101, multiplier=0.0)
+        with pytest.raises(FaultError):
+            degraded_target(101, 0.0, 1.0, multiplier=1.5)
+
+    def test_target_events_need_target_id(self):
+        with pytest.raises(FaultError):
+            FaultEvent(FaultKind.TARGET_OFFLINE, 0.0, 1.0)
+
+    def test_server_event_needs_server(self):
+        with pytest.raises(FaultError):
+            FaultEvent(FaultKind.SERVER_OFFLINE, 0.0, 1.0)
+
+    def test_link_event_needs_resource_id(self):
+        with pytest.raises(FaultError):
+            FaultEvent(FaultKind.LINK_DEGRADED, 0.0, 1.0, multiplier=0.5)
+
+    def test_fault_error_is_value_error(self):
+        with pytest.raises(ValueError):
+            target_outage(101, 0.0, -1.0)
+
+
+class TestEventSemantics:
+    def test_window_is_half_open(self):
+        event = target_outage(101, 2.0, 3.0)
+        assert not event.active_at(1.999)
+        assert event.active_at(2.0)
+        assert event.active_at(4.999)
+        assert not event.active_at(5.0)
+
+    def test_permanent_outage(self):
+        event = target_outage(101, 1.0)
+        assert math.isinf(event.end_s)
+        assert event.active_at(1e12)
+        assert "permanently" in event.describe()
+
+    def test_resource_mapping(self):
+        assert target_outage(201, 0.0, 1.0).resources == ("ost:201",)
+        assert degraded_target(201, 0.0, 1.0, 0.5).resources == ("ost:201",)
+        assert server_outage("storage1", 0.0, 1.0).resources == (
+            "ingest:storage1",
+            "pool:storage1",
+        )
+        assert degraded_link("link:n3", 0.0, 1.0, 0.25).resources == ("link:n3",)
+
+
+class TestSchedule:
+    def test_empty(self):
+        schedule = FaultSchedule()
+        assert schedule.is_empty
+        assert len(schedule) == 0
+        assert schedule.boundaries() == ()
+        assert schedule.multiplier("ost:101", 0.0) == 1.0
+        assert not schedule.affects("ost:101")
+        assert schedule.describe() == "no faults"
+
+    def test_rejects_non_events(self):
+        with pytest.raises(FaultError):
+            FaultSchedule(["not an event"])  # type: ignore[list-item]
+
+    def test_multiplier_inside_and_outside_window(self):
+        schedule = FaultSchedule([degraded_target(201, 2.0, 3.0, multiplier=0.25)])
+        assert schedule.multiplier("ost:201", 1.0) == 1.0
+        assert schedule.multiplier("ost:201", 2.0) == 0.25
+        assert schedule.multiplier("ost:201", 5.0) == 1.0
+        assert schedule.multiplier("ost:999", 2.5) == 1.0
+
+    def test_overlapping_events_multiply(self):
+        schedule = FaultSchedule(
+            [
+                degraded_target(201, 0.0, 10.0, multiplier=0.5),
+                degraded_target(201, 5.0, 10.0, multiplier=0.5),
+            ]
+        )
+        assert schedule.multiplier("ost:201", 1.0) == 0.5
+        assert schedule.multiplier("ost:201", 7.0) == 0.25
+
+    def test_outage_zeroes_capacity(self):
+        schedule = FaultSchedule([target_outage(201, 1.0, 2.0)])
+        assert schedule.multiplier("ost:201", 1.5) == 0.0
+
+    def test_boundaries_sorted_and_finite(self):
+        schedule = FaultSchedule(
+            [
+                target_outage(101, 5.0, 5.0),
+                target_outage(201, 1.0),  # permanent: inf end excluded
+                degraded_link("link:x", 3.0, 4.0, 0.5),
+            ]
+        )
+        assert schedule.boundaries() == (1.0, 3.0, 5.0, 7.0, 10.0)
+
+    def test_events_for(self):
+        event = server_outage("storage2", 0.0, 1.0)
+        schedule = FaultSchedule([event])
+        assert schedule.events_for("ingest:storage2") == (event,)
+        assert schedule.events_for("pool:storage2") == (event,)
+        assert schedule.events_for("ost:201") == ()
+
+
+class TestManagementView:
+    def fs(self):
+        return BeeGFS(plafrim_deployment(keep_data=True), seed=1)
+
+    def test_target_outage_marks_offline(self):
+        fs = self.fs()
+        schedule = FaultSchedule([target_outage(201, 0.0, 5.0)])
+        schedule.apply_to_management(fs.management, time=0.0)
+        assert fs.management.target(201).state is TargetState.OFFLINE
+        assert not fs.management.target(201).available
+
+    def test_recovery_resets_to_online(self):
+        fs = self.fs()
+        schedule = FaultSchedule([target_outage(201, 0.0, 5.0)])
+        schedule.apply_to_management(fs.management, time=0.0)
+        schedule.apply_to_management(fs.management, time=5.0)
+        assert fs.management.target(201).state is TargetState.ONLINE
+
+    def test_degraded_target_stays_available(self):
+        fs = self.fs()
+        schedule = FaultSchedule([degraded_target(104, 0.0, 5.0, multiplier=0.5)])
+        schedule.apply_to_management(fs.management, time=1.0)
+        info = fs.management.target(104)
+        assert info.state is TargetState.DEGRADED
+        assert info.available
+
+    def test_server_outage_takes_down_all_its_targets(self):
+        fs = self.fs()
+        schedule = FaultSchedule([server_outage("storage2", 0.0, 5.0)])
+        schedule.apply_to_management(fs.management, time=0.0)
+        for tid in (201, 202, 203, 204):
+            assert fs.management.target(tid).state is TargetState.OFFLINE
+        for tid in (101, 102, 103, 104):
+            assert fs.management.target(tid).state is TargetState.ONLINE
+
+    def test_unknown_target_raises(self):
+        fs = self.fs()
+        schedule = FaultSchedule([target_outage(999, 0.0, 5.0)])
+        with pytest.raises(NoSuchEntityError):
+            schedule.apply_to_management(fs.management, time=0.0)
+
+
+class TestBuilders:
+    def test_random_outages_deterministic_per_seed(self):
+        kwargs = dict(horizon_s=1000.0, mtbf_s=200.0, mttr_s=20.0)
+        a = FaultSchedule.random_target_outages([101, 201], seed=7, **kwargs)
+        b = FaultSchedule.random_target_outages([101, 201], seed=7, **kwargs)
+        c = FaultSchedule.random_target_outages([101, 201], seed=8, **kwargs)
+        assert a.events == b.events
+        assert a.events != c.events
+
+    def test_random_outages_fall_inside_horizon(self):
+        schedule = FaultSchedule.random_target_outages(
+            [101], horizon_s=500.0, mtbf_s=50.0, mttr_s=10.0, seed=3
+        )
+        assert len(schedule) > 0
+        for event in schedule:
+            assert 0.0 <= event.start_s < 500.0
+            assert event.kind is FaultKind.TARGET_OFFLINE
+
+    def test_random_outages_validation(self):
+        with pytest.raises(FaultError):
+            FaultSchedule.random_target_outages([101], horizon_s=0.0, mtbf_s=1.0, mttr_s=1.0)
+
+    def test_flapping_link_period_structure(self):
+        schedule = FaultSchedule.flapping_link(
+            "link:n0", horizon_s=10.0, period_s=2.0, down_fraction=0.25, multiplier=0.5
+        )
+        assert len(schedule) == 5
+        starts = [e.start_s for e in schedule]
+        assert starts == [0.0, 2.0, 4.0, 6.0, 8.0]
+        assert all(e.duration_s == pytest.approx(0.5) for e in schedule)
+        # Down 25% of each period, up the rest.
+        assert schedule.multiplier("link:n0", 0.1) == 0.5
+        assert schedule.multiplier("link:n0", 1.0) == 1.0
+
+    def test_flapping_validation(self):
+        with pytest.raises(FaultError):
+            FaultSchedule.flapping_link(
+                "link:n0", horizon_s=10.0, period_s=2.0, down_fraction=1.5, multiplier=0.5
+            )

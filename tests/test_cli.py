@@ -81,3 +81,84 @@ class TestExplainCommand:
         assert "Bottleneck attribution" in out
         assert "by class:" in out
         assert "MiB/s" in out
+
+
+class TestResilienceFlags:
+    def test_parser_accepts_resilience_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "run", "faults",
+                "--on-error", "skip",
+                "--checkpoint", str(tmp_path / "c.json"),
+                "--resume",
+            ]
+        )
+        assert args.on_error == "skip"
+        assert args.resume is True
+
+    def test_on_error_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "faults", "--on-error", "retry"])
+
+    def test_resume_requires_checkpoint(self, capsys):
+        assert main(["run", "faults", "--resume", "--quiet"]) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_per_experiment_checkpoint_names(self, tmp_path):
+        from repro.cli import _checkpoint_path_for
+
+        base = tmp_path / "campaign.json"
+        assert _checkpoint_path_for(None, "fig4", multiple=True) is None
+        assert _checkpoint_path_for(base, "fig4", multiple=False) == base
+        assert _checkpoint_path_for(base, "fig4", multiple=True).name == "campaign.fig4.json"
+
+    def test_quarantined_runs_summarised_and_nonzero_exit(self, capsys, monkeypatch):
+        from repro.experiments.common import ExperimentOutput
+        from repro.experiments.registry import EXPERIMENTS, ExperimentInfo
+        from repro.methodology.records import FailedRunRecord, RecordStore
+
+        def fake_run(repetitions=1, seed=0, progress=None):
+            records = RecordStore()
+            records.failures.append(
+                FailedRunRecord(
+                    exp_id="fake",
+                    scenario="s1",
+                    rep=3,
+                    factors={},
+                    error_type="RuntimeError",
+                    message="boom",
+                )
+            )
+            return ExperimentOutput("fake", "t", records, figure="fig")
+
+        monkeypatch.setitem(
+            EXPERIMENTS, "fake", ExperimentInfo("fake", "t", "ref", fake_run, 1)
+        )
+        assert main(["run", "fake", "--quiet", "--on-error", "skip"]) == 1
+        err = capsys.readouterr().err
+        assert "quarantined" in err
+        assert "RuntimeError: boom" in err
+        assert "--resume" in err
+
+
+class TestProtocolOptions:
+    def test_overrides_apply_and_restore(self):
+        from repro.experiments.common import _RUNNER_OVERRIDES, protocol_options
+
+        assert "on_error" not in _RUNNER_OVERRIDES
+        with protocol_options(on_error="skip", checkpoint="c.json"):
+            assert _RUNNER_OVERRIDES["on_error"] == "skip"
+            assert _RUNNER_OVERRIDES["checkpoint"] == "c.json"
+            with protocol_options(on_error="fail"):
+                assert _RUNNER_OVERRIDES["on_error"] == "fail"
+                assert _RUNNER_OVERRIDES["checkpoint"] == "c.json"
+            assert _RUNNER_OVERRIDES["on_error"] == "skip"
+        assert "on_error" not in _RUNNER_OVERRIDES
+
+    def test_overrides_survive_exceptions(self):
+        from repro.experiments.common import _RUNNER_OVERRIDES, protocol_options
+
+        with pytest.raises(RuntimeError):
+            with protocol_options(on_error="skip"):
+                raise RuntimeError("boom")
+        assert "on_error" not in _RUNNER_OVERRIDES

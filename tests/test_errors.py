@@ -42,3 +42,36 @@ class TestHierarchy:
         with pytest.raises(errors.ReproError):
             raise errors.FlowError("x")
         assert not issubclass(KeyError, errors.ReproError)
+
+
+class TestFaultHierarchy:
+    """The fault/robustness additions keep the catchability contracts."""
+
+    def test_new_classes_catchable_as_builtins(self):
+        assert issubclass(errors.FaultError, ValueError)
+        assert issubclass(errors.CheckpointError, errors.ExperimentError)
+        assert issubclass(errors.InsufficientTargetsError, errors.TargetChooserError)
+
+    def test_insufficient_targets_carries_shortfall(self):
+        exc = errors.InsufficientTargetsError(4, 2, (104, 204))
+        assert exc.requested == 4
+        assert exc.available == 2
+        assert exc.pool_ids == (104, 204)
+        assert "4" in str(exc) and "2 available" in str(exc)
+
+
+class TestNoSuchEntityStr:
+    def test_str_is_the_message_not_a_repr(self):
+        """KeyError.__str__ would quote the message; ours must not."""
+        exc = errors.NoSuchEntityError("no target 999 registered")
+        assert str(exc) == "no target 999 registered"
+
+    def test_still_catchable_as_keyerror(self):
+        with pytest.raises(KeyError):
+            raise errors.NoSuchEntityError("gone")
+
+    def test_message_renders_in_traceback_format(self):
+        try:
+            raise errors.NoSuchEntityError("no such path: /x")
+        except errors.NoSuchEntityError as exc:
+            assert f"{exc}" == "no such path: /x"
