@@ -6,13 +6,24 @@ Subcommands
 ``list``
     Show every registered experiment with its paper reference.
 ``run EXP_ID [--reps N] [--seed S] [--out DIR] [--on-error {fail,skip}]
-[--checkpoint PATH] [--resume]``
+[--checkpoint PATH] [--resume] [--verify {off,basic,paranoid}]``
     Run one experiment (or ``all``), print its figure, optionally
     archive the raw records as CSV — the way the paper publishes its
     results repository.  ``--on-error skip`` quarantines raising runs
     instead of aborting the campaign (summarised on stderr, exit code
     1); ``--checkpoint``/``--resume`` make long campaigns crash-safe
-    and restartable.
+    and restartable.  ``--verify`` turns on runtime invariant checking
+    inside the engines; a violating run is quarantined like a crash
+    under ``--on-error skip``.
+``verify [--suite {invariants,conformance,replay,all}] [--level
+{basic,paranoid}] [--reps N] [--seed S] [--golden PATH]
+[--update-golden] [--inject {over-capacity,byte-loss,rng-perturb}]``
+    Run the simulation guardrails: paranoid invariant sweeps over
+    shipped experiment specs, fluid-vs-DES conformance against pinned
+    goldens, and deterministic-replay proofs.  ``--inject`` seeds a
+    deliberate violation and *expects* detection: exit 1 when the
+    verifier catches it, exit 2 when it does not (the verifier itself
+    is broken).
 ``calibration``
     Print the calibrated model parameters and their paper anchors.
 ``placements [--stripe-count K] [--samples N]``
@@ -71,6 +82,47 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip runs already in the checkpoint (requires --checkpoint)",
     )
+    run_p.add_argument(
+        "--verify",
+        choices=["off", "basic", "paranoid"],
+        default="off",
+        help="runtime invariant checking inside the engines; violating runs "
+        "are quarantined (default: off)",
+    )
+
+    verify_p = sub.add_parser("verify", help="run the simulation guardrails")
+    verify_p.add_argument(
+        "--suite",
+        choices=["invariants", "conformance", "replay", "all"],
+        default="all",
+    )
+    verify_p.add_argument(
+        "--level",
+        choices=["basic", "paranoid"],
+        default="paranoid",
+        help="invariant-checking depth (default: paranoid)",
+    )
+    verify_p.add_argument("--reps", type=int, default=2, help="repetitions per invariant spec")
+    verify_p.add_argument("--seed", type=int, default=0)
+    verify_p.add_argument(
+        "--golden",
+        type=Path,
+        default=None,
+        help="golden store path (default: tests/golden/conformance.json)",
+    )
+    verify_p.add_argument(
+        "--update-golden",
+        action="store_true",
+        help="re-pin the conformance goldens from this run",
+    )
+    verify_p.add_argument(
+        "--inject",
+        choices=["over-capacity", "byte-loss", "rng-perturb"],
+        default=None,
+        help="seed a deliberate violation; exit 1 = detected (good), "
+        "exit 2 = missed (verifier broken)",
+    )
+    verify_p.add_argument("--quiet", action="store_true", help="suppress progress lines")
 
     sub.add_parser("calibration", help="print calibrated parameters and anchors")
 
@@ -132,6 +184,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             on_error=args.on_error,
             checkpoint=_checkpoint_path_for(args.checkpoint, exp_id, len(ids) > 1),
             resume=args.resume,
+            validation=args.verify if args.verify != "off" else None,
         ):
             output = info.run(progress=progress, **kwargs)
         print(output.figure)
@@ -156,6 +209,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .verify.suite import run_suite
+
+    progress = None if args.quiet else lambda msg: print(f"  .. {msg}", file=sys.stderr)
+    report = run_suite(
+        suite=args.suite,
+        level=args.level,
+        reps=args.reps,
+        seed=args.seed,
+        golden_path=args.golden,
+        update_golden=args.update_golden,
+        inject=args.inject,
+        progress=progress,
+    )
+    print("\n".join(report.lines()))
+    code = report.exit_code()
+    if args.inject is not None:
+        meaning = "injection detected" if code == 1 else "INJECTION MISSED"
+        print(f"self-test: {meaning} (exit {code})", file=sys.stderr)
+    return code
 
 
 def _cmd_calibration() -> int:
@@ -254,6 +329,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     if args.command == "calibration":
         return _cmd_calibration()
     if args.command == "placements":

@@ -16,7 +16,7 @@ import numpy as np
 from ..beegfs.filesystem import BeeGFS, BeeGFSDeploymentSpec
 from ..beegfs.meta import FileInode
 from ..calibration.plafrim import Calibration
-from ..errors import ExperimentError
+from ..errors import ExperimentError, SimulationError
 from ..faults import FaultSchedule, wrap_providers
 from ..netsim.flows import FluidFlow
 from ..netsim.fluid import CapacityProvider, ConstantCapacity, NoiseModel, NoNoise
@@ -28,10 +28,19 @@ from ..storage.server import ServerIngestModel, StorageHostSpec, StoragePoolMode
 from ..storage.target import StorageTargetModel
 from ..topology.builders import SWITCH_NAME
 from ..topology.graph import Topology
+from ..verify.invariants import RuntimeChecker, make_checker
+from ..verify.level import ValidationLevel
 from ..workload.application import Application
 from ..workload.patterns import AccessPattern
 
-__all__ = ["EngineOptions", "PreparedRun", "EngineBase", "FABRIC_RESOURCE", "SAN_RESOURCE"]
+__all__ = [
+    "EngineOptions",
+    "PreparedRun",
+    "EngineBase",
+    "ValidationLevel",
+    "FABRIC_RESOURCE",
+    "SAN_RESOURCE",
+]
 
 # Beyond this many per-rank regions, per-target volumes are computed by
 # the uniform-striping approximation instead of exact region walking.
@@ -64,6 +73,11 @@ class EngineOptions:
     # for byte-identical fault-free behaviour.
     fault_schedule: FaultSchedule | None = None
     retry: RetryPolicy | None = None
+    # Runtime invariant checking (repro.verify): OFF is byte-identical
+    # to the unchecked engines, BASIC certifies time/capacity/per-flow
+    # conservation, PARANOID adds the max-min fairness certificate and
+    # per-target byte conservation on every segment.
+    validation: ValidationLevel = ValidationLevel.OFF
 
     @property
     def faults_enabled(self) -> bool:
@@ -137,6 +151,13 @@ class EngineBase:
         self._seeds = SeedTree(seed).child(type(self).__name__)
 
     # -- helpers ---------------------------------------------------------------
+
+    def _make_checker(self, rep: int) -> RuntimeChecker | None:
+        """The run's invariant checker, or ``None`` at ``ValidationLevel.OFF``."""
+        return make_checker(
+            self.options.validation,
+            context=f"{type(self).__name__} seed={self.seed} rep={rep}",
+        )
 
     def _create_files(self, fs: BeeGFS, app: Application) -> dict[int | None, FileInode]:
         """Create the application's files; keys are ranks (None = shared)."""
@@ -216,7 +237,8 @@ class EngineBase:
             # Mark targets unreachable/degraded *before* any file is
             # created, so the choosers allocate around the failures the
             # way a live management service would.
-            assert schedule is not None
+            if schedule is None:  # pragma: no cover - faults_enabled implies a schedule
+                raise SimulationError("faults enabled without a fault schedule")
             schedule.apply_to_management(fs.management, time=0.0)
 
         providers: dict[str, CapacityProvider] = {}
@@ -311,7 +333,8 @@ class EngineBase:
         )
         noise: NoiseModel = calib.make_noise() if self.options.noise_enabled else NoNoise()
         if self.options.faults_enabled:
-            assert schedule is not None
+            if schedule is None:  # pragma: no cover - faults_enabled implies a schedule
+                raise SimulationError("faults enabled without a fault schedule")
             providers = wrap_providers(providers, schedule)
         return PreparedRun(
             apps=apps,

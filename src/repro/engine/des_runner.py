@@ -20,12 +20,16 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from bisect import bisect_right
 
 from ..errors import ExperimentError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..verify.invariants import RuntimeChecker
 from ..netsim.fluid import FlowTraceEvent, ResourceContext
 from ..netsim.maxmin import max_min_rates
 from ..units import MiB
@@ -89,7 +93,7 @@ class DESEngine(EngineBase):
                 f"DES run would issue {total_transfers} transfers "
                 f"(> {self.max_requests}); reduce the data volume"
             )
-        return self._integrate(prepared, procs)
+        return self._integrate(prepared, procs, checker=self._make_checker(rep))
 
     # -- setup -----------------------------------------------------------------
 
@@ -116,7 +120,12 @@ class DESEngine(EngineBase):
 
     # -- the event loop ----------------------------------------------------------
 
-    def _integrate(self, prepared: PreparedRun, procs: list[_Proc]) -> RunResult:
+    def _integrate(
+        self,
+        prepared: PreparedRun,
+        procs: list[_Proc],
+        checker: "RuntimeChecker | None" = None,
+    ) -> RunResult:
         rids = list(prepared.providers)
         rid_index = {rid: i for i, rid in enumerate(rids)}
         providers = [prepared.providers[rid] for rid in rids]
@@ -128,6 +137,13 @@ class DESEngine(EngineBase):
             for app in prepared.apps
             for rank in range(app.nprocs)
         }
+        if checker is not None:
+            checker.bind_resources(rids)
+            for proc in procs:
+                node = node_of_rank[(proc.app_id, proc.rank)]
+                for transfer in proc.transfers:
+                    for target, nbytes in transfer:
+                        checker.expect_bytes(route_idx[(node, target)], nbytes)
         app_start = {app.app_id: app.start_time for app in prepared.apps}
         rtt = self.calibration.request_rtt_s
 
@@ -251,7 +267,8 @@ class DESEngine(EngineBase):
                     for i in range(len(rids))
                 ]
             )
-            rates = max_min_rates(memberships, capacities) * float(MiB)
+            rates_mib = max_min_rates(memberships, capacities)
+            rates = rates_mib * float(MiB)
             if retry is not None:
                 # A zero-rate chunk request is making no progress: run
                 # its stall clock; any progress clears it.
@@ -284,6 +301,16 @@ class DESEngine(EngineBase):
                 raise SimulationError(f"DES engine stalled at t={now}")
             dt = max(dt, 0.0)
 
+            if checker is not None:
+                checker.on_segment(
+                    now,
+                    dt,
+                    capacities,
+                    memberships,
+                    rates_mib,
+                    flow_labels=[e.request_id for e in active],
+                )
+
             now += dt
             segments += 1
             still: list[_Extent] = []
@@ -306,6 +333,8 @@ class DESEngine(EngineBase):
                         app_id = ext.proc.app_id
                         lost_bytes[app_id] = lost_bytes.get(app_id, 0.0) + ext.remaining
                         trace.append(FlowTraceEvent(now, ext.request_id, "abandon", ext.attempts))
+                        if checker is not None:
+                            checker.retract_bytes(ext.resource_idxs, ext.remaining)
                         seq = finish_request(ext.proc, now, seq)
                     else:
                         trace.append(FlowTraceEvent(now, ext.request_id, "retry", ext.attempts))
@@ -314,6 +343,9 @@ class DESEngine(EngineBase):
                 else:
                     still.append(ext)
             active = still
+
+        if checker is not None:
+            checker.finish()
 
         return self._collect(
             prepared,
@@ -329,8 +361,10 @@ class DESEngine(EngineBase):
         """Fault transition instants become extra segment boundaries."""
         if not self.options.faults_enabled:
             return ()
-        assert self.options.fault_schedule is not None
-        return self.options.fault_schedule.boundaries()
+        schedule = self.options.fault_schedule
+        if schedule is None:  # pragma: no cover - faults_enabled implies a schedule
+            raise SimulationError("faults enabled without a fault schedule")
+        return schedule.boundaries()
 
     def _collect(
         self,
@@ -350,7 +384,12 @@ class DESEngine(EngineBase):
         for app in prepared.apps:
             meta = meta_draw(app.app_id)
             mine = [p for p in procs if p.app_id == app.app_id]
-            assert all(p.finished_at is not None for p in mine)
+            unfinished = [f"r{p.rank}" for p in mine if p.finished_at is None]
+            if unfinished:
+                raise SimulationError(
+                    f"DES run ended with unfinished processes of {app.app_id}: "
+                    f"{', '.join(unfinished)}"
+                )
             end = max(p.finished_at for p in mine)  # type: ignore[type-var]
             targets = prepared.app_targets[app.app_id]
             per_server = {s: 0 for s in servers}

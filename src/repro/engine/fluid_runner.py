@@ -19,6 +19,7 @@ protocols call :meth:`FluidEngine.run` once per repetition with a fresh
 
 from __future__ import annotations
 
+from ..errors import SimulationError
 from ..netsim.fluid import FluidResult, FluidSimulation
 from ..workload.application import Application
 from .base import EngineBase, EngineOptions, PreparedRun, _metadata_overheads
@@ -38,6 +39,7 @@ class FluidEngine(EngineBase):
             latency=prepared.latency,
             cap_iterations=self.options.cap_iterations,
             retry=self.options.effective_retry(),
+            checker=self._make_checker(rep),
         )
         for rid, provider in prepared.providers.items():
             sim.add_resource(rid, provider)
@@ -59,8 +61,10 @@ class FluidEngine(EngineBase):
         """Fault transition instants become extra segment boundaries."""
         if not self.options.faults_enabled:
             return ()
-        assert self.options.fault_schedule is not None
-        return self.options.fault_schedule.boundaries()
+        schedule = self.options.fault_schedule
+        if schedule is None:  # pragma: no cover - faults_enabled implies a schedule
+            raise SimulationError("faults enabled without a fault schedule")
+        return schedule.boundaries()
 
     def explain(self, apps: list[Application] | tuple[Application, ...], rep: int = 0):
         """Run one repetition with constraint tracking.
@@ -77,6 +81,7 @@ class FluidEngine(EngineBase):
             latency=prepared.latency,
             cap_iterations=self.options.cap_iterations,
             retry=self.options.effective_retry(),
+            checker=self._make_checker(rep),
         )
         for rid, provider in prepared.providers.items():
             sim.add_resource(rid, provider)

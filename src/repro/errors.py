@@ -30,6 +30,11 @@ __all__ = [
     "ExperimentError",
     "CheckpointError",
     "AnalysisError",
+    "VerificationError",
+    "InvariantViolation",
+    "ConformanceError",
+    "GoldenMismatchError",
+    "ReplayDivergenceError",
 ]
 
 
@@ -139,3 +144,29 @@ class CheckpointError(ExperimentError):
 
 class AnalysisError(ReproError, ValueError):
     """A statistical analysis was requested on unsuitable data."""
+
+
+class VerificationError(ReproError, RuntimeError):
+    """Base class for failures of the :mod:`repro.verify` guardrails."""
+
+
+class InvariantViolation(VerificationError, SimulationError):
+    """A machine-checked physical invariant was violated at runtime.
+
+    Subclasses :class:`SimulationError` so existing callers that treat
+    simulation failures uniformly (quarantine, fail-fast) keep working;
+    campaigns can still single it out for the dedicated quarantine path
+    of :class:`~repro.methodology.runner.ProtocolRunner`.
+    """
+
+
+class ConformanceError(VerificationError):
+    """The fluid and DES engines disagree beyond the declared tolerance."""
+
+
+class GoldenMismatchError(ConformanceError):
+    """A conformance result drifted from its pinned golden value."""
+
+
+class ReplayDivergenceError(VerificationError):
+    """Two same-seed runs produced different results."""

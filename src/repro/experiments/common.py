@@ -26,12 +26,12 @@ key so a 100-repetition protocol pays construction once.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from ..calibration.plafrim import Calibration, scenario_by_name
-from ..engine.base import EngineOptions
+from ..engine.base import EngineOptions, ValidationLevel
 from ..engine.fluid_runner import FluidEngine
 from ..engine.result import RunResult
 from ..errors import ExperimentError
@@ -175,6 +175,8 @@ def protocol_options(
     checkpoint: str | Path | None = None,
     resume: bool | None = None,
     checkpoint_every: int | None = None,
+    validation: str | ValidationLevel | None = None,
+    on_violation: str | None = None,
 ) -> Iterator[None]:
     """Override the runner policy of every ``run_specs`` call inside.
 
@@ -187,6 +189,8 @@ def protocol_options(
         ("checkpoint", checkpoint),
         ("resume", resume),
         ("checkpoint_every", checkpoint_every),
+        ("validation", validation),
+        ("on_violation", on_violation),
     ):
         if value is not None:
             _RUNNER_OVERRIDES[name] = value
@@ -209,17 +213,26 @@ def run_specs(
     checkpoint: str | Path | None = None,
     resume: bool = False,
     checkpoint_every: int = 10,
+    validation: str | ValidationLevel | None = None,
+    on_violation: str = "skip",
 ) -> RecordStore:
     """Run a sweep under the paper's protocol and return the records.
 
     ``on_error``/``checkpoint``/``resume``/``checkpoint_every`` configure
     the :class:`~repro.methodology.runner.ProtocolRunner`'s resilience;
-    an enclosing :func:`protocol_options` context overrides them.
+    ``validation`` overrides the engine's invariant-checking level and
+    ``on_violation`` decides whether a tripped invariant quarantines the
+    run (``"skip"``, default) or aborts the campaign (``"fail"``).  An
+    enclosing :func:`protocol_options` context overrides them all.
     """
     on_error = _RUNNER_OVERRIDES.get("on_error", on_error)
     checkpoint = _RUNNER_OVERRIDES.get("checkpoint", checkpoint)
     resume = _RUNNER_OVERRIDES.get("resume", resume)
     checkpoint_every = _RUNNER_OVERRIDES.get("checkpoint_every", checkpoint_every)
+    validation = _RUNNER_OVERRIDES.get("validation", validation)
+    on_violation = _RUNNER_OVERRIDES.get("on_violation", on_violation)
+    if validation is not None:
+        options = replace(options, validation=ValidationLevel.parse(validation))
     protocol = ProtocolConfig(
         repetitions=repetitions,
         block_size=min(10, max(1, repetitions)),
@@ -238,6 +251,7 @@ def run_specs(
         on_error=on_error,
         checkpoint_path=checkpoint,
         checkpoint_every=checkpoint_every,
+        on_violation=on_violation,
     )
     if resume and checkpoint is not None:
         return runner.resume(plan, progress=progress)

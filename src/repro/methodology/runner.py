@@ -21,6 +21,11 @@ node dies, the job hits its time limit.  The runner therefore supports
 * ``on_error="skip"``: a raising run is quarantined as a
   :class:`~repro.methodology.records.FailedRunRecord` and the campaign
   continues (``"fail"``, the default, re-raises after checkpointing);
+* ``on_violation="skip"`` (the default): a run that trips a
+  :class:`~repro.errors.InvariantViolation` — a machine-checked model
+  bug detected by a validating engine — is quarantined even under
+  ``on_error="fail"``, so one corrupted point never aborts (or worse,
+  silently pollutes) a paranoid campaign; ``"fail"`` re-raises;
 * periodic crash-safe checkpoints of the full store to
   ``checkpoint_path`` (JSON, atomic replace);
 * :meth:`resume`, which loads the checkpoint and re-executes only the
@@ -34,7 +39,7 @@ from pathlib import Path
 from typing import Callable
 
 from ..engine.result import RunResult
-from ..errors import ExperimentError
+from ..errors import ExperimentError, InvariantViolation
 from .plan import ExperimentPlan, ExperimentSpec
 from .records import FailedRunRecord, RecordStore, RunRecord
 
@@ -54,15 +59,21 @@ class ProtocolRunner:
         on_error: str = "fail",
         checkpoint_path: str | Path | None = None,
         checkpoint_every: int = 10,
+        on_violation: str = "skip",
     ):
         if on_error not in _ON_ERROR_POLICIES:
             raise ExperimentError(
                 f"on_error must be one of {_ON_ERROR_POLICIES}, got {on_error!r}"
             )
+        if on_violation not in _ON_ERROR_POLICIES:
+            raise ExperimentError(
+                f"on_violation must be one of {_ON_ERROR_POLICIES}, got {on_violation!r}"
+            )
         if checkpoint_every < 1:
             raise ExperimentError("checkpoint_every must be >= 1")
         self.executor = executor
         self.on_error = on_error
+        self.on_violation = on_violation
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path is not None else None
         self.checkpoint_every = checkpoint_every
 
@@ -111,7 +122,9 @@ class ProtocolRunner:
                 try:
                     result = self.executor(planned.spec, planned.rep)
                 except Exception as exc:
-                    if self.on_error == "fail":
+                    violation = isinstance(exc, InvariantViolation)
+                    policy = self.on_violation if violation else self.on_error
+                    if policy == "fail":
                         self._checkpoint(store)
                         raise
                     store.failures.append(

@@ -32,6 +32,7 @@ from .maxmin import max_min_rates
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..storage.client_model import RetryPolicy
+    from ..verify.invariants import RuntimeChecker
 
 __all__ = [
     "ResourceContext",
@@ -205,12 +206,17 @@ class FluidSimulation:
         latency: BlockingRequestModel | NoLatency | None = None,
         cap_iterations: int = 4,
         retry: "RetryPolicy | None" = None,
+        checker: "RuntimeChecker | None" = None,
     ):
         self._providers: dict[str, CapacityProvider] = {}
         self._flows: list[FluidFlow] = []
         self.noise: NoiseModel = noise if noise is not None else NoNoise()
         self.latency = latency if latency is not None else NoLatency()
         self.cap_iterations = cap_iterations
+        # Runtime invariant checker (see repro.verify.invariants): when
+        # set, every segment's solve is certified and byte conservation
+        # is enforced at the end of the run.  ``None`` costs nothing.
+        self.checker = checker
         # Client robustness: when set, a flow whose rate stays at zero
         # for ``retry.timeout_s`` is pulled off the wire, backs off, and
         # re-enters; after ``retry.max_retries`` timeouts it is abandoned
@@ -283,6 +289,13 @@ class FluidSimulation:
         rids = list(self._providers)
         rid_index = {rid: i for i, rid in enumerate(rids)}
         flows = sorted(self._flows, key=lambda f: (f.start_time, f.flow_id))
+        checker = self.checker
+        if checker is not None:
+            checker.bind_resources(rids)
+            for flow in flows:
+                checker.expect_bytes(
+                    [rid_index[r] for r in flow.resources], flow.volume_bytes
+                )
         pending = list(flows)
         active: list[FluidFlow] = []
         series = {rid: TimeSeries() for rid in observe}
@@ -373,9 +386,14 @@ class FluidSimulation:
             )
             # Latency caps are seeded from the uncapped (offered) shares
             # and only allowed to rise afterwards (see solve_with_caps).
+            # ``caps_used`` is the cap vector the final ``rates`` were
+            # solved against (``caps`` may already hold the next
+            # iterate), which is what the fairness certificate needs.
             rates = max_min_rates(memberships, capacities)
             caps = self.latency.flow_caps(rates, nprocs, req_sizes)
+            caps_used = None
             for _ in range(self.cap_iterations):
+                caps_used = caps
                 rates = max_min_rates(memberships, capacities, caps)
                 new_caps = np.maximum(caps, self.latency.flow_caps(rates, nprocs, req_sizes))
                 if np.allclose(new_caps, caps, rtol=1e-6, atol=1e-9):
@@ -418,6 +436,17 @@ class FluidSimulation:
                 stuck = [f.flow_id for f in active]
                 raise SimulationError(f"fluid simulation stalled at t={now}: flows {stuck}")
             dt = max(dt, 0.0)
+
+            if checker is not None:
+                checker.on_segment(
+                    now,
+                    dt,
+                    capacities,
+                    memberships,
+                    rates,
+                    flow_caps=caps_used,
+                    flow_labels=[f.flow_id for f in active],
+                )
 
             for rid in observe:
                 i = rid_index[rid]
@@ -472,6 +501,10 @@ class FluidSimulation:
                         flow.abandoned = True
                         flow.finished_at = now
                         trace.append(FlowTraceEvent(now, flow.flow_id, "abandon", flow.attempts))
+                        if checker is not None:
+                            checker.retract_bytes(
+                                [rid_index[r] for r in flow.resources], flow.remaining_bytes
+                            )
                     else:
                         trace.append(FlowTraceEvent(now, flow.flow_id, "retry", flow.attempts))
                         retry_seq += 1
@@ -484,6 +517,13 @@ class FluidSimulation:
 
         for rid in observe:
             series[rid].append(now, 0.0)
+
+        if checker is not None:
+            for flow in flows:
+                checker.flow_complete(
+                    flow.flow_id, flow.volume_bytes, flow.remaining_bytes, flow.abandoned
+                )
+            checker.finish()
 
         stats = [f.stats() for f in flows]
         makespan = max(s.finished_at for s in stats)

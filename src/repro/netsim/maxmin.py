@@ -25,7 +25,7 @@ import numpy as np
 
 from ..errors import FlowError
 
-__all__ = ["max_min_rates", "solve_with_caps"]
+__all__ = ["max_min_rates", "solve_with_caps", "fairness_violations"]
 
 _EPS = 1e-9
 
@@ -154,3 +154,51 @@ def solve_with_caps(
             break
         caps = new_caps
     return rates
+
+
+def fairness_violations(
+    memberships: Sequence[Sequence[int]],
+    capacities: np.ndarray | Sequence[float],
+    rates: np.ndarray | Sequence[float],
+    flow_caps: np.ndarray | Sequence[float] | None = None,
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+) -> list[int]:
+    """Indices of flows that saturate *no* constraint — the max-min certificate.
+
+    A max-min fair allocation has a simple machine-checkable witness:
+    every flow is held back by *something* — either one of its resources
+    is saturated (its usage reaches capacity) or the flow sits at its own
+    rate cap.  A flow constrained by neither could be raised without
+    hurting anyone, so the allocation would not be max-min fair.  The
+    returned list is empty for a fair allocation; non-empty means the
+    solver (or the capacities handed to it) is inconsistent.
+
+    Zero-capacity resources count as saturated (their flows are pinned at
+    rate 0 by a binding constraint).  Tolerances absorb the progressive
+    filling epsilon; they are deliberately loose enough that only genuine
+    solver bugs trip the certificate.
+    """
+    caps = np.asarray(capacities, dtype=float)
+    rates_arr = np.asarray(rates, dtype=float)
+    if len(memberships) != rates_arr.shape[0]:
+        raise FlowError("rates must have one entry per flow")
+    usage = np.zeros(caps.shape[0])
+    for idxs, rate in zip(memberships, rates_arr):
+        for i in idxs:
+            usage[i] += rate
+    saturated = usage >= caps * (1.0 - rtol) - atol
+    caps_arr = None
+    if flow_caps is not None:
+        caps_arr = np.asarray(flow_caps, dtype=float)
+        if caps_arr.shape != rates_arr.shape:
+            raise FlowError("flow_caps must have one entry per flow")
+    out: list[int] = []
+    for f, idxs in enumerate(memberships):
+        if caps_arr is not None and np.isfinite(caps_arr[f]):
+            if rates_arr[f] >= caps_arr[f] * (1.0 - rtol) - atol:
+                continue
+        if any(saturated[i] for i in idxs):
+            continue
+        out.append(f)
+    return out

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator
 
-from ..errors import DeadlockError, SimulationError
+from ..errors import DeadlockError, InvariantViolation, SimulationError
 from .events import Event, EventQueue, ScheduledCallback
 
 __all__ = ["Timeout", "Process", "Simulator"]
@@ -180,7 +180,12 @@ class Simulator:
         """Execute the single next callback, advancing the clock."""
         cb = self._queue.pop()
         if cb.time < self._now:
-            raise SimulationError("event queue went backwards in time")
+            # Monotone event time is a hard kernel invariant: raising the
+            # dedicated violation type lets paranoid campaigns quarantine
+            # the run (still a SimulationError for legacy callers).
+            raise InvariantViolation(
+                f"event queue went backwards in time: {cb.time} < {self._now}"
+            )
         self._now = cb.time
         cb.fn()
 

@@ -204,9 +204,15 @@ def format_duration(seconds: float) -> str:
     if seconds < 60:
         return f"{seconds:.3g}s"
     minutes, rem = divmod(seconds, 60.0)
-    if rem < 0.5:
+    # Round the seconds part first and carry, so 119.7s renders as
+    # "2min", never "1min 60s".
+    whole_rem = int(round(rem))
+    if whole_rem == 60:
+        minutes += 1
+        whole_rem = 0
+    if whole_rem == 0:
         return f"{int(minutes)}min"
-    return f"{int(minutes)}min {rem:.0f}s"
+    return f"{int(minutes)}min {whole_rem}s"
 
 
 def format_bandwidth(mib_s: float, precision: int = 1) -> str:

@@ -1,0 +1,271 @@
+"""Runtime invariant checking shared by the fluid and DES engines.
+
+A :class:`RuntimeChecker` rides along inside an engine's integration
+loop and raises :class:`~repro.errors.InvariantViolation` the moment a
+physical law breaks, instead of letting a silently-corrupted number
+reach the statistics.  The checked invariants:
+
+* **Monotone time** — segment start times never decrease (BASIC).
+* **Capacity timeline** — in every segment, the summed rate through a
+  resource never exceeds the capacity the solver was given for that
+  instant; fault windows are included for free because the engines
+  evaluate the (fault-wrapped) providers before handing capacities to
+  the checker (BASIC).
+* **Per-flow byte conservation** — every non-abandoned flow delivers
+  exactly its declared volume; no flow over-delivers (BASIC).
+* **Max-min fairness certificate** — after each solve, every flow
+  saturates at least one resource or its own rate cap
+  (:func:`repro.netsim.maxmin.fairness_violations`) (PARANOID).
+* **Per-resource/per-target byte conservation** — the time integral of
+  each resource's throughput equals the payload bytes of the flows
+  routed through it, so no byte is created or dropped anywhere along
+  the path (PARANOID; needs per-segment accumulation).
+
+The checker is engine-agnostic: both engines speak to it in resource
+*indices* over a list of resource ids bound once per run, with rates in
+MiB/s.  ``inject`` deliberately corrupts the checker's view of the run
+("over-capacity" halves the capacities it sees, "byte-loss" drops one
+MiB from a target's delivered tally) — the self-test proving the
+detection machinery actually fires end to end.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..errors import InvariantViolation
+from ..netsim.maxmin import fairness_violations
+from ..units import MiB
+from .level import ValidationLevel
+
+__all__ = ["RuntimeChecker", "make_checker", "forced_injection", "INJECTION_KINDS"]
+
+INJECTION_KINDS = ("over-capacity", "byte-loss")
+
+# Scoped injection override consumed by make_checker(): lets the
+# verification suite corrupt checkers that engines construct internally,
+# without any engine-side injection plumbing.
+_FORCED_INJECTION: str | None = None
+
+
+@contextmanager
+def forced_injection(kind: str | None) -> Iterator[None]:
+    """Every checker made inside the block carries ``inject=kind``."""
+    global _FORCED_INJECTION
+    if kind is not None and kind not in INJECTION_KINDS:
+        raise ValueError(f"unknown injection {kind!r} (expected {INJECTION_KINDS})")
+    previous = _FORCED_INJECTION
+    _FORCED_INJECTION = kind
+    try:
+        yield
+    finally:
+        _FORCED_INJECTION = previous
+
+# One MiB/s of absolute slack on the capacity check: progressive filling
+# guarantees usage <= capacity up to its internal epsilon, and float
+# summation over a few hundred flows needs a little headroom.
+_CAPACITY_RTOL = 1e-6
+_CAPACITY_ATOL_MIB_S = 1e-5
+_TIME_ATOL_S = 1e-9
+# Engines clamp a flow's remaining bytes to zero below ~1e-3 bytes per
+# completion, so per-resource integrals carry sub-byte residue per flow.
+_CONSERVATION_RTOL = 1e-6
+
+
+class RuntimeChecker:
+    """Per-run invariant checker; raises on the first violation."""
+
+    def __init__(
+        self,
+        level: ValidationLevel,
+        context: str = "",
+        conservation_atol_bytes: float = 64.0 * 1024.0,
+        inject: str | None = None,
+    ):
+        if not level.enabled:
+            raise ValueError("RuntimeChecker needs BASIC or PARANOID level")
+        if inject is not None and inject not in INJECTION_KINDS:
+            raise ValueError(f"unknown injection {inject!r} (expected {INJECTION_KINDS})")
+        self.level = level
+        self.context = context
+        self.conservation_atol_bytes = float(conservation_atol_bytes)
+        self.inject = inject
+        self.segments_checked = 0
+        self._rids: list[str] = []
+        self._delivered: np.ndarray | None = None  # bytes integrated per resource
+        self._expected: np.ndarray | None = None  # payload bytes routed per resource
+        self._last_time = -math.inf
+
+    # -- wiring ----------------------------------------------------------------
+
+    def bind_resources(self, rids: Sequence[str]) -> None:
+        """Declare the run's resource id list; indices refer into it."""
+        self._rids = list(rids)
+        n = len(self._rids)
+        self._delivered = np.zeros(n)
+        self._expected = np.zeros(n)
+
+    def expect_bytes(self, resource_idxs: Sequence[int], nbytes: float) -> None:
+        """Register a flow's volume against every resource on its route."""
+        if self._expected is None:
+            raise InvariantViolation(self._msg("usage", "expect_bytes before bind_resources"))
+        for i in resource_idxs:
+            self._expected[i] += nbytes
+
+    def retract_bytes(self, resource_idxs: Sequence[int], nbytes: float) -> None:
+        """Remove an abandoned flow's undelivered remainder from the ledger."""
+        if self._expected is None:
+            raise InvariantViolation(self._msg("usage", "retract_bytes before bind_resources"))
+        for i in resource_idxs:
+            self._expected[i] -= nbytes
+
+    # -- per-segment checks ------------------------------------------------------
+
+    def on_segment(
+        self,
+        now: float,
+        dt: float,
+        capacities: np.ndarray,
+        memberships: Sequence[Sequence[int]],
+        rates_mib_s: np.ndarray,
+        flow_caps: np.ndarray | None = None,
+        flow_labels: Sequence[str] | None = None,
+    ) -> None:
+        """Check one piecewise-constant segment after the rate solve.
+
+        ``capacities`` must be exactly the array the solver consumed
+        (noise and fault multipliers applied), ``rates_mib_s`` the rates
+        it produced, ``dt`` the segment length about to be integrated.
+        """
+        self.segments_checked += 1
+        # 1. Monotone, finite time.
+        if not math.isfinite(now) or not math.isfinite(dt) or dt < 0:
+            raise InvariantViolation(self._msg("time", f"non-finite segment t={now}, dt={dt}"))
+        if now < self._last_time - _TIME_ATOL_S:
+            raise InvariantViolation(
+                self._msg("time", f"segment time went backwards: {self._last_time} -> {now}")
+            )
+        self._last_time = now
+
+        caps = np.asarray(capacities, dtype=float)
+        rates = np.asarray(rates_mib_s, dtype=float)
+        if np.any(rates < -_CAPACITY_ATOL_MIB_S):
+            worst = int(np.argmin(rates))
+            raise InvariantViolation(
+                self._msg("rates", f"negative rate {rates[worst]:g} MiB/s (flow {self._label(flow_labels, worst)})")
+            )
+
+        # 2. Capacity timeline: no resource above its capacity for this
+        # instant (fault multipliers are already inside ``caps``).
+        usage = np.zeros(caps.shape[0])
+        for idxs, rate in zip(memberships, rates):
+            for i in idxs:
+                usage[i] += rate
+        caps_seen = caps * 0.5 if self.inject == "over-capacity" else caps
+        over = usage > caps_seen * (1.0 + _CAPACITY_RTOL) + _CAPACITY_ATOL_MIB_S
+        if np.any(over):
+            i = int(np.argmax(usage - caps_seen))
+            raise InvariantViolation(
+                self._msg(
+                    "capacity",
+                    f"resource {self._rid(i)} over capacity at t={now:g}: "
+                    f"usage {usage[i]:.6f} MiB/s > capacity {caps_seen[i]:.6f} MiB/s",
+                )
+            )
+
+        if self.level.paranoid:
+            # 3. Max-min fairness certificate for this solve.
+            bad = fairness_violations(memberships, caps, rates, flow_caps)
+            if bad:
+                f = bad[0]
+                raise InvariantViolation(
+                    self._msg(
+                        "fairness",
+                        f"flow {self._label(flow_labels, f)} at t={now:g} saturates no "
+                        f"constraint (rate {rates[f]:.6f} MiB/s; {len(bad)} such flows)",
+                    )
+                )
+            # 4. Accumulate the per-resource byte integral.
+            if self._delivered is not None:
+                scale = dt * float(MiB)
+                for idxs, rate in zip(memberships, rates):
+                    for i in idxs:
+                        self._delivered[i] += rate * scale
+
+    # -- end-of-run checks --------------------------------------------------------
+
+    def flow_complete(
+        self, label: str, volume_bytes: float, remaining_bytes: float, abandoned: bool
+    ) -> None:
+        """Per-flow byte conservation at the end of a run."""
+        atol = self.conservation_atol_bytes
+        if remaining_bytes < -atol:
+            raise InvariantViolation(
+                self._msg(
+                    "conservation",
+                    f"flow {label} over-delivered: {-remaining_bytes:.1f} bytes beyond "
+                    f"its {volume_bytes:.0f}-byte volume",
+                )
+            )
+        if not abandoned and remaining_bytes > atol:
+            raise InvariantViolation(
+                self._msg(
+                    "conservation",
+                    f"flow {label} finished with {remaining_bytes:.1f} of "
+                    f"{volume_bytes:.0f} bytes undelivered but was not abandoned",
+                )
+            )
+
+    def finish(self) -> None:
+        """Per-resource (hence per-target) byte conservation (PARANOID)."""
+        if not self.level.paranoid or self._delivered is None or self._expected is None:
+            return
+        delivered = self._delivered.copy()
+        if self.inject == "byte-loss":
+            # Drop one MiB from the busiest resource's tally: a simulated
+            # silently-dropped chunk the conservation check must catch.
+            delivered[int(np.argmax(delivered))] -= float(MiB)
+        tol = self.conservation_atol_bytes + _CONSERVATION_RTOL * np.abs(self._expected)
+        off = np.abs(delivered - self._expected) > tol
+        if np.any(off):
+            i = int(np.argmax(np.abs(delivered - self._expected)))
+            raise InvariantViolation(
+                self._msg(
+                    "conservation",
+                    f"resource {self._rid(i)} moved {delivered[i]:.0f} bytes but "
+                    f"{self._expected[i]:.0f} were routed through it "
+                    f"(delta {delivered[i] - self._expected[i]:+.0f})",
+                )
+            )
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _rid(self, index: int) -> str:
+        return self._rids[index] if 0 <= index < len(self._rids) else f"#{index}"
+
+    @staticmethod
+    def _label(labels: Sequence[str] | None, index: int) -> str:
+        if labels is not None and 0 <= index < len(labels):
+            return labels[index]
+        return f"#{index}"
+
+    def _msg(self, invariant: str, detail: str) -> str:
+        where = f" [{self.context}]" if self.context else ""
+        return f"invariant '{invariant}' violated{where}: {detail}"
+
+
+def make_checker(
+    level: ValidationLevel | str | None,
+    context: str = "",
+    inject: str | None = None,
+) -> RuntimeChecker | None:
+    """Build a checker for a run, or ``None`` when validation is off."""
+    parsed = ValidationLevel.parse(level)
+    if not parsed.enabled:
+        return None
+    effective_inject = inject if inject is not None else _FORCED_INJECTION
+    return RuntimeChecker(parsed, context=context, inject=effective_inject)

@@ -1,0 +1,54 @@
+"""Validation levels: how much runtime checking a run pays for.
+
+``OFF`` is byte-identical to the pre-guardrail engines (no checker is
+even constructed).  ``BASIC`` buys the cheap always-on invariants —
+monotone time, the capacity timeline, per-flow byte conservation — at a
+few percent overhead.  ``PARANOID`` adds the per-segment max-min
+fairness certificate and per-resource (per-target) byte conservation,
+which cost one extra O(flows x resources) pass per segment; use it for
+conformance campaigns and CI, not for million-run production sweeps.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import ConfigError
+
+__all__ = ["ValidationLevel"]
+
+
+class ValidationLevel(enum.Enum):
+    """How strictly a run is checked while it executes."""
+
+    OFF = 0
+    BASIC = 1
+    PARANOID = 2
+
+    @classmethod
+    def parse(cls, value: "ValidationLevel | str | None") -> "ValidationLevel":
+        """Coerce a CLI/config value (``"off"``/``"basic"``/``"paranoid"``)."""
+        if value is None:
+            return cls.OFF
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls[str(value).upper()]
+        except KeyError:
+            names = ", ".join(level.name.lower() for level in cls)
+            raise ConfigError(
+                f"unknown validation level {value!r} (expected one of: {names})"
+            ) from None
+
+    @property
+    def enabled(self) -> bool:
+        return self is not ValidationLevel.OFF
+
+    @property
+    def paranoid(self) -> bool:
+        return self is ValidationLevel.PARANOID
+
+    def __ge__(self, other: "ValidationLevel") -> bool:
+        if isinstance(other, ValidationLevel):
+            return self.value >= other.value
+        return NotImplemented

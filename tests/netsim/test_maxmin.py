@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import FlowError
-from repro.netsim.maxmin import max_min_rates, solve_with_caps
+from repro.netsim.maxmin import fairness_violations, max_min_rates, solve_with_caps
 
 
 class TestKnownAllocations:
@@ -116,6 +116,54 @@ class TestInvariants:
         r2 = max_min_rates(memberships, caps * 2.0)
         assert np.allclose(r2, 2.0 * r1, rtol=1e-6, atol=1e-6)
 
+    @given(maxmin_problem())
+    @settings(max_examples=80, deadline=None)
+    def test_conservation(self, problem):
+        """Per-resource conservation: usage is exactly the summed member rates,
+        and total delivered rate never exceeds what any cut of saturated
+        resources admits."""
+        memberships, caps = problem
+        rates = max_min_rates(memberships, caps)
+        assert np.all(rates >= 0.0)
+        usage = np.zeros(len(caps))
+        for m, r in zip(memberships, rates):
+            for i in m:
+                usage[i] += r
+        # Every flow's rate is counted once per resource it crosses —
+        # re-deriving usage from scratch must agree bit-for-bit.
+        usage2 = np.zeros(len(caps))
+        for m, r in zip(memberships, rates):
+            usage2[list(m)] += r
+        assert np.allclose(usage, usage2, rtol=0, atol=1e-9)
+        assert np.all(usage <= caps * (1 + 1e-6) + 1e-6)
+
+    @given(maxmin_problem())
+    @settings(max_examples=80, deadline=None)
+    def test_fairness_certificate(self, problem):
+        """The machine-checkable certificate the runtime checker uses:
+        no flow can be raised without breaking a constraint."""
+        memberships, caps = problem
+        rates = max_min_rates(memberships, caps)
+        assert fairness_violations(memberships, caps, rates) == []
+
+    @given(maxmin_problem(), st.lists(st.floats(0.1, 500.0), min_size=1, max_size=12))
+    @settings(max_examples=80, deadline=None)
+    def test_fairness_certificate_with_flow_caps(self, problem, raw_caps):
+        memberships, caps = problem
+        flow_caps = np.array(
+            [raw_caps[i % len(raw_caps)] for i in range(len(memberships))]
+        )
+        rates = max_min_rates(memberships, caps, flow_caps=flow_caps)
+        assert np.all(rates <= flow_caps * (1 + 1e-9) + 1e-9)
+        assert fairness_violations(memberships, caps, rates, flow_caps) == []
+
+    def test_fairness_certificate_flags_underallocation(self):
+        """An allocation that leaves headroom for some flow must be flagged."""
+        memberships = [[0], [0]]
+        caps = np.array([100.0])
+        assert fairness_violations(memberships, caps, np.array([20.0, 20.0])) == [0, 1]
+        assert fairness_violations(memberships, caps, np.array([50.0, 50.0])) == []
+
 
 class TestSolveWithCaps:
     def test_none_cap_fn(self):
@@ -147,3 +195,38 @@ class TestSolveWithCaps:
     def test_wrong_shape_rejected(self):
         with pytest.raises(FlowError):
             solve_with_caps([[0]], [10.0], lambda r: np.ones(3))
+
+    def test_non_converging_cap_fn_terminates(self):
+        """A cap_fn that keeps raising its answer never reaches the
+        fixpoint tolerance; the loop must still stop at ``iterations``
+        and return a feasible allocation."""
+        calls = {"n": 0}
+
+        def cap_fn(rates):
+            calls["n"] += 1
+            # Strictly rising caps on every evaluation: no fixpoint.
+            return rates + calls["n"]
+
+        rates = solve_with_caps([[0], [0]], [100.0], cap_fn, iterations=3)
+        # Seed evaluation + one per iteration, no runaway.
+        assert calls["n"] <= 4
+        assert rates.sum() <= 100.0 * (1 + 1e-6) + 1e-6
+        assert np.all(rates >= 0.0)
+
+    def test_zero_capacity_resource_with_caps(self):
+        """A flow pinned to a dead resource stays at zero even when the
+        cap_fn offers it headroom, and doesn't poison the live flow."""
+
+        def cap_fn(rates):
+            return np.array([50.0, 50.0])
+
+        rates = solve_with_caps([[0], [1]], [0.0, 80.0], cap_fn, iterations=5)
+        assert rates[0] == 0.0
+        assert rates[1] == pytest.approx(50.0)
+        # The certificate accepts the allocation: flow 0 saturates the
+        # dead resource, flow 1 its own cap.
+        assert fairness_violations([[0], [1]], np.array([0.0, 80.0]), rates, np.array([50.0, 50.0])) == []
+
+    def test_all_flows_on_zero_capacity(self):
+        rates = solve_with_caps([[0], [0]], [0.0], lambda r: r + 1.0, iterations=4)
+        assert rates.tolist() == [0.0, 0.0]

@@ -141,6 +141,45 @@ class TestResilienceFlags:
         assert "--resume" in err
 
 
+class TestVerifyCommand:
+    def test_parser_accepts_verify_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "verify", "--suite", "conformance", "--level", "basic",
+                "--golden", str(tmp_path / "g.json"), "--update-golden",
+                "--inject", "byte-loss",
+            ]
+        )
+        assert args.suite == "conformance"
+        assert args.level == "basic"
+        assert args.update_golden is True
+        assert args.inject == "byte-loss"
+
+    def test_run_accepts_verify_level(self):
+        args = build_parser().parse_args(["run", "fig6", "--verify", "paranoid"])
+        assert args.verify == "paranoid"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig6", "--verify", "extreme"])
+
+    def test_verify_rejects_unknown_suite(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "--suite", "vibes"])
+
+    def test_verify_replay_suite_passes(self, capsys):
+        assert main(["verify", "--suite", "replay", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "replay:fluid+noise" in out
+        assert "replay:des" in out
+        assert "FAIL" not in out
+
+    def test_verify_injection_detected_exits_1(self, capsys):
+        code = main(["verify", "--suite", "replay", "--quiet", "--inject", "rng-perturb"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "detected" in captured.out
+        assert "injection detected" in captured.err
+
+
 class TestProtocolOptions:
     def test_overrides_apply_and_restore(self):
         from repro.experiments.common import _RUNNER_OVERRIDES, protocol_options

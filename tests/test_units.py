@@ -110,6 +110,33 @@ class TestDurations:
     def test_format(self, seconds, expected):
         assert format_duration(seconds) == expected
 
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (119.7, "2min"),  # the old code rendered "1min 60s"
+            (119.4, "1min 59s"),
+            (60.4, "1min"),
+            (3599.6, "60min"),
+            (61.0, "1min 1s"),
+        ],
+    )
+    def test_format_carries_rounded_seconds(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    @given(st.floats(min_value=60.0, max_value=1e6, allow_nan=False))
+    def test_format_never_shows_60s(self, seconds):
+        text = format_duration(seconds)
+        assert "60s" not in text
+        assert "min" in text
+
+    @given(st.floats(min_value=1e-3, max_value=59.0, allow_nan=False))
+    def test_format_parse_roundtrip_subminute(self, seconds):
+        # Sub-minute renderings are single quantities parse_duration
+        # accepts back; formatting rounds, so compare loosely.
+        assert parse_duration(format_duration(seconds)) == pytest.approx(
+            seconds, rel=0.05, abs=5e-4
+        )
+
 
 class TestConversions:
     def test_gbit_to_mib(self):

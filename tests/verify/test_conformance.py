@@ -1,0 +1,82 @@
+"""The cross-engine conformance harness and its golden store."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.verify.conformance import (
+    CONFORMANCE_SPECS,
+    GOLDEN_RTOL,
+    RunSpec,
+    default_golden_path,
+    run_conformance,
+)
+
+# One deliberately tiny case so the DES stays fast in unit tests; the
+# shipped corpus runs in the CI conformance job and via `repro verify`.
+TINY = (RunSpec(name="tiny", num_nodes=2, ppn=2, total_mib=64),)
+
+
+class TestRunSpec:
+    def test_rejects_unknown_fault(self):
+        with pytest.raises(ConfigError):
+            RunSpec(name="x", fault="meteor-strike")
+
+    def test_rejects_silly_tolerance(self):
+        with pytest.raises(ConfigError):
+            RunSpec(name="x", tolerance=0.0)
+
+    def test_shipped_corpus_is_well_formed(self):
+        names = [s.name for s in CONFORMANCE_SPECS]
+        assert len(set(names)) == len(names)
+        assert any(s.fault == "degraded-target" for s in CONFORMANCE_SPECS)
+        assert {s.scenario for s in CONFORMANCE_SPECS} == {"scenario1", "scenario2"}
+
+    def test_shipped_golden_store_exists_and_matches_corpus(self):
+        path = default_golden_path()
+        assert path.exists(), "tests/golden/conformance.json must be committed"
+        data = json.loads(path.read_text())
+        assert data["golden_rtol"] == GOLDEN_RTOL
+        assert set(data["cases"]) == {s.name for s in CONFORMANCE_SPECS}
+
+
+class TestHarness:
+    def test_engines_agree_and_golden_roundtrip(self, tmp_path):
+        golden = tmp_path / "golden.json"
+        first = run_conformance(specs=TINY, golden_path=golden, update_golden=True)
+        assert first.ok and first.golden_updated
+        assert golden.exists()
+        again = run_conformance(specs=TINY, golden_path=golden)
+        assert again.ok
+        assert not again.missing_golden
+
+    def test_missing_golden_is_reported_not_fatal(self, tmp_path):
+        report = run_conformance(specs=TINY, golden_path=tmp_path / "none.json")
+        assert report.ok
+        assert report.missing_golden == ("tiny",)
+
+    def test_golden_drift_detected(self, tmp_path):
+        golden = tmp_path / "golden.json"
+        run_conformance(specs=TINY, golden_path=golden, update_golden=True)
+        data = json.loads(golden.read_text())
+        data["cases"]["tiny"]["fluid_mib_s"] *= 1.01  # simulated model drift
+        golden.write_text(json.dumps(data))
+        report = run_conformance(specs=TINY, golden_path=golden)
+        assert not report.ok
+        assert any("drifted" in e for c in report.failures for e in c.golden_errors)
+
+    def test_disagreement_detected(self, tmp_path):
+        # An absurdly tight tolerance turns the engines' legitimate
+        # model differences into a reported disagreement.
+        strict = (RunSpec(name="strict", num_nodes=2, ppn=2, total_mib=64, tolerance=1e-9),)
+        report = run_conformance(specs=strict, golden_path=tmp_path / "g.json")
+        assert not report.ok
+        assert not report.cases[0].agrees
+
+    def test_disagreeing_pair_never_pinned(self, tmp_path):
+        golden = tmp_path / "golden.json"
+        strict = (RunSpec(name="strict", num_nodes=2, ppn=2, total_mib=64, tolerance=1e-9),)
+        report = run_conformance(specs=strict, golden_path=golden, update_golden=True)
+        assert not report.golden_updated
+        assert not golden.exists()

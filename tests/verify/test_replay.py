@@ -1,0 +1,60 @@
+"""Deterministic-replay verification."""
+
+import pytest
+
+from repro.engine.base import EngineOptions
+from repro.engine.fluid_runner import FluidEngine
+from repro.errors import ReplayDivergenceError
+from repro.units import MiB
+from repro.verify.replay import canonical_form, check_replay, result_fingerprint
+from repro.workload.generator import single_application
+
+
+def engine_factory(calib, topo, seed=0, noise=True):
+    def factory():
+        options = EngineOptions() if noise else EngineOptions(noise_enabled=False)
+        engine = FluidEngine(
+            calib, topo, calib.deployment(stripe_count=4), seed=seed, options=options
+        )
+        app = single_application(topo, 2, ppn=4, total_bytes=128 * MiB)
+        return engine.run([app], rep=1)
+
+    return factory
+
+
+class TestFingerprint:
+    def test_same_seed_same_fingerprint(self, calib_s1, topo_s1):
+        f = engine_factory(calib_s1, topo_s1)
+        assert result_fingerprint(f()) == result_fingerprint(f())
+
+    def test_different_seed_different_fingerprint(self, calib_s1, topo_s1):
+        a = engine_factory(calib_s1, topo_s1, seed=0)()
+        b = engine_factory(calib_s1, topo_s1, seed=1)()
+        assert result_fingerprint(a) != result_fingerprint(b)
+
+    def test_canonical_form_covers_timing_and_bytes(self, calib_s1, topo_s1):
+        form = canonical_form(engine_factory(calib_s1, topo_s1)())
+        app = form["apps"][0]
+        for key in ("start_time", "end_time", "volume_bytes", "targets", "placement"):
+            assert key in app
+        for key in ("segments", "retries", "abandoned_flows", "fault_events"):
+            assert key in form
+
+
+class TestCheckReplay:
+    def test_deterministic_factory_passes(self, calib_s1, topo_s1):
+        fingerprint = check_replay(engine_factory(calib_s1, topo_s1), runs=2)
+        assert len(fingerprint) == 64
+
+    def test_nondeterminism_detected(self, calib_s1, topo_s1):
+        seeds = iter([0, 1])
+
+        def unstable():
+            return engine_factory(calib_s1, topo_s1, seed=next(seeds))()
+
+        with pytest.raises(ReplayDivergenceError, match="diverged"):
+            check_replay(unstable, runs=2, context="unstable")
+
+    def test_needs_two_runs(self, calib_s1, topo_s1):
+        with pytest.raises(ValueError):
+            check_replay(engine_factory(calib_s1, topo_s1), runs=1)
