@@ -32,17 +32,32 @@ Subcommands
     Run the stripe-configuration advisor.
 ``system export PATH [--scenario S]``
     Write a JSON system description to edit for your own cluster.
+``stats PATH``
+    Render the campaign dashboard from a ``--telemetry`` JSONL stream:
+    progress, failure rates, bandwidth distributions (with bimodality
+    verdicts), fault windows, server timelines and the final metrics.
+``tail PATH [--follow] [--validate] [--quiet]``
+    Pretty-print a telemetry event stream; ``--follow`` keeps reading
+    as a campaign appends, ``--validate`` checks every line against the
+    versioned JSONL schema (exit 1 on any problem — the CI gate).
+
+Every subcommand turns a :class:`~repro.errors.ReproError` into a
+one-line structured ``error[Type]: message`` on stderr and exit code 1
+instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import ExitStack
 from pathlib import Path
 
+from . import __version__
 from .analysis.allocation import placement_distribution, random_placement_probabilities
 from .calibration.fitting import anchor_report
 from .calibration.plafrim import SCENARIOS, scenario_by_name
+from .errors import ReproError
 from .experiments.registry import get_experiment, list_experiments
 
 __all__ = ["main", "build_parser"]
@@ -53,6 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="beegfs-repro",
         description="Reproduction of 'The role of storage target allocation in "
         "applications' I/O performance with BeeGFS' (CLUSTER 2022)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -88,6 +106,25 @@ def build_parser() -> argparse.ArgumentParser:
         default="off",
         help="runtime invariant checking inside the engines; violating runs "
         "are quarantined (default: off)",
+    )
+    run_p.add_argument(
+        "--telemetry",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append a structured JSONL event stream (see 'tail'/'stats')",
+    )
+    run_p.add_argument(
+        "--telemetry-level",
+        choices=["info", "debug"],
+        default="info",
+        help="'debug' adds per-flow and per-segment events (large streams)",
+    )
+    run_p.add_argument(
+        "--profile",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="span-profile the simulation hot paths; report on stderr",
     )
 
     verify_p = sub.add_parser("verify", help="run the simulation guardrails")
@@ -149,6 +186,24 @@ def build_parser() -> argparse.ArgumentParser:
     sys_p.add_argument("action", choices=["export"])
     sys_p.add_argument("path", type=Path)
     sys_p.add_argument("--scenario", choices=list(SCENARIOS), default="scenario1")
+
+    stats_p = sub.add_parser("stats", help="campaign dashboard from a telemetry stream")
+    stats_p.add_argument("path", type=Path, help="JSONL stream written by 'run --telemetry'")
+    stats_p.add_argument(
+        "--no-timelines", action="store_true", help="omit the per-server timeline panel"
+    )
+
+    tail_p = sub.add_parser("tail", help="pretty-print a telemetry event stream")
+    tail_p.add_argument("path", type=Path, help="JSONL stream written by 'run --telemetry'")
+    tail_p.add_argument(
+        "--follow", action="store_true", help="keep reading as the campaign appends"
+    )
+    tail_p.add_argument(
+        "--validate",
+        action="store_true",
+        help="check every line against the JSONL schema; exit 1 on any problem",
+    )
+    tail_p.add_argument("--quiet", action="store_true", help="suppress the event lines")
     return parser
 
 
@@ -168,6 +223,8 @@ def _checkpoint_path_for(base: Path | None, exp_id: str, multiple: bool) -> Path
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from .experiments.common import protocol_options
+    from .telemetry.bus import session as telemetry_session
+    from .telemetry.profiling import profiling
 
     if args.resume and args.checkpoint is None:
         print("error: --resume requires --checkpoint", file=sys.stderr)
@@ -175,33 +232,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ids = [i.exp_id for i in list_experiments()] if args.exp_id == "all" else [args.exp_id]
     progress = None if args.quiet else lambda msg: print(f"  .. {msg}", file=sys.stderr)
     quarantined = 0
-    for exp_id in ids:
-        info = get_experiment(exp_id)
-        reps = args.reps if args.reps is not None else info.default_repetitions
-        kwargs = {"repetitions": reps, "seed": args.seed}
-        print(f"== {info.exp_id}: {info.title} ({info.paper_ref}, {reps} reps) ==")
-        with protocol_options(
-            on_error=args.on_error,
-            checkpoint=_checkpoint_path_for(args.checkpoint, exp_id, len(ids) > 1),
-            resume=args.resume,
-            validation=args.verify if args.verify != "off" else None,
-        ):
-            output = info.run(progress=progress, **kwargs)
-        print(output.figure)
-        if output.notes:
-            print(f"\nnotes: {output.notes}")
-        if args.out is not None and len(output.records) > 0:
-            path = args.out / f"{exp_id}.csv"
-            output.records.write_csv(path)
-            print(f"records written to {path}")
-        for failure in output.records.failures:
-            quarantined += 1
-            print(
-                f"quarantined: {failure.spec_key} rep {failure.rep}: "
-                f"{failure.error_type}: {failure.message}",
-                file=sys.stderr,
+    with ExitStack() as stack:
+        if args.telemetry is not None:
+            stack.enter_context(
+                telemetry_session(jsonl=args.telemetry, level=args.telemetry_level)
             )
-        print()
+        profiler = stack.enter_context(profiling(args.profile)) if args.profile else None
+        for exp_id in ids:
+            info = get_experiment(exp_id)
+            reps = args.reps if args.reps is not None else info.default_repetitions
+            kwargs = {"repetitions": reps, "seed": args.seed}
+            print(f"== {info.exp_id}: {info.title} ({info.paper_ref}, {reps} reps) ==")
+            with protocol_options(
+                on_error=args.on_error,
+                checkpoint=_checkpoint_path_for(args.checkpoint, exp_id, len(ids) > 1),
+                resume=args.resume,
+                validation=args.verify if args.verify != "off" else None,
+            ):
+                output = info.run(progress=progress, **kwargs)
+            print(output.figure)
+            if output.notes:
+                print(f"\nnotes: {output.notes}")
+            if args.out is not None and len(output.records) > 0:
+                path = args.out / f"{exp_id}.csv"
+                output.records.write_csv(path)
+                print(f"records written to {path}")
+            for failure in output.records.failures:
+                quarantined += 1
+                print(
+                    f"quarantined: {failure.spec_key} rep {failure.rep}: "
+                    f"{failure.error_type}: {failure.message}",
+                    file=sys.stderr,
+                )
+            print()
+        if profiler is not None:
+            print(profiler.render(), file=sys.stderr)
+        if args.telemetry is not None:
+            print(f"telemetry stream appended to {args.telemetry}", file=sys.stderr)
     if quarantined:
         print(
             f"{quarantined} run(s) quarantined; re-run with --resume to retry them",
@@ -323,8 +390,88 @@ def _cmd_system(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .telemetry.report import CampaignReport
+
+    report = CampaignReport.from_jsonl(args.path)
+    print(report.render(timelines=not args.no_timelines))
+    return 0
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from .errors import TelemetryError
+    from .telemetry.bus import format_event
+    from .telemetry.events import validate_event
+
+    if not args.path.exists() and not args.follow:
+        raise TelemetryError(f"no such telemetry stream: {args.path}")
+    problems = 0
+    lineno = 0
+
+    def handle(line: str) -> None:
+        nonlocal problems, lineno
+        lineno += 1
+        text = line.strip()
+        if not text:
+            return
+        try:
+            event = json.loads(text)
+        except json.JSONDecodeError as exc:
+            problems += 1
+            print(f"line {lineno}: not valid JSON ({exc})", file=sys.stderr)
+            return
+        if args.validate:
+            for problem in validate_event(event):
+                problems += 1
+                print(f"line {lineno}: {problem}", file=sys.stderr)
+        if not args.quiet:
+            print(format_event(event))
+
+    try:
+        while args.follow and not args.path.exists():  # pragma: no cover - interactive
+            time.sleep(0.2)
+        with open(args.path, "r") as stream:
+            while True:
+                pos = stream.tell()
+                line = stream.readline()
+                if line.endswith("\n"):
+                    handle(line)
+                elif args.follow:
+                    # Partial or absent final line: the writer is mid-append —
+                    # rewind so the next poll re-reads the whole line.
+                    stream.seek(pos)
+                    time.sleep(0.2)
+                else:
+                    if line:
+                        handle(line)
+                    break
+    except FileNotFoundError as exc:
+        raise TelemetryError(f"no such telemetry stream: {args.path}") from exc
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    if args.validate:
+        if problems:
+            print(f"{problems} schema problem(s) in {args.path}", file=sys.stderr)
+            return 1
+        print(f"{lineno} line(s) schema-valid in {args.path}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        # One structured line instead of a traceback: the error family is
+        # expected operational failure, not a bug in the tool.
+        print(f"error[{type(exc).__name__}]: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
@@ -341,6 +488,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_explain(args)
     if args.command == "system":
         return _cmd_system(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "tail":
+        return _cmd_tail(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -17,7 +17,7 @@ from ..beegfs.filesystem import BeeGFS, BeeGFSDeploymentSpec
 from ..beegfs.meta import FileInode
 from ..calibration.plafrim import Calibration
 from ..errors import ExperimentError, SimulationError
-from ..faults import FaultSchedule, wrap_providers
+from ..faults import FaultSchedule, publish_schedule, wrap_providers
 from ..netsim.flows import FluidFlow
 from ..netsim.fluid import CapacityProvider, ConstantCapacity, NoiseModel, NoNoise
 from ..netsim.latency import BlockingRequestModel
@@ -26,6 +26,8 @@ from ..storage.client_model import RetryPolicy
 from ..storage.san import SanModel
 from ..storage.server import ServerIngestModel, StorageHostSpec, StoragePoolModel
 from ..storage.target import StorageTargetModel
+from ..telemetry.bus import get_bus
+from ..telemetry.profiling import get_profiler
 from ..topology.builders import SWITCH_NAME
 from ..topology.graph import Topology
 from ..verify.invariants import RuntimeChecker, make_checker
@@ -217,6 +219,10 @@ class EngineBase:
 
     def prepare(self, apps: list[Application] | tuple[Application, ...], rep: int = 0) -> PreparedRun:
         """Build the complete simulation input for one repetition."""
+        with get_profiler().span("engine.prepare"):
+            return self._prepare(apps, rep)
+
+    def _prepare(self, apps: list[Application] | tuple[Application, ...], rep: int) -> PreparedRun:
         apps = tuple(apps)
         if not apps:
             raise ExperimentError("no applications to run")
@@ -336,6 +342,21 @@ class EngineBase:
             if schedule is None:  # pragma: no cover - faults_enabled implies a schedule
                 raise SimulationError("faults enabled without a fault schedule")
             providers = wrap_providers(providers, schedule)
+
+        bus = get_bus()
+        if bus.enabled:
+            if self.options.faults_enabled and schedule is not None:
+                publish_schedule(schedule, bus)
+            # Per-OST planned write volumes: the allocation-balance signal
+            # behind the paper's (min, max) placements, as a histogram.
+            ost_bytes: dict[int, float] = {}
+            for flow in flows:
+                tid = int(flow.tags["target"])
+                ost_bytes[tid] = ost_bytes.get(tid, 0.0) + flow.volume_bytes
+            hist = bus.metrics.histogram("ost.bytes_written")
+            for tid in sorted(ost_bytes):
+                hist.observe(ost_bytes[tid])
+
         return PreparedRun(
             apps=apps,
             fs=fs,

@@ -20,6 +20,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
+from time import perf_counter
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -27,6 +28,8 @@ import numpy as np
 from bisect import bisect_right
 
 from ..errors import ExperimentError, SimulationError
+from ..telemetry.bus import get_bus
+from ..telemetry.profiling import get_profiler
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..verify.invariants import RuntimeChecker
@@ -126,6 +129,28 @@ class DESEngine(EngineBase):
         procs: list[_Proc],
         checker: "RuntimeChecker | None" = None,
     ) -> RunResult:
+        trace: list[FlowTraceEvent] = []
+        try:
+            with get_profiler().span("des.run"):
+                return self._integrate_inner(prepared, procs, checker, trace)
+        except Exception as exc:
+            # No RunResult exists for a failed run: the retry/abandon
+            # history rides on the exception so ProtocolRunner can
+            # persist it into FailedRunRecord (see methodology.records).
+            exc.flow_trace = tuple(e.to_dict() for e in trace)
+            exc.flow_retries = sum(1 for e in trace if e.action == "retry")
+            raise
+
+    def _integrate_inner(
+        self,
+        prepared: PreparedRun,
+        procs: list[_Proc],
+        checker: "RuntimeChecker | None",
+        trace: list[FlowTraceEvent],
+    ) -> RunResult:
+        bus = get_bus()
+        prof = get_profiler()
+        profiled = prof.enabled
         rids = list(prepared.providers)
         rid_index = {rid: i for i, rid in enumerate(rids)}
         providers = [prepared.providers[rid] for rid in rids]
@@ -214,7 +239,6 @@ class DESEngine(EngineBase):
         retry = self.options.effective_retry()
         bounds = self._breakpoints()
         retry_heap: list[tuple[float, int, _Extent]] = []
-        trace: list[FlowTraceEvent] = []
         lost_bytes: dict[str, float] = {}
         abandoned = 0
 
@@ -267,7 +291,10 @@ class DESEngine(EngineBase):
                     for i in range(len(rids))
                 ]
             )
+            solve_t0 = perf_counter() if profiled else 0.0
             rates_mib = max_min_rates(memberships, capacities)
+            if profiled:
+                prof.record("des.solve", perf_counter() - solve_t0)
             rates = rates_mib * float(MiB)
             if retry is not None:
                 # A zero-rate chunk request is making no progress: run
@@ -301,6 +328,11 @@ class DESEngine(EngineBase):
                 raise SimulationError(f"DES engine stalled at t={now}")
             dt = max(dt, 0.0)
 
+            if bus.debug:
+                bus.emit(
+                    "segment.solve", t=now, dt=float(dt), active=len(active), iterations=1
+                )
+
             if checker is not None:
                 checker.on_segment(
                     now,
@@ -333,11 +365,19 @@ class DESEngine(EngineBase):
                         app_id = ext.proc.app_id
                         lost_bytes[app_id] = lost_bytes.get(app_id, 0.0) + ext.remaining
                         trace.append(FlowTraceEvent(now, ext.request_id, "abandon", ext.attempts))
+                        if bus.enabled:
+                            bus.emit(
+                                "flow.abandon", t=now, flow_id=ext.request_id, attempt=ext.attempts
+                            )
                         if checker is not None:
                             checker.retract_bytes(ext.resource_idxs, ext.remaining)
                         seq = finish_request(ext.proc, now, seq)
                     else:
                         trace.append(FlowTraceEvent(now, ext.request_id, "retry", ext.attempts))
+                        if bus.enabled:
+                            bus.emit(
+                                "flow.retry", t=now, flow_id=ext.request_id, attempt=ext.attempts
+                            )
                         heapq.heappush(retry_heap, (now + retry.backoff_s(ext.attempts), seq, ext))
                         seq += 1
                 else:
@@ -346,6 +386,10 @@ class DESEngine(EngineBase):
 
         if checker is not None:
             checker.finish()
+
+        if bus.enabled:
+            bus.metrics.counter("engine.segments_solved", engine="des").inc(segments)
+            bus.metrics.counter("engine.solver_iterations", engine="des").inc(segments)
 
         return self._collect(
             prepared,

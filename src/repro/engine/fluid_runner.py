@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from ..errors import SimulationError
 from ..netsim.fluid import FluidResult, FluidSimulation
+from ..telemetry.profiling import get_profiler
 from ..workload.application import Application
 from .base import EngineBase, EngineOptions, PreparedRun, _metadata_overheads
 from .result import ApplicationResult, RunResult
@@ -50,11 +51,12 @@ class FluidEngine(EngineBase):
             if self.options.observe_servers
             else ()
         )
-        fluid_result = sim.run(
-            rng=prepared.seeds.rng("noise"),
-            observe=observe,
-            breakpoints=self._breakpoints(),
-        )
+        with get_profiler().span("fluid.run"):
+            fluid_result = sim.run(
+                rng=prepared.seeds.rng("noise"),
+                observe=observe,
+                breakpoints=self._breakpoints(),
+            )
         return self._collect(prepared, fluid_result)
 
     def _breakpoints(self) -> tuple[float, ...]:

@@ -30,6 +30,7 @@ __all__ = [
     "ExperimentError",
     "CheckpointError",
     "AnalysisError",
+    "TelemetryError",
     "VerificationError",
     "InvariantViolation",
     "ConformanceError",
@@ -144,6 +145,10 @@ class CheckpointError(ExperimentError):
 
 class AnalysisError(ReproError, ValueError):
     """A statistical analysis was requested on unsuitable data."""
+
+
+class TelemetryError(ReproError, ValueError):
+    """A telemetry sink, metric or event stream was used inconsistently."""
 
 
 class VerificationError(ReproError, RuntimeError):

@@ -39,6 +39,7 @@ from ..methodology.plan import ExperimentPlan, ExperimentSpec
 from ..methodology.protocol import ProtocolConfig
 from ..methodology.records import RecordStore
 from ..methodology.runner import ProtocolRunner
+from ..telemetry.profiling import get_profiler
 from ..topology.graph import Topology
 from ..units import GiB, MiB
 from ..workload.application import Application
@@ -140,21 +141,22 @@ class StandardExecutor:
     def engine(self, spec: ExperimentSpec):
         key = spec.key
         if key not in self._engines:
-            calibration = self.calibration(spec.scenario)
-            deployment_kwargs: dict[str, Any] = {
-                "stripe_count": int(spec.factors.get("stripe_count", 4)),
-            }
-            if spec.factors.get("chooser"):
-                deployment_kwargs["chooser"] = str(spec.factors["chooser"])
-            if spec.factors.get("chunk_kib"):
-                deployment_kwargs["chunk_size"] = int(spec.factors["chunk_kib"]) * 1024
-            self._engines[key] = self.engine_cls(
-                calibration,
-                self.topology(spec.scenario),
-                calibration.deployment(**deployment_kwargs),
-                seed=self.seed,
-                options=self.options,
-            )
+            with get_profiler().span("engine.build"):
+                calibration = self.calibration(spec.scenario)
+                deployment_kwargs: dict[str, Any] = {
+                    "stripe_count": int(spec.factors.get("stripe_count", 4)),
+                }
+                if spec.factors.get("chooser"):
+                    deployment_kwargs["chooser"] = str(spec.factors["chooser"])
+                if spec.factors.get("chunk_kib"):
+                    deployment_kwargs["chunk_size"] = int(spec.factors["chunk_kib"]) * 1024
+                self._engines[key] = self.engine_cls(
+                    calibration,
+                    self.topology(spec.scenario),
+                    calibration.deployment(**deployment_kwargs),
+                    seed=self.seed,
+                    options=self.options,
+                )
         return self._engines[key]
 
     def __call__(self, spec: ExperimentSpec, rep: int) -> RunResult:

@@ -17,7 +17,7 @@ from .schedule import (
     server_outage,
     target_outage,
 )
-from .inject import FaultyCapacity, wrap_providers
+from .inject import FaultyCapacity, publish_schedule, wrap_providers
 
 __all__ = [
     "FaultKind",
@@ -29,4 +29,5 @@ __all__ = [
     "degraded_link",
     "FaultyCapacity",
     "wrap_providers",
+    "publish_schedule",
 ]

@@ -15,14 +15,16 @@ every simulated byte — untouched.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Mapping
 
 from ..netsim.fluid import CapacityProvider, ResourceContext
 
 if TYPE_CHECKING:  # pragma: no cover
-    from .schedule import FaultSchedule
+    from ..telemetry.bus import EventBus
+    from .schedule import FaultEvent, FaultSchedule
 
-__all__ = ["FaultyCapacity", "wrap_providers"]
+__all__ = ["FaultyCapacity", "wrap_providers", "publish_schedule"]
 
 
 class FaultyCapacity:
@@ -56,3 +58,46 @@ def wrap_providers(
         rid: FaultyCapacity(provider, schedule, rid) if schedule.affects(rid) else provider
         for rid, provider in providers.items()
     }
+
+
+def _component(event: "FaultEvent") -> str:
+    """The human-stable component label used in fault.* events."""
+    if event.target_id is not None:
+        return f"target:{event.target_id}"
+    if event.server is not None:
+        return f"server:{event.server}"
+    return str(event.resource_id)
+
+
+def publish_schedule(schedule: "FaultSchedule", bus: "EventBus") -> None:
+    """Emit a run's fault windows as ``fault.trigger``/``fault.clear`` events.
+
+    The schedule is declarative (the whole timeline is known at prepare
+    time), so this walks the windows in simulated-time order, emitting a
+    trigger at each start and a clear at each finite end, and tracks the
+    ``faults.active`` gauge along the way.  Called once per prepared run
+    when telemetry is on; a disabled bus or empty schedule is a no-op.
+    """
+    if schedule.is_empty or not bus.enabled:
+        return
+    timeline: list[tuple[float, int, int, "FaultEvent"]] = []
+    for order, event in enumerate(schedule):
+        timeline.append((event.start_s, 0, order, event))
+        if math.isfinite(event.end_s):
+            timeline.append((event.end_s, 1, order, event))
+    active = bus.metrics.gauge("faults.active")
+    triggered = bus.metrics.counter("faults.triggered")
+    for t, phase, _, event in sorted(timeline, key=lambda item: item[:3]):
+        if phase == 0:
+            triggered.inc()
+            active.inc()
+            bus.emit(
+                "fault.trigger",
+                t=t,
+                kind=event.kind.value,
+                component=_component(event),
+                multiplier=float(event.multiplier),
+            )
+        else:
+            active.dec()
+            bus.emit("fault.clear", t=t, kind=event.kind.value, component=_component(event))

@@ -182,6 +182,13 @@ class FailedRunRecord:
     message: str
     wall_clock_s: float = 0.0
     block: int = -1
+    # Client-robustness history of the failed run: how many chunk-request
+    # timeouts it retried through and the full retry/abandon trace the
+    # engine attached to the exception.  Round-tripped through the JSON
+    # checkpoint so resume() reports are complete (a failed run used to
+    # silently drop its RetryPolicy trace).
+    retries: int = 0
+    flow_trace: tuple[Mapping[str, Any], ...] = ()
 
     @property
     def spec_key(self) -> str:
@@ -197,6 +204,8 @@ class FailedRunRecord:
             "message": self.message,
             "wall_clock_s": self.wall_clock_s,
             "block": self.block,
+            "retries": self.retries,
+            "flow_trace": [dict(e) for e in self.flow_trace],
         }
 
     @classmethod
@@ -210,6 +219,10 @@ class FailedRunRecord:
             message=data["message"],
             wall_clock_s=float(data.get("wall_clock_s", 0.0)),
             block=int(data.get("block", -1)),
+            # ``get`` defaults keep checkpoints written before the trace
+            # was preserved loadable.
+            retries=int(data.get("retries", 0)),
+            flow_trace=tuple(dict(e) for e in data.get("flow_trace", ())),
         )
 
 

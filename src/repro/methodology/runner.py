@@ -40,6 +40,8 @@ from typing import Callable
 
 from ..engine.result import RunResult
 from ..errors import ExperimentError, InvariantViolation
+from ..telemetry.bus import get_bus
+from ..telemetry.profiling import get_profiler
 from .plan import ExperimentPlan, ExperimentSpec
 from .records import FailedRunRecord, RecordStore, RunRecord
 
@@ -82,6 +84,15 @@ class ProtocolRunner:
     def _checkpoint(self, store: RecordStore) -> None:
         if self.checkpoint_path is not None:
             store.write_json(self.checkpoint_path)
+            bus = get_bus()
+            if bus.enabled:
+                bus.metrics.counter("runner.checkpoints").inc()
+                bus.emit(
+                    "checkpoint.write",
+                    path=str(self.checkpoint_path),
+                    records=len(store),
+                    failures=len(store.failures),
+                )
 
     def resume(self, plan: ExperimentPlan, progress: Callable[[str], None] | None = None) -> RecordStore:
         """Continue an interrupted campaign from its checkpoint.
@@ -113,17 +124,52 @@ class ProtocolRunner:
         done = store.completed_keys()
         wall_clock = store.max_wall_clock_s()
         executed_since_checkpoint = 0
+        bus = get_bus()
+        prof = get_profiler()
         for block_index, (block, wait) in enumerate(zip(plan.blocks, plan.waits_s)):
             block_ran = False
             for planned in block:
                 if (planned.spec.key, planned.rep) in done:
                     continue
                 block_ran = True
+                if bus.enabled:
+                    bus.emit(
+                        "run.start",
+                        t=wall_clock,
+                        exp_id=planned.spec.exp_id,
+                        scenario=planned.spec.scenario,
+                        spec=planned.spec.key,
+                        rep=planned.rep,
+                        block=block_index,
+                    )
                 try:
-                    result = self.executor(planned.spec, planned.rep)
+                    with prof.span("executor.run"):
+                        result = self.executor(planned.spec, planned.rep)
                 except Exception as exc:
                     violation = isinstance(exc, InvariantViolation)
                     policy = self.on_violation if violation else self.on_error
+                    # Engines annotate exceptions with the run's retry
+                    # trace (there is no RunResult to carry it).
+                    retries = int(getattr(exc, "flow_retries", 0) or 0)
+                    flow_trace = tuple(getattr(exc, "flow_trace", ()) or ())
+                    status = "quarantined" if violation else "failed"
+                    if bus.enabled:
+                        bus.metrics.counter("runner.runs", status=status).inc()
+                        bus.emit(
+                            "run.end",
+                            t=wall_clock,
+                            exp_id=planned.spec.exp_id,
+                            scenario=planned.spec.scenario,
+                            spec=planned.spec.key,
+                            rep=planned.rep,
+                            block=block_index,
+                            status=status,
+                            bw_mib_s=None,
+                            makespan_s=None,
+                            retries=retries,
+                            complete=False,
+                            error_type=type(exc).__name__,
+                        )
                     if policy == "fail":
                         self._checkpoint(store)
                         raise
@@ -137,6 +183,8 @@ class ProtocolRunner:
                             message=str(exc),
                             wall_clock_s=wall_clock,
                             block=block_index,
+                            retries=retries,
+                            flow_trace=flow_trace,
                         )
                     )
                     continue
@@ -158,6 +206,32 @@ class ProtocolRunner:
                 )
                 done.add((planned.spec.key, planned.rep))
                 wall_clock += float(result.makespan)
+                if bus.enabled:
+                    bw = float(result.aggregate_bandwidth_mib_s)
+                    bus.metrics.counter("runner.runs", status="ok").inc()
+                    bus.metrics.histogram("run.bandwidth_mib_s").observe(bw)
+                    extra = {}
+                    if result.resource_series:
+                        extra["servers"] = {
+                            rid: [[float(t), float(v)] for t, v in zip(ts.times, ts.values)]
+                            for rid, ts in result.resource_series.items()
+                        }
+                    bus.emit(
+                        "run.end",
+                        t=wall_clock,
+                        exp_id=planned.spec.exp_id,
+                        scenario=planned.spec.scenario,
+                        spec=planned.spec.key,
+                        rep=planned.rep,
+                        block=block_index,
+                        status="ok",
+                        bw_mib_s=bw,
+                        makespan_s=float(result.makespan),
+                        retries=int(result.retries),
+                        complete=bool(result.complete),
+                        error_type=None,
+                        **extra,
+                    )
                 executed_since_checkpoint += 1
                 if executed_since_checkpoint >= self.checkpoint_every:
                     self._checkpoint(store)

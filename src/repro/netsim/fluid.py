@@ -20,12 +20,15 @@ import heapq
 import math
 from bisect import bisect_right
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Iterable, Protocol, Sequence
 
 import numpy as np
 
 from ..errors import FlowError, SimulationError
 from ..simcore.monitor import TimeSeries
+from ..telemetry.bus import get_bus
+from ..telemetry.profiling import get_profiler
 from .flows import FlowStats, FluidFlow
 from .latency import BlockingRequestModel, NoLatency
 from .maxmin import max_min_rates
@@ -280,11 +283,41 @@ class FluidSimulation:
             capacities change, e.g. fault starts/recoveries), so no
             capacity transition is averaged into a segment.
         """
+        trace: list[FlowTraceEvent] = []
+        try:
+            return self._run(rng, observe, max_time, detail, breakpoints, trace)
+        except Exception as exc:
+            # A failed run has no FluidResult to carry its trace, so the
+            # retry/abandon history rides on the exception instead —
+            # ProtocolRunner persists it into FailedRunRecord so resumed
+            # campaign reports stay complete.
+            exc.flow_trace = tuple(e.to_dict() for e in trace)
+            exc.flow_retries = sum(1 for e in trace if e.action == "retry")
+            raise
+
+    def _run(
+        self,
+        rng: np.random.Generator | None,
+        observe: Sequence[str],
+        max_time: float,
+        detail: bool,
+        breakpoints: Sequence[float],
+        trace: list[FlowTraceEvent],
+    ) -> FluidResult:
         if not self._flows:
             raise FlowError("no flows to simulate")
         for rid in observe:
             if rid not in self._providers:
                 raise FlowError(f"cannot observe unknown resource {rid!r}")
+
+        # Telemetry handles, hoisted once per run.  With no sinks and no
+        # profiler these reduce to boolean attribute checks in the loop;
+        # neither touches the RNG or any simulation state, which is what
+        # keeps telemetry-off runs byte-identical.
+        bus = get_bus()
+        prof = get_profiler()
+        profiled = prof.enabled
+        solver_iterations = 0
 
         rids = list(self._providers)
         rid_index = {rid: i for i, rid in enumerate(rids)}
@@ -303,7 +336,6 @@ class FluidSimulation:
         # Flows sleeping out a retry backoff: (ready_time, seq, flow).
         retry_heap: list[tuple[float, int, FluidFlow]] = []
         retry_seq = 0
-        trace: list[FlowTraceEvent] = []
 
         epoch_len = self.noise.epoch_length_s
         has_epochs = math.isfinite(epoch_len)
@@ -330,6 +362,8 @@ class FluidSimulation:
                 flow = pending.pop(0)
                 flow.started_at = now
                 active.append(flow)
+                if bus.debug:
+                    bus.emit("flow.start", t=now, flow_id=flow.flow_id)
             while retry_heap and retry_heap[0][0] <= now + _TIME_EPS:
                 active.append(heapq.heappop(retry_heap)[2])
             if not active:
@@ -389,16 +423,22 @@ class FluidSimulation:
             # ``caps_used`` is the cap vector the final ``rates`` were
             # solved against (``caps`` may already hold the next
             # iterate), which is what the fairness certificate needs.
+            solve_t0 = perf_counter() if profiled else 0.0
+            iterations = 1
             rates = max_min_rates(memberships, capacities)
             caps = self.latency.flow_caps(rates, nprocs, req_sizes)
             caps_used = None
             for _ in range(self.cap_iterations):
                 caps_used = caps
+                iterations += 1
                 rates = max_min_rates(memberships, capacities, caps)
                 new_caps = np.maximum(caps, self.latency.flow_caps(rates, nprocs, req_sizes))
                 if np.allclose(new_caps, caps, rtol=1e-6, atol=1e-9):
                     break
                 caps = new_caps
+            solver_iterations += iterations
+            if profiled:
+                prof.record("fluid.solve", perf_counter() - solve_t0)
             for flow, rate in zip(active, rates):
                 flow.rate_mib_s = float(rate)
             if self.retry is not None:
@@ -436,6 +476,15 @@ class FluidSimulation:
                 stuck = [f.flow_id for f in active]
                 raise SimulationError(f"fluid simulation stalled at t={now}: flows {stuck}")
             dt = max(dt, 0.0)
+
+            if bus.debug:
+                bus.emit(
+                    "segment.solve",
+                    t=now,
+                    dt=float(dt),
+                    active=len(active),
+                    iterations=iterations,
+                )
 
             if checker is not None:
                 checker.on_segment(
@@ -501,12 +550,20 @@ class FluidSimulation:
                         flow.abandoned = True
                         flow.finished_at = now
                         trace.append(FlowTraceEvent(now, flow.flow_id, "abandon", flow.attempts))
+                        if bus.enabled:
+                            bus.emit(
+                                "flow.abandon", t=now, flow_id=flow.flow_id, attempt=flow.attempts
+                            )
                         if checker is not None:
                             checker.retract_bytes(
                                 [rid_index[r] for r in flow.resources], flow.remaining_bytes
                             )
                     else:
                         trace.append(FlowTraceEvent(now, flow.flow_id, "retry", flow.attempts))
+                        if bus.enabled:
+                            bus.emit(
+                                "flow.retry", t=now, flow_id=flow.flow_id, attempt=flow.attempts
+                            )
                         retry_seq += 1
                         ready = now + self.retry.backoff_s(flow.attempts)
                         heapq.heappush(retry_heap, (ready, retry_seq, flow))
@@ -524,6 +581,12 @@ class FluidSimulation:
                     flow.flow_id, flow.volume_bytes, flow.remaining_bytes, flow.abandoned
                 )
             checker.finish()
+
+        if bus.enabled:
+            bus.metrics.counter("engine.segments_solved", engine="fluid").inc(segments)
+            bus.metrics.counter("engine.solver_iterations", engine="fluid").inc(
+                solver_iterations
+            )
 
         stats = [f.stats() for f in flows]
         makespan = max(s.finished_at for s in stats)

@@ -15,9 +15,11 @@ into the waiting generator at the ``yield`` site.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Generator
 
 from ..errors import DeadlockError, InvariantViolation, SimulationError
+from ..telemetry.profiling import get_profiler
 from .events import Event, EventQueue, ScheduledCallback
 
 __all__ = ["Timeout", "Process", "Simulator"]
@@ -199,6 +201,10 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        prof = get_profiler()
+        profiled = prof.enabled
+        run_t0 = perf_counter() if profiled else 0.0
+        steps = 0
         try:
             while True:
                 next_time = self._queue.peek_time()
@@ -208,8 +214,12 @@ class Simulator:
                     self._now = until
                     break
                 self.step()
+                steps += 1
         finally:
             self._running = False
+            if profiled:
+                prof.record("kernel.run", perf_counter() - run_t0)
+                prof.count("kernel.step", steps)
         if until is None:
             stuck = [p.name for p in self.processes if p.alive]
             if stuck:

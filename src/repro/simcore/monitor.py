@@ -3,6 +3,15 @@
 These are used by the engines to record per-server bandwidth timelines
 (the data behind the paper's Figure 9) and by tests to assert on internal
 behaviour without reaching into private state.
+
+.. deprecated::
+    :class:`Trace` and :class:`Probe` are now thin wrappers over the
+    structured event bus of :mod:`repro.telemetry` — every record is
+    also published as a debug-level ``trace.record`` event, so there is
+    exactly one trace mechanism.  New code should emit through
+    :func:`repro.telemetry.get_bus` directly; these classes stay for
+    compatibility (and for :class:`TimeSeries`, which remains the
+    integration-friendly in-memory representation).
 """
 
 from __future__ import annotations
@@ -13,7 +22,20 @@ from typing import Any, Callable, Iterable, Iterator
 
 import numpy as np
 
+from ..telemetry.bus import get_bus
+
 __all__ = ["Trace", "TimeSeries", "Probe"]
+
+
+def _json_value(value: Any) -> Any:
+    """Coerce a trace value to something the JSONL schema accepts."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return str(value)
 
 
 @dataclass(frozen=True)
@@ -26,7 +48,11 @@ class TraceRecord:
 
 
 class Trace:
-    """An append-only log of keyed records ordered by time."""
+    """An append-only log of keyed records ordered by time.
+
+    .. deprecated:: see the module docstring — records are mirrored to
+       the event bus as debug-level ``trace.record`` events.
+    """
 
     def __init__(self) -> None:
         self._records: list[TraceRecord] = []
@@ -41,6 +67,9 @@ class Trace:
         if self._records and time < self._records[-1].time - 1e-12:
             raise ValueError("trace records must be appended in time order")
         self._records.append(TraceRecord(time, key, value))
+        bus = get_bus()
+        if bus.debug:
+            bus.emit("trace.record", t=time, key=key, value=_json_value(value))
 
     def select(self, key: str) -> list[TraceRecord]:
         """All records with the given key, in time order."""
@@ -109,7 +138,12 @@ class TimeSeries:
 
 @dataclass
 class Probe:
-    """A named sampling hook: call :meth:`sample` to record ``fn()``."""
+    """A named sampling hook: call :meth:`sample` to record ``fn()``.
+
+    .. deprecated:: see the module docstring — samples are mirrored to
+       the event bus as debug-level ``trace.record`` events under the
+       key ``probe:<name>``.
+    """
 
     name: str
     fn: Callable[[], float]
@@ -118,4 +152,7 @@ class Probe:
     def sample(self, time: float) -> float:
         value = float(self.fn())
         self.series.append(time, value)
+        bus = get_bus()
+        if bus.debug:
+            bus.emit("trace.record", t=time, key=f"probe:{self.name}", value=value)
         return value

@@ -1,0 +1,71 @@
+"""End-to-end observability for the repro pipeline.
+
+One substrate replaces the previous per-feature reporting paths:
+
+* :mod:`~repro.telemetry.events` — the typed event taxonomy and its
+  versioned JSONL schema (plus validators);
+* :mod:`~repro.telemetry.bus` — the process-wide, explicitly-injectable
+  event bus and its sinks (ring buffer, JSONL, console);
+* :mod:`~repro.telemetry.metrics` — counters, gauges and histograms
+  with fixed-bucket *and* streaming-quantile (P²) views;
+* :mod:`~repro.telemetry.profiling` — span-based wall-clock profiling
+  of the simulation hot paths (``--profile``);
+* :mod:`~repro.telemetry.report` — the campaign dashboard behind
+  ``repro stats`` / ``repro tail``.
+
+Design contract: with no sinks attached and profiling disabled, every
+instrumentation site reduces to a single attribute check and simulation
+results are byte-identical to the uninstrumented code — the verify
+suite's deterministic-replay and conformance goldens prove it.
+"""
+
+from .bus import (
+    ConsoleSink,
+    EventBus,
+    JsonlSink,
+    RingBufferSink,
+    TelemetrySink,
+    format_event,
+    get_bus,
+    session,
+    set_bus,
+)
+from .events import (
+    DEBUG_EVENTS,
+    EVENT_TYPES,
+    SCHEMA_VERSION,
+    validate_event,
+    validate_jsonl,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, P2Quantile
+from .profiling import SpanProfiler, SpanStats, get_profiler, profiling, set_profiler
+from .report import CampaignReport, load_events
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "DEBUG_EVENTS",
+    "validate_event",
+    "validate_jsonl",
+    "TelemetrySink",
+    "RingBufferSink",
+    "JsonlSink",
+    "ConsoleSink",
+    "EventBus",
+    "get_bus",
+    "set_bus",
+    "session",
+    "format_event",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "P2Quantile",
+    "MetricsRegistry",
+    "SpanProfiler",
+    "SpanStats",
+    "get_profiler",
+    "set_profiler",
+    "profiling",
+    "CampaignReport",
+    "load_events",
+]

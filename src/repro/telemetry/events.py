@@ -1,0 +1,208 @@
+"""The structured event taxonomy and its JSONL schema.
+
+Every event is a flat JSON object sharing the same envelope:
+
+=============  ================================================================
+field          meaning
+=============  ================================================================
+``schema``     integer schema version (currently :data:`SCHEMA_VERSION`)
+``seq``        per-stream monotone sequence number (0-based)
+``event``      the event type, one of :data:`EVENT_TYPES`
+``t``          *simulated* time in seconds when the event has one, else null.
+               For protocol-level events (``run.*``, ``checkpoint.write``)
+               this is the campaign's simulated wall clock; for engine-level
+               events (``flow.*``, ``fault.*``, ``segment.solve``) it is the
+               run-internal simulation time.  Real wall-clock timestamps are
+               deliberately absent so event streams are deterministic and
+               replayable byte for byte.
+=============  ================================================================
+
+plus the per-type payload fields listed in :data:`EVENT_TYPES`.  The
+taxonomy is closed: an unknown ``event`` value fails validation, which
+is how CI proves that the emitting code and this published schema never
+drift apart (see ``repro tail --validate``).
+
+Event levels: most events are ``info``; high-cardinality per-segment and
+per-flow-admission events (``segment.solve``, ``flow.start``) are
+``debug`` and only emitted when the bus runs at debug level, keeping the
+default stream compact even for 100-repetition campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..errors import TelemetryError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EVENT_TYPES",
+    "DEBUG_EVENTS",
+    "ENVELOPE_FIELDS",
+    "validate_event",
+    "validate_jsonl",
+]
+
+SCHEMA_VERSION = 1
+
+# Envelope fields present on every event.  ``t`` is nullable.
+ENVELOPE_FIELDS: dict[str, tuple[type, ...]] = {
+    "schema": (int,),
+    "seq": (int,),
+    "event": (str,),
+    "t": (int, float, type(None)),
+}
+
+# Per-type payload: field name -> accepted JSON types.  A ``type(None)``
+# entry marks the field nullable; fields listed here are required.
+# Optional fields live in _OPTIONAL_FIELDS below.
+EVENT_TYPES: dict[str, dict[str, tuple[type, ...]]] = {
+    # -- protocol-level (simulated campaign wall clock) ----------------------
+    "run.start": {
+        "exp_id": (str,),
+        "scenario": (str,),
+        "spec": (str,),
+        "rep": (int,),
+        "block": (int,),
+    },
+    "run.end": {
+        "exp_id": (str,),
+        "scenario": (str,),
+        "spec": (str,),
+        "rep": (int,),
+        "block": (int,),
+        "status": (str,),  # "ok" | "failed" | "quarantined"
+        "bw_mib_s": (int, float, type(None)),
+        "makespan_s": (int, float, type(None)),
+        "retries": (int,),
+        "complete": (bool,),
+        "error_type": (str, type(None)),
+    },
+    "checkpoint.write": {
+        "path": (str,),
+        "records": (int,),
+        "failures": (int,),
+    },
+    # -- engine-level (run-internal simulation time) -------------------------
+    "flow.start": {"flow_id": (str,)},
+    "flow.retry": {"flow_id": (str,), "attempt": (int,)},
+    "flow.abandon": {"flow_id": (str,), "attempt": (int,)},
+    "fault.trigger": {
+        "kind": (str,),
+        "component": (str,),
+        "multiplier": (int, float),
+    },
+    "fault.clear": {"kind": (str,), "component": (str,)},
+    "segment.solve": {
+        "dt": (int, float),
+        "active": (int,),
+        "iterations": (int,),
+    },
+    "invariant.check": {
+        "context": (str,),
+        "level": (str,),
+        "segments": (int,),
+        "ok": (bool,),
+    },
+    # -- session-level -------------------------------------------------------
+    "trace.record": {"key": (str,)},
+    "metrics.snapshot": {"metrics": (dict,)},
+}
+
+# Events only emitted when the bus runs at debug level.
+DEBUG_EVENTS = frozenset({"flow.start", "segment.solve", "trace.record"})
+
+# Optional per-type payload fields (validated when present).
+_OPTIONAL_FIELDS: dict[str, dict[str, tuple[type, ...]]] = {
+    "run.end": {"servers": (dict,)},
+    "invariant.check": {"detail": (str,)},
+    "trace.record": {"value": (int, float, str, bool, type(None))},
+    "segment.solve": {"binding": (list,)},
+}
+
+_STATUS_VALUES = ("ok", "failed", "quarantined")
+
+
+def _type_names(types: tuple[type, ...]) -> str:
+    return "/".join("null" if t is type(None) else t.__name__ for t in types)
+
+
+def validate_event(obj: Any) -> list[str]:
+    """Validate one decoded event against the schema; return the problems.
+
+    An empty list means the event is schema-valid.  Booleans are *not*
+    accepted where numbers are expected (JSON distinguishes them; so do
+    we).
+    """
+    if not isinstance(obj, Mapping):
+        return [f"event must be a JSON object, got {type(obj).__name__}"]
+    problems: list[str] = []
+
+    def check(field: str, types: tuple[type, ...], required: bool) -> None:
+        if field not in obj:
+            if required:
+                problems.append(f"missing field {field!r}")
+            return
+        value = obj[field]
+        # bool is a subclass of int: accept it only where bool is listed.
+        if isinstance(value, bool) and bool not in types:
+            problems.append(f"field {field!r}: expected {_type_names(types)}, got bool")
+            return
+        if not isinstance(value, types):
+            problems.append(
+                f"field {field!r}: expected {_type_names(types)}, "
+                f"got {type(value).__name__}"
+            )
+
+    for field, types in ENVELOPE_FIELDS.items():
+        check(field, types, required=True)
+    if problems:
+        return problems
+
+    if obj["schema"] != SCHEMA_VERSION:
+        problems.append(f"unsupported schema version {obj['schema']!r}")
+    etype = obj["event"]
+    payload_spec = EVENT_TYPES.get(etype)
+    if payload_spec is None:
+        problems.append(f"unknown event type {etype!r}")
+        return problems
+    for field, types in payload_spec.items():
+        check(field, types, required=True)
+    for field, types in _OPTIONAL_FIELDS.get(etype, {}).items():
+        check(field, types, required=False)
+    known = (
+        set(ENVELOPE_FIELDS) | set(payload_spec) | set(_OPTIONAL_FIELDS.get(etype, {}))
+    )
+    extra = sorted(set(obj) - known)
+    if extra:
+        problems.append(f"unknown fields for {etype!r}: {', '.join(extra)}")
+    if etype == "run.end" and obj.get("status") not in _STATUS_VALUES:
+        problems.append(f"run.end status must be one of {_STATUS_VALUES}")
+    return problems
+
+
+def validate_jsonl(path: str | Path) -> list[str]:
+    """Validate every line of a JSONL event stream.
+
+    Returns one ``"line N: problem"`` string per defect; empty means the
+    whole stream is schema-valid.  An unreadable file raises
+    :class:`~repro.errors.TelemetryError`.
+    """
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise TelemetryError(f"cannot read event stream {path}: {exc}") from exc
+    problems: list[str] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {lineno}: not valid JSON ({exc})")
+            continue
+        for problem in validate_event(obj):
+            problems.append(f"line {lineno}: {problem}")
+    return problems

@@ -1,0 +1,392 @@
+"""The metrics registry: counters, gauges and histograms.
+
+Naming convention (see ``docs/OBSERVABILITY.md``): dotted lowercase
+``subsystem.metric`` names with optional ``{label=value}`` dimensions,
+e.g. ``runner.runs{status=ok}`` or ``engine.segments_solved{engine=fluid}``.
+Labels are part of the metric identity — the same name with different
+labels is a different time series, exactly as in Prometheus.
+
+Histograms keep two complementary views of one sample stream:
+
+* **fixed buckets** — cumulative-style counts per upper bound, which
+  merge exactly across runs/processes (bucket counts are additive);
+* **streaming quantiles** — the P² algorithm (Jain & Chlamtac, 1985),
+  a constant-memory marker method giving good online estimates of
+  p50/p90/p99 without storing samples.  P² markers cannot be merged, so
+  after :meth:`Histogram.merge` the streaming view falls back to
+  bucket interpolation (documented, and property-tested).
+
+``NaN`` observations are rejected loudly: a NaN entering a histogram
+would silently poison every downstream mean/quantile, which is exactly
+the class of bug this subsystem exists to surface.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import TelemetryError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "P2Quantile",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+# Geometric default buckets: 2^0 .. 2^40 in factor-4 steps.  Wide enough
+# for MiB/s bandwidths and raw byte volumes alike.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(float(2**k) for k in range(0, 41, 2))
+
+DEFAULT_QUANTILES: tuple[float, ...] = (0.5, 0.9, 0.99)
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not math.isfinite(amount) or amount < 0:
+            raise TelemetryError(f"counter increment must be finite and >= 0, got {amount}")
+        self.value += float(amount)
+
+
+class Gauge:
+    """A value that can go up and down (e.g. ``faults.active``)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        if math.isnan(value):
+            raise TelemetryError("gauge value must not be NaN")
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.set(self.value - amount)
+
+
+class P2Quantile:
+    """Streaming quantile estimation by the P² marker algorithm.
+
+    Constant memory: five markers track the running quantile without
+    storing the sample.  Below five observations the estimate is the
+    exact empirical quantile of the seen samples.
+    """
+
+    def __init__(self, p: float):
+        if not 0.0 < p < 1.0:
+            raise TelemetryError(f"quantile p must be in (0, 1), got {p}")
+        self.p = float(p)
+        self._count = 0
+        self._heights: list[float] = []  # marker heights q_i
+        self._positions: list[float] = []  # actual marker positions n_i
+        self._desired: list[float] = []  # desired positions n'_i
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def observe(self, value: float) -> None:
+        if math.isnan(value):
+            raise TelemetryError("NaN rejected by quantile estimator")
+        x = float(value)
+        self._count += 1
+        if self._count <= 5:
+            self._heights.append(x)
+            self._heights.sort()
+            if self._count == 5:
+                p = self.p
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+            return
+
+        q, n, nd = self._heights, self._positions, self._desired
+        # Locate the cell of the new observation; clamp the extremes.
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = 0
+            while k < 3 and x >= q[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+        increments = (0.0, self.p / 2.0, self.p, (1.0 + self.p) / 2.0, 1.0)
+        for i in range(5):
+            nd[i] += increments[i]
+
+        # Adjust the three interior markers toward their desired spots.
+        for i in (1, 2, 3):
+            d = nd[i] - n[i]
+            if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (d <= -1.0 and n[i - 1] - n[i] < -1.0):
+                step = 1.0 if d >= 1.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if q[i - 1] < candidate < q[i + 1]:
+                    q[i] = candidate
+                else:
+                    q[i] = self._linear(i, step)
+                n[i] += step
+
+    def _parabolic(self, i: int, d: float) -> float:
+        q, n = self._heights, self._positions
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, d: float) -> float:
+        q, n = self._heights, self._positions
+        j = i + int(d)
+        return q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+
+    @property
+    def value(self) -> float:
+        """The current estimate (exact below five samples)."""
+        if self._count == 0:
+            raise TelemetryError("quantile of an empty stream")
+        if self._count < 5:
+            return float(np.quantile(np.asarray(self._heights), self.p))
+        return self._heights[2]
+
+
+class Histogram:
+    """Fixed-bucket counts plus streaming-quantile views of one stream."""
+
+    def __init__(
+        self,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise TelemetryError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise TelemetryError("bucket bounds must be strictly increasing")
+        if any(not math.isfinite(b) for b in bounds):
+            raise TelemetryError("bucket bounds must be finite")
+        self.bounds = bounds
+        # counts[i] = observations <= bounds[i]'s bin; counts[-1] = overflow.
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._p2: dict[float, P2Quantile] | None = {
+            float(p): P2Quantile(p) for p in quantiles
+        }
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        if math.isnan(v):
+            raise TelemetryError("NaN rejected by histogram")
+        if math.isinf(v):
+            raise TelemetryError("non-finite value rejected by histogram")
+        self.count += 1
+        self.sum += v
+        self.min = min(self.min, v)
+        self.max = max(self.max, v)
+        i = int(np.searchsorted(self.bounds, v, side="left"))
+        self.counts[i] += 1
+        if self._p2 is not None:
+            for estimator in self._p2.values():
+                estimator.observe(v)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise TelemetryError("mean of an empty histogram")
+        return self.sum / self.count
+
+    def quantile(self, p: float) -> float:
+        """Quantile estimate by linear interpolation inside the buckets.
+
+        Exact at the extremes (clamped to the observed min/max) and
+        merge-safe: computed purely from the additive bucket counts.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise TelemetryError(f"quantile p must be in [0, 1], got {p}")
+        if self.count == 0:
+            raise TelemetryError("quantile of an empty histogram")
+        if self.count == 1 or self.min == self.max:
+            return self.min
+        rank = p * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                lo = self.min if i == 0 else self.bounds[i - 1]
+                hi = self.max if i == len(self.bounds) else self.bounds[i]
+                lo = max(lo, self.min)
+                hi = min(hi, self.max)
+                if hi <= lo:
+                    return lo
+                frac = (rank - cumulative) / n
+                return lo + frac * (hi - lo)
+            cumulative += n
+        return self.max
+
+    def streaming_quantile(self, p: float) -> float:
+        """The P² estimate for ``p``; falls back to buckets after a merge."""
+        if self._p2 is not None and float(p) in self._p2:
+            estimator = self._p2[float(p)]
+            if estimator.count:
+                return estimator.value
+            raise TelemetryError("quantile of an empty stream")
+        return self.quantile(p)
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram in (bucket-exact; streaming view resets)."""
+        if other.bounds != self.bounds:
+            raise TelemetryError("cannot merge histograms with different buckets")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        # P² markers are not mergeable: drop them so streaming_quantile()
+        # transparently answers from the (exactly merged) buckets.
+        self._p2 = None
+        return self
+
+    def snapshot(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": [
+                [b, n] for b, n in zip((*self.bounds, math.inf), self.counts) if n
+            ],
+        }
+        # Infinite overflow bound is not JSON-representable: encode as null.
+        out["buckets"] = [
+            [None if math.isinf(b) else b, n] for b, n in out["buckets"]
+        ]
+        if self.count:
+            out["quantiles"] = {
+                f"p{int(p * 100)}": self.streaming_quantile(p) for p in DEFAULT_QUANTILES
+            }
+        return out
+
+
+def _label_key(labels: Mapping[str, Any]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_name(name: str, label_key: tuple[tuple[str, str], ...]) -> str:
+    if not label_key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in label_key)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named, labelled metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[tuple[str, Any]]:
+        for (name, labels), metric in sorted(self._metrics.items()):
+            yield _render_name(name, labels), metric
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+    def _get(self, kind: type, name: str, labels: Mapping[str, Any], **kwargs: Any) -> Any:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = kind(**kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, kind):
+            raise TelemetryError(
+                f"metric {_render_name(*key)!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] | None = None, **labels: Any
+    ) -> Histogram:
+        if buckets is None:
+            return self._get(Histogram, name, labels)
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry in (counters add, gauges take theirs)."""
+        for key, metric in other._metrics.items():
+            mine = self._metrics.get(key)
+            if mine is None:
+                self._metrics[key] = metric
+            elif isinstance(mine, Counter) and isinstance(metric, Counter):
+                mine.inc(metric.value)
+            elif isinstance(mine, Gauge) and isinstance(metric, Gauge):
+                mine.set(metric.value)
+            elif isinstance(mine, Histogram) and isinstance(metric, Histogram):
+                mine.merge(metric)
+            else:
+                raise TelemetryError(
+                    f"metric {_render_name(*key)!r}: cannot merge "
+                    f"{type(metric).__name__} into {type(mine).__name__}"
+                )
+        return self
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """A JSON-safe dump of every metric (the ``metrics.snapshot`` payload)."""
+        out: dict[str, dict[str, Any]] = {}
+        for rendered, metric in self:
+            if isinstance(metric, Counter):
+                out[rendered] = {"type": "counter", "value": metric.value}
+            elif isinstance(metric, Gauge):
+                out[rendered] = {"type": "gauge", "value": metric.value}
+            else:
+                out[rendered] = {"type": "histogram", **metric.snapshot()}
+        return out
+
+    def render(self) -> str:
+        """A fixed-width text table of the registry (dashboard panel)."""
+        lines = ["  metric" + " " * 42 + "value"]
+        for rendered, metric in self:
+            if isinstance(metric, (Counter, Gauge)):
+                value = f"{metric.value:g}"
+            elif metric.count == 0:
+                value = "n=0"
+            else:
+                value = (
+                    f"n={metric.count} mean={metric.mean:.3g} "
+                    f"p50={metric.streaming_quantile(0.5):.3g} "
+                    f"p99={metric.streaming_quantile(0.99):.3g} "
+                    f"max={metric.max:.3g}"
+                )
+            lines.append(f"  {rendered:<48s} {value}")
+        return "\n".join(lines)

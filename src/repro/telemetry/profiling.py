@@ -1,0 +1,172 @@
+"""Span-based wall-clock profiling of the simulation hot paths.
+
+A *span* is a named region of code (``fluid.solve``, ``kernel.run``,
+``des.solve`` ...) timed with :func:`time.perf_counter` and aggregated
+by name: total wall time, call count, min/max per call.  Spans nest;
+each span also tracks *self time* (wall time minus the time spent in
+child spans) so the report distinguishes "the kernel loop is slow"
+from "the kernel loop spends its time in the max-min solver".
+
+Like the event bus, the profiler is process-wide but explicitly
+injectable and **off by default**: every instrumentation site is a
+single ``prof.enabled`` attribute check, so ``--no-profile`` runs pay
+one boolean test per span and nothing else — that is what keeps the
+measured overhead of ``--profile`` under the 5% budget and the
+telemetry-off byte-identity guarantee intact (the profiler never reads
+or writes simulation state).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from ..errors import TelemetryError
+
+__all__ = ["SpanStats", "SpanProfiler", "get_profiler", "set_profiler", "profiling"]
+
+
+class SpanStats:
+    """Aggregated statistics for one span name."""
+
+    __slots__ = ("name", "calls", "total_s", "self_s", "min_s", "max_s")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.calls = 0
+        self.total_s = 0.0
+        self.self_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+
+    def add(self, elapsed: float, child_time: float) -> None:
+        self.calls += 1
+        self.total_s += elapsed
+        self.self_s += elapsed - child_time
+        self.min_s = min(self.min_s, elapsed)
+        self.max_s = max(self.max_s, elapsed)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "total_s": self.total_s,
+            "self_s": self.self_s,
+            "min_s": self.min_s if self.calls else None,
+            "max_s": self.max_s if self.calls else None,
+        }
+
+
+class SpanProfiler:
+    """Collects nested span timings when enabled; inert otherwise."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = bool(enabled)
+        self._stats: dict[str, SpanStats] = {}
+        # Stack of accumulated child time per open span, for self-time.
+        self._child_time: list[float] = []
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a region under ``name``; no-op when disabled."""
+        if not self.enabled:
+            yield
+            return
+        self._child_time.append(0.0)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            child_time = self._child_time.pop()
+            stats = self._stats.get(name)
+            if stats is None:
+                stats = self._stats[name] = SpanStats(name)
+            stats.add(elapsed, child_time)
+            if self._child_time:
+                self._child_time[-1] += elapsed
+
+    def record(self, name: str, elapsed: float) -> None:
+        """Record one pre-measured call (flat: no nesting bookkeeping).
+
+        For hot loops where even the :meth:`span` context manager is too
+        much machinery: callers time with ``perf_counter`` themselves,
+        guarded by one ``prof.enabled`` check.
+        """
+        if not self.enabled:
+            return
+        stats = self._stats.get(name)
+        if stats is None:
+            stats = self._stats[name] = SpanStats(name)
+        stats.add(elapsed, 0.0)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Record ``n`` zero-duration calls (pure call counting)."""
+        if not self.enabled:
+            return
+        stats = self._stats.get(name)
+        if stats is None:
+            stats = self._stats[name] = SpanStats(name)
+        stats.calls += n
+        stats.min_s = min(stats.min_s, 0.0)
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def stats(self) -> list[SpanStats]:
+        """Spans ordered by total wall time, descending."""
+        return sorted(self._stats.values(), key=lambda s: (-s.total_s, s.name))
+
+    def clear(self) -> None:
+        self._stats.clear()
+        self._child_time.clear()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"spans": [s.to_dict() for s in self.stats()]}
+
+    def render(self) -> str:
+        """The ``--profile`` report: one fixed-width row per span."""
+        if not self._stats:
+            return "profile: no spans recorded"
+        header = (
+            f"  {'span':<24s} {'calls':>8s} {'total':>10s} {'self':>10s} "
+            f"{'mean':>10s} {'max':>10s}"
+        )
+        lines = ["profile (wall clock):", header]
+        for s in self.stats():
+            mean = s.total_s / s.calls if s.calls else 0.0
+            lines.append(
+                f"  {s.name:<24s} {s.calls:>8d} {s.total_s:>9.4f}s {s.self_s:>9.4f}s "
+                f"{mean * 1e3:>8.3f}ms {s.max_s * 1e3:>8.3f}ms"
+            )
+        return "\n".join(lines)
+
+
+_PROFILER = SpanProfiler()
+
+
+def get_profiler() -> SpanProfiler:
+    """The current process-wide profiler (disabled unless installed)."""
+    return _PROFILER
+
+
+def set_profiler(profiler: SpanProfiler) -> SpanProfiler:
+    """Install ``profiler`` process-wide; returns the previous one."""
+    global _PROFILER
+    if not isinstance(profiler, SpanProfiler):
+        raise TelemetryError("set_profiler expects a SpanProfiler")
+    previous = _PROFILER
+    _PROFILER = profiler
+    return previous
+
+
+@contextmanager
+def profiling(enabled: bool = True) -> Iterator[SpanProfiler]:
+    """A scoped profiling session; restores the previous profiler on exit."""
+    profiler = SpanProfiler(enabled=enabled)
+    previous = set_profiler(profiler)
+    try:
+        yield profiler
+    finally:
+        set_profiler(previous)

@@ -1,0 +1,272 @@
+"""The campaign dashboard: turn a JSONL event stream into panels.
+
+``repro stats <events.jsonl>`` loads a campaign's event stream and
+renders:
+
+* per-experiment **progress** — runs by status (ok/failed/quarantined),
+  retry totals, simulated wall clock;
+* **bandwidth distributions** per (experiment, spec) with bi-modality
+  flags from :mod:`repro.stats.bimodality` — the dashboard incarnation
+  of the paper's lesson 5 ("means hide bi-modal behaviour");
+* **fault activity** — triggers by kind/component;
+* **per-server load timelines** (from ``run.end`` events that carry
+  observed server series) via :func:`repro.figures.ascii.timeline_panel`;
+* the final **metrics snapshot**, when the stream contains one.
+
+Everything here is read-only over decoded events, so the dashboard can
+be re-rendered at any time — including against the live stream of a
+running campaign (``repro tail`` uses the same loader).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as TallyCounter
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from ..errors import AnalysisError, TelemetryError
+from ..figures.ascii import render_table, timeline_panel
+from ..stats.bimodality import is_bimodal
+
+__all__ = ["load_events", "CampaignReport"]
+
+# Minimum sample size for the two-Gaussian mixture fit (stats.bimodality).
+_MIN_BIMODAL_N = 6
+
+
+def load_events(path: str | Path, strict: bool = False) -> list[dict[str, Any]]:
+    """Decode a JSONL event stream into a list of event dicts.
+
+    By default a trailing undecodable line is tolerated (a live campaign
+    may be mid-write); ``strict=True`` raises on any bad line.  Schema
+    validation is a separate concern — see
+    :func:`repro.telemetry.events.validate_jsonl`.
+    """
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise TelemetryError(f"cannot read event stream {path}: {exc}") from exc
+    lines = text.splitlines()
+    events: list[dict[str, Any]] = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if strict or lineno < len(lines):
+                raise TelemetryError(
+                    f"{path}: line {lineno} is not valid JSON ({exc})"
+                ) from exc
+            continue  # tolerated: partial final line of a live stream
+        if not isinstance(obj, dict):
+            raise TelemetryError(f"{path}: line {lineno} is not a JSON object")
+        events.append(obj)
+    return events
+
+
+def _fmt(value: float | None, spec: str = ".1f") -> str:
+    return "-" if value is None else format(value, spec)
+
+
+class CampaignReport:
+    """Aggregates one event stream and renders the dashboard panels."""
+
+    def __init__(self, events: Iterable[Mapping[str, Any]]):
+        self.events = [dict(e) for e in events]
+        self.run_ends = [e for e in self.events if e.get("event") == "run.end"]
+        self.faults = [e for e in self.events if e.get("event") == "fault.trigger"]
+        self.checkpoints = [e for e in self.events if e.get("event") == "checkpoint.write"]
+        snapshots = [e for e in self.events if e.get("event") == "metrics.snapshot"]
+        self.metrics: dict[str, Any] = snapshots[-1]["metrics"] if snapshots else {}
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path) -> "CampaignReport":
+        return cls(load_events(path))
+
+    # -- aggregation -----------------------------------------------------------
+
+    def progress(self) -> list[dict[str, Any]]:
+        """Per-experiment run tallies, ordered by experiment id."""
+        by_exp: dict[str, dict[str, Any]] = {}
+        for e in self.run_ends:
+            row = by_exp.setdefault(
+                str(e.get("exp_id", "?")),
+                {"ok": 0, "failed": 0, "quarantined": 0, "retries": 0, "wall_s": 0.0},
+            )
+            status = e.get("status", "failed")
+            row[status] = row.get(status, 0) + 1
+            row["retries"] += int(e.get("retries") or 0)
+            makespan = e.get("makespan_s")
+            if isinstance(makespan, (int, float)):
+                row["wall_s"] += float(makespan)
+        return [
+            {"exp_id": exp, **row, "runs": row["ok"] + row["failed"] + row["quarantined"]}
+            for exp, row in sorted(by_exp.items())
+        ]
+
+    def bandwidth_groups(self) -> dict[tuple[str, str], list[float]]:
+        """Successful-run bandwidths grouped by (experiment, spec)."""
+        groups: dict[tuple[str, str], list[float]] = {}
+        for e in self.run_ends:
+            bw = e.get("bw_mib_s")
+            if e.get("status") == "ok" and isinstance(bw, (int, float)):
+                key = (str(e.get("exp_id", "?")), str(e.get("spec", "?")))
+                groups.setdefault(key, []).append(float(bw))
+        return groups
+
+    def bimodality_flags(self) -> list[dict[str, Any]]:
+        """Bi-modality verdicts for every group with enough samples."""
+        flags: list[dict[str, Any]] = []
+        for (exp, spec), values in sorted(self.bandwidth_groups().items()):
+            row: dict[str, Any] = {
+                "exp_id": exp,
+                "spec": spec,
+                "n": len(values),
+                "mean": sum(values) / len(values),
+                "min": min(values),
+                "max": max(values),
+            }
+            if len(values) >= _MIN_BIMODAL_N:
+                try:
+                    verdict = is_bimodal(values)
+                except AnalysisError:
+                    row.update(bimodal=None, coefficient=None, modes=None)
+                else:
+                    row.update(
+                        bimodal=verdict.bimodal,
+                        coefficient=verdict.coefficient,
+                        modes=verdict.mixture.means if verdict.bimodal else None,
+                    )
+            else:
+                row.update(bimodal=None, coefficient=None, modes=None)
+            flags.append(row)
+        return flags
+
+    def fault_summary(self) -> list[tuple[str, str, int]]:
+        tally: TallyCounter[tuple[str, str]] = TallyCounter(
+            (str(e.get("kind", "?")), str(e.get("component", "?"))) for e in self.faults
+        )
+        return [(kind, comp, n) for (kind, comp), n in sorted(tally.items())]
+
+    def server_series(self) -> dict[str, list[tuple[float, float]]]:
+        """Observed per-server series from the last run.end carrying them."""
+        for e in reversed(self.run_ends):
+            servers = e.get("servers")
+            if isinstance(servers, Mapping) and servers:
+                return {
+                    str(rid): [(float(t), float(v)) for t, v in pts]
+                    for rid, pts in sorted(servers.items())
+                }
+        return {}
+
+    # -- rendering -------------------------------------------------------------
+
+    def render(self, timelines: bool = True) -> str:
+        """The full dashboard as one string of stacked ASCII panels."""
+        panels: list[str] = []
+        total = len(self.run_ends)
+        header = (
+            f"campaign dashboard: {len(self.events)} events, {total} runs, "
+            f"{len(self.checkpoints)} checkpoints"
+        )
+        panels.append(header)
+
+        rows = self.progress()
+        if rows:
+            panels.append(
+                render_table(
+                    ["experiment", "runs", "ok", "failed", "quarantined", "retries", "sim wall"],
+                    [
+                        [
+                            r["exp_id"],
+                            r["runs"],
+                            r["ok"],
+                            r["failed"],
+                            r["quarantined"],
+                            r["retries"],
+                            f"{r['wall_s']:.1f}s",
+                        ]
+                        for r in rows
+                    ],
+                    title="progress:",
+                )
+            )
+            failed = sum(r["failed"] for r in rows)
+            quarantined = sum(r["quarantined"] for r in rows)
+            if total:
+                panels.append(
+                    f"  failure rate {failed / total:.1%} · "
+                    f"quarantine rate {quarantined / total:.1%}"
+                )
+
+        flags = self.bimodality_flags()
+        if flags:
+
+            def flag_cell(row: Mapping[str, Any]) -> str:
+                if row["bimodal"] is None:
+                    return f"n<{_MIN_BIMODAL_N}" if row["n"] < _MIN_BIMODAL_N else "-"
+                if row["bimodal"]:
+                    lo, hi = row["modes"]
+                    return f"BIMODAL ({lo:.0f} / {hi:.0f})"
+                return "unimodal"
+
+            panels.append(
+                render_table(
+                    ["experiment", "spec", "n", "mean", "min", "max", "verdict"],
+                    [
+                        [
+                            r["exp_id"],
+                            r["spec"],
+                            r["n"],
+                            _fmt(r["mean"]),
+                            _fmt(r["min"]),
+                            _fmt(r["max"]),
+                            flag_cell(r),
+                        ]
+                        for r in flags
+                    ],
+                    title="bandwidth distributions (MiB/s):",
+                )
+            )
+
+        fault_rows = self.fault_summary()
+        if fault_rows:
+            panels.append(
+                render_table(
+                    ["fault kind", "component", "triggers"],
+                    [[k, c, n] for k, c, n in fault_rows],
+                    title="fault activity:",
+                )
+            )
+
+        if timelines:
+            series = self.server_series()
+            if series:
+                try:
+                    panels.append(
+                        timeline_panel(series, "per-server load (last observed run):")
+                    )
+                except AnalysisError:
+                    pass  # degenerate series (no positive span): skip the panel
+
+        if self.metrics:
+            metric_rows = []
+            for name, m in sorted(self.metrics.items()):
+                if m.get("type") in ("counter", "gauge"):
+                    metric_rows.append([name, m["type"], f"{m['value']:g}"])
+                else:
+                    q = m.get("quantiles", {})
+                    detail = (
+                        f"n={m['count']} p50={_fmt(q.get('p50'), '.3g')} "
+                        f"p99={_fmt(q.get('p99'), '.3g')} max={_fmt(m.get('max'), '.3g')}"
+                    )
+                    metric_rows.append([name, "histogram", detail])
+            panels.append(
+                render_table(["metric", "type", "value"], metric_rows, title="metrics:")
+            )
+
+        if len(panels) == 1:
+            panels.append("  (no run.end events yet — campaign still warming up?)")
+        return "\n\n".join(panels)

@@ -39,6 +39,7 @@ import numpy as np
 
 from ..errors import InvariantViolation
 from ..netsim.maxmin import fairness_violations
+from ..telemetry.bus import get_bus
 from ..units import MiB
 from .level import ValidationLevel
 
@@ -222,25 +223,34 @@ class RuntimeChecker:
 
     def finish(self) -> None:
         """Per-resource (hence per-target) byte conservation (PARANOID)."""
-        if not self.level.paranoid or self._delivered is None or self._expected is None:
-            return
-        delivered = self._delivered.copy()
-        if self.inject == "byte-loss":
-            # Drop one MiB from the busiest resource's tally: a simulated
-            # silently-dropped chunk the conservation check must catch.
-            delivered[int(np.argmax(delivered))] -= float(MiB)
-        tol = self.conservation_atol_bytes + _CONSERVATION_RTOL * np.abs(self._expected)
-        off = np.abs(delivered - self._expected) > tol
-        if np.any(off):
-            i = int(np.argmax(np.abs(delivered - self._expected)))
-            raise InvariantViolation(
-                self._msg(
-                    "conservation",
-                    f"resource {self._rid(i)} moved {delivered[i]:.0f} bytes but "
-                    f"{self._expected[i]:.0f} were routed through it "
-                    f"(delta {delivered[i] - self._expected[i]:+.0f})",
+        if self.level.paranoid and self._delivered is not None and self._expected is not None:
+            delivered = self._delivered.copy()
+            if self.inject == "byte-loss":
+                # Drop one MiB from the busiest resource's tally: a simulated
+                # silently-dropped chunk the conservation check must catch.
+                delivered[int(np.argmax(delivered))] -= float(MiB)
+            tol = self.conservation_atol_bytes + _CONSERVATION_RTOL * np.abs(self._expected)
+            off = np.abs(delivered - self._expected) > tol
+            if np.any(off):
+                i = int(np.argmax(np.abs(delivered - self._expected)))
+                raise InvariantViolation(
+                    self._msg(
+                        "conservation",
+                        f"resource {self._rid(i)} moved {delivered[i]:.0f} bytes but "
+                        f"{self._expected[i]:.0f} were routed through it "
+                        f"(delta {delivered[i] - self._expected[i]:+.0f})",
+                    )
                 )
+        bus = get_bus()
+        if bus.enabled:
+            bus.emit(
+                "invariant.check",
+                context=self.context,
+                level=self._level_name(),
+                segments=self.segments_checked,
+                ok=True,
             )
+            bus.metrics.counter("invariants.segments_checked").inc(self.segments_checked)
 
     # -- helpers ------------------------------------------------------------------
 
@@ -253,9 +263,27 @@ class RuntimeChecker:
             return labels[index]
         return f"#{index}"
 
+    def _level_name(self) -> str:
+        return str(getattr(self.level, "name", self.level)).lower()
+
     def _msg(self, invariant: str, detail: str) -> str:
         where = f" [{self.context}]" if self.context else ""
-        return f"invariant '{invariant}' violated{where}: {detail}"
+        message = f"invariant '{invariant}' violated{where}: {detail}"
+        # _msg is the single chokepoint every violation passes through on
+        # its way into an InvariantViolation, so the failure event is
+        # emitted here (the successful-run event comes from finish()).
+        bus = get_bus()
+        if bus.enabled:
+            bus.emit(
+                "invariant.check",
+                context=self.context,
+                level=self._level_name(),
+                segments=self.segments_checked,
+                ok=False,
+                detail=message,
+            )
+            bus.metrics.counter("invariants.violations").inc()
+        return message
 
 
 def make_checker(

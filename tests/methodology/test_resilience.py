@@ -259,3 +259,63 @@ class TestRecordFaultFields:
         assert loaded.retries == 0
         assert loaded.complete is True
         assert loaded.fault_events == ()
+
+
+class TestFailedRunRetryTraces:
+    """Quarantined runs keep their retry traces through checkpoints."""
+
+    TRACE = (
+        {"time": 1.0, "flow_id": "app0:n1:201", "action": "retry", "attempt": 1},
+        {"time": 2.5, "flow_id": "app0:n1:201", "action": "abandon", "attempt": 2},
+    )
+
+    def failure(self):
+        return FailedRunRecord(
+            exp_id="e",
+            scenario="s",
+            rep=3,
+            factors={"x": 1},
+            error_type="SimulationError",
+            message="boom",
+            retries=2,
+            flow_trace=self.TRACE,
+        )
+
+    def test_to_dict_carries_retries_and_trace(self):
+        data = self.failure().to_dict()
+        assert data["retries"] == 2
+        assert data["flow_trace"][1]["action"] == "abandon"
+
+    def test_round_trip_preserves_trace(self):
+        loaded = FailedRunRecord.from_dict(self.failure().to_dict())
+        assert loaded.retries == 2
+        assert loaded.flow_trace == self.TRACE
+
+    def test_old_checkpoints_without_trace_still_load(self):
+        data = self.failure().to_dict()
+        del data["retries"]
+        del data["flow_trace"]
+        loaded = FailedRunRecord.from_dict(data)
+        assert loaded.retries == 0
+        assert loaded.flow_trace == ()
+
+    def test_checkpoint_json_round_trips_trace(self, tmp_path):
+        store = RecordStore()
+        store.failures.append(self.failure())
+        path = tmp_path / "ckpt.json"
+        store.write_json(path)
+        loaded = RecordStore.read_json(path)
+        assert loaded.failures[0].retries == 2
+        assert loaded.failures[0].flow_trace == self.TRACE
+
+    def test_runner_attaches_annotated_trace(self):
+        class AnnotatingExecutor:
+            def __call__(self, spec, rep):
+                exc = RuntimeError("boom")
+                exc.flow_retries = 4
+                exc.flow_trace = TestFailedRunRetryTraces.TRACE
+                raise exc
+
+        store = ProtocolRunner(AnnotatingExecutor(), on_error="skip").run(small_plan(2))
+        assert all(f.retries == 4 for f in store.failures)
+        assert store.failures[0].flow_trace == self.TRACE

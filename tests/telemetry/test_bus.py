@@ -1,0 +1,142 @@
+"""The event bus, its sinks and the session lifecycle."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.bus import (
+    ConsoleSink,
+    EventBus,
+    JsonlSink,
+    RingBufferSink,
+    format_event,
+    get_bus,
+    session,
+    set_bus,
+)
+from repro.telemetry.events import validate_jsonl
+
+
+class TestEventBus:
+    def test_inert_without_sinks(self):
+        bus = EventBus()
+        assert not bus.enabled and not bus.debug
+        bus.emit("run.start", exp_id="x", scenario="s", spec="k", rep=0, block=0)
+        # No sink saw it, no sequence number was burned.
+        ring = bus.attach(RingBufferSink())
+        bus.emit("fault.clear", t=1.0, kind="target-offline", component="target:201")
+        assert [e["seq"] for e in ring.events] == [0]
+
+    def test_envelope_fields(self):
+        bus = EventBus()
+        ring = bus.attach(RingBufferSink())
+        bus.emit("fault.trigger", t=5.0, kind="k", component="c", multiplier=0.0)
+        (event,) = ring.events
+        assert event["schema"] == 1
+        assert event["event"] == "fault.trigger"
+        assert event["t"] == 5.0
+
+    def test_debug_events_dropped_at_info_level(self):
+        bus = EventBus(level="info")
+        ring = bus.attach(RingBufferSink())
+        bus.emit("flow.start", t=0.0, flow_id="f")
+        assert ring.events == []
+        debug_bus = EventBus(level="debug")
+        ring2 = debug_bus.attach(RingBufferSink())
+        debug_bus.emit("flow.start", t=0.0, flow_id="f")
+        assert len(ring2.events) == 1
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(TelemetryError):
+            EventBus(level="verbose")
+
+    def test_detach_unattached_sink_rejected(self):
+        bus = EventBus()
+        with pytest.raises(TelemetryError):
+            bus.detach(RingBufferSink())
+
+    def test_ring_capacity_and_select(self):
+        sink = RingBufferSink(capacity=2)
+        bus = EventBus()
+        bus.attach(sink)
+        for i in range(3):
+            bus.emit("checkpoint.write", path=f"p{i}", records=i, failures=0)
+        assert len(sink) == 2
+        assert [e["path"] for e in sink.select("checkpoint.write")] == ["p1", "p2"]
+
+    def test_bad_ring_capacity(self):
+        with pytest.raises(TelemetryError):
+            RingBufferSink(0)
+
+
+class TestJsonlSink:
+    def test_appends_compact_valid_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus()
+        bus.attach(JsonlSink(path))
+        bus.emit("fault.trigger", t=5.0, kind="target-offline", component="target:201",
+                 multiplier=0.0)
+        bus.close()
+        assert validate_jsonl(path) == []
+        line = path.read_text().splitlines()[0]
+        assert json.loads(line)["component"] == "target:201"
+
+    def test_emit_after_close_rejected(self, tmp_path):
+        sink = JsonlSink(tmp_path / "events.jsonl")
+        sink.close()
+        with pytest.raises(TelemetryError):
+            sink.emit({"event": "x"})
+
+    def test_creates_parent_directories(self, tmp_path):
+        sink = JsonlSink(tmp_path / "deep" / "down" / "events.jsonl")
+        sink.close()
+        assert (tmp_path / "deep" / "down" / "events.jsonl").exists()
+
+
+class TestConsoleSinkAndFormat:
+    def test_console_sink_prints_one_liner(self):
+        stream = io.StringIO()
+        bus = EventBus()
+        bus.attach(ConsoleSink(stream))
+        bus.emit("fault.clear", t=10.0, kind="target-offline", component="target:201")
+        out = stream.getvalue()
+        assert "fault.clear" in out and "target:201" in out
+
+    def test_format_event_hides_bulky_fields(self):
+        event = {"schema": 1, "seq": 0, "event": "run.end", "t": 1.0,
+                 "bw_mib_s": 1234.5678, "servers": {"s": []}}
+        line = format_event(event)
+        assert "bw_mib_s=1234.6" in line
+        assert "servers" not in line
+
+
+class TestSession:
+    def test_installs_and_restores_bus(self, tmp_path):
+        before = get_bus()
+        with session(jsonl=tmp_path / "s.jsonl", ring=16) as bus:
+            assert get_bus() is bus
+            assert bus.enabled
+            assert bus.ring is not None
+        assert get_bus() is before
+
+    def test_final_metrics_snapshot_emitted(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with session(jsonl=path) as bus:
+            bus.metrics.counter("runner.runs", status="ok").inc()
+        events = [json.loads(l) for l in path.read_text().splitlines()]
+        assert events[-1]["event"] == "metrics.snapshot"
+        assert events[-1]["metrics"]["runner.runs{status=ok}"]["value"] == 1.0
+
+    def test_no_snapshot_without_metrics(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with session(jsonl=path):
+            pass
+        assert path.read_text() == ""
+
+    def test_set_bus_returns_previous(self):
+        original = get_bus()
+        replacement = EventBus()
+        assert set_bus(replacement) is original
+        assert set_bus(original) is replacement

@@ -1,0 +1,91 @@
+"""Telemetry must never perturb simulation results.
+
+The design contract (telemetry/__init__ docstring): with sinks attached
+— even at debug level, even with profiling on — every RunResult is
+byte-identical to the telemetry-off run.  These tests prove it with the
+replay fingerprints and the cross-engine conformance goldens.
+"""
+
+from repro.engine.base import EngineOptions
+from repro.engine.des_runner import DESEngine
+from repro.engine.fluid_runner import FluidEngine
+from repro.telemetry.bus import session
+from repro.telemetry.events import validate_event
+from repro.telemetry.profiling import profiling
+from repro.units import MiB
+from repro.verify.replay import result_fingerprint
+from repro.workload.generator import single_application
+
+
+def run_once(calib, topo, engine_cls=FluidEngine, rep=1):
+    engine = engine_cls(
+        calib, topo, calib.deployment(stripe_count=4), seed=0, options=EngineOptions()
+    )
+    app = single_application(topo, 2, ppn=4, total_bytes=128 * MiB)
+    return engine.run([app], rep=rep)
+
+
+class TestByteIdentity:
+    def test_fluid_fingerprint_unchanged_by_debug_telemetry(self, calib_s1, topo_s1):
+        baseline = result_fingerprint(run_once(calib_s1, topo_s1))
+        with session(ring=65536, level="debug") as bus:
+            observed = result_fingerprint(run_once(calib_s1, topo_s1))
+            assert bus.ring.events, "debug session should have captured events"
+        assert observed == baseline
+
+    def test_des_fingerprint_unchanged_by_debug_telemetry(self, calib_s1, topo_s1):
+        baseline = result_fingerprint(run_once(calib_s1, topo_s1, DESEngine))
+        with session(ring=65536, level="debug"):
+            observed = result_fingerprint(run_once(calib_s1, topo_s1, DESEngine))
+        assert observed == baseline
+
+    def test_fingerprint_unchanged_by_profiling(self, calib_s1, topo_s1):
+        baseline = result_fingerprint(run_once(calib_s1, topo_s1))
+        with profiling(True) as prof:
+            observed = result_fingerprint(run_once(calib_s1, topo_s1))
+            assert any(s.name == "fluid.solve" for s in prof.stats())
+        assert observed == baseline
+
+    def test_conformance_goldens_hold_with_sinks_attached(self, tmp_path):
+        from repro.verify.conformance import RunSpec, run_conformance
+
+        tiny = (RunSpec(name="tiny", num_nodes=2, ppn=2, total_mib=64),)
+        golden = tmp_path / "golden.json"
+        # Pin goldens with telemetry off, verify with everything on.
+        pinned = run_conformance(specs=tiny, golden_path=golden, update_golden=True)
+        assert pinned.ok
+        with session(ring=65536, level="debug"), profiling(True):
+            report = run_conformance(specs=tiny, golden_path=golden)
+        assert report.ok, [e for c in report.failures for e in c.golden_errors]
+
+
+class TestEmittedStreamQuality:
+    def test_every_engine_event_is_schema_valid(self, calib_s1, topo_s1):
+        with session(ring=65536, level="debug") as bus:
+            run_once(calib_s1, topo_s1)
+            events = bus.ring.events
+        assert events
+        problems = [p for e in events for p in validate_event(e)]
+        assert problems == []
+        kinds = {e["event"] for e in events}
+        assert "flow.start" in kinds and "segment.solve" in kinds
+
+    def test_engine_metrics_published(self, calib_s1, topo_s1):
+        with session(ring=16) as bus:
+            run_once(calib_s1, topo_s1)
+            segments = bus.metrics.counter("engine.segments_solved", engine="fluid")
+            iterations = bus.metrics.counter("engine.solver_iterations", engine="fluid")
+            ost_bytes = bus.metrics.histogram("ost.bytes_written")
+        assert segments.value > 0
+        assert iterations.value >= segments.value
+        assert ost_bytes.count > 0
+
+    def test_replay_of_event_stream_is_deterministic(self, calib_s1, topo_s1):
+        def capture():
+            with session(ring=65536, level="debug") as bus:
+                run_once(calib_s1, topo_s1)
+                # The envelope carries no wall-clock fields by design, so
+                # two identical runs produce identical event streams.
+                return [dict(e) for e in bus.ring.events]
+
+        assert capture() == capture()

@@ -1,0 +1,97 @@
+"""The event taxonomy and its JSONL schema validators."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.events import (
+    DEBUG_EVENTS,
+    EVENT_TYPES,
+    SCHEMA_VERSION,
+    validate_event,
+    validate_jsonl,
+)
+
+
+def make(event_type, **fields):
+    return {"schema": SCHEMA_VERSION, "seq": 0, "event": event_type, "t": None, **fields}
+
+
+RUN_END = dict(
+    exp_id="fig6",
+    scenario="scenario1",
+    spec="fig6[scenario1]()",
+    rep=0,
+    block=0,
+    status="ok",
+    bw_mib_s=1234.5,
+    makespan_s=30.0,
+    retries=0,
+    complete=True,
+    error_type=None,
+)
+
+
+class TestValidateEvent:
+    def test_valid_run_end(self):
+        assert validate_event(make("run.end", **RUN_END)) == []
+
+    def test_every_declared_type_has_field_spec(self):
+        assert "run.start" in EVENT_TYPES and "fault.trigger" in EVENT_TYPES
+        assert DEBUG_EVENTS <= set(EVENT_TYPES)
+
+    def test_non_object_rejected(self):
+        assert validate_event([1, 2, 3])
+        assert validate_event("run.end")
+
+    def test_unknown_type_rejected(self):
+        problems = validate_event(make("meteor.strike"))
+        assert any("meteor.strike" in p for p in problems)
+
+    def test_missing_required_field_rejected(self):
+        payload = dict(RUN_END)
+        del payload["status"]
+        problems = validate_event(make("run.end", **payload))
+        assert any("status" in p for p in problems)
+
+    def test_bool_is_not_a_number(self):
+        payload = dict(RUN_END, bw_mib_s=True)
+        assert validate_event(make("run.end", **payload))
+
+    def test_extra_field_rejected(self):
+        payload = dict(RUN_END, surprise=1)
+        problems = validate_event(make("run.end", **payload))
+        assert any("surprise" in p for p in problems)
+
+    def test_bad_status_rejected(self):
+        payload = dict(RUN_END, status="exploded")
+        problems = validate_event(make("run.end", **payload))
+        assert any("status" in p for p in problems)
+
+    def test_optional_fields_accepted(self):
+        payload = dict(RUN_END, servers={"storage1": [[0.0, 1.0]]})
+        assert validate_event(make("run.end", **payload)) == []
+
+
+class TestValidateJsonl:
+    def test_valid_stream(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with path.open("w") as fh:
+            fh.write(json.dumps(make("run.end", **RUN_END)) + "\n")
+            fh.write("\n")  # blank lines are fine
+        assert validate_jsonl(path) == []
+
+    def test_problems_carry_line_numbers(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with path.open("w") as fh:
+            fh.write(json.dumps(make("run.end", **RUN_END)) + "\n")
+            fh.write("{not json\n")
+            fh.write(json.dumps(make("wat.is.this")) + "\n")
+        problems = validate_jsonl(path)
+        assert any(p.startswith("line 2:") for p in problems)
+        assert any(p.startswith("line 3:") for p in problems)
+
+    def test_unreadable_file_raises(self, tmp_path):
+        with pytest.raises(TelemetryError):
+            validate_jsonl(tmp_path / "missing.jsonl")

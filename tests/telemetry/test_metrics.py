@@ -1,0 +1,250 @@
+"""Counters, gauges, histograms and the P² streaming quantiles.
+
+The merge/quantile edge cases (empty, single-sample, NaN rejection,
+merge exactness) are property-tested with hypothesis, as the histogram
+is the one telemetry structure whose correctness the dashboard's
+numbers depend on.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TelemetryError
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    P2Quantile,
+)
+
+finite_values = st.floats(
+    min_value=1e-3, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative_and_nonfinite(self):
+        c = Counter()
+        with pytest.raises(TelemetryError):
+            c.inc(-1.0)
+        with pytest.raises(TelemetryError):
+            c.inc(math.nan)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge()
+        g.inc(3.0)
+        g.dec(1.0)
+        assert g.value == 2.0
+        g.set(-5.0)
+        assert g.value == -5.0
+
+    def test_gauge_rejects_nan(self):
+        with pytest.raises(TelemetryError):
+            Gauge().set(math.nan)
+
+
+class TestP2Quantile:
+    def test_empty_stream_raises(self):
+        with pytest.raises(TelemetryError):
+            P2Quantile(0.5).value
+
+    def test_single_sample_is_exact(self):
+        q = P2Quantile(0.9)
+        q.observe(42.0)
+        assert q.value == 42.0
+
+    def test_exact_below_five_samples(self):
+        q = P2Quantile(0.5)
+        for v in (5.0, 1.0, 3.0, 2.0):
+            q.observe(v)
+        assert q.value == float(np.quantile([5.0, 1.0, 3.0, 2.0], 0.5))
+
+    def test_rejects_nan(self):
+        with pytest.raises(TelemetryError):
+            P2Quantile(0.5).observe(math.nan)
+
+    def test_bad_p_rejected(self):
+        with pytest.raises(TelemetryError):
+            P2Quantile(0.0)
+        with pytest.raises(TelemetryError):
+            P2Quantile(1.0)
+
+    def test_tracks_normal_median_closely(self):
+        rng = np.random.default_rng(7)
+        samples = rng.normal(100.0, 15.0, size=5000)
+        q = P2Quantile(0.5)
+        for v in samples:
+            q.observe(float(v))
+        assert abs(q.value - float(np.median(samples))) < 1.0
+
+    @given(st.lists(finite_values, min_size=5, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_estimate_stays_within_observed_range(self, values):
+        q = P2Quantile(0.9)
+        for v in values:
+            q.observe(v)
+        assert min(values) <= q.value <= max(values)
+
+
+class TestHistogramBasics:
+    def test_empty_histogram_has_no_mean_or_quantile(self):
+        h = Histogram()
+        with pytest.raises(TelemetryError):
+            h.mean
+        with pytest.raises(TelemetryError):
+            h.quantile(0.5)
+        with pytest.raises(TelemetryError):
+            h.streaming_quantile(0.5)
+
+    def test_single_sample_quantiles_are_that_sample(self):
+        h = Histogram()
+        h.observe(37.5)
+        for p in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(p) == 37.5
+        assert h.streaming_quantile(0.5) == 37.5
+        assert h.mean == 37.5
+
+    def test_rejects_nan_and_inf(self):
+        h = Histogram()
+        with pytest.raises(TelemetryError):
+            h.observe(math.nan)
+        with pytest.raises(TelemetryError):
+            h.observe(math.inf)
+        assert h.count == 0
+
+    def test_bucket_bounds_validated(self):
+        with pytest.raises(TelemetryError):
+            Histogram(buckets=())
+        with pytest.raises(TelemetryError):
+            Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(TelemetryError):
+            Histogram(buckets=(1.0, math.inf))
+
+    def test_overflow_bin_catches_huge_values(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(1e12)
+        assert h.counts[-1] == 1
+
+    def test_quantile_clamped_to_observed_range(self):
+        h = Histogram()
+        for v in (10.0, 20.0, 30.0):
+            h.observe(v)
+        assert 10.0 <= h.quantile(0.01)
+        assert h.quantile(1.0) <= 30.0
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(1e12)  # lands in the infinite overflow bin
+        snap = h.snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["buckets"][-1][0] is None
+
+
+class TestHistogramMerge:
+    @given(
+        st.lists(finite_values, min_size=0, max_size=80),
+        st.lists(finite_values, min_size=0, max_size=80),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_bucket_exact(self, left, right):
+        one = Histogram()
+        for v in left + right:
+            one.observe(v)
+        a, b = Histogram(), Histogram()
+        for v in left:
+            a.observe(v)
+        for v in right:
+            b.observe(v)
+        a.merge(b)
+        assert a.counts == one.counts
+        assert a.count == one.count
+        assert a.sum == pytest.approx(one.sum)
+        if one.count:
+            assert a.min == one.min and a.max == one.max
+            # Post-merge streaming view answers from the (exact) buckets.
+            assert a.streaming_quantile(0.5) == one.quantile(0.5)
+
+    def test_merge_rejects_different_buckets(self):
+        with pytest.raises(TelemetryError):
+            Histogram(buckets=(1.0, 2.0)).merge(Histogram(buckets=(1.0, 3.0)))
+
+    def test_merge_of_empties_stays_empty(self):
+        a = Histogram().merge(Histogram())
+        assert a.count == 0
+        with pytest.raises(TelemetryError):
+            a.quantile(0.5)
+
+    def test_merge_into_empty_adopts_other(self):
+        a, b = Histogram(), Histogram()
+        b.observe(5.0)
+        a.merge(b)
+        assert a.count == 1 and a.min == 5.0 and a.max == 5.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        assert reg.counter("runner.runs", status="ok") is reg.counter(
+            "runner.runs", status="ok"
+        )
+        assert reg.counter("runner.runs", status="ok") is not reg.counter(
+            "runner.runs", status="failed"
+        )
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TelemetryError):
+            reg.gauge("x")
+
+    def test_rendered_names_sorted_and_labelled(self):
+        reg = MetricsRegistry()
+        reg.counter("b.metric")
+        reg.counter("a.metric", engine="fluid")
+        names = [name for name, _ in reg]
+        assert names == ["a.metric{engine=fluid}", "b.metric"]
+
+    def test_registry_merge_adds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(2)
+        b.counter("n").inc(3)
+        b.histogram("h").observe(1.0)
+        a.merge(b)
+        assert a.counter("n").value == 5.0
+        assert a.histogram("h").count == 1
+
+    def test_snapshot_roundtrips_through_json(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("runner.runs", status="ok").inc()
+        reg.gauge("faults.active").set(2.0)
+        reg.histogram("run.bandwidth_mib_s").observe(880.0)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["runner.runs{status=ok}"]["type"] == "counter"
+        assert snap["run.bandwidth_mib_s"]["count"] == 1
+
+    def test_render_mentions_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.histogram("h").observe(1.0)
+        out = reg.render()
+        assert "a" in out and "p50" in out
+
+    def test_default_buckets_cover_bandwidths_and_bytes(self):
+        assert DEFAULT_BUCKETS[0] == 1.0
+        assert DEFAULT_BUCKETS[-1] >= 1e12

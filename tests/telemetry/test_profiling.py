@@ -1,0 +1,102 @@
+"""Span-based profiling: nesting, self-time, the flat hot-path API."""
+
+import time
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.profiling import (
+    SpanProfiler,
+    get_profiler,
+    profiling,
+    set_profiler,
+)
+
+
+class TestSpanProfiler:
+    def test_disabled_profiler_records_nothing(self):
+        prof = SpanProfiler(enabled=False)
+        with prof.span("a"):
+            pass
+        prof.record("b", 1.0)
+        prof.count("c")
+        assert len(prof) == 0
+        assert prof.render() == "profile: no spans recorded"
+
+    def test_spans_aggregate_by_name(self):
+        prof = SpanProfiler(enabled=True)
+        for _ in range(3):
+            with prof.span("work"):
+                pass
+        (stats,) = prof.stats()
+        assert stats.name == "work" and stats.calls == 3
+        assert stats.total_s >= 0.0
+        assert stats.min_s <= stats.max_s
+
+    def test_self_time_excludes_children(self):
+        prof = SpanProfiler(enabled=True)
+        with prof.span("outer"):
+            with prof.span("inner"):
+                time.sleep(0.02)
+        by_name = {s.name: s for s in prof.stats()}
+        assert by_name["outer"].total_s >= by_name["inner"].total_s
+        # Outer's self time is its total minus the inner span.
+        assert by_name["outer"].self_s == pytest.approx(
+            by_name["outer"].total_s - by_name["inner"].total_s, abs=1e-6
+        )
+
+    def test_record_and_count_flat_api(self):
+        prof = SpanProfiler(enabled=True)
+        prof.record("solve", 0.25)
+        prof.record("solve", 0.75)
+        prof.count("steps", 10)
+        by_name = {s.name: s for s in prof.stats()}
+        assert by_name["solve"].calls == 2
+        assert by_name["solve"].total_s == pytest.approx(1.0)
+        assert by_name["steps"].calls == 10
+        assert by_name["steps"].total_s == 0.0
+
+    def test_stats_sorted_by_total_time(self):
+        prof = SpanProfiler(enabled=True)
+        prof.record("cheap", 0.1)
+        prof.record("dear", 0.9)
+        assert [s.name for s in prof.stats()] == ["dear", "cheap"]
+
+    def test_exception_inside_span_still_recorded(self):
+        prof = SpanProfiler(enabled=True)
+        with pytest.raises(RuntimeError):
+            with prof.span("doomed"):
+                raise RuntimeError("boom")
+        assert prof.stats()[0].calls == 1
+
+    def test_render_and_to_dict(self):
+        prof = SpanProfiler(enabled=True)
+        prof.record("fluid.solve", 0.5)
+        out = prof.render()
+        assert "fluid.solve" in out and "calls" in out
+        data = prof.to_dict()
+        assert data["spans"][0]["name"] == "fluid.solve"
+
+    def test_clear(self):
+        prof = SpanProfiler(enabled=True)
+        prof.record("x", 1.0)
+        prof.clear()
+        assert len(prof) == 0
+
+
+class TestProcessWideProfiler:
+    def test_default_profiler_is_disabled(self):
+        assert get_profiler().enabled is False
+
+    def test_profiling_scope_installs_and_restores(self):
+        before = get_profiler()
+        with profiling(True) as prof:
+            assert get_profiler() is prof and prof.enabled
+            with get_profiler().span("inside"):
+                pass
+            assert len(prof) == 1
+        assert get_profiler() is before
+
+    def test_set_profiler_rejects_non_profiler(self):
+        with pytest.raises(TelemetryError):
+            set_profiler(object())

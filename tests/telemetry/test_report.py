@@ -1,0 +1,125 @@
+"""The campaign dashboard over synthetic event streams."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.report import CampaignReport, load_events
+
+
+def run_end(rep, bw=1000.0, status="ok", exp_id="fig6", spec="fig6[s1]()", **extra):
+    event = {
+        "schema": 1, "seq": rep, "event": "run.end", "t": float(rep),
+        "exp_id": exp_id, "scenario": "scenario1", "spec": spec, "rep": rep,
+        "block": 0, "status": status, "bw_mib_s": bw if status == "ok" else None,
+        "makespan_s": 30.0 if status == "ok" else None,
+        "retries": 0, "complete": status == "ok",
+        "error_type": None if status == "ok" else "SimulationError",
+    }
+    event.update(extra)
+    return event
+
+
+def fault(kind="target-offline", component="target:201"):
+    return {"schema": 1, "seq": 0, "event": "fault.trigger", "t": 5.0,
+            "kind": kind, "component": component, "multiplier": 0.0}
+
+
+class TestLoadEvents:
+    def test_loads_and_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text(json.dumps(run_end(0)) + "\n\n" + json.dumps(run_end(1)) + "\n")
+        assert len(load_events(path)) == 2
+
+    def test_partial_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text(json.dumps(run_end(0)) + "\n" + '{"schema": 1, "seq"')
+        assert len(load_events(path)) == 1
+
+    def test_partial_final_line_strict_raises(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"schema": 1, "seq"')
+        with pytest.raises(TelemetryError):
+            load_events(path, strict=True)
+
+    def test_bad_interior_line_always_raises(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text("{broken\n" + json.dumps(run_end(0)) + "\n")
+        with pytest.raises(TelemetryError):
+            load_events(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(TelemetryError):
+            load_events(tmp_path / "no.jsonl")
+
+
+class TestCampaignReport:
+    def test_progress_tallies_by_status(self):
+        report = CampaignReport(
+            [run_end(0), run_end(1), run_end(2, status="failed"),
+             run_end(3, status="quarantined")]
+        )
+        (row,) = report.progress()
+        assert row["runs"] == 4
+        assert (row["ok"], row["failed"], row["quarantined"]) == (2, 1, 1)
+        assert row["wall_s"] == pytest.approx(60.0)
+
+    def test_bandwidth_groups_only_successes(self):
+        report = CampaignReport([run_end(0, bw=900.0), run_end(1, status="failed")])
+        groups = report.bandwidth_groups()
+        assert list(groups.values()) == [[900.0]]
+
+    def test_bimodality_flags_small_groups_undecided(self):
+        report = CampaignReport([run_end(i) for i in range(3)])
+        (row,) = report.bimodality_flags()
+        assert row["bimodal"] is None and row["n"] == 3
+
+    def test_bimodality_detected_on_separated_modes(self):
+        lows = [880.0, 884.0, 888.0, 882.0, 886.0]
+        highs = [1740.0, 1744.0, 1748.0, 1742.0, 1746.0]
+        report = CampaignReport(
+            [run_end(i, bw=v) for i, v in enumerate(lows + highs)]
+        )
+        (row,) = report.bimodality_flags()
+        assert row["bimodal"] is True
+        assert "BIMODAL" in report.render()
+
+    def test_fault_summary(self):
+        report = CampaignReport([fault(), fault(), fault(component="server:storage2")])
+        assert report.fault_summary() == [
+            ("target-offline", "server:storage2", 1),
+            ("target-offline", "target:201", 2),
+        ]
+
+    def test_server_series_from_last_carrying_run(self):
+        with_series = run_end(1, servers={"storage1": [[0.0, 10.0], [1.0, 20.0]]})
+        report = CampaignReport([run_end(0), with_series])
+        assert report.server_series() == {"storage1": [(0.0, 10.0), (1.0, 20.0)]}
+        assert "per-server load" in report.render()
+
+    def test_render_empty_stream(self):
+        out = CampaignReport([]).render()
+        assert "0 runs" in out and "warming up" in out
+
+    def test_render_metrics_panel_from_snapshot(self):
+        snapshot = {
+            "schema": 1, "seq": 9, "event": "metrics.snapshot", "t": None,
+            "metrics": {
+                "runner.runs{status=ok}": {"type": "counter", "value": 2.0},
+                "run.bandwidth_mib_s": {
+                    "type": "histogram", "count": 2, "sum": 2000.0,
+                    "min": 900.0, "max": 1100.0, "buckets": [[1024.0, 2]],
+                    "quantiles": {"p50": 1000.0, "p90": 1080.0, "p99": 1098.0},
+                },
+            },
+        }
+        out = CampaignReport([run_end(0), snapshot]).render()
+        assert "runner.runs{status=ok}" in out
+        assert "p50=1e+03" in out
+
+    def test_from_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text("\n".join(json.dumps(e) for e in [run_end(0), fault()]) + "\n")
+        report = CampaignReport.from_jsonl(path)
+        assert len(report.run_ends) == 1 and len(report.faults) == 1

@@ -47,11 +47,20 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "records written" in out
 
-    def test_run_unknown_experiment(self):
-        from repro.errors import ExperimentError
+    def test_run_unknown_experiment_structured_error(self, capsys):
+        assert main(["run", "fig99", "--quiet"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error[ExperimentError]:")
+        assert "fig99" in err
+        assert "\n" not in err.rstrip("\n")  # one line, no traceback
 
-        with pytest.raises(ExperimentError):
-            main(["run", "fig99", "--quiet"])
+    def test_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
 
 
 class TestSystemCommands:
@@ -178,6 +187,75 @@ class TestVerifyCommand:
         captured = capsys.readouterr()
         assert "detected" in captured.out
         assert "injection detected" in captured.err
+
+
+class TestTelemetryCommands:
+    def _run_with_telemetry(self, tmp_path):
+        stream = tmp_path / "events.jsonl"
+        assert main([
+            "run", "fig4", "--reps", "2", "--quiet", "--telemetry", str(stream),
+        ]) == 0
+        return stream
+
+    def test_run_writes_schema_valid_stream(self, tmp_path, capsys):
+        from repro.telemetry import validate_jsonl
+
+        stream = self._run_with_telemetry(tmp_path)
+        assert validate_jsonl(stream) == []
+        assert "telemetry stream appended" in capsys.readouterr().err
+
+    def test_tail_validate_and_render(self, tmp_path, capsys):
+        stream = self._run_with_telemetry(tmp_path)
+        capsys.readouterr()
+        assert main(["tail", str(stream), "--validate"]) == 0
+        captured = capsys.readouterr()
+        assert "run.end" in captured.out
+        assert "schema-valid" in captured.err
+
+    def test_tail_validate_rejects_bad_line(self, tmp_path, capsys):
+        stream = tmp_path / "events.jsonl"
+        stream.write_text('{"schema": 1, "seq": 0, "event": "nope", "t": null}\n')
+        assert main(["tail", str(stream), "--validate", "--quiet"]) == 1
+        assert "line 1" in capsys.readouterr().err
+
+    def test_tail_missing_stream_structured_error(self, tmp_path, capsys):
+        assert main(["tail", str(tmp_path / "missing.jsonl")]) == 1
+        assert "error[TelemetryError]:" in capsys.readouterr().err
+
+    def test_stats_renders_dashboard(self, tmp_path, capsys):
+        stream = self._run_with_telemetry(tmp_path)
+        capsys.readouterr()
+        assert main(["stats", str(stream)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign dashboard" in out
+        assert "fig4" in out
+        assert "metrics:" in out
+
+    def test_stats_flags_seeded_bimodal_distribution(self, tmp_path, capsys):
+        import json
+
+        stream = tmp_path / "bimodal.jsonl"
+        lows = [880.0, 885.0, 890.0, 882.0, 887.0]
+        highs = [1740.0, 1745.0, 1750.0, 1742.0, 1747.0]
+        with stream.open("w") as fh:
+            for rep, bw in enumerate(lows + highs):
+                fh.write(json.dumps({
+                    "schema": 1, "seq": rep, "event": "run.end", "t": float(rep),
+                    "exp_id": "fig6", "scenario": "scenario1",
+                    "spec": "fig6[scenario1](chooser=random)", "rep": rep,
+                    "block": 0, "status": "ok", "bw_mib_s": bw,
+                    "makespan_s": 30.0, "retries": 0, "complete": True,
+                    "error_type": None,
+                }) + "\n")
+        assert main(["stats", str(stream)]) == 0
+        assert "BIMODAL" in capsys.readouterr().out
+
+    def test_profile_flag_reports_spans(self, tmp_path, capsys):
+        assert main(["run", "fig4", "--reps", "2", "--quiet", "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "profile (wall clock)" in err
+        assert "executor.run" in err
+        assert "fluid.solve" in err
 
 
 class TestProtocolOptions:
