@@ -14,6 +14,7 @@ chunk, and the mapping round-trips offsets.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator
 
 from ..errors import StripingError
@@ -22,6 +23,48 @@ from ..units import KiB
 __all__ = ["StripePattern", "ChunkExtent", "DEFAULT_CHUNK_SIZE"]
 
 DEFAULT_CHUNK_SIZE = 512 * KiB
+
+
+@lru_cache(maxsize=4096)
+def _bytes_per_position(
+    stripe_count: int, chunk_size: int, length: int, offset: int
+) -> tuple[int, ...]:
+    """Bytes of ``[offset, offset + length)`` landing on each stripe *position*.
+
+    Chunk ``i`` lives at position ``i % stripe_count`` regardless of
+    which targets the file was placed on, so this depends only on the
+    layout geometry — engines re-deriving per-target volumes for every
+    repetition (placements change, geometry does not) hit the cache.
+    All-integer arithmetic, so cached results are exact.
+    """
+    counts = [0] * stripe_count
+    if length == 0:
+        return tuple(counts)
+    end = offset + length
+    first_chunk = offset // chunk_size
+    last_chunk = (end - 1) // chunk_size
+
+    for chunk in range(first_chunk, min(last_chunk, first_chunk + stripe_count - 1) + 1):
+        lo = max(offset, chunk * chunk_size)
+        hi = min(end, (chunk + 1) * chunk_size)
+        if hi > lo:
+            counts[chunk % stripe_count] += hi - lo
+    walked_until = min(last_chunk, first_chunk + stripe_count - 1)
+    remaining_chunks = last_chunk - walked_until
+    if remaining_chunks > 0:
+        # Chunks (walked_until, last_chunk] start aligned; all but the
+        # last are full.
+        full = remaining_chunks - 1
+        rounds, extra = divmod(full, stripe_count)
+        if rounds:
+            for p in range(stripe_count):
+                counts[p] += rounds * chunk_size
+        base = walked_until + 1
+        for i in range(extra):
+            counts[(base + i) % stripe_count] += chunk_size
+        tail = end - last_chunk * chunk_size
+        counts[last_chunk % stripe_count] += tail
+    return tuple(counts)
 
 
 @dataclass(frozen=True)
@@ -122,33 +165,17 @@ class StripePattern:
         """
         if length < 0:
             raise StripingError(f"negative length {length}")
-        counts = {t: 0 for t in self.targets}
         if length == 0:
-            return counts
-        end = offset + length
-        first_chunk = offset // self.chunk_size
-        last_chunk = (end - 1) // self.chunk_size
-
-        for chunk in range(first_chunk, min(last_chunk, first_chunk + self.stripe_count - 1) + 1):
-            lo = max(offset, chunk * self.chunk_size)
-            hi = min(end, (chunk + 1) * self.chunk_size)
-            if hi > lo:
-                counts[self.target_of_chunk(chunk)] += hi - lo
-        walked_until = min(last_chunk, first_chunk + self.stripe_count - 1)
-        remaining_chunks = last_chunk - walked_until
-        if remaining_chunks > 0:
-            # Chunks (walked_until, last_chunk] start aligned; all but the
-            # last are full.
-            full = remaining_chunks - 1
-            rounds, extra = divmod(full, self.stripe_count)
-            for t in self.targets:
-                counts[t] += rounds * self.chunk_size
-            base = walked_until + 1
-            for i in range(extra):
-                counts[self.target_of_chunk(base + i)] += self.chunk_size
-            tail = end - last_chunk * self.chunk_size
-            counts[self.target_of_chunk(last_chunk)] += tail
-        return counts
+            return {t: 0 for t in self.targets}
+        if offset < 0:
+            raise StripingError(f"negative chunk index {offset // self.chunk_size}")
+        # Positions are periodic in whole stripe rounds, so the offset is
+        # reduced modulo one round before hitting the geometry cache.
+        period = self.stripe_count * self.chunk_size
+        by_position = _bytes_per_position(
+            self.stripe_count, self.chunk_size, length, offset % period
+        )
+        return {t: by_position[p] for p, t in enumerate(self.targets)}
 
     def file_size_on_target(self, file_size: int, target_id: int) -> int:
         """Bytes of a ``file_size``-byte file stored on ``target_id``."""

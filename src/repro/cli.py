@@ -6,7 +6,8 @@ Subcommands
 ``list``
     Show every registered experiment with its paper reference.
 ``run EXP_ID [--reps N] [--seed S] [--out DIR] [--on-error {fail,skip}]
-[--checkpoint PATH] [--resume] [--verify {off,basic,paranoid}]``
+[--checkpoint PATH] [--resume] [--verify {off,basic,paranoid}]
+[--workers N]``
     Run one experiment (or ``all``), print its figure, optionally
     archive the raw records as CSV — the way the paper publishes its
     results repository.  ``--on-error skip`` quarantines raising runs
@@ -14,7 +15,8 @@ Subcommands
     1); ``--checkpoint``/``--resume`` make long campaigns crash-safe
     and restartable.  ``--verify`` turns on runtime invariant checking
     inside the engines; a violating run is quarantined like a crash
-    under ``--on-error skip``.
+    under ``--on-error skip``.  ``--workers N`` executes runs in N
+    worker processes with byte-identical results.
 ``verify [--suite {invariants,conformance,replay,all}] [--level
 {basic,paranoid}] [--reps N] [--seed S] [--golden PATH]
 [--update-golden] [--inject {over-capacity,byte-loss,rng-perturb}]``
@@ -32,6 +34,12 @@ Subcommands
     Run the stripe-configuration advisor.
 ``system export PATH [--scenario S]``
     Write a JSON system description to edit for your own cluster.
+``bench [--out DIR] [--workers N] [--quick] [--baseline FILE]
+[--max-regression FRAC]``
+    Run the tracked performance benchmarks (solver, fluid run, serial
+    and parallel campaigns), write ``BENCH_<rev>.json``, and — with
+    ``--baseline`` — fail (exit 1) on any norm-adjusted regression
+    beyond the threshold.
 ``stats PATH``
     Render the campaign dashboard from a ``--telemetry`` JSONL stream:
     progress, failure rates, bandwidth distributions (with bimodality
@@ -126,6 +134,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=False,
         help="span-profile the simulation hot paths; report on stderr",
     )
+    run_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="execute runs in N worker processes; results are byte-identical "
+        "to a serial campaign (default: 1)",
+    )
 
     verify_p = sub.add_parser("verify", help="run the simulation guardrails")
     verify_p.add_argument(
@@ -186,6 +202,39 @@ def build_parser() -> argparse.ArgumentParser:
     sys_p.add_argument("action", choices=["export"])
     sys_p.add_argument("path", type=Path)
     sys_p.add_argument("--scenario", choices=list(SCENARIOS), default="scenario1")
+
+    bench_p = sub.add_parser("bench", help="run the tracked performance benchmarks")
+    bench_p.add_argument(
+        "--out",
+        type=Path,
+        default=Path("benchmarks"),
+        help="directory for the BENCH_<rev>.json report (default: benchmarks/)",
+    )
+    bench_p.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker count for the parallel-campaign bench (default: 4)",
+    )
+    bench_p.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced batches/repetitions (CI smoke mode)",
+    )
+    bench_p.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline BENCH_*.json to compare against (exit 1 on regression)",
+    )
+    bench_p.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        metavar="FRAC",
+        help="norm-adjusted regression threshold vs the baseline (default: 0.30)",
+    )
 
     stats_p = sub.add_parser("stats", help="campaign dashboard from a telemetry stream")
     stats_p.add_argument("path", type=Path, help="JSONL stream written by 'run --telemetry'")
@@ -248,6 +297,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 checkpoint=_checkpoint_path_for(args.checkpoint, exp_id, len(ids) > 1),
                 resume=args.resume,
                 validation=args.verify if args.verify != "off" else None,
+                workers=args.workers if args.workers > 1 else None,
             ):
                 output = info.run(progress=progress, **kwargs)
             print(output.figure)
@@ -390,6 +440,25 @@ def _cmd_system(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import collect, compare, load_report, render, write_report
+
+    report = collect(quick=args.quick, workers=args.workers)
+    print(render(report))
+    path = write_report(report, args.out)
+    print(f"\nreport written to {path}", file=sys.stderr)
+    if args.baseline is None:
+        return 0
+    regressions, lines = compare(report, load_report(args.baseline), args.max_regression)
+    print()
+    print("\n".join(lines))
+    if regressions:
+        for problem in regressions:
+            print(f"regression: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .telemetry.report import CampaignReport
 
@@ -488,6 +557,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_explain(args)
     if args.command == "system":
         return _cmd_system(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "stats":
         return _cmd_stats(args)
     if args.command == "tail":

@@ -10,11 +10,13 @@ subclasses integrate time differently.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
 from ..beegfs.filesystem import BeeGFS, BeeGFSDeploymentSpec
 from ..beegfs.meta import FileInode
+from ..beegfs.striping import _bytes_per_position
 from ..calibration.plafrim import Calibration
 from ..errors import ExperimentError, SimulationError
 from ..faults import FaultSchedule, publish_schedule, wrap_providers
@@ -50,6 +52,40 @@ _EXACT_REGION_LIMIT = 4096
 
 FABRIC_RESOURCE = f"fabric:{SWITCH_NAME}"
 SAN_RESOURCE = "san:storage"
+
+
+@lru_cache(maxsize=65536)
+def _regions_key(config, rank: int, nprocs: int, period: int) -> tuple[tuple[int, int], ...]:
+    """A rank's regions as (offset % period, length) pairs.
+
+    ``IORConfig`` is frozen/hashable and the region list is a pure
+    function of (config, rank, nprocs), so generating it — the layout
+    walk itself — is cached across repetitions.
+    """
+    return tuple((r.offset % period, r.length) for r in config.regions(rank, nprocs))
+
+
+@lru_cache(maxsize=4096)
+def _volume_by_position(
+    stripe_count: int, chunk_size: int, regions: tuple[tuple[int, int], ...]
+) -> tuple[tuple[int, float], ...]:
+    """Per stripe *position*, the bytes a rank's regions put there.
+
+    Placements change every repetition but the layout geometry does
+    not, so the expensive region walk is keyed on (stripe geometry,
+    normalised regions) and shared across repetitions; the caller maps
+    positions back to this repetition's target ids.  Positions appear
+    in first-contribution order with float accumulation per region, so
+    the mapped dict is bit-identical to the per-target walk it replaces.
+    """
+    out: dict[int, float] = {}
+    for offset, length in regions:
+        per_position = _bytes_per_position(stripe_count, chunk_size, length, offset)
+        for p in range(stripe_count):
+            n = per_position[p]
+            if n:
+                out[p] = out.get(p, 0.0) + n
+    return tuple(out.items())
 
 
 @dataclass(frozen=True)
@@ -151,6 +187,9 @@ class EngineBase:
         self.seed = seed
         self.options = options
         self._seeds = SeedTree(seed).child(type(self).__name__)
+        # Routes are a pure function of the (static) topology, so the
+        # resource tuples are memoised for the engine's lifetime.
+        self._route_cache: dict[tuple[str, str, int], tuple[str, ...]] = {}
 
     # -- helpers ---------------------------------------------------------------
 
@@ -182,14 +221,18 @@ class EngineBase:
             # Uniform approximation: many transfers round-robin evenly.
             share = app.config.bytes_per_process / pattern.stripe_count
             return {t: share for t in pattern.targets}
-        out: dict[int, float] = {}
-        for region in app.config.regions(rank, app.nprocs):
-            for tid, n in pattern.bytes_per_target(region.length, region.offset).items():
-                if n:
-                    out[tid] = out.get(tid, 0.0) + n
-        return out
+        # Region offsets are periodic in the stripe width, so the walk is
+        # cached per position and mapped onto this file's target order.
+        period = pattern.stripe_count * pattern.chunk_size
+        regions_key = _regions_key(app.config, rank, app.nprocs, period)
+        by_position = _volume_by_position(pattern.stripe_count, pattern.chunk_size, regions_key)
+        return {pattern.targets[p]: v for p, v in by_position}
 
     def _route_resources(self, node: str, server: str, target_id: int) -> tuple[str, ...]:
+        key = (node, server, target_id)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
         links = self.topology.route(node, server)
         resources = [f"client:{node}", links[0].resource_id, FABRIC_RESOURCE]
         for link in links[1:]:
@@ -197,7 +240,8 @@ class EngineBase:
         resources.extend(
             [f"ingest:{server}", SAN_RESOURCE, f"pool:{server}", f"ost:{target_id}"]
         )
-        return tuple(resources)
+        self._route_cache[key] = tuple(resources)
+        return self._route_cache[key]
 
     def _check_node_ownership(self, apps: tuple[Application, ...]) -> dict[str, str]:
         node_owner: dict[str, str] = {}

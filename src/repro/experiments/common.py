@@ -37,6 +37,7 @@ from ..engine.result import RunResult
 from ..errors import ExperimentError
 from ..methodology.plan import ExperimentPlan, ExperimentSpec
 from ..methodology.protocol import ProtocolConfig
+from ..methodology.parallel import ParallelProtocolRunner
 from ..methodology.records import RecordStore
 from ..methodology.runner import ProtocolRunner
 from ..telemetry.profiling import get_profiler
@@ -179,6 +180,7 @@ def protocol_options(
     checkpoint_every: int | None = None,
     validation: str | ValidationLevel | None = None,
     on_violation: str | None = None,
+    workers: int | None = None,
 ) -> Iterator[None]:
     """Override the runner policy of every ``run_specs`` call inside.
 
@@ -193,6 +195,7 @@ def protocol_options(
         ("checkpoint_every", checkpoint_every),
         ("validation", validation),
         ("on_violation", on_violation),
+        ("workers", workers),
     ):
         if value is not None:
             _RUNNER_OVERRIDES[name] = value
@@ -217,6 +220,7 @@ def run_specs(
     checkpoint_every: int = 10,
     validation: str | ValidationLevel | None = None,
     on_violation: str = "skip",
+    workers: int | None = None,
 ) -> RecordStore:
     """Run a sweep under the paper's protocol and return the records.
 
@@ -224,8 +228,10 @@ def run_specs(
     the :class:`~repro.methodology.runner.ProtocolRunner`'s resilience;
     ``validation`` overrides the engine's invariant-checking level and
     ``on_violation`` decides whether a tripped invariant quarantines the
-    run (``"skip"``, default) or aborts the campaign (``"fail"``).  An
-    enclosing :func:`protocol_options` context overrides them all.
+    run (``"skip"``, default) or aborts the campaign (``"fail"``).
+    ``workers`` > 1 executes runs in that many worker processes (results
+    are byte-identical to the serial runner's).  An enclosing
+    :func:`protocol_options` context overrides them all.
     """
     on_error = _RUNNER_OVERRIDES.get("on_error", on_error)
     checkpoint = _RUNNER_OVERRIDES.get("checkpoint", checkpoint)
@@ -233,6 +239,7 @@ def run_specs(
     checkpoint_every = _RUNNER_OVERRIDES.get("checkpoint_every", checkpoint_every)
     validation = _RUNNER_OVERRIDES.get("validation", validation)
     on_violation = _RUNNER_OVERRIDES.get("on_violation", on_violation)
+    workers = _RUNNER_OVERRIDES.get("workers", workers)
     if validation is not None:
         options = replace(options, validation=ValidationLevel.parse(validation))
     protocol = ProtocolConfig(
@@ -248,13 +255,24 @@ def run_specs(
         max_nodes=max_nodes,
         apps_builder=apps_builder if apps_builder is not None else default_apps_builder,
     )
-    runner = ProtocolRunner(
-        executor,
-        on_error=on_error,
-        checkpoint_path=checkpoint,
-        checkpoint_every=checkpoint_every,
-        on_violation=on_violation,
-    )
+    if workers is not None and workers > 1:
+        runner: ProtocolRunner = ParallelProtocolRunner(
+            executor,
+            n_workers=workers,
+            on_error=on_error,
+            checkpoint_path=checkpoint,
+            checkpoint_every=checkpoint_every,
+            on_violation=on_violation,
+            seed=seed,
+        )
+    else:
+        runner = ProtocolRunner(
+            executor,
+            on_error=on_error,
+            checkpoint_path=checkpoint,
+            checkpoint_every=checkpoint_every,
+            on_violation=on_violation,
+        )
     if resume and checkpoint is not None:
         return runner.resume(plan, progress=progress)
     return runner.run(plan, progress=progress)

@@ -1,0 +1,274 @@
+"""Parallel campaign execution with serial-identical results.
+
+The engines honour one contract the whole methodology layer is built
+on: *the repetition index fully determines a run's randomness*.  Runs
+therefore need no shared state, and a campaign is an embarrassingly
+parallel bag of (spec, rep) pairs.  :class:`ParallelProtocolRunner`
+exploits exactly that — and nothing more:
+
+* every pending (spec, rep) pair is executed in a worker process of a
+  :class:`concurrent.futures.ProcessPoolExecutor`;
+* outcomes are merged in the parent **in protocol order**, so the
+  resulting :class:`~repro.methodology.records.RecordStore` — records,
+  simulated wall clock, block indices, checkpoints — is byte-identical
+  to what the serial :class:`~repro.methodology.runner.ProtocolRunner`
+  produces, and replay fingerprints match;
+* failure policies (``on_error``, ``on_violation``), checkpointing and
+  :meth:`resume` behave exactly as in the serial runner, because the
+  merge path *is* the serial runner's
+  :meth:`~repro.methodology.runner.ProtocolRunner._merge`.
+
+Workers run with a fresh, parent-independent telemetry bus: engine
+events are captured in an in-memory ring, shipped back with the
+outcome, and re-emitted by the parent tagged with a dense ``worker``
+id, bracketed by ``worker.start``/``worker.end`` events carrying the
+(spec, rep, seed) triple — so ``repro stats``/``repro tail`` can
+attribute throughput per worker.  Worker metrics registries are folded
+into the parent registry at merge time.
+
+Worker processes are started with the ``fork`` method where available
+(initializer arguments are inherited, not pickled, so closure-based
+executors work); (spec, rep) task arguments and outcomes cross the
+pool's pickling boundary.  An executor whose results or errors cannot
+be pickled surfaces as a structured failed outcome, subject to the
+normal ``on_error`` policy.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from ..errors import ExperimentError
+from ..telemetry.bus import EventBus, RingBufferSink, get_bus, set_bus
+from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.profiling import SpanProfiler, get_profiler, set_profiler
+from .plan import ExperimentPlan, ExperimentSpec
+from .records import RecordStore
+from .runner import Executor, ProtocolRunner, RunOutcome, execute_outcome
+
+__all__ = ["ParallelProtocolRunner"]
+
+# Per-task ring capacity: engine-level events of one run (debug level
+# can emit one per fluid segment).
+_WORKER_RING_CAPACITY = 65536
+
+# Module-level worker state, populated by the pool initializer.
+_WORKER: dict[str, Any] = {}
+
+
+@dataclass
+class _WorkerReply:
+    """One executed run, as shipped back from a worker process."""
+
+    pid: int
+    elapsed_s: float
+    outcome: RunOutcome
+    events: list[dict[str, Any]] = field(default_factory=list)
+    metrics: MetricsRegistry | None = None
+
+
+def _worker_init(executor: Executor, level: str, capture: bool) -> None:
+    """Initialise one worker process: own bus, own profiler, the executor.
+
+    The forked child inherits the parent's process-wide bus *object* —
+    including any open JSONL sinks — so the very first thing a worker
+    does is install a fresh bus; engine events land in a private ring
+    (when the parent session captures telemetry at all) and are shipped
+    back with each outcome instead of racing the parent's sinks.
+    """
+    bus = EventBus(level=level)
+    if capture:
+        bus.ring = bus.attach(RingBufferSink(_WORKER_RING_CAPACITY))
+    set_bus(bus)
+    set_profiler(SpanProfiler(enabled=False))
+    _WORKER["executor"] = executor
+
+
+def _worker_run(spec: ExperimentSpec, rep: int) -> _WorkerReply:
+    """Execute one (spec, rep) pair in this worker and package the outcome."""
+    bus = get_bus()
+    ring = bus.ring
+    if ring is not None:
+        ring._buffer.clear()
+        bus.metrics = MetricsRegistry()
+    start = time.perf_counter()
+    outcome = execute_outcome(_WORKER["executor"], spec, rep)
+    elapsed = time.perf_counter() - start
+    # Exceptions are not reliably picklable; the structured fields of
+    # the outcome carry everything the parent's merge path needs.
+    outcome.exception = None
+    return _WorkerReply(
+        pid=os.getpid(),
+        elapsed_s=elapsed,
+        outcome=outcome,
+        events=ring.events if ring is not None else [],
+        metrics=bus.metrics if ring is not None and len(bus.metrics) else None,
+    )
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    return multiprocessing.get_context(method)
+
+
+class ParallelProtocolRunner(ProtocolRunner):
+    """A :class:`ProtocolRunner` that executes runs in worker processes."""
+
+    def __init__(
+        self,
+        executor: Executor,
+        n_workers: int | None = None,
+        on_error: str = "fail",
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 10,
+        on_violation: str = "skip",
+        seed: int | None = None,
+    ):
+        super().__init__(
+            executor,
+            on_error=on_error,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            on_violation=on_violation,
+        )
+        if n_workers is None:
+            n_workers = os.cpu_count() or 1
+        if n_workers < 1:
+            raise ExperimentError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        # Attribution seed for worker.start/worker.end events; defaults
+        # to the executor's campaign seed when it exposes one.
+        self.seed = int(seed if seed is not None else getattr(executor, "seed", 0) or 0)
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _replay_worker_events(self, bus: Any, events: list[dict[str, Any]], worker: int) -> None:
+        for event in events:
+            payload = {
+                k: v for k, v in event.items() if k not in ("schema", "seq", "event", "t")
+            }
+            payload.setdefault("worker", worker)
+            bus.emit(event["event"], t=event.get("t"), **payload)
+
+    def _reply_of(self, future: Future) -> _WorkerReply:
+        """The worker's reply, or a structured failure when the pool broke.
+
+        A worker that dies (OOM, signal) or a result that cannot cross
+        the pickling boundary surfaces here as the future's exception;
+        it becomes a normal failed outcome so the ``on_error`` policy
+        applies uniformly.
+        """
+        try:
+            return future.result()
+        except Exception as exc:
+            return _WorkerReply(
+                pid=0,
+                elapsed_s=0.0,
+                outcome=RunOutcome(error_type=type(exc).__name__, message=str(exc)),
+            )
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        plan: ExperimentPlan,
+        progress: Callable[[str], None] | None = None,
+        resume_from: RecordStore | None = None,
+    ) -> RecordStore:
+        """Execute every planned run; results merge in protocol order."""
+        if self.n_workers == 1:
+            return super().run(plan, progress=progress, resume_from=resume_from)
+        store = resume_from if resume_from is not None else RecordStore()
+        done = store.completed_keys()
+        already_done = frozenset(done)
+        wall_clock = store.max_wall_clock_s()
+        executed_since_checkpoint = 0
+        bus = get_bus()
+        prof = get_profiler()
+        worker_ids: dict[int, int] = {}
+
+        pool = ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            mp_context=_pool_context(),
+            initializer=_worker_init,
+            initargs=(self.executor, bus.level, bus.enabled),
+        )
+        try:
+            futures: deque[Future] = deque()
+            for block in plan.blocks:
+                for planned in block:
+                    if (planned.spec.key, planned.rep) in already_done:
+                        continue
+                    futures.append(pool.submit(_worker_run, planned.spec, planned.rep))
+            for block_index, (block, wait) in enumerate(zip(plan.blocks, plan.waits_s)):
+                block_ran = False
+                for planned in block:
+                    key = (planned.spec.key, planned.rep)
+                    if key in already_done:
+                        continue
+                    future = futures.popleft()
+                    if key in done:
+                        # A duplicate planned run whose twin already
+                        # succeeded this campaign: the serial runner
+                        # skips it, so the speculative result is dropped.
+                        continue
+                    block_ran = True
+                    self._emit_start(bus, planned, block_index, wall_clock)
+                    reply = self._reply_of(future)
+                    worker = worker_ids.setdefault(reply.pid, len(worker_ids))
+                    outcome = reply.outcome
+                    status = (
+                        "ok"
+                        if outcome.ok
+                        else ("quarantined" if outcome.violation else "failed")
+                    )
+                    if bus.enabled:
+                        bus.emit(
+                            "worker.start",
+                            worker=worker,
+                            spec=planned.spec.key,
+                            rep=planned.rep,
+                            seed=self.seed,
+                        )
+                        self._replay_worker_events(bus, reply.events, worker)
+                        if reply.metrics is not None:
+                            bus.metrics.merge(reply.metrics)
+                    prof.record("executor.run", reply.elapsed_s)
+                    wall_clock = self._merge(
+                        store, planned, block_index, wall_clock, outcome, bus
+                    )
+                    if bus.enabled:
+                        bus.emit(
+                            "worker.end",
+                            worker=worker,
+                            spec=planned.spec.key,
+                            rep=planned.rep,
+                            seed=self.seed,
+                            status=status,
+                            elapsed_s=float(reply.elapsed_s),
+                        )
+                    if not outcome.ok:
+                        continue
+                    done.add(key)
+                    executed_since_checkpoint += 1
+                    if executed_since_checkpoint >= self.checkpoint_every:
+                        self._checkpoint(store)
+                        executed_since_checkpoint = 0
+                if block_ran:
+                    wall_clock += wait
+                if progress is not None:
+                    progress(
+                        f"block {block_index + 1}/{len(plan.blocks)} done "
+                        f"(wall clock {wall_clock / 60:.1f} min)"
+                    )
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        self._checkpoint(store)
+        return store

@@ -277,9 +277,14 @@ class RecordStore:
         self,
         records: list[RunRecord] | None = None,
         failures: list[FailedRunRecord] | None = None,
+        retried_failures: list[FailedRunRecord] | None = None,
     ):
         self._records: list[RunRecord] = list(records or [])
         self.failures: list[FailedRunRecord] = list(failures or [])
+        # Failures from earlier attempts that a resume re-executed: the
+        # campaign's full failure history, kept out of ``failures`` so
+        # policy decisions only see the current attempt.
+        self.retried_failures: list[FailedRunRecord] = list(retried_failures or [])
 
     def __len__(self) -> int:
         return len(self._records)
@@ -293,7 +298,20 @@ class RecordStore:
     def extend(self, records: "RecordStore | list[RunRecord]") -> None:
         if isinstance(records, RecordStore):
             self.failures.extend(records.failures)
+            self.retried_failures.extend(records.retried_failures)
         self._records.extend(records)
+
+    def archive_failures(self) -> int:
+        """Move current failures to ``retried_failures``; returns the count.
+
+        Called by resume() before re-executing quarantined runs, so the
+        retry gets a clean slate without discarding the history of what
+        failed on the previous attempt.
+        """
+        count = len(self.failures)
+        self.retried_failures.extend(self.failures)
+        self.failures.clear()
+        return count
 
     def completed_keys(self) -> set[tuple[str, int]]:
         """The (spec key, rep) pairs already recorded (resume skips them)."""
@@ -377,6 +395,7 @@ class RecordStore:
         payload = {
             "records": [r.to_row() for r in self._records],
             "failures": [f.to_dict() for f in self.failures],
+            "retried_failures": [f.to_dict() for f in self.retried_failures],
         }
         _atomic_write(Path(path), lambda fh: json.dump(payload, fh))
 
@@ -391,6 +410,11 @@ class RecordStore:
             return cls(
                 records=[RunRecord.from_row(row) for row in payload["records"]],
                 failures=[FailedRunRecord.from_dict(f) for f in payload["failures"]],
+                # ``get`` default keeps checkpoints written before the
+                # retry archive loadable.
+                retried_failures=[
+                    FailedRunRecord.from_dict(f) for f in payload.get("retried_failures", [])
+                ],
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointError(f"malformed checkpoint {path}: {exc}") from exc

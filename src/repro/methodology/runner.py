@@ -30,26 +30,85 @@ node dies, the job hits its time limit.  The runner therefore supports
   ``checkpoint_path`` (JSON, atomic replace);
 * :meth:`resume`, which loads the checkpoint and re-executes only the
   (spec, rep) pairs that have no successful record yet — quarantined
-  failures are retried.
+  failures are retried, with the prior attempt's failure records
+  archived to ``store.retried_failures`` rather than discarded.
+
+Execution of one run and the folding of its outcome into the store are
+split into :func:`execute_outcome` and :meth:`ProtocolRunner._merge`, so
+the parallel runner can execute runs in worker processes (outcomes are
+plain picklable data) and merge them in the parent in protocol order,
+producing byte-identical stores.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable
+from typing import Any, Callable, Mapping
 
 from ..engine.result import RunResult
 from ..errors import ExperimentError, InvariantViolation
 from ..telemetry.bus import get_bus
 from ..telemetry.profiling import get_profiler
-from .plan import ExperimentPlan, ExperimentSpec
+from .plan import ExperimentPlan, ExperimentSpec, PlannedRun
 from .records import FailedRunRecord, RecordStore, RunRecord
 
-__all__ = ["ProtocolRunner"]
+__all__ = ["ProtocolRunner", "RunOutcome", "execute_outcome"]
 
 Executor = Callable[[ExperimentSpec, int], RunResult]
 
 _ON_ERROR_POLICIES = ("fail", "skip")
+
+
+@dataclass
+class RunOutcome:
+    """What executing one planned run produced.
+
+    Either ``result`` is set (success) or the error fields describe the
+    exception.  Everything except ``exception`` is plain picklable data,
+    so outcomes cross process boundaries; ``exception`` is only set when
+    the run executed in-process and lets the fail policy re-raise the
+    original object.
+    """
+
+    result: RunResult | None = None
+    error_type: str | None = None
+    message: str = ""
+    violation: bool = False
+    retries: int = 0
+    flow_trace: tuple[Mapping[str, Any], ...] = ()
+    invalid: bool = False
+    exception: BaseException | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+def execute_outcome(executor: Executor, spec: ExperimentSpec, rep: int) -> RunOutcome:
+    """Run one (spec, rep) through ``executor``, capturing the outcome."""
+    prof = get_profiler()
+    try:
+        with prof.span("executor.run"):
+            result = executor(spec, rep)
+    except Exception as exc:
+        return RunOutcome(
+            error_type=type(exc).__name__,
+            message=str(exc),
+            violation=isinstance(exc, InvariantViolation),
+            # Engines annotate exceptions with the run's retry trace
+            # (there is no RunResult to carry it).
+            retries=int(getattr(exc, "flow_retries", 0) or 0),
+            flow_trace=tuple(getattr(exc, "flow_trace", ()) or ()),
+            exception=exc,
+        )
+    if not isinstance(result, RunResult):
+        return RunOutcome(
+            error_type="ExperimentError",
+            message=f"executor returned {type(result).__name__}, expected RunResult",
+            invalid=True,
+        )
+    return RunOutcome(result=result)
 
 
 class ProtocolRunner:
@@ -98,18 +157,133 @@ class ProtocolRunner:
         """Continue an interrupted campaign from its checkpoint.
 
         Already-recorded (spec, rep) pairs are skipped; quarantined
-        failures are dropped from the store and re-executed (they get a
-        second chance under the current ``on_error`` policy).  Without a
-        checkpoint file the campaign simply starts from scratch.
+        failures are archived to ``store.retried_failures`` and
+        re-executed (they get a second chance under the current
+        ``on_error`` policy, and the prior attempt's failure history is
+        preserved).  Without a checkpoint file the campaign simply
+        starts from scratch.
         """
         if self.checkpoint_path is None:
             raise ExperimentError("resume() needs a checkpoint_path")
         if self.checkpoint_path.exists():
             store = RecordStore.read_json(self.checkpoint_path)
-            store.failures.clear()
+            store.archive_failures()
         else:
             store = RecordStore()
         return self.run(plan, progress=progress, resume_from=store)
+
+    # -- outcome merging ----------------------------------------------------------
+
+    def _emit_start(self, bus: Any, planned: PlannedRun, block_index: int, wall_clock: float) -> None:
+        if bus.enabled:
+            bus.emit(
+                "run.start",
+                t=wall_clock,
+                exp_id=planned.spec.exp_id,
+                scenario=planned.spec.scenario,
+                spec=planned.spec.key,
+                rep=planned.rep,
+                block=block_index,
+            )
+
+    def _merge(
+        self,
+        store: RecordStore,
+        planned: PlannedRun,
+        block_index: int,
+        wall_clock: float,
+        outcome: RunOutcome,
+        bus: Any,
+    ) -> float:
+        """Fold one outcome into the store; returns the new wall clock.
+
+        Raises under the fail policies (after checkpointing), exactly as
+        the serial inline path always did — so serial and parallel
+        campaigns share one definition of what a run's outcome means.
+        """
+        if outcome.invalid:
+            self._checkpoint(store)
+            raise ExperimentError(outcome.message)
+        if not outcome.ok:
+            policy = self.on_violation if outcome.violation else self.on_error
+            status = "quarantined" if outcome.violation else "failed"
+            if bus.enabled:
+                bus.metrics.counter("runner.runs", status=status).inc()
+                bus.emit(
+                    "run.end",
+                    t=wall_clock,
+                    exp_id=planned.spec.exp_id,
+                    scenario=planned.spec.scenario,
+                    spec=planned.spec.key,
+                    rep=planned.rep,
+                    block=block_index,
+                    status=status,
+                    bw_mib_s=None,
+                    makespan_s=None,
+                    retries=outcome.retries,
+                    complete=False,
+                    error_type=outcome.error_type,
+                )
+            if policy == "fail":
+                self._checkpoint(store)
+                if outcome.exception is not None:
+                    raise outcome.exception
+                raise ExperimentError(f"{outcome.error_type}: {outcome.message}")
+            store.failures.append(
+                FailedRunRecord(
+                    exp_id=planned.spec.exp_id,
+                    scenario=planned.spec.scenario,
+                    rep=planned.rep,
+                    factors=planned.spec.factors,
+                    error_type=outcome.error_type or "Exception",
+                    message=outcome.message,
+                    wall_clock_s=wall_clock,
+                    block=block_index,
+                    retries=outcome.retries,
+                    flow_trace=outcome.flow_trace,
+                )
+            )
+            return wall_clock
+        result = outcome.result
+        store.append(
+            RunRecord.from_run_result(
+                result,
+                exp_id=planned.spec.exp_id,
+                scenario=planned.spec.scenario,
+                rep=planned.rep,
+                factors=planned.spec.factors,
+                wall_clock_s=wall_clock,
+                block=block_index,
+            )
+        )
+        wall_clock += float(result.makespan)
+        if bus.enabled:
+            bw = float(result.aggregate_bandwidth_mib_s)
+            bus.metrics.counter("runner.runs", status="ok").inc()
+            bus.metrics.histogram("run.bandwidth_mib_s").observe(bw)
+            extra = {}
+            if result.resource_series:
+                extra["servers"] = {
+                    rid: [[float(t), float(v)] for t, v in zip(ts.times, ts.values)]
+                    for rid, ts in result.resource_series.items()
+                }
+            bus.emit(
+                "run.end",
+                t=wall_clock,
+                exp_id=planned.spec.exp_id,
+                scenario=planned.spec.scenario,
+                spec=planned.spec.key,
+                rep=planned.rep,
+                block=block_index,
+                status="ok",
+                bw_mib_s=bw,
+                makespan_s=float(result.makespan),
+                retries=int(result.retries),
+                complete=bool(result.complete),
+                error_type=None,
+                **extra,
+            )
+        return wall_clock
 
     # -- execution ----------------------------------------------------------------
 
@@ -125,113 +299,18 @@ class ProtocolRunner:
         wall_clock = store.max_wall_clock_s()
         executed_since_checkpoint = 0
         bus = get_bus()
-        prof = get_profiler()
         for block_index, (block, wait) in enumerate(zip(plan.blocks, plan.waits_s)):
             block_ran = False
             for planned in block:
                 if (planned.spec.key, planned.rep) in done:
                     continue
                 block_ran = True
-                if bus.enabled:
-                    bus.emit(
-                        "run.start",
-                        t=wall_clock,
-                        exp_id=planned.spec.exp_id,
-                        scenario=planned.spec.scenario,
-                        spec=planned.spec.key,
-                        rep=planned.rep,
-                        block=block_index,
-                    )
-                try:
-                    with prof.span("executor.run"):
-                        result = self.executor(planned.spec, planned.rep)
-                except Exception as exc:
-                    violation = isinstance(exc, InvariantViolation)
-                    policy = self.on_violation if violation else self.on_error
-                    # Engines annotate exceptions with the run's retry
-                    # trace (there is no RunResult to carry it).
-                    retries = int(getattr(exc, "flow_retries", 0) or 0)
-                    flow_trace = tuple(getattr(exc, "flow_trace", ()) or ())
-                    status = "quarantined" if violation else "failed"
-                    if bus.enabled:
-                        bus.metrics.counter("runner.runs", status=status).inc()
-                        bus.emit(
-                            "run.end",
-                            t=wall_clock,
-                            exp_id=planned.spec.exp_id,
-                            scenario=planned.spec.scenario,
-                            spec=planned.spec.key,
-                            rep=planned.rep,
-                            block=block_index,
-                            status=status,
-                            bw_mib_s=None,
-                            makespan_s=None,
-                            retries=retries,
-                            complete=False,
-                            error_type=type(exc).__name__,
-                        )
-                    if policy == "fail":
-                        self._checkpoint(store)
-                        raise
-                    store.failures.append(
-                        FailedRunRecord(
-                            exp_id=planned.spec.exp_id,
-                            scenario=planned.spec.scenario,
-                            rep=planned.rep,
-                            factors=planned.spec.factors,
-                            error_type=type(exc).__name__,
-                            message=str(exc),
-                            wall_clock_s=wall_clock,
-                            block=block_index,
-                            retries=retries,
-                            flow_trace=flow_trace,
-                        )
-                    )
+                self._emit_start(bus, planned, block_index, wall_clock)
+                outcome = execute_outcome(self.executor, planned.spec, planned.rep)
+                wall_clock = self._merge(store, planned, block_index, wall_clock, outcome, bus)
+                if not outcome.ok:
                     continue
-                if not isinstance(result, RunResult):
-                    self._checkpoint(store)
-                    raise ExperimentError(
-                        f"executor returned {type(result).__name__}, expected RunResult"
-                    )
-                store.append(
-                    RunRecord.from_run_result(
-                        result,
-                        exp_id=planned.spec.exp_id,
-                        scenario=planned.spec.scenario,
-                        rep=planned.rep,
-                        factors=planned.spec.factors,
-                        wall_clock_s=wall_clock,
-                        block=block_index,
-                    )
-                )
                 done.add((planned.spec.key, planned.rep))
-                wall_clock += float(result.makespan)
-                if bus.enabled:
-                    bw = float(result.aggregate_bandwidth_mib_s)
-                    bus.metrics.counter("runner.runs", status="ok").inc()
-                    bus.metrics.histogram("run.bandwidth_mib_s").observe(bw)
-                    extra = {}
-                    if result.resource_series:
-                        extra["servers"] = {
-                            rid: [[float(t), float(v)] for t, v in zip(ts.times, ts.values)]
-                            for rid, ts in result.resource_series.items()
-                        }
-                    bus.emit(
-                        "run.end",
-                        t=wall_clock,
-                        exp_id=planned.spec.exp_id,
-                        scenario=planned.spec.scenario,
-                        spec=planned.spec.key,
-                        rep=planned.rep,
-                        block=block_index,
-                        status="ok",
-                        bw_mib_s=bw,
-                        makespan_s=float(result.makespan),
-                        retries=int(result.retries),
-                        complete=bool(result.complete),
-                        error_type=None,
-                        **extra,
-                    )
                 executed_since_checkpoint += 1
                 if executed_since_checkpoint >= self.checkpoint_every:
                     self._checkpoint(store)

@@ -31,7 +31,7 @@ from ..telemetry.bus import get_bus
 from ..telemetry.profiling import get_profiler
 from .flows import FlowStats, FluidFlow
 from .latency import BlockingRequestModel, NoLatency
-from .maxmin import max_min_rates
+from .maxmin import MaxMinSolver
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..storage.client_model import RetryPolicy
@@ -50,6 +50,10 @@ __all__ = [
 ]
 
 _BYTES_EPS = 1e-3  # a flow with less than this many bytes left is done
+# Segment solve-cache entries kept per flow population before clearing.
+# Keyed on the capacity vector's bytes: noise epochs revisit the same
+# levels, and noiseless runs hit the same key every segment.
+_SEG_CACHE_SIZE = 128
 # A resource counts as *binding* in a segment when its usage reaches
 # this fraction of capacity: blocking-request latency caps legitimately
 # hold flows a few percent below the saturating resource, so exact
@@ -213,6 +217,7 @@ class FluidSimulation:
     ):
         self._providers: dict[str, CapacityProvider] = {}
         self._flows: list[FluidFlow] = []
+        self._flow_ids: set[str] = set()
         self.noise: NoiseModel = noise if noise is not None else NoNoise()
         self.latency = latency if latency is not None else NoLatency()
         self.cap_iterations = cap_iterations
@@ -245,8 +250,9 @@ class FluidSimulation:
         missing = [r for r in flow.resources if r not in self._providers]
         if missing:
             raise FlowError(f"flow {flow.flow_id!r}: unknown resources {missing}")
-        if any(f.flow_id == flow.flow_id for f in self._flows):
+        if flow.flow_id in self._flow_ids:
             raise FlowError(f"duplicate flow id {flow.flow_id!r}")
+        self._flow_ids.add(flow.flow_id)
         self._flows.append(flow)
 
     def add_flows(self, flows: Iterable[FluidFlow]) -> None:
@@ -318,9 +324,11 @@ class FluidSimulation:
         prof = get_profiler()
         profiled = prof.enabled
         solver_iterations = 0
+        solve_cache_hits = 0
 
         rids = list(self._providers)
         rid_index = {rid: i for i, rid in enumerate(rids)}
+        tag_by_index = [_distinct_tag_of(self._providers[rid]) for rid in rids]
         flows = sorted(self._flows, key=lambda f: (f.start_time, f.flow_id))
         checker = self.checker
         if checker is not None:
@@ -356,16 +364,31 @@ class FluidSimulation:
         now = pending[0].start_time
         segments = 0
         details: list[SegmentDetail] = []
+        # Membership-dependent state, rebuilt only when the active flow
+        # population changes (arrival, retry re-entry, completion,
+        # abandonment).  Capacities still vary per segment with time and
+        # noise, so the solved rates are cached per capacity vector.
+        members_dirty = True
+        memberships: list[list[int]] = []
+        depth = np.zeros(len(rids))
+        nflows = np.zeros(len(rids), dtype=int)
+        distinct: dict[int, set] = {}
+        nprocs = np.zeros(0, dtype=int)
+        req_sizes = np.zeros(0)
+        solver: MaxMinSolver | None = None
+        seg_cache: dict[bytes, tuple] = {}
         while pending or active or retry_heap:
             # Admit arrivals and due retries.
             while pending and pending[0].start_time <= now + _TIME_EPS:
                 flow = pending.pop(0)
                 flow.started_at = now
                 active.append(flow)
+                members_dirty = True
                 if bus.debug:
                     bus.emit("flow.start", t=now, flow_id=flow.flow_id)
             while retry_heap and retry_heap[0][0] <= now + _TIME_EPS:
                 active.append(heapq.heappop(retry_heap)[2])
+                members_dirty = True
             if not active:
                 # Idle gap until the next arrival or retry wake-up: the
                 # observed series must record zero throughput, or
@@ -383,19 +406,32 @@ class FluidSimulation:
             resample_noise(epoch)
 
             # Per-resource context: depth, flow count and distinct tags.
-            depth = np.zeros(len(rids))
-            nflows = np.zeros(len(rids), dtype=int)
-            distinct: dict[int, set] = {}
-            memberships: list[list[int]] = []
-            for flow in active:
-                idxs = [rid_index[r] for r in flow.resources]
-                memberships.append(idxs)
-                for i in idxs:
-                    depth[i] += flow.weight
-                    nflows[i] += 1
-                    tag = _distinct_tag_of(self._providers[rids[i]])
-                    if tag is not None:
-                        distinct.setdefault(i, set()).add(flow.tags.get(tag))
+            # All of it — and the solver's incidence matrix — depends
+            # only on the active population, not on time or noise.
+            if members_dirty:
+                depth = np.zeros(len(rids))
+                nflows = np.zeros(len(rids), dtype=int)
+                distinct = {}
+                memberships = []
+                for flow in active:
+                    idxs = [rid_index[r] for r in flow.resources]
+                    memberships.append(idxs)
+                    for i in idxs:
+                        depth[i] += flow.weight
+                        nflows[i] += 1
+                        tag = tag_by_index[i]
+                        if tag is not None:
+                            distinct.setdefault(i, set()).add(flow.tags.get(tag))
+                nprocs = np.array([f.nprocs for f in active])
+                req_sizes = np.array(
+                    [
+                        f.request_size_bytes if f.request_size_bytes is not None else np.nan
+                        for f in active
+                    ]
+                )
+                solver = MaxMinSolver(memberships, len(rids))
+                seg_cache = {}
+                members_dirty = False
 
             capacities = np.array(
                 [
@@ -414,28 +450,35 @@ class FluidSimulation:
             if np.any(capacities < 0):
                 raise SimulationError("capacity provider returned a negative capacity")
 
-            nprocs = np.array([f.nprocs for f in active])
-            req_sizes = np.array(
-                [f.request_size_bytes if f.request_size_bytes is not None else np.nan for f in active]
-            )
             # Latency caps are seeded from the uncapped (offered) shares
             # and only allowed to rise afterwards (see solve_with_caps).
             # ``caps_used`` is the cap vector the final ``rates`` were
             # solved against (``caps`` may already hold the next
             # iterate), which is what the fairness certificate needs.
+            # Identical capacity vectors (same noise level, unchanged
+            # population) reuse the previous fixed point wholesale.
             solve_t0 = perf_counter() if profiled else 0.0
-            iterations = 1
-            rates = max_min_rates(memberships, capacities)
-            caps = self.latency.flow_caps(rates, nprocs, req_sizes)
-            caps_used = None
-            for _ in range(self.cap_iterations):
-                caps_used = caps
-                iterations += 1
-                rates = max_min_rates(memberships, capacities, caps)
-                new_caps = np.maximum(caps, self.latency.flow_caps(rates, nprocs, req_sizes))
-                if np.allclose(new_caps, caps, rtol=1e-6, atol=1e-9):
-                    break
-                caps = new_caps
+            seg_key = capacities.tobytes()
+            cached = seg_cache.get(seg_key)
+            if cached is not None:
+                rates, caps, caps_used, iterations = cached
+                solve_cache_hits += 1
+            else:
+                iterations = 1
+                rates = solver.solve(capacities)
+                caps = self.latency.flow_caps(rates, nprocs, req_sizes)
+                caps_used = None
+                for _ in range(self.cap_iterations):
+                    caps_used = caps
+                    iterations += 1
+                    rates = solver.solve(capacities, caps)
+                    new_caps = np.maximum(caps, self.latency.flow_caps(rates, nprocs, req_sizes))
+                    if np.allclose(new_caps, caps, rtol=1e-6, atol=1e-9):
+                        break
+                    caps = new_caps
+                if len(seg_cache) >= _SEG_CACHE_SIZE:
+                    seg_cache.clear()
+                seg_cache[seg_key] = (rates, caps, caps_used, iterations)
             solver_iterations += iterations
             if profiled:
                 prof.record("fluid.solve", perf_counter() - solve_t0)
@@ -569,6 +612,8 @@ class FluidSimulation:
                         heapq.heappush(retry_heap, (ready, retry_seq, flow))
                 else:
                     still_active.append(flow)
+            if len(still_active) != len(active):
+                members_dirty = True
             active = still_active
             segments += 1
 
@@ -586,6 +631,9 @@ class FluidSimulation:
             bus.metrics.counter("engine.segments_solved", engine="fluid").inc(segments)
             bus.metrics.counter("engine.solver_iterations", engine="fluid").inc(
                 solver_iterations
+            )
+            bus.metrics.counter("engine.solve_cache_hits", engine="fluid").inc(
+                solve_cache_hits
             )
 
         stats = [f.stats() for f in flows]

@@ -12,22 +12,209 @@ rate-dependent callables through :func:`solve_with_caps`, which runs a
 short damped fixed-point iteration (caps only ever shrink, so the
 iteration converges monotonically).
 
-The implementation is vectorised with NumPy over an incidence matrix;
-problem sizes here are a few hundred flows over a few dozen resources,
-for which this is effectively instantaneous.
+The implementation is vectorised with NumPy over an incidence matrix.
+The fluid engine solves thousands of segments over the *same* flow
+population — flows enter and leave far less often than capacities
+change — so :class:`MaxMinSolver` builds the incidence matrix once per
+population and reuses it across solves, with a small keyed cache for
+repeated ``(capacities, flow_caps)`` instances (noise epochs revisit
+the same capacity levels).  :func:`max_min_rates` remains the one-shot
+functional entry point.
 """
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..errors import FlowError
 
-__all__ = ["max_min_rates", "solve_with_caps", "fairness_violations"]
+__all__ = ["MaxMinSolver", "max_min_rates", "solve_with_caps", "fairness_violations"]
 
 _EPS = 1e-9
+
+
+def _membership_arrays(
+    memberships: Sequence[Sequence[int]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten memberships to ``(counts, flat_indices)`` arrays."""
+    nflows = len(memberships)
+    counts = np.fromiter((len(m) for m in memberships), dtype=np.intp, count=nflows)
+    flat = np.fromiter(
+        chain.from_iterable(memberships), dtype=np.intp, count=int(counts.sum())
+    )
+    return counts, flat
+
+
+def _build_incidence(
+    memberships: Sequence[Sequence[int]], nres: int, allow_empty: bool = False
+) -> np.ndarray:
+    """The boolean flows x resources incidence matrix, validated."""
+    nflows = len(memberships)
+    counts, flat = _membership_arrays(memberships)
+    if not allow_empty and nflows and (counts == 0).any():
+        f = int(np.argmax(counts == 0))
+        raise FlowError(f"flow {f} crosses no resources")
+    incidence = np.zeros((nflows, nres), dtype=bool)
+    if flat.size:
+        bad = (flat < 0) | (flat >= nres)
+        if bad.any():
+            pos = int(np.argmax(bad))
+            f = int(np.searchsorted(np.cumsum(counts), pos, side="right"))
+            raise FlowError(f"flow {f}: resource index {int(flat[pos])} out of range")
+        incidence[np.repeat(np.arange(nflows), counts), flat] = True
+    return incidence
+
+
+class MaxMinSolver:
+    """Progressive-filling solver with a cached incidence matrix.
+
+    Built once for a fixed flow population (``memberships`` over
+    ``num_resources`` resources), then solved repeatedly for varying
+    capacities and per-flow caps.  Compared with calling
+    :func:`max_min_rates` per segment this avoids re-validating and
+    re-building the incidence matrix — the dominant cost for the fluid
+    engine's problem sizes — and adds a keyed cache so identical
+    ``(capacities, flow_caps)`` inputs (noise epochs revisiting the same
+    level, repeated cap-iteration fixpoints) return instantly.
+
+    Returned rate arrays are shared with the cache and marked
+    read-only; copy before mutating.
+    """
+
+    def __init__(
+        self,
+        memberships: Sequence[Sequence[int]],
+        num_resources: int,
+        cache_size: int = 64,
+    ):
+        self.num_resources = int(num_resources)
+        self.num_flows = len(memberships)
+        self._incidence = _build_incidence(memberships, self.num_resources)
+        self._incidence.setflags(write=False)
+        # Per-resource active-flow counts when *every* flow is active —
+        # the common case at the top of a solve (no dead resources, no
+        # zero caps), saved so the fill loop can start incrementally.
+        self._users_all = self._incidence.sum(axis=0)
+        self._cache: dict[tuple[bytes, bytes | None], np.ndarray] = {}
+        self._cache_size = int(cache_size)
+
+    @property
+    def incidence(self) -> np.ndarray:
+        """The (read-only) boolean flows x resources matrix."""
+        return self._incidence
+
+    @property
+    def cache_len(self) -> int:
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def solve(
+        self,
+        capacities: np.ndarray | Sequence[float],
+        flow_caps: np.ndarray | Sequence[float] | None = None,
+    ) -> np.ndarray:
+        """Max-min fair rates for this population under ``capacities``.
+
+        Semantics are identical to :func:`max_min_rates`; the returned
+        array is cached and read-only.
+        """
+        caps = np.asarray(capacities, dtype=float)
+        if caps.shape != (self.num_resources,):
+            raise FlowError(
+                f"capacities must have shape ({self.num_resources},), got {caps.shape}"
+            )
+        if np.any(caps < 0):
+            raise FlowError("negative resource capacity")
+        fc: np.ndarray | None = None
+        fc_key: bytes | None = None
+        if flow_caps is not None:
+            fc = np.asarray(flow_caps, dtype=float)
+            if fc.shape != (self.num_flows,):
+                raise FlowError("flow_caps must have one entry per flow")
+            if np.any(fc < 0):
+                raise FlowError("negative flow cap")
+            fc_key = fc.tobytes()
+        key = (caps.tobytes(), fc_key)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        rates = self._fill(caps, fc)
+        rates.setflags(write=False)
+        if len(self._cache) >= self._cache_size:
+            self._cache.clear()
+        self._cache[key] = rates
+        return rates
+
+    def _fill(self, caps: np.ndarray, flow_caps: np.ndarray | None) -> np.ndarray:
+        """The progressive-filling loop (validated inputs only)."""
+        nflows, nres = self.num_flows, self.num_resources
+        incidence = self._incidence
+        rates = np.zeros(nflows)
+        if nflows == 0:
+            return rates
+
+        if flow_caps is None:
+            cap_rem = np.full(nflows, np.inf)
+        else:
+            cap_rem = flow_caps.astype(float, copy=True)
+
+        active = np.ones(nflows, dtype=bool)
+        rem = caps.astype(float).copy()
+
+        # Flows through zero-capacity resources can never move.
+        zero_res = rem <= _EPS
+        if zero_res.any():
+            active &= ~incidence[:, zero_res].any(axis=1)
+        # Flows capped at zero are immediately frozen at rate 0.
+        active &= cap_rem > _EPS
+
+        # Active flows per resource, maintained incrementally: integer
+        # subtraction of frozen flows' rows is exact, so the counts (and
+        # therefore every float that follows) match a from-scratch
+        # recompute bit for bit.
+        if active.all():
+            users = self._users_all.copy()
+        else:
+            users = incidence[active].sum(axis=0)
+
+        # Each iteration freezes at least one flow, so this terminates in
+        # at most ``nflows`` iterations.
+        for _ in range(nflows + nres + 1):
+            if not active.any():
+                break
+            with np.errstate(divide="ignore", invalid="ignore"):
+                headroom = np.where(users > 0, rem / np.maximum(users, 1), np.inf)
+            delta_res = headroom.min() if np.isfinite(headroom).any() else np.inf
+            delta_cap = cap_rem[active].min()
+            delta = min(delta_res, delta_cap)
+            if not np.isfinite(delta):
+                raise FlowError("unbounded max-min allocation (no finite constraint)")
+            delta = max(delta, 0.0)
+
+            rates[active] += delta
+            rem -= delta * users
+            cap_rem[active] -= delta
+
+            saturated_res = (rem <= _EPS) & (users > 0)
+            freeze = active & (incidence[:, saturated_res].any(axis=1) | (cap_rem <= _EPS))
+            if not freeze.any():
+                # Numerical corner: force-freeze the flows at the tightest
+                # constraint so progress is guaranteed.
+                tight = np.argmin(np.where(active, cap_rem, np.inf))
+                freeze = np.zeros(nflows, dtype=bool)
+                freeze[tight] = True
+            removed = active & freeze
+            if removed.any():
+                users -= incidence[removed].sum(axis=0)
+            active &= ~freeze
+        else:  # pragma: no cover - loop bound is a hard invariant
+            raise FlowError("max-min allocation did not converge")
+        return rates
 
 
 def max_min_rates(
@@ -59,68 +246,10 @@ def max_min_rates(
     nflows = len(memberships)
     if np.any(caps < 0):
         raise FlowError("negative resource capacity")
-    rates = np.zeros(nflows)
     if nflows == 0:
-        return rates
-
-    incidence = np.zeros((nflows, nres), dtype=bool)
-    for f, res in enumerate(memberships):
-        if len(res) == 0:
-            raise FlowError(f"flow {f} crosses no resources")
-        for r in res:
-            if not 0 <= r < nres:
-                raise FlowError(f"flow {f}: resource index {r} out of range")
-            incidence[f, r] = True
-
-    if flow_caps is None:
-        cap_rem = np.full(nflows, np.inf)
-    else:
-        cap_rem = np.asarray(flow_caps, dtype=float).copy()
-        if cap_rem.shape != (nflows,):
-            raise FlowError("flow_caps must have one entry per flow")
-        if np.any(cap_rem < 0):
-            raise FlowError("negative flow cap")
-
-    active = np.ones(nflows, dtype=bool)
-    rem = caps.astype(float).copy()
-
-    # Flows through zero-capacity resources can never move.
-    dead = incidence[:, rem <= _EPS].any(axis=1)
-    active &= ~dead
-    # Flows capped at zero are immediately frozen at rate 0.
-    active &= cap_rem > _EPS
-
-    # Each iteration freezes at least one flow, so this terminates in at
-    # most ``nflows`` iterations.
-    for _ in range(nflows + nres + 1):
-        if not active.any():
-            break
-        users = incidence[active].sum(axis=0)  # active flows per resource
-        with np.errstate(divide="ignore", invalid="ignore"):
-            headroom = np.where(users > 0, rem / np.maximum(users, 1), np.inf)
-        delta_res = headroom.min() if np.isfinite(headroom).any() else np.inf
-        delta_cap = cap_rem[active].min()
-        delta = min(delta_res, delta_cap)
-        if not np.isfinite(delta):
-            raise FlowError("unbounded max-min allocation (no finite constraint)")
-        delta = max(delta, 0.0)
-
-        rates[active] += delta
-        rem -= delta * users
-        cap_rem[active] -= delta
-
-        saturated_res = (rem <= _EPS) & (users > 0)
-        freeze = active & (incidence[:, saturated_res].any(axis=1) | (cap_rem <= _EPS))
-        if not freeze.any():
-            # Numerical corner: force-freeze the flows at the tightest
-            # constraint so progress is guaranteed.
-            tight = np.argmin(np.where(active, cap_rem, np.inf))
-            freeze = np.zeros(nflows, dtype=bool)
-            freeze[tight] = True
-        active &= ~freeze
-    else:  # pragma: no cover - loop bound is a hard invariant
-        raise FlowError("max-min allocation did not converge")
-    return rates
+        return np.zeros(0)
+    solver = MaxMinSolver(memberships, nres, cache_size=1)
+    return solver.solve(caps, flow_caps).copy()
 
 
 def solve_with_caps(
@@ -181,24 +310,28 @@ def fairness_violations(
     """
     caps = np.asarray(capacities, dtype=float)
     rates_arr = np.asarray(rates, dtype=float)
-    if len(memberships) != rates_arr.shape[0]:
+    nflows = len(memberships)
+    if nflows != rates_arr.shape[0]:
         raise FlowError("rates must have one entry per flow")
+    counts, flat = _membership_arrays(memberships)
+    # ``np.add.at`` accumulates unbuffered in membership order, so the
+    # usage vector rounds identically to the scalar loop it replaces
+    # (and duplicate resource indices still count once per occurrence).
     usage = np.zeros(caps.shape[0])
-    for idxs, rate in zip(memberships, rates_arr):
-        for i in idxs:
-            usage[i] += rate
+    if flat.size:
+        np.add.at(usage, flat, np.repeat(rates_arr, counts))
     saturated = usage >= caps * (1.0 - rtol) - atol
     caps_arr = None
     if flow_caps is not None:
         caps_arr = np.asarray(flow_caps, dtype=float)
         if caps_arr.shape != rates_arr.shape:
             raise FlowError("flow_caps must have one entry per flow")
-    out: list[int] = []
-    for f, idxs in enumerate(memberships):
-        if caps_arr is not None and np.isfinite(caps_arr[f]):
-            if rates_arr[f] >= caps_arr[f] * (1.0 - rtol) - atol:
-                continue
-        if any(saturated[i] for i in idxs):
-            continue
-        out.append(f)
-    return out
+    # A flow is held back when any of its resources is saturated...
+    held = np.zeros(nflows, dtype=bool)
+    if flat.size:
+        np.logical_or.at(held, np.repeat(np.arange(nflows), counts), saturated[flat])
+    # ...or when it sits at its own (finite) rate cap.
+    if caps_arr is not None:
+        with np.errstate(invalid="ignore"):
+            held |= np.isfinite(caps_arr) & (rates_arr >= caps_arr * (1.0 - rtol) - atol)
+    return [int(f) for f in np.flatnonzero(~held)]

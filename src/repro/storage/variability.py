@@ -84,13 +84,18 @@ class StochasticNoise:
 
     spec: NoiseSpec = field(default_factory=NoiseSpec)
     _run_level: dict[str, float] = field(default_factory=dict, repr=False)
+    _scope_cache: dict[str, bool] = field(default_factory=dict, repr=False)
 
     @property
     def epoch_length_s(self) -> float:
         return self.spec.epoch_length_s if not self.spec.quiet else math.inf
 
     def in_scope(self, resource_id: str) -> bool:
-        return any(resource_id.startswith(p) for p in self.spec.scope_prefixes)
+        hit = self._scope_cache.get(resource_id)
+        if hit is None:
+            hit = any(resource_id.startswith(p) for p in self.spec.scope_prefixes)
+            self._scope_cache[resource_id] = hit
+        return hit
 
     def multiplier(self, resource_id: str, epoch: int, rng: np.random.Generator) -> float:
         if self.spec.quiet or not self.in_scope(resource_id):
@@ -122,13 +127,18 @@ class SharedStateNoise:
     spec: NoiseSpec = field(default_factory=NoiseSpec)
     _run_level: float | None = field(default=None, repr=False)
     _epoch_cache: dict[int, float] = field(default_factory=dict, repr=False)
+    _scope_cache: dict[str, bool] = field(default_factory=dict, repr=False)
 
     @property
     def epoch_length_s(self) -> float:
         return self.spec.epoch_length_s if not self.spec.quiet else math.inf
 
     def in_scope(self, resource_id: str) -> bool:
-        return any(resource_id.startswith(p) for p in self.spec.scope_prefixes)
+        hit = self._scope_cache.get(resource_id)
+        if hit is None:
+            hit = any(resource_id.startswith(p) for p in self.spec.scope_prefixes)
+            self._scope_cache[resource_id] = hit
+        return hit
 
     def multiplier(self, resource_id: str, epoch: int, rng: np.random.Generator) -> float:
         if self.spec.quiet or not self.in_scope(resource_id):

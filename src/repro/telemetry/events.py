@@ -85,6 +85,25 @@ EVENT_TYPES: dict[str, dict[str, tuple[type, ...]]] = {
         "records": (int,),
         "failures": (int,),
     },
+    # One pair per run executed by a parallel-campaign worker, emitted by
+    # the parent at merge time: the (spec, rep, seed) triple attributes
+    # the run, ``elapsed_s`` is the worker's real execution time (the
+    # one deliberate exception to the no-wall-clock rule: it measures
+    # the machine, not the simulation, and ``t`` stays null).
+    "worker.start": {
+        "worker": (int,),
+        "spec": (str,),
+        "rep": (int,),
+        "seed": (int,),
+    },
+    "worker.end": {
+        "worker": (int,),
+        "spec": (str,),
+        "rep": (int,),
+        "seed": (int,),
+        "status": (str,),  # "ok" | "failed" | "quarantined"
+        "elapsed_s": (int, float, type(None)),
+    },
     # -- engine-level (run-internal simulation time) -------------------------
     "flow.start": {"flow_id": (str,)},
     "flow.retry": {"flow_id": (str,), "attempt": (int,)},
@@ -121,6 +140,10 @@ _OPTIONAL_FIELDS: dict[str, dict[str, tuple[type, ...]]] = {
     "trace.record": {"value": (int, float, str, bool, type(None))},
     "segment.solve": {"binding": (list,)},
 }
+
+# Optional fields accepted on *every* event type: ``worker`` tags an
+# event re-emitted from a parallel-campaign worker with its dense id.
+_COMMON_OPTIONAL: dict[str, tuple[type, ...]] = {"worker": (int,)}
 
 _STATUS_VALUES = ("ok", "failed", "quarantined")
 
@@ -172,14 +195,20 @@ def validate_event(obj: Any) -> list[str]:
         check(field, types, required=True)
     for field, types in _OPTIONAL_FIELDS.get(etype, {}).items():
         check(field, types, required=False)
+    for field, types in _COMMON_OPTIONAL.items():
+        if field not in payload_spec:
+            check(field, types, required=False)
     known = (
-        set(ENVELOPE_FIELDS) | set(payload_spec) | set(_OPTIONAL_FIELDS.get(etype, {}))
+        set(ENVELOPE_FIELDS)
+        | set(payload_spec)
+        | set(_OPTIONAL_FIELDS.get(etype, {}))
+        | set(_COMMON_OPTIONAL)
     )
     extra = sorted(set(obj) - known)
     if extra:
         problems.append(f"unknown fields for {etype!r}: {', '.join(extra)}")
-    if etype == "run.end" and obj.get("status") not in _STATUS_VALUES:
-        problems.append(f"run.end status must be one of {_STATUS_VALUES}")
+    if etype in ("run.end", "worker.end") and obj.get("status") not in _STATUS_VALUES:
+        problems.append(f"{etype} status must be one of {_STATUS_VALUES}")
     return problems
 
 

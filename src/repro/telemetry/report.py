@@ -78,6 +78,7 @@ class CampaignReport:
         self.run_ends = [e for e in self.events if e.get("event") == "run.end"]
         self.faults = [e for e in self.events if e.get("event") == "fault.trigger"]
         self.checkpoints = [e for e in self.events if e.get("event") == "checkpoint.write"]
+        self.worker_ends = [e for e in self.events if e.get("event") == "worker.end"]
         snapshots = [e for e in self.events if e.get("event") == "metrics.snapshot"]
         self.metrics: dict[str, Any] = snapshots[-1]["metrics"] if snapshots else {}
 
@@ -149,6 +150,32 @@ class CampaignReport:
             (str(e.get("kind", "?")), str(e.get("component", "?"))) for e in self.faults
         )
         return [(kind, comp, n) for (kind, comp), n in sorted(tally.items())]
+
+    def worker_summary(self) -> list[dict[str, Any]]:
+        """Per-worker throughput of a parallel campaign, by dense id.
+
+        Built from ``worker.end`` events; an empty list means the
+        campaign ran serially.
+        """
+        by_worker: dict[int, dict[str, Any]] = {}
+        for e in self.worker_ends:
+            row = by_worker.setdefault(
+                int(e.get("worker", -1)), {"runs": 0, "ok": 0, "busy_s": 0.0}
+            )
+            row["runs"] += 1
+            if e.get("status") == "ok":
+                row["ok"] += 1
+            elapsed = e.get("elapsed_s")
+            if isinstance(elapsed, (int, float)):
+                row["busy_s"] += float(elapsed)
+        return [
+            {
+                "worker": worker,
+                **row,
+                "runs_per_s": row["runs"] / row["busy_s"] if row["busy_s"] > 0 else None,
+            }
+            for worker, row in sorted(by_worker.items())
+        ]
 
     def server_series(self) -> dict[str, list[tuple[float, float]]]:
         """Observed per-server series from the last run.end carrying them."""
@@ -228,6 +255,25 @@ class CampaignReport:
                         for r in flags
                     ],
                     title="bandwidth distributions (MiB/s):",
+                )
+            )
+
+        workers = self.worker_summary()
+        if workers:
+            panels.append(
+                render_table(
+                    ["worker", "runs", "ok", "busy", "runs/s"],
+                    [
+                        [
+                            w["worker"],
+                            w["runs"],
+                            w["ok"],
+                            f"{w['busy_s']:.1f}s",
+                            _fmt(w["runs_per_s"], ".2f"),
+                        ]
+                        for w in workers
+                    ],
+                    title="parallel workers (real time):",
                 )
             )
 

@@ -98,6 +98,10 @@ class Topology:
         self._graph = nx.Graph()
         self._hosts: dict[str, Host] = {}
         self._links: dict[str, Link] = {}
+        # Shortest paths memoised per (src, dst); engines route the same
+        # node/server pairs on every repetition.  Invalidated whenever
+        # the graph gains a vertex or an edge.
+        self._route_cache: dict[tuple[str, str], tuple[Link, ...]] = {}
 
     # -- construction --------------------------------------------------------
 
@@ -108,6 +112,7 @@ class Topology:
         host = Host(name, role, dict(attrs))
         self._hosts[name] = host
         self._graph.add_node(name, role=role)
+        self._route_cache.clear()
         return host
 
     def add_link(
@@ -126,6 +131,7 @@ class Topology:
             raise TopologyError(f"duplicate link {link.resource_id}")
         self._links[link.resource_id] = link
         self._graph.add_edge(a, b, resource_id=link.resource_id)
+        self._route_cache.clear()
         return link
 
     # -- queries -------------------------------------------------------------
@@ -172,15 +178,23 @@ class Topology:
 
     def route(self, src: str, dst: str) -> list[Link]:
         """Links along the (hop-count) shortest path from ``src`` to ``dst``."""
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return list(cached)
         for end in (src, dst):
             self.host(end)
         if src == dst:
+            self._route_cache[(src, dst)] = ()
             return []
         try:
             path = nx.shortest_path(self._graph, src, dst)
         except nx.NetworkXNoPath:
             raise RoutingError(f"no route from {src!r} to {dst!r}") from None
-        return [self._links[self._graph.edges[u, v]["resource_id"]] for u, v in zip(path, path[1:])]
+        links = tuple(
+            self._links[self._graph.edges[u, v]["resource_id"]] for u, v in zip(path, path[1:])
+        )
+        self._route_cache[(src, dst)] = links
+        return list(links)
 
     def route_latency(self, src: str, dst: str) -> float:
         """Sum of one-way link latencies along the route."""

@@ -319,3 +319,80 @@ class TestFailedRunRetryTraces:
         store = ProtocolRunner(AnnotatingExecutor(), on_error="skip").run(small_plan(2))
         assert all(f.retries == 4 for f in store.failures)
         assert store.failures[0].flow_trace == self.TRACE
+
+
+class TestRetriedFailureArchive:
+    """Resume keeps, not discards, the quarantine history of prior attempts."""
+
+    def test_archive_failures_moves_and_counts(self):
+        store = RecordStore()
+        store.failures.append(
+            FailedRunRecord(
+                exp_id="e", scenario="s", rep=1, factors={}, error_type="T", message="m"
+            )
+        )
+        assert store.archive_failures() == 1
+        assert store.failures == []
+        assert len(store.retried_failures) == 1
+        assert store.retried_failures[0].rep == 1
+
+    def test_archive_is_cumulative(self):
+        store = RecordStore()
+        for rep in (1, 2):
+            store.failures.append(
+                FailedRunRecord(
+                    exp_id="e", scenario="s", rep=rep, factors={}, error_type="T", message="m"
+                )
+            )
+            store.archive_failures()
+        assert [f.rep for f in store.retried_failures] == [1, 2]
+
+    def test_retried_failures_round_trip_json(self, tmp_path):
+        store = RecordStore()
+        store.failures.append(
+            FailedRunRecord(
+                exp_id="e", scenario="s", rep=3, factors={"x": 1}, error_type="T", message="m"
+            )
+        )
+        store.archive_failures()
+        path = tmp_path / "ckpt.json"
+        store.write_json(path)
+        loaded = RecordStore.read_json(path)
+        assert loaded.failures == []
+        assert len(loaded.retried_failures) == 1
+        assert loaded.retried_failures[0].rep == 3
+
+    def test_old_checkpoints_without_archive_still_load(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        RecordStore().write_json(path)
+        data = json.loads(path.read_text())
+        del data["retried_failures"]
+        path.write_text(json.dumps(data))
+        assert RecordStore.read_json(path).retried_failures == []
+
+    def test_resume_archives_prior_attempt(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        plan = small_plan()
+        ProtocolRunner(
+            FlakyExecutor(fail_reps={1}), on_error="skip", checkpoint_path=path
+        ).run(plan)
+        store = ProtocolRunner(
+            FlakyExecutor(), on_error="skip", checkpoint_path=path
+        ).resume(plan)
+        assert store.failures == []
+        assert [f.rep for f in store.retried_failures] == [1]
+        # The final checkpoint preserves the archived history on disk.
+        assert [f.rep for f in RecordStore.read_json(path).retried_failures] == [1]
+
+    def test_resume_archive_survives_repeated_failures(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        plan = small_plan()
+        ProtocolRunner(
+            FlakyExecutor(fail_reps={1}), on_error="skip", checkpoint_path=path
+        ).run(plan)
+        # The retry fails again: one fresh quarantine, one archived.
+        store = ProtocolRunner(
+            FlakyExecutor(fail_reps={1}), on_error="skip", checkpoint_path=path
+        ).resume(plan)
+        assert [f.rep for f in store.failures] == [1]
+        assert [f.rep for f in store.retried_failures] == [1]

@@ -6,7 +6,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import FlowError
-from repro.netsim.maxmin import fairness_violations, max_min_rates, solve_with_caps
+from repro.netsim.maxmin import (
+    MaxMinSolver,
+    fairness_violations,
+    max_min_rates,
+    solve_with_caps,
+)
 
 
 class TestKnownAllocations:
@@ -230,3 +235,128 @@ class TestSolveWithCaps:
     def test_all_flows_on_zero_capacity(self):
         rates = solve_with_caps([[0], [0]], [0.0], lambda r: r + 1.0, iterations=4)
         assert rates.tolist() == [0.0, 0.0]
+
+
+class TestMaxMinSolver:
+    """The persistent solver: incidence reuse, keyed cache, equivalence."""
+
+    def problem(self, seed=0, nflows=24, nres=8):
+        rng = np.random.default_rng(seed)
+        memberships = [
+            sorted(int(r) for r in rng.choice(nres, size=3, replace=False))
+            for _ in range(nflows)
+        ]
+        return memberships, rng.uniform(10.0, 1000.0, nres)
+
+    def test_matches_one_shot_solver(self):
+        memberships, caps = self.problem()
+        solver = MaxMinSolver(memberships, caps.shape[0])
+        for scale in (1.0, 0.5, 2.0):
+            np.testing.assert_array_equal(
+                solver.solve(caps * scale), max_min_rates(memberships, caps * scale)
+            )
+
+    def test_matches_one_shot_with_flow_caps(self):
+        memberships, caps = self.problem()
+        flow_caps = np.linspace(1.0, 200.0, len(memberships))
+        solver = MaxMinSolver(memberships, caps.shape[0])
+        np.testing.assert_array_equal(
+            solver.solve(caps, flow_caps),
+            max_min_rates(memberships, caps, flow_caps),
+        )
+
+    def test_cache_hit_returns_same_array(self):
+        memberships, caps = self.problem()
+        solver = MaxMinSolver(memberships, caps.shape[0])
+        first = solver.solve(caps)
+        assert solver.solve(caps) is first
+        assert solver.cache_len == 1
+
+    def test_flow_caps_key_the_cache(self):
+        memberships, caps = self.problem()
+        solver = MaxMinSolver(memberships, caps.shape[0])
+        uncapped = solver.solve(caps)
+        capped = solver.solve(caps, np.full(len(memberships), 5.0))
+        assert solver.cache_len == 2
+        assert capped is not uncapped
+        assert np.all(capped <= 5.0 + 1e-9)
+
+    def test_clear_cache(self):
+        memberships, caps = self.problem()
+        solver = MaxMinSolver(memberships, caps.shape[0])
+        solver.solve(caps)
+        solver.clear_cache()
+        assert solver.cache_len == 0
+
+    def test_cache_overflow_resets_not_grows(self):
+        memberships, caps = self.problem()
+        solver = MaxMinSolver(memberships, caps.shape[0], cache_size=4)
+        for i in range(10):
+            solver.solve(caps * (1.0 + 0.01 * i))
+        assert solver.cache_len <= 4
+
+    def test_results_are_read_only(self):
+        memberships, caps = self.problem()
+        solver = MaxMinSolver(memberships, caps.shape[0])
+        rates = solver.solve(caps)
+        with pytest.raises(ValueError):
+            rates[0] = 0.0
+        assert solver.incidence.flags.writeable is False
+
+    def test_wrong_capacity_shape_rejected(self):
+        memberships, caps = self.problem()
+        solver = MaxMinSolver(memberships, caps.shape[0])
+        with pytest.raises(FlowError):
+            solver.solve(caps[:-1])
+
+    def test_wrong_flow_caps_shape_rejected(self):
+        memberships, caps = self.problem()
+        solver = MaxMinSolver(memberships, caps.shape[0])
+        with pytest.raises(FlowError):
+            solver.solve(caps, np.ones(3))
+
+    def test_construction_validates_memberships(self):
+        with pytest.raises(FlowError):
+            MaxMinSolver([[0], []], 2)
+        with pytest.raises(FlowError):
+            MaxMinSolver([[7]], 2)
+
+    @given(maxmin_problem())
+    @settings(max_examples=50, deadline=None)
+    def test_property_equivalence(self, problem):
+        memberships, caps = problem
+        solver = MaxMinSolver(memberships, len(caps))
+        np.testing.assert_array_equal(
+            solver.solve(caps), max_min_rates(memberships, caps)
+        )
+
+
+class TestVectorizedCertificate:
+    """Edge semantics of the vectorized fairness_violations."""
+
+    def test_empty_problem(self):
+        assert fairness_violations([], np.zeros(0), np.zeros(0)) == []
+
+    def test_wrong_rates_length_rejected(self):
+        with pytest.raises(FlowError):
+            fairness_violations([[0]], [10.0], [1.0, 2.0])
+
+    def test_wrong_flow_caps_length_rejected(self):
+        with pytest.raises(FlowError):
+            fairness_violations([[0]], [10.0], [10.0], flow_caps=[1.0, 2.0])
+
+    def test_infinite_flow_caps_do_not_hold_flows(self):
+        # inf caps never count as a binding constraint.
+        violations = fairness_violations(
+            [[0], [0]], [100.0], [20.0, 20.0], flow_caps=[np.inf, np.inf]
+        )
+        assert violations == [0, 1]
+
+    def test_duplicate_resource_memberships_count_per_occurrence(self):
+        # A flow listed twice on one resource contributes its rate twice,
+        # matching the scalar accumulation it replaced.
+        violations = fairness_violations([[0, 0]], [100.0], [50.0])
+        assert violations == []
+
+    def test_zero_capacity_resource_counts_as_saturated(self):
+        assert fairness_violations([[0]], [0.0], [0.0]) == []
