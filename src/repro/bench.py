@@ -204,7 +204,8 @@ def bench_campaign(quick: bool = False, workers: int = 4) -> dict[str, dict[str,
     """A reduced protocol campaign, serial and at ``workers`` processes.
 
     The only stage ``quick`` shortens (5 reps instead of 25): campaign
-    metrics are rates, so they stay comparable across rep counts.
+    metrics are rates, so they stay comparable across rep counts.  The
+    result cache is disabled: the bench times execution, not replay.
     """
     from .experiments.common import run_specs
 
@@ -213,7 +214,7 @@ def bench_campaign(quick: bool = False, workers: int = 4) -> dict[str, dict[str,
     total = reps * len(specs)
 
     start = time.perf_counter()
-    store = run_specs(specs, repetitions=reps, seed=7)
+    store = run_specs(specs, repetitions=reps, seed=7, cache=False)
     serial_s = time.perf_counter() - start
     if len(store) != total:
         raise ReproError(f"campaign bench expected {total} records, got {len(store)}")
@@ -223,7 +224,7 @@ def bench_campaign(quick: bool = False, workers: int = 4) -> dict[str, dict[str,
     }
     if workers > 1:
         start = time.perf_counter()
-        pstore = run_specs(specs, repetitions=reps, seed=7, workers=workers)
+        pstore = run_specs(specs, repetitions=reps, seed=7, workers=workers, cache=False)
         parallel_s = time.perf_counter() - start
         if len(pstore) != total:
             raise ReproError(

@@ -7,7 +7,7 @@ Subcommands
     Show every registered experiment with its paper reference.
 ``run EXP_ID [--reps N] [--seed S] [--out DIR] [--on-error {fail,skip}]
 [--checkpoint PATH] [--resume] [--verify {off,basic,paranoid}]
-[--workers N]``
+[--workers N] [--no-cache] [--cache-dir DIR]``
     Run one experiment (or ``all``), print its figure, optionally
     archive the raw records as CSV — the way the paper publishes its
     results repository.  ``--on-error skip`` quarantines raising runs
@@ -16,7 +16,11 @@ Subcommands
     and restartable.  ``--verify`` turns on runtime invariant checking
     inside the engines; a violating run is quarantined like a crash
     under ``--on-error skip``.  ``--workers N`` executes runs in N
-    worker processes with byte-identical results.
+    worker processes with byte-identical results.  Previously-simulated
+    (configuration, rep) pairs replay from the content-addressed result
+    cache (``$REPRO_CACHE_DIR`` or ``~/.cache/beegfs-repro``; override
+    with ``--cache-dir``, disable with ``--no-cache``); a cache summary
+    is printed on stderr after the campaign.
 ``verify [--suite {invariants,conformance,replay,all}] [--level
 {basic,paranoid}] [--reps N] [--seed S] [--golden PATH]
 [--update-golden] [--inject {over-capacity,byte-loss,rng-perturb}]``
@@ -142,6 +146,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute runs in N worker processes; results are byte-identical "
         "to a serial campaign (default: 1)",
     )
+    run_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always execute; do not read or write the result cache",
+    )
+    run_p.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="result cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/beegfs-repro)",
+    )
 
     verify_p = sub.add_parser("verify", help="run the simulation guardrails")
     verify_p.add_argument(
@@ -257,8 +274,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_list() -> int:
+    print(f"{'id':10s} {'runs':>6s} {'paper ref':42s} title")
     for info in list_experiments():
-        print(f"{info.exp_id:10s} {info.paper_ref:42s} {info.title}")
+        size = info.sweep_size()
+        runs = "-" if size is None else str(size)
+        print(f"{info.exp_id:10s} {runs:>6s} {info.paper_ref:42s} {info.title}")
     return 0
 
 
@@ -271,6 +291,7 @@ def _checkpoint_path_for(base: Path | None, exp_id: str, multiple: bool) -> Path
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from . import service
     from .experiments.common import protocol_options
     from .telemetry.bus import session as telemetry_session
     from .telemetry.profiling import profiling
@@ -281,12 +302,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ids = [i.exp_id for i in list_experiments()] if args.exp_id == "all" else [args.exp_id]
     progress = None if args.quiet else lambda msg: print(f"  .. {msg}", file=sys.stderr)
     quarantined = 0
+    stats_before = service.cache_stats()
     with ExitStack() as stack:
         if args.telemetry is not None:
             stack.enter_context(
                 telemetry_session(jsonl=args.telemetry, level=args.telemetry_level)
             )
         profiler = stack.enter_context(profiling(args.profile)) if args.profile else None
+        stack.enter_context(
+            service.cache_config(
+                cache=False if args.no_cache else None, cache_dir=args.cache_dir
+            )
+        )
         for exp_id in ids:
             info = get_experiment(exp_id)
             reps = args.reps if args.reps is not None else info.default_repetitions
@@ -298,6 +325,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 resume=args.resume,
                 validation=args.verify if args.verify != "off" else None,
                 workers=args.workers if args.workers > 1 else None,
+                cache=False if args.no_cache else None,
+                cache_dir=args.cache_dir,
             ):
                 output = info.run(progress=progress, **kwargs)
             print(output.figure)
@@ -319,6 +348,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(profiler.render(), file=sys.stderr)
         if args.telemetry is not None:
             print(f"telemetry stream appended to {args.telemetry}", file=sys.stderr)
+    delta = {
+        key: value - stats_before.get(key, 0)
+        for key, value in service.cache_stats().items()
+    }
+    print(
+        "cache: {hit} hit(s), {miss} miss(es), {bypassed} bypassed, "
+        "{uncached} uncached".format(**delta),
+        file=sys.stderr,
+    )
     if quarantined:
         print(
             f"{quarantined} run(s) quarantined; re-run with --resume to retry them",
@@ -403,20 +441,24 @@ def _cmd_recommend(args: argparse.Namespace) -> int:
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
-    from .engine.base import EngineOptions
-    from .engine.fluid_runner import FluidEngine
-    from .workload.generator import single_application
+    from .methodology.plan import ExperimentSpec
+    from .scenario.compile import compile_scenario
+    from .service import get_service
 
     calib = scenario_by_name(args.scenario)
-    topology = calib.platform(max(args.nodes, 2))
-    kwargs = {"stripe_count": args.stripe_count}
+    factors = {
+        "stripe_count": args.stripe_count,
+        "num_nodes": args.nodes,
+        "ppn": args.ppn,
+    }
     if args.chooser:
-        kwargs["chooser"] = args.chooser
-    engine = FluidEngine(
-        calib, topology, calib.deployment(**kwargs), seed=0, options=EngineOptions()
+        factors["chooser"] = args.chooser
+    spec = compile_scenario(
+        ExperimentSpec("explain", args.scenario, factors),
+        max_nodes=max(args.nodes, 2),
     )
-    app = single_application(topology, args.nodes, ppn=args.ppn)
-    result, report = engine.explain([app], rep=args.rep)
+    ctx = get_service().context(spec)
+    result, report = ctx.engine.explain(ctx.make_apps(), rep=args.rep)
     run = result.single
     print(
         f"{calib.name}: {args.nodes} nodes x {args.ppn} ppn, stripe "

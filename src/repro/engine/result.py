@@ -18,7 +18,13 @@ from ..errors import AnalysisError
 from ..simcore.monitor import TimeSeries
 from ..units import bandwidth_mib_s
 
-__all__ = ["ApplicationResult", "RunResult", "aggregate_bandwidth"]
+__all__ = [
+    "ApplicationResult",
+    "RunResult",
+    "aggregate_bandwidth",
+    "result_to_jsonable",
+    "result_from_jsonable",
+]
 
 
 @dataclass(frozen=True)
@@ -131,3 +137,81 @@ class RunResult:
             for t in a.targets:
                 seen[t] = seen.get(t, 0) + 1
         return {t for t, n in seen.items() if n > 1}
+
+
+# -- serialization -----------------------------------------------------------------
+# The exact JSON round trip behind the content-addressed result cache:
+# a decoded result must be byte-identical (to the last float ulp) to the
+# one the engine produced, so every numeric field is cast explicitly —
+# numpy integer scalars are not JSON-serialisable and numpy floats must
+# not leak into a result that a cache hit is supposed to replay exactly.
+# Python's shortest-repr float encoding makes the float round trip exact.
+
+
+def _trace_value(value: Any) -> Any:
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, int):
+        return int(value)
+    if hasattr(value, "item"):  # numpy scalar
+        return _trace_value(value.item())
+    return str(value)
+
+
+def result_to_jsonable(result: RunResult) -> dict[str, Any]:
+    return {
+        "apps": [
+            {
+                "app_id": a.app_id,
+                "start_time": float(a.start_time),
+                "end_time": float(a.end_time),
+                "volume_bytes": float(a.volume_bytes),
+                "num_nodes": int(a.num_nodes),
+                "ppn": int(a.ppn),
+                "stripe_count": int(a.stripe_count),
+                "targets": [int(t) for t in a.targets],
+                "placement": [int(p) for p in a.placement],
+            }
+            for a in result.apps
+        ],
+        "segments": int(result.segments),
+        "resource_series": {
+            rid: {"times": [float(t) for t in ts.times], "values": [float(v) for v in ts.values]}
+            for rid, ts in result.resource_series.items()
+        },
+        "fault_events": [
+            {str(k): _trace_value(v) for k, v in event.items()}
+            for event in result.fault_events
+        ],
+        "retries": int(result.retries),
+        "abandoned_flows": int(result.abandoned_flows),
+    }
+
+
+def result_from_jsonable(data: Mapping[str, Any]) -> RunResult:
+    return RunResult(
+        apps=tuple(
+            ApplicationResult(
+                app_id=str(a["app_id"]),
+                start_time=float(a["start_time"]),
+                end_time=float(a["end_time"]),
+                volume_bytes=float(a["volume_bytes"]),
+                num_nodes=int(a["num_nodes"]),
+                ppn=int(a["ppn"]),
+                stripe_count=int(a["stripe_count"]),
+                targets=tuple(int(t) for t in a["targets"]),
+                placement=tuple(int(p) for p in a["placement"]),
+            )
+            for a in data["apps"]
+        ),
+        segments=int(data["segments"]),
+        resource_series={
+            rid: TimeSeries(series["times"], series["values"])
+            for rid, series in data["resource_series"].items()
+        },
+        fault_events=tuple(dict(event) for event in data["fault_events"]),
+        retries=int(data["retries"]),
+        abandoned_flows=int(data["abandoned_flows"]),
+    )

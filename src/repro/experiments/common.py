@@ -1,30 +1,23 @@
-"""Shared experiment machinery.
+"""Shared experiment machinery: sweep tables and the campaign entry point.
 
-:class:`StandardExecutor` turns an :class:`ExperimentSpec` plus a
-repetition index into one engine run.  It understands the factor names
-the paper's experiments sweep:
+Experiment modules declare *what* to simulate as a :func:`sweep` table —
+a factor grid over one or more calibration scenarios — and hand the
+resulting specs to :func:`run_specs`, which lowers every spec through
+:func:`repro.scenario.compile.compile_scenario` and executes the
+campaign through the process-wide
+:class:`~repro.service.SimulationService` (content-addressed result
+cache included).  The factor vocabulary itself is documented on
+:func:`repro.scenario.compile.default_apps_builder`.
 
-==================  =========================================================
-factor              meaning (default)
-==================  =========================================================
-``num_nodes``       compute nodes of the application (8)
-``ppn``             processes per node (8)
-``total_gib``       total data volume in GiB (32)
-``stripe_count``    per-directory stripe count (4)
-``chooser``         target chooser name (deployment default: round-robin)
-``transfer_mib``    IOR transfer size in MiB (1)
-``pattern``         access pattern name (``n1-contiguous``)
-``operation``       ``write`` (default) or ``read``
-``num_apps``        concurrent applications on disjoint node sets (1)
-``nodes_per_app``   nodes of each concurrent application (``num_nodes``)
-==================  =========================================================
-
-Engines (and their platform topologies) are cached per configuration
-key so a 100-repetition protocol pays construction once.
+:class:`StandardExecutor` remains for callers that need a bespoke
+``apps_builder`` (timeline figures with pinned placements) or direct
+engine access; it executes engines directly and never touches the
+cache.
 """
 
 from __future__ import annotations
 
+import itertools
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from pathlib import Path
@@ -40,18 +33,19 @@ from ..methodology.protocol import ProtocolConfig
 from ..methodology.parallel import ParallelProtocolRunner
 from ..methodology.records import RecordStore
 from ..methodology.runner import ProtocolRunner
+from ..scenario.compile import compile_scenario, default_apps_builder
+from ..service import ServiceExecutor
 from ..telemetry.profiling import get_profiler
 from ..topology.graph import Topology
-from ..units import GiB, MiB
 from ..workload.application import Application
-from ..workload.generator import concurrent_applications, single_application
-from ..workload.patterns import AccessPattern
 
 __all__ = [
     "ExperimentOutput",
     "StandardExecutor",
+    "sweep",
     "run_specs",
     "protocol_options",
+    "default_apps_builder",
     "AppsBuilder",
 ]
 
@@ -72,49 +66,58 @@ class ExperimentOutput:
         return f"{self.exp_id}: {self.title}\n{self.figure}"
 
 
-def _pattern_from_name(name: str) -> AccessPattern:
-    for pattern in AccessPattern:
-        if pattern.value == name:
-            return pattern
-    raise ExperimentError(f"unknown access pattern {name!r}")
+def sweep(
+    exp_id: str,
+    *,
+    scenario: str | Sequence[str],
+    **axes: Any,
+) -> list[ExperimentSpec]:
+    """A declarative factor sweep: the full crossing of the given axes.
 
+    Each keyword argument is one factor.  Its value is interpreted as:
 
-def default_apps_builder(topology: Topology, factors: Mapping[str, Any]) -> list[Application]:
-    """Build the applications a factor dict describes (see module doc)."""
-    num_nodes = int(factors.get("num_nodes", 8))
-    ppn = int(factors.get("ppn", 8))
-    total_bytes = int(float(factors.get("total_gib", 32)) * GiB)
-    transfer = int(float(factors.get("transfer_mib", 1)) * MiB)
-    pattern = _pattern_from_name(str(factors.get("pattern", "n1-contiguous")))
-    operation = str(factors.get("operation", "write"))
-    num_apps = int(factors.get("num_apps", 1))
-    if num_apps == 1:
-        return [
-            single_application(
-                topology,
-                num_nodes,
-                ppn=ppn,
-                total_bytes=total_bytes,
-                transfer_size=transfer,
-                pattern=pattern,
-                operation=operation,
-            )
-        ]
-    nodes_per_app = int(factors.get("nodes_per_app", num_nodes))
-    return concurrent_applications(
-        topology,
-        num_apps,
-        nodes_per_app=nodes_per_app,
-        ppn=ppn,
-        total_bytes_each=total_bytes,
-        transfer_size=transfer,
-        pattern=pattern,
-    )
+    * a **list or tuple** — the levels to sweep;
+    * a **dict** — per-scenario levels (value again scalar or list),
+      for sweeps whose range depends on the platform (e.g. node counts
+      up to each scenario's size);
+    * anything else — a **fixed** level, recorded in every spec's
+      factor dict.
+
+    Scenarios iterate outermost, then the axes left to right (leftmost
+    outermost), so a table reads in the order its campaign runs.
+    """
+    scenarios = (scenario,) if isinstance(scenario, str) else tuple(scenario)
+    if not scenarios:
+        raise ExperimentError(f"{exp_id}: sweep needs at least one scenario")
+    specs: list[ExperimentSpec] = []
+    for scen in scenarios:
+        levels: list[list[tuple[str, Any]]] = []
+        for name, value in axes.items():
+            if isinstance(value, Mapping):
+                if scen not in value:
+                    raise ExperimentError(
+                        f"{exp_id}: axis {name!r} has no levels for scenario {scen!r}"
+                    )
+                value = value[scen]
+            if isinstance(value, (list, tuple)):
+                levels.append([(name, v) for v in value])
+            else:
+                levels.append([(name, value)])
+        for combo in itertools.product(*levels):
+            specs.append(ExperimentSpec(exp_id=exp_id, scenario=scen, factors=dict(combo)))
+    return specs
 
 
 @dataclass
 class StandardExecutor:
-    """Executor for :class:`~repro.methodology.runner.ProtocolRunner`."""
+    """A direct-engine executor (no service, no cache).
+
+    Used where the run needs something the IR cannot express — a custom
+    ``apps_builder`` with pinned placements — and by benchmarks that
+    must always execute.  Engines (and their platform topologies) are
+    cached per configuration key so a 100-repetition protocol pays
+    construction once.
+    """
 
     seed: int = 0
     options: EngineOptions = field(default_factory=EngineOptions)
@@ -181,6 +184,8 @@ def protocol_options(
     validation: str | ValidationLevel | None = None,
     on_violation: str | None = None,
     workers: int | None = None,
+    cache: bool | None = None,
+    cache_dir: str | Path | None = None,
 ) -> Iterator[None]:
     """Override the runner policy of every ``run_specs`` call inside.
 
@@ -196,6 +201,8 @@ def protocol_options(
         ("validation", validation),
         ("on_violation", on_violation),
         ("workers", workers),
+        ("cache", cache),
+        ("cache_dir", cache_dir),
     ):
         if value is not None:
             _RUNNER_OVERRIDES[name] = value
@@ -213,6 +220,7 @@ def run_specs(
     options: EngineOptions = EngineOptions(),
     apps_builder: AppsBuilder | None = None,
     max_nodes: int = 32,
+    builder: str = "standard",
     progress: Callable[[str], None] | None = None,
     on_error: str = "fail",
     checkpoint: str | Path | None = None,
@@ -221,8 +229,18 @@ def run_specs(
     validation: str | ValidationLevel | None = None,
     on_violation: str = "skip",
     workers: int | None = None,
+    cache: bool = True,
+    cache_dir: str | Path | None = None,
 ) -> RecordStore:
     """Run a sweep under the paper's protocol and return the records.
+
+    Every spec is lowered through ``compile_scenario`` (with the given
+    ``builder``) and executed through the simulation service, so
+    previously-simulated (configuration, rep) pairs replay from the
+    content-addressed cache; ``cache=False`` (or a ``--no-cache``
+    campaign) forces execution, and runs with ``validation`` enabled
+    always execute.  A custom ``apps_builder`` cannot be fingerprinted,
+    so those campaigns fall back to a direct (uncached) executor.
 
     ``on_error``/``checkpoint``/``resume``/``checkpoint_every`` configure
     the :class:`~repro.methodology.runner.ProtocolRunner`'s resilience;
@@ -240,6 +258,8 @@ def run_specs(
     validation = _RUNNER_OVERRIDES.get("validation", validation)
     on_violation = _RUNNER_OVERRIDES.get("on_violation", on_violation)
     workers = _RUNNER_OVERRIDES.get("workers", workers)
+    cache = _RUNNER_OVERRIDES.get("cache", cache)
+    cache_dir = _RUNNER_OVERRIDES.get("cache_dir", cache_dir)
     if validation is not None:
         options = replace(options, validation=ValidationLevel.parse(validation))
     protocol = ProtocolConfig(
@@ -249,12 +269,27 @@ def run_specs(
         max_wait_s=1800.0 if repetitions >= 20 else 0.0,
     )
     plan = ExperimentPlan.build(specs, protocol, seed=seed)
-    executor = StandardExecutor(
-        seed=seed,
-        options=options,
-        max_nodes=max_nodes,
-        apps_builder=apps_builder if apps_builder is not None else default_apps_builder,
-    )
+    executor: Any
+    if apps_builder is not None:
+        executor = StandardExecutor(
+            seed=seed,
+            options=options,
+            max_nodes=max_nodes,
+            apps_builder=apps_builder,
+        )
+    else:
+        scenarios = {
+            spec.key: compile_scenario(
+                spec, seed=seed, options=options, max_nodes=max_nodes, builder=builder
+            )
+            for spec in specs
+        }
+        executor = ServiceExecutor(
+            scenarios=scenarios,
+            cache=bool(cache),
+            cache_dir=None if cache_dir is None else str(cache_dir),
+            seed=seed,
+        )
     if workers is not None and workers > 1:
         runner: ProtocolRunner = ParallelProtocolRunner(
             executor,

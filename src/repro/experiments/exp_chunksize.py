@@ -16,7 +16,7 @@ from __future__ import annotations
 from ..figures.ascii import render_table
 from ..methodology.plan import ExperimentSpec
 from ..stats.summary import describe
-from .common import ExperimentOutput, run_specs
+from .common import ExperimentOutput, run_specs, sweep
 from .registry import ExperimentInfo, register
 
 EXP_ID = "chunksize"
@@ -28,21 +28,15 @@ NODE_COUNTS = (2, 8, 32)
 
 
 def specs() -> list[ExperimentSpec]:
-    return [
-        ExperimentSpec(
-            EXP_ID,
-            "scenario2",
-            {
-                "chunk_kib": chunk,
-                "num_nodes": n,
-                "ppn": 8,
-                "stripe_count": 8,
-                "total_gib": 32,
-            },
-        )
-        for chunk in CHUNK_KIB
-        for n in NODE_COUNTS
-    ]
+    return sweep(
+        EXP_ID,
+        scenario="scenario2",
+        chunk_kib=CHUNK_KIB,
+        num_nodes=NODE_COUNTS,
+        ppn=8,
+        stripe_count=8,
+        total_gib=32,
+    )
 
 
 def render(records) -> str:
@@ -77,4 +71,4 @@ def run(repetitions: int = 40, seed: int = 0, progress=None) -> ExperimentOutput
     )
 
 
-register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run, default_repetitions=40))
+register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run, default_repetitions=40, specs=specs))

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..figures.ascii import bar_panel, render_table
 from ..methodology.plan import ExperimentSpec
-from .common import ExperimentOutput, run_specs
+from .common import ExperimentOutput, run_specs, sweep
 from .registry import ExperimentInfo, register
 
 EXP_ID = "fig12"
@@ -39,45 +39,38 @@ def specs() -> list[ExperimentSpec]:
     out = []
     for k in STRIPE_COUNTS:
         # Same-parameters baseline: one application, 8 nodes, stripe k.
-        out.append(
-            ExperimentSpec(
-                EXP_ID,
-                "scenario2",
-                {"num_apps": 1, "stripe_count": k, "num_nodes": NODES_PER_APP, "ppn": PPN, "total_gib": 32},
-            )
+        out += sweep(
+            EXP_ID,
+            scenario="scenario2",
+            num_apps=1,
+            stripe_count=k,
+            num_nodes=NODES_PER_APP,
+            ppn=PPN,
+            total_gib=32,
         )
         for m in APP_COUNTS:
             # Scaled baseline: one application with m x nodes and
             # min(8, k x m) targets.
-            scaled_k = min(8, k * m)
-            out.append(
-                ExperimentSpec(
-                    EXP_ID,
-                    "scenario2",
-                    {
-                        "num_apps": 1,
-                        "stripe_count": scaled_k,
-                        "num_nodes": NODES_PER_APP * m,
-                        "ppn": PPN,
-                        "total_gib": 32,
-                        "scaled_baseline_for": f"{m}x{k}",
-                    },
-                )
+            out += sweep(
+                EXP_ID,
+                scenario="scenario2",
+                num_apps=1,
+                stripe_count=min(8, k * m),
+                num_nodes=NODES_PER_APP * m,
+                ppn=PPN,
+                total_gib=32,
+                scaled_baseline_for=f"{m}x{k}",
             )
             # The concurrent run itself (each app writes 32 GiB).
-            out.append(
-                ExperimentSpec(
-                    EXP_ID,
-                    "scenario2",
-                    {
-                        "num_apps": m,
-                        "stripe_count": k,
-                        "num_nodes": NODES_PER_APP,
-                        "nodes_per_app": NODES_PER_APP,
-                        "ppn": PPN,
-                        "total_gib": 32,
-                    },
-                )
+            out += sweep(
+                EXP_ID,
+                scenario="scenario2",
+                num_apps=m,
+                stripe_count=k,
+                num_nodes=NODES_PER_APP,
+                nodes_per_app=NODES_PER_APP,
+                ppn=PPN,
+                total_gib=32,
             )
     return out
 
@@ -153,4 +146,4 @@ def run(repetitions: int = 100, seed: int = 0, progress=None) -> ExperimentOutpu
     )
 
 
-register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run))
+register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run, specs=specs))

@@ -12,7 +12,7 @@ from __future__ import annotations
 from ..figures.ascii import render_table, series_panel
 from ..methodology.plan import ExperimentSpec
 from ..stats.summary import describe
-from .common import ExperimentOutput, run_specs
+from .common import ExperimentOutput, run_specs, sweep
 from .registry import ExperimentInfo, register
 
 EXP_ID = "fig2"
@@ -25,15 +25,14 @@ PPN = 8
 
 
 def specs(scenarios: tuple[str, ...] = ("scenario1", "scenario2")) -> list[ExperimentSpec]:
-    return [
-        ExperimentSpec(
-            EXP_ID,
-            scenario,
-            {"total_gib": size, "num_nodes": NUM_NODES, "ppn": PPN, "stripe_count": 4},
-        )
-        for scenario in scenarios
-        for size in SIZES_GIB
-    ]
+    return sweep(
+        EXP_ID,
+        scenario=scenarios,
+        total_gib=SIZES_GIB,
+        num_nodes=NUM_NODES,
+        ppn=PPN,
+        stripe_count=4,
+    )
 
 
 def render(records) -> str:
@@ -80,4 +79,4 @@ def run(repetitions: int = 100, seed: int = 0, scenarios=("scenario1", "scenario
     )
 
 
-register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run))
+register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run, specs=specs))

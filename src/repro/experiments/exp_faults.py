@@ -26,16 +26,15 @@ rotations over the 7 survivors include unbalanced draws — up to
 
 from __future__ import annotations
 
-from ..calibration.plafrim import scenario_by_name
 from ..engine.base import EngineOptions
-from ..engine.fluid_runner import FluidEngine
 from ..faults import FaultSchedule, target_outage
 from ..figures.ascii import render_table, timeline_panel
 from ..methodology.plan import ExperimentSpec
 from ..methodology.records import RecordStore, RunRecord
+from ..scenario.compile import compile_scenario
+from ..service import get_service
 from ..stats.summary import describe
-from ..workload.generator import single_application
-from .common import ExperimentOutput, run_specs
+from .common import ExperimentOutput, run_specs, sweep
 from .registry import ExperimentInfo, register
 
 EXP_ID = "faults"
@@ -59,38 +58,44 @@ def degraded_schedule() -> FaultSchedule:
 
 
 def specs() -> list[ExperimentSpec]:
-    return [
-        ExperimentSpec(
-            EXP_ID,
-            "scenario1",
-            {
-                "chooser": chooser,
-                "stripe_count": 4,
-                "num_nodes": 8,
-                "ppn": 8,
-                "total_gib": 32,
-            },
-        )
-        for chooser in CHOOSERS
-    ]
+    return sweep(
+        EXP_ID,
+        scenario="scenario1",
+        chooser=CHOOSERS,
+        stripe_count=4,
+        num_nodes=8,
+        ppn=8,
+        total_gib=32,
+    )
 
 
 def _run_timeline(seed: int) -> tuple[str, RecordStore]:
-    calib = scenario_by_name("scenario1")
-    topology = calib.platform(8)
     records = RecordStore()
     panels = []
     outcomes = {}
+    service = get_service()
     for label, schedule in (("healthy", None), ("outage", timeline_schedule())):
         options = EngineOptions(
             noise_enabled=False, observe_servers=True, fault_schedule=schedule
         )
         # Pin a balanced placement that includes the failing target, so
         # the outage demonstrably hits the striped file.
-        deployment = calib.deployment(stripe_count=4, chooser="fixed:101,201,102,202")
-        engine = FluidEngine(calib, topology, deployment, seed=seed, options=options)
-        app = single_application(topology, 8, ppn=8)
-        result = engine.run([app], rep=0)
+        spec = compile_scenario(
+            ExperimentSpec(
+                EXP_ID,
+                "scenario1",
+                {
+                    "chooser": "fixed:101,201,102,202",
+                    "stripe_count": 4,
+                    "num_nodes": 8,
+                    "ppn": 8,
+                },
+            ),
+            seed=seed,
+            options=options,
+            max_nodes=8,
+        )
+        result = service.run(spec, 0)
         outcomes[label] = result
         records.append(
             RunRecord.from_run_result(
@@ -164,4 +169,4 @@ def run(repetitions: int = 30, seed: int = 0, progress=None) -> ExperimentOutput
     )
 
 
-register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run, default_repetitions=30))
+register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run, default_repetitions=30, specs=specs))

@@ -11,7 +11,7 @@ from __future__ import annotations
 from ..figures.ascii import render_table, series_panel
 from ..methodology.plan import ExperimentSpec
 from ..stats.summary import describe
-from .common import ExperimentOutput, run_specs
+from .common import ExperimentOutput, run_specs, sweep
 from .registry import ExperimentInfo, register
 
 EXP_ID = "fig4"
@@ -23,13 +23,14 @@ PPN = 8
 
 
 def specs(scenarios: tuple[str, ...] = ("scenario1", "scenario2"), ppn: int = PPN) -> list[ExperimentSpec]:
-    return [
-        ExperimentSpec(
-            EXP_ID, scenario, {"num_nodes": n, "ppn": ppn, "total_gib": 32, "stripe_count": 4}
-        )
-        for scenario in scenarios
-        for n in NODES[scenario]
-    ]
+    return sweep(
+        EXP_ID,
+        scenario=scenarios,
+        num_nodes=NODES,
+        ppn=ppn,
+        total_gib=32,
+        stripe_count=4,
+    )
 
 
 def plateau_nodes(records, scenario: str, threshold: float = 0.95) -> int:
@@ -81,4 +82,4 @@ def run(repetitions: int = 100, seed: int = 0, scenarios=("scenario1", "scenario
     )
 
 
-register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run))
+register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run, specs=specs))

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from ..figures.ascii import render_table, series_panel
 from ..methodology.plan import ExperimentSpec
-from .common import ExperimentOutput, run_specs
+from .common import ExperimentOutput, run_specs, sweep
 from .registry import ExperimentInfo, register
 
 EXP_ID = "fig11"
@@ -23,15 +23,14 @@ PPN = 8
 
 
 def specs() -> list[ExperimentSpec]:
-    return [
-        ExperimentSpec(
-            EXP_ID,
-            "scenario2",
-            {"stripe_count": k, "num_nodes": n, "ppn": PPN, "total_gib": 32},
-        )
-        for k in STRIPE_COUNTS
-        for n in NODE_COUNTS
-    ]
+    return sweep(
+        EXP_ID,
+        scenario="scenario2",
+        stripe_count=STRIPE_COUNTS,
+        num_nodes=NODE_COUNTS,
+        ppn=PPN,
+        total_gib=32,
+    )
 
 
 def plateau_table(records) -> list[list[object]]:
@@ -78,4 +77,4 @@ def run(repetitions: int = 100, seed: int = 0, progress=None) -> ExperimentOutpu
     )
 
 
-register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run))
+register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run, specs=specs))

@@ -17,7 +17,7 @@ from __future__ import annotations
 from ..figures.ascii import render_table
 from ..methodology.plan import ExperimentSpec
 from ..stats.summary import describe
-from .common import ExperimentOutput, run_specs
+from .common import ExperimentOutput, run_specs, sweep
 from .registry import ExperimentInfo, register
 
 EXP_ID = "patterns"
@@ -30,22 +30,15 @@ PATTERNS = ("n1-contiguous", "file-per-process")
 
 
 def specs(scenarios: tuple[str, ...] = ("scenario1", "scenario2")) -> list[ExperimentSpec]:
-    return [
-        ExperimentSpec(
-            EXP_ID,
-            scenario,
-            {
-                "pattern": pattern,
-                "stripe_count": k,
-                "num_nodes": NODES[scenario],
-                "ppn": 8,
-                "total_gib": 32,
-            },
-        )
-        for scenario in scenarios
-        for pattern in PATTERNS
-        for k in STRIPE_COUNTS
-    ]
+    return sweep(
+        EXP_ID,
+        scenario=scenarios,
+        pattern=PATTERNS,
+        stripe_count=STRIPE_COUNTS,
+        num_nodes=NODES,
+        ppn=8,
+        total_gib=32,
+    )
 
 
 def render(records) -> str:
@@ -97,4 +90,4 @@ def run(repetitions: int = 100, seed: int = 0, scenarios=("scenario1", "scenario
     )
 
 
-register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run))
+register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run, specs=specs))

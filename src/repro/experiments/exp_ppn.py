@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from ..figures.ascii import render_table, series_panel
 from ..methodology.plan import ExperimentSpec
-from .common import ExperimentOutput, run_specs
+from .common import ExperimentOutput, run_specs, sweep
 from .registry import ExperimentInfo, register
 
 EXP_ID = "fig5"
@@ -21,14 +21,14 @@ PPNS = (8, 16)
 
 
 def specs(scenarios: tuple[str, ...] = ("scenario1", "scenario2")) -> list[ExperimentSpec]:
-    return [
-        ExperimentSpec(
-            EXP_ID, scenario, {"num_nodes": n, "ppn": ppn, "total_gib": 32, "stripe_count": 4}
-        )
-        for scenario in scenarios
-        for ppn in PPNS
-        for n in NODES[scenario]
-    ]
+    return sweep(
+        EXP_ID,
+        scenario=scenarios,
+        ppn=PPNS,
+        num_nodes=NODES,
+        total_gib=32,
+        stripe_count=4,
+    )
 
 
 def render(records) -> str:
@@ -69,4 +69,4 @@ def run(repetitions: int = 100, seed: int = 0, scenarios=("scenario1", "scenario
     )
 
 
-register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run))
+register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run, specs=specs))

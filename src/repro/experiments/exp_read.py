@@ -15,7 +15,7 @@ from __future__ import annotations
 from ..figures.ascii import render_table
 from ..methodology.plan import ExperimentSpec
 from ..stats.summary import describe
-from .common import ExperimentOutput, run_specs
+from .common import ExperimentOutput, run_specs, sweep
 from .registry import ExperimentInfo, register
 
 EXP_ID = "read"
@@ -27,22 +27,15 @@ NODES = {"scenario1": 8, "scenario2": 32}
 
 
 def specs(scenarios: tuple[str, ...] = ("scenario1", "scenario2")) -> list[ExperimentSpec]:
-    return [
-        ExperimentSpec(
-            EXP_ID,
-            scenario,
-            {
-                "stripe_count": k,
-                "operation": op,
-                "num_nodes": NODES[scenario],
-                "ppn": 8,
-                "total_gib": 32,
-            },
-        )
-        for scenario in scenarios
-        for op in ("write", "read")
-        for k in STRIPE_COUNTS
-    ]
+    return sweep(
+        EXP_ID,
+        scenario=scenarios,
+        operation=("write", "read"),
+        stripe_count=STRIPE_COUNTS,
+        num_nodes=NODES,
+        ppn=8,
+        total_gib=32,
+    )
 
 
 def render(records) -> str:
@@ -81,4 +74,4 @@ def run(repetitions: int = 100, seed: int = 0, scenarios=("scenario1", "scenario
     )
 
 
-register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run))
+register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run, specs=specs))

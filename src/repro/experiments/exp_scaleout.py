@@ -18,23 +18,19 @@ paper's recommendations survive:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Any
 
 from ..beegfs.filesystem import BeeGFSDeploymentSpec
 from ..beegfs.meta import DirectoryConfig
 from ..calibration.plafrim import Calibration, scenario2
-from ..engine.base import EngineOptions
-from ..engine.fluid_runner import FluidEngine
-from ..engine.result import RunResult
 from ..figures.ascii import render_table
-from ..methodology.plan import ExperimentPlan, ExperimentSpec
-from ..methodology.protocol import ProtocolConfig
+from ..methodology.plan import ExperimentSpec
 from ..methodology.records import RecordStore
-from ..methodology.runner import ProtocolRunner
+from ..scenario import ScenarioSpec
+from ..service import BuiltScenario, register_builder
 from ..stats.summary import describe
 from ..topology.builders import build_platform, plafrim_spec
 from ..workload.generator import single_application
-from .common import ExperimentOutput
+from .common import ExperimentOutput, run_specs, sweep
 from .registry import ExperimentInfo, register
 
 EXP_ID = "scaleout"
@@ -77,45 +73,45 @@ def scaled_calibration(num_hosts: int) -> Calibration:
     )
 
 
-class _ScaleoutExecutor:
-    """Executor with per-host-count platforms and calibrations."""
+def _build_scaleout(scenario: ScenarioSpec) -> BuiltScenario:
+    """Service builder for the scaled deployments (bespoke platform)."""
+    from ..engine.des_runner import DESEngine
+    from ..engine.fluid_runner import FluidEngine
 
-    def __init__(self, seed: int):
-        self.seed = seed
-        self._cache: dict[str, Any] = {}
+    hosts = int(scenario.factor("num_hosts"))
+    calib = scaled_calibration(hosts)
+    platform_spec = replace(
+        plafrim_spec(calib.network, NUM_NODES), num_storage_hosts=hosts
+    )
+    topology = build_platform(platform_spec)
+    deployment = scaled_deployment(
+        hosts, int(scenario.factor("stripe_count")), str(scenario.factor("chooser"))
+    )
+    engine_cls = {"fluid": FluidEngine, "des": DESEngine}[scenario.engine]
+    engine = engine_cls(
+        calib, topology, deployment, seed=scenario.seed, options=scenario.options
+    )
+    return BuiltScenario(
+        engine=engine,
+        topology=topology,
+        make_apps=lambda: [single_application(topology, NUM_NODES, ppn=PPN)],
+    )
 
-    def __call__(self, spec: ExperimentSpec, rep: int) -> RunResult:
-        key = spec.key
-        if key not in self._cache:
-            hosts = int(spec.factors["num_hosts"])
-            calib = scaled_calibration(hosts)
-            platform_spec = replace(
-                plafrim_spec(calib.network, NUM_NODES), num_storage_hosts=hosts
-            )
-            topology = build_platform(platform_spec)
-            deployment = scaled_deployment(
-                hosts, int(spec.factors["stripe_count"]), str(spec.factors["chooser"])
-            )
-            engine = FluidEngine(calib, topology, deployment, seed=self.seed, options=EngineOptions())
-            self._cache[key] = (engine, topology)
-        engine, topology = self._cache[key]
-        app = single_application(topology, NUM_NODES, ppn=PPN)
-        return engine.run([app], rep=rep)
+
+register_builder("scaleout", _build_scaleout)
 
 
 def specs() -> list[ExperimentSpec]:
-    out = []
+    out: list[ExperimentSpec] = []
     for hosts in NUM_HOSTS:
         max_stripe = 4 * hosts
-        for k in sorted({1, 4, max_stripe // 2, max_stripe}):
-            for chooser in ("roundrobin", "balanced"):
-                out.append(
-                    ExperimentSpec(
-                        EXP_ID,
-                        "scenario2",
-                        {"num_hosts": hosts, "stripe_count": k, "chooser": chooser},
-                    )
-                )
+        out += sweep(
+            EXP_ID,
+            scenario="scenario2",
+            num_hosts=hosts,
+            stripe_count=tuple(sorted({1, 4, max_stripe // 2, max_stripe})),
+            chooser=("roundrobin", "balanced"),
+        )
     return out
 
 
@@ -141,14 +137,9 @@ def render(records: RecordStore) -> str:
 
 
 def run(repetitions: int = 40, seed: int = 0, progress=None) -> ExperimentOutput:
-    protocol = ProtocolConfig(
-        repetitions=repetitions,
-        block_size=min(10, max(1, repetitions)),
-        min_wait_s=0.0,
-        max_wait_s=0.0,
+    records = run_specs(
+        specs(), repetitions=repetitions, seed=seed, builder="scaleout", progress=progress
     )
-    plan = ExperimentPlan.build(specs(), protocol, seed=seed)
-    records = ProtocolRunner(_ScaleoutExecutor(seed)).run(plan, progress=progress)
     return ExperimentOutput(
         exp_id=EXP_ID,
         title=TITLE,
@@ -160,4 +151,4 @@ def run(repetitions: int = 40, seed: int = 0, progress=None) -> ExperimentOutput
     )
 
 
-register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run, default_repetitions=40))
+register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run, default_repetitions=40, specs=specs))

@@ -22,7 +22,7 @@ from ..methodology.plan import ExperimentSpec
 from ..methodology.records import RecordStore
 from ..stats.boxplot import boxplot_stats
 from ..stats.tests import ks_normality, welch_ttest
-from .common import ExperimentOutput, run_specs
+from .common import ExperimentOutput, run_specs, sweep
 from .registry import ExperimentInfo, register
 
 EXP_ID = "fig13"
@@ -34,20 +34,16 @@ PPN = 8
 
 
 def specs() -> list[ExperimentSpec]:
-    return [
-        ExperimentSpec(
-            EXP_ID,
-            "scenario2",
-            {
-                "num_apps": 2,
-                "stripe_count": 4,
-                "num_nodes": NODES_PER_APP,
-                "nodes_per_app": NODES_PER_APP,
-                "ppn": PPN,
-                "total_gib": 32,
-            },
-        )
-    ]
+    return sweep(
+        EXP_ID,
+        scenario="scenario2",
+        num_apps=2,
+        stripe_count=4,
+        num_nodes=NODES_PER_APP,
+        nodes_per_app=NODES_PER_APP,
+        ppn=PPN,
+        total_gib=32,
+    )
 
 
 def split_groups(records: RecordStore) -> tuple[RecordStore, RecordStore]:
@@ -110,4 +106,4 @@ def run(repetitions: int = 100, seed: int = 0, progress=None) -> ExperimentOutpu
     )
 
 
-register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run))
+register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run, specs=specs))

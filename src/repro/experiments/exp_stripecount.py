@@ -19,7 +19,7 @@ from ..methodology.plan import ExperimentSpec
 from ..stats.bimodality import is_bimodal
 from ..stats.boxplot import boxplot_stats
 from ..stats.summary import describe
-from .common import ExperimentOutput, run_specs
+from .common import ExperimentOutput, run_specs, sweep
 from .registry import ExperimentInfo, register
 
 EXP_ID = "fig6"
@@ -32,20 +32,14 @@ PPN = 8
 
 
 def specs(scenarios: tuple[str, ...] = ("scenario1", "scenario2")) -> list[ExperimentSpec]:
-    return [
-        ExperimentSpec(
-            EXP_ID,
-            scenario,
-            {
-                "stripe_count": k,
-                "num_nodes": NODES[scenario],
-                "ppn": PPN,
-                "total_gib": 32,
-            },
-        )
-        for scenario in scenarios
-        for k in STRIPE_COUNTS
-    ]
+    return sweep(
+        EXP_ID,
+        scenario=scenarios,
+        stripe_count=STRIPE_COUNTS,
+        num_nodes=NODES,
+        ppn=PPN,
+        total_gib=32,
+    )
 
 
 def placement_boxes(records, scenario: str):
@@ -119,4 +113,4 @@ def run(repetitions: int = 100, seed: int = 0, scenarios=("scenario1", "scenario
     )
 
 
-register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run))
+register(ExperimentInfo(EXP_ID, TITLE, PAPER_REF, run, specs=specs))

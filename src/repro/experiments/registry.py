@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from ..errors import ExperimentError
+from ..methodology.plan import ExperimentSpec
 from .common import ExperimentOutput
 
 __all__ = ["ExperimentInfo", "EXPERIMENTS", "register", "get_experiment", "list_experiments"]
@@ -20,6 +21,13 @@ class ExperimentInfo:
     paper_ref: str
     run: Callable[..., ExperimentOutput]
     default_repetitions: int = 100
+    specs: Callable[[], list[ExperimentSpec]] | None = field(default=None, compare=False)
+
+    def sweep_size(self) -> int | None:
+        """Compiled sweep size (specs x default repetitions), if declarative."""
+        if self.specs is None:
+            return None
+        return len(self.specs()) * self.default_repetitions
 
 
 EXPERIMENTS: dict[str, ExperimentInfo] = {}

@@ -24,7 +24,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping, Sequence
 
 from ..errors import FaultError
 from ..rng import SeedTree
@@ -116,6 +116,34 @@ class FaultEvent:
         )
         window = "permanently" if math.isinf(self.duration_s) else f"for {self.duration_s:g}s"
         return f"{self.kind.value} of {component} at t={self.start_s:g}s {window}"
+
+    # -- serialization -------------------------------------------------------------
+    # Permanent faults have an infinite duration, which JSON cannot carry
+    # as a number: it round-trips as the string "inf".
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind.value,
+            "start_s": float(self.start_s),
+            "duration_s": "inf" if math.isinf(self.duration_s) else float(self.duration_s),
+            "target_id": self.target_id,
+            "server": self.server,
+            "resource_id": self.resource_id,
+            "multiplier": float(self.multiplier),
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any]) -> "FaultEvent":
+        duration = data["duration_s"]
+        return cls(
+            kind=FaultKind(data["kind"]),
+            start_s=float(data["start_s"]),
+            duration_s=math.inf if duration == "inf" else float(duration),
+            target_id=None if data.get("target_id") is None else int(data["target_id"]),
+            server=data.get("server"),
+            resource_id=data.get("resource_id"),
+            multiplier=float(data.get("multiplier", 0.0)),
+        )
 
 
 def target_outage(target_id: int, start_s: float, duration_s: float = math.inf) -> FaultEvent:
@@ -305,3 +333,12 @@ class FaultSchedule:
         if self.is_empty:
             return "no faults"
         return "; ".join(e.describe() for e in self.events)
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_jsonable(self) -> list[dict[str, Any]]:
+        return [event.to_jsonable() for event in self.events]
+
+    @classmethod
+    def from_jsonable(cls, data: Iterable[Mapping[str, Any]]) -> "FaultSchedule":
+        return cls(FaultEvent.from_jsonable(item) for item in data)

@@ -72,6 +72,9 @@ class _WorkerReply:
     outcome: RunOutcome
     events: list[dict[str, Any]] = field(default_factory=list)
     metrics: MetricsRegistry | None = None
+    # Result-cache tally delta of this run (hits/misses in the worker
+    # are invisible to the parent's module counters otherwise).
+    cache_stats: dict[str, int] = field(default_factory=dict)
 
 
 def _worker_init(executor: Executor, level: str, capture: bool) -> None:
@@ -93,14 +96,18 @@ def _worker_init(executor: Executor, level: str, capture: bool) -> None:
 
 def _worker_run(spec: ExperimentSpec, rep: int) -> _WorkerReply:
     """Execute one (spec, rep) pair in this worker and package the outcome."""
+    from .. import service as _service
+
     bus = get_bus()
     ring = bus.ring
     if ring is not None:
         ring._buffer.clear()
         bus.metrics = MetricsRegistry()
+    before = _service.cache_stats()
     start = time.perf_counter()
     outcome = execute_outcome(_WORKER["executor"], spec, rep)
     elapsed = time.perf_counter() - start
+    after = _service.cache_stats()
     # Exceptions are not reliably picklable; the structured fields of
     # the outcome carry everything the parent's merge path needs.
     outcome.exception = None
@@ -110,6 +117,9 @@ def _worker_run(spec: ExperimentSpec, rep: int) -> _WorkerReply:
         outcome=outcome,
         events=ring.events if ring is not None else [],
         metrics=bus.metrics if ring is not None and len(bus.metrics) else None,
+        cache_stats={
+            k: after[k] - before.get(k, 0) for k in after if after[k] != before.get(k, 0)
+        },
     )
 
 
@@ -223,6 +233,10 @@ class ParallelProtocolRunner(ProtocolRunner):
                     self._emit_start(bus, planned, block_index, wall_clock)
                     reply = self._reply_of(future)
                     worker = worker_ids.setdefault(reply.pid, len(worker_ids))
+                    if reply.cache_stats:
+                        from .. import service as _service
+
+                        _service.add_cache_stats(reply.cache_stats)
                     outcome = reply.outcome
                     status = (
                         "ok"

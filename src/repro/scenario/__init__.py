@@ -1,0 +1,40 @@
+"""The canonical scenario IR (see :mod:`repro.scenario.spec`).
+
+``canonical``/``codec``/``spec`` are imported eagerly (they are cheap);
+:mod:`.compile` pulls in the workload and calibration layers, so it is
+resolved lazily to keep leaf importers (e.g. the replay fingerprinter,
+which only needs :func:`canonical_json`) light and cycle-free.
+"""
+
+from __future__ import annotations
+
+from .canonical import canonical_json, fingerprint_of
+from .codec import (
+    options_from_jsonable,
+    options_to_jsonable,
+    retry_from_jsonable,
+    retry_to_jsonable,
+)
+from .spec import MODEL_REVISION, SPEC_SCHEMA, ScenarioSpec
+
+__all__ = [
+    "MODEL_REVISION",
+    "SPEC_SCHEMA",
+    "ScenarioSpec",
+    "canonical_json",
+    "fingerprint_of",
+    "options_to_jsonable",
+    "options_from_jsonable",
+    "retry_to_jsonable",
+    "retry_from_jsonable",
+    "compile_scenario",
+    "default_apps_builder",
+]
+
+
+def __getattr__(name: str):
+    if name in ("compile_scenario", "default_apps_builder"):
+        from . import compile as _compile
+
+        return getattr(_compile, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

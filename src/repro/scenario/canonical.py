@@ -1,0 +1,51 @@
+"""Canonical JSON and content fingerprints.
+
+One serialization convention shared by everything that hashes run
+configurations or run results — the :class:`~repro.scenario.spec.ScenarioSpec`
+fingerprint, the result cache keys, and the deterministic-replay
+fingerprints of :mod:`repro.verify.replay` all go through here, so a
+digest computed anywhere agrees with a digest computed everywhere.
+
+The convention: JSON with sorted keys, no whitespace, and ``allow_nan``
+off (a NaN would compare unequal to itself and silently break content
+addressing; infinities must be encoded as strings by the caller).
+Floats rely on Python's shortest-repr float formatting, which is exact:
+``float(repr(x)) == x`` for every finite float, so a value survives any
+number of encode/decode round trips bit-identically.  This module is a
+leaf on purpose — no repro imports — so any layer may use it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["canonical_json", "fingerprint_of"]
+
+
+class _CanonicalEncoder(json.JSONEncoder):
+    """Accept numpy scalars: ``np.float64`` subclasses ``float`` and is
+    handled natively, but integer scalars are not ``int`` and would fail."""
+
+    def default(self, o: Any) -> Any:
+        for cast in (int, float):
+            if hasattr(o, "item") and isinstance(o.item(), cast):
+                return o.item()
+        return super().default(o)
+
+
+def canonical_json(obj: Any) -> str:
+    """The one canonical text form of a JSON-able object."""
+    return json.dumps(
+        obj,
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+        cls=_CanonicalEncoder,
+    )
+
+
+def fingerprint_of(obj: Any) -> str:
+    """sha256 hex digest of the object's canonical JSON form."""
+    return hashlib.sha256(canonical_json(obj).encode()).hexdigest()

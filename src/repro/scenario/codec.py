@@ -1,0 +1,76 @@
+"""JSON codecs for the engine-facing configuration objects.
+
+:class:`~repro.engine.base.EngineOptions` (with its nested
+:class:`~repro.faults.FaultSchedule` and
+:class:`~repro.storage.client_model.RetryPolicy`) predates the IR and
+has no serialization of its own; these functions give it an exact
+JSON round trip so a :class:`~repro.scenario.spec.ScenarioSpec` can be
+fingerprinted, stored next to cached results, and reconstructed in a
+different process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Mapping
+
+from ..engine.base import EngineOptions
+from ..faults import FaultSchedule
+from ..storage.client_model import RetryPolicy
+from ..verify.level import ValidationLevel
+from .canonical import canonical_json, fingerprint_of
+
+__all__ = [
+    "canonical_json",
+    "fingerprint_of",
+    "options_to_jsonable",
+    "options_from_jsonable",
+    "retry_to_jsonable",
+    "retry_from_jsonable",
+]
+
+
+def retry_to_jsonable(retry: RetryPolicy) -> dict[str, Any]:
+    return {k: float(v) if isinstance(v, float) else int(v) for k, v in asdict(retry).items()}
+
+
+def retry_from_jsonable(data: Mapping[str, Any]) -> RetryPolicy:
+    return RetryPolicy(
+        timeout_s=float(data["timeout_s"]),
+        max_retries=int(data["max_retries"]),
+        backoff_base_s=float(data["backoff_base_s"]),
+        backoff_factor=float(data["backoff_factor"]),
+        backoff_max_s=float(data["backoff_max_s"]),
+    )
+
+
+def options_to_jsonable(options: EngineOptions) -> dict[str, Any]:
+    return {
+        "noise_enabled": bool(options.noise_enabled),
+        "observe_servers": bool(options.observe_servers),
+        "include_metadata_overhead": bool(options.include_metadata_overhead),
+        "cap_iterations": int(options.cap_iterations),
+        "interleaved_creations": [int(n) for n in options.interleaved_creations],
+        "fault_schedule": (
+            None if options.fault_schedule is None else options.fault_schedule.to_jsonable()
+        ),
+        "retry": None if options.retry is None else retry_to_jsonable(options.retry),
+        "validation": options.validation.name.lower(),
+    }
+
+
+def options_from_jsonable(data: Mapping[str, Any]) -> EngineOptions:
+    return EngineOptions(
+        noise_enabled=bool(data["noise_enabled"]),
+        observe_servers=bool(data["observe_servers"]),
+        include_metadata_overhead=bool(data["include_metadata_overhead"]),
+        cap_iterations=int(data["cap_iterations"]),
+        interleaved_creations=tuple(int(n) for n in data["interleaved_creations"]),
+        fault_schedule=(
+            None
+            if data["fault_schedule"] is None
+            else FaultSchedule.from_jsonable(data["fault_schedule"])
+        ),
+        retry=None if data["retry"] is None else retry_from_jsonable(data["retry"]),
+        validation=ValidationLevel.parse(data["validation"]),
+    )

@@ -1,0 +1,179 @@
+"""The scenario IR: one canonical, frozen description of a simulated run.
+
+A :class:`ScenarioSpec` is everything that determines what a run
+*simulates*: the calibration scenario, the workload factor assignment,
+the deployment builder, the seed, the platform size, and the full
+:class:`~repro.engine.base.EngineOptions` (fault schedule and retry
+policy included).  Every entry point — experiment sweep tables, CLI
+flags, bench workloads, verify cases — lowers to this object through
+:func:`~repro.scenario.compile.compile_scenario`, and everything
+downstream (the simulation service, the result cache, the campaign
+planner) consumes only this.
+
+Identity is content: :attr:`fingerprint` is a sha256 over the spec's
+canonical JSON form, independent of factor-dict insertion order and of
+the process that computed it.  Two deliberate exclusions keep the cache
+maximally shareable:
+
+* ``exp_id`` is a presentation label — two experiments sweeping the
+  same configuration hit the same cache entries;
+* ``options.validation`` — validated runs are byte-identical to
+  unvalidated ones (PR 2's guarantee), and the service bypasses the
+  cache entirely for validated runs anyway, so the level must not
+  split the key space.
+
+The engine (fluid vs DES) and the model revision are part of the cache
+*entry* key, not the fingerprint: one scenario, several engines.
+``MODEL_REVISION`` must be bumped whenever the simulated behaviour of
+the engines changes, or stale cached results would survive a model fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Mapping
+
+from ..engine.base import EngineOptions
+from ..errors import ConfigError
+from .canonical import fingerprint_of
+from .codec import options_from_jsonable, options_to_jsonable
+
+__all__ = ["MODEL_REVISION", "ScenarioSpec", "SPEC_SCHEMA"]
+
+# Bump when engine behaviour changes: cached results are keyed on it.
+MODEL_REVISION = 1
+
+# Version of the ScenarioSpec JSON layout itself.
+SPEC_SCHEMA = 1
+
+_ENGINES = ("fluid", "des")
+
+
+def _normalize_value(value: Any) -> Any:
+    """Coerce a factor value to a canonical JSON-able scalar (or tuple)."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(_normalize_value(v) for v in value)
+    if hasattr(value, "item"):  # numpy scalar
+        return _normalize_value(value.item())
+    raise ConfigError(f"factor value {value!r} is not JSON-representable")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-determined simulated run configuration (minus the rep index)."""
+
+    exp_id: str
+    scenario: str
+    factors: tuple[tuple[str, Any], ...] = ()
+    engine: str = "fluid"
+    builder: str = "standard"
+    seed: int = 0
+    max_nodes: int = 32
+    options: EngineOptions = field(default_factory=EngineOptions)
+
+    def __post_init__(self) -> None:
+        factors = self.factors
+        if isinstance(factors, Mapping):
+            items: Iterable[tuple[Any, Any]] = factors.items()
+        else:
+            items = tuple(factors)
+        normalized = tuple(
+            sorted((str(k), _normalize_value(v)) for k, v in items)
+        )
+        keys = [k for k, _ in normalized]
+        if len(set(keys)) != len(keys):
+            raise ConfigError(f"duplicate factor names: {keys}")
+        object.__setattr__(self, "factors", normalized)
+        if self.engine not in _ENGINES:
+            raise ConfigError(
+                f"unknown engine {self.engine!r} (expected one of: {', '.join(_ENGINES)})"
+            )
+
+    # -- views ---------------------------------------------------------------------
+
+    @property
+    def factor_map(self) -> dict[str, Any]:
+        return dict(self.factors)
+
+    def factor(self, name: str, default: Any = None) -> Any:
+        return self.factor_map.get(name, default)
+
+    def with_options(self, **changes: Any) -> "ScenarioSpec":
+        return replace(self, options=replace(self.options, **changes))
+
+    # -- identity ------------------------------------------------------------------
+
+    def behavior_form(self) -> dict[str, Any]:
+        """The JSON projection of everything that affects simulated behaviour.
+
+        Excludes ``exp_id``, the engine choice and the validation level
+        (see the module docstring); infinite fault durations are already
+        string-encoded by the options codec, so the form is strictly
+        canonical-JSON safe.
+        """
+        options = options_to_jsonable(self.options)
+        options.pop("validation")
+        return {
+            "scenario": self.scenario,
+            "factors": self.factor_map,
+            "builder": self.builder,
+            "seed": int(self.seed),
+            "max_nodes": int(self.max_nodes),
+            "options": options,
+        }
+
+    @property
+    def fingerprint(self) -> str:
+        """Content digest of :meth:`behavior_form`, cached after first use."""
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = fingerprint_of(self.behavior_form())
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_jsonable(self) -> dict[str, Any]:
+        return {
+            "schema": SPEC_SCHEMA,
+            "exp_id": self.exp_id,
+            "scenario": self.scenario,
+            "factors": self.factor_map,
+            "engine": self.engine,
+            "builder": self.builder,
+            "seed": int(self.seed),
+            "max_nodes": int(self.max_nodes),
+            "options": options_to_jsonable(self.options),
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        if data.get("schema") != SPEC_SCHEMA:
+            raise ConfigError(
+                f"scenario spec has schema {data.get('schema')!r}, expected {SPEC_SCHEMA}"
+            )
+        return cls(
+            exp_id=str(data["exp_id"]),
+            scenario=str(data["scenario"]),
+            factors=dict(data["factors"]),
+            engine=str(data["engine"]),
+            builder=str(data["builder"]),
+            seed=int(data["seed"]),
+            max_nodes=int(data["max_nodes"]),
+            options=options_from_jsonable(data["options"]),
+        )
+
+    def describe(self) -> str:
+        factors = ", ".join(f"{k}={v}" for k, v in self.factors)
+        return (
+            f"{self.exp_id}[{self.scenario}] {{{factors}}} "
+            f"engine={self.engine} seed={self.seed} fp={self.fingerprint[:12]}"
+        )

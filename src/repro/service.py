@@ -1,0 +1,396 @@
+"""The simulation service: one facade, one result cache.
+
+Every execution path — :class:`~repro.methodology.runner.ProtocolRunner`
+and its parallel twin (through the executors built by
+:func:`repro.experiments.common.run_specs`), the CLI, and the bench
+workloads — asks :class:`SimulationService` for ``run(spec, rep)``,
+where ``spec`` is a canonical :class:`~repro.scenario.ScenarioSpec`.
+The service owns:
+
+* the **builder registry**: how a spec's ``builder`` name turns into a
+  constructed engine + topology + application factory.  ``"standard"``
+  (the paper's PlaFRIM deployment) is built in; experiment modules with
+  bespoke platforms (e.g. the fig-10 scale-out sweep) register theirs
+  via :func:`register_builder`;
+* an **engine context cache** keyed on the spec fingerprint, so a
+  100-repetition campaign pays engine construction once — the role the
+  per-campaign ``StandardExecutor`` caches used to play, now shared
+  process-wide;
+* the **content-addressed result cache**: on-disk JSON entries keyed by
+  ``(spec fingerprint, model revision, engine, rep)``.  A hit replays
+  the stored :class:`~repro.engine.result.RunResult` *and* the engine's
+  telemetry events byte-identically without executing anything; a miss
+  executes, normalizes the result through the exact JSON codec (so cold
+  and warm runs are bit-equal), and populates the entry atomically.
+
+Runs with ``validation`` enabled bypass the cache in both directions:
+the whole point of a validated run is to execute the checkers (and the
+CI injection self-tests *must* re-execute to detect injected faults).
+
+Cache hits, misses and bypasses are counted in the process metrics
+registry (``service.cache`` with a ``status`` label) and in a module
+tally for the CLI summary line; parallel workers ship their tally delta
+back with each outcome.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping
+
+from .engine.result import RunResult, result_from_jsonable, result_to_jsonable
+from .errors import ConfigError, ExperimentError
+from .methodology.plan import ExperimentSpec
+from .scenario import MODEL_REVISION, ScenarioSpec
+from .telemetry.bus import RingBufferSink, get_bus
+from .verify.level import ValidationLevel
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "BuiltScenario",
+    "ResultCache",
+    "SimulationService",
+    "ServiceExecutor",
+    "get_service",
+    "register_builder",
+    "default_cache_dir",
+    "cache_config",
+    "cache_stats",
+    "reset_cache_stats",
+    "add_cache_stats",
+]
+
+CACHE_SCHEMA = 1
+
+# How many constructed engine contexts the service keeps alive; oldest
+# evicted first.  Campaigns sweep far fewer distinct configurations
+# than this between construction and last use.
+_CONTEXT_CAP = 128
+
+# Capacity of the capture ring used on a miss: engine-level events of a
+# single run (matches the parallel runner's per-task ring).
+_CAPTURE_RING_CAPACITY = 65536
+
+# The event-envelope keys the bus adds on emit; stripped before replay
+# (the same convention as ParallelProtocolRunner._replay_worker_events).
+_ENVELOPE_KEYS = ("schema", "seq", "event", "t")
+
+
+# -- cache statistics --------------------------------------------------------------
+
+_STATS = {"hit": 0, "miss": 0, "bypassed": 0, "uncached": 0}
+
+
+def cache_stats() -> dict[str, int]:
+    """The process-wide cache tally (workers' deltas already folded in)."""
+    return dict(_STATS)
+
+
+def reset_cache_stats() -> None:
+    for key in _STATS:
+        _STATS[key] = 0
+
+
+def add_cache_stats(delta: Mapping[str, int]) -> None:
+    for key, value in delta.items():
+        _STATS[key] = _STATS.get(key, 0) + int(value)
+
+
+def _count(status: str) -> None:
+    _STATS[status] = _STATS.get(status, 0) + 1
+    get_bus().metrics.counter("service.cache", status=status).inc()
+
+
+# -- builder registry --------------------------------------------------------------
+
+
+@dataclass
+class BuiltScenario:
+    """A constructed execution context for one scenario fingerprint."""
+
+    engine: Any
+    topology: Any
+    make_apps: Callable[[], list]
+
+
+BuilderFn = Callable[[ScenarioSpec], BuiltScenario]
+
+_BUILDERS: dict[str, BuilderFn] = {}
+
+
+def register_builder(name: str, builder: BuilderFn) -> None:
+    """Register how specs with ``builder == name`` are constructed."""
+    _BUILDERS[name] = builder
+
+
+def _engine_class(name: str) -> type:
+    from .engine.des_runner import DESEngine
+    from .engine.fluid_runner import FluidEngine
+
+    return {"fluid": FluidEngine, "des": DESEngine}[name]
+
+
+def _build_standard(spec: ScenarioSpec) -> BuiltScenario:
+    """The paper's PlaFRIM platform: scenario calibration + factor deployment."""
+    from .calibration.plafrim import scenario_by_name
+    from .scenario.compile import default_apps_builder
+    from .telemetry.profiling import get_profiler
+
+    with get_profiler().span("engine.build"):
+        factors = spec.factor_map
+        calibration = scenario_by_name(spec.scenario)
+        topology = calibration.platform(spec.max_nodes)
+        deployment_kwargs: dict[str, Any] = {
+            "stripe_count": int(factors.get("stripe_count", 4)),
+        }
+        if factors.get("chooser"):
+            deployment_kwargs["chooser"] = str(factors["chooser"])
+        if factors.get("chunk_kib"):
+            deployment_kwargs["chunk_size"] = int(factors["chunk_kib"]) * 1024
+        engine = _engine_class(spec.engine)(
+            calibration,
+            topology,
+            calibration.deployment(**deployment_kwargs),
+            seed=spec.seed,
+            options=spec.options,
+        )
+    return BuiltScenario(
+        engine=engine,
+        topology=topology,
+        make_apps=lambda: default_apps_builder(topology, factors),
+    )
+
+
+register_builder("standard", _build_standard)
+
+
+# -- the result cache --------------------------------------------------------------
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/beegfs-repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "beegfs-repro"
+
+
+# Ambient cache policy for service.run() calls that pass None: lets the
+# CLI's --no-cache/--cache-dir reach experiments that call the service
+# directly (timeline figures) without per-module plumbing.
+_CACHE_DEFAULTS: dict[str, Any] = {"cache": True, "cache_dir": None}
+
+
+@contextmanager
+def cache_config(
+    cache: bool | None = None, cache_dir: str | Path | None = None
+) -> Iterator[None]:
+    """Override the default cache policy for the enclosed calls."""
+    previous = dict(_CACHE_DEFAULTS)
+    if cache is not None:
+        _CACHE_DEFAULTS["cache"] = bool(cache)
+    if cache_dir is not None:
+        _CACHE_DEFAULTS["cache_dir"] = str(cache_dir)
+    try:
+        yield
+    finally:
+        _CACHE_DEFAULTS.clear()
+        _CACHE_DEFAULTS.update(previous)
+
+
+class ResultCache:
+    """Content-addressed on-disk store of simulated run results.
+
+    Layout: ``<root>/<fp[:2]>/<fp>/<engine>-m<model_revision>-r<rep>.json``
+    where ``fp`` is the spec's behaviour fingerprint.  Entries are JSON
+    with the full spec embedded, so an entry is self-describing (and a
+    fingerprint collision with a *different* spec would be detectable).
+    Writes are atomic (same-directory tempfile + ``os.replace``), so
+    concurrent campaigns over one cache directory cannot corrupt it.
+    """
+
+    def __init__(self, root: str | Path | None = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, spec: ScenarioSpec, rep: int) -> Path:
+        fp = spec.fingerprint
+        return self.root / fp[:2] / fp / f"{spec.engine}-m{MODEL_REVISION}-r{int(rep)}.json"
+
+    def load(self, spec: ScenarioSpec, rep: int) -> dict[str, Any] | None:
+        """The entry for (spec, rep), or ``None`` on any mismatch/corruption."""
+        path = self.path_for(spec, rep)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if (
+            entry.get("schema") != CACHE_SCHEMA
+            or entry.get("fingerprint") != spec.fingerprint
+            or entry.get("model_revision") != MODEL_REVISION
+            or entry.get("engine") != spec.engine
+            or entry.get("rep") != int(rep)
+        ):
+            return None
+        return entry
+
+    def store(
+        self,
+        spec: ScenarioSpec,
+        rep: int,
+        result: RunResult,
+        events: list[dict[str, Any]],
+    ) -> Path:
+        path = self.path_for(spec, rep)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "fingerprint": spec.fingerprint,
+            "model_revision": MODEL_REVISION,
+            "engine": spec.engine,
+            "rep": int(rep),
+            "spec": spec.to_jsonable(),
+            "result": result_to_jsonable(result),
+            "events": events,
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*/*.json"))
+
+
+# -- the service -------------------------------------------------------------------
+
+
+class SimulationService:
+    """Process-wide facade every run executes through (see module doc)."""
+
+    def __init__(self) -> None:
+        self._contexts: dict[tuple[str, str, str], BuiltScenario] = {}
+
+    def context(self, spec: ScenarioSpec) -> BuiltScenario:
+        """The constructed engine context for a spec, built at most once."""
+        key = (spec.fingerprint, spec.engine, spec.options.validation.name)
+        ctx = self._contexts.get(key)
+        if ctx is None:
+            builder = _BUILDERS.get(spec.builder)
+            if builder is None:
+                known = ", ".join(sorted(_BUILDERS))
+                raise ConfigError(
+                    f"unknown scenario builder {spec.builder!r} (registered: {known})"
+                )
+            ctx = builder(spec)
+            while len(self._contexts) >= _CONTEXT_CAP:
+                self._contexts.pop(next(iter(self._contexts)))
+            self._contexts[key] = ctx
+        return ctx
+
+    def run(
+        self,
+        spec: ScenarioSpec,
+        rep: int,
+        *,
+        cache: bool | None = None,
+        cache_dir: str | Path | None = None,
+    ) -> RunResult:
+        """Execute (or replay) one repetition of a scenario.
+
+        ``cache``/``cache_dir`` default to the ambient
+        :func:`cache_config` policy.  Validated runs never touch the
+        cache: their purpose is to execute the invariant checkers.  On a
+        miss the result is passed through the exact JSON codec before it
+        is returned, so a cold result and its later cache-hit replay are
+        byte-identical.
+        """
+        if cache is None:
+            cache = bool(_CACHE_DEFAULTS["cache"])
+        if cache_dir is None:
+            cache_dir = _CACHE_DEFAULTS["cache_dir"]
+        use_cache = cache and spec.options.validation is ValidationLevel.OFF
+        bus = get_bus()
+        if not use_cache:
+            _count("bypassed" if cache else "uncached")
+            ctx = self.context(spec)
+            return ctx.engine.run(ctx.make_apps(), rep=rep)
+
+        store = ResultCache(cache_dir)
+        entry = store.load(spec, rep)
+        if entry is not None:
+            _count("hit")
+            if bus.enabled:
+                self._replay_events(bus, entry.get("events", ()))
+            return result_from_jsonable(entry["result"])
+
+        _count("miss")
+        ctx = self.context(spec)
+        apps = ctx.make_apps()
+        # Capture the engine's telemetry (flow retries, fault triggers)
+        # even when no user sink is attached — the attached ring enables
+        # the bus, and instrumentation is proven byte-identical — so a
+        # later hit can replay the run's events, not just its result.
+        ring = RingBufferSink(_CAPTURE_RING_CAPACITY)
+        bus.attach(ring)
+        try:
+            result = ctx.engine.run(apps, rep=rep)
+        finally:
+            bus.detach(ring)
+        result = result_from_jsonable(result_to_jsonable(result))
+        store.store(spec, rep, result, ring.events)
+        return result
+
+    @staticmethod
+    def _replay_events(bus: Any, events: Any) -> None:
+        for event in events:
+            payload = {k: v for k, v in event.items() if k not in _ENVELOPE_KEYS}
+            bus.emit(event["event"], t=event.get("t"), **payload)
+
+
+_SERVICE = SimulationService()
+
+
+def get_service() -> SimulationService:
+    return _SERVICE
+
+
+# -- the protocol-runner adapter ---------------------------------------------------
+
+
+@dataclass
+class ServiceExecutor:
+    """An :class:`~repro.methodology.runner.Executor` over the service.
+
+    Maps each planned :class:`ExperimentSpec` (by key) to its compiled
+    :class:`ScenarioSpec` — the lowering happened once, up front, in
+    ``run_specs`` — and carries only plain data, so it crosses the
+    parallel runner's worker boundary under any start method.
+    """
+
+    scenarios: dict[str, ScenarioSpec] = field(default_factory=dict)
+    cache: bool = True
+    cache_dir: str | None = None
+    seed: int = 0
+
+    def __call__(self, spec: ExperimentSpec, rep: int) -> RunResult:
+        scenario = self.scenarios.get(spec.key)
+        if scenario is None:
+            raise ExperimentError(f"no compiled scenario for planned spec {spec.key!r}")
+        return get_service().run(scenario, rep, cache=self.cache, cache_dir=self.cache_dir)

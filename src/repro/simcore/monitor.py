@@ -17,6 +17,7 @@ behaviour without reaching into private state.
 from __future__ import annotations
 
 import bisect
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
@@ -25,6 +26,16 @@ import numpy as np
 from ..telemetry.bus import get_bus
 
 __all__ = ["Trace", "TimeSeries", "Probe"]
+
+
+def _warn_deprecated(name: str) -> None:
+    warnings.warn(
+        f"simcore.monitor.{name} is deprecated: emit through "
+        "repro.telemetry.get_bus() instead (records already appear as "
+        "debug-level 'trace.record' events)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def _json_value(value: Any) -> Any:
@@ -55,6 +66,7 @@ class Trace:
     """
 
     def __init__(self) -> None:
+        _warn_deprecated("Trace")
         self._records: list[TraceRecord] = []
 
     def __len__(self) -> int:
@@ -148,6 +160,9 @@ class Probe:
     name: str
     fn: Callable[[], float]
     series: TimeSeries = field(default_factory=TimeSeries)
+
+    def __post_init__(self) -> None:
+        _warn_deprecated("Probe")
 
     def sample(self, time: float) -> float:
         value = float(self.fn())

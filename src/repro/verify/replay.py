@@ -17,12 +17,11 @@ canonical form via ``repr``, so replay must match to the last ulp —
 
 from __future__ import annotations
 
-import hashlib
-import json
 from typing import Any, Callable
 
 from ..engine.result import RunResult
 from ..errors import ReplayDivergenceError
+from ..scenario.canonical import fingerprint_of
 
 __all__ = ["canonical_form", "result_fingerprint", "check_replay"]
 
@@ -55,9 +54,14 @@ def canonical_form(result: RunResult) -> dict[str, Any]:
 
 
 def result_fingerprint(result: RunResult) -> str:
-    """A stable sha256 digest of the run's canonical form."""
-    payload = json.dumps(canonical_form(result), sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(payload.encode()).hexdigest()
+    """A stable sha256 digest of the run's canonical form.
+
+    Hashes through :func:`repro.scenario.canonical.fingerprint_of`, the
+    same canonical-JSON convention the :class:`~repro.scenario.ScenarioSpec`
+    content fingerprints use, so every digest in the system agrees on
+    its serialization rules.
+    """
+    return fingerprint_of(canonical_form(result))
 
 
 def _first_difference(a: dict[str, Any], b: dict[str, Any], prefix: str = "") -> str:

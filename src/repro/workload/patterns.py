@@ -26,7 +26,7 @@ from typing import Iterator
 from ..errors import WorkloadError
 from ..units import MiB, format_size
 
-__all__ = ["AccessPattern", "Region", "IORConfig"]
+__all__ = ["AccessPattern", "Region", "IORConfig", "PATTERNS_BY_NAME", "pattern_by_name"]
 
 
 class AccessPattern(enum.Enum):
@@ -39,6 +39,20 @@ class AccessPattern(enum.Enum):
     @property
     def shared_file(self) -> bool:
         return self is not AccessPattern.NN
+
+
+PATTERNS_BY_NAME: dict[str, AccessPattern] = {p.value: p for p in AccessPattern}
+
+
+def pattern_by_name(name: str) -> AccessPattern:
+    """The pattern a CLI/factor name denotes; unknown names list the valid ones."""
+    try:
+        return PATTERNS_BY_NAME[name]
+    except KeyError:
+        valid = ", ".join(sorted(PATTERNS_BY_NAME))
+        raise WorkloadError(
+            f"unknown access pattern {name!r} (expected one of: {valid})"
+        ) from None
 
 
 @dataclass(frozen=True)

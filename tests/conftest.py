@@ -2,12 +2,26 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.beegfs.filesystem import BeeGFS, plafrim_deployment
 from repro.calibration.plafrim import scenario1, scenario2
 from repro.engine.base import EngineOptions
 from repro.engine.fluid_runner import FluidEngine
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Point the result cache at a per-session tmp dir, never ~/.cache."""
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("result-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture(scope="session")

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, WorkloadError
 from repro.experiments import get_experiment, list_experiments
 from repro.experiments.common import StandardExecutor, default_apps_builder
 from repro.methodology.plan import ExperimentSpec
@@ -53,7 +53,7 @@ class TestDefaultAppsBuilder:
 
     def test_unknown_pattern_rejected(self):
         topo = plafrim_omnipath(4)
-        with pytest.raises(ExperimentError):
+        with pytest.raises(WorkloadError, match="n1-contiguous"):
             default_apps_builder(topo, {"pattern": "zigzag"})
 
 

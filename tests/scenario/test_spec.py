@@ -1,0 +1,158 @@
+"""The scenario IR: canonical form, fingerprint stability, JSON round-trips.
+
+The fingerprint is the result cache's key, so these are property tests:
+any instability (factor-order dependence, float drift through JSON, a
+behaviour field the digest misses) silently corrupts or splits the
+cache.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.base import EngineOptions
+from repro.errors import ConfigError
+from repro.faults import FaultSchedule, target_outage
+from repro.scenario import ScenarioSpec, canonical_json, fingerprint_of
+from repro.verify.level import ValidationLevel
+
+factor_names = st.sampled_from(
+    ["num_nodes", "ppn", "total_gib", "stripe_count", "chooser", "transfer_mib", "extra"]
+)
+factor_values = st.one_of(
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=12),
+    st.booleans(),
+)
+factor_dicts = st.dictionaries(factor_names, factor_values, max_size=5)
+
+
+class TestCanonicalJson:
+    def test_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+    @given(factor_dicts)
+    def test_fingerprint_is_sha256_of_canonical_json(self, factors):
+        import hashlib
+
+        expected = hashlib.sha256(canonical_json(factors).encode()).hexdigest()
+        assert fingerprint_of(factors) == expected
+
+
+class TestFingerprintProperties:
+    @given(factor_dicts)
+    @settings(max_examples=50)
+    def test_factor_order_invariance(self, factors):
+        forward = ScenarioSpec("e", "scenario1", factors)
+        reversed_ = ScenarioSpec("e", "scenario1", dict(reversed(list(factors.items()))))
+        assert forward.fingerprint == reversed_.fingerprint
+
+    @given(factor_dicts)
+    @settings(max_examples=50)
+    def test_json_round_trip_preserves_fingerprint(self, factors):
+        spec = ScenarioSpec("e", "scenario1", factors)
+        restored = ScenarioSpec.from_jsonable(json.loads(json.dumps(spec.to_jsonable())))
+        assert restored == spec
+        assert restored.fingerprint == spec.fingerprint
+
+    def test_exp_id_excluded(self):
+        a = ScenarioSpec("fig4", "scenario1", {"num_nodes": 4})
+        b = ScenarioSpec("fig5", "scenario1", {"num_nodes": 4})
+        assert a.fingerprint == b.fingerprint
+
+    def test_engine_excluded(self):
+        a = ScenarioSpec("e", "scenario1", {}, engine="fluid")
+        b = ScenarioSpec("e", "scenario1", {}, engine="des")
+        assert a.fingerprint == b.fingerprint
+
+    def test_validation_level_excluded(self):
+        a = ScenarioSpec("e", "scenario1", {})
+        b = ScenarioSpec(
+            "e", "scenario1", {}, options=EngineOptions(validation=ValidationLevel.PARANOID)
+        )
+        assert a.fingerprint == b.fingerprint
+
+    @pytest.mark.parametrize(
+        "changed",
+        [
+            ScenarioSpec("e", "scenario2", {"num_nodes": 4}),
+            ScenarioSpec("e", "scenario1", {"num_nodes": 8}),
+            ScenarioSpec("e", "scenario1", {"num_nodes": 4}, seed=1),
+            ScenarioSpec("e", "scenario1", {"num_nodes": 4}, max_nodes=16),
+            ScenarioSpec("e", "scenario1", {"num_nodes": 4}, builder="scaleout"),
+            ScenarioSpec(
+                "e",
+                "scenario1",
+                {"num_nodes": 4},
+                options=EngineOptions(noise_enabled=False),
+            ),
+            ScenarioSpec(
+                "e",
+                "scenario1",
+                {"num_nodes": 4},
+                options=EngineOptions(
+                    fault_schedule=FaultSchedule([target_outage(201, 1.0)])
+                ),
+            ),
+        ],
+    )
+    def test_behavior_fields_change_fingerprint(self, changed):
+        base = ScenarioSpec("e", "scenario1", {"num_nodes": 4})
+        assert changed.fingerprint != base.fingerprint
+
+    def test_numpy_factor_values_normalize(self):
+        np = pytest.importorskip("numpy")
+        a = ScenarioSpec("e", "scenario1", {"num_nodes": np.int64(4)})
+        b = ScenarioSpec("e", "scenario1", {"num_nodes": 4})
+        assert a.fingerprint == b.fingerprint
+
+    def test_unrepresentable_factor_rejected(self):
+        with pytest.raises(ConfigError):
+            ScenarioSpec("e", "scenario1", {"bad": object()})
+
+    def test_duplicate_factor_names_rejected(self):
+        with pytest.raises(ConfigError):
+            ScenarioSpec("e", "scenario1", (("a", 1), ("a", 2)))
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError):
+            ScenarioSpec("e", "scenario1", {}, engine="quantum")
+
+
+class TestProcessBoundary:
+    def test_fingerprint_stable_across_processes(self):
+        """The digest must not depend on this process (hash seed, dict order)."""
+        spec = ScenarioSpec(
+            "e",
+            "scenario1",
+            {"num_nodes": 8, "ppn": 8, "total_gib": 32.0, "chooser": "balanced"},
+            seed=3,
+            options=EngineOptions(fault_schedule=FaultSchedule([target_outage(201, 0.0)])),
+        )
+        src = Path(__file__).resolve().parents[2] / "src"
+        code = (
+            "import json, sys\n"
+            "from repro.scenario import ScenarioSpec\n"
+            "spec = ScenarioSpec.from_jsonable(json.loads(sys.argv[1]))\n"
+            "print(spec.fingerprint)\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code, json.dumps(spec.to_jsonable())],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": str(src), "PYTHONHASHSEED": "12345"},
+        )
+        assert out.stdout.strip() == spec.fingerprint

@@ -1,0 +1,230 @@
+"""The simulation service and its content-addressed result cache.
+
+The contract under test: a warm campaign executes zero engine runs yet
+produces a byte-identical record store and replay fingerprint to the
+cold one, serial and parallel; validated runs and ``cache=False``
+always execute; corrupted or mismatched entries degrade to misses.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import service
+from repro.engine.base import EngineOptions
+from repro.methodology.plan import ExperimentSpec
+from repro.scenario import ScenarioSpec
+from repro.scenario.compile import compile_scenario
+from repro.service import ResultCache, ServiceExecutor, get_service
+from repro.experiments.common import run_specs, sweep
+from repro.telemetry.bus import RingBufferSink, get_bus
+from repro.verify.level import ValidationLevel
+from repro.verify.replay import result_fingerprint
+
+
+@pytest.fixture(autouse=True)
+def _clean_stats():
+    before = service.cache_stats()
+    yield
+    # Tests in this module may leave counters incremented; that is fine,
+    # but make sure the tally only ever grows (no negative deltas).
+    after = service.cache_stats()
+    assert all(after[k] >= before[k] for k in before)
+
+
+def _spec(**factors) -> ScenarioSpec:
+    base = {"num_nodes": 2, "ppn": 4, "total_gib": 1, "stripe_count": 2}
+    base.update(factors)
+    return compile_scenario(ExperimentSpec("cachetest", "scenario1", base))
+
+
+def _delta(before, after):
+    return {k: after[k] - before[k] for k in after}
+
+
+class TestResultCache:
+    def test_miss_then_hit_byte_identical(self, tmp_path):
+        spec = _spec()
+        svc = get_service()
+        before = service.cache_stats()
+        cold = svc.run(spec, 0, cache_dir=tmp_path)
+        warm = svc.run(spec, 0, cache_dir=tmp_path)
+        stats = _delta(before, service.cache_stats())
+        assert stats["miss"] == 1 and stats["hit"] == 1
+        assert result_fingerprint(cold) == result_fingerprint(warm)
+
+    def test_distinct_reps_distinct_entries(self, tmp_path):
+        spec = _spec()
+        svc = get_service()
+        a = svc.run(spec, 0, cache_dir=tmp_path)
+        b = svc.run(spec, 1, cache_dir=tmp_path)
+        assert result_fingerprint(a) != result_fingerprint(b)
+        assert len(ResultCache(tmp_path)) == 2
+
+    def test_validation_bypasses_cache(self, tmp_path):
+        spec = _spec().with_options(validation=ValidationLevel.BASIC)
+        svc = get_service()
+        before = service.cache_stats()
+        svc.run(spec, 0, cache_dir=tmp_path)
+        svc.run(spec, 0, cache_dir=tmp_path)
+        stats = _delta(before, service.cache_stats())
+        assert stats["bypassed"] == 2
+        assert len(ResultCache(tmp_path)) == 0
+
+    def test_cache_false_counts_uncached(self, tmp_path):
+        spec = _spec()
+        svc = get_service()
+        before = service.cache_stats()
+        svc.run(spec, 0, cache=False, cache_dir=tmp_path)
+        stats = _delta(before, service.cache_stats())
+        assert stats["uncached"] == 1
+        assert len(ResultCache(tmp_path)) == 0
+
+    def test_corrupted_entry_degrades_to_miss(self, tmp_path):
+        spec = _spec()
+        svc = get_service()
+        cold = svc.run(spec, 0, cache_dir=tmp_path)
+        path = ResultCache(tmp_path).path_for(spec, 0)
+        path.write_text("{not json")
+        before = service.cache_stats()
+        again = svc.run(spec, 0, cache_dir=tmp_path)
+        assert _delta(before, service.cache_stats())["miss"] == 1
+        assert result_fingerprint(again) == result_fingerprint(cold)
+
+    def test_entry_header_mismatch_degrades_to_miss(self, tmp_path):
+        spec = _spec()
+        svc = get_service()
+        svc.run(spec, 0, cache_dir=tmp_path)
+        path = ResultCache(tmp_path).path_for(spec, 0)
+        entry = json.loads(path.read_text())
+        entry["model_revision"] = 999
+        path.write_text(json.dumps(entry))
+        before = service.cache_stats()
+        svc.run(spec, 0, cache_dir=tmp_path)
+        assert _delta(before, service.cache_stats())["miss"] == 1
+
+    def test_hit_replays_engine_events(self, tmp_path):
+        # A mid-run outage produces engine-level events (fault.trigger,
+        # flow.retry); a healthy run emits none at info level.
+        from repro.faults import FaultSchedule, target_outage
+
+        spec = _spec(chooser="fixed:101,201", stripe_count=2).with_options(
+            fault_schedule=FaultSchedule([target_outage(201, 0.1, 2.0)])
+        )
+        svc = get_service()
+        bus = get_bus()
+        cold_ring = bus.attach(RingBufferSink(4096))
+        try:
+            svc.run(spec, 0, cache_dir=tmp_path)
+        finally:
+            bus.detach(cold_ring)
+        warm_ring = bus.attach(RingBufferSink(4096))
+        try:
+            svc.run(spec, 0, cache_dir=tmp_path)
+        finally:
+            bus.detach(warm_ring)
+        cold_types = [e["event"] for e in cold_ring.events]
+        warm_types = [e["event"] for e in warm_ring.events]
+        assert cold_types and cold_types == warm_types
+
+    def test_counters_reach_metrics_registry(self, tmp_path):
+        spec = _spec(total_gib=2)
+        bus = get_bus()
+        ring = bus.attach(RingBufferSink(16))
+        try:
+            before = bus.metrics.counter("service.cache", status="miss").value
+            get_service().run(spec, 0, cache_dir=tmp_path)
+            after = bus.metrics.counter("service.cache", status="miss").value
+        finally:
+            bus.detach(ring)
+        assert after == before + 1
+
+
+class TestServiceExecutor:
+    def test_unknown_plan_key_rejected(self):
+        from repro.errors import ExperimentError
+
+        executor = ServiceExecutor(scenarios={})
+        with pytest.raises(ExperimentError):
+            executor(ExperimentSpec("e", "scenario1", {"num_nodes": 2}), 0)
+
+
+class TestCampaignEquivalence:
+    def _specs(self):
+        return sweep(
+            "cachecamp",
+            scenario="scenario1",
+            stripe_count=(2, 4),
+            num_nodes=2,
+            ppn=4,
+            total_gib=1,
+        )
+
+    def test_cold_warm_serial_byte_identical(self, tmp_path):
+        cache = tmp_path / "cache"
+        before = service.cache_stats()
+        cold = run_specs(self._specs(), repetitions=3, seed=0, cache_dir=cache)
+        warm = run_specs(self._specs(), repetitions=3, seed=0, cache_dir=cache)
+        stats = _delta(before, service.cache_stats())
+        assert stats["miss"] == 6 and stats["hit"] == 6
+        cold_csv, warm_csv = tmp_path / "cold.csv", tmp_path / "warm.csv"
+        cold.write_csv(cold_csv)
+        warm.write_csv(warm_csv)
+        assert cold_csv.read_bytes() == warm_csv.read_bytes()
+
+    def test_warm_parallel_matches_cold_serial(self, tmp_path):
+        cache = tmp_path / "cache"
+        cold = run_specs(self._specs(), repetitions=2, seed=0, cache_dir=cache)
+        before = service.cache_stats()
+        warm = run_specs(self._specs(), repetitions=2, seed=0, cache_dir=cache, workers=2)
+        stats = _delta(before, service.cache_stats())
+        assert stats["hit"] == 4 and stats["miss"] == 0
+        cold_csv, warm_csv = tmp_path / "cold.csv", tmp_path / "warm.csv"
+        cold.write_csv(cold_csv)
+        warm.write_csv(warm_csv)
+        assert cold_csv.read_bytes() == warm_csv.read_bytes()
+
+    def test_no_cache_campaign_executes(self, tmp_path):
+        cache = tmp_path / "cache"
+        before = service.cache_stats()
+        run_specs(self._specs(), repetitions=1, seed=0, cache=False, cache_dir=cache)
+        stats = _delta(before, service.cache_stats())
+        assert stats["uncached"] == 2 and stats["miss"] == 0
+        assert len(ResultCache(cache)) == 0
+
+
+class TestSweep:
+    def test_scalar_axes_fixed(self):
+        specs = sweep("e", scenario="scenario1", stripe_count=4, num_nodes=8)
+        assert len(specs) == 1
+        assert specs[0].factors == {"stripe_count": 4, "num_nodes": 8}
+
+    def test_list_axes_crossed_leftmost_outermost(self):
+        specs = sweep("e", scenario="scenario1", a=(1, 2), b=(10, 20))
+        combos = [(s.factors["a"], s.factors["b"]) for s in specs]
+        assert combos == [(1, 10), (1, 20), (2, 10), (2, 20)]
+
+    def test_mapping_axes_resolved_per_scenario(self):
+        specs = sweep(
+            "e",
+            scenario=("scenario1", "scenario2"),
+            num_nodes={"scenario1": (1, 2), "scenario2": (4,)},
+        )
+        by_scenario = {}
+        for s in specs:
+            by_scenario.setdefault(s.scenario, []).append(s.factors["num_nodes"])
+        assert by_scenario == {"scenario1": [1, 2], "scenario2": [4]}
+
+    def test_mapping_missing_scenario_rejected(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            sweep("e", scenario="scenario9", num_nodes={"scenario1": 2})
+
+    def test_no_scenarios_rejected(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            sweep("e", scenario=())

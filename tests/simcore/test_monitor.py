@@ -79,3 +79,20 @@ class TestProbe:
         state["v"] = 3.0
         probe.sample(1.0)
         assert probe.series.values == [1.0, 3.0]
+
+
+class TestDeprecation:
+    def test_trace_warns(self):
+        with pytest.warns(DeprecationWarning, match="Trace is deprecated"):
+            Trace()
+
+    def test_probe_warns(self):
+        with pytest.warns(DeprecationWarning, match="Probe is deprecated"):
+            Probe("q", lambda: 0.0)
+
+    def test_timeseries_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            TimeSeries([0.0], [1.0])

@@ -23,6 +23,31 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "fig6" in out and "fig13" in out
 
+    def test_list_shows_compiled_sweep_sizes(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        fig6_line = next(line for line in out.splitlines() if line.startswith("fig6"))
+        # 2 scenarios x 8 stripe counts x 100 default repetitions.
+        assert "1600" in fig6_line
+        fig3_line = next(line for line in out.splitlines() if line.startswith("fig3"))
+        assert " - " in fig3_line
+
+    def test_run_cache_flags(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["run", "fig9", "--quiet", "--cache-dir", str(cache)]) == 0
+        err = capsys.readouterr().err
+        assert "2 miss(es)" in err
+        assert main(["run", "fig9", "--quiet", "--cache-dir", str(cache)]) == 0
+        err = capsys.readouterr().err
+        assert "2 hit(s)" in err and "0 miss(es)" in err
+
+    def test_run_no_cache(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(["run", "fig9", "--quiet", "--no-cache", "--cache-dir", str(cache)]) == 0
+        err = capsys.readouterr().err
+        assert "2 uncached" in err
+        assert not cache.exists()
+
     def test_calibration(self, capsys):
         assert main(["calibration"]) == 0
         out = capsys.readouterr().out
@@ -251,7 +276,8 @@ class TestTelemetryCommands:
         assert "BIMODAL" in capsys.readouterr().out
 
     def test_profile_flag_reports_spans(self, tmp_path, capsys):
-        assert main(["run", "fig4", "--reps", "2", "--quiet", "--profile"]) == 0
+        # --no-cache: a warm cache would replay without any engine spans.
+        assert main(["run", "fig4", "--reps", "2", "--quiet", "--profile", "--no-cache"]) == 0
         err = capsys.readouterr().err
         assert "profile (wall clock)" in err
         assert "executor.run" in err

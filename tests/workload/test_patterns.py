@@ -140,3 +140,21 @@ class TestCommandEcho:
     def test_ior_command_nn(self):
         config = IORConfig(block_size=MiB, pattern=AccessPattern.NN)
         assert "-F" in config.ior_command(4)
+
+
+class TestPatternByName:
+    def test_every_pattern_mapped(self):
+        from repro.workload.patterns import PATTERNS_BY_NAME, pattern_by_name
+
+        for pattern in AccessPattern:
+            assert PATTERNS_BY_NAME[pattern.value] is pattern
+            assert pattern_by_name(pattern.value) is pattern
+
+    def test_unknown_name_lists_valid_ones(self):
+        from repro.workload.patterns import pattern_by_name
+
+        with pytest.raises(WorkloadError) as excinfo:
+            pattern_by_name("zigzag")
+        message = str(excinfo.value)
+        for pattern in AccessPattern:
+            assert pattern.value in message
