@@ -44,6 +44,16 @@ Subcommands
     and parallel campaigns), write ``BENCH_<rev>.json``, and — with
     ``--baseline`` — fail (exit 1) on any norm-adjusted regression
     beyond the threshold.
+``chaos [--workers N] [--seed S] [--only KIND] [--quiet]``
+    Self-test the campaign orchestrator by injecting *real* faults —
+    SIGKILL a worker mid-run, hang a run past its timeout, SIGKILL the
+    whole campaign process, truncate a checkpoint, corrupt cache
+    entries, deny the cache directory — and assert every campaign still
+    completes with a byte-identical record store.  Exit 0 means all
+    injections were survived.
+``cache gc --max-bytes N [--cache-dir DIR]``
+    Evict result-cache entries, oldest first, until the cache fits in N
+    bytes (accepts unit suffixes, e.g. ``500MiB``).
 ``stats PATH``
     Render the campaign dashboard from a ``--telemetry`` JSONL stream:
     progress, failure rates, bandwidth distributions (with bimodality
@@ -253,6 +263,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="norm-adjusted regression threshold vs the baseline (default: 0.30)",
     )
 
+    chaos_p = sub.add_parser(
+        "chaos", help="self-test the orchestrator by injecting real faults"
+    )
+    chaos_p.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker count for the parallel injections (default: 4)",
+    )
+    chaos_p.add_argument("--seed", type=int, default=0)
+    chaos_p.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="KIND",
+        help="run only this injection (repeatable; see 'chaos --help' output "
+        "for the kinds)",
+    )
+    chaos_p.add_argument("--quiet", action="store_true", help="suppress progress lines")
+
+    cache_p = sub.add_parser("cache", help="manage the on-disk result cache")
+    cache_p.add_argument("action", choices=["gc"])
+    cache_p.add_argument(
+        "--max-bytes",
+        required=True,
+        metavar="N",
+        help="target cache size; unit suffixes accepted (e.g. 500MiB, 2GiB)",
+    )
+    cache_p.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="result cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/beegfs-repro)",
+    )
+
     stats_p = sub.add_parser("stats", help="campaign dashboard from a telemetry stream")
     stats_p.add_argument("path", type=Path, help="JSONL stream written by 'run --telemetry'")
     stats_p.add_argument(
@@ -292,7 +340,9 @@ def _checkpoint_path_for(base: Path | None, exp_id: str, multiple: bool) -> Path
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from . import service
+    from .errors import CampaignInterrupted
     from .experiments.common import protocol_options
+    from .orchestrator.interrupts import EXIT_INTERRUPTED, handle_signals
     from .telemetry.bus import session as telemetry_session
     from .telemetry.profiling import profiling
 
@@ -302,8 +352,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ids = [i.exp_id for i in list_experiments()] if args.exp_id == "all" else [args.exp_id]
     progress = None if args.quiet else lambda msg: print(f"  .. {msg}", file=sys.stderr)
     quarantined = 0
+    interrupted: CampaignInterrupted | None = None
+    interrupted_exp = ids[0]
     stats_before = service.cache_stats()
     with ExitStack() as stack:
+        # SIGINT/SIGTERM drain in-flight runs, checkpoint, and surface as
+        # CampaignInterrupted instead of a traceback (second hit: raw exit).
+        stack.enter_context(handle_signals())
         if args.telemetry is not None:
             stack.enter_context(
                 telemetry_session(jsonl=args.telemetry, level=args.telemetry_level)
@@ -314,36 +369,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 cache=False if args.no_cache else None, cache_dir=args.cache_dir
             )
         )
-        for exp_id in ids:
-            info = get_experiment(exp_id)
-            reps = args.reps if args.reps is not None else info.default_repetitions
-            kwargs = {"repetitions": reps, "seed": args.seed}
-            print(f"== {info.exp_id}: {info.title} ({info.paper_ref}, {reps} reps) ==")
-            with protocol_options(
-                on_error=args.on_error,
-                checkpoint=_checkpoint_path_for(args.checkpoint, exp_id, len(ids) > 1),
-                resume=args.resume,
-                validation=args.verify if args.verify != "off" else None,
-                workers=args.workers if args.workers > 1 else None,
-                cache=False if args.no_cache else None,
-                cache_dir=args.cache_dir,
-            ):
-                output = info.run(progress=progress, **kwargs)
-            print(output.figure)
-            if output.notes:
-                print(f"\nnotes: {output.notes}")
-            if args.out is not None and len(output.records) > 0:
-                path = args.out / f"{exp_id}.csv"
-                output.records.write_csv(path)
-                print(f"records written to {path}")
-            for failure in output.records.failures:
-                quarantined += 1
-                print(
-                    f"quarantined: {failure.spec_key} rep {failure.rep}: "
-                    f"{failure.error_type}: {failure.message}",
-                    file=sys.stderr,
-                )
-            print()
+        try:
+            for exp_id in ids:
+                interrupted_exp = exp_id
+                info = get_experiment(exp_id)
+                reps = args.reps if args.reps is not None else info.default_repetitions
+                kwargs = {"repetitions": reps, "seed": args.seed}
+                print(f"== {info.exp_id}: {info.title} ({info.paper_ref}, {reps} reps) ==")
+                with protocol_options(
+                    on_error=args.on_error,
+                    checkpoint=_checkpoint_path_for(args.checkpoint, exp_id, len(ids) > 1),
+                    resume=args.resume,
+                    validation=args.verify if args.verify != "off" else None,
+                    workers=args.workers if args.workers > 1 else None,
+                    cache=False if args.no_cache else None,
+                    cache_dir=args.cache_dir,
+                ):
+                    output = info.run(progress=progress, **kwargs)
+                print(output.figure)
+                if output.notes:
+                    print(f"\nnotes: {output.notes}")
+                if args.out is not None and len(output.records) > 0:
+                    path = args.out / f"{exp_id}.csv"
+                    output.records.write_csv(path)
+                    print(f"records written to {path}")
+                for failure in output.records.failures:
+                    quarantined += 1
+                    print(
+                        f"quarantined: {failure.spec_key} rep {failure.rep}: "
+                        f"{failure.error_type}: {failure.message}",
+                        file=sys.stderr,
+                    )
+                print()
+        except CampaignInterrupted as exc:
+            interrupted = exc
         if profiler is not None:
             print(profiler.render(), file=sys.stderr)
         if args.telemetry is not None:
@@ -352,17 +411,60 @@ def _cmd_run(args: argparse.Namespace) -> int:
         key: value - stats_before.get(key, 0)
         for key, value in service.cache_stats().items()
     }
-    print(
+    line = (
         "cache: {hit} hit(s), {miss} miss(es), {bypassed} bypassed, "
-        "{uncached} uncached".format(**delta),
-        file=sys.stderr,
+        "{uncached} uncached".format(**delta)
     )
+    if delta.get("degraded") or delta.get("error"):
+        line += ", {degraded} degraded, {error} cache error(s)".format(**delta)
+    print(line, file=sys.stderr)
+    if interrupted is not None:
+        if interrupted.checkpoint is not None:
+            print(
+                f"interrupted by {interrupted.signal}; progress checkpointed. "
+                f"resume with: beegfs-repro run {interrupted_exp} "
+                f"--checkpoint {interrupted.checkpoint} --resume",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"interrupted by {interrupted.signal}; no --checkpoint was "
+                "configured, so progress was not saved",
+                file=sys.stderr,
+            )
+        return EXIT_INTERRUPTED
     if quarantined:
         print(
             f"{quarantined} run(s) quarantined; re-run with --resume to retry them",
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    # Imported lazily: the chaos harness pulls in the runners.
+    from .orchestrator.chaos import run_chaos
+
+    progress = None if args.quiet else lambda msg: print(f"  .. {msg}", file=sys.stderr)
+    report = run_chaos(
+        workers=args.workers, seed=args.seed, only=args.only, progress=progress
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .service import ResultCache
+    from .units import parse_size
+
+    cache = ResultCache(args.cache_dir)
+    summary = cache.gc(int(parse_size(args.max_bytes)))
+    print(
+        f"cache gc in {cache.root}: {summary['scanned']} entr(y/ies) scanned, "
+        f"{summary['evicted']} evicted ({summary['freed_bytes']} bytes freed), "
+        f"{summary['remaining_bytes']} bytes remain"
+    )
     return 0
 
 
@@ -601,6 +703,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_system(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "stats":
         return _cmd_stats(args)
     if args.command == "tail":

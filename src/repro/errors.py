@@ -29,6 +29,9 @@ __all__ = [
     "FaultError",
     "ExperimentError",
     "CheckpointError",
+    "OrchestratorError",
+    "CampaignInterrupted",
+    "ChaosError",
     "AnalysisError",
     "TelemetryError",
     "VerificationError",
@@ -141,6 +144,30 @@ class ExperimentError(ReproError, RuntimeError):
 
 class CheckpointError(ExperimentError):
     """A campaign checkpoint could not be written or read."""
+
+
+class OrchestratorError(ExperimentError):
+    """The durable job queue or worker supervisor reached an invalid state."""
+
+
+class CampaignInterrupted(ExperimentError):
+    """A campaign was stopped by SIGINT/SIGTERM after a drain + checkpoint.
+
+    Carries the signal name and the checkpoint path (when one was
+    configured) so the CLI can print an exact ``--resume`` hint instead
+    of a traceback.  Raised only after in-flight work has been drained
+    and the store checkpointed — resuming loses nothing.
+    """
+
+    def __init__(self, signal_name: str, checkpoint: "str | None" = None):
+        self.signal = str(signal_name)
+        self.checkpoint = str(checkpoint) if checkpoint is not None else None
+        where = f"; checkpoint {self.checkpoint}" if self.checkpoint else ""
+        super().__init__(f"campaign interrupted by {self.signal}{where}")
+
+
+class ChaosError(ReproError):
+    """The chaos harness could not set up or drive an injection."""
 
 
 class AnalysisError(ReproError, ValueError):

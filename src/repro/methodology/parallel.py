@@ -1,4 +1,4 @@
-"""Parallel campaign execution with serial-identical results.
+"""Parallel campaign execution with serial-identical results, supervised.
 
 The engines honour one contract the whole methodology layer is built
 on: *the repetition index fully determines a run's randomness*.  Runs
@@ -6,8 +6,8 @@ therefore need no shared state, and a campaign is an embarrassingly
 parallel bag of (spec, rep) pairs.  :class:`ParallelProtocolRunner`
 exploits exactly that — and nothing more:
 
-* every pending (spec, rep) pair is executed in a worker process of a
-  :class:`concurrent.futures.ProcessPoolExecutor`;
+* every pending (spec, rep) pair is executed in a supervised worker
+  process (raw :mod:`multiprocessing` workers, one duplex pipe each);
 * outcomes are merged in the parent **in protocol order**, so the
   resulting :class:`~repro.methodology.records.RecordStore` — records,
   simulated wall clock, block indices, checkpoints — is byte-identical
@@ -18,38 +18,62 @@ exploits exactly that — and nothing more:
   merge path *is* the serial runner's
   :meth:`~repro.methodology.runner.ProtocolRunner._merge`.
 
+On top of that contract sits the supervision layer of
+:mod:`repro.orchestrator`:
+
+* workers send heartbeats on their pipe; a watchdog in the parent kills
+  workers whose current run exceeds the per-run wall-clock timeout or
+  whose heartbeats stop (frozen/stopped process), and respawns them;
+* a run interrupted by an *infrastructure* fault — worker death,
+  timeout, stall — is requeued with exponential backoff + deterministic
+  jitter under a bounded retry budget, then quarantined as a structured
+  ``WorkerCrashed``/``WorkerTimeout``/``WorkerStalled`` failure subject
+  to the normal ``on_error`` policy.  Exceptions *raised by the
+  executor* are never retried here: application failures keep their
+  existing exactly-once semantics;
+* dispatch is admission-controlled to a bounded window ahead of the
+  merge frontier, so a slow run applies backpressure instead of letting
+  completed-but-unmergeable results pile up without bound;
+* when a ``checkpoint_path`` is configured, every (spec, rep) job is
+  journaled in a :class:`~repro.orchestrator.queue.DurableJobQueue`
+  next to the checkpoint, and SIGINT/SIGTERM drain in-flight work,
+  checkpoint, and raise :class:`~repro.errors.CampaignInterrupted`.
+
 Workers run with a fresh, parent-independent telemetry bus: engine
 events are captured in an in-memory ring, shipped back with the
 outcome, and re-emitted by the parent tagged with a dense ``worker``
 id, bracketed by ``worker.start``/``worker.end`` events carrying the
-(spec, rep, seed) triple — so ``repro stats``/``repro tail`` can
-attribute throughput per worker.  Worker metrics registries are folded
-into the parent registry at merge time.
+(spec, rep, seed) triple.  Worker metrics registries are folded into
+the parent registry at merge time.
 
 Worker processes are started with the ``fork`` method where available
-(initializer arguments are inherited, not pickled, so closure-based
+(process arguments are inherited, not pickled, so closure-based
 executors work); (spec, rep) task arguments and outcomes cross the
-pool's pickling boundary.  An executor whose results or errors cannot
-be pickled surfaces as a structured failed outcome, subject to the
-normal ``on_error`` policy.
+pipe's pickling boundary.  An executor whose results cannot be pickled
+surfaces as a structured failed outcome, subject to the normal
+``on_error`` policy.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
+import threading
 import time
 from collections import deque
-from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from pathlib import Path
 from typing import Any, Callable
 
-from ..errors import ExperimentError
+from ..errors import CampaignInterrupted, ExperimentError
+from ..orchestrator.interrupts import pending_signal
+from ..orchestrator.supervise import SupervisionPolicy
 from ..telemetry.bus import EventBus, RingBufferSink, get_bus, set_bus
 from ..telemetry.metrics import MetricsRegistry
 from ..telemetry.profiling import SpanProfiler, get_profiler, set_profiler
-from .plan import ExperimentPlan, ExperimentSpec
+from .plan import ExperimentPlan, ExperimentSpec, PlannedRun
 from .records import RecordStore
 from .runner import Executor, ProtocolRunner, RunOutcome, execute_outcome
 
@@ -59,8 +83,15 @@ __all__ = ["ParallelProtocolRunner"]
 # can emit one per fluid segment).
 _WORKER_RING_CAPACITY = 65536
 
-# Module-level worker state, populated by the pool initializer.
+# Module-level worker state, populated by the worker initializer.
 _WORKER: dict[str, Any] = {}
+
+# Infra fault reason -> the structured error type it quarantines as.
+_INFRA_ERROR_TYPES = {
+    "worker-died": "WorkerCrashed",
+    "timeout": "WorkerTimeout",
+    "stalled": "WorkerStalled",
+}
 
 
 @dataclass
@@ -123,13 +154,425 @@ def _worker_run(spec: ExperimentSpec, rep: int) -> _WorkerReply:
     )
 
 
+def _supervised_main(
+    conn: Any, executor: Executor, level: str, capture: bool, heartbeat_s: float
+) -> None:
+    """Worker process main loop: heartbeats + one run per request.
+
+    SIGINT/SIGTERM are ignored — graceful shutdown is the parent's job
+    (it drains and then closes the pipe).  A daemon thread sends a
+    heartbeat every ``heartbeat_s`` even while a run executes (the GIL
+    is released in the engine's numeric kernels and in sleep), so the
+    parent can distinguish *slow* from *frozen*.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    _worker_init(executor, level, capture)
+    send_lock = threading.Lock()
+    stop = threading.Event()
+    pid = os.getpid()
+
+    def _beat() -> None:
+        while not stop.wait(heartbeat_s):
+            try:
+                with send_lock:
+                    conn.send(("hb", pid))
+            except (OSError, ValueError):
+                return
+
+    threading.Thread(target=_beat, daemon=True, name="heartbeat").start()
+    try:
+        while True:
+            message = conn.recv()
+            if message is None:
+                break
+            ordinal, spec, rep = message
+            reply = _worker_run(spec, rep)
+            try:
+                with send_lock:
+                    conn.send(("done", ordinal, reply))
+            except (OSError, EOFError):
+                raise
+            except Exception as exc:
+                # The outcome could not cross the pickling boundary;
+                # ship a structured failure instead of dying silently.
+                fallback = _WorkerReply(
+                    pid=pid,
+                    elapsed_s=reply.elapsed_s,
+                    outcome=RunOutcome(
+                        error_type=type(exc).__name__, message=str(exc)
+                    ),
+                )
+                with send_lock:
+                    conn.send(("done", ordinal, fallback))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        stop.set()
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
 def _pool_context() -> multiprocessing.context.BaseContext:
     method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
     return multiprocessing.get_context(method)
 
 
+@dataclass
+class _Task:
+    """One schedulable (spec, rep) run and its supervision state."""
+
+    ordinal: int
+    planned: PlannedRun
+    block: int
+    attempts: int = 0
+    not_before: float = 0.0
+    dispatched: bool = False
+    discarded: bool = False
+
+
+@dataclass
+class _WorkerHandle:
+    """Parent-side view of one worker process."""
+
+    process: Any
+    conn: Any
+    task: _Task | None = None
+    dispatched_at: float = 0.0
+    last_seen: float = 0.0
+    broken: bool = False
+
+
+class _Supervisor:
+    """Dispatches tasks to worker processes and polices their liveness."""
+
+    def __init__(
+        self,
+        runner: "ParallelProtocolRunner",
+        bus: Any,
+        queue: Any,
+        stats: dict[str, int],
+        worker_ids: dict[int, int],
+    ):
+        self.runner = runner
+        self.policy = runner.policy
+        self.n_workers = runner.n_workers
+        self.bus = bus
+        self.queue = queue
+        self.stats = stats
+        self.worker_ids = worker_ids
+        self.ctx = _pool_context()
+        self.window = self.policy.window_for(self.n_workers)
+        self.workers: list[_WorkerHandle] = []
+        self.pending: deque[_Task] = deque()
+        self.delayed: list[_Task] = []
+        self.requeue_ready: list[_Task] = []
+        self.results: dict[int, _WorkerReply] = {}
+        self.frontier = 0
+        self.draining = False
+        self.drain_signal: str | None = None
+
+    # -- worker lifecycle --------------------------------------------------
+
+    def _spawn(self) -> _WorkerHandle:
+        parent_conn, child_conn = self.ctx.Pipe()
+        process = self.ctx.Process(
+            target=_supervised_main,
+            args=(
+                child_conn,
+                self.runner.executor,
+                self.bus.level,
+                self.bus.enabled,
+                self.policy.heartbeat_s,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle = _WorkerHandle(
+            process=process, conn=parent_conn, last_seen=time.monotonic()
+        )
+        self.workers.append(handle)
+        self.worker_ids.setdefault(process.pid, len(self.worker_ids))
+        return handle
+
+    def start(self) -> None:
+        want = min(self.n_workers, max(1, self._outstanding()))
+        for _ in range(want):
+            self._spawn()
+
+    def _outstanding(self) -> int:
+        return len(self.pending) + len(self.delayed) + len(self.requeue_ready)
+
+    def _retire(self, handle: _WorkerHandle) -> None:
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        if handle.process.is_alive():
+            handle.process.kill()
+        handle.process.join(timeout=5.0)
+        if handle in self.workers:
+            self.workers.remove(handle)
+        self.stats["worker_deaths"] += 1
+
+    def _maybe_respawn(self) -> None:
+        if self.draining:
+            return
+        busy = sum(1 for h in self.workers if h.task is not None)
+        want = min(self.n_workers, busy + self._outstanding())
+        while len(self.workers) < want:
+            self._spawn()
+
+    # -- message pump ------------------------------------------------------
+
+    def _pump_messages(self, timeout: float = 0.05) -> None:
+        conns = [h.conn for h in self.workers if not h.broken]
+        if not conns:
+            time.sleep(timeout)
+            return
+        try:
+            ready = mp_connection.wait(conns, timeout)
+        except OSError:
+            return
+        by_conn = {h.conn: h for h in self.workers}
+        for conn in ready:
+            handle = by_conn.get(conn)
+            if handle is not None:
+                self._drain_conn(handle)
+
+    def _drain_conn(self, handle: _WorkerHandle) -> None:
+        """Consume every buffered message on a worker's pipe."""
+        while True:
+            try:
+                if handle.conn.closed or not handle.conn.poll():
+                    return
+                message = handle.conn.recv()
+            except (EOFError, OSError):
+                handle.broken = True
+                return
+            self._on_message(handle, message)
+
+    def _on_message(self, handle: _WorkerHandle, message: Any) -> None:
+        handle.last_seen = time.monotonic()
+        kind = message[0]
+        if kind == "hb":
+            if self.bus.enabled:
+                self.bus.emit("worker.heartbeat", pid=int(message[1]))
+            return
+        if kind == "done":
+            ordinal, reply = message[1], message[2]
+            if handle.task is not None and handle.task.ordinal == ordinal:
+                handle.task = None
+            # A worker presumed dead may still have answered: the reply
+            # wins, any scheduled retry of the same run is dropped.
+            if any(t.ordinal == ordinal for t in self.delayed):
+                self.delayed = [t for t in self.delayed if t.ordinal != ordinal]
+            if any(t.ordinal == ordinal for t in self.requeue_ready):
+                self.requeue_ready = [
+                    t for t in self.requeue_ready if t.ordinal != ordinal
+                ]
+            self.results[ordinal] = reply
+
+    # -- fault handling ----------------------------------------------------
+
+    def _infra_failure(self, task: _Task, reason: str, now: float) -> None:
+        """A run was interrupted by infrastructure: retry or quarantine."""
+        task.attempts += 1
+        task.dispatched = False
+        key = task.planned.spec.key
+        rep = task.planned.rep
+        if task.attempts <= self.policy.max_retries:
+            delay = self.policy.backoff_s(key, rep, task.attempts, self.runner.seed)
+            task.not_before = now + delay
+            self.delayed.append(task)
+            self.stats["requeues"] += 1
+            if self.queue is not None:
+                self.queue.requeue(key, rep, attempt=task.attempts)
+            if self.bus.enabled:
+                self.bus.metrics.counter("orchestrator.requeues", reason=reason).inc()
+                self.bus.emit(
+                    "orchestrator.requeue",
+                    spec=key,
+                    rep=rep,
+                    attempt=task.attempts,
+                    reason=reason,
+                    delay_s=float(delay),
+                )
+            return
+        self.stats["quarantines"] += 1
+        budget = self.policy.max_retries
+        detail = {
+            "worker-died": "worker process died",
+            "timeout": f"run exceeded the {self.policy.run_timeout_s:g}s timeout",
+            "stalled": "worker heartbeats stopped",
+        }[reason]
+        self.results[task.ordinal] = _WorkerReply(
+            pid=0,
+            elapsed_s=0.0,
+            outcome=RunOutcome(
+                error_type=_INFRA_ERROR_TYPES[reason],
+                message=f"{detail}; retry budget exhausted "
+                f"({task.attempts} attempts, {budget} retries allowed)",
+            ),
+        )
+        if self.bus.enabled:
+            self.bus.metrics.counter("orchestrator.quarantines").inc()
+            self.bus.emit(
+                "orchestrator.quarantine",
+                spec=key,
+                rep=rep,
+                attempts=task.attempts,
+                reason=reason,
+            )
+
+    def _reap_dead(self, now: float) -> None:
+        for handle in list(self.workers):
+            if not handle.broken and handle.process.is_alive():
+                continue
+            # Salvage replies that were buffered before death.
+            self._drain_conn(handle)
+            task = handle.task
+            handle.task = None
+            self._retire(handle)
+            if task is not None and task.ordinal not in self.results:
+                self._infra_failure(task, "worker-died", now)
+        self._maybe_respawn()
+
+    def _watchdog(self, now: float) -> None:
+        for handle in list(self.workers):
+            task = handle.task
+            if task is None:
+                continue
+            if now - handle.dispatched_at > self.policy.run_timeout_s:
+                reason = "timeout"
+            elif now - handle.last_seen > self.policy.stall_threshold_s:
+                reason = "stalled"
+            else:
+                continue
+            handle.process.kill()
+            self._drain_conn(handle)
+            handle.task = None
+            self._retire(handle)
+            if task.ordinal not in self.results:
+                self._infra_failure(task, reason, now)
+        self._maybe_respawn()
+
+    # -- scheduling --------------------------------------------------------
+
+    def _promote_delayed(self, now: float) -> None:
+        still: list[_Task] = []
+        for task in self.delayed:
+            if task.ordinal in self.results or task.discarded:
+                continue
+            if now >= task.not_before:
+                self.requeue_ready.append(task)
+            else:
+                still.append(task)
+        self.delayed = still
+        self.requeue_ready.sort(key=lambda t: t.ordinal)
+
+    def _next_task(self) -> _Task | None:
+        if self.requeue_ready:
+            return self.requeue_ready.pop(0)
+        while self.pending:
+            task = self.pending[0]
+            if task.discarded or task.ordinal in self.results:
+                self.pending.popleft()
+                continue
+            if task.ordinal >= self.frontier + self.window:
+                return None  # admission control: stay near the frontier
+            return self.pending.popleft()
+        return None
+
+    def _send(self, handle: _WorkerHandle, task: _Task, now: float) -> None:
+        try:
+            handle.conn.send((task.ordinal, task.planned.spec, task.planned.rep))
+        except (OSError, ValueError):
+            # Worker already gone; let the reaper requeue the task.
+            handle.broken = True
+            handle.task = task
+            task.dispatched = True
+            return
+        task.dispatched = True
+        handle.task = task
+        handle.dispatched_at = now
+        handle.last_seen = now
+        if self.queue is not None:
+            self.queue.lease(task.planned.spec.key, task.planned.rep)
+        if self.bus.enabled:
+            self.bus.emit(
+                "orchestrator.dispatch",
+                spec=task.planned.spec.key,
+                rep=task.planned.rep,
+                attempt=task.attempts,
+                worker=self.worker_ids.get(handle.process.pid, 0),
+            )
+
+    def _dispatch(self, now: float) -> None:
+        if self.draining:
+            return
+        for handle in self.workers:
+            if handle.task is not None or handle.broken:
+                continue
+            task = self._next_task()
+            if task is None:
+                return
+            self._send(handle, task, now)
+
+    def _check_interrupt(self) -> None:
+        if self.draining:
+            return
+        sig = pending_signal()
+        if sig is None:
+            return
+        self.draining = True
+        self.drain_signal = sig
+        if self.bus.enabled:
+            self.bus.emit(
+                "orchestrator.drain",
+                signal=sig,
+                pending=self._outstanding(),
+                inflight=sum(1 for h in self.workers if h.task is not None),
+            )
+
+    def tick(self) -> None:
+        """One supervision round: pump, reap, police, promote, dispatch."""
+        self._check_interrupt()
+        self._pump_messages()
+        now = time.monotonic()
+        self._reap_dead(now)
+        self._watchdog(now)
+        self._promote_delayed(now)
+        self._dispatch(now)
+        self._maybe_respawn()
+
+    def shutdown(self) -> None:
+        for handle in list(self.workers):
+            try:
+                handle.conn.send(None)
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for handle in list(self.workers):
+            handle.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=1.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        self.workers.clear()
+
+
 class ParallelProtocolRunner(ProtocolRunner):
-    """A :class:`ProtocolRunner` that executes runs in worker processes."""
+    """A :class:`ProtocolRunner` that executes runs in supervised workers."""
 
     def __init__(
         self,
@@ -140,6 +583,8 @@ class ParallelProtocolRunner(ProtocolRunner):
         checkpoint_every: int = 10,
         on_violation: str = "skip",
         seed: int | None = None,
+        policy: SupervisionPolicy | None = None,
+        supervise: bool | None = None,
     ):
         super().__init__(
             executor,
@@ -156,6 +601,11 @@ class ParallelProtocolRunner(ProtocolRunner):
         # Attribution seed for worker.start/worker.end events; defaults
         # to the executor's campaign seed when it exposes one.
         self.seed = int(seed if seed is not None else getattr(executor, "seed", 0) or 0)
+        self.policy = policy if policy is not None else SupervisionPolicy()
+        # n_workers == 1 normally falls back to the (faster) in-process
+        # serial path; supervise=True forces worker processes anyway so
+        # single-worker campaigns get timeouts and crash isolation too.
+        self.force_supervise = bool(supervise)
 
     # -- telemetry -----------------------------------------------------------
 
@@ -167,23 +617,6 @@ class ParallelProtocolRunner(ProtocolRunner):
             payload.setdefault("worker", worker)
             bus.emit(event["event"], t=event.get("t"), **payload)
 
-    def _reply_of(self, future: Future) -> _WorkerReply:
-        """The worker's reply, or a structured failure when the pool broke.
-
-        A worker that dies (OOM, signal) or a result that cannot cross
-        the pickling boundary surfaces here as the future's exception;
-        it becomes a normal failed outcome so the ``on_error`` policy
-        applies uniformly.
-        """
-        try:
-            return future.result()
-        except Exception as exc:
-            return _WorkerReply(
-                pid=0,
-                elapsed_s=0.0,
-                outcome=RunOutcome(error_type=type(exc).__name__, message=str(exc)),
-            )
-
     # -- execution -----------------------------------------------------------
 
     def run(
@@ -193,96 +626,167 @@ class ParallelProtocolRunner(ProtocolRunner):
         resume_from: RecordStore | None = None,
     ) -> RecordStore:
         """Execute every planned run; results merge in protocol order."""
-        if self.n_workers == 1:
+        if self.n_workers == 1 and not self.force_supervise:
             return super().run(plan, progress=progress, resume_from=resume_from)
         store = resume_from if resume_from is not None else RecordStore()
         done = store.completed_keys()
         already_done = frozenset(done)
-        wall_clock = store.max_wall_clock_s()
+        # The simulated protocol clock is reconstructed while merging:
+        # skip entries (already-recorded runs) advance it to their
+        # recorded end, so post-resume records carry the exact clock a
+        # fresh, uninterrupted campaign would have stamped.
+        end_clocks = store.end_clocks()
+        wall_clock = 0.0
         executed_since_checkpoint = 0
         bus = get_bus()
         prof = get_profiler()
         worker_ids: dict[int, int] = {}
 
-        pool = ProcessPoolExecutor(
-            max_workers=self.n_workers,
-            mp_context=_pool_context(),
-            initializer=_worker_init,
-            initargs=(self.executor, bus.level, bus.enabled),
-        )
-        try:
-            futures: deque[Future] = deque()
-            for block in plan.blocks:
-                for planned in block:
-                    if (planned.spec.key, planned.rep) in already_done:
-                        continue
-                    futures.append(pool.submit(_worker_run, planned.spec, planned.rep))
-            for block_index, (block, wait) in enumerate(zip(plan.blocks, plan.waits_s)):
-                block_ran = False
-                for planned in block:
-                    key = (planned.spec.key, planned.rep)
-                    if key in already_done:
-                        continue
-                    future = futures.popleft()
-                    if key in done:
-                        # A duplicate planned run whose twin already
-                        # succeeded this campaign: the serial runner
-                        # skips it, so the speculative result is dropped.
-                        continue
-                    block_ran = True
-                    self._emit_start(bus, planned, block_index, wall_clock)
-                    reply = self._reply_of(future)
-                    worker = worker_ids.setdefault(reply.pid, len(worker_ids))
-                    if reply.cache_stats:
-                        from .. import service as _service
+        # Flatten the plan into a schedule: run entries carry a dense
+        # ordinal (the merge order), block entries close a block.
+        schedule: list[tuple[Any, ...]] = []
+        ordinal = 0
+        for block_index, (block, wait) in enumerate(zip(plan.blocks, plan.waits_s)):
+            for planned in block:
+                key = (planned.spec.key, planned.rep)
+                if key in already_done:
+                    schedule.append(("skip", key, block_index))
+                    continue
+                schedule.append(("run", _Task(ordinal, planned, block_index)))
+                ordinal += 1
+            schedule.append(("block", block_index, wait))
 
-                        _service.add_cache_stats(reply.cache_stats)
-                    outcome = reply.outcome
-                    status = (
-                        "ok"
-                        if outcome.ok
-                        else ("quarantined" if outcome.violation else "failed")
-                    )
-                    if bus.enabled:
-                        bus.emit(
-                            "worker.start",
-                            worker=worker,
-                            spec=planned.spec.key,
-                            rep=planned.rep,
-                            seed=self.seed,
+        queue = self._open_queue()
+        if queue is not None:
+            queue.enqueue_many(
+                [
+                    (entry[1].planned.spec.key, entry[1].planned.rep)
+                    for entry in schedule
+                    if entry[0] == "run"
+                ]
+            )
+
+        supervisor = _Supervisor(self, bus, queue, self.supervision_stats, worker_ids)
+        supervisor.pending.extend(entry[1] for entry in schedule if entry[0] == "run")
+
+        block_ran: dict[int, bool] = {}
+        interrupted: str | None = None
+        merge_index = 0
+        try:
+            supervisor.start()
+            while merge_index < len(schedule):
+                entry = schedule[merge_index]
+                if entry[0] == "block":
+                    _, block_index, wait = entry
+                    if block_ran.get(block_index):
+                        wall_clock += wait
+                    if progress is not None:
+                        progress(
+                            f"block {block_index + 1}/{len(plan.blocks)} done "
+                            f"(wall clock {wall_clock / 60:.1f} min)"
                         )
-                        self._replay_worker_events(bus, reply.events, worker)
-                        if reply.metrics is not None:
-                            bus.metrics.merge(reply.metrics)
-                    prof.record("executor.run", reply.elapsed_s)
-                    wall_clock = self._merge(
-                        store, planned, block_index, wall_clock, outcome, bus
+                    merge_index += 1
+                    continue
+                if entry[0] == "skip":
+                    # Already recorded by a previous attempt: advance
+                    # the reconstructed clock to that run's end and let
+                    # its block wait as the original campaign did.
+                    _, key, block_index = entry
+                    wall_clock = max(wall_clock, end_clocks[key])
+                    block_ran[block_index] = True
+                    merge_index += 1
+                    continue
+                task = entry[1]
+                key = (task.planned.spec.key, task.planned.rep)
+                if key in done:
+                    # A duplicate planned run whose twin already
+                    # succeeded this campaign: the serial runner skips
+                    # it, so any speculative result is dropped.
+                    task.discarded = True
+                    supervisor.results.pop(task.ordinal, None)
+                    if queue is not None:
+                        queue.mark_done(*key)
+                    supervisor.frontier = task.ordinal + 1
+                    merge_index += 1
+                    continue
+                reply = supervisor.results.pop(task.ordinal, None)
+                if reply is None:
+                    if supervisor.draining and not task.dispatched:
+                        # Nothing in flight can produce this run any
+                        # more: stop merging, checkpoint, surface the
+                        # interrupt.
+                        interrupted = supervisor.drain_signal or "SIGINT"
+                        break
+                    supervisor.tick()
+                    continue
+                block_ran[task.block] = True
+                self._emit_start(bus, task.planned, task.block, wall_clock)
+                worker = worker_ids.setdefault(reply.pid, len(worker_ids))
+                if reply.cache_stats:
+                    from .. import service as _service
+
+                    _service.add_cache_stats(reply.cache_stats)
+                outcome = reply.outcome
+                status = (
+                    "ok"
+                    if outcome.ok
+                    else ("quarantined" if outcome.violation else "failed")
+                )
+                if bus.enabled:
+                    bus.emit(
+                        "worker.start",
+                        worker=worker,
+                        spec=task.planned.spec.key,
+                        rep=task.planned.rep,
+                        seed=self.seed,
                     )
-                    if bus.enabled:
-                        bus.emit(
-                            "worker.end",
-                            worker=worker,
-                            spec=planned.spec.key,
-                            rep=planned.rep,
-                            seed=self.seed,
-                            status=status,
-                            elapsed_s=float(reply.elapsed_s),
-                        )
-                    if not outcome.ok:
-                        continue
-                    done.add(key)
-                    executed_since_checkpoint += 1
-                    if executed_since_checkpoint >= self.checkpoint_every:
-                        self._checkpoint(store)
-                        executed_since_checkpoint = 0
-                if block_ran:
-                    wall_clock += wait
-                if progress is not None:
-                    progress(
-                        f"block {block_index + 1}/{len(plan.blocks)} done "
-                        f"(wall clock {wall_clock / 60:.1f} min)"
+                    self._replay_worker_events(bus, reply.events, worker)
+                    if reply.metrics is not None:
+                        bus.metrics.merge(reply.metrics)
+                prof.record("executor.run", reply.elapsed_s)
+                if queue is not None:
+                    # Journal the terminal state before merging: the
+                    # merge may raise under a fail policy, and the job
+                    # must not be replayed as pending on resume.
+                    if outcome.ok:
+                        queue.mark_done(*key)
+                    else:
+                        queue.mark_failed(*key)
+                wall_clock = self._merge(
+                    store, task.planned, task.block, wall_clock, outcome, bus
+                )
+                if bus.enabled:
+                    bus.emit(
+                        "worker.end",
+                        worker=worker,
+                        spec=task.planned.spec.key,
+                        rep=task.planned.rep,
+                        seed=self.seed,
+                        status=status,
+                        elapsed_s=float(reply.elapsed_s),
                     )
+                supervisor.frontier = task.ordinal + 1
+                merge_index += 1
+                if not outcome.ok:
+                    continue
+                done.add(key)
+                executed_since_checkpoint += 1
+                if executed_since_checkpoint >= self.checkpoint_every:
+                    self._checkpoint(store)
+                    executed_since_checkpoint = 0
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            supervisor.shutdown()
+            if queue is not None:
+                queue.close(
+                    remove=(interrupted is None and merge_index >= len(schedule))
+                )
+        if interrupted is not None:
+            self._checkpoint(store)
+            raise CampaignInterrupted(
+                interrupted,
+                checkpoint=str(self.checkpoint_path)
+                if self.checkpoint_path is not None
+                else None,
+            )
         self._checkpoint(store)
         return store

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..engine.result import RunResult
 from ..errors import CheckpointError, ExperimentError
+from ..orchestrator.journal import fsync_dir
 
 __all__ = ["RunRecord", "FailedRunRecord", "RecordStore"]
 
@@ -104,6 +105,17 @@ class RunRecord:
     @property
     def num_apps(self) -> int:
         return len(self.apps)
+
+    @property
+    def end_wall_clock_s(self) -> float:
+        """Simulated protocol clock when this run *finished*.
+
+        ``wall_clock_s`` stamps the run's start; the run then advanced
+        the clock by its makespan (the latest per-app end time, which
+        is relative to the run's own t=0).  Resume uses this to restart
+        the clock exactly where an interrupted campaign left it.
+        """
+        return self.wall_clock_s + max((a["end_s"] for a in self.apps), default=0.0)
 
     @property
     def bw_mib_s(self) -> float:
@@ -246,7 +258,11 @@ def _atomic_write(path: Path, write_body: Callable[[Any], None]) -> None:
 
     An interrupted run can therefore never leave a truncated results
     file: readers see either the previous complete version or the new
-    complete version, nothing in between.
+    complete version, nothing in between.  The temp file is fsynced
+    before the replace and the parent directory after it, so the rename
+    itself survives a power cut — without the directory fsync the data
+    would be durable but the directory entry could still point at the
+    old (or no) version.
     """
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
@@ -256,6 +272,7 @@ def _atomic_write(path: Path, write_body: Callable[[Any], None]) -> None:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp_name, path)
+        fsync_dir(path.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)
@@ -321,6 +338,17 @@ class RecordStore:
         """Latest simulated wall clock of any record (0 when empty)."""
         clocks = [r.wall_clock_s for r in self._records] + [f.wall_clock_s for f in self.failures]
         return max(clocks, default=0.0)
+
+    def end_clocks(self) -> dict[tuple[str, int], float]:
+        """Per-(spec key, rep) end-of-run clocks for resume reconstruction.
+
+        Walking the plan and advancing the clock through these values
+        (plus the plan's block waits) reproduces the exact clock a
+        fresh, uninterrupted campaign would have shown at each pending
+        run — the byte-identical-resume contract the chaos harness
+        enforces.
+        """
+        return {(r.spec_key, r.rep): r.end_wall_clock_s for r in self._records}
 
     # -- queries --------------------------------------------------------------
 

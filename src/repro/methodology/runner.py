@@ -47,7 +47,9 @@ from pathlib import Path
 from typing import Any, Callable, Mapping
 
 from ..engine.result import RunResult
-from ..errors import ExperimentError, InvariantViolation
+from ..errors import CampaignInterrupted, CheckpointError, ExperimentError, InvariantViolation
+from ..orchestrator.interrupts import pending_signal
+from ..orchestrator.queue import DurableJobQueue
 from ..telemetry.bus import get_bus
 from ..telemetry.profiling import get_profiler
 from .plan import ExperimentPlan, ExperimentSpec, PlannedRun
@@ -137,8 +139,41 @@ class ProtocolRunner:
         self.on_violation = on_violation
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path is not None else None
         self.checkpoint_every = checkpoint_every
+        # Orchestration counters, accumulated across run()/resume() calls:
+        # requeues/quarantines are written by the parallel supervisor,
+        # reclaimed by _open_queue on either runner.
+        self.supervision_stats: dict[str, int] = {
+            "requeues": 0,
+            "quarantines": 0,
+            "worker_deaths": 0,
+            "reclaimed": 0,
+        }
 
     # -- checkpointing -----------------------------------------------------------
+
+    def _open_queue(self) -> "DurableJobQueue | None":
+        """The campaign's durable job queue, or None without a checkpoint.
+
+        The journal lives next to the checkpoint (``<checkpoint>.journal``)
+        so both artifacts of a campaign travel together.  Leases left by
+        a dead owner are reclaimed on open and surfaced on the bus.
+        """
+        if self.checkpoint_path is None:
+            return None
+        queue = DurableJobQueue(Path(str(self.checkpoint_path) + ".journal"))
+        queue.open()
+        self.supervision_stats["reclaimed"] += len(queue.reclaimed)
+        bus = get_bus()
+        if bus.enabled:
+            for entry in queue.reclaimed:
+                bus.metrics.counter("orchestrator.reclaimed").inc()
+                bus.emit(
+                    "orchestrator.reclaim",
+                    key=entry.key,
+                    rep=entry.rep,
+                    owner=entry.owner,
+                )
+        return queue
 
     def _checkpoint(self, store: RecordStore) -> None:
         if self.checkpoint_path is not None:
@@ -162,14 +197,33 @@ class ProtocolRunner:
         ``on_error`` policy, and the prior attempt's failure history is
         preserved).  Without a checkpoint file the campaign simply
         starts from scratch.
+
+        A checkpoint that cannot be parsed — a torn write from a crash
+        mid-replace, manual truncation, disk corruption — degrades to an
+        empty store (every run re-executes) instead of raising: the
+        checkpoint is an optimization over recomputation, never the only
+        copy of the data.  The degradation is surfaced as a
+        ``checkpoint.corrupt`` event and ``runner.checkpoint_corrupt``
+        counter.
         """
         if self.checkpoint_path is None:
             raise ExperimentError("resume() needs a checkpoint_path")
+        store = RecordStore()
         if self.checkpoint_path.exists():
-            store = RecordStore.read_json(self.checkpoint_path)
-            store.archive_failures()
-        else:
-            store = RecordStore()
+            try:
+                store = RecordStore.read_json(self.checkpoint_path)
+            except CheckpointError as exc:
+                bus = get_bus()
+                if bus.enabled:
+                    bus.metrics.counter("runner.checkpoint_corrupt").inc()
+                    bus.emit(
+                        "checkpoint.corrupt",
+                        path=str(self.checkpoint_path),
+                        error=str(exc),
+                    )
+                store = RecordStore()
+            else:
+                store.archive_failures()
         return self.run(plan, progress=progress, resume_from=store)
 
     # -- outcome merging ----------------------------------------------------------
@@ -293,34 +347,97 @@ class ProtocolRunner:
         progress: Callable[[str], None] | None = None,
         resume_from: RecordStore | None = None,
     ) -> RecordStore:
-        """Execute every planned run in protocol order."""
+        """Execute every planned run in protocol order.
+
+        With a ``checkpoint_path`` configured, every pending (spec, rep)
+        job is journaled in a durable queue next to the checkpoint and
+        its state transitions (lease → done/failed) are fsync'd, so a
+        crashed campaign can be resumed with full knowledge of what was
+        in flight.  SIGINT/SIGTERM (when armed via
+        :func:`repro.orchestrator.interrupts.handle_signals`) checkpoint
+        and raise :class:`~repro.errors.CampaignInterrupted` between
+        runs instead of tearing down mid-merge.
+        """
         store = resume_from if resume_from is not None else RecordStore()
         done = store.completed_keys()
-        wall_clock = store.max_wall_clock_s()
+        already_done = frozenset(done)
+        # Reconstruct the simulated protocol clock while walking the
+        # plan: skipped (already-recorded) runs advance it to their
+        # recorded end, so post-resume records carry the exact clock a
+        # fresh, uninterrupted campaign would have stamped.
+        end_clocks = store.end_clocks()
+        wall_clock = 0.0
         executed_since_checkpoint = 0
         bus = get_bus()
-        for block_index, (block, wait) in enumerate(zip(plan.blocks, plan.waits_s)):
-            block_ran = False
-            for planned in block:
-                if (planned.spec.key, planned.rep) in done:
-                    continue
-                block_ran = True
-                self._emit_start(bus, planned, block_index, wall_clock)
-                outcome = execute_outcome(self.executor, planned.spec, planned.rep)
-                wall_clock = self._merge(store, planned, block_index, wall_clock, outcome, bus)
-                if not outcome.ok:
-                    continue
-                done.add((planned.spec.key, planned.rep))
-                executed_since_checkpoint += 1
-                if executed_since_checkpoint >= self.checkpoint_every:
-                    self._checkpoint(store)
-                    executed_since_checkpoint = 0
-            if block_ran:
-                wall_clock += wait
-            if progress is not None:
-                progress(
-                    f"block {block_index + 1}/{len(plan.blocks)} done "
-                    f"(wall clock {wall_clock / 60:.1f} min)"
-                )
+        queue = self._open_queue()
+        if queue is not None:
+            queue.enqueue_many(
+                [
+                    (planned.spec.key, planned.rep)
+                    for block in plan.blocks
+                    for planned in block
+                    if (planned.spec.key, planned.rep) not in done
+                ]
+            )
+        interrupted: str | None = None
+        completed = False
+        try:
+            for block_index, (block, wait) in enumerate(zip(plan.blocks, plan.waits_s)):
+                block_ran = False
+                for planned in block:
+                    key = (planned.spec.key, planned.rep)
+                    if key in done:
+                        if key in already_done:
+                            # The original run advanced the clock (and
+                            # its block waited); mirror both so pending
+                            # runs resume at the fresh-campaign clock.
+                            wall_clock = max(wall_clock, end_clocks[key])
+                            block_ran = True
+                        continue
+                    interrupted = pending_signal()
+                    if interrupted is not None:
+                        break
+                    block_ran = True
+                    self._emit_start(bus, planned, block_index, wall_clock)
+                    if queue is not None:
+                        queue.lease(*key)
+                    outcome = execute_outcome(self.executor, planned.spec, planned.rep)
+                    if queue is not None:
+                        # Journal the terminal state before merging: the
+                        # merge may raise under a fail policy, and the
+                        # job must not replay as pending on resume.
+                        if outcome.ok:
+                            queue.mark_done(*key)
+                        else:
+                            queue.mark_failed(*key)
+                    wall_clock = self._merge(store, planned, block_index, wall_clock, outcome, bus)
+                    if not outcome.ok:
+                        continue
+                    done.add(key)
+                    executed_since_checkpoint += 1
+                    if executed_since_checkpoint >= self.checkpoint_every:
+                        self._checkpoint(store)
+                        executed_since_checkpoint = 0
+                if interrupted is not None:
+                    break
+                if block_ran:
+                    wall_clock += wait
+                if progress is not None:
+                    progress(
+                        f"block {block_index + 1}/{len(plan.blocks)} done "
+                        f"(wall clock {wall_clock / 60:.1f} min)"
+                    )
+            completed = interrupted is None
+        finally:
+            if queue is not None:
+                queue.close(remove=completed)
+        if interrupted is not None:
+            self._checkpoint(store)
+            raise CampaignInterrupted(
+                interrupted,
+                checkpoint=str(self.checkpoint_path)
+                if self.checkpoint_path is not None
+                else None,
+            )
         self._checkpoint(store)
         return store

@@ -1,0 +1,39 @@
+"""Durable campaign orchestration: job queue, supervision, interrupts.
+
+This package is the execution substrate between
+:class:`repro.service.SimulationService` and the campaign runners:
+
+* :mod:`repro.orchestrator.journal` — fsync'd JSONL write-ahead log and
+  directory-sync helpers shared by the queue, record store and cache;
+* :mod:`repro.orchestrator.queue` — a crash-safe persistent job queue
+  of (spec key, rep) entries with queued/leased/done/failed states and
+  lease reclaim for dead owners;
+* :mod:`repro.orchestrator.supervise` — supervision policy (timeouts,
+  heartbeats, bounded retries with backoff + jitter, in-flight window)
+  and the cache-tier circuit breaker;
+* :mod:`repro.orchestrator.interrupts` — flag-based SIGINT/SIGTERM
+  handling for drain-then-checkpoint shutdown.
+
+The chaos harness lives in :mod:`repro.orchestrator.chaos` but is *not*
+re-exported here: it imports the runners (which import this package),
+so eager re-export would create a cycle.  The CLI imports it lazily.
+"""
+
+from __future__ import annotations
+
+from repro.orchestrator.interrupts import handle_signals, pending_signal
+from repro.orchestrator.journal import Journal, fsync_dir, read_records
+from repro.orchestrator.queue import DurableJobQueue, JobEntry
+from repro.orchestrator.supervise import CircuitBreaker, SupervisionPolicy
+
+__all__ = [
+    "Journal",
+    "fsync_dir",
+    "read_records",
+    "DurableJobQueue",
+    "JobEntry",
+    "SupervisionPolicy",
+    "CircuitBreaker",
+    "handle_signals",
+    "pending_signal",
+]

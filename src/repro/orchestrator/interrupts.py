@@ -1,0 +1,76 @@
+"""Flag-based SIGINT/SIGTERM handling for drain-then-checkpoint shutdown.
+
+Signal handlers here never do work: they record which signal arrived and
+return.  The campaign runner polls :func:`pending_signal` between merges
+and, when set, stops dispatching, drains in-flight runs, checkpoints,
+and raises :class:`~repro.errors.CampaignInterrupted` — the CLI turns
+that into a one-line resume hint and a distinct exit code instead of a
+traceback.  A second delivery of the same signal falls back to the
+default disposition (immediate exit) so an impatient Ctrl-C Ctrl-C
+still works.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+from typing import Iterator
+
+__all__ = ["pending_signal", "clear", "handle_signals", "EXIT_INTERRUPTED"]
+
+# Conventional "terminated by SIGINT" exit code (128 + SIGINT).
+EXIT_INTERRUPTED = 130
+
+_PENDING: str | None = None
+
+
+def pending_signal() -> str | None:
+    """Name of the signal received since the last :func:`clear`, if any."""
+    return _PENDING
+
+
+def clear() -> None:
+    global _PENDING
+    _PENDING = None
+
+
+@contextlib.contextmanager
+def handle_signals(
+    signals: tuple[int, ...] = (signal.SIGINT, signal.SIGTERM),
+) -> Iterator[None]:
+    """Install drain-requesting handlers for the duration of a campaign.
+
+    First delivery sets the pending flag; a repeat of the *same* signal
+    restores the previous handler and re-raises it, so the process dies
+    the ordinary way if draining is too slow for the operator.
+    """
+    previous: dict[int, object] = {}
+
+    def _handler(signum: int, frame: object) -> None:
+        global _PENDING
+        name = signal.Signals(signum).name
+        if _PENDING == name:
+            # Second hit: give up on graceful drain.
+            signal.signal(signum, previous[signum])  # type: ignore[arg-type]
+            signal.raise_signal(signum)
+            return
+        _PENDING = name
+
+    installed: list[int] = []
+    try:
+        for signum in signals:
+            try:
+                previous[signum] = signal.signal(signum, _handler)
+            except (ValueError, OSError):
+                # Not the main thread, or an unsupported signal on this
+                # platform: run without graceful shutdown rather than fail.
+                continue
+            installed.append(signum)
+        yield
+    finally:
+        for signum in installed:
+            try:
+                signal.signal(signum, previous[signum])  # type: ignore[arg-type]
+            except (ValueError, OSError):
+                pass
+        clear()

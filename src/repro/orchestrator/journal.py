@@ -1,0 +1,145 @@
+"""Write-ahead journaling primitives: fsync'd appends, tolerant reads.
+
+The durability contract the orchestrator is built on:
+
+* :func:`fsync_dir` — after an ``os.replace`` the *parent directory*
+  must be fsynced too, or a crash can lose the rename itself (the file
+  data is safe but the directory entry may still point at the old
+  inode, or at nothing for a freshly created file);
+* :class:`Journal` — an append-only JSONL log where every record is
+  flushed *and fsynced* before the append returns, so a record the
+  caller saw acknowledged survives a power cut;
+* :func:`read_records` — a reader that treats a torn final line (the
+  signature of a crash mid-append) as end-of-log instead of an error,
+  and counts any interior garbage instead of raising.
+
+These helpers are deliberately dependency-free so the record store and
+the result cache can share them without import cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["fsync_dir", "Journal", "read_records"]
+
+
+def fsync_dir(path: str | Path) -> None:
+    """fsync a directory so renames/creations inside it are durable.
+
+    Best effort: some file systems (and some CI sandboxes) refuse to
+    open directories for fsync — losing the *extra* durability there is
+    acceptable, failing the write that already succeeded is not.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class Journal:
+    """An append-only JSONL log with per-append fsync.
+
+    Used as the durable job queue's write-ahead log: one JSON object
+    per line, appended with ``flush + fsync`` so an acknowledged state
+    transition is crash-safe.  The file handle stays open across
+    appends; :meth:`close` releases it.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._fh: Any = None
+
+    def _handle(self) -> Any:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            created = not self.path.exists()
+            self._fh = self.path.open("a")
+            if created:
+                # The journal file itself must survive a crash, not just
+                # its contents: sync the directory entry.
+                fsync_dir(self.path.parent)
+        return self._fh
+
+    def append(self, record: dict[str, Any]) -> None:
+        """Append one record; returns only after it is on stable storage."""
+        fh = self._handle()
+        fh.write(json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+    def append_many(self, records: list[dict[str, Any]]) -> None:
+        """Append a batch under a single fsync (one barrier, not N)."""
+        if not records:
+            return
+        fh = self._handle()
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def unlink(self) -> None:
+        """Close and remove the journal file (campaign completed cleanly)."""
+        self.close()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+        else:
+            fsync_dir(self.path.parent)
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def read_records(path: str | Path) -> tuple[list[dict[str, Any]], int]:
+    """Replay a journal tolerantly: ``(records, torn_lines)``.
+
+    A line that fails to decode — the torn tail of a crashed append, or
+    interior corruption — is counted and skipped, never raised: the
+    journal is an optimization over re-executing work, so a damaged
+    record must degrade to "that work is requeued", not to a crash.
+    A missing file is simply an empty journal.
+    """
+    records: list[dict[str, Any]] = []
+    torn = 0
+    try:
+        text = Path(path).read_text()
+    except OSError:
+        return records, torn
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            torn += 1
+            continue
+        if isinstance(obj, dict):
+            records.append(obj)
+        else:
+            torn += 1
+    return records, torn
+
+
+def iter_jsonl(path: str | Path) -> Iterator[dict[str, Any]]:  # pragma: no cover
+    """Convenience: yield the decodable records of a JSONL file."""
+    records, _ = read_records(path)
+    yield from records

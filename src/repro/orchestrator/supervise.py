@@ -1,0 +1,157 @@
+"""Supervision policy and circuit breaker for campaign execution.
+
+:class:`SupervisionPolicy` bundles the knobs of the worker watchdog:
+per-run wall-clock timeout, heartbeat cadence and stall threshold, the
+bounded retry budget with exponential backoff + deterministic jitter,
+and the in-flight admission window.  It is a plain dataclass so tests
+and the chaos harness can shrink every timescale without monkeypatching.
+
+:class:`CircuitBreaker` protects the result-cache tier: repeated
+``OSError``s (full disk, dead mount, permission loss) trip it open and
+the campaign degrades to cache-off instead of failing; after a cooldown
+it half-opens and a single success closes it again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+__all__ = ["SupervisionPolicy", "CircuitBreaker"]
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Watchdog, retry and admission-control knobs for parallel campaigns.
+
+    ``run_timeout_s``    hard wall-clock ceiling for one (spec, rep) run;
+    ``heartbeat_s``      worker heartbeat period on the telemetry bus;
+    ``stall_after_s``    silence threshold before a worker is presumed
+                         frozen (default: max(10 heartbeats, 5 s));
+    ``max_retries``      infra-fault retries per run before quarantine;
+    ``backoff_base_s``   first retry delay (doubles per attempt);
+    ``backoff_cap_s``    ceiling for the exponential delay;
+    ``window``           max runs in flight ahead of the merge frontier
+                         (default: 4 x workers, set by the runner);
+    ``lease_s``          job-queue lease duration (default: derived
+                         from the run timeout with slack).
+    """
+
+    run_timeout_s: float = 120.0
+    heartbeat_s: float = 0.5
+    stall_after_s: float | None = None
+    max_retries: int = 2
+    backoff_base_s: float = 0.25
+    backoff_cap_s: float = 5.0
+    window: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.run_timeout_s <= 0:
+            raise ConfigError("run_timeout_s must be positive")
+        if self.heartbeat_s <= 0:
+            raise ConfigError("heartbeat_s must be positive")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ConfigError("backoff delays must be >= 0")
+        if self.window is not None and self.window < 1:
+            raise ConfigError("window must be >= 1")
+
+    @property
+    def stall_threshold_s(self) -> float:
+        if self.stall_after_s is not None:
+            return float(self.stall_after_s)
+        return max(10.0 * self.heartbeat_s, 5.0)
+
+    @property
+    def lease_s(self) -> float:
+        # A lease should comfortably outlive one timed-out attempt.
+        return 2.0 * self.run_timeout_s + 30.0
+
+    def window_for(self, n_workers: int) -> int:
+        if self.window is not None:
+            return int(self.window)
+        return max(4 * int(n_workers), int(n_workers))
+
+    def backoff_s(self, key: str, rep: int, attempt: int, seed: int = 0) -> float:
+        """Retry delay for a given attempt: exponential + deterministic jitter.
+
+        Jitter is derived from a hash of (key, rep, attempt, seed)
+        rather than ``random`` so replays of the same campaign make the
+        same scheduling decisions — determinism is the repo's core
+        contract and the orchestrator must not be the layer that breaks it.
+        """
+        if attempt <= 0:
+            return 0.0
+        base = min(self.backoff_base_s * (2.0 ** (attempt - 1)), self.backoff_cap_s)
+        digest = hashlib.sha256(
+            f"{key}|{rep}|{attempt}|{seed}".encode()
+        ).digest()
+        # Jitter in [0, 0.5) of the base delay.
+        fraction = int.from_bytes(digest[:8], "big") / 2**64
+        return base * (1.0 + 0.5 * fraction)
+
+
+@dataclass
+class CircuitBreaker:
+    """Classic closed → open → half-open breaker for the cache tier.
+
+    ``record_failure`` on ``threshold`` *consecutive* failures opens the
+    circuit; ``allow()`` then answers False until ``cooldown_s`` has
+    elapsed, after which one probe call is let through (half-open).  A
+    success closes the circuit; a failure re-opens it for another
+    cooldown.  ``transitions`` collects (state, failures) tuples so the
+    caller can emit telemetry without the breaker importing the bus.
+    """
+
+    threshold: int = 3
+    cooldown_s: float = 60.0
+    state: str = "closed"
+    failures: int = 0
+    opened_at: float | None = None
+    transitions: list[tuple[str, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ConfigError("breaker threshold must be >= 1")
+        if self.cooldown_s < 0:
+            raise ConfigError("breaker cooldown_s must be >= 0")
+
+    def _transition(self, state: str) -> None:
+        if state != self.state:
+            self.state = state
+            self.transitions.append((state, self.failures))
+
+    def allow(self, now: float | None = None) -> bool:
+        """May the protected tier be touched right now?"""
+        if self.state == "closed":
+            return True
+        clock = time.time() if now is None else now
+        if self.state == "open":
+            if self.opened_at is not None and clock - self.opened_at >= self.cooldown_s:
+                self._transition("half-open")
+                return True
+            return False
+        # half-open: one probe at a time is enough; allow it.
+        return True
+
+    def record_success(self) -> None:
+        self.failures = 0
+        if self.state != "closed":
+            self._transition("closed")
+
+    def record_failure(self, now: float | None = None) -> None:
+        self.failures += 1
+        clock = time.time() if now is None else now
+        if self.state == "half-open" or self.failures >= self.threshold:
+            self.opened_at = clock
+            self._transition("open")
+
+    def drain_transitions(self) -> list[tuple[str, int]]:
+        """Pop accumulated state changes (for telemetry emission)."""
+        out = self.transitions[:]
+        self.transitions.clear()
+        return out

@@ -46,6 +46,8 @@ from typing import Any, Callable, Iterator, Mapping
 from .engine.result import RunResult, result_from_jsonable, result_to_jsonable
 from .errors import ConfigError, ExperimentError
 from .methodology.plan import ExperimentSpec
+from .orchestrator.journal import fsync_dir
+from .orchestrator.supervise import CircuitBreaker
 from .scenario import MODEL_REVISION, ScenarioSpec
 from .telemetry.bus import RingBufferSink, get_bus
 from .verify.level import ValidationLevel
@@ -83,7 +85,9 @@ _ENVELOPE_KEYS = ("schema", "seq", "event", "t")
 
 # -- cache statistics --------------------------------------------------------------
 
-_STATS = {"hit": 0, "miss": 0, "bypassed": 0, "uncached": 0}
+# "degraded" counts runs executed cache-off because the circuit breaker
+# was open; "error" counts cache I/O failures (each also a breaker strike).
+_STATS = {"hit": 0, "miss": 0, "bypassed": 0, "uncached": 0, "degraded": 0, "error": 0}
 
 
 def cache_stats() -> dict[str, int]:
@@ -222,11 +226,21 @@ class ResultCache:
         return self.root / fp[:2] / fp / f"{spec.engine}-m{MODEL_REVISION}-r{int(rep)}.json"
 
     def load(self, spec: ScenarioSpec, rep: int) -> dict[str, Any] | None:
-        """The entry for (spec, rep), or ``None`` on any mismatch/corruption."""
+        """The entry for (spec, rep), or ``None`` on a miss or corruption.
+
+        A missing file is a normal miss; a torn/garbled entry degrades
+        to a miss (the run simply re-executes).  Any *other* ``OSError``
+        — dead mount, permission loss, not-a-directory — propagates so
+        the service can count it against the cache circuit breaker.
+        """
         path = self.path_for(spec, rep)
         try:
-            entry = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        try:
+            entry = json.loads(text)
+        except json.JSONDecodeError:
             return None
         if (
             entry.get("schema") != CACHE_SCHEMA
@@ -264,6 +278,8 @@ class ResultCache:
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp, path)
+            # The rename itself must survive a crash: sync the directory.
+            fsync_dir(path.parent)
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -277,6 +293,62 @@ class ResultCache:
             return 0
         return sum(1 for _ in self.root.glob("*/*/*.json"))
 
+    def gc(self, max_bytes: int) -> dict[str, int]:
+        """Evict entries, oldest mtime first, until the cache fits.
+
+        LRU-by-mtime: a cache hit does not touch mtime, so this is
+        strictly least-recently-*written* — good enough for a cache
+        whose entries are immutable.  Emptied fingerprint directories
+        are pruned.  Returns a summary and emits a ``cache.gc`` event
+        plus the ``service.cache.evicted`` counter.
+        """
+        if max_bytes < 0:
+            raise ConfigError(f"max_bytes must be >= 0, got {max_bytes}")
+        files: list[tuple[float, int, Path]] = []
+        if self.root.is_dir():
+            for path in self.root.glob("*/*/*.json"):
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue
+                files.append((st.st_mtime, st.st_size, path))
+        files.sort(key=lambda item: (item[0], str(item[2])))
+        total = sum(size for _, size, _ in files)
+        evicted = 0
+        freed = 0
+        for _, size, path in files:
+            if total - freed <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            evicted += 1
+            freed += size
+        if evicted:
+            for depth in ("*/*", "*"):
+                for directory in self.root.glob(depth):
+                    try:
+                        directory.rmdir()
+                    except OSError:
+                        pass  # not empty (or gone already)
+        summary = {
+            "scanned": len(files),
+            "evicted": evicted,
+            "freed_bytes": freed,
+            "remaining_bytes": total - freed,
+        }
+        bus = get_bus()
+        if bus.enabled:
+            bus.metrics.counter("service.cache.evicted").inc(evicted)
+            bus.emit(
+                "cache.gc",
+                evicted=evicted,
+                freed_bytes=freed,
+                remaining_bytes=total - freed,
+            )
+        return summary
+
 
 # -- the service -------------------------------------------------------------------
 
@@ -286,6 +358,10 @@ class SimulationService:
 
     def __init__(self) -> None:
         self._contexts: dict[tuple[str, str, str], BuiltScenario] = {}
+        # Cache-tier circuit breaker: repeated cache OSErrors trip it
+        # open and runs degrade to cache-off instead of failing the
+        # campaign; after the cooldown one probe half-opens it.
+        self.breaker = CircuitBreaker()
 
     def context(self, spec: ScenarioSpec) -> BuiltScenario:
         """The constructed engine context for a spec, built at most once."""
@@ -320,6 +396,11 @@ class SimulationService:
         miss the result is passed through the exact JSON codec before it
         is returned, so a cold result and its later cache-hit replay are
         byte-identical.
+
+        Cache I/O failures never fail the run: each ``OSError`` on load
+        or store is counted (``error``) and strikes the circuit breaker;
+        once the breaker opens, runs execute cache-off (``degraded``)
+        until the cooldown's half-open probe succeeds.
         """
         if cache is None:
             cache = bool(_CACHE_DEFAULTS["cache"])
@@ -327,18 +408,31 @@ class SimulationService:
             cache_dir = _CACHE_DEFAULTS["cache_dir"]
         use_cache = cache and spec.options.validation is ValidationLevel.OFF
         bus = get_bus()
+        degraded = use_cache and not self.breaker.allow()
+        if degraded:
+            use_cache = False
+            _count("degraded")
+            self._emit_breaker(bus)
         if not use_cache:
-            _count("bypassed" if cache else "uncached")
+            if not degraded:
+                _count("bypassed" if cache else "uncached")
             ctx = self.context(spec)
             return ctx.engine.run(ctx.make_apps(), rep=rep)
 
         store = ResultCache(cache_dir)
-        entry = store.load(spec, rep)
-        if entry is not None:
-            _count("hit")
-            if bus.enabled:
-                self._replay_events(bus, entry.get("events", ()))
-            return result_from_jsonable(entry["result"])
+        try:
+            entry = store.load(spec, rep)
+        except OSError:
+            self._cache_fault(bus)
+            entry = None
+        else:
+            if entry is not None:
+                self.breaker.record_success()
+                self._emit_breaker(bus)
+                _count("hit")
+                if bus.enabled:
+                    self._replay_events(bus, entry.get("events", ()))
+                return result_from_jsonable(entry["result"])
 
         _count("miss")
         ctx = self.context(spec)
@@ -354,8 +448,24 @@ class SimulationService:
         finally:
             bus.detach(ring)
         result = result_from_jsonable(result_to_jsonable(result))
-        store.store(spec, rep, result, ring.events)
+        try:
+            store.store(spec, rep, result, ring.events)
+        except OSError:
+            self._cache_fault(bus)
+        else:
+            self.breaker.record_success()
+            self._emit_breaker(bus)
         return result
+
+    def _cache_fault(self, bus: Any) -> None:
+        _count("error")
+        self.breaker.record_failure()
+        self._emit_breaker(bus)
+
+    def _emit_breaker(self, bus: Any) -> None:
+        for state, failures in self.breaker.drain_transitions():
+            if bus.enabled:
+                bus.emit("orchestrator.breaker", state=state, failures=failures)
 
     @staticmethod
     def _replay_events(bus: Any, events: Any) -> None:

@@ -104,6 +104,63 @@ EVENT_TYPES: dict[str, dict[str, tuple[type, ...]]] = {
         "status": (str,),  # "ok" | "failed" | "quarantined"
         "elapsed_s": (int, float, type(None)),
     },
+    # -- orchestration (durable queue, supervision, graceful degradation) ----
+    # Liveness signal from a supervised worker process (debug level:
+    # several per second per worker).
+    "worker.heartbeat": {"pid": (int,)},
+    # A (spec, rep) run handed to a worker (debug level).
+    "orchestrator.dispatch": {
+        "spec": (str,),
+        "rep": (int,),
+        "attempt": (int,),
+        "worker": (int,),
+    },
+    # An infra fault (dead/hung/stalled worker) sent a run back to the
+    # queue with a backoff delay.
+    "orchestrator.requeue": {
+        "spec": (str,),
+        "rep": (int,),
+        "attempt": (int,),
+        "reason": (str,),  # "worker-died" | "timeout" | "stalled"
+        "delay_s": (int, float),
+    },
+    # Retry budget exhausted: the run becomes a structured failure under
+    # the normal on_error policy.
+    "orchestrator.quarantine": {
+        "spec": (str,),
+        "rep": (int,),
+        "attempts": (int,),
+        "reason": (str,),
+    },
+    # A journaled lease from a dead or expired owner was reclaimed on open.
+    "orchestrator.reclaim": {
+        "key": (str,),
+        "rep": (int,),
+        "owner": (str, type(None)),
+    },
+    # SIGINT/SIGTERM received: dispatch stops, in-flight work drains.
+    "orchestrator.drain": {
+        "signal": (str,),
+        "pending": (int,),
+        "inflight": (int,),
+    },
+    # Cache-tier circuit breaker changed state.
+    "orchestrator.breaker": {
+        "state": (str,),  # "closed" | "open" | "half-open"
+        "failures": (int,),
+    },
+    # A checkpoint could not be parsed; the campaign degrades to a fresh
+    # store (runs re-execute) instead of raising.
+    "checkpoint.corrupt": {"path": (str,), "error": (str,)},
+    # Size-bounded cache eviction pass (repro cache gc).
+    "cache.gc": {
+        "evicted": (int,),
+        "freed_bytes": (int,),
+        "remaining_bytes": (int,),
+    },
+    # -- chaos harness -------------------------------------------------------
+    "chaos.inject": {"kind": (str,), "target": (str,)},
+    "chaos.verdict": {"kind": (str,), "ok": (bool,), "detail": (str,)},
     # -- engine-level (run-internal simulation time) -------------------------
     "flow.start": {"flow_id": (str,)},
     "flow.retry": {"flow_id": (str,), "attempt": (int,)},
@@ -131,7 +188,9 @@ EVENT_TYPES: dict[str, dict[str, tuple[type, ...]]] = {
 }
 
 # Events only emitted when the bus runs at debug level.
-DEBUG_EVENTS = frozenset({"flow.start", "segment.solve", "trace.record"})
+DEBUG_EVENTS = frozenset(
+    {"flow.start", "segment.solve", "trace.record", "worker.heartbeat", "orchestrator.dispatch"}
+)
 
 # Optional per-type payload fields (validated when present).
 _OPTIONAL_FIELDS: dict[str, dict[str, tuple[type, ...]]] = {

@@ -12,6 +12,7 @@ from repro.methodology.plan import ExperimentPlan, ExperimentSpec
 from repro.methodology.protocol import ProtocolConfig
 from repro.methodology.records import RecordStore
 from repro.methodology.runner import ProtocolRunner
+from repro.orchestrator.supervise import SupervisionPolicy
 from repro.telemetry.bus import session
 from repro.telemetry.events import validate_event
 from repro.units import GiB
@@ -155,12 +156,18 @@ class TestFailPolicy:
             [ExperimentSpec("e", "s")],
             ProtocolConfig(repetitions=2, block_size=2, min_wait_s=0, max_wait_s=0),
         )
-        store = ParallelProtocolRunner(
-            DyingExecutor(), n_workers=2, on_error="skip"
-        ).run(plan)
+        policy = SupervisionPolicy(max_retries=1, backoff_base_s=0.01, backoff_cap_s=0.05)
+        runner = ParallelProtocolRunner(
+            DyingExecutor(), n_workers=2, on_error="skip", policy=policy
+        )
+        store = runner.run(plan)
         assert len(store) == 0
         assert len(store.failures) == 2
-        assert all("BrokenProcessPool" in f.error_type for f in store.failures)
+        # Each run is retried once (the budget), then quarantined with
+        # the structured infra error type.
+        assert all(f.error_type == "WorkerCrashed" for f in store.failures)
+        assert runner.supervision_stats["requeues"] == 2
+        assert runner.supervision_stats["quarantines"] == 2
 
 
 class TestWorkerTelemetry:

@@ -1,0 +1,103 @@
+"""Graceful interrupts: drain, checkpoint, resume — serial and parallel."""
+
+import signal
+
+import pytest
+
+from repro.errors import CampaignInterrupted
+from repro.methodology.parallel import ParallelProtocolRunner
+from repro.methodology.plan import ExperimentPlan, ExperimentSpec
+from repro.methodology.runner import ProtocolRunner
+from repro.orchestrator import interrupts
+from repro.orchestrator.interrupts import (
+    EXIT_INTERRUPTED,
+    handle_signals,
+    pending_signal,
+)
+
+from tests.methodology.test_parallel import (
+    DeterministicExecutor,
+    store_bytes,
+    two_spec_plan,
+)
+
+
+class InterruptingExecutor(DeterministicExecutor):
+    """Raises SIGINT in-process at a chosen rep, then keeps working."""
+
+    def __init__(self, interrupt_rep):
+        super().__init__()
+        self.interrupt_rep = interrupt_rep
+
+    def __call__(self, spec, rep):
+        if rep == self.interrupt_rep and spec.factors.get("x") == 0:
+            signal.raise_signal(signal.SIGINT)
+        return super().__call__(spec, rep)
+
+
+class TestSignalFlag:
+    def test_sigint_sets_pending_without_raising(self):
+        with handle_signals():
+            assert pending_signal() is None
+            signal.raise_signal(signal.SIGINT)
+            assert pending_signal() == "SIGINT"
+        assert pending_signal() is None  # cleared on exit
+
+    def test_sigterm_sets_pending(self):
+        with handle_signals():
+            signal.raise_signal(signal.SIGTERM)
+            assert pending_signal() == "SIGTERM"
+
+    def test_exit_code_is_conventional_sigint_code(self):
+        assert EXIT_INTERRUPTED == 130
+
+
+class TestSerialInterrupt:
+    def test_drain_checkpoint_resume_byte_identical(self, tmp_path):
+        plan = two_spec_plan()
+        clean = ProtocolRunner(DeterministicExecutor()).run(plan)
+        expected = store_bytes(clean, tmp_path, "clean")
+        path = tmp_path / "ckpt.json"
+        runner = ProtocolRunner(InterruptingExecutor(4), checkpoint_path=path)
+        with handle_signals():
+            with pytest.raises(CampaignInterrupted) as excinfo:
+                runner.run(plan)
+        assert excinfo.value.signal == "SIGINT"
+        assert excinfo.value.checkpoint == str(path)
+        assert path.exists()
+        from repro.methodology.records import RecordStore
+
+        assert 0 < len(RecordStore.read_json(path)) < plan.num_runs
+        resumed = ProtocolRunner(
+            DeterministicExecutor(), checkpoint_path=path
+        ).resume(plan)
+        assert len(resumed) == plan.num_runs
+        assert store_bytes(resumed, tmp_path, "resumed") == expected
+
+    def test_interrupt_without_checkpoint_still_raises(self):
+        plan = two_spec_plan()
+        with handle_signals():
+            with pytest.raises(CampaignInterrupted) as excinfo:
+                ProtocolRunner(InterruptingExecutor(2)).run(plan)
+        assert excinfo.value.checkpoint is None
+
+
+class TestParallelInterrupt:
+    def test_pre_raised_signal_drains_immediately_then_resumes(self, tmp_path):
+        plan = two_spec_plan()
+        clean = ProtocolRunner(DeterministicExecutor()).run(plan)
+        expected = store_bytes(clean, tmp_path, "clean")
+        path = tmp_path / "ckpt.json"
+        with handle_signals():
+            signal.raise_signal(signal.SIGTERM)
+            with pytest.raises(CampaignInterrupted) as excinfo:
+                ParallelProtocolRunner(
+                    DeterministicExecutor(), n_workers=2, checkpoint_path=path
+                ).run(plan)
+        assert excinfo.value.signal == "SIGTERM"
+        interrupts.clear()
+        resumed = ParallelProtocolRunner(
+            DeterministicExecutor(), n_workers=2, checkpoint_path=path
+        ).resume(plan)
+        assert len(resumed) == plan.num_runs
+        assert store_bytes(resumed, tmp_path, "resumed") == expected

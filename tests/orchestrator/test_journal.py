@@ -1,0 +1,56 @@
+"""The fsync'd JSONL journal: durable appends, tolerant reads."""
+
+from repro.orchestrator.journal import Journal, fsync_dir, read_records
+
+
+class TestJournal:
+    def test_append_read_roundtrip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append({"op": "a", "n": 1})
+        journal.append({"op": "b", "n": 2})
+        journal.close()
+        records, torn = read_records(path)
+        assert torn == 0
+        assert records == [{"op": "a", "n": 1}, {"op": "b", "n": 2}]
+
+    def test_append_many_single_batch(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append_many([{"n": i} for i in range(5)])
+        journal.close()
+        records, _ = read_records(path)
+        assert [r["n"] for r in records] == list(range(5))
+
+    def test_torn_trailing_line_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append({"op": "a"})
+        journal.close()
+        with open(path, "a") as fh:
+            fh.write('{"op": "tor')  # a crash mid-write
+        records, torn = read_records(path)
+        assert records == [{"op": "a"}]
+        assert torn == 1
+
+    def test_garbage_line_in_middle_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"op": "a"}\nnot json at all\n{"op": "b"}\n')
+        records, torn = read_records(path)
+        assert [r["op"] for r in records] == ["a", "b"]
+        assert torn == 1
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        records, torn = read_records(tmp_path / "nope.jsonl")
+        assert records == [] and torn == 0
+
+    def test_unlink_removes(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append({"op": "a"})
+        journal.unlink()
+        assert not path.exists()
+        journal.unlink()  # idempotent
+
+    def test_fsync_dir_tolerates_missing_dir(self, tmp_path):
+        fsync_dir(tmp_path / "does-not-exist")  # must not raise

@@ -1,0 +1,139 @@
+"""The durable job queue: crash-safe transitions, lease reclaim."""
+
+import os
+
+import pytest
+
+from repro.errors import OrchestratorError
+from repro.orchestrator.queue import DurableJobQueue, default_owner
+
+# A pid far above any default pid_max: provably not a live process.
+_DEAD_PID = 2**30
+
+
+def reopened(path, **kwargs):
+    return DurableJobQueue(path, **kwargs).open()
+
+
+class TestTransitions:
+    def test_states_survive_reopen(self, tmp_path):
+        path = tmp_path / "q.journal"
+        queue = reopened(path)
+        queue.enqueue("a", 0)
+        queue.enqueue("a", 1)
+        queue.lease("a", 0)
+        queue.mark_done("a", 0)
+        queue.close()
+        fresh = reopened(path)
+        assert fresh.entries[("a", 0)].state == "done"
+        assert fresh.entries[("a", 1)].state == "queued"
+        assert fresh.counts() == {"queued": 1, "leased": 0, "done": 1, "failed": 0}
+
+    def test_enqueue_many_batches(self, tmp_path):
+        queue = reopened(tmp_path / "q.journal")
+        assert queue.enqueue_many([("a", 0), ("a", 1), ("b", 0)]) == 3
+        assert queue.enqueue_many([("a", 0)]) == 0  # already pending
+        assert len(queue.pending()) == 3
+
+    def test_requeue_increments_attempt(self, tmp_path):
+        queue = reopened(tmp_path / "q.journal")
+        queue.enqueue("a", 0)
+        queue.lease("a", 0)
+        entry = queue.requeue("a", 0)
+        assert entry.state == "queued" and entry.attempt == 1
+        assert queue.requeue("a", 0, attempt=7).attempt == 7
+
+    def test_lease_of_finished_job_rejected(self, tmp_path):
+        queue = reopened(tmp_path / "q.journal")
+        queue.enqueue("a", 0)
+        queue.mark_failed("a", 0)
+        with pytest.raises(OrchestratorError, match="failed"):
+            queue.lease("a", 0)
+
+    def test_enqueue_reopens_finished_jobs(self, tmp_path):
+        # The runner only re-enqueues work that is *not* in the record
+        # store — the store, not the journal, is authoritative.  A job a
+        # previous attempt marked done/failed must be retryable.
+        path = tmp_path / "q.journal"
+        queue = reopened(path)
+        queue.enqueue("a", 0)
+        queue.mark_failed("a", 0)
+        queue.close()
+        fresh = reopened(path)
+        fresh.enqueue("a", 0)
+        assert fresh.entries[("a", 0)].state == "queued"
+        fresh.lease("a", 0)  # leasable again
+
+    def test_use_before_open_rejected(self, tmp_path):
+        with pytest.raises(OrchestratorError, match="open"):
+            DurableJobQueue(tmp_path / "q.journal").enqueue("a", 0)
+
+    def test_close_remove_deletes_journal(self, tmp_path):
+        path = tmp_path / "q.journal"
+        queue = reopened(path)
+        queue.enqueue("a", 0)
+        assert path.exists()
+        queue.close(remove=True)
+        assert not path.exists()
+
+
+class TestLeaseReclaim:
+    def test_dead_owner_lease_reclaimed(self, tmp_path):
+        path = tmp_path / "q.journal"
+        crashed = reopened(path, owner=f"pid:{_DEAD_PID}")
+        crashed.enqueue("a", 0)
+        crashed.lease("a", 0)
+        crashed.close()  # the "crash": lease never released
+        fresh = reopened(path)
+        assert [e.job_id for e in fresh.reclaimed] == [("a", 0)]
+        entry = fresh.entries[("a", 0)]
+        assert entry.state == "queued" and entry.owner is None
+
+    def test_expired_lease_reclaimed(self, tmp_path):
+        path = tmp_path / "q.journal"
+        queue = DurableJobQueue(path, owner="runner:elsewhere", lease_s=10.0)
+        queue.open(now=1000.0)
+        queue.enqueue("a", 0)
+        queue.lease("a", 0, now=1000.0)
+        queue.close()
+        fresh = DurableJobQueue(path)
+        fresh.open(now=2000.0)
+        assert len(fresh.reclaimed) == 1
+
+    def test_live_owner_lease_kept(self, tmp_path):
+        path = tmp_path / "q.journal"
+        mine = reopened(path)  # owner = this (live) pid
+        mine.enqueue("a", 0)
+        mine.lease("a", 0)
+        mine.close()
+        fresh = reopened(path)
+        assert fresh.reclaimed == []
+        assert fresh.entries[("a", 0)].state == "leased"
+
+    def test_reclaim_survives_another_reopen(self, tmp_path):
+        path = tmp_path / "q.journal"
+        crashed = reopened(path, owner=f"pid:{_DEAD_PID}")
+        crashed.enqueue("a", 0)
+        crashed.lease("a", 0)
+        crashed.close()
+        reopened(path).close()  # reclaim journaled here
+        third = reopened(path)
+        assert third.reclaimed == []  # nothing left to reclaim
+        assert third.entries[("a", 0)].state == "queued"
+
+
+class TestToleranceAndOwner:
+    def test_torn_journal_lines_tolerated(self, tmp_path):
+        path = tmp_path / "q.journal"
+        queue = reopened(path)
+        queue.enqueue("a", 0)
+        queue.close()
+        with open(path, "a") as fh:
+            fh.write('{"op": "lea\n')
+            fh.write('{"op": "x", "key": "b", "rep": 0, "state": "bogus"}\n')
+        fresh = reopened(path)
+        assert fresh.torn_lines == 2
+        assert fresh.entries[("a", 0)].state == "queued"
+
+    def test_default_owner_is_this_pid(self):
+        assert default_owner() == f"pid:{os.getpid()}"

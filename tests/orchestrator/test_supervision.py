@@ -1,0 +1,77 @@
+"""Supervision policy (backoff, windows) and the cache circuit breaker."""
+
+from repro.orchestrator.supervise import CircuitBreaker, SupervisionPolicy
+
+
+class TestBackoff:
+    def test_deterministic_for_same_inputs(self):
+        policy = SupervisionPolicy()
+        a = policy.backoff_s("spec", 3, 2, seed=7)
+        b = policy.backoff_s("spec", 3, 2, seed=7)
+        assert a == b
+
+    def test_jitter_varies_with_identity(self):
+        policy = SupervisionPolicy()
+        delays = {
+            policy.backoff_s(key, rep, 1, seed=0)
+            for key in ("a", "b")
+            for rep in (0, 1)
+        }
+        assert len(delays) == 4  # same attempt, four distinct jitters
+
+    def test_exponential_growth_until_cap(self):
+        policy = SupervisionPolicy(backoff_base_s=0.1, backoff_cap_s=0.4)
+        delays = [policy.backoff_s("k", 0, attempt, seed=0) for attempt in (1, 2, 3, 9)]
+        # Base doubles per attempt (0.1, 0.2, 0.4) then pins at the cap;
+        # jitter multiplies by [1.0, 1.5).
+        for delay, base in zip(delays, (0.1, 0.2, 0.4, 0.4)):
+            assert base <= delay < base * 1.5
+        assert delays[3] == delays[2] or abs(delays[3] - delays[2]) < 0.4 * 0.5
+
+    def test_window_scales_with_workers(self):
+        assert SupervisionPolicy().window_for(4) == 16
+        assert SupervisionPolicy(window=3).window_for(8) == 3
+
+    def test_lease_outlives_timeout(self):
+        policy = SupervisionPolicy(run_timeout_s=10.0)
+        assert policy.lease_s > policy.run_timeout_s
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown_s=60)
+        for _ in range(2):
+            breaker.record_failure(now=0.0)
+        assert breaker.allow(now=1.0)
+        breaker.record_failure(now=2.0)
+        assert not breaker.allow(now=3.0)
+
+    def test_half_open_probe_after_cooldown(self):
+        breaker = CircuitBreaker(threshold=1, cooldown_s=10)
+        breaker.record_failure(now=0.0)
+        assert not breaker.allow(now=5.0)
+        assert breaker.allow(now=11.0)  # half-open: one probe allowed
+
+    def test_success_closes_from_half_open(self):
+        breaker = CircuitBreaker(threshold=1, cooldown_s=10)
+        breaker.record_failure(now=0.0)
+        assert breaker.allow(now=11.0)
+        breaker.record_success()
+        assert breaker.allow(now=11.5)
+        assert breaker.allow(now=12.0)
+
+    def test_half_open_failure_reopens(self):
+        breaker = CircuitBreaker(threshold=3, cooldown_s=10)
+        breaker.record_failure(now=0.0)
+        breaker.record_failure(now=0.0)
+        breaker.record_failure(now=0.0)
+        assert breaker.allow(now=11.0)
+        breaker.record_failure(now=11.0)  # the probe failed
+        assert not breaker.allow(now=12.0)
+
+    def test_transitions_drain_once(self):
+        breaker = CircuitBreaker(threshold=1, cooldown_s=10)
+        breaker.record_failure(now=0.0)
+        drained = breaker.drain_transitions()
+        assert [state for state, _ in drained] == ["open"]
+        assert breaker.drain_transitions() == []

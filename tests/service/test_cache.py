@@ -228,3 +228,60 @@ class TestSweep:
 
         with pytest.raises(ExperimentError):
             sweep("e", scenario=())
+
+
+class TestCacheGC:
+    def populate(self, tmp_path, reps=4):
+        spec = _spec()
+        svc = get_service()
+        for rep in range(reps):
+            svc.run(spec, rep, cache_dir=tmp_path)
+        return sorted((tmp_path).glob("*/*/*.json"))
+
+    def test_evicts_oldest_mtime_first(self, tmp_path):
+        import os
+
+        entries = self.populate(tmp_path)
+        assert len(entries) == 4
+        # Age the first two entries; they must be the eviction victims.
+        for i, path in enumerate(entries):
+            os.utime(path, (1000.0 + i, 1000.0 + i))
+        keep = sum(p.stat().st_size for p in entries[2:])
+        summary = ResultCache(tmp_path).gc(keep)
+        assert summary["evicted"] == 2
+        assert summary["remaining_bytes"] == keep
+        survivors = sorted(tmp_path.glob("*/*/*.json"))
+        assert survivors == entries[2:]
+
+    def test_zero_budget_clears_cache_and_prunes_dirs(self, tmp_path):
+        self.populate(tmp_path)
+        summary = ResultCache(tmp_path).gc(0)
+        assert summary["remaining_bytes"] == 0
+        assert list(tmp_path.glob("*/*/*.json")) == []
+        assert list(tmp_path.glob("*")) == []  # fingerprint dirs pruned
+
+    def test_large_budget_evicts_nothing(self, tmp_path):
+        entries = self.populate(tmp_path)
+        summary = ResultCache(tmp_path).gc(10**12)
+        assert summary["evicted"] == 0
+        assert sorted(tmp_path.glob("*/*/*.json")) == entries
+
+    def test_negative_budget_rejected(self, tmp_path):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            ResultCache(tmp_path).gc(-1)
+
+    def test_eviction_counter_and_event(self, tmp_path):
+        self.populate(tmp_path)
+        bus = get_bus()
+        ring = RingBufferSink(256)
+        bus.attach(ring)
+        try:
+            ResultCache(tmp_path).gc(0)
+        finally:
+            bus.detach(ring)
+        gc_events = [e for e in ring.events if e["event"] == "cache.gc"]
+        assert len(gc_events) == 1
+        assert gc_events[0]["evicted"] == 4
+        assert bus.metrics.counter("service.cache.evicted").value >= 4
