@@ -51,9 +51,25 @@ Subcommands
     entries, deny the cache directory — and assert every campaign still
     completes with a byte-identical record store.  Exit 0 means all
     injections were survived.
-``cache gc --max-bytes N [--cache-dir DIR]``
+``cache gc --max-bytes N [--cache-dir DIR] [--dry-run]``
     Evict result-cache entries, oldest first, until the cache fits in N
-    bytes (accepts unit suffixes, e.g. ``500MiB``).
+    bytes (accepts unit suffixes, e.g. ``500MiB``).  ``--dry-run``
+    reports what would be evicted without deleting anything.
+``serve --state-dir DIR [--host H] [--port P] [--workers N]
+[--max-pending N] [--io-timeout-s S] [--session-lease-s S]
+[--telemetry PATH]``
+    Run the networked allocation orchestrator: a long-lived server that
+    admits (fingerprint, rep) jobs from remote clients, executes them
+    through the simulation service, and journals every admission so a
+    killed server restarts with its campaign intact.  ``SIGTERM``
+    drains gracefully (stop admitting, finish leased jobs, exit 0).
+``submit EXP_ID --remote HOST:PORT [--reps N] [--seed S] [--out DIR]
+[--priority {interactive,batch}] [--deadline-s S] [--no-fallback]``
+    Run one experiment's campaign against a remote ``serve`` instance
+    under the paper's exact protocol; records are byte-identical to a
+    local ``run``.  Transient faults retry with backoff; with fallback
+    enabled (default) an unreachable server degrades to local
+    execution instead of failing the campaign.
 ``stats PATH``
     Render the campaign dashboard from a ``--telemetry`` JSONL stream:
     progress, failure rates, bandwidth distributions (with bimodality
@@ -300,6 +316,105 @@ def build_parser() -> argparse.ArgumentParser:
         help="result cache directory (default: $REPRO_CACHE_DIR or "
         "~/.cache/beegfs-repro)",
     )
+    cache_p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be evicted without deleting anything",
+    )
+
+    serve_p = sub.add_parser(
+        "serve", help="run the networked allocation orchestrator server"
+    )
+    serve_p.add_argument(
+        "--state-dir",
+        type=Path,
+        required=True,
+        metavar="DIR",
+        help="durable server state: job WAL, session WAL, specs, result cache",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 binds an ephemeral port; the bound port is printed)",
+    )
+    serve_p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="job worker threads (execution itself is serialized; workers "
+        "pipeline journal writes, cache replays and client waits)",
+    )
+    serve_p.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission window: jobs admitted but not finished (default: 64)",
+    )
+    serve_p.add_argument(
+        "--io-timeout-s",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="per-recv socket deadline; slower clients are evicted",
+    )
+    serve_p.add_argument(
+        "--session-lease-s",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="client session lease; silent clients are evicted after this",
+    )
+    serve_p.add_argument(
+        "--telemetry",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append the server's structured JSONL event stream",
+    )
+
+    submit_p = sub.add_parser(
+        "submit", help="run one experiment's campaign against a remote server"
+    )
+    submit_p.add_argument("exp_id", help="experiment id (see 'list')")
+    submit_p.add_argument(
+        "--remote",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of a running 'serve' instance",
+    )
+    submit_p.add_argument(
+        "--reps", type=int, default=None, help="repetitions (default: paper's)"
+    )
+    submit_p.add_argument("--seed", type=int, default=0)
+    submit_p.add_argument(
+        "--out", type=Path, default=None, help="directory for CSV records"
+    )
+    submit_p.add_argument(
+        "--priority",
+        choices=["interactive", "batch"],
+        default="batch",
+        help="admission priority class (default: batch)",
+    )
+    submit_p.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="overall per-run deadline (submit + wait + retries)",
+    )
+    submit_p.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="fail instead of degrading to local execution when the server "
+        "stays unreachable",
+    )
+    submit_p.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
 
     stats_p = sub.add_parser("stats", help="campaign dashboard from a telemetry stream")
     stats_p.add_argument("path", type=Path, help="JSONL stream written by 'run --telemetry'")
@@ -459,12 +574,112 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     from .units import parse_size
 
     cache = ResultCache(args.cache_dir)
-    summary = cache.gc(int(parse_size(args.max_bytes)))
-    print(
-        f"cache gc in {cache.root}: {summary['scanned']} entr(y/ies) scanned, "
-        f"{summary['evicted']} evicted ({summary['freed_bytes']} bytes freed), "
-        f"{summary['remaining_bytes']} bytes remain"
+    summary = cache.gc(int(parse_size(args.max_bytes)), dry_run=args.dry_run)
+    if args.dry_run:
+        print(
+            f"cache gc in {cache.root} (dry run): "
+            f"{summary['scanned']} entr(y/ies) scanned, "
+            f"{summary['evicted']} would be evicted "
+            f"({summary['freed_bytes']} bytes would be freed), "
+            f"{summary['remaining_bytes']} bytes would remain"
+        )
+    else:
+        print(
+            f"cache gc in {cache.root}: {summary['scanned']} entr(y/ies) scanned, "
+            f"{summary['evicted']} evicted ({summary['freed_bytes']} bytes freed), "
+            f"{summary['remaining_bytes']} bytes remain"
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .server import OrchestratorServer, ServerConfig
+    from .telemetry.bus import session as telemetry_session
+
+    config = ServerConfig(
+        state_dir=args.state_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_pending=args.max_pending,
+        io_timeout_s=args.io_timeout_s,
+        session_lease_s=args.session_lease_s,
     )
+    with ExitStack() as stack:
+        if args.telemetry is not None:
+            stack.enter_context(telemetry_session(jsonl=args.telemetry))
+        server = OrchestratorServer(config).start()
+
+        def _drain(signum: int, _frame: object) -> None:
+            server.request_drain(signal.Signals(signum).name)
+
+        signal.signal(signal.SIGTERM, _drain)
+        signal.signal(signal.SIGINT, _drain)
+        acceptor = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.1}, daemon=True
+        )
+        acceptor.start()
+        recovered = len(server.queue.entries)
+        print(
+            f"serving on {config.host}:{server.port} "
+            f"(state: {config.state_dir}, {recovered} journaled job(s), "
+            f"{server.sessions.resumed} resumed session(s))",
+            flush=True,
+        )
+        try:
+            # Signal handlers run on this thread between polls; the
+            # drained event fires once the in-flight tail finishes.
+            while not server.wait_drained(timeout=0.5):
+                pass
+        finally:
+            server.close()
+            acceptor.join(timeout=5.0)
+        print("drained; all leased jobs finished, state checkpointed", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .client import remote_run_specs
+    from .errors import RemoteError
+
+    host, _, port_text = args.remote.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"error: --remote must be HOST:PORT, got {args.remote!r}", file=sys.stderr)
+        return 2
+    info = get_experiment(args.exp_id)
+    if info.specs is None:
+        raise RemoteError(
+            f"experiment {args.exp_id!r} has no declarative sweep and cannot "
+            "run remotely (its runs need a custom apps builder)"
+        )
+    specs = info.specs()
+    reps = args.reps if args.reps is not None else info.default_repetitions
+    progress = None if args.quiet else lambda msg: print(f"  .. {msg}", file=sys.stderr)
+    print(
+        f"== {info.exp_id}: {info.title} ({len(specs)} spec(s) x {reps} reps "
+        f"via {host or '127.0.0.1'}:{port}) =="
+    )
+    store = remote_run_specs(
+        specs,
+        host or "127.0.0.1",
+        port,
+        repetitions=reps,
+        seed=args.seed,
+        progress=progress,
+        deadline_s=args.deadline_s,
+        fallback=not args.no_fallback,
+        priority=args.priority,
+    )
+    if args.out is not None and len(store) > 0:
+        path = args.out / f"{args.exp_id}.csv"
+        store.write_csv(path)
+        print(f"records written to {path}")
+    print(f"{len(store)} run(s) recorded", file=sys.stderr)
     return 0
 
 
@@ -707,6 +922,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_chaos(args)
     if args.command == "cache":
         return _cmd_cache(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     if args.command == "stats":
         return _cmd_stats(args)
     if args.command == "tail":

@@ -32,6 +32,9 @@ __all__ = [
     "OrchestratorError",
     "CampaignInterrupted",
     "ChaosError",
+    "ServerError",
+    "ProtocolError",
+    "RemoteError",
     "AnalysisError",
     "TelemetryError",
     "VerificationError",
@@ -168,6 +171,33 @@ class CampaignInterrupted(ExperimentError):
 
 class ChaosError(ReproError):
     """The chaos harness could not set up or drive an injection."""
+
+
+class ServerError(ReproError):
+    """Base class for errors of the networked orchestrator server."""
+
+
+class ProtocolError(ServerError, ValueError):
+    """A wire frame or message violated the length-prefixed JSON protocol.
+
+    Covers torn frames (connection closed mid-length or mid-body),
+    oversized frames, undecodable bodies and version mismatches — all
+    the shapes a half-written frame takes on the reader's side.
+    """
+
+
+class RemoteError(ServerError):
+    """The remote orchestrator could not serve a request.
+
+    Raised by the client after its retry budget (and local fallback,
+    when enabled) is exhausted, or when the server answers with a
+    structured error frame.  ``retry_after_s`` carries the server's
+    load-shedding hint when one was given.
+    """
+
+    def __init__(self, message: str, retry_after_s: "float | None" = None):
+        self.retry_after_s = float(retry_after_s) if retry_after_s is not None else None
+        super().__init__(message)
 
 
 class AnalysisError(ReproError, ValueError):

@@ -11,7 +11,16 @@ fault class at a time:
 ``checkpoint-truncate`` tear the checkpoint file in half, then resume;
 ``cache-truncate``      corrupt result-cache entries under a warm run;
 ``cache-deny``          make the cache directory unusable (every open
-                        fails with ``NotADirectoryError``).
+                        fails with ``NotADirectoryError``);
+``server-kill``         SIGKILL the orchestrator *server* subprocess
+                        mid-campaign with a job journaled, restart it,
+                        and let client retries bridge the gap;
+``conn-reset``          hard-reset (RST) the client's TCP connection
+                        mid-result-stream through a byte-level proxy;
+``half-frame``          truncate a server->client frame mid-body, then
+                        reset — the client holds a torn frame;
+``slow-client``         a slow-loris client dribbles a request one byte
+                        at a time; the server must evict it, not stall.
 
 The verdict for every injection is the same two-part contract the rest
 of the repo is built on: the campaign must still *complete*, and the
@@ -59,6 +68,10 @@ INJECTIONS = (
     "checkpoint-truncate",
     "cache-truncate",
     "cache-deny",
+    "server-kill",
+    "conn-reset",
+    "half-frame",
+    "slow-client",
 )
 
 # Tight supervision so injected hangs/crashes resolve in seconds: a
@@ -400,6 +413,248 @@ def _inject_cache_deny(
     return checks
 
 
+# -- network injections (the orchestrator server under attack) ---------------------
+
+
+def _remote_campaign(plan, scenarios, port: int, seed: int, **client_kw):
+    """Run the chaos campaign against a server; returns (store, client stats)."""
+    from repro.client import RemoteExecutor
+
+    executor = RemoteExecutor(
+        scenarios=scenarios,
+        host="127.0.0.1",
+        port=port,
+        seed=seed,
+        fallback=False,  # a masked fault must fail loudly, not run locally
+        **client_kw,
+    )
+    try:
+        store = ProtocolRunner(executor).run(plan)
+        stats = dict(executor.client().stats)
+    finally:
+        executor.close()
+    return store, stats
+
+
+def _count_admits(events) -> int:
+    return sum(1 for e in events if e.get("event") == "server.admit")
+
+
+def _free_port() -> int:
+    import socket as socketlib
+
+    with socketlib.socket(socketlib.AF_INET, socketlib.SOCK_STREAM) as s:
+        s.setsockopt(socketlib.SOL_SOCKET, socketlib.SO_REUSEADDR, 1)
+        s.bind(("127.0.0.1", 0))
+        return int(s.getsockname()[1])
+
+
+def _start_serve(port: int, state: Path, telemetry: Path) -> subprocess.Popen:
+    """A ``repro serve`` subprocess; blocks until it prints its banner."""
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parent.parent.parent)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--state-dir",
+            str(state),
+            "--port",
+            str(port),
+            "--telemetry",
+            str(telemetry),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    banner = proc.stdout.readline() if proc.stdout else ""
+    if "serving on" not in banner:
+        proc.kill()
+        raise ChaosError(f"serve subprocess failed to start: {banner!r}")
+    return proc
+
+
+class _KillServerExecutor:
+    """Wraps a RemoteExecutor; on the Nth run it journals a submit on the
+    server, SIGKILLs the server subprocess, and restarts it — so the WAL
+    holds an unfinished job and client retries must bridge the outage."""
+
+    def __init__(self, inner, holder: dict, kill_on_call: int = 3):
+        self.inner = inner
+        self.holder = holder
+        self.kill_on_call = kill_on_call
+        self.calls = 0
+
+    def __call__(self, spec, rep):
+        self.calls += 1
+        if self.calls == self.kill_on_call and not self.holder.get("killed"):
+            scenario = self.inner.scenarios[spec.key]
+            self.inner.client().submit(scenario, rep)  # journaled server-side
+            self.holder["killed"] = True
+            proc = self.holder["proc"]
+            proc.kill()
+            self.holder["first_rc"] = proc.wait(timeout=30)
+            self.holder["proc"] = self.holder["restart"]()
+        return self.inner(spec, rep)
+
+
+def _inject_server_kill(
+    plan, scenarios, baseline: str, workers: int, seed: int, tmp: Path
+) -> _Checks:
+    from repro.client import RemoteExecutor
+
+    checks = _Checks()
+    state = tmp / "server-state"
+    telemetry = tmp / "server.jsonl"
+    port = _free_port()
+    holder: dict = {"restart": lambda: _start_serve(port, state, telemetry)}
+    holder["proc"] = holder["restart"]()
+    inner = RemoteExecutor(
+        scenarios=scenarios,
+        host="127.0.0.1",
+        port=port,
+        seed=seed,
+        fallback=False,
+        max_attempts=30,  # generous: must outlast the ~1s restart window
+    )
+    try:
+        store = ProtocolRunner(_KillServerExecutor(inner, holder)).run(plan)
+        stats = dict(inner.client().stats)
+    finally:
+        inner.close()
+        proc = holder.get("proc")
+    checks.expect(
+        holder.get("first_rc") == -signal.SIGKILL,
+        f"server died by SIGKILL mid-campaign (rc={holder.get('first_rc')})",
+    )
+    checks.expect(len(store) == plan.num_runs, f"all {plan.num_runs} runs recorded")
+    checks.expect(
+        _store_text(store, tmp, "server-kill") == baseline,
+        "store byte-identical to baseline across the restart",
+    )
+    checks.expect(
+        stats.get("retries", 0) >= 1,
+        f"client retries bridged the outage (retries={stats.get('retries', 0)})",
+    )
+    # Graceful drain: SIGTERM must finish the tail and exit 0.
+    if proc is not None and proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            rc = proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            rc = proc.wait(timeout=10)
+        checks.expect(rc == 0, f"SIGTERM drained and exited 0 (rc={rc})")
+    # Idempotency across both server generations: the telemetry file is
+    # appended by both processes; each unique (fingerprint, rep) may be
+    # admitted exactly once, resubmissions and recovery notwithstanding.
+    admits = 0
+    try:
+        import json as jsonlib
+
+        for line in telemetry.read_text().splitlines():
+            if line.strip() and jsonlib.loads(line).get("event") == "server.admit":
+                admits += 1
+    except OSError:
+        pass
+    checks.expect(
+        admits == plan.num_runs,
+        f"each job admitted exactly once across restart (admits={admits})",
+    )
+    return checks
+
+
+def _inject_proxy_fault(
+    mode: str, plan, scenarios, baseline: str, workers: int, seed: int, tmp: Path
+) -> _Checks:
+    from repro.server import ServerConfig
+    from repro.server.netchaos import ChaosProxy, serve_in_thread
+    from repro.telemetry.bus import RingBufferSink, get_bus
+
+    checks = _Checks()
+    config = ServerConfig(
+        state_dir=tmp / "state", workers=2, io_timeout_s=5.0, wait_cap_s=5.0
+    )
+    ring = RingBufferSink(65536)
+    bus = get_bus()
+    bus.attach(ring)
+    try:
+        with serve_in_thread(config) as server:
+            # Fault after ~300 forwarded server->client bytes: past the
+            # welcome and accepted frames, inside the first result frame.
+            with ChaosProxy(server.port, mode=mode, fault_after_bytes=300) as proxy:
+                store, stats = _remote_campaign(
+                    plan, scenarios, proxy.port, seed, max_attempts=10
+                )
+                faulted = proxy.faulted
+    finally:
+        bus.detach(ring)
+    checks.expect(faulted, f"proxy injected the {mode} fault")
+    checks.expect(len(store) == plan.num_runs, f"all {plan.num_runs} runs recorded")
+    checks.expect(
+        _store_text(store, tmp, mode) == baseline,
+        "store byte-identical to baseline through the fault",
+    )
+    checks.expect(
+        stats.get("retries", 0) >= 1,
+        f"client retried through the fault (retries={stats.get('retries', 0)})",
+    )
+    admits = _count_admits(ring.events)
+    checks.expect(
+        admits == plan.num_runs,
+        f"resubmissions were idempotent (admits={admits})",
+    )
+    return checks
+
+
+def _inject_slow_client(
+    plan, scenarios, baseline: str, workers: int, seed: int, tmp: Path
+) -> _Checks:
+    import threading
+
+    from repro.server import ServerConfig
+    from repro.server.netchaos import serve_in_thread, slow_loris
+
+    checks = _Checks()
+    # A read deadline far below the loris's dribble rate: the server must
+    # cut the connection instead of pinning a handler thread on it.
+    config = ServerConfig(
+        state_dir=tmp / "state", workers=2, io_timeout_s=0.3, wait_cap_s=5.0
+    )
+    outcome: dict = {}
+
+    with serve_in_thread(config) as server:
+
+        def _loris() -> None:
+            sent, evicted = slow_loris(server.port, dribble_s=0.8)
+            outcome.update(sent=sent, evicted=evicted)
+
+        attacker = threading.Thread(target=_loris, daemon=True)
+        attacker.start()
+        store, _stats = _remote_campaign(
+            plan, scenarios, server.port, seed, max_attempts=10
+        )
+        attacker.join(timeout=60)
+    checks.expect(
+        outcome.get("evicted") is True,
+        f"slow-loris evicted by the read deadline (sent {outcome.get('sent')} bytes)",
+    )
+    checks.expect(
+        len(store) == plan.num_runs,
+        f"campaign unaffected by the loris ({len(store)} runs)",
+    )
+    checks.expect(
+        _store_text(store, tmp, "slow") == baseline,
+        "store byte-identical to baseline",
+    )
+    return checks
+
+
 _RUNNERS: dict[str, Callable] = {
     "worker-kill": lambda *a: _inject_worker_fault("kill", *a),
     "worker-hang": lambda *a: _inject_worker_fault("hang", *a),
@@ -407,6 +662,10 @@ _RUNNERS: dict[str, Callable] = {
     "checkpoint-truncate": _inject_checkpoint_truncate,
     "cache-truncate": _inject_cache_truncate,
     "cache-deny": _inject_cache_deny,
+    "server-kill": _inject_server_kill,
+    "conn-reset": lambda *a: _inject_proxy_fault("reset", *a),
+    "half-frame": lambda *a: _inject_proxy_fault("truncate", *a),
+    "slow-client": _inject_slow_client,
 }
 
 

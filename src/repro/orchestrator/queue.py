@@ -21,6 +21,7 @@ so all reads are tolerant.
 from __future__ import annotations
 
 import os
+import socket
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -29,23 +30,70 @@ from typing import Any
 from repro.errors import OrchestratorError
 from repro.orchestrator.journal import Journal, read_records
 
-__all__ = ["JobEntry", "DurableJobQueue", "default_owner"]
+__all__ = ["JobEntry", "DurableJobQueue", "default_owner", "process_start_ticks"]
 
 _STATES = ("queued", "leased", "done", "failed")
 
 
+def process_start_ticks(pid: int) -> int | None:
+    """The kernel start time (clock ticks since boot) of ``pid``, or None.
+
+    Field 22 of ``/proc/<pid>/stat`` — the one pid attribute that
+    survives nothing: a reused pid gets a fresh start time, so
+    ``(pid, start_ticks)`` identifies a process where a bare pid does
+    not.  Returns ``None`` off Linux or when the process is gone.
+    """
+    try:
+        text = Path(f"/proc/{pid}/stat").read_text()
+        # comm (field 2) may contain spaces and parens: split after the
+        # *last* ')' — everything beyond is whitespace-separated fields
+        # 3.., so starttime (field 22) is index 19 of the remainder.
+        rest = text[text.rindex(")") + 2 :].split()
+        return int(rest[19])
+    except (OSError, ValueError, IndexError):
+        return None
+
+
 def default_owner() -> str:
-    """The owner token for this process (``pid:<n>``)."""
-    return f"pid:{os.getpid()}"
+    """The owner token for this process: ``pid:<n>@<host>#<start-ticks>``.
+
+    A bare pid misidentifies dead owners after pid reuse (the number
+    comes back as someone else) and across hosts (a shared filesystem
+    shows host A's journal to host B, whose pid table says nothing
+    about A's processes) — so the token carries the hostname and the
+    process start time too.  Legacy ``pid:<n>`` tokens from older
+    journals still parse, and are treated as local.
+    """
+    start = process_start_ticks(os.getpid())
+    return f"pid:{os.getpid()}@{socket.gethostname()}#{start if start is not None else 0}"
+
+
+def _owner_parts(owner: str | None) -> tuple[int | None, str | None, int | None]:
+    """``(pid, host, start_ticks)`` of an owner token; Nones where absent."""
+    if not owner or not owner.startswith("pid:"):
+        return None, None, None
+    body = owner[len("pid:") :]
+    host: str | None = None
+    start: int | None = None
+    if "@" in body:
+        pid_text, _, rest = body.partition("@")
+        host, _, start_text = rest.partition("#")
+        host = host or None
+        if start_text:
+            try:
+                start = int(start_text)
+            except ValueError:
+                start = None
+    else:
+        pid_text = body
+    try:
+        return int(pid_text), host, start
+    except ValueError:
+        return None, host, start
 
 
 def _owner_pid(owner: str | None) -> int | None:
-    if not owner or not owner.startswith("pid:"):
-        return None
-    try:
-        return int(owner.split(":", 1)[1])
-    except ValueError:
-        return None
+    return _owner_parts(owner)[0]
 
 
 def _pid_alive(pid: int) -> bool:
@@ -58,6 +106,32 @@ def _pid_alive(pid: int) -> bool:
         # reclaiming work from a live process would double-execute it.
         return True
     return True
+
+
+def _owner_provably_dead(owner: str | None) -> bool:
+    """May a lease from ``owner`` be reclaimed before it expires?
+
+    Only when the owner is a *local* process we can prove is gone:
+
+    * a foreign-host token is never provably dead — this host's pid
+      table says nothing about another machine, so the lease must ride
+      out its expiry instead;
+    * a local pid that no longer exists is dead;
+    * a local pid that exists but with a *different* start time is a
+      pid-reuse impostor — the original owner is dead.
+    """
+    pid, host, start = _owner_parts(owner)
+    if pid is None or pid == os.getpid():
+        return False
+    if host is not None and host != socket.gethostname():
+        return False
+    if not _pid_alive(pid):
+        return True
+    if start is not None and start != 0:
+        current = process_start_ticks(pid)
+        if current is not None and current != start:
+            return True
+    return False
 
 
 @dataclass
@@ -112,9 +186,7 @@ class DurableJobQueue:
             if entry.state != "leased":
                 continue
             expired = entry.lease_expires is not None and clock >= entry.lease_expires
-            pid = _owner_pid(entry.owner)
-            orphaned = pid is not None and pid != os.getpid() and not _pid_alive(pid)
-            if expired or orphaned:
+            if expired or _owner_provably_dead(entry.owner):
                 self.reclaimed.append(
                     JobEntry(
                         entry.key, entry.rep, "leased", entry.attempt, entry.owner

@@ -105,6 +105,13 @@ class CircuitBreaker:
     success closes the circuit; a failure re-opens it for another
     cooldown.  ``transitions`` collects (state, failures) tuples so the
     caller can emit telemetry without the breaker importing the bus.
+
+    ``half_open_probes`` counts every probe the breaker let through
+    while half-open.  A probe *failure* re-opens with a **fresh**
+    window: ``opened_at`` restarts at the failure time and ``failures``
+    resets to ``threshold`` instead of accumulating across probe
+    cycles, so a breaker that has been probing for hours reports the
+    same state a freshly-opened one would.
     """
 
     threshold: int = 3
@@ -112,6 +119,7 @@ class CircuitBreaker:
     state: str = "closed"
     failures: int = 0
     opened_at: float | None = None
+    half_open_probes: int = 0
     transitions: list[tuple[str, int]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -133,9 +141,11 @@ class CircuitBreaker:
         if self.state == "open":
             if self.opened_at is not None and clock - self.opened_at >= self.cooldown_s:
                 self._transition("half-open")
+                self.half_open_probes += 1
                 return True
             return False
         # half-open: one probe at a time is enough; allow it.
+        self.half_open_probes += 1
         return True
 
     def record_success(self) -> None:
@@ -144,9 +154,17 @@ class CircuitBreaker:
             self._transition("closed")
 
     def record_failure(self, now: float | None = None) -> None:
-        self.failures += 1
         clock = time.time() if now is None else now
-        if self.state == "half-open" or self.failures >= self.threshold:
+        if self.state == "half-open":
+            # A failed probe re-opens with a *fresh* window: the count
+            # restarts at the threshold (not threshold + probe cycles)
+            # and the cooldown restarts at the probe-failure time.
+            self.failures = self.threshold
+            self.opened_at = clock
+            self._transition("open")
+            return
+        self.failures += 1
+        if self.failures >= self.threshold:
             self.opened_at = clock
             self._transition("open")
 

@@ -1,0 +1,39 @@
+"""The networked allocation orchestrator: a long-running server front
+for the simulation service.
+
+``repro serve`` runs :class:`~repro.server.app.OrchestratorServer`: a
+threaded TCP server speaking the length-prefixed JSON protocol of
+:mod:`repro.server.protocol`, fronting the existing durable job queue
+and content-addressed result cache so many concurrent clients can
+submit :class:`~repro.scenario.ScenarioSpec` s and stream results.  The
+client half lives in :mod:`repro.client`.
+
+The layering mirrors storalloc's router/queue/scheduler split:
+
+* :mod:`repro.server.protocol` — the wire format (framing, message
+  schema, versioning);
+* :mod:`repro.server.admission` — admission control: bounded pending
+  jobs, priority classes, load shedding with RetryAfter;
+* :mod:`repro.server.sessions` — per-client session leases, journaled
+  through the WAL and evicted on heartbeat silence;
+* :mod:`repro.server.app` — the request router, the durable job table
+  and the worker/drain machinery;
+* :mod:`repro.server.netchaos` — network fault injection helpers for
+  the chaos harness (byte-dropping proxy, slow-loris driver).
+"""
+
+from .admission import AdmissionController, AdmissionPolicy
+from .app import OrchestratorServer, ServerConfig
+from .protocol import PROTOCOL_VERSION, recv_frame, send_frame
+from .sessions import SessionRegistry
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "OrchestratorServer",
+    "PROTOCOL_VERSION",
+    "ServerConfig",
+    "SessionRegistry",
+    "recv_frame",
+    "send_frame",
+]

@@ -1,0 +1,127 @@
+"""Admission control: bounded pending work, priority classes, shedding.
+
+The controller answers one question — *may this job enter the queue
+right now?* — against a hard bound on jobs admitted but not yet
+finished.  Two priority classes share the bound asymmetrically:
+
+* ``interactive`` may fill the whole window;
+* ``batch`` is shed once the window passes ``batch_headroom`` (default
+  75%), reserving the top slice for interactive work even under a
+  batch flood.
+
+A refused submit is never an error: the client gets a ``busy`` frame
+with a ``retry_after_s`` hint (scaled by how far over capacity the
+queue is) and retries with backoff.  During drain every submit is shed
+with reason ``draining`` so clients fail over to another server or to
+local execution instead of waiting on a server that will not take work.
+
+The controller is plain state — the server serializes access under its
+own lock — so it can be unit-tested without sockets or threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+
+__all__ = ["PRIORITIES", "AdmissionPolicy", "AdmissionDecision", "AdmissionController"]
+
+PRIORITIES = ("interactive", "batch")
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Knobs of the admission window.
+
+    ``max_pending``     jobs admitted but not finished (queued + running);
+    ``batch_headroom``  fraction of the window batch jobs may fill;
+    ``retry_after_s``   base RetryAfter hint for a shed submit.
+    """
+
+    max_pending: int = 64
+    batch_headroom: float = 0.75
+    retry_after_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ConfigError("max_pending must be >= 1")
+        if not 0.0 < self.batch_headroom <= 1.0:
+            raise ConfigError("batch_headroom must be in (0, 1]")
+        if self.retry_after_s < 0:
+            raise ConfigError("retry_after_s must be >= 0")
+
+    def limit_for(self, priority: str) -> int:
+        if priority == "interactive":
+            return self.max_pending
+        return max(1, int(self.max_pending * self.batch_headroom))
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The controller's verdict on one submit."""
+
+    admitted: bool
+    reason: str = ""  # "capacity" | "draining" when refused
+    retry_after_s: float = 0.0
+
+
+@dataclass
+class AdmissionController:
+    """Tracks the pending-job window and sheds over-capacity submits."""
+
+    policy: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    pending: set = field(default_factory=set)
+    draining: bool = False
+    counters: dict = field(
+        default_factory=lambda: {"admitted": 0, "shed": 0, "completed": 0}
+    )
+
+    def try_admit(self, job_id: tuple, priority: str) -> AdmissionDecision:
+        """Decide one submit; on admission the job occupies a window slot.
+
+        A job already pending is re-admitted for free (idempotent
+        resubmission must never be shed — the work is already in the
+        window).
+        """
+        if priority not in PRIORITIES:
+            priority = "batch"
+        if job_id in self.pending:
+            return AdmissionDecision(admitted=True)
+        if self.draining:
+            self.counters["shed"] += 1
+            return AdmissionDecision(
+                False, reason="draining", retry_after_s=self.policy.retry_after_s
+            )
+        limit = self.policy.limit_for(priority)
+        if len(self.pending) >= limit:
+            self.counters["shed"] += 1
+            # Scale the hint with the overload: a queue twice over the
+            # batch line tells batch clients to stay away longer.
+            overload = 1.0 + max(0, len(self.pending) - limit) / max(1, limit)
+            return AdmissionDecision(
+                False,
+                reason="capacity",
+                retry_after_s=self.policy.retry_after_s * overload,
+            )
+        self.pending.add(job_id)
+        self.counters["admitted"] += 1
+        return AdmissionDecision(admitted=True)
+
+    def release(self, job_id: tuple) -> None:
+        """A job reached a terminal state: free its window slot."""
+        if job_id in self.pending:
+            self.pending.discard(job_id)
+            self.counters["completed"] += 1
+
+    def occupy(self, job_id: tuple) -> None:
+        """Account a job recovered from the WAL without re-admitting it."""
+        self.pending.add(job_id)
+
+    def snapshot(self) -> dict:
+        return {
+            "pending": len(self.pending),
+            "max_pending": self.policy.max_pending,
+            "draining": self.draining,
+            **self.counters,
+        }

@@ -1,0 +1,218 @@
+"""Network fault injection for the chaos harness.
+
+Three instruments, all stdlib:
+
+* :func:`serve_in_thread` — an :class:`~repro.server.app.OrchestratorServer`
+  running on background threads in this process, for tests that need a
+  live server without a subprocess;
+* :class:`ChaosProxy` — a byte-level TCP proxy between client and
+  server that can hard-reset the connection after N forwarded bytes
+  (``SO_LINGER`` zero, so the peer sees ``ECONNRESET``, not FIN) or
+  truncate exactly one server→client frame mid-body (a torn frame the
+  client's length-prefixed reader must detect);
+* :func:`slow_loris` — a raw client that opens a connection and
+  dribbles a frame slower than the server's ``io_timeout_s``, proving
+  the read deadline evicts it instead of pinning a handler thread.
+
+The proxy deliberately runs below the protocol layer — it forwards raw
+bytes and counts them — so the faults it injects are exactly the ones a
+real network produces: resets and half-written frames, never neatly
+aligned to message boundaries.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import socket
+import struct
+import threading
+import time
+from typing import Iterator
+
+from .app import OrchestratorServer, ServerConfig
+from .protocol import PROTOCOL_VERSION
+
+__all__ = ["serve_in_thread", "ChaosProxy", "slow_loris"]
+
+
+@contextlib.contextmanager
+def serve_in_thread(config: ServerConfig) -> Iterator[OrchestratorServer]:
+    """A started server on background threads; closed on exit."""
+    server = OrchestratorServer(config).start()
+    acceptor = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.05},
+        name="repro-acceptor",
+        daemon=True,
+    )
+    acceptor.start()
+    try:
+        yield server
+    finally:
+        server.close()
+        acceptor.join(timeout=5.0)
+
+
+def _hard_reset(sock: socket.socket) -> None:
+    """Close with RST (SO_LINGER 0): the peer sees a connection reset."""
+    with contextlib.suppress(OSError):
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+    with contextlib.suppress(OSError):
+        sock.close()
+
+
+class ChaosProxy:
+    """A TCP forwarder that injects one byte-level fault, then dies.
+
+    ``mode``:
+
+    * ``"pass"`` — forward faithfully (the control arm);
+    * ``"reset"`` — after ``fault_after_bytes`` of server→client
+      traffic, hard-reset *both* sides;
+    * ``"truncate"`` — forward server→client traffic up to
+      ``fault_after_bytes``, send half of the next chunk, then
+      hard-reset: the client holds a torn frame.
+
+    One fault per proxy lifetime (``faulted`` flips); a client that
+    reconnects *directly to the server* afterwards models a network
+    blip, which is exactly what the retry path must survive.
+    """
+
+    def __init__(
+        self,
+        upstream_port: int,
+        mode: str = "pass",
+        fault_after_bytes: int = 1 << 63,
+        host: str = "127.0.0.1",
+    ):
+        if mode not in ("pass", "reset", "truncate"):
+            raise ValueError(f"unknown chaos mode {mode!r}")
+        self.mode = mode
+        self.fault_after_bytes = int(fault_after_bytes)
+        self.upstream = (host, int(upstream_port))
+        self.faulted = False
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, 0))
+        self._listener.listen(8)
+        self.port = int(self._listener.getsockname()[1])
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-proxy", daemon=True
+        )
+        self._accept_thread.start()
+
+    def close(self) -> None:
+        self._stop.set()
+        with contextlib.suppress(OSError):
+            self._listener.close()
+        self._accept_thread.join(timeout=2.0)
+        for t in self._threads:
+            t.join(timeout=2.0)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return
+            try:
+                server = socket.create_connection(self.upstream, timeout=5.0)
+            except OSError:
+                _hard_reset(client)
+                continue
+            counted = {"n": 0}
+            pair = [
+                threading.Thread(
+                    target=self._pump,
+                    args=(server, client, counted),  # server→client: the
+                    daemon=True,  # direction faults are counted against
+                ),
+                threading.Thread(
+                    target=self._pump, args=(client, server, None), daemon=True
+                ),
+            ]
+            for t in pair:
+                t.start()
+                self._threads.append(t)
+
+    def _pump(self, src: socket.socket, dst: socket.socket, counted) -> None:
+        src.settimeout(0.2)
+        while not self._stop.is_set():
+            try:
+                chunk = src.recv(65536)
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            if not chunk:
+                break
+            if counted is not None and not self.faulted and self.mode != "pass":
+                budget = self.fault_after_bytes - counted["n"]
+                if len(chunk) >= budget:
+                    self.faulted = True
+                    if self.mode == "truncate":
+                        keep = budget + max(1, (len(chunk) - budget) // 2)
+                        with contextlib.suppress(OSError):
+                            dst.sendall(chunk[:keep])
+                    _hard_reset(dst)
+                    _hard_reset(src)
+                    return
+                counted["n"] += len(chunk)
+            try:
+                dst.sendall(chunk)
+            except OSError:
+                break
+        with contextlib.suppress(OSError):
+            dst.shutdown(socket.SHUT_WR)
+        with contextlib.suppress(OSError):
+            src.close()
+
+
+def slow_loris(
+    port: int, host: str = "127.0.0.1", dribble_s: float = 0.4, max_bytes: int = 64
+) -> tuple[int, bool]:
+    """Dribble a valid frame one byte per ``dribble_s``; return the outcome.
+
+    Returns ``(bytes_sent, evicted)`` where ``evicted`` is True when the
+    server cut us off (reset or FIN) before the frame finished — the
+    desired behaviour when ``dribble_s`` exceeds the server's read
+    deadline, since a patient server would pin a handler thread on us
+    forever.
+    """
+    import json
+
+    body = json.dumps({"v": PROTOCOL_VERSION, "type": "stats"}).encode("utf-8")
+    frame = struct.pack(">I", len(body)) + body
+    sent = 0
+    with contextlib.closing(
+        socket.create_connection((host, port), timeout=5.0)
+    ) as sock:
+        sock.settimeout(max(1.0, dribble_s * 4))
+        for i in range(min(len(frame), max_bytes)):
+            try:
+                sock.sendall(frame[i : i + 1])
+                sent += 1
+            except OSError:
+                return sent, True
+            time.sleep(dribble_s)
+        # Frame complete (or byte budget spent): did the server hang up?
+        try:
+            sock.settimeout(2.0)
+            data = sock.recv(1)
+            return sent, not data
+        except ConnectionError:
+            return sent, True
+        except socket.timeout:
+            return sent, False

@@ -1,0 +1,145 @@
+"""The wire protocol: length-prefixed JSON frames, versioned messages.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON encoding a single object.  Length-prefixing (rather
+than newline-delimiting) makes torn writes *detectable*: a reader that
+gets EOF mid-length or mid-body knows the frame was half-written and
+can fail the connection cleanly instead of mis-parsing the tail of one
+message as the head of the next.
+
+Every message object carries ``{"v": PROTOCOL_VERSION, "type": ...}``.
+The version is checked on both sides before any field is interpreted,
+so an old client against a new server (or vice versa) fails with a
+structured error, never a silent misread.
+
+Request types (client → server)::
+
+    hello   {session?}                    open or resume a session
+    submit  {spec, rep, priority?}        admit one (fingerprint, rep) job
+    wait    {job, rep, timeout_s?}        block (bounded) for a result
+    ping    {}                            heartbeat: renews the session lease
+    stats   {}                            server introspection
+    bye     {}                            close the session
+
+Response types (server → client)::
+
+    welcome  {session, lease_s}           session opened/resumed
+    accepted {job, rep, state}            job admitted (or already known)
+    result   {job, rep, status, cached, result?, events?, error?}
+    pending  {job, rep}                   wait timed out server-side; re-poll
+    busy     {reason, retry_after_s}      load shed / draining: retry later
+    stats    {...}
+    error    {error, message}             malformed or unserviceable request
+    bye      {}
+
+All read-side defects — torn frame, oversized frame, bad JSON, version
+mismatch — raise :class:`~repro.errors.ProtocolError`; a clean EOF at a
+frame boundary returns ``None`` so callers can distinguish an orderly
+close from a half-written frame.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any
+
+from ..errors import ProtocolError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "REQUEST_TYPES",
+    "RESPONSE_TYPES",
+    "send_frame",
+    "recv_frame",
+    "message",
+    "check_version",
+]
+
+PROTOCOL_VERSION = 1
+
+# An encoded RunResult with resource series and captured events is tens
+# of KiB; 64 MiB leaves three orders of magnitude of headroom while
+# bounding what a hostile or broken peer can make us buffer.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+REQUEST_TYPES = ("hello", "submit", "wait", "ping", "stats", "bye")
+RESPONSE_TYPES = (
+    "welcome",
+    "accepted",
+    "result",
+    "pending",
+    "busy",
+    "stats",
+    "error",
+    "bye",
+)
+
+
+def message(mtype: str, **fields: Any) -> dict[str, Any]:
+    """Build a versioned message object."""
+    return {"v": PROTOCOL_VERSION, "type": mtype, **fields}
+
+
+def check_version(msg: dict[str, Any]) -> None:
+    """Raise :class:`ProtocolError` unless ``msg`` speaks our version."""
+    if msg.get("v") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: got {msg.get('v')!r}, "
+            f"speaking {PROTOCOL_VERSION}"
+        )
+
+
+def send_frame(sock: socket.socket, msg: dict[str, Any]) -> None:
+    """Encode and send one message as a single length-prefixed frame."""
+    body = json.dumps(msg, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    # One sendall for header+body: fewer partial-write windows for the
+    # chaos proxy (and the kernel) to cut a frame in half on our side.
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on EOF *before the first byte*.
+
+    EOF after a partial read is a torn frame and raises — the peer died
+    (or was killed, or reset) mid-write.  Socket timeouts propagate as
+    :class:`socket.timeout` (an ``OSError``) for the caller's retry or
+    eviction logic.
+    """
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if got == 0:
+                return None
+            raise ProtocolError(f"torn frame: EOF after {got} of {n} bytes")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict[str, Any] | None:
+    """Receive one frame; ``None`` on a clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError(f"torn frame: EOF after header promising {length} bytes")
+    try:
+        msg = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(msg, dict):
+        raise ProtocolError(f"frame body must be an object, got {type(msg).__name__}")
+    return msg

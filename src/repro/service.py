@@ -293,7 +293,7 @@ class ResultCache:
             return 0
         return sum(1 for _ in self.root.glob("*/*/*.json"))
 
-    def gc(self, max_bytes: int) -> dict[str, int]:
+    def gc(self, max_bytes: int, dry_run: bool = False) -> dict[str, int]:
         """Evict entries, oldest mtime first, until the cache fits.
 
         LRU-by-mtime: a cache hit does not touch mtime, so this is
@@ -301,6 +301,10 @@ class ResultCache:
         whose entries are immutable.  Emptied fingerprint directories
         are pruned.  Returns a summary and emits a ``cache.gc`` event
         plus the ``service.cache.evicted`` counter.
+
+        ``dry_run=True`` deletes nothing: the summary reports what a
+        real pass *would* evict (and no event or counter is emitted,
+        since nothing happened).
         """
         if max_bytes < 0:
             raise ConfigError(f"max_bytes must be >= 0, got {max_bytes}")
@@ -319,13 +323,14 @@ class ResultCache:
         for _, size, path in files:
             if total - freed <= max_bytes:
                 break
-            try:
-                path.unlink()
-            except OSError:
-                continue
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
             evicted += 1
             freed += size
-        if evicted:
+        if evicted and not dry_run:
             for depth in ("*/*", "*"):
                 for directory in self.root.glob(depth):
                     try:
@@ -337,7 +342,10 @@ class ResultCache:
             "evicted": evicted,
             "freed_bytes": freed,
             "remaining_bytes": total - freed,
+            "dry_run": bool(dry_run),
         }
+        if dry_run:
+            return summary
         bus = get_bus()
         if bus.enabled:
             bus.metrics.counter("service.cache.evicted").inc(evicted)

@@ -158,6 +158,54 @@ EVENT_TYPES: dict[str, dict[str, tuple[type, ...]]] = {
         "freed_bytes": (int,),
         "remaining_bytes": (int,),
     },
+    # -- networked orchestrator server ---------------------------------------
+    # The server began accepting connections on its port.
+    "server.start": {"port": (int,), "pid": (int,), "state_dir": (str,)},
+    # A new (fingerprint, rep) job was admitted into the durable queue.
+    # Emitted exactly once per unique job — duplicate resubmissions of
+    # the same identity attach to the existing job instead (this is the
+    # counter the idempotency contract is verified against).
+    "server.admit": {
+        "job": (str,),
+        "rep": (int,),
+        "priority": (str,),
+        "session": (str,),
+    },
+    # Admission control refused a submit: the client got a RetryAfter.
+    "server.shed": {
+        "reason": (str,),  # "capacity" | "draining"
+        "priority": (str,),
+        "retry_after_s": (int, float),
+        "pending": (int,),
+    },
+    # A job reached a terminal state; ``cached`` marks replays that
+    # never executed (idempotent resubmission of finished work).
+    "server.complete": {
+        "job": (str,),
+        "rep": (int,),
+        "status": (str,),  # "ok" | "failed"
+        "cached": (bool,),
+    },
+    # Client session lifecycle (leases journaled through the WAL).
+    "server.session": {
+        "action": (str,),  # "open" | "renew" | "close" | "expire" | "resume"
+        "session": (str,),
+    },
+    # The server stopped admitting and is finishing leased jobs.
+    "server.drain": {
+        "reason": (str,),  # "SIGTERM" | "SIGINT" | "shutdown"
+        "pending": (int,),
+    },
+    # -- remote client -------------------------------------------------------
+    # A client op failed transiently and will be retried after a delay.
+    "client.retry": {
+        "op": (str,),
+        "attempt": (int,),
+        "delay_s": (int, float),
+        "reason": (str,),
+    },
+    # The server stayed unreachable: the run executed locally instead.
+    "client.fallback": {"job": (str,), "rep": (int,), "reason": (str,)},
     # -- chaos harness -------------------------------------------------------
     "chaos.inject": {"kind": (str,), "target": (str,)},
     "chaos.verdict": {"kind": (str,), "ok": (bool,), "detail": (str,)},

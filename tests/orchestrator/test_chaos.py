@@ -32,4 +32,8 @@ class TestRunChaos:
             "checkpoint-truncate",
             "cache-truncate",
             "cache-deny",
+            "server-kill",
+            "conn-reset",
+            "half-frame",
+            "slow-client",
         )

@@ -1,11 +1,16 @@
 """The durable job queue: crash-safe transitions, lease reclaim."""
 
 import os
+import socket
 
 import pytest
 
 from repro.errors import OrchestratorError
-from repro.orchestrator.queue import DurableJobQueue, default_owner
+from repro.orchestrator.queue import (
+    DurableJobQueue,
+    default_owner,
+    process_start_ticks,
+)
 
 # A pid far above any default pid_max: provably not a live process.
 _DEAD_PID = 2**30
@@ -136,4 +141,78 @@ class TestToleranceAndOwner:
         assert fresh.entries[("a", 0)].state == "queued"
 
     def test_default_owner_is_this_pid(self):
-        assert default_owner() == f"pid:{os.getpid()}"
+        token = default_owner()
+        assert token.startswith(f"pid:{os.getpid()}@")
+        assert socket.gethostname() in token
+        assert "#" in token
+
+
+class TestOwnerIdentity:
+    """Tokens carry host + start time so dead-owner detection is exact."""
+
+    def _leased(self, path, owner):
+        crashed = reopened(path, owner=owner)
+        crashed.enqueue("a", 0)
+        crashed.lease("a", 0)
+        crashed.close()
+
+    def test_foreign_host_lease_not_reclaimed(self, tmp_path):
+        # Host B cannot probe host A's pid table: even a "dead-looking"
+        # pid from another host must ride out its lease expiry.
+        path = tmp_path / "q.journal"
+        self._leased(path, f"pid:{_DEAD_PID}@not-this-host#123")
+        fresh = reopened(path)
+        assert fresh.reclaimed == []
+        assert fresh.entries[("a", 0)].state == "leased"
+
+    def test_foreign_host_lease_still_expires(self, tmp_path):
+        path = tmp_path / "q.journal"
+        queue = DurableJobQueue(
+            path, owner=f"pid:{_DEAD_PID}@not-this-host#123", lease_s=10.0
+        )
+        queue.open(now=1000.0)
+        queue.enqueue("a", 0)
+        queue.lease("a", 0, now=1000.0)
+        queue.close()
+        fresh = DurableJobQueue(path)
+        fresh.open(now=5000.0)
+        assert len(fresh.reclaimed) == 1
+
+    def test_local_dead_pid_with_host_reclaimed(self, tmp_path):
+        path = tmp_path / "q.journal"
+        self._leased(path, f"pid:{_DEAD_PID}@{socket.gethostname()}#123")
+        fresh = reopened(path)
+        assert [e.job_id for e in fresh.reclaimed] == [("a", 0)]
+
+    def test_pid_reuse_detected_via_start_time(self, tmp_path):
+        # A *live* local pid (pid 1 — always alive) whose recorded start
+        # time differs from the current one is a reuse impostor: the
+        # original owner is dead, so the lease is reclaimable.
+        current = process_start_ticks(1)
+        if current is None:
+            pytest.skip("no /proc starttime on this platform")
+        path = tmp_path / "q.journal"
+        self._leased(path, f"pid:1@{socket.gethostname()}#{current + 7}")
+        fresh = reopened(path)
+        assert [e.job_id for e in fresh.reclaimed] == [("a", 0)]
+
+    def test_matching_start_time_not_reclaimed(self, tmp_path):
+        current = process_start_ticks(1)
+        if current is None:
+            pytest.skip("no /proc starttime on this platform")
+        path = tmp_path / "q.journal"
+        self._leased(path, f"pid:1@{socket.gethostname()}#{current}")
+        fresh = reopened(path)
+        assert fresh.reclaimed == []
+
+    def test_legacy_bare_pid_token_still_reclaims(self, tmp_path):
+        # Old journals hold pid:<n> tokens: treated as local, probed.
+        path = tmp_path / "q.journal"
+        self._leased(path, f"pid:{_DEAD_PID}")
+        fresh = reopened(path)
+        assert [e.job_id for e in fresh.reclaimed] == [("a", 0)]
+
+    def test_own_start_ticks_readable(self):
+        assert process_start_ticks(os.getpid()) is None or (
+            process_start_ticks(os.getpid()) > 0
+        )

@@ -69,6 +69,32 @@ class TestCircuitBreaker:
         breaker.record_failure(now=11.0)  # the probe failed
         assert not breaker.allow(now=12.0)
 
+    def test_half_open_probes_counted(self):
+        breaker = CircuitBreaker(threshold=1, cooldown_s=10)
+        breaker.record_failure(now=0.0)
+        assert breaker.half_open_probes == 0
+        assert breaker.allow(now=11.0)  # open -> half-open probe
+        assert breaker.half_open_probes == 1
+        assert breaker.allow(now=11.5)  # still half-open: another probe
+        assert breaker.half_open_probes == 2
+        breaker.record_success()
+        assert breaker.allow(now=12.0)  # closed: not a probe
+        assert breaker.half_open_probes == 2
+
+    def test_probe_failure_starts_fresh_window(self):
+        # The re-opened window must start at the probe failure, with
+        # failure accounting reset — not accumulated probe cycles.
+        breaker = CircuitBreaker(threshold=3, cooldown_s=10)
+        for _ in range(3):
+            breaker.record_failure(now=0.0)
+        for cycle in range(5):
+            t = 11.0 + cycle * 11.0
+            assert breaker.allow(now=t)  # half-open probe
+            breaker.record_failure(now=t)  # probe fails
+            assert breaker.failures == 3, "failure count accumulated"
+            assert breaker.opened_at == t, "cooldown window not fresh"
+            assert not breaker.allow(now=t + 9.9)  # full cooldown again
+
     def test_transitions_drain_once(self):
         breaker = CircuitBreaker(threshold=1, cooldown_s=10)
         breaker.record_failure(now=0.0)

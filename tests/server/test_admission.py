@@ -1,0 +1,127 @@
+"""Admission control: windows, priority classes, shedding, drain."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.server.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+)
+
+
+def _controller(max_pending=4, batch_headroom=0.75, retry_after_s=0.25):
+    return AdmissionController(
+        policy=AdmissionPolicy(
+            max_pending=max_pending,
+            batch_headroom=batch_headroom,
+            retry_after_s=retry_after_s,
+        )
+    )
+
+
+class TestPolicy:
+    def test_interactive_gets_the_full_window(self):
+        policy = AdmissionPolicy(max_pending=8, batch_headroom=0.75)
+        assert policy.limit_for("interactive") == 8
+        assert policy.limit_for("batch") == 6
+
+    def test_batch_limit_floor_is_one(self):
+        policy = AdmissionPolicy(max_pending=1, batch_headroom=0.5)
+        assert policy.limit_for("batch") == 1
+
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(ConfigError):
+            AdmissionPolicy(max_pending=0)
+        with pytest.raises(ConfigError):
+            AdmissionPolicy(batch_headroom=0.0)
+        with pytest.raises(ConfigError):
+            AdmissionPolicy(batch_headroom=1.5)
+        with pytest.raises(ConfigError):
+            AdmissionPolicy(retry_after_s=-1.0)
+
+
+class TestAdmission:
+    def test_admits_until_the_window_fills(self):
+        ctl = _controller(max_pending=2)
+        assert ctl.try_admit(("a", 0), "interactive").admitted
+        assert ctl.try_admit(("a", 1), "interactive").admitted
+        refused = ctl.try_admit(("a", 2), "interactive")
+        assert not refused.admitted
+        assert refused.reason == "capacity"
+        assert refused.retry_after_s > 0
+
+    def test_batch_shed_before_interactive(self):
+        ctl = _controller(max_pending=4, batch_headroom=0.5)
+        assert ctl.try_admit(("a", 0), "batch").admitted
+        assert ctl.try_admit(("a", 1), "batch").admitted
+        # Batch is now at its 50% line; interactive still fits.
+        assert not ctl.try_admit(("a", 2), "batch").admitted
+        assert ctl.try_admit(("a", 3), "interactive").admitted
+
+    def test_already_pending_readmitted_for_free(self):
+        ctl = _controller(max_pending=1)
+        assert ctl.try_admit(("a", 0), "batch").admitted
+        # The window is full, but resubmitting the same job is not a
+        # new admission — idempotent retries must never be shed.
+        assert ctl.try_admit(("a", 0), "batch").admitted
+        assert ctl.counters["admitted"] == 1
+
+    def test_release_frees_the_slot(self):
+        ctl = _controller(max_pending=1)
+        assert ctl.try_admit(("a", 0), "interactive").admitted
+        assert not ctl.try_admit(("a", 1), "interactive").admitted
+        ctl.release(("a", 0))
+        assert ctl.try_admit(("a", 1), "interactive").admitted
+        assert ctl.counters["completed"] == 1
+
+    def test_release_of_unknown_job_is_noop(self):
+        ctl = _controller()
+        ctl.release(("ghost", 0))
+        assert ctl.counters["completed"] == 0
+
+    def test_draining_sheds_everything(self):
+        ctl = _controller(max_pending=100)
+        ctl.draining = True
+        decision = ctl.try_admit(("a", 0), "interactive")
+        assert not decision.admitted
+        assert decision.reason == "draining"
+
+    def test_draining_still_readmits_pending_jobs(self):
+        ctl = _controller()
+        assert ctl.try_admit(("a", 0), "batch").admitted
+        ctl.draining = True
+        # The job is already in the window; a retry of it must succeed
+        # so in-flight work can still be waited on during drain.
+        assert ctl.try_admit(("a", 0), "batch").admitted
+
+    def test_retry_after_scales_with_overload(self):
+        ctl = _controller(max_pending=2, retry_after_s=1.0)
+        ctl.occupy(("a", 0))
+        ctl.occupy(("a", 1))
+        at_limit = ctl.try_admit(("b", 0), "interactive").retry_after_s
+        ctl.occupy(("a", 2))
+        ctl.occupy(("a", 3))
+        over_limit = ctl.try_admit(("b", 0), "interactive").retry_after_s
+        assert over_limit > at_limit
+
+    def test_occupy_recovers_without_counting_admission(self):
+        ctl = _controller(max_pending=2)
+        ctl.occupy(("a", 0))
+        assert ctl.counters["admitted"] == 0
+        assert len(ctl.pending) == 1
+
+    def test_unknown_priority_treated_as_batch(self):
+        ctl = _controller(max_pending=4, batch_headroom=0.5)
+        ctl.occupy(("a", 0))
+        ctl.occupy(("a", 1))
+        assert not ctl.try_admit(("b", 0), "turbo").admitted
+
+    def test_snapshot_shape(self):
+        ctl = _controller(max_pending=4)
+        ctl.try_admit(("a", 0), "batch")
+        snap = ctl.snapshot()
+        assert snap["pending"] == 1
+        assert snap["max_pending"] == 4
+        assert snap["draining"] is False
+        assert snap["admitted"] == 1
+        assert snap["shed"] == 0

@@ -1,0 +1,134 @@
+"""Wire-protocol framing: round trips, torn frames, hostile input."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    check_version,
+    message,
+    recv_frame,
+    send_frame,
+)
+
+
+def _pair():
+    return socket.socketpair()
+
+
+class TestFraming:
+    def test_round_trip(self):
+        a, b = _pair()
+        try:
+            msg = message("submit", spec={"k": 1}, rep=3)
+            send_frame(a, msg)
+            got = recv_frame(b)
+            assert got == msg
+            assert got["v"] == PROTOCOL_VERSION
+        finally:
+            a.close()
+            b.close()
+
+    def test_multiple_frames_in_order(self):
+        a, b = _pair()
+        try:
+            for i in range(5):
+                send_frame(a, message("ping", n=i))
+            assert [recv_frame(b)["n"] for _ in range(5)] == [0, 1, 2, 3, 4]
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = _pair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_torn_header_raises(self):
+        a, b = _pair()
+        try:
+            a.sendall(b"\x00\x00")  # half a length header, then EOF
+            a.close()
+            with pytest.raises(ProtocolError, match="torn frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_torn_body_raises(self):
+        a, b = _pair()
+        try:
+            body = b'{"v": 1, "type": "ping"}'
+            a.sendall(struct.pack(">I", len(body)) + body[: len(body) // 2])
+            a.close()
+            with pytest.raises(ProtocolError, match="torn frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_rejected_without_buffering(self):
+        a, b = _pair()
+        try:
+            a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(ProtocolError, match="exceeds"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_undecodable_body_raises(self):
+        a, b = _pair()
+        try:
+            body = b"not json at all"
+            a.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(ProtocolError, match="undecodable"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_object_body_raises(self):
+        a, b = _pair()
+        try:
+            body = b"[1, 2, 3]"
+            a.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(ProtocolError, match="object"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_large_frame_round_trips(self):
+        # Bigger than one recv() chunk, to exercise the reassembly loop.
+        a, b = _pair()
+        try:
+            msg = message("result", blob="x" * (3 << 20))
+            done = []
+            t = threading.Thread(target=lambda: done.append(send_frame(a, msg)))
+            t.start()
+            got = recv_frame(b)
+            t.join(timeout=10)
+            assert got == msg
+        finally:
+            a.close()
+            b.close()
+
+
+class TestVersioning:
+    def test_matching_version_accepted(self):
+        check_version(message("ping"))
+
+    def test_mismatched_version_rejected(self):
+        with pytest.raises(ProtocolError, match="version mismatch"):
+            check_version({"v": PROTOCOL_VERSION + 1, "type": "ping"})
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(ProtocolError, match="version mismatch"):
+            check_version({"type": "ping"})

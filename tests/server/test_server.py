@@ -1,0 +1,321 @@
+"""End-to-end orchestrator server tests over real sockets.
+
+Every test starts an in-process :class:`OrchestratorServer` via
+``serve_in_thread`` and talks to it through :class:`RemoteClient` or
+raw protocol frames — the same wire path production uses, minus the
+subprocess boundary (the chaos harness covers that).
+"""
+
+import json
+import socket
+
+import pytest
+
+from repro.engine.result import result_from_jsonable, result_to_jsonable
+from repro.errors import ConfigError, RemoteError
+from repro.client import RemoteClient
+from repro.methodology.plan import ExperimentSpec
+from repro.scenario.compile import compile_scenario
+from repro.server import OrchestratorServer, ServerConfig
+from repro.server.netchaos import serve_in_thread
+from repro.server.protocol import message, recv_frame, send_frame
+from repro.service import get_service
+from repro.telemetry.bus import RingBufferSink, get_bus
+
+
+def _scenario(num_nodes=2, seed=0):
+    spec = ExperimentSpec(
+        "server-e2e", "scenario1", {"num_nodes": num_nodes, "stripe_count": 4}
+    )
+    return compile_scenario(spec, seed=seed, max_nodes=4)
+
+
+def _config(tmp_path, **overrides):
+    defaults = dict(
+        state_dir=tmp_path / "state",
+        workers=2,
+        io_timeout_s=5.0,
+        wait_cap_s=2.0,
+    )
+    defaults.update(overrides)
+    return ServerConfig(**defaults)
+
+
+def _raw_rpc(port, *msgs):
+    """One connection, a hello, then each message; returns the replies."""
+    with socket.create_connection(("127.0.0.1", port), timeout=5.0) as sock:
+        sock.settimeout(5.0)
+        send_frame(sock, message("hello"))
+        welcome = recv_frame(sock)
+        replies = []
+        for msg in msgs:
+            msg.setdefault("session", welcome.get("session"))
+            send_frame(sock, msg)
+            replies.append(recv_frame(sock))
+        return welcome, replies
+
+
+@pytest.fixture()
+def ring():
+    sink = RingBufferSink(65536)
+    bus = get_bus()
+    bus.attach(sink)
+    yield sink
+    bus.detach(sink)
+
+
+def _events(ring, event_type):
+    return [e for e in ring.events if e.get("event") == event_type]
+
+
+class TestConfig:
+    def test_bad_knobs_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            ServerConfig(state_dir=tmp_path, workers=0)
+        with pytest.raises(ConfigError):
+            ServerConfig(state_dir=tmp_path, io_timeout_s=0)
+        with pytest.raises(ConfigError):
+            ServerConfig(state_dir=tmp_path, session_lease_s=0)
+
+
+class TestRoundTrip:
+    def test_submit_wait_returns_the_local_result(self, tmp_path):
+        scenario = _scenario()
+        local = get_service().run(scenario, 0)
+        with serve_in_thread(_config(tmp_path)) as server:
+            with RemoteClient("127.0.0.1", server.port, fallback=False) as client:
+                remote = client.run(scenario, 0)
+        assert result_to_jsonable(remote) == result_to_jsonable(local)
+
+    def test_ping_returns_stats(self, tmp_path):
+        with serve_in_thread(_config(tmp_path)) as server:
+            with RemoteClient("127.0.0.1", server.port, fallback=False) as client:
+                stats = client.ping()
+        assert stats["type"] == "stats"
+        assert stats["pending"] == 0
+        assert stats["sessions"] == 1
+
+    def test_unknown_job_wait_is_an_error_frame(self, tmp_path):
+        with serve_in_thread(_config(tmp_path)) as server:
+            _, (reply,) = _raw_rpc(
+                server.port,
+                message("wait", job="f" * 64, rep=0, timeout_s=0.1),
+            )
+        assert reply["type"] == "error"
+        assert reply["error"] == "unknown-job"
+
+    def test_version_mismatch_is_an_error_frame(self, tmp_path):
+        with serve_in_thread(_config(tmp_path)) as server:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5.0
+            ) as sock:
+                sock.settimeout(5.0)
+                send_frame(sock, {"v": 999, "type": "hello"})
+                reply = recv_frame(sock)
+        assert reply["type"] == "error"
+        assert "version" in reply["message"]
+
+    def test_malformed_submit_is_an_error_frame_not_a_hangup(self, tmp_path):
+        with serve_in_thread(_config(tmp_path)) as server:
+            _, (bad, pong) = _raw_rpc(
+                server.port,
+                message("submit", spec={"not": "a scenario"}, rep=0),
+                message("ping"),
+            )
+        assert bad["type"] == "error"
+        # The connection survived the bad request.
+        assert pong["type"] == "stats"
+
+
+class TestIdempotency:
+    def test_resubmission_admits_once(self, tmp_path, ring):
+        scenario = _scenario()
+        with serve_in_thread(_config(tmp_path)) as server:
+            with RemoteClient("127.0.0.1", server.port, fallback=False) as client:
+                first = result_to_jsonable(client.run(scenario, 0))
+                second = result_to_jsonable(client.run(scenario, 0))
+        assert first == second
+        assert len(_events(ring, "server.admit")) == 1
+        assert len(_events(ring, "server.complete")) == 1
+
+    def test_concurrent_submit_of_same_job_admits_once(self, tmp_path, ring):
+        scenario = _scenario()
+        with serve_in_thread(_config(tmp_path)) as server:
+            port = server.port
+            with RemoteClient("127.0.0.1", port, fallback=False) as a:
+                with RemoteClient("127.0.0.1", port, fallback=False) as b:
+                    a.submit(scenario, 0)
+                    b.submit(scenario, 0)
+                    ra = result_to_jsonable(
+                        result_from_jsonable(a.wait(scenario, 0)["result"])
+                    )
+                    rb = result_to_jsonable(
+                        result_from_jsonable(b.wait(scenario, 0)["result"])
+                    )
+        assert ra == rb
+        assert len(_events(ring, "server.admit")) == 1
+
+
+class TestAdmission:
+    def test_full_window_sheds_with_retry_hint(self, tmp_path, ring):
+        with serve_in_thread(_config(tmp_path, max_pending=1)) as server:
+            with server._lock:
+                server.admission.occupy(("occupier", 0))
+            _, (reply,) = _raw_rpc(
+                server.port,
+                message("submit", spec=_scenario().to_jsonable(), rep=0),
+            )
+            with server._lock:
+                server.admission.release(("occupier", 0))
+        assert reply["type"] == "busy"
+        assert reply["reason"] == "capacity"
+        assert reply["retry_after_s"] > 0
+        assert len(_events(ring, "server.shed")) == 1
+
+    def test_client_retries_through_a_busy_window(self, tmp_path):
+        scenario = _scenario()
+        with serve_in_thread(_config(tmp_path, max_pending=1)) as server:
+            with server._lock:
+                server.admission.occupy(("occupier", 0))
+            client = RemoteClient(
+                "127.0.0.1", server.port, fallback=False, max_attempts=20
+            )
+            try:
+                client.connect()
+                import threading, time
+
+                def free():
+                    time.sleep(0.4)
+                    with server._lock:
+                        server.admission.release(("occupier", 0))
+
+                t = threading.Thread(target=free)
+                t.start()
+                result = client.run(scenario, 0)
+                t.join()
+            finally:
+                client.close()
+        assert result_to_jsonable(result) == result_to_jsonable(
+            get_service().run(scenario, 0)
+        )
+        assert client.stats["retries"] >= 1
+
+
+class TestDrain:
+    def test_drain_finishes_leased_work_and_sheds_new(self, tmp_path):
+        scenario = _scenario()
+        with serve_in_thread(_config(tmp_path)) as server:
+            with RemoteClient("127.0.0.1", server.port, fallback=False) as client:
+                client.run(scenario, 0)
+                server.request_drain("test")
+                assert server.wait_drained(timeout=5.0)
+                _, (reply,) = _raw_rpc(
+                    server.port,
+                    message("submit", spec=_scenario(num_nodes=4).to_jsonable(), rep=0),
+                )
+        assert reply["type"] == "busy"
+        assert reply["reason"] == "draining"
+
+    def test_finished_jobs_still_waitable_during_drain(self, tmp_path):
+        scenario = _scenario()
+        with serve_in_thread(_config(tmp_path)) as server:
+            with RemoteClient("127.0.0.1", server.port, fallback=False) as client:
+                client.run(scenario, 0)
+                server.request_drain("test")
+                frame = client.wait(scenario, 0)
+        assert frame["status"] == "ok"
+
+
+class TestSessions:
+    def test_reconnect_resumes_the_session(self, tmp_path):
+        with serve_in_thread(_config(tmp_path)) as server:
+            client = RemoteClient("127.0.0.1", server.port, fallback=False)
+            try:
+                first = client.connect()
+                client._drop()  # connection lost without a bye
+                second = client.connect()
+            finally:
+                client.close()
+        assert first == second == "s1"
+
+    def test_lapsed_session_gets_a_fresh_id(self, tmp_path):
+        config = _config(tmp_path, session_lease_s=0.2)
+        with serve_in_thread(config) as server:
+            client = RemoteClient("127.0.0.1", server.port, fallback=False)
+            try:
+                first = client.connect()
+                client._drop()
+                import time
+
+                time.sleep(0.5)
+                second = client.connect()
+            finally:
+                client.close()
+        assert first == "s1"
+        assert second != first
+
+
+class TestRestart:
+    def test_restart_replays_results_byte_identically(self, tmp_path):
+        scenario = _scenario()
+        config = _config(tmp_path)
+        with serve_in_thread(config) as server:
+            with RemoteClient("127.0.0.1", server.port, fallback=False) as client:
+                before = result_to_jsonable(client.run(scenario, 0))
+        # Same state_dir, brand-new process-equivalent: the WAL and the
+        # result cache must reproduce the run without re-executing.
+        with serve_in_thread(config) as server:
+            with RemoteClient("127.0.0.1", server.port, fallback=False) as client:
+                after = result_to_jsonable(client.run(scenario, 0))
+        assert before == after
+
+    def test_restart_does_not_readmit_finished_jobs(self, tmp_path, ring):
+        scenario = _scenario()
+        config = _config(tmp_path)
+        with serve_in_thread(config) as server:
+            with RemoteClient("127.0.0.1", server.port, fallback=False) as client:
+                client.run(scenario, 0)
+        with serve_in_thread(config) as server:
+            with RemoteClient("127.0.0.1", server.port, fallback=False) as client:
+                client.run(scenario, 0)
+        assert len(_events(ring, "server.admit")) == 1
+
+
+class TestFallback:
+    def _dead_port(self):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        return port
+
+    def test_unreachable_server_falls_back_to_local(self, tmp_path, ring):
+        scenario = _scenario()
+        local = result_to_jsonable(get_service().run(scenario, 0))
+        client = RemoteClient(
+            "127.0.0.1", self._dead_port(), max_attempts=2, fallback=True
+        )
+        remote = result_to_jsonable(client.run(scenario, 0))
+        assert remote == local
+        assert client.stats["fallbacks"] == 1
+        assert len(_events(ring, "client.fallback")) == 1
+
+    def test_no_fallback_raises(self, tmp_path):
+        client = RemoteClient(
+            "127.0.0.1", self._dead_port(), max_attempts=2, fallback=False
+        )
+        with pytest.raises(RemoteError, match="after 2 attempts"):
+            client.run(_scenario(), 0)
+
+
+class TestStatePersistence:
+    def test_specs_are_persisted_before_execution(self, tmp_path):
+        scenario = _scenario()
+        config = _config(tmp_path)
+        with serve_in_thread(config) as server:
+            with RemoteClient("127.0.0.1", server.port, fallback=False) as client:
+                client.run(scenario, 0)
+            spec_file = config.state_dir / "specs" / f"{scenario.fingerprint}.json"
+            assert spec_file.is_file()
+            stored = json.loads(spec_file.read_text())
+            assert stored == scenario.to_jsonable()

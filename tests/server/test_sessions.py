@@ -1,0 +1,119 @@
+"""Session leases: open/resume/renew/expire and WAL replay."""
+
+import pytest
+
+from repro.server.sessions import SessionRegistry
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    reg = SessionRegistry(tmp_path / "sessions.journal", lease_s=30.0)
+    yield reg
+    reg.close_journal()
+
+
+class TestLifecycle:
+    def test_open_assigns_sequential_ids(self, registry):
+        assert registry.open(now=0.0).session_id == "s1"
+        assert registry.open(now=0.0).session_id == "s2"
+        assert len(registry.sessions) == 2
+
+    def test_open_sets_the_lease(self, registry):
+        session = registry.open(now=100.0)
+        assert session.lease_expires == 130.0
+        assert session.live(129.0)
+        assert not session.live(130.0)
+
+    def test_resume_renews_a_live_lease(self, registry):
+        session = registry.open(now=0.0)
+        resumed = registry.resume(session.session_id, now=10.0)
+        assert resumed is session
+        assert resumed.lease_expires == 40.0
+
+    def test_resume_refuses_a_lapsed_lease(self, registry):
+        session = registry.open(now=0.0)
+        assert registry.resume(session.session_id, now=31.0) is None
+
+    def test_resume_refuses_an_unknown_id(self, registry):
+        assert registry.resume("s99", now=0.0) is None
+
+    def test_renew_unknown_session_is_false(self, registry):
+        assert registry.renew("s99", now=0.0) is False
+
+    def test_close_removes_the_session(self, registry):
+        session = registry.open(now=0.0)
+        assert registry.close(session.session_id)
+        assert registry.sessions == {}
+        assert not registry.close(session.session_id)
+
+    def test_expire_evicts_only_lapsed_sessions(self, registry):
+        stale = registry.open(now=0.0)
+        fresh = registry.open(now=20.0)
+        evicted = registry.expire(now=35.0)
+        assert [s.session_id for s in evicted] == [stale.session_id]
+        assert fresh.session_id in registry.sessions
+
+
+class TestReplay:
+    def _reload(self, registry, now):
+        fresh = SessionRegistry(registry.path, lease_s=registry.lease_s)
+        fresh.load(now=now)
+        return fresh
+
+    def test_live_session_survives_restart(self, registry):
+        session = registry.open(now=0.0)
+        reloaded = self._reload(registry, now=10.0)
+        try:
+            assert session.session_id in reloaded.sessions
+            assert reloaded.resumed == 1
+        finally:
+            reloaded.close_journal()
+
+    def test_lapsed_session_stays_dead_after_restart(self, registry):
+        registry.open(now=0.0)
+        reloaded = self._reload(registry, now=1000.0)
+        try:
+            assert reloaded.sessions == {}
+            assert reloaded.resumed == 0
+        finally:
+            reloaded.close_journal()
+
+    def test_closed_session_not_resurrected(self, registry):
+        session = registry.open(now=0.0)
+        registry.close(session.session_id)
+        reloaded = self._reload(registry, now=1.0)
+        try:
+            assert reloaded.sessions == {}
+        finally:
+            reloaded.close_journal()
+
+    def test_expired_session_not_resurrected(self, registry):
+        registry.open(now=0.0)
+        registry.expire(now=100.0)
+        reloaded = self._reload(registry, now=0.0)  # clock rolled back
+        try:
+            assert reloaded.sessions == {}
+        finally:
+            reloaded.close_journal()
+
+    def test_counter_is_monotonic_across_restarts(self, registry):
+        # Even when every prior session is dead, new ids must not
+        # collide with journaled ones.
+        registry.open(now=0.0)
+        registry.open(now=0.0)
+        reloaded = self._reload(registry, now=1000.0)
+        try:
+            assert reloaded.sessions == {}
+            assert reloaded.open(now=1000.0).session_id == "s3"
+        finally:
+            reloaded.close_journal()
+
+    def test_garbage_records_ignored(self, registry, tmp_path):
+        registry.open(now=0.0)
+        registry._journal.append({"op": "open", "session": "not-a-session"})
+        registry._journal.append({"op": "open", "session": "sNaN"})
+        reloaded = self._reload(registry, now=1.0)
+        try:
+            assert list(reloaded.sessions) == ["s1"]
+        finally:
+            reloaded.close_journal()

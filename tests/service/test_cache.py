@@ -272,6 +272,41 @@ class TestCacheGC:
         with pytest.raises(ConfigError):
             ResultCache(tmp_path).gc(-1)
 
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        entries = self.populate(tmp_path)
+        total = sum(p.stat().st_size for p in entries)
+        summary = ResultCache(tmp_path).gc(0, dry_run=True)
+        assert summary["dry_run"] is True
+        assert summary["evicted"] == 4
+        assert summary["freed_bytes"] == total
+        assert summary["remaining_bytes"] == 0
+        # ... but every entry is still on disk.
+        assert sorted(tmp_path.glob("*/*/*.json")) == entries
+
+    def test_dry_run_predicts_real_pass(self, tmp_path):
+        import os
+
+        entries = self.populate(tmp_path)
+        for i, path in enumerate(entries):
+            os.utime(path, (1000.0 + i, 1000.0 + i))
+        keep = sum(p.stat().st_size for p in entries[2:])
+        predicted = ResultCache(tmp_path).gc(keep, dry_run=True)
+        actual = ResultCache(tmp_path).gc(keep)
+        assert predicted["evicted"] == actual["evicted"]
+        assert predicted["freed_bytes"] == actual["freed_bytes"]
+        assert predicted["remaining_bytes"] == actual["remaining_bytes"]
+
+    def test_dry_run_emits_no_event(self, tmp_path):
+        self.populate(tmp_path)
+        bus = get_bus()
+        ring = RingBufferSink(256)
+        bus.attach(ring)
+        try:
+            ResultCache(tmp_path).gc(0, dry_run=True)
+        finally:
+            bus.detach(ring)
+        assert [e for e in ring.events if e["event"] == "cache.gc"] == []
+
     def test_eviction_counter_and_event(self, tmp_path):
         self.populate(tmp_path)
         bus = get_bus()
