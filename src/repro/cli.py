@@ -57,19 +57,37 @@ Subcommands
     reports what would be evicted without deleting anything.
 ``serve --state-dir DIR [--host H] [--port P] [--workers N]
 [--max-pending N] [--io-timeout-s S] [--session-lease-s S]
-[--telemetry PATH]``
+[--telemetry PATH] [--trace] [--metrics-port P] [--slo-* ...]``
     Run the networked allocation orchestrator: a long-lived server that
     admits (fingerprint, rep) jobs from remote clients, executes them
     through the simulation service, and journals every admission so a
     killed server restarts with its campaign intact.  ``SIGTERM``
     drains gracefully (stop admitting, finish leased jobs, exit 0).
+    ``--trace`` stamps events with deterministic distributed-trace ids;
+    ``--metrics-port`` serves Prometheus text exposition on
+    ``GET /metrics``; the ``--slo-*`` knobs tune the sliding-window SLO
+    tracking surfaced as ``server.slo`` events.
 ``submit EXP_ID --remote HOST:PORT [--reps N] [--seed S] [--out DIR]
-[--priority {interactive,batch}] [--deadline-s S] [--no-fallback]``
+[--priority {interactive,batch}] [--deadline-s S] [--no-fallback]
+[--telemetry PATH] [--trace]``
     Run one experiment's campaign against a remote ``serve`` instance
     under the paper's exact protocol; records are byte-identical to a
     local ``run``.  Transient faults retry with backoff; with fallback
     enabled (default) an unreachable server degrades to local
     execution instead of failing the campaign.
+``trace PATH [PATH ...] [--export FILE] [--check] [--job FP] [--limit N]``
+    Reconstruct per-job distributed span trees from one or more traced
+    event streams (client + server + workers; directories expand to
+    their ``*.jsonl``), print a causal timeline with queue-wait / run /
+    cache breakdowns, optionally export Chrome-trace/Perfetto JSON
+    (``--export``), and — with ``--check`` — exit 1 unless every
+    admitted job shows its complete submit → admit → lease → complete
+    chain.
+``top --remote HOST:PORT [--interval S] [--iterations N]``
+    Live ops view of a running ``serve`` instance: admission window,
+    queue depths, per-worker state, cache hit ratio and SLO burn rate,
+    refreshed every ``--interval`` seconds (``--iterations 0`` runs
+    until interrupted).
 ``stats PATH``
     Render the campaign dashboard from a ``--telemetry`` JSONL stream:
     progress, failure rates, bandwidth distributions (with bimodality
@@ -157,6 +175,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["info", "debug"],
         default="info",
         help="'debug' adds per-flow and per-segment events (large streams)",
+    )
+    run_p.add_argument(
+        "--trace",
+        action="store_true",
+        help="stamp telemetry events with deterministic distributed-trace ids "
+        "(see 'trace'); results stay byte-identical",
     )
     run_p.add_argument(
         "--profile",
@@ -375,6 +399,54 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="append the server's structured JSONL event stream",
     )
+    serve_p.add_argument(
+        "--trace",
+        action="store_true",
+        help="stamp server events with deterministic distributed-trace ids",
+    )
+    serve_p.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="P",
+        help="serve Prometheus text exposition on GET /metrics (0 binds an "
+        "ephemeral port; the bound port is printed)",
+    )
+    serve_p.add_argument(
+        "--slo-queue-wait-p99-s",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="SLO target: admitted jobs wait at most this at p99 (default: 2.0)",
+    )
+    serve_p.add_argument(
+        "--slo-max-shed-rate",
+        type=float,
+        default=0.05,
+        metavar="FRAC",
+        help="SLO budget: fraction of submissions that may shed (default: 0.05)",
+    )
+    serve_p.add_argument(
+        "--slo-min-hit-ratio",
+        type=float,
+        default=0.0,
+        metavar="FRAC",
+        help="SLO floor on the cache hit ratio; 0 disables it (default: 0)",
+    )
+    serve_p.add_argument(
+        "--slo-window",
+        type=int,
+        default=128,
+        metavar="N",
+        help="sliding-window size per SLO signal (default: 128)",
+    )
+    serve_p.add_argument(
+        "--slo-every",
+        type=int,
+        default=8,
+        metavar="N",
+        help="emit a server.slo event every N completions (default: 8)",
+    )
 
     submit_p = sub.add_parser(
         "submit", help="run one experiment's campaign against a remote server"
@@ -414,6 +486,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit_p.add_argument(
         "--quiet", action="store_true", help="suppress progress lines"
+    )
+    submit_p.add_argument(
+        "--telemetry",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append the client's structured JSONL event stream",
+    )
+    submit_p.add_argument(
+        "--trace",
+        action="store_true",
+        help="stamp client events with deterministic distributed-trace ids "
+        "(pair with the server's --trace for end-to-end traces)",
+    )
+
+    trace_p = sub.add_parser(
+        "trace", help="reconstruct distributed span trees from event streams"
+    )
+    trace_p.add_argument(
+        "paths",
+        type=Path,
+        nargs="+",
+        help="traced JSONL streams (client, server, workers); a directory "
+        "expands to its *.jsonl files",
+    )
+    trace_p.add_argument(
+        "--export",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the merged Chrome-trace/Perfetto JSON here",
+    )
+    trace_p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless every admitted job has a complete span tree",
+    )
+    trace_p.add_argument(
+        "--job",
+        default=None,
+        metavar="FP",
+        help="only jobs whose fingerprint or trace id starts with this",
+    )
+    trace_p.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="render at most N jobs in the timeline",
+    )
+
+    top_p = sub.add_parser("top", help="live ops view of a running server")
+    top_p.add_argument(
+        "--remote",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of a running 'serve' instance",
+    )
+    top_p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="refresh period in seconds (default: 2.0)",
+    )
+    top_p.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N refreshes (0 = run until interrupted)",
     )
 
     stats_p = sub.add_parser("stats", help="campaign dashboard from a telemetry stream")
@@ -476,7 +619,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         stack.enter_context(handle_signals())
         if args.telemetry is not None:
             stack.enter_context(
-                telemetry_session(jsonl=args.telemetry, level=args.telemetry_level)
+                telemetry_session(
+                    jsonl=args.telemetry,
+                    level=args.telemetry_level,
+                    trace=args.trace,
+                )
+            )
+        elif args.trace:
+            print(
+                "note: --trace has no effect without --telemetry (there is no "
+                "stream to stamp)",
+                file=sys.stderr,
             )
         profiler = stack.enter_context(profiling(args.profile)) if args.profile else None
         stack.enter_context(
@@ -607,10 +760,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_pending=args.max_pending,
         io_timeout_s=args.io_timeout_s,
         session_lease_s=args.session_lease_s,
+        metrics_port=args.metrics_port,
+        slo_queue_wait_p99_s=args.slo_queue_wait_p99_s,
+        slo_max_shed_rate=args.slo_max_shed_rate,
+        slo_min_hit_ratio=args.slo_min_hit_ratio,
+        slo_window=args.slo_window,
+        slo_every=args.slo_every,
     )
     with ExitStack() as stack:
         if args.telemetry is not None:
-            stack.enter_context(telemetry_session(jsonl=args.telemetry))
+            stack.enter_context(
+                telemetry_session(jsonl=args.telemetry, trace=args.trace)
+            )
         server = OrchestratorServer(config).start()
 
         def _drain(signum: int, _frame: object) -> None:
@@ -623,10 +784,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         acceptor.start()
         recovered = len(server.queue.entries)
+        metrics_note = (
+            f", metrics on :{server.metrics_port}"
+            if server.metrics_port is not None
+            else ""
+        )
         print(
             f"serving on {config.host}:{server.port} "
             f"(state: {config.state_dir}, {recovered} journaled job(s), "
-            f"{server.sessions.resumed} resumed session(s))",
+            f"{server.sessions.resumed} resumed session(s){metrics_note})",
             flush=True,
         )
         try:
@@ -644,6 +810,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_submit(args: argparse.Namespace) -> int:
     from .client import remote_run_specs
     from .errors import RemoteError
+    from .telemetry.bus import session as telemetry_session
 
     host, _, port_text = args.remote.rpartition(":")
     try:
@@ -664,17 +831,28 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         f"== {info.exp_id}: {info.title} ({len(specs)} spec(s) x {reps} reps "
         f"via {host or '127.0.0.1'}:{port}) =="
     )
-    store = remote_run_specs(
-        specs,
-        host or "127.0.0.1",
-        port,
-        repetitions=reps,
-        seed=args.seed,
-        progress=progress,
-        deadline_s=args.deadline_s,
-        fallback=not args.no_fallback,
-        priority=args.priority,
-    )
+    with ExitStack() as stack:
+        if args.telemetry is not None:
+            stack.enter_context(
+                telemetry_session(jsonl=args.telemetry, trace=args.trace)
+            )
+        elif args.trace:
+            print(
+                "note: --trace has no effect without --telemetry (there is no "
+                "stream to stamp)",
+                file=sys.stderr,
+            )
+        store = remote_run_specs(
+            specs,
+            host or "127.0.0.1",
+            port,
+            repetitions=reps,
+            seed=args.seed,
+            progress=progress,
+            deadline_s=args.deadline_s,
+            fallback=not args.no_fallback,
+            priority=args.priority,
+        )
     if args.out is not None and len(store) > 0:
         path = args.out / f"{args.exp_id}.csv"
         store.write_csv(path)
@@ -826,6 +1004,76 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .telemetry.traceview import (
+        check_traces,
+        chrome_trace,
+        collect_traces,
+        load_streams,
+        render_timeline,
+    )
+
+    events = load_streams(args.paths)
+    traces = collect_traces(events)
+    if args.job:
+        needle = args.job
+        traces = [
+            t for t in traces if t.job.startswith(needle) or t.trace_id.startswith(needle)
+        ]
+    if args.limit is not None and args.limit >= 0:
+        traces = traces[: args.limit]
+    # Export before printing: a truncated stdout (| head) must not
+    # cost the caller the artifact they asked for.
+    if args.export is not None:
+        args.export.parent.mkdir(parents=True, exist_ok=True)
+        args.export.write_text(json.dumps(chrome_trace(traces), indent=1) + "\n")
+        print(f"chrome trace written to {args.export}", file=sys.stderr)
+    print(render_timeline(traces))
+    if args.check:
+        problems = check_traces(traces)
+        if problems:
+            for problem in problems:
+                print(f"incomplete: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"all {sum(1 for t in traces if t.admitted)} admitted job(s) have "
+            "complete span trees",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    from .client import RemoteClient
+    from .server.ops import render_top
+
+    host, _, port_text = args.remote.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"error: --remote must be HOST:PORT, got {args.remote!r}", file=sys.stderr)
+        return 2
+    host = host or "127.0.0.1"
+    iteration = 0
+    try:
+        with RemoteClient(host, port, fallback=False) as client:
+            while True:
+                iteration += 1
+                frame = client.ping()
+                stats = {k: v for k, v in frame.items() if k not in ("v", "type")}
+                print(render_top(stats, title=f"{host}:{port}"), flush=True)
+                if args.iterations and iteration >= args.iterations:
+                    break
+                time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0
+
+
 def _cmd_tail(args: argparse.Namespace) -> int:
     import json
     import time
@@ -897,6 +1145,14 @@ def main(argv: list[str] | None = None) -> int:
         # expected operational failure, not a bug in the tool.
         print(f"error[{type(exc).__name__}]: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Downstream closed early (`repro trace ... | head`): not an
+        # error.  Point stdout at devnull so the interpreter's shutdown
+        # flush does not raise a second time.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 def _dispatch(args: argparse.Namespace) -> int:
@@ -928,6 +1184,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_submit(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "tail":
         return _cmd_tail(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

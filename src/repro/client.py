@@ -49,6 +49,7 @@ from .scenario.compile import compile_scenario
 from .server.protocol import check_version, message, recv_frame, send_frame
 from .service import get_service
 from .telemetry.bus import get_bus
+from .telemetry.trace import root_context, trace_id_for, trace_scope
 
 __all__ = ["RemoteClient", "RemoteExecutor", "remote_run_specs"]
 
@@ -232,7 +233,14 @@ class RemoteClient:
         """Admit (or re-attach to) one job; returns its server-side state."""
         reply = self._call(
             "submit",
-            {"spec": scenario.to_jsonable(), "rep": int(rep), "priority": self.priority},
+            {
+                "spec": scenario.to_jsonable(),
+                "rep": int(rep),
+                "priority": self.priority,
+                # Deterministic trace correlation (the server would mint
+                # the identical id anyway; carrying it costs nothing).
+                "trace": trace_id_for(scenario.fingerprint, rep),
+            },
             key=scenario.fingerprint,
             rep=int(rep),
             deadline=deadline,
@@ -271,7 +279,12 @@ class RemoteClient:
             try:
                 reply = self._call(
                     "wait",
-                    {"job": fp, "rep": int(rep), "timeout_s": 5.0},
+                    {
+                        "job": fp,
+                        "rep": int(rep),
+                        "timeout_s": 5.0,
+                        "trace": trace_id_for(fp, rep),
+                    },
                     key=fp,
                     rep=int(rep),
                     deadline=deadline,
@@ -297,31 +310,51 @@ class RemoteClient:
         deadline = (
             time.monotonic() + self.deadline_s if self.deadline_s is not None else None
         )
-        try:
-            self.submit(scenario, rep, deadline=deadline)
-            frame = self.wait(scenario, rep, deadline=deadline)
-        except RemoteError as exc:
-            if not self.fallback:
-                raise
-            self.stats["fallbacks"] += 1
-            _emit(
-                "client.fallback",
-                job=scenario.fingerprint,
-                rep=int(rep),
-                reason=str(exc)[:200],
-            )
-            return get_service().run(scenario, rep)
-        if frame.get("status") != "ok":
-            raise ExperimentError(
-                f"remote run ({scenario.fingerprint[:12]}, rep {rep}) failed: "
-                f"{frame.get('error')}"
-            )
         bus = get_bus()
-        if bus.enabled:
-            for event in frame.get("events") or ():
-                payload = {k: v for k, v in event.items() if k not in _ENVELOPE_KEYS}
-                bus.emit(event["event"], t=event.get("t"), **payload)
-        return result_from_jsonable(frame["result"])
+        # The root "job" span covers the whole remote round-trip; the
+        # "submit" child marks the client-side RPC leg.  Both contexts
+        # derive purely from the job identity, so local and remote
+        # executions of the same job share one trace.
+        ctx = (
+            root_context(scenario.fingerprint, rep)
+            if bus.tracing
+            else None
+        )
+        with trace_scope(ctx):
+            if ctx is not None:
+                with trace_scope(ctx.child("submit")):
+                    _emit(
+                        "job.submit",
+                        job=scenario.fingerprint,
+                        rep=int(rep),
+                        attempt=0,
+                    )
+            try:
+                self.submit(scenario, rep, deadline=deadline)
+                frame = self.wait(scenario, rep, deadline=deadline)
+            except RemoteError as exc:
+                if not self.fallback:
+                    raise
+                self.stats["fallbacks"] += 1
+                _emit(
+                    "client.fallback",
+                    job=scenario.fingerprint,
+                    rep=int(rep),
+                    reason=str(exc)[:200],
+                )
+                return get_service().run(scenario, rep)
+            if frame.get("status") != "ok":
+                raise ExperimentError(
+                    f"remote run ({scenario.fingerprint[:12]}, rep {rep}) failed: "
+                    f"{frame.get('error')}"
+                )
+            if bus.enabled:
+                for event in frame.get("events") or ():
+                    payload = {
+                        k: v for k, v in event.items() if k not in _ENVELOPE_KEYS
+                    }
+                    bus.emit(event["event"], t=event.get("t"), **payload)
+            return result_from_jsonable(frame["result"])
 
     def ping(self) -> dict[str, Any]:
         """Heartbeat: renews the session lease, returns server stats."""

@@ -73,6 +73,7 @@ from ..orchestrator.supervise import SupervisionPolicy
 from ..telemetry.bus import EventBus, RingBufferSink, get_bus, set_bus
 from ..telemetry.metrics import MetricsRegistry
 from ..telemetry.profiling import SpanProfiler, get_profiler, set_profiler
+from ..telemetry.trace import trace_scope
 from .plan import ExperimentPlan, ExperimentSpec, PlannedRun
 from .records import RecordStore
 from .runner import Executor, ProtocolRunner, RunOutcome, execute_outcome
@@ -732,39 +733,43 @@ class ParallelProtocolRunner(ProtocolRunner):
                     if outcome.ok
                     else ("quarantined" if outcome.violation else "failed")
                 )
-                if bus.enabled:
-                    bus.emit(
-                        "worker.start",
-                        worker=worker,
-                        spec=task.planned.spec.key,
-                        rep=task.planned.rep,
-                        seed=self.seed,
+                # The whole merge of one task runs under the task's job
+                # span: worker brackets, replayed engine events and
+                # run.end all land in one trace (no-op with tracing off).
+                with trace_scope(self._trace_context(task.planned)):
+                    if bus.enabled:
+                        bus.emit(
+                            "worker.start",
+                            worker=worker,
+                            spec=task.planned.spec.key,
+                            rep=task.planned.rep,
+                            seed=self.seed,
+                        )
+                        self._replay_worker_events(bus, reply.events, worker)
+                        if reply.metrics is not None:
+                            bus.metrics.merge(reply.metrics)
+                    prof.record("executor.run", reply.elapsed_s)
+                    if queue is not None:
+                        # Journal the terminal state before merging: the
+                        # merge may raise under a fail policy, and the
+                        # job must not be replayed as pending on resume.
+                        if outcome.ok:
+                            queue.mark_done(*key)
+                        else:
+                            queue.mark_failed(*key)
+                    wall_clock = self._merge(
+                        store, task.planned, task.block, wall_clock, outcome, bus
                     )
-                    self._replay_worker_events(bus, reply.events, worker)
-                    if reply.metrics is not None:
-                        bus.metrics.merge(reply.metrics)
-                prof.record("executor.run", reply.elapsed_s)
-                if queue is not None:
-                    # Journal the terminal state before merging: the
-                    # merge may raise under a fail policy, and the job
-                    # must not be replayed as pending on resume.
-                    if outcome.ok:
-                        queue.mark_done(*key)
-                    else:
-                        queue.mark_failed(*key)
-                wall_clock = self._merge(
-                    store, task.planned, task.block, wall_clock, outcome, bus
-                )
-                if bus.enabled:
-                    bus.emit(
-                        "worker.end",
-                        worker=worker,
-                        spec=task.planned.spec.key,
-                        rep=task.planned.rep,
-                        seed=self.seed,
-                        status=status,
-                        elapsed_s=float(reply.elapsed_s),
-                    )
+                    if bus.enabled:
+                        bus.emit(
+                            "worker.end",
+                            worker=worker,
+                            spec=task.planned.spec.key,
+                            rep=task.planned.rep,
+                            seed=self.seed,
+                            status=status,
+                            elapsed_s=float(reply.elapsed_s),
+                        )
                 supervisor.frontier = task.ordinal + 1
                 merge_index += 1
                 if not outcome.ok:

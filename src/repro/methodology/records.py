@@ -201,6 +201,11 @@ class FailedRunRecord:
     # silently drop its RetryPolicy trace).
     retries: int = 0
     flow_trace: tuple[Mapping[str, Any], ...] = ()
+    # The flight recorder's dump: the last telemetry events stamped with
+    # this run's trace id at the moment of quarantine (see
+    # repro.telemetry.trace.FlightRecorder), so a post-mortem needs no
+    # event stream.
+    last_events: tuple[Mapping[str, Any], ...] = ()
 
     @property
     def spec_key(self) -> str:
@@ -218,6 +223,7 @@ class FailedRunRecord:
             "block": self.block,
             "retries": self.retries,
             "flow_trace": [dict(e) for e in self.flow_trace],
+            "last_events": [dict(e) for e in self.last_events],
         }
 
     @classmethod
@@ -235,6 +241,7 @@ class FailedRunRecord:
             # was preserved loadable.
             retries=int(data.get("retries", 0)),
             flow_trace=tuple(dict(e) for e in data.get("flow_trace", ())),
+            last_events=tuple(dict(e) for e in data.get("last_events", ())),
         )
 
 

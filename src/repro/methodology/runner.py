@@ -52,6 +52,7 @@ from ..orchestrator.interrupts import pending_signal
 from ..orchestrator.queue import DurableJobQueue
 from ..telemetry.bus import get_bus
 from ..telemetry.profiling import get_profiler
+from ..telemetry.trace import TraceContext, current_trace, root_context, trace_scope
 from .plan import ExperimentPlan, ExperimentSpec, PlannedRun
 from .records import FailedRunRecord, RecordStore, RunRecord
 
@@ -228,6 +229,26 @@ class ProtocolRunner:
 
     # -- outcome merging ----------------------------------------------------------
 
+    def _trace_context(self, planned: PlannedRun) -> TraceContext | None:
+        """The job's root trace context, or None with tracing off.
+
+        The trace id derives from the compiled scenario fingerprint when
+        the executor exposes its ``scenarios`` map (the service and
+        remote executors both do) — which is what makes a local and a
+        remote execution of the same job share one trace.  Executors
+        without one fall back to the planned spec key, which is equally
+        deterministic, just not comparable across executor kinds.
+        """
+        if not get_bus().tracing:
+            return None
+        identity = planned.spec.key
+        scenarios = getattr(self.executor, "scenarios", None)
+        if isinstance(scenarios, Mapping):
+            fingerprint = getattr(scenarios.get(planned.spec.key), "fingerprint", None)
+            if isinstance(fingerprint, str):
+                identity = fingerprint
+        return root_context(identity, planned.rep)
+
     def _emit_start(self, bus: Any, planned: PlannedRun, block_index: int, wall_clock: float) -> None:
         if bus.enabled:
             bus.emit(
@@ -283,6 +304,16 @@ class ProtocolRunner:
                 if outcome.exception is not None:
                     raise outcome.exception
                 raise ExperimentError(f"{outcome.error_type}: {outcome.message}")
+            # Post-mortem dump: the flight recorder's recent events for
+            # this job's trace (all recent events with tracing off), so
+            # the quarantine record explains itself without the stream.
+            last_events: tuple[Mapping[str, Any], ...] = ()
+            flight = getattr(bus, "flight", None)
+            if flight is not None:
+                ctx = current_trace()
+                last_events = tuple(
+                    flight.for_trace(ctx.trace if ctx is not None else None, limit=64)
+                )
             store.failures.append(
                 FailedRunRecord(
                     exp_id=planned.spec.exp_id,
@@ -295,6 +326,7 @@ class ProtocolRunner:
                     block=block_index,
                     retries=outcome.retries,
                     flow_trace=outcome.flow_trace,
+                    last_events=last_events,
                 )
             )
             return wall_clock
@@ -398,19 +430,25 @@ class ProtocolRunner:
                     if interrupted is not None:
                         break
                     block_ran = True
-                    self._emit_start(bus, planned, block_index, wall_clock)
-                    if queue is not None:
-                        queue.lease(*key)
-                    outcome = execute_outcome(self.executor, planned.spec, planned.rep)
-                    if queue is not None:
-                        # Journal the terminal state before merging: the
-                        # merge may raise under a fail policy, and the
-                        # job must not replay as pending on resume.
-                        if outcome.ok:
-                            queue.mark_done(*key)
-                        else:
-                            queue.mark_failed(*key)
-                    wall_clock = self._merge(store, planned, block_index, wall_clock, outcome, bus)
+                    with trace_scope(self._trace_context(planned)):
+                        self._emit_start(bus, planned, block_index, wall_clock)
+                        if queue is not None:
+                            queue.lease(*key)
+                        outcome = execute_outcome(
+                            self.executor, planned.spec, planned.rep
+                        )
+                        if queue is not None:
+                            # Journal the terminal state before merging:
+                            # the merge may raise under a fail policy,
+                            # and the job must not replay as pending on
+                            # resume.
+                            if outcome.ok:
+                                queue.mark_done(*key)
+                            else:
+                                queue.mark_failed(*key)
+                        wall_clock = self._merge(
+                            store, planned, block_index, wall_clock, outcome, bus
+                        )
                     if not outcome.ok:
                         continue
                     done.add(key)

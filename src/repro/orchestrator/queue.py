@@ -136,7 +136,13 @@ def _owner_provably_dead(owner: str | None) -> bool:
 
 @dataclass
 class JobEntry:
-    """One (spec key, rep) job and its journaled state."""
+    """One (spec key, rep) job and its journaled state.
+
+    ``trace`` is the job's deterministic distributed-trace id (see
+    :mod:`repro.telemetry.trace`) when the submitter carried one; it
+    rides every journal record so a recovered job resumes under the
+    same trace it was admitted with.
+    """
 
     key: str
     rep: int
@@ -144,6 +150,7 @@ class JobEntry:
     attempt: int = 0
     owner: str | None = None
     lease_expires: float | None = None
+    trace: str | None = None
 
     @property
     def job_id(self) -> tuple[str, int]:
@@ -214,7 +221,7 @@ class DurableJobQueue:
     # -- journal plumbing --------------------------------------------------
 
     def _record(self, entry: JobEntry, op: str) -> dict[str, Any]:
-        return {
+        record = {
             "op": op,
             "key": entry.key,
             "rep": entry.rep,
@@ -223,6 +230,11 @@ class DurableJobQueue:
             "owner": entry.owner,
             "lease_expires": entry.lease_expires,
         }
+        # Written only when present, so journals from trace-off
+        # campaigns stay byte-for-byte what they always were.
+        if entry.trace is not None:
+            record["trace"] = entry.trace
+        return record
 
     def _append(self, entry: JobEntry, op: str) -> None:
         self._journal.append(self._record(entry, op))
@@ -240,6 +252,7 @@ class DurableJobQueue:
             return
         owner = record.get("owner")
         lease = record.get("lease_expires")
+        trace = record.get("trace")
         entry = JobEntry(
             key=key,
             rep=rep,
@@ -247,6 +260,7 @@ class DurableJobQueue:
             attempt=int(record.get("attempt", 0) or 0),
             owner=str(owner) if owner is not None else None,
             lease_expires=float(lease) if lease is not None else None,
+            trace=str(trace) if trace is not None else None,
         )
         self.entries[entry.job_id] = entry
 
@@ -256,7 +270,7 @@ class DurableJobQueue:
         if not self._opened:
             raise OrchestratorError("job queue used before open()")
 
-    def _admit(self, key: str, rep: int) -> JobEntry | None:
+    def _admit(self, key: str, rep: int, trace: str | None = None) -> JobEntry | None:
         """Make (key, rep) pending; returns the entry when it changed.
 
         The caller (the runner) declares this work *is* planned and not
@@ -267,9 +281,11 @@ class DurableJobQueue:
         """
         entry = self.entries.get((key, int(rep)))
         if entry is None:
-            entry = JobEntry(key=key, rep=int(rep))
+            entry = JobEntry(key=key, rep=int(rep), trace=trace)
             self.entries[entry.job_id] = entry
             return entry
+        if trace is not None and entry.trace is None:
+            entry.trace = trace
         if entry.state in ("done", "failed"):
             entry.state = "queued"
             entry.owner = None
@@ -277,20 +293,25 @@ class DurableJobQueue:
             return entry
         return None
 
-    def enqueue(self, key: str, rep: int) -> JobEntry:
+    def enqueue(self, key: str, rep: int, trace: str | None = None) -> JobEntry:
         """Add a job as ``queued``; idempotent for already-pending jobs."""
         self._require_open()
-        changed = self._admit(key, rep)
+        changed = self._admit(key, rep, trace=trace)
         if changed is not None:
             self._append(changed, op="enqueue")
         return self.entries[(key, int(rep))]
 
-    def enqueue_many(self, jobs: list[tuple[str, int]]) -> int:
-        """Batch enqueue under one fsync; returns how many changed state."""
+    def enqueue_many(self, jobs: list[tuple[str, int]] | list[tuple[str, int, str | None]]) -> int:
+        """Batch enqueue under one fsync; returns how many changed state.
+
+        Accepts ``(key, rep)`` pairs or ``(key, rep, trace)`` triples.
+        """
         self._require_open()
         fresh: list[JobEntry] = []
-        for key, rep in jobs:
-            changed = self._admit(key, rep)
+        for job in jobs:
+            key, rep = job[0], job[1]
+            trace = job[2] if len(job) > 2 else None
+            changed = self._admit(key, rep, trace=trace)
             if changed is not None:
                 fresh.append(changed)
         self._journal.append_many([self._record(e, "enqueue") for e in fresh])

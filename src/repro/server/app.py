@@ -54,7 +54,9 @@ from ..orchestrator.queue import DurableJobQueue
 from ..scenario import ScenarioSpec
 from ..service import ResultCache, get_service
 from ..telemetry.bus import get_bus
+from ..telemetry.trace import TraceContext, span_id_for, trace_id_for, trace_scope
 from .admission import AdmissionController, AdmissionPolicy
+from .ops import MetricsServer, SLOPolicy, SLOTracker, prometheus_text
 from .protocol import check_version, message, recv_frame, send_frame
 from .sessions import SessionRegistry
 
@@ -74,6 +76,13 @@ class ServerConfig:
     (slow-loris) is evicted, not waited on.  ``wait_cap_s`` bounds how
     long one ``wait`` request may park a handler thread before the
     client is told ``pending`` and re-polls.
+
+    ``metrics_port`` (when not None) serves Prometheus text exposition
+    on ``GET /metrics``; 0 binds an ephemeral port (bound port on
+    :attr:`OrchestratorServer.metrics_port`).  The ``slo_*`` knobs
+    parameterize the :class:`~repro.server.ops.SLOTracker`;
+    ``slo_every`` is how many completions pass between ``server.slo``
+    event emissions.
     """
 
     state_dir: Path
@@ -86,6 +95,12 @@ class ServerConfig:
     io_timeout_s: float = 10.0
     wait_cap_s: float = 30.0
     session_lease_s: float = 30.0
+    metrics_port: int | None = None
+    slo_queue_wait_p99_s: float = 2.0
+    slo_max_shed_rate: float = 0.05
+    slo_min_hit_ratio: float = 0.0
+    slo_window: int = 128
+    slo_every: int = 8
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "state_dir", Path(self.state_dir))
@@ -95,6 +110,19 @@ class ServerConfig:
             raise ConfigError("io_timeout_s and wait_cap_s must be > 0")
         if self.session_lease_s <= 0:
             raise ConfigError("session_lease_s must be > 0")
+        if self.metrics_port is not None and self.metrics_port < 0:
+            raise ConfigError("metrics_port must be >= 0")
+        if self.slo_every < 1:
+            raise ConfigError("slo_every must be >= 1")
+
+    def slo_policy(self) -> SLOPolicy:
+        """The SLO policy these knobs describe (validates them too)."""
+        return SLOPolicy(
+            queue_wait_p99_s=self.slo_queue_wait_p99_s,
+            max_shed_rate=self.slo_max_shed_rate,
+            min_hit_ratio=self.slo_min_hit_ratio,
+            window=self.slo_window,
+        )
 
 
 @dataclass
@@ -110,10 +138,25 @@ class _Job:
     result: Any = None  # jsonable RunResult once finished
     events: list = field(default_factory=list)
     done: threading.Event = field(default_factory=threading.Event)
+    # Deterministic distributed-trace id (trace_id_for(fingerprint, rep)
+    # unless the submit frame carried one) and the monotonic clock at
+    # admission, for the queue-wait measurement at lease time.
+    trace: str = ""
+    enqueued_at: float = 0.0
 
     @property
     def job_id(self) -> tuple[str, int]:
         return (self.fingerprint, self.rep)
+
+    def span(self, name: str) -> TraceContext:
+        """The context of one of this job's spans ("job" is the root)."""
+        if name == "job":
+            return TraceContext(self.trace, span_id_for(self.trace, "job"), None)
+        return TraceContext(
+            self.trace,
+            span_id_for(self.trace, name),
+            span_id_for(self.trace, "job"),
+        )
 
 
 def _emit(event: str, **fields: Any) -> None:
@@ -155,6 +198,15 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
             state / "sessions.journal", lease_s=config.session_lease_s
         )
         self.queue = DurableJobQueue(state / "jobs.journal")
+
+        # Ops surface: sliding-window SLO accounting, per-worker state,
+        # lifetime cache tallies, and (optionally) a /metrics endpoint.
+        self.slo = SLOTracker(config.slo_policy())
+        self.worker_state: dict[str, str] = {}
+        self._cache_tally = {"hits": 0, "misses": 0}
+        self._completions = 0
+        self._metrics_server: MetricsServer | None = None
+
         super().__init__((config.host, config.port), _Handler)
         self._recover()
 
@@ -164,14 +216,29 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
     def port(self) -> int:
         return int(self.server_address[1])
 
+    @property
+    def metrics_port(self) -> int | None:
+        """The bound /metrics port, when the exposition endpoint is on."""
+        return self._metrics_server.port if self._metrics_server else None
+
+    def _render_metrics(self) -> str:
+        bus = get_bus()
+        snapshot = bus.metrics.snapshot() if len(bus.metrics) else None
+        return prometheus_text(self.stats(), snapshot)
+
     def start(self) -> "OrchestratorServer":
         """Recoveries done in ``__init__``; spawn workers and the reaper."""
         for i in range(self.config.workers):
             t = threading.Thread(
                 target=self._worker, name=f"repro-worker-{i}", daemon=True
             )
+            self.worker_state[t.name] = "idle"
             t.start()
             self._service_threads.append(t)
+        if self.config.metrics_port is not None:
+            self._metrics_server = MetricsServer(
+                self.config.host, self.config.metrics_port, self._render_metrics
+            )
         reaper = threading.Thread(target=self._reaper, name="repro-reaper", daemon=True)
         reaper.start()
         self._service_threads.append(reaper)
@@ -205,6 +272,9 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         with self._lock:
             self._stopping = True
             self._work_cv.notify_all()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            self._metrics_server = None
         self.shutdown()
         self.server_close()
         for t in self._service_threads:
@@ -255,6 +325,10 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         for entry in self.queue.entries.values():
             job_id = (entry.key, entry.rep)
             scenario = self._load_spec(entry.key)
+            # A recovered job resumes under the trace it was admitted
+            # with; absent from the journal (older servers, trace-off
+            # clients) the id re-derives identically from the identity.
+            trace = entry.trace or trace_id_for(entry.key, entry.rep)
             if entry.state in ("queued", "leased"):
                 if scenario is None:
                     # Spec never made it to disk (crash between journal
@@ -263,16 +337,19 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
                     # cannot re-execute; surface it as failed.
                     self.queue.mark_failed(entry.key, entry.rep)
                     continue
-                job = _Job(entry.key, entry.rep, scenario)
+                job = _Job(entry.key, entry.rep, scenario, trace=trace)
+                job.enqueued_at = time.monotonic()
                 self._jobs[job_id] = job
                 self.admission.occupy(job_id)
                 self._work.append(job)
             elif entry.state == "done":
-                job = _Job(entry.key, entry.rep, scenario, status="ok", cached=True)
+                job = _Job(
+                    entry.key, entry.rep, scenario, status="ok", cached=True, trace=trace
+                )
                 job.done.set()
                 self._jobs[job_id] = job
             else:  # failed
-                job = _Job(entry.key, entry.rep, scenario, status="failed")
+                job = _Job(entry.key, entry.rep, scenario, status="failed", trace=trace)
                 job.error = "quarantined by a previous server instance"
                 job.done.set()
                 self._jobs[job_id] = job
@@ -280,6 +357,7 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
     # -- workers -----------------------------------------------------------
 
     def _worker(self) -> None:
+        me = threading.current_thread().name
         while True:
             with self._work_cv:
                 while not self._work and not self._stopping:
@@ -290,19 +368,46 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
                     return
                 job = self._work.popleft()
                 self.queue.lease(job.fingerprint, job.rep)
+                self.worker_state[me] = f"running {job.fingerprint[:10]}:{job.rep}"
+            wait_s = (
+                max(0.0, time.monotonic() - job.enqueued_at)
+                if job.enqueued_at
+                else None
+            )
+            self.slo.observe_queue_wait(wait_s or 0.0)
+            bus = get_bus()
+            # The lease ends the queue span: admission-to-lease is the
+            # wait the SLO tracks, so the event carries it (machine
+            # time rides the payload, like worker.end.elapsed_s).
+            ctx = job.span("queue") if bus.tracing and job.trace else None
+            with trace_scope(ctx):
+                _emit(
+                    "server.lease",
+                    job=job.fingerprint,
+                    rep=job.rep,
+                    queue_wait_s=wait_s,
+                )
             self._execute(job)
+            with self._lock:
+                self.worker_state[me] = "idle"
             self._maybe_drained()
 
     def _execute(self, job: _Job) -> None:
         scenario = job.scenario
         assert scenario is not None  # only spec-backed jobs reach the deque
+        bus = get_bus()
+        run_ctx = job.span("run") if bus.tracing and job.trace else None
         pre_cached = False
         try:
             pre_cached = self._store.load(scenario, job.rep) is not None
         except OSError:
             pre_cached = False
+        started = time.perf_counter()
         try:
-            with _EXEC_LOCK:
+            # The run span covers execution: with tracing on, the
+            # service's cache probe and the engine's own events are all
+            # stamped with this job's trace while we hold the scope.
+            with trace_scope(run_ctx), _EXEC_LOCK:
                 result = get_service().run(
                     scenario, job.rep, cache=True, cache_dir=self.cache_dir
                 )
@@ -325,22 +430,30 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         except Exception as exc:  # noqa: BLE001 — a job failure is data
             job.status = "failed"
             job.error = f"{type(exc).__name__}: {exc}"
+        elapsed = time.perf_counter() - started
         with self._lock:
             if job.status == "ok":
                 self.queue.mark_done(job.fingerprint, job.rep)
             else:
                 self.queue.mark_failed(job.fingerprint, job.rep)
             self.admission.release(job.job_id)
-        _emit(
-            "server.complete",
-            job=job.fingerprint,
-            rep=job.rep,
-            status=job.status,
-            cached=job.cached,
+            self._completions += 1
+            self._cache_tally["hits" if job.cached else "misses"] += 1
+            emit_slo = self._completions % self.config.slo_every == 0
+        self.slo.observe_cache(job.cached)
+        fields: dict[str, Any] = dict(
+            job=job.fingerprint, rep=job.rep, status=job.status, cached=job.cached
         )
-        bus = get_bus()
+        if bus.tracing:
+            # Machine time stays out of trace-off streams so they are
+            # byte-for-byte what they were before tracing existed.
+            fields["elapsed_s"] = elapsed
+        with trace_scope(run_ctx):
+            _emit("server.complete", **fields)
         if bus.enabled:
             bus.metrics.counter("server.complete", status=job.status).inc()
+        if emit_slo:
+            _emit("server.slo", **self.slo.evaluate())
         job.done.set()
 
     def _reaper(self) -> None:
@@ -394,6 +507,15 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         priority = msg.get("priority") or "batch"
         session_id = msg.get("session") or peer.session_id or "-"
         job_id = (scenario.fingerprint, rep)
+        # The wire trace id is an optimization: absent (older clients,
+        # trace-off runs) the server mints the identical id from the job
+        # identity, so both sides always agree.
+        wire_trace = msg.get("trace")
+        trace = (
+            wire_trace
+            if isinstance(wire_trace, str) and wire_trace
+            else trace_id_for(scenario.fingerprint, rep)
+        )
         with self._lock:
             job = self._jobs.get(job_id)
             if job is not None:
@@ -402,7 +524,11 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
                     self.sessions.sessions[session_id].jobs.add(job_id)
                 state = job.status or ("queued" if not job.done.is_set() else "done")
                 return message(
-                    "accepted", job=scenario.fingerprint, rep=rep, state=state
+                    "accepted",
+                    job=scenario.fingerprint,
+                    rep=rep,
+                    state=state,
+                    trace=job.trace,
                 )
             decision = self.admission.try_admit(job_id, priority)
             if not decision.admitted:
@@ -411,38 +537,50 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
                 # Spec before journal: recovery can always re-execute
                 # anything the WAL admits.
                 self._persist_spec(scenario)
-                self.queue.enqueue(scenario.fingerprint, rep)
-                job = _Job(scenario.fingerprint, rep, scenario)
+                self.queue.enqueue(scenario.fingerprint, rep, trace=trace)
+                job = _Job(scenario.fingerprint, rep, scenario, trace=trace)
+                job.enqueued_at = time.monotonic()
                 self._jobs[job_id] = job
                 if isinstance(session_id, str) and session_id in self.sessions.sessions:
                     self.sessions.sessions[session_id].jobs.add(job_id)
                 self._work.append(job)
                 self._work_cv.notify()
+        self.slo.observe_admit(shed=not decision.admitted)
+        bus = get_bus()
         if not decision.admitted:
-            _emit(
-                "server.shed",
-                reason=decision.reason,
-                priority=priority if priority in ("interactive", "batch") else "batch",
-                retry_after_s=decision.retry_after_s,
-                pending=pending,
+            shed_ctx = (
+                TraceContext(trace, span_id_for(trace, "job"), None)
+                if bus.tracing
+                else None
             )
-            bus = get_bus()
+            with trace_scope(shed_ctx):
+                _emit(
+                    "server.shed",
+                    reason=decision.reason,
+                    priority=priority if priority in ("interactive", "batch") else "batch",
+                    retry_after_s=decision.retry_after_s,
+                    pending=pending,
+                )
             if bus.enabled:
                 bus.metrics.counter("server.shed", reason=decision.reason).inc()
             return message(
                 "busy", reason=decision.reason, retry_after_s=decision.retry_after_s
             )
-        _emit(
-            "server.admit",
-            job=scenario.fingerprint,
-            rep=rep,
-            priority=priority if priority in ("interactive", "batch") else "batch",
-            session=str(session_id),
-        )
-        bus = get_bus()
+        # Admission opens the queue span (the lease closes it).
+        admit_ctx = job.span("queue") if bus.tracing else None
+        with trace_scope(admit_ctx):
+            _emit(
+                "server.admit",
+                job=scenario.fingerprint,
+                rep=rep,
+                priority=priority if priority in ("interactive", "batch") else "batch",
+                session=str(session_id),
+            )
         if bus.enabled:
             bus.metrics.counter("server.admit").inc()
-        return message("accepted", job=scenario.fingerprint, rep=rep, state="queued")
+        return message(
+            "accepted", job=scenario.fingerprint, rep=rep, state="queued", trace=trace
+        )
 
     def _result_frame(self, job: _Job) -> dict[str, Any]:
         if job.status == "ok" and job.result is None:
@@ -473,6 +611,7 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
             result=job.result,
             events=job.events,
             error=job.error,
+            trace=job.trace or None,
         )
 
     def _req_wait(self, msg: dict[str, Any], peer: "_Handler") -> dict[str, Any]:
@@ -515,11 +654,18 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
 
     def stats(self) -> dict[str, Any]:
         with self._lock:
-            return {
+            snapshot = {
                 **self.admission.snapshot(),
                 "sessions": len(self.sessions.sessions),
                 "jobs": self.queue.counts(),
+                "workers": dict(self.worker_state),
+                "cache": dict(self._cache_tally),
             }
+        hits = snapshot["cache"]["hits"]
+        total = hits + snapshot["cache"]["misses"]
+        snapshot["cache"]["hit_ratio"] = hits / total if total else None
+        snapshot["slo"] = self.slo.evaluate()
+        return snapshot
 
 
 class _Handler(socketserver.BaseRequestHandler):

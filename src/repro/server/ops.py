@@ -1,0 +1,363 @@
+"""The live ops surface of the orchestrator server.
+
+Three independent pieces, all consuming the same ``stats()`` snapshot
+the ``stats``/``ping`` protocol frames already return:
+
+* :class:`SLOTracker` — sliding-window service-level tracking over the
+  signals that decide whether the service is *usable*: queue-wait p99
+  against a latency target, shed rate against an error budget, cache
+  hit ratio against a floor.  ``evaluate()`` folds them into one
+  **burn rate** (how fast the worst budget is being consumed; > 1 means
+  the SLO is being violated right now) — the number the server emits as
+  ``server.slo`` events and exports as a gauge.
+
+* :func:`prometheus_text` — renders a stats snapshot (plus the session
+  :class:`~repro.telemetry.metrics.MetricsRegistry` snapshot, when one
+  is live) in the Prometheus text exposition format, served by
+  :class:`MetricsServer` on ``repro serve --metrics-port``.
+
+* :func:`render_top` — the ``repro top`` screen: one multi-line text
+  frame per refresh, built purely from a stats frame so it works over
+  the wire with no extra protocol surface.
+
+Everything here is wall-clock-derived operational data; none of it
+feeds back into results, stores, or fingerprints, so the determinism
+contract of :mod:`repro.telemetry.trace` is untouched.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Mapping
+
+from repro.errors import OrchestratorError
+
+__all__ = [
+    "SLOPolicy",
+    "SLOTracker",
+    "prometheus_text",
+    "MetricsServer",
+    "render_top",
+]
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """The service-level objectives one server instance is held to.
+
+    ``queue_wait_p99_s``  admitted jobs should wait at most this long
+                          for a worker, at the 99th percentile;
+    ``max_shed_rate``     at most this fraction of submissions may be
+                          shed (the capacity error budget);
+    ``min_hit_ratio``     the cache hit ratio floor (0 disables it —
+                          a cold cache is not an incident);
+    ``window``            how many recent observations each signal
+                          keeps (sliding window, not lifetime).
+    """
+
+    queue_wait_p99_s: float = 2.0
+    max_shed_rate: float = 0.05
+    min_hit_ratio: float = 0.0
+    window: int = 128
+
+    def __post_init__(self) -> None:
+        if self.queue_wait_p99_s <= 0:
+            raise OrchestratorError("queue_wait_p99_s target must be > 0")
+        if not 0 < self.max_shed_rate <= 1:
+            raise OrchestratorError("max_shed_rate must be in (0, 1]")
+        if not 0 <= self.min_hit_ratio < 1:
+            raise OrchestratorError("min_hit_ratio must be in [0, 1)")
+        if self.window < 1:
+            raise OrchestratorError("SLO window must be >= 1")
+
+
+def _p99(sample: list[float]) -> float | None:
+    """Exact p99 of a sample (nearest-rank); None on an empty sample."""
+    if not sample:
+        return None
+    ordered = sorted(sample)
+    rank = min(len(ordered) - 1, math.ceil(0.99 * len(ordered)) - 1)
+    return ordered[max(0, rank)]
+
+
+class SLOTracker:
+    """Sliding-window SLO accounting, safe to feed from many threads."""
+
+    def __init__(self, policy: SLOPolicy | None = None):
+        self.policy = policy or SLOPolicy()
+        window = self.policy.window
+        self._lock = threading.Lock()
+        self._queue_waits: deque[float] = deque(maxlen=window)
+        self._sheds: deque[bool] = deque(maxlen=window)
+        self._hits: deque[bool] = deque(maxlen=window)
+
+    # -- observations ------------------------------------------------------
+
+    def observe_queue_wait(self, seconds: float) -> None:
+        """An admitted job waited ``seconds`` between admit and lease."""
+        with self._lock:
+            self._queue_waits.append(max(0.0, float(seconds)))
+
+    def observe_admit(self, shed: bool) -> None:
+        """One admission decision: ``shed=True`` means it was refused."""
+        with self._lock:
+            self._sheds.append(bool(shed))
+
+    def observe_cache(self, hit: bool) -> None:
+        """One executed job's cache outcome."""
+        with self._lock:
+            self._hits.append(bool(hit))
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self) -> dict[str, Any]:
+        """The current SLO state (the ``server.slo`` event payload).
+
+        The burn rate is the worst ratio of observed-to-budgeted across
+        the three signals: 1.0 means the budget is being consumed
+        exactly at its allowed rate, above 1.0 the SLO is violated.
+        The latency signal burns on the *fraction of waits over target*
+        against a 1% allowance (it is a p99 objective), not on the raw
+        p99 — one slow outlier in a small window should not read as a
+        99x burn.
+        """
+        with self._lock:
+            waits = list(self._queue_waits)
+            sheds = list(self._sheds)
+            hits = list(self._hits)
+        policy = self.policy
+        p99 = _p99(waits)
+        over = (
+            sum(1 for w in waits if w > policy.queue_wait_p99_s) / len(waits)
+            if waits
+            else 0.0
+        )
+        shed_rate = sum(sheds) / len(sheds) if sheds else 0.0
+        hit_ratio = sum(hits) / len(hits) if hits else None
+        burns = [over / 0.01, shed_rate / policy.max_shed_rate]
+        if policy.min_hit_ratio > 0 and hit_ratio is not None:
+            miss_budget = 1.0 - policy.min_hit_ratio
+            burns.append((1.0 - hit_ratio) / miss_budget)
+        burn = max(burns)
+        return {
+            "window": policy.window,
+            "queue_wait_p99_s": p99,
+            "shed_rate": shed_rate,
+            "hit_ratio": hit_ratio,
+            "burn_rate": burn,
+            "ok": burn <= 1.0,
+        }
+
+
+# -- Prometheus text exposition --------------------------------------------
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_line(name: str, value: Any, labels: Mapping[str, Any] | None = None) -> str:
+    if isinstance(value, bool):
+        value = int(value)
+    if value is None or not isinstance(value, (int, float)):
+        value = float("nan") if value is None else value
+    body = ""
+    if labels:
+        pairs = ",".join(f'{k}="{_prom_escape(str(v))}"' for k, v in labels.items())
+        body = "{" + pairs + "}"
+    return f"{name}{body} {value}"
+
+
+def _registry_lines(snapshot: Mapping[str, Any]) -> list[str]:
+    """MetricsRegistry snapshot → exposition lines.
+
+    Snapshot keys are rendered names (``server.jobs.completed`` or
+    ``server.shed{reason=capacity}``); values are typed dicts.  Dots
+    become underscores, the ``repro_`` prefix namespaces everything,
+    histogram summaries flatten to ``_count``/``_sum`` plus quantile
+    gauges.
+    """
+    lines: list[str] = []
+    for key in sorted(snapshot):
+        entry = snapshot[key]
+        if not isinstance(entry, Mapping):
+            continue
+        name, _, label_body = key.partition("{")
+        base = "repro_" + name.replace(".", "_").replace("-", "_")
+        labels: dict[str, str] = {}
+        if label_body:
+            for pair in label_body.rstrip("}").split(","):
+                lk, _, lv = pair.partition("=")
+                if lk:
+                    labels[lk.strip()] = lv.strip()
+        kind = entry.get("type")
+        if kind in ("counter", "gauge"):
+            lines.append(_prom_line(base, entry.get("value", 0), labels))
+        elif kind == "histogram":
+            lines.append(_prom_line(base + "_count", entry.get("count", 0), labels))
+            lines.append(_prom_line(base + "_sum", entry.get("sum", 0.0), labels))
+            for q, v in (entry.get("quantiles") or {}).items():
+                qlabels = dict(labels)
+                qlabels["quantile"] = str(q)
+                lines.append(_prom_line(base, v, qlabels))
+    return lines
+
+
+def prometheus_text(
+    stats: Mapping[str, Any], metrics: Mapping[str, Any] | None = None
+) -> str:
+    """Render a server stats snapshot in Prometheus text format.
+
+    ``stats`` is exactly what the ``stats`` protocol frame carries;
+    ``metrics`` is an optional MetricsRegistry snapshot to append.
+    Ends with a newline, as the format requires.
+    """
+    lines: list[str] = []
+
+    def gauge(name: str, help_text: str, value: Any, labels: Mapping[str, Any] | None = None) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(_prom_line(name, value, labels))
+
+    def counter(name: str, help_text: str, value: Any) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(_prom_line(name, value))
+
+    gauge("repro_server_pending", "Jobs admitted but not yet complete.", stats.get("pending", 0))
+    gauge("repro_server_max_pending", "Admission window size.", stats.get("max_pending", 0))
+    gauge("repro_server_draining", "1 while the server refuses new work.", stats.get("draining", False))
+    gauge("repro_server_sessions", "Open client sessions.", stats.get("sessions", 0))
+    counter("repro_server_admitted_total", "Submissions admitted.", stats.get("admitted", 0))
+    counter("repro_server_shed_total", "Submissions shed.", stats.get("shed", 0))
+    counter("repro_server_completed_total", "Jobs completed.", stats.get("completed", 0))
+
+    jobs = stats.get("jobs")
+    if isinstance(jobs, Mapping):
+        lines.append("# HELP repro_server_jobs Durable queue entries by state.")
+        lines.append("# TYPE repro_server_jobs gauge")
+        for state in sorted(jobs):
+            lines.append(_prom_line("repro_server_jobs", jobs[state], {"state": state}))
+
+    workers = stats.get("workers")
+    if isinstance(workers, Mapping):
+        lines.append("# HELP repro_server_worker_busy 1 while the worker is executing a job.")
+        lines.append("# TYPE repro_server_worker_busy gauge")
+        for worker in sorted(workers):
+            state = workers[worker]
+            busy = 1 if str(state).startswith("run") else 0
+            lines.append(_prom_line("repro_server_worker_busy", busy, {"worker": worker}))
+
+    cache = stats.get("cache")
+    if isinstance(cache, Mapping):
+        counter("repro_server_cache_hits_total", "Completed jobs served from cache.", cache.get("hits", 0))
+        counter("repro_server_cache_misses_total", "Completed jobs that executed.", cache.get("misses", 0))
+        gauge("repro_server_cache_hit_ratio", "Lifetime cache hit ratio.", cache.get("hit_ratio"))
+
+    slo = stats.get("slo")
+    if isinstance(slo, Mapping):
+        gauge("repro_slo_queue_wait_p99_seconds", "Observed queue-wait p99 (sliding window).", slo.get("queue_wait_p99_s"))
+        gauge("repro_slo_shed_rate", "Observed shed rate (sliding window).", slo.get("shed_rate"))
+        gauge("repro_slo_hit_ratio", "Observed cache hit ratio (sliding window).", slo.get("hit_ratio"))
+        gauge("repro_slo_burn_rate", "Worst budget burn rate; > 1 violates the SLO.", slo.get("burn_rate"))
+        gauge("repro_slo_ok", "1 while all SLOs are met.", slo.get("ok", True))
+
+    if metrics:
+        lines.append("# HELP repro_metric Session metrics registry export.")
+        lines.extend(_registry_lines(metrics))
+
+    return "\n".join(lines) + "\n"
+
+
+class MetricsServer:
+    """A tiny threaded HTTP endpoint serving ``GET /metrics``.
+
+    ``renderer`` is called per scrape and must return the exposition
+    text — the server holds no state of its own, so scrapes always see
+    the live stats.  ``port=0`` binds an ephemeral port (tests);
+    ``.port`` reports the bound one.
+    """
+
+    def __init__(self, host: str, port: int, renderer: Callable[[], str]):
+        outer = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                if self.path.rstrip("/") not in ("", "/metrics"):
+                    self.send_error(404)
+                    return
+                try:
+                    body = outer._renderer().encode("utf-8")
+                except Exception:  # pragma: no cover - renderer bug
+                    self.send_error(500)
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: Any) -> None:
+                pass  # scrapes are not events; keep stderr quiet
+
+        self._renderer = renderer
+        try:
+            self._httpd = ThreadingHTTPServer((host, int(port)), _Handler)
+        except OSError as exc:
+            raise OrchestratorError(f"cannot bind metrics port {host}:{port}: {exc}") from exc
+        self.port = int(self._httpd.server_address[1])
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-metrics", daemon=True
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+
+
+# -- the `repro top` screen -------------------------------------------------
+
+def _ratio(value: Any) -> str:
+    return f"{value:.0%}" if isinstance(value, (int, float)) else "-"
+
+
+def render_top(stats: Mapping[str, Any], title: str = "repro server") -> str:
+    """One text frame of the ops view, built from a stats frame."""
+    pending = stats.get("pending", 0)
+    cap = stats.get("max_pending", 0)
+    lines = [
+        f"{title} — {'DRAINING' if stats.get('draining') else 'serving'}",
+        f"  window    {pending}/{cap} in flight    sessions {stats.get('sessions', 0)}",
+        f"  totals    admitted {stats.get('admitted', 0)}   shed {stats.get('shed', 0)}   completed {stats.get('completed', 0)}",
+    ]
+    jobs = stats.get("jobs")
+    if isinstance(jobs, Mapping):
+        body = "   ".join(f"{state} {jobs[state]}" for state in sorted(jobs))
+        lines.append(f"  queue     {body}")
+    cache = stats.get("cache")
+    if isinstance(cache, Mapping):
+        lines.append(
+            f"  cache     hits {cache.get('hits', 0)}   misses {cache.get('misses', 0)}"
+            f"   hit-ratio {_ratio(cache.get('hit_ratio'))}"
+        )
+    workers = stats.get("workers")
+    if isinstance(workers, Mapping) and workers:
+        lines.append("  workers")
+        for worker in sorted(workers):
+            lines.append(f"    {worker:<20s} {workers[worker]}")
+    slo = stats.get("slo")
+    if isinstance(slo, Mapping):
+        p99 = slo.get("queue_wait_p99_s")
+        p99_text = f"{p99:.3f}s" if isinstance(p99, (int, float)) else "-"
+        state = "OK" if slo.get("ok", True) else "BURNING"
+        lines.append(
+            f"  slo       {state}   burn {slo.get('burn_rate', 0.0):.2f}x"
+            f"   queue-wait p99 {p99_text}   shed {_ratio(slo.get('shed_rate'))}"
+            f"   hit {_ratio(slo.get('hit_ratio'))}"
+        )
+    return "\n".join(lines)

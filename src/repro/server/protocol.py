@@ -15,8 +15,8 @@ structured error, never a silent misread.
 Request types (client → server)::
 
     hello   {session?}                    open or resume a session
-    submit  {spec, rep, priority?}        admit one (fingerprint, rep) job
-    wait    {job, rep, timeout_s?}        block (bounded) for a result
+    submit  {spec, rep, priority?, trace?}  admit one (fingerprint, rep) job
+    wait    {job, rep, timeout_s?, trace?}  block (bounded) for a result
     ping    {}                            heartbeat: renews the session lease
     stats   {}                            server introspection
     bye     {}                            close the session
@@ -24,13 +24,21 @@ Request types (client → server)::
 Response types (server → client)::
 
     welcome  {session, lease_s}           session opened/resumed
-    accepted {job, rep, state}            job admitted (or already known)
-    result   {job, rep, status, cached, result?, events?, error?}
+    accepted {job, rep, state, trace?}    job admitted (or already known)
+    result   {job, rep, status, cached, result?, events?, error?, trace?}
     pending  {job, rep}                   wait timed out server-side; re-poll
     busy     {reason, retry_after_s}      load shed / draining: retry later
     stats    {...}
     error    {error, message}             malformed or unserviceable request
     bye      {}
+
+The optional ``trace`` field is the deterministic distributed-trace id
+of :mod:`repro.telemetry.trace` — an *optimization*, not a contract:
+it derives purely from the job identity, so a server that never sees it
+mints the identical id, and peers on either side of this version
+interoperate unchanged.  ``stats`` replies carry the live ops snapshot
+(admission window, queue counts by state, per-worker state, cache
+tallies, and the sliding-window SLO evaluation).
 
 All read-side defects — torn frame, oversized frame, bad JSON, version
 mismatch — raise :class:`~repro.errors.ProtocolError`; a clean EOF at a

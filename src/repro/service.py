@@ -38,6 +38,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -50,6 +51,7 @@ from .orchestrator.journal import fsync_dir
 from .orchestrator.supervise import CircuitBreaker
 from .scenario import MODEL_REVISION, ScenarioSpec
 from .telemetry.bus import RingBufferSink, get_bus
+from .telemetry.trace import current_trace, trace_scope
 from .verify.level import ValidationLevel
 
 __all__ = [
@@ -428,6 +430,7 @@ class SimulationService:
             return ctx.engine.run(ctx.make_apps(), rep=rep)
 
         store = ResultCache(cache_dir)
+        probe_started = time.perf_counter()
         try:
             entry = store.load(spec, rep)
         except OSError:
@@ -440,6 +443,7 @@ class SimulationService:
                 _count("hit")
                 if bus.enabled:
                     self._replay_events(bus, entry.get("events", ()))
+                self._emit_cache_span(bus, "hit", probe_started)
                 return result_from_jsonable(entry["result"])
 
         _count("miss")
@@ -463,12 +467,39 @@ class SimulationService:
         else:
             self.breaker.record_success()
             self._emit_breaker(bus)
+        # After the ring detaches: the span marker must not be captured
+        # into the cache entry, or a replayed hit would claim a miss.
+        self._emit_cache_span(bus, "miss", probe_started)
         return result
 
     def _cache_fault(self, bus: Any) -> None:
         _count("error")
         self.breaker.record_failure()
         self._emit_breaker(bus)
+
+    @staticmethod
+    def _emit_cache_span(bus: Any, status: str, started: float) -> None:
+        """Close the "cache" span of the ambient trace (tracing only).
+
+        Emitted as a ``trace.span`` marker — a child of whatever span is
+        active (the server's "run" span, or the local runner's "job"
+        span) — carrying the probe/execute outcome and machine-time
+        duration in the payload, the same convention as
+        ``worker.end.elapsed_s``.
+        """
+        if not getattr(bus, "tracing", False):
+            return
+        ctx = current_trace()
+        if ctx is None:
+            return
+        with trace_scope(ctx.child("cache")):
+            bus.emit(
+                "trace.span",
+                name="cache",
+                phase="end",
+                status=status,
+                elapsed_s=time.perf_counter() - started,
+            )
 
     def _emit_breaker(self, bus: Any) -> None:
         for state, failures in self.breaker.drain_transitions():

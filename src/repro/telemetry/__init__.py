@@ -10,6 +10,11 @@ One substrate replaces the previous per-feature reporting paths:
   with fixed-bucket *and* streaming-quantile (P²) views;
 * :mod:`~repro.telemetry.profiling` — span-based wall-clock profiling
   of the simulation hot paths (``--profile``);
+* :mod:`~repro.telemetry.trace` — deterministic distributed trace
+  context (ids derived from job identity, thread-local scopes, the
+  post-mortem flight recorder);
+* :mod:`~repro.telemetry.traceview` — span-tree reconstruction and
+  Chrome-trace export behind ``repro trace``;
 * :mod:`~repro.telemetry.report` — the campaign dashboard behind
   ``repro stats`` / ``repro tail``.
 
@@ -40,6 +45,23 @@ from .events import (
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, P2Quantile
 from .profiling import SpanProfiler, SpanStats, get_profiler, profiling, set_profiler
 from .report import CampaignReport, load_events
+from .trace import (
+    FlightRecorder,
+    TraceContext,
+    current_trace,
+    root_context,
+    span_id_for,
+    trace_id_for,
+    trace_scope,
+)
+from .traceview import (
+    JobTrace,
+    check_traces,
+    chrome_trace,
+    collect_traces,
+    load_streams,
+    render_timeline,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -68,4 +90,17 @@ __all__ = [
     "profiling",
     "CampaignReport",
     "load_events",
+    "TraceContext",
+    "trace_id_for",
+    "span_id_for",
+    "root_context",
+    "current_trace",
+    "trace_scope",
+    "FlightRecorder",
+    "JobTrace",
+    "load_streams",
+    "collect_traces",
+    "render_timeline",
+    "chrome_trace",
+    "check_traces",
 ]

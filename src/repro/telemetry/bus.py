@@ -36,6 +36,7 @@ from typing import Any, Iterator, Protocol, TextIO
 from ..errors import TelemetryError
 from .events import DEBUG_EVENTS, SCHEMA_VERSION
 from .metrics import MetricsRegistry
+from .trace import FlightRecorder, current_trace
 
 __all__ = [
     "TelemetrySink",
@@ -150,7 +151,7 @@ class ConsoleSink:
 class EventBus:
     """Dispatches enveloped events to the attached sinks."""
 
-    def __init__(self, level: str = "info"):
+    def __init__(self, level: str = "info", trace: bool = False):
         if level not in _LEVELS:
             raise TelemetryError(f"unknown telemetry level {level!r} (expected {_LEVELS})")
         self.level = level
@@ -160,6 +161,14 @@ class EventBus:
         # Convenience handle set by session(ring=...): the in-memory sink,
         # so callers can inspect captured events without tracking it.
         self.ring: RingBufferSink | None = None
+        # Distributed tracing: when on, emit() stamps every event with
+        # the ambient thread-local trace context (repro.telemetry.trace)
+        # and trace-only events (job.submit, trace.span, …) are emitted.
+        # Off by default so default streams stay byte-for-byte unchanged.
+        self.tracing = bool(trace)
+        # The post-mortem ring set by session(): last-N events for
+        # failure records, independent of any user-configured sink.
+        self.flight: FlightRecorder | None = None
 
     # -- state ----------------------------------------------------------------
 
@@ -192,6 +201,11 @@ class EventBus:
         :data:`repro.telemetry.events.DEBUG_EVENTS`) are dropped unless
         the bus runs at debug level.  With no sinks attached this is a
         no-op after one list check.
+
+        With tracing on, the ambient thread-local trace context stamps
+        ``trace``/``span``/``parent`` onto the event — but only where
+        the payload does not already carry them, so cache- and
+        wire-replayed events keep their originally recorded ids.
         """
         if not self._sinks:
             return
@@ -204,6 +218,13 @@ class EventBus:
             "t": float(t) if t is not None else None,
             **fields,
         }
+        if self.tracing:
+            ctx = current_trace()
+            if ctx is not None:
+                event.setdefault("trace", ctx.trace)
+                event.setdefault("span", ctx.span)
+                if ctx.parent is not None:
+                    event.setdefault("parent", ctx.parent)
         self._seq = self._seq + 1
         for sink in self._sinks:
             sink.emit(event)
@@ -240,14 +261,22 @@ def session(
     ring: int | None = None,
     console: TextIO | None = None,
     level: str = "info",
+    trace: bool = False,
+    flight: int | None = None,
 ) -> Iterator[EventBus]:
     """A scoped telemetry session: fresh bus, sinks attached, auto-teardown.
 
     On exit the session emits a final ``metrics.snapshot`` event (when
     any metric was touched), closes the sinks and restores the previous
     process-wide bus — so nested sessions and tests compose.
+
+    ``trace=True`` turns on distributed-trace stamping (and the
+    trace-only events) for the session.  ``flight`` sizes the
+    post-mortem :class:`~repro.telemetry.trace.FlightRecorder` attached
+    alongside the other sinks (default: 256 whenever any sink is
+    configured; 0 disables it).
     """
-    bus = EventBus(level=level)
+    bus = EventBus(level=level, trace=trace)
     ring_sink: RingBufferSink | None = None
     if jsonl is not None:
         bus.attach(JsonlSink(jsonl))
@@ -257,6 +286,11 @@ def session(
         bus.ring = ring_sink
     if console is not None:
         bus.attach(ConsoleSink(console))
+    if flight is None:
+        flight = 256 if bus.enabled else 0
+    if flight:
+        bus.flight = FlightRecorder(flight)
+        bus.attach(bus.flight)
     previous = set_bus(bus)
     try:
         yield bus

@@ -196,7 +196,30 @@ EVENT_TYPES: dict[str, dict[str, tuple[type, ...]]] = {
         "reason": (str,),  # "SIGTERM" | "SIGINT" | "shutdown"
         "pending": (int,),
     },
+    # A worker leased a queued job; ``queue_wait_s`` is the real time it
+    # sat admitted-but-unleased (machine time, ``t`` stays null — the
+    # same deliberate exception as ``worker.end.elapsed_s``).
+    "server.lease": {
+        "job": (str,),
+        "rep": (int,),
+        "queue_wait_s": (int, float, type(None)),
+    },
+    # Periodic SLO evaluation over the server's sliding window: queue
+    # wait p99 vs target, shed rate vs budget, cache hit ratio vs floor,
+    # and the combined burn rate (1.0 = exactly on budget).
+    "server.slo": {
+        "window": (int,),
+        "queue_wait_p99_s": (int, float, type(None)),
+        "shed_rate": (int, float),
+        "hit_ratio": (int, float, type(None)),
+        "burn_rate": (int, float),
+        "ok": (bool,),
+    },
     # -- remote client -------------------------------------------------------
+    # A job entered the distributed pipeline: the client (or local
+    # runner) minted its trace context and is about to submit.  Only
+    # emitted when the session runs with tracing enabled.
+    "job.submit": {"job": (str,), "rep": (int,), "attempt": (int,)},
     # A client op failed transiently and will be retried after a delay.
     "client.retry": {
         "op": (str,),
@@ -232,6 +255,12 @@ EVENT_TYPES: dict[str, dict[str, tuple[type, ...]]] = {
     },
     # -- session-level -------------------------------------------------------
     "trace.record": {"key": (str,)},
+    # A span boundary marker emitted by tracing-enabled sessions:
+    # ``name`` is one of the stable span names (repro.telemetry.trace),
+    # ``phase`` is "begin" or "end"; optional ``elapsed_s`` (machine
+    # time, ``t`` null) and ``status`` (e.g. cache "hit"/"miss") ride
+    # on the "end" marker.
+    "trace.span": {"name": (str,), "phase": (str,)},
     "metrics.snapshot": {"metrics": (dict,)},
 }
 
@@ -246,11 +275,27 @@ _OPTIONAL_FIELDS: dict[str, dict[str, tuple[type, ...]]] = {
     "invariant.check": {"detail": (str,)},
     "trace.record": {"value": (int, float, str, bool, type(None))},
     "segment.solve": {"binding": (list,)},
+    # Real execution time of the job on its worker (tracing sessions
+    # only; machine time, ``t`` null — the worker.end precedent).
+    "server.complete": {"elapsed_s": (int, float, type(None))},
+    "trace.span": {
+        "elapsed_s": (int, float, type(None)),
+        "status": (str,),
+    },
 }
 
 # Optional fields accepted on *every* event type: ``worker`` tags an
-# event re-emitted from a parallel-campaign worker with its dense id.
-_COMMON_OPTIONAL: dict[str, tuple[type, ...]] = {"worker": (int,)}
+# event re-emitted from a parallel-campaign worker with its dense id;
+# ``trace``/``span``/``parent`` are the deterministic distributed-trace
+# ids (repro.telemetry.trace) stamped by tracing-enabled sessions —
+# sha256-derived from the job identity, never random, so identical
+# campaigns stamp identical ids and the schema stays diff-stable.
+_COMMON_OPTIONAL: dict[str, tuple[type, ...]] = {
+    "worker": (int,),
+    "trace": (str,),
+    "span": (str,),
+    "parent": (str, type(None)),
+}
 
 _STATUS_VALUES = ("ok", "failed", "quarantined")
 

@@ -79,6 +79,7 @@ class CampaignReport:
         self.faults = [e for e in self.events if e.get("event") == "fault.trigger"]
         self.checkpoints = [e for e in self.events if e.get("event") == "checkpoint.write"]
         self.worker_ends = [e for e in self.events if e.get("event") == "worker.end"]
+        self.slo_events = [e for e in self.events if e.get("event") == "server.slo"]
         snapshots = [e for e in self.events if e.get("event") == "metrics.snapshot"]
         self.metrics: dict[str, Any] = snapshots[-1]["metrics"] if snapshots else {}
 
@@ -176,6 +177,26 @@ class CampaignReport:
             }
             for worker, row in sorted(by_worker.items())
         ]
+
+    def slo_summary(self) -> dict[str, Any] | None:
+        """The service's SLO state: last sample + violation tally.
+
+        Built from ``server.slo`` events (a remote campaign's server
+        emits one every few completions); None for local campaigns.
+        """
+        if not self.slo_events:
+            return None
+        last = self.slo_events[-1]
+        violations = sum(1 for e in self.slo_events if e.get("ok") is False)
+        return {
+            "samples": len(self.slo_events),
+            "violations": violations,
+            "queue_wait_p99_s": last.get("queue_wait_p99_s"),
+            "shed_rate": last.get("shed_rate"),
+            "hit_ratio": last.get("hit_ratio"),
+            "burn_rate": last.get("burn_rate"),
+            "ok": last.get("ok"),
+        }
 
     def server_series(self) -> dict[str, list[tuple[float, float]]]:
         """Observed per-server series from the last run.end carrying them."""
@@ -287,6 +308,18 @@ class CampaignReport:
                 )
             )
 
+        slo = self.slo_summary()
+        if slo is not None:
+            state = "OK" if slo["ok"] else "VIOLATED"
+            hit = slo["hit_ratio"]
+            panels.append(
+                f"service SLO: {state} · burn {_fmt(slo['burn_rate'], '.2f')}x · "
+                f"queue-wait p99 {_fmt(slo['queue_wait_p99_s'], '.3f')}s · "
+                f"shed rate {_fmt(slo['shed_rate'], '.1%')} · "
+                f"hit ratio {_fmt(hit, '.1%') if hit is not None else '-'} · "
+                f"{slo['violations']}/{slo['samples']} samples violated"
+            )
+
         if timelines:
             series = self.server_series()
             if series:
@@ -295,7 +328,12 @@ class CampaignReport:
                         timeline_panel(series, "per-server load (last observed run):")
                     )
                 except AnalysisError:
-                    pass  # degenerate series (no positive span): skip the panel
+                    # Degenerate series (no positive span) cannot plot;
+                    # say so instead of silently dropping the panel.
+                    panels.append(
+                        "per-server load: panel skipped — the observed series "
+                        "span no positive range (constant or single-point data)"
+                    )
 
         if self.metrics:
             metric_rows = []

@@ -1,0 +1,184 @@
+"""Deterministic distributed trace context.
+
+A *trace* correlates everything one job — one ``(scenario fingerprint,
+rep)`` pair — caused anywhere in the stack: the client that submitted
+it, the server that admitted and queued it, the worker that leased and
+executed it, the service/cache layer underneath, and the events that
+came back in the reply.  Because a job's identity is already
+content-addressed, trace ids need no randomness and no clock:
+
+``trace_id  = sha256(f"{fingerprint}|{rep}|{attempt}")[:16]``
+``span_id   = sha256(f"{trace_id}|{span name}")[:16]``
+
+Every participant can therefore *derive* the same ids independently —
+the wire protocol carries the trace id for cheap correlation, but a
+server that never saw the client's frame still mints the identical id
+from the job identity, and two byte-identical campaigns stamp
+byte-identical ids.  That is the determinism contract: tracing adds
+only derivable fields, so trace-enabled runs produce the same
+``RunResult``s, record stores and replay fingerprints as trace-off
+runs (``tests/server/test_tracing.py`` proves it).
+
+The ambient context is a **thread-local** stack (server handler and
+worker threads trace different jobs concurrently): enter a scope with
+:func:`trace_scope`, and every event the bus emits inside it is stamped
+with ``trace``/``span``/``parent`` — but only when the bus has tracing
+enabled (``session(trace=True)``), so default streams are unchanged.
+
+The stable span names (one tree per job)::
+
+    job                  the root span: submit to final result
+    ├── submit           client-side submit RPC (incl. retries/sheds)
+    ├── queue            server admission to worker lease
+    └── run              worker lease to terminal state
+        └── cache        result-cache probe/replay/store inside the run
+
+:class:`FlightRecorder` is the post-mortem side: a small ring of the
+most recent events that the failure path can dump into a
+:class:`~repro.methodology.records.FailedRunRecord`, filtered down to
+the failing job's trace id.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+__all__ = [
+    "TRACE_ID_BYTES",
+    "SPAN_NAMES",
+    "trace_id_for",
+    "span_id_for",
+    "TraceContext",
+    "root_context",
+    "current_trace",
+    "trace_scope",
+    "FlightRecorder",
+]
+
+# Hex characters kept from the sha256 digest: 64 bits of id space, far
+# beyond any campaign's job count, short enough to read in a terminal.
+TRACE_ID_BYTES = 16
+
+# The closed set of span names (documented tree above).  Closed for the
+# same reason the event taxonomy is: every side derives span ids from
+# these names, so an undocumented name would silently fork the tree.
+SPAN_NAMES = ("job", "submit", "queue", "run", "cache")
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:TRACE_ID_BYTES]
+
+
+def trace_id_for(fingerprint: str, rep: int, attempt: int = 0) -> str:
+    """The deterministic trace id of one (fingerprint, rep) job.
+
+    ``attempt`` distinguishes deliberate re-executions of the same job
+    identity (a retried quarantine); ordinary client retries and
+    idempotent resubmissions are the *same* attempt — they attach to
+    the same server-side job, so they share its trace.
+    """
+    return _digest(f"{fingerprint}|{int(rep)}|{int(attempt)}")
+
+
+def span_id_for(trace_id: str, name: str) -> str:
+    """The deterministic span id of a named span within one trace."""
+    return _digest(f"{trace_id}|{name}")
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One active span: the ids the bus stamps onto emitted events."""
+
+    trace: str
+    span: str
+    parent: str | None = None
+
+    def child(self, name: str) -> "TraceContext":
+        """The context of a named child span of this one."""
+        return TraceContext(self.trace, span_id_for(self.trace, name), self.span)
+
+
+def root_context(fingerprint: str, rep: int, attempt: int = 0) -> TraceContext:
+    """The root ("job") span context for one (fingerprint, rep) job."""
+    trace = trace_id_for(fingerprint, rep, attempt)
+    return TraceContext(trace, span_id_for(trace, "job"), None)
+
+
+# Thread-local ambient stack: server handler threads and workers trace
+# different jobs at the same time on one process-wide bus.
+_LOCAL = threading.local()
+
+
+def _stack() -> list[TraceContext]:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = []
+        _LOCAL.stack = stack
+    return stack
+
+
+def current_trace() -> TraceContext | None:
+    """The innermost active trace context of this thread, or None."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def trace_scope(ctx: TraceContext | None) -> Iterator[TraceContext | None]:
+    """Make ``ctx`` the ambient context for the enclosed emissions.
+
+    ``None`` is a no-op scope, so call sites can pass an optional
+    context without branching.  Scopes nest: an inner scope (e.g. the
+    ``run`` span inside the ``job`` span) shadows the outer one.
+    """
+    if ctx is None:
+        yield None
+        return
+    stack = _stack()
+    stack.append(ctx)
+    try:
+        yield ctx
+    finally:
+        stack.pop()
+
+
+class FlightRecorder:
+    """The last ``capacity`` events, kept for post-mortem dumps.
+
+    Attached as one more bus sink by :func:`repro.telemetry.bus.session`
+    (handle: ``bus.flight``); when a run fails, the failure path calls
+    :meth:`for_trace` to extract the failing job's recent events into
+    its failure record — so a post-mortem does not need the full
+    stream, or any stream at all.
+    """
+
+    def __init__(self, capacity: int = 256):
+        self._buffer: deque[dict[str, Any]] = deque(maxlen=max(1, int(capacity)))
+
+    def emit(self, event: dict[str, Any]) -> None:
+        self._buffer.append(event)
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def last(self, limit: int | None = None) -> list[dict[str, Any]]:
+        """The most recent events, oldest first."""
+        events = list(self._buffer)
+        return events if limit is None else events[-int(limit):]
+
+    def for_trace(
+        self, trace_id: str | None, limit: int | None = None
+    ) -> list[dict[str, Any]]:
+        """Recent events stamped with ``trace_id`` (all recent when None)."""
+        if trace_id is None:
+            return self.last(limit)
+        events = [e for e in self._buffer if e.get("trace") == trace_id]
+        return events if limit is None else events[-int(limit):]

@@ -1,0 +1,319 @@
+"""Span-tree reconstruction from traced event streams (``repro trace``).
+
+One distributed job leaves events in several streams — the client's,
+the server's, possibly a worker's — all stamped with the same
+deterministic trace id (:mod:`repro.telemetry.trace`).  This module
+merges any number of such streams, groups events by trace, derives the
+per-job milestones and span durations, and renders them three ways:
+
+* :func:`render_timeline` — a causal text timeline per job with the
+  queue-wait / run / cache breakdown;
+* :func:`chrome_trace` — the Chrome ``chrome://tracing`` / Perfetto
+  JSON object (``{"traceEvents": [...]}``);
+* :func:`check_traces` — completeness checking: every *admitted* job
+  must show the full submit → admit → lease → complete chain (the CI
+  trace job asserts this over a chaos-faulted campaign).
+
+Reconstruction is purely positional: streams are merged in (stream,
+line) order and milestones are picked by event type, so no wall clock
+is needed — which is exactly why traced campaigns can stay
+deterministic.  Machine-time durations (``queue_wait_s``,
+``elapsed_s``) ride event payloads and are surfaced as annotations,
+never as ordering.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from ..errors import TelemetryError
+from .trace import span_id_for
+
+__all__ = [
+    "JobTrace",
+    "load_streams",
+    "collect_traces",
+    "render_timeline",
+    "chrome_trace",
+    "check_traces",
+]
+
+# Event types that mark span edges in a job's causal chain, in causal
+# order.  "seen first wins" per type: idempotent resubmissions may
+# repeat job.submit, but the first one opened the trace.
+_MILESTONES = (
+    "job.submit",  # client: the job span opens
+    "server.admit",  # server: queue span opens
+    "server.lease",  # server: queue span closes, run span opens
+    "trace.span",  # service: cache probe/replay/store closed
+    "server.complete",  # server: run span (and the job) closes
+    "run.end",  # local runner's terminal (local campaigns)
+)
+
+
+@dataclass
+class JobTrace:
+    """Everything one trace id accumulated across the merged streams."""
+
+    trace_id: str
+    job: str = ""
+    rep: int | None = None
+    events: list[dict[str, Any]] = field(default_factory=list)
+    milestones: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def admitted(self) -> bool:
+        return "server.admit" in self.milestones
+
+    @property
+    def status(self) -> str:
+        done = self.milestones.get("server.complete") or self.milestones.get("run.end")
+        if done is None:
+            return "incomplete"
+        return str(done.get("status", "?"))
+
+    def duration(self, milestone: str, key: str) -> float | None:
+        event = self.milestones.get(milestone)
+        value = event.get(key) if event is not None else None
+        return float(value) if isinstance(value, (int, float)) else None
+
+
+def _read_stream(path: Path) -> list[dict[str, Any]]:
+    events: list[dict[str, Any]] = []
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        raise TelemetryError(f"cannot read event stream {path}: {exc}") from exc
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue  # torn tail of a crashed stream: tolerate
+        if isinstance(event, dict):
+            events.append(event)
+    return events
+
+
+def load_streams(paths: Iterable[str | Path]) -> list[dict[str, Any]]:
+    """Merge event streams; each event is tagged with its source stream.
+
+    Directories expand to their ``*.jsonl`` files (sorted).  Events keep
+    stream order within a stream; streams concatenate in argument order
+    — the global ``_idx`` tag gives the renderers a deterministic
+    total order without any wall clock.
+    """
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.jsonl")))
+        else:
+            files.append(path)
+    if not files:
+        raise TelemetryError("no event streams to load")
+    merged: list[dict[str, Any]] = []
+    for path in files:
+        for event in _read_stream(path):
+            event["_src"] = path.name
+            event["_idx"] = len(merged)
+            merged.append(event)
+    return merged
+
+
+def collect_traces(events: Iterable[Mapping[str, Any]]) -> list[JobTrace]:
+    """Group stamped events by trace id, extracting per-job milestones."""
+    traces: dict[str, JobTrace] = {}
+    for event in events:
+        trace_id = event.get("trace")
+        if not isinstance(trace_id, str):
+            continue
+        job = traces.get(trace_id)
+        if job is None:
+            job = traces[trace_id] = JobTrace(trace_id)
+        record = dict(event)
+        job.events.append(record)
+        if not job.job and isinstance(event.get("job"), str):
+            job.job = str(event["job"])
+        elif not job.job and isinstance(event.get("spec"), str):
+            # Local campaigns have no server-side `job` field; the spec
+            # key is the next-best label.
+            job.job = str(event["spec"])
+        if job.rep is None and isinstance(event.get("rep"), int):
+            job.rep = int(event["rep"])
+        etype = event.get("event")
+        if etype in _MILESTONES and etype not in job.milestones:
+            job.milestones[str(etype)] = record
+    return sorted(traces.values(), key=lambda t: t.events[0]["_idx"] if t.events else 0)
+
+
+def _fmt_s(value: float | None) -> str:
+    return f"{value:.3f}s" if isinstance(value, (int, float)) else "-"
+
+
+def render_timeline(traces: Iterable[JobTrace]) -> str:
+    """The causal per-job timeline ``repro trace`` prints."""
+    blocks: list[str] = []
+    for job in traces:
+        label = f"{job.job[:12] or '?'}:{job.rep if job.rep is not None else '?'}"
+        queue_wait = job.duration("server.lease", "queue_wait_s")
+        run_s = job.duration("server.complete", "elapsed_s")
+        cache = job.milestones.get("trace.span")
+        cache_status = str(cache.get("status", "?")) if cache is not None else "-"
+        cache_s = job.duration("trace.span", "elapsed_s")
+        lines = [
+            f"trace {job.trace_id}  job {label}  status {job.status}",
+            f"  breakdown   queue-wait {_fmt_s(queue_wait)}   run {_fmt_s(run_s)}"
+            f"   cache {cache_status} ({_fmt_s(cache_s)})",
+        ]
+        for etype in _MILESTONES:
+            event = job.milestones.get(etype)
+            if event is None:
+                continue
+            src = event.get("_src", "?")
+            extra = ""
+            if etype == "server.lease":
+                extra = f"  queue_wait_s={event.get('queue_wait_s')}"
+            elif etype in ("server.complete", "run.end"):
+                extra = f"  status={event.get('status')}"
+            elif etype == "trace.span":
+                extra = f"  {event.get('name')}={event.get('status')}"
+            lines.append(f"    {etype:<16s} [{src}]{extra}")
+        blocks.append("\n".join(lines))
+    if not blocks:
+        return "no traced jobs found (were the streams recorded with --trace?)"
+    return "\n\n".join(blocks)
+
+
+# Logical tick per merged event: Chrome's ``ts`` is microseconds, and a
+# fixed spacing keeps the causal order readable without any wall clock.
+_TICK_US = 1000
+
+
+def _span_event(
+    name: str,
+    trace: JobTrace,
+    tid: str,
+    start_idx: int,
+    end_idx: int,
+    args: dict[str, Any],
+) -> dict[str, Any]:
+    return {
+        "name": name,
+        "ph": "X",
+        "cat": "repro",
+        "pid": 1,
+        "tid": tid,
+        "ts": start_idx * _TICK_US,
+        "dur": max(1, end_idx - start_idx) * _TICK_US,
+        "args": {"trace": trace.trace_id, **args},
+    }
+
+
+def chrome_trace(traces: Iterable[JobTrace]) -> dict[str, Any]:
+    """The Chrome-trace/Perfetto JSON object for the merged streams.
+
+    Span ``ts``/``dur`` use the deterministic merged-event index (one
+    logical tick per event); real machine-time durations ride ``args``.
+    Each job gets its own ``tid`` row, named by a metadata event.
+    """
+    out: list[dict[str, Any]] = []
+    for row, job in enumerate(traces):
+        tid = str(row + 1)
+        label = f"{job.job[:12] or job.trace_id}:{job.rep if job.rep is not None else '?'}"
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": f"job {label}"},
+            }
+        )
+        if not job.events:
+            continue
+        first = job.events[0]["_idx"]
+        last = job.events[-1]["_idx"]
+        out.append(
+            _span_event(
+                "job", job, tid, first, last, {"status": job.status, "span": span_id_for(job.trace_id, "job")}
+            )
+        )
+        admit = job.milestones.get("server.admit")
+        lease = job.milestones.get("server.lease")
+        done = job.milestones.get("server.complete") or job.milestones.get("run.end")
+        if admit is not None and lease is not None:
+            out.append(
+                _span_event(
+                    "queue",
+                    job,
+                    tid,
+                    admit["_idx"],
+                    lease["_idx"],
+                    {
+                        "queue_wait_s": lease.get("queue_wait_s"),
+                        "span": span_id_for(job.trace_id, "queue"),
+                    },
+                )
+            )
+        if lease is not None and done is not None:
+            out.append(
+                _span_event(
+                    "run",
+                    job,
+                    tid,
+                    lease["_idx"],
+                    done["_idx"],
+                    {
+                        "elapsed_s": done.get("elapsed_s"),
+                        "status": done.get("status"),
+                        "span": span_id_for(job.trace_id, "run"),
+                    },
+                )
+            )
+        cache = job.milestones.get("trace.span")
+        if cache is not None:
+            out.append(
+                _span_event(
+                    "cache",
+                    job,
+                    tid,
+                    cache["_idx"],
+                    cache["_idx"] + 1,
+                    {
+                        "status": cache.get("status"),
+                        "elapsed_s": cache.get("elapsed_s"),
+                        "span": span_id_for(job.trace_id, "cache"),
+                    },
+                )
+            )
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+# What a complete server-side span tree must contain, per admitted job.
+_REQUIRED_CHAIN = ("server.admit", "server.lease", "server.complete")
+
+
+def check_traces(traces: Iterable[JobTrace]) -> list[str]:
+    """Problems with the reconstructed traces; empty means all complete.
+
+    Only *admitted* jobs are held to the full chain: a job that only
+    ever shed (``server.shed``) or ran locally has no server-side spans
+    to demand.
+    """
+    problems: list[str] = []
+    for job in traces:
+        if not job.admitted:
+            continue
+        missing = [m for m in _REQUIRED_CHAIN if m not in job.milestones]
+        if missing:
+            problems.append(
+                f"trace {job.trace_id} (job {job.job[:12]}:{job.rep}): "
+                f"missing {', '.join(missing)}"
+            )
+    return problems

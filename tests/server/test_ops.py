@@ -1,0 +1,199 @@
+"""The live ops surface: SLO tracking, Prometheus exposition, top frames."""
+
+from urllib.request import urlopen
+
+import pytest
+
+from repro.errors import OrchestratorError
+from repro.server.ops import (
+    MetricsServer,
+    SLOPolicy,
+    SLOTracker,
+    prometheus_text,
+    render_top,
+)
+
+
+class TestSLOPolicy:
+    def test_bad_knobs_rejected(self):
+        with pytest.raises(OrchestratorError):
+            SLOPolicy(queue_wait_p99_s=0)
+        with pytest.raises(OrchestratorError):
+            SLOPolicy(max_shed_rate=0)
+        with pytest.raises(OrchestratorError):
+            SLOPolicy(max_shed_rate=1.5)
+        with pytest.raises(OrchestratorError):
+            SLOPolicy(min_hit_ratio=1.0)
+        with pytest.raises(OrchestratorError):
+            SLOPolicy(window=0)
+
+
+class TestSLOTracker:
+    def test_empty_tracker_is_ok(self):
+        state = SLOTracker().evaluate()
+        assert state["ok"] is True
+        assert state["burn_rate"] == 0.0
+        assert state["queue_wait_p99_s"] is None
+        assert state["hit_ratio"] is None
+
+    def test_fast_waits_within_budget(self):
+        tracker = SLOTracker(SLOPolicy(queue_wait_p99_s=1.0))
+        for _ in range(50):
+            tracker.observe_queue_wait(0.01)
+        state = tracker.evaluate()
+        assert state["ok"] is True
+        assert state["queue_wait_p99_s"] == pytest.approx(0.01)
+
+    def test_slow_waits_burn_the_latency_budget(self):
+        tracker = SLOTracker(SLOPolicy(queue_wait_p99_s=1.0))
+        # 10% of waits over target against a 1% allowance: 10x burn.
+        for i in range(100):
+            tracker.observe_queue_wait(5.0 if i % 10 == 0 else 0.01)
+        state = tracker.evaluate()
+        assert state["ok"] is False
+        assert state["burn_rate"] == pytest.approx(10.0)
+
+    def test_shed_rate_burns_its_budget(self):
+        tracker = SLOTracker(SLOPolicy(max_shed_rate=0.1))
+        for i in range(100):
+            tracker.observe_admit(shed=(i % 5 == 0))  # 20% shed vs 10% budget
+        state = tracker.evaluate()
+        assert state["shed_rate"] == pytest.approx(0.2)
+        assert state["burn_rate"] == pytest.approx(2.0)
+        assert state["ok"] is False
+
+    def test_hit_ratio_floor_disabled_by_default(self):
+        tracker = SLOTracker()
+        for _ in range(10):
+            tracker.observe_cache(hit=False)
+        state = tracker.evaluate()
+        assert state["hit_ratio"] == 0.0
+        assert state["ok"] is True  # cold cache is not an incident
+
+    def test_hit_ratio_floor_burns_when_set(self):
+        tracker = SLOTracker(SLOPolicy(min_hit_ratio=0.5))
+        for i in range(10):
+            tracker.observe_cache(hit=(i % 4 == 0))  # 30% hits, 50% floor
+        state = tracker.evaluate()
+        assert state["ok"] is False
+        assert state["burn_rate"] > 1.0
+
+    def test_window_slides(self):
+        tracker = SLOTracker(SLOPolicy(window=4))
+        for _ in range(10):
+            tracker.observe_queue_wait(9.0)
+        for _ in range(4):
+            tracker.observe_queue_wait(0.01)
+        assert tracker.evaluate()["queue_wait_p99_s"] == pytest.approx(0.01)
+
+
+def _stats():
+    return {
+        "pending": 2,
+        "max_pending": 64,
+        "draining": False,
+        "admitted": 10,
+        "shed": 1,
+        "completed": 8,
+        "sessions": 3,
+        "jobs": {"queued": 1, "leased": 1, "done": 8, "failed": 0},
+        "workers": {"w0": "running abc:0", "w1": "idle"},
+        "cache": {"hits": 3, "misses": 5, "hit_ratio": 0.375},
+        "slo": {
+            "window": 128,
+            "queue_wait_p99_s": 0.02,
+            "shed_rate": 0.1,
+            "hit_ratio": 0.375,
+            "burn_rate": 2.0,
+            "ok": False,
+        },
+    }
+
+
+class TestPrometheusText:
+    def test_core_series_and_format(self):
+        text = prometheus_text(_stats())
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        assert "repro_server_pending 2" in lines
+        assert "repro_server_admitted_total 10" in lines
+        assert 'repro_server_jobs{state="queued"} 1' in lines
+        assert 'repro_server_worker_busy{worker="w0"} 1' in lines
+        assert 'repro_server_worker_busy{worker="w1"} 0' in lines
+        assert "repro_server_cache_hits_total 3" in lines
+        assert "repro_slo_burn_rate 2.0" in lines
+        assert "repro_slo_ok 0" in lines
+        # Every exported series has HELP and TYPE preamble lines.
+        assert "# HELP repro_server_pending Jobs admitted but not yet complete." in lines
+        assert "# TYPE repro_server_pending gauge" in lines
+        assert "# TYPE repro_server_admitted_total counter" in lines
+
+    def test_missing_sections_render_no_series(self):
+        text = prometheus_text({"pending": 0, "max_pending": 1})
+        assert "repro_server_jobs{" not in text
+        assert "repro_slo_" not in text
+
+    def test_registry_snapshot_appends(self):
+        metrics = {
+            "server.admit": {"type": "counter", "value": 4},
+            "server.complete{status=ok}": {"type": "counter", "value": 4},
+            "run.bandwidth_mib_s": {
+                "type": "histogram",
+                "count": 4,
+                "sum": 4000.0,
+                "quantiles": {"p50": 990.0, "p99": 1100.0},
+            },
+        }
+        text = prometheus_text(_stats(), metrics)
+        assert "repro_server_admit 4" in text
+        assert 'repro_server_complete{status="ok"} 4' in text
+        assert "repro_run_bandwidth_mib_s_count 4" in text
+        assert 'repro_run_bandwidth_mib_s{quantile="p50"} 990.0' in text
+
+
+class TestMetricsServer:
+    def test_scrape_round_trip(self):
+        server = MetricsServer("127.0.0.1", 0, lambda: prometheus_text(_stats()))
+        try:
+            with urlopen(f"http://127.0.0.1:{server.port}/metrics", timeout=5) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"].startswith("text/plain")
+                body = resp.read().decode()
+            assert "repro_server_pending 2" in body
+        finally:
+            server.close()
+
+    def test_unknown_path_is_404(self):
+        server = MetricsServer("127.0.0.1", 0, lambda: "x\n")
+        try:
+            import urllib.error
+
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urlopen(f"http://127.0.0.1:{server.port}/nope", timeout=5)
+            assert err.value.code == 404
+        finally:
+            server.close()
+
+    def test_unbindable_port_raises(self):
+        first = MetricsServer("127.0.0.1", 0, lambda: "x\n")
+        try:
+            with pytest.raises(OrchestratorError):
+                MetricsServer("127.0.0.1", first.port, lambda: "x\n")
+        finally:
+            first.close()
+
+
+class TestRenderTop:
+    def test_frame_contains_every_section(self):
+        frame = render_top(_stats(), title="t")
+        assert frame.startswith("t — serving")
+        assert "2/64 in flight" in frame
+        assert "admitted 10   shed 1   completed 8" in frame
+        assert "hits 3   misses 5" in frame
+        assert "w0" in frame and "running abc:0" in frame
+        assert "BURNING" in frame and "burn 2.00x" in frame
+
+    def test_draining_and_sparse_stats(self):
+        frame = render_top({"draining": True, "pending": 0, "max_pending": 4})
+        assert "DRAINING" in frame
+        assert "slo" not in frame  # no slo section without the key

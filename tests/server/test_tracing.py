@@ -1,0 +1,240 @@
+"""The tracing determinism contract, end to end.
+
+Trace ids derive purely from job identity, so: two identical remote
+campaigns stamp identical ids; a local campaign mints the same ids as a
+remote one; and turning tracing on changes *nothing* about results,
+stores, or fingerprints — only the event streams gain fields.  The
+chaos test drives a faulted campaign through :class:`ChaosProxy` and
+proves every admitted job still reconstructs a complete span tree.
+"""
+
+import json
+
+import pytest
+
+from repro.client import remote_run_specs
+from repro.experiments.common import run_specs
+from repro.methodology.plan import ExperimentSpec
+from repro.methodology.records import FailedRunRecord
+from repro.scenario.compile import compile_scenario
+from repro.server import ServerConfig
+from repro.server.netchaos import ChaosProxy, serve_in_thread
+from repro.telemetry.bus import session
+from repro.telemetry.events import validate_event
+from repro.telemetry.trace import trace_id_for
+from repro.telemetry.traceview import (
+    check_traces,
+    chrome_trace,
+    collect_traces,
+    load_streams,
+)
+
+REPS = 2
+
+
+def _specs():
+    return [
+        ExperimentSpec(
+            "trace-e2e", "scenario1", {"num_nodes": 2, "stripe_count": 4}
+        )
+    ]
+
+
+def _expected_trace_ids(seed=0):
+    scenario = compile_scenario(_specs()[0], seed=seed, max_nodes=4)
+    return {trace_id_for(scenario.fingerprint, rep) for rep in range(REPS)}
+
+
+def _config(tmp_path, name, **overrides):
+    defaults = dict(
+        state_dir=tmp_path / name,
+        workers=2,
+        io_timeout_s=5.0,
+        wait_cap_s=2.0,
+    )
+    defaults.update(overrides)
+    return ServerConfig(**defaults)
+
+
+def _remote_campaign(tmp_path, name, trace=True, port=None, **kwargs):
+    """One traced remote campaign; returns (store, stream path)."""
+    stream = tmp_path / f"{name}.jsonl"
+    with session(jsonl=stream, trace=trace):
+        with serve_in_thread(_config(tmp_path, name)) as server:
+            store = remote_run_specs(
+                _specs(),
+                "127.0.0.1",
+                port if port is not None else server.port,
+                repetitions=REPS,
+                seed=0,
+                max_nodes=4,
+                fallback=False,
+                **kwargs,
+            )
+    return store, stream
+
+
+def _stamped_trace_ids(stream):
+    ids = set()
+    for line in stream.read_text().splitlines():
+        trace = json.loads(line).get("trace")
+        if isinstance(trace, str):
+            ids.add(trace)
+    return ids
+
+
+class TestDeterminism:
+    def test_identical_campaigns_stamp_identical_trace_ids(self, tmp_path):
+        store_a, stream_a = _remote_campaign(tmp_path, "a")
+        store_b, stream_b = _remote_campaign(tmp_path, "b")
+        expected = _expected_trace_ids()
+        assert _stamped_trace_ids(stream_a) == expected
+        assert _stamped_trace_ids(stream_b) == expected
+        # ... and the stores are byte-identical.
+        store_a.write_csv(tmp_path / "a.csv")
+        store_b.write_csv(tmp_path / "b.csv")
+        assert (tmp_path / "a.csv").read_bytes() == (tmp_path / "b.csv").read_bytes()
+
+    def test_local_campaign_mints_the_same_ids(self, tmp_path):
+        stream = tmp_path / "local.jsonl"
+        with session(jsonl=stream, trace=True):
+            run_specs(_specs(), repetitions=REPS, seed=0, max_nodes=4, cache=False)
+        assert _stamped_trace_ids(stream) == _expected_trace_ids()
+
+    def test_tracing_changes_no_store_bytes(self, tmp_path):
+        store_on, _ = _remote_campaign(tmp_path, "on", trace=True)
+        store_off, _ = _remote_campaign(tmp_path, "off", trace=False)
+        store_on.write_csv(tmp_path / "on.csv")
+        store_off.write_csv(tmp_path / "off.csv")
+        assert (tmp_path / "on.csv").read_bytes() == (tmp_path / "off.csv").read_bytes()
+
+    def test_trace_off_stream_has_no_trace_fields(self, tmp_path):
+        _, stream = _remote_campaign(tmp_path, "notrace", trace=False)
+        assert _stamped_trace_ids(stream) == set()
+
+    def test_traced_stream_is_schema_valid(self, tmp_path):
+        _, stream = _remote_campaign(tmp_path, "valid")
+        events = [json.loads(line) for line in stream.read_text().splitlines()]
+        assert events
+        for event in events:
+            assert validate_event(event) == []
+
+
+class TestSpanTrees:
+    def test_clean_campaign_reconstructs_complete_trees(self, tmp_path):
+        _, stream = _remote_campaign(tmp_path, "clean")
+        traces = collect_traces(load_streams([stream]))
+        assert {t.trace_id for t in traces} == _expected_trace_ids()
+        assert check_traces(traces) == []
+        for trace in traces:
+            assert trace.admitted
+            assert trace.status == "ok"
+            assert trace.duration("server.lease", "queue_wait_s") is not None
+
+    def test_chaos_faulted_campaign_still_traces_completely(self, tmp_path):
+        stream = tmp_path / "chaos.jsonl"
+        with session(jsonl=stream, trace=True):
+            with serve_in_thread(_config(tmp_path, "chaos")) as server:
+                # Reset the connection mid-campaign: the client retries
+                # through the same (now pass-through) proxy.
+                with ChaosProxy(
+                    server.port, mode="reset", fault_after_bytes=400
+                ) as proxy:
+                    store = remote_run_specs(
+                        _specs(),
+                        "127.0.0.1",
+                        proxy.port,
+                        repetitions=REPS,
+                        seed=0,
+                        max_nodes=4,
+                        fallback=False,
+                        max_attempts=10,
+                    )
+                    assert proxy.faulted
+        assert len(store) == REPS
+        traces = collect_traces(load_streams([stream]))
+        admitted = [t for t in traces if t.admitted]
+        assert {t.trace_id for t in admitted} == _expected_trace_ids()
+        assert check_traces(traces) == []
+        # The export is valid JSON with one complete span set per job.
+        doc = json.loads(json.dumps(chrome_trace(admitted)))
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        for name in ("job", "queue", "run"):
+            assert sum(1 for e in spans if e["name"] == name) == REPS
+
+
+class TestFlightRecorder:
+    def test_quarantine_records_carry_recent_trace_events(self, tmp_path):
+        with session(ring=4096, trace=True):
+            store = run_specs(
+                [
+                    ExperimentSpec(
+                        "trace-e2e",
+                        "scenario1",
+                        {"num_nodes": 2, "stripe_count": 4, "chooser": "bogus"},
+                    )
+                ],
+                repetitions=1,
+                seed=0,
+                max_nodes=4,
+                on_error="skip",
+            )
+        assert len(store.failures) == 1
+        failure = store.failures[0]
+        assert failure.last_events
+        traces = {e.get("trace") for e in failure.last_events}
+        # Every captured event belongs to the failing job's trace.
+        assert len(traces) == 1 and None not in traces
+        # The post-mortem survives serialization.
+        round_trip = FailedRunRecord.from_dict(failure.to_dict())
+        assert round_trip.last_events == failure.last_events
+
+    def test_no_session_means_no_flight_events(self):
+        store = run_specs(
+            [
+                ExperimentSpec(
+                    "trace-e2e",
+                    "scenario1",
+                    {"num_nodes": 2, "stripe_count": 4, "chooser": "bogus"},
+                )
+            ],
+            repetitions=1,
+            seed=0,
+            max_nodes=4,
+            on_error="skip",
+        )
+        assert len(store.failures) == 1
+        assert store.failures[0].last_events == ()
+
+
+class TestWireTrace:
+    def test_result_frames_echo_the_trace_id(self, tmp_path):
+        from repro.client import RemoteClient
+
+        scenario = compile_scenario(_specs()[0], seed=0, max_nodes=4)
+        with serve_in_thread(_config(tmp_path, "wire")) as server:
+            with RemoteClient("127.0.0.1", server.port, fallback=False) as client:
+                client.run(scenario, 0)
+                frame = client.wait(scenario, 0)
+        assert frame["trace"] == trace_id_for(scenario.fingerprint, 0)
+
+    def test_server_mints_the_id_when_the_client_omits_it(self, tmp_path):
+        import socket
+
+        from repro.server.protocol import message, recv_frame, send_frame
+
+        scenario = compile_scenario(_specs()[0], seed=0, max_nodes=4)
+        with serve_in_thread(_config(tmp_path, "mint")) as server:
+            with socket.create_connection(
+                ("127.0.0.1", server.port), timeout=5.0
+            ) as sock:
+                sock.settimeout(5.0)
+                send_frame(sock, message("hello"))
+                recv_frame(sock)
+                send_frame(
+                    sock,
+                    message("submit", spec=scenario.to_jsonable(), rep=0),
+                )
+                accepted = recv_frame(sock)
+        assert accepted["type"] == "accepted"
+        assert accepted["trace"] == trace_id_for(scenario.fingerprint, 0)

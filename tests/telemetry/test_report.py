@@ -123,3 +123,45 @@ class TestCampaignReport:
         path.write_text("\n".join(json.dumps(e) for e in [run_end(0), fault()]) + "\n")
         report = CampaignReport.from_jsonl(path)
         assert len(report.run_ends) == 1 and len(report.faults) == 1
+
+
+def slo_event(seq, ok=True, burn=0.5):
+    return {
+        "schema": 1, "seq": seq, "event": "server.slo", "t": None,
+        "window": 128, "queue_wait_p99_s": 0.02, "shed_rate": 0.0,
+        "hit_ratio": 0.5, "burn_rate": burn, "ok": ok,
+    }
+
+
+class TestSLOPanel:
+    def test_no_slo_events_means_no_panel(self):
+        report = CampaignReport([run_end(0)])
+        assert report.slo_summary() is None
+        assert "service SLO" not in report.render()
+
+    def test_summary_takes_last_sample_and_tallies_violations(self):
+        report = CampaignReport(
+            [slo_event(0), slo_event(1, ok=False, burn=3.0), slo_event(2)]
+        )
+        slo = report.slo_summary()
+        assert slo["samples"] == 3
+        assert slo["violations"] == 1
+        assert slo["ok"] is True  # last sample recovered
+        out = report.render()
+        assert "service SLO: OK" in out
+        assert "1/3 samples violated" in out
+
+    def test_violated_state_renders_loudly(self):
+        out = CampaignReport([slo_event(0, ok=False, burn=4.2)]).render()
+        assert "service SLO: VIOLATED" in out
+        assert "burn 4.20x" in out
+
+
+class TestDegenerateSeriesPanel:
+    def test_degenerate_series_notes_the_skip_instead_of_vanishing(self):
+        # A single sample at t=0 spans no time: the plot cannot scale,
+        # and the dashboard must say so rather than silently omit it.
+        flat = run_end(0, servers={"storage1": [[0.0, 10.0]]})
+        out = CampaignReport([flat]).render()
+        assert "per-server load: panel skipped" in out
+        assert "no positive range" in out

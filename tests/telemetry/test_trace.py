@@ -1,0 +1,142 @@
+"""Unit tests for the deterministic trace context and flight recorder."""
+
+import threading
+
+from repro.telemetry.bus import session
+from repro.telemetry.trace import (
+    SPAN_NAMES,
+    TRACE_ID_BYTES,
+    FlightRecorder,
+    TraceContext,
+    current_trace,
+    root_context,
+    span_id_for,
+    trace_id_for,
+    trace_scope,
+)
+
+
+class TestIds:
+    def test_trace_id_is_deterministic_and_sized(self):
+        a = trace_id_for("f" * 64, 3)
+        assert a == trace_id_for("f" * 64, 3)
+        assert len(a) == TRACE_ID_BYTES
+        assert int(a, 16) >= 0  # hex
+
+    def test_trace_id_varies_with_every_identity_component(self):
+        base = trace_id_for("abc", 0, attempt=0)
+        assert trace_id_for("abd", 0, attempt=0) != base
+        assert trace_id_for("abc", 1, attempt=0) != base
+        assert trace_id_for("abc", 0, attempt=1) != base
+
+    def test_span_ids_are_distinct_per_name(self):
+        trace = trace_id_for("abc", 0)
+        ids = {span_id_for(trace, name) for name in SPAN_NAMES}
+        assert len(ids) == len(SPAN_NAMES)
+
+    def test_root_context_is_the_job_span(self):
+        ctx = root_context("abc", 2)
+        assert ctx.trace == trace_id_for("abc", 2)
+        assert ctx.span == span_id_for(ctx.trace, "job")
+        assert ctx.parent is None
+
+    def test_child_context_parents_to_its_creator(self):
+        root = root_context("abc", 0)
+        run = root.child("run")
+        assert run.trace == root.trace
+        assert run.span == span_id_for(root.trace, "run")
+        assert run.parent == root.span
+        cache = run.child("cache")
+        assert cache.parent == run.span
+
+
+class TestScope:
+    def test_scopes_nest_and_unwind(self):
+        assert current_trace() is None
+        root = root_context("abc", 0)
+        with trace_scope(root):
+            assert current_trace() is root
+            with trace_scope(root.child("run")) as inner:
+                assert current_trace() is inner
+            assert current_trace() is root
+        assert current_trace() is None
+
+    def test_none_scope_is_a_noop(self):
+        with trace_scope(None) as ctx:
+            assert ctx is None
+            assert current_trace() is None
+
+    def test_scope_unwinds_on_exception(self):
+        try:
+            with trace_scope(root_context("abc", 0)):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_trace() is None
+
+    def test_scope_is_thread_local(self):
+        seen = {}
+
+        def probe():
+            seen["other"] = current_trace()
+
+        with trace_scope(root_context("abc", 0)):
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+        assert seen["other"] is None
+
+
+class TestBusStamping:
+    def test_tracing_session_stamps_ambient_context(self):
+        with session(ring=64, trace=True) as bus:
+            with trace_scope(root_context("abc", 0).child("run")):
+                bus.emit("server.start", host="h", port=1, workers=1)
+        (event,) = [e for e in bus.ring.events if e["event"] == "server.start"]
+        root = root_context("abc", 0)
+        assert event["trace"] == root.trace
+        assert event["span"] == span_id_for(root.trace, "run")
+        assert event["parent"] == root.span
+
+    def test_payload_ids_win_over_ambient_ids(self):
+        # Replayed events keep their recorded trace, even inside a scope.
+        with session(ring=64, trace=True) as bus:
+            with trace_scope(root_context("abc", 0)):
+                bus.emit("server.start", host="h", port=1, workers=1, trace="recorded")
+        (event,) = [e for e in bus.ring.events if e["event"] == "server.start"]
+        assert event["trace"] == "recorded"
+
+    def test_trace_off_session_never_stamps(self):
+        with session(ring=64) as bus:
+            assert not bus.tracing
+            with trace_scope(root_context("abc", 0)):
+                bus.emit("server.start", host="h", port=1, workers=1)
+        (event,) = [e for e in bus.ring.events if e["event"] == "server.start"]
+        assert "trace" not in event and "span" not in event
+
+    def test_session_attaches_a_flight_recorder_by_default(self):
+        with session(ring=8) as bus:
+            assert isinstance(bus.flight, FlightRecorder)
+            bus.emit("server.start", host="h", port=1, workers=1)
+            assert len(bus.flight) == 1
+        with session(ring=8, flight=0) as bus:
+            assert bus.flight is None
+
+
+class TestFlightRecorder:
+    def test_ring_keeps_only_the_tail(self):
+        rec = FlightRecorder(capacity=3)
+        for i in range(5):
+            rec.emit({"event": "e", "i": i})
+        assert [e["i"] for e in rec.last()] == [2, 3, 4]
+        assert [e["i"] for e in rec.last(2)] == [3, 4]
+
+    def test_for_trace_filters_by_stamped_id(self):
+        rec = FlightRecorder(capacity=8)
+        rec.emit({"event": "a", "trace": "t1"})
+        rec.emit({"event": "b", "trace": "t2"})
+        rec.emit({"event": "c", "trace": "t1"})
+        rec.emit({"event": "d"})
+        assert [e["event"] for e in rec.for_trace("t1")] == ["a", "c"]
+        assert [e["event"] for e in rec.for_trace(None)] == ["a", "b", "c", "d"]
+        assert [e["event"] for e in rec.for_trace("t1", limit=1)] == ["c"]

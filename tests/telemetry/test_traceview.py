@@ -1,0 +1,177 @@
+"""Span-tree reconstruction, Chrome export and completeness checking."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.trace import span_id_for, trace_id_for
+from repro.telemetry.traceview import (
+    check_traces,
+    chrome_trace,
+    collect_traces,
+    load_streams,
+    render_timeline,
+)
+
+FP = "a" * 64
+TRACE = trace_id_for(FP, 0)
+
+
+def _chain(trace=TRACE, job=FP, rep=0, complete=True):
+    events = [
+        {"event": "job.submit", "trace": trace, "job": job, "rep": rep},
+        {"event": "server.admit", "trace": trace, "job": job, "rep": rep},
+        {
+            "event": "server.lease",
+            "trace": trace,
+            "job": job,
+            "rep": rep,
+            "queue_wait_s": 0.25,
+        },
+        {
+            "event": "trace.span",
+            "trace": trace,
+            "name": "cache",
+            "phase": "end",
+            "status": "miss",
+            "elapsed_s": 0.5,
+        },
+    ]
+    if complete:
+        events.append(
+            {
+                "event": "server.complete",
+                "trace": trace,
+                "job": job,
+                "rep": rep,
+                "status": "ok",
+                "cached": False,
+                "elapsed_s": 0.75,
+            }
+        )
+    return events
+
+
+def _write_stream(path, events):
+    path.write_text("".join(json.dumps(e) + "\n" for e in events))
+    return path
+
+
+class TestLoadStreams:
+    def test_merges_files_in_order_and_tags_source(self, tmp_path):
+        a = _write_stream(tmp_path / "a.jsonl", [{"event": "x"}])
+        b = _write_stream(tmp_path / "b.jsonl", [{"event": "y"}])
+        events = load_streams([a, b])
+        assert [e["event"] for e in events] == ["x", "y"]
+        assert [e["_src"] for e in events] == ["a.jsonl", "b.jsonl"]
+        assert [e["_idx"] for e in events] == [0, 1]
+
+    def test_directory_expands_to_sorted_jsonl(self, tmp_path):
+        _write_stream(tmp_path / "b.jsonl", [{"event": "y"}])
+        _write_stream(tmp_path / "a.jsonl", [{"event": "x"}])
+        events = load_streams([tmp_path])
+        assert [e["_src"] for e in events] == ["a.jsonl", "b.jsonl"]
+
+    def test_torn_tail_lines_are_tolerated(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text(json.dumps({"event": "x"}) + "\n" + '{"event": "tor')
+        assert [e["event"] for e in load_streams([path])] == ["x"]
+
+    def test_no_streams_is_an_error(self, tmp_path):
+        with pytest.raises(TelemetryError):
+            load_streams([tmp_path / "empty-dir-that-does-not-exist.jsonl" / ".."])
+        with pytest.raises(TelemetryError):
+            load_streams([])
+
+
+class TestCollectTraces:
+    def test_groups_by_trace_and_extracts_milestones(self, tmp_path):
+        other = trace_id_for(FP, 1)
+        stream = _chain() + _chain(trace=other, rep=1)
+        path = _write_stream(tmp_path / "s.jsonl", stream)
+        traces = collect_traces(load_streams([path]))
+        assert [t.trace_id for t in traces] == [TRACE, other]
+        first = traces[0]
+        assert first.job == FP and first.rep == 0
+        assert first.admitted
+        assert first.status == "ok"
+        assert first.duration("server.lease", "queue_wait_s") == 0.25
+        assert first.duration("server.complete", "elapsed_s") == 0.75
+
+    def test_unstamped_events_are_ignored(self, tmp_path):
+        path = _write_stream(
+            tmp_path / "s.jsonl", [{"event": "server.start"}] + _chain()
+        )
+        traces = collect_traces(load_streams([path]))
+        assert len(traces) == 1
+        assert all(e.get("trace") == TRACE for e in traces[0].events)
+
+    def test_first_milestone_wins_on_resubmission(self, tmp_path):
+        stream = _chain() + [
+            {"event": "job.submit", "trace": TRACE, "job": FP, "rep": 0}
+        ]
+        path = _write_stream(tmp_path / "s.jsonl", stream)
+        (trace,) = collect_traces(load_streams([path]))
+        assert trace.milestones["job.submit"]["_idx"] == 0
+
+    def test_incomplete_job_has_incomplete_status(self, tmp_path):
+        path = _write_stream(tmp_path / "s.jsonl", _chain(complete=False))
+        (trace,) = collect_traces(load_streams([path]))
+        assert trace.status == "incomplete"
+
+
+class TestRenderTimeline:
+    def test_renders_breakdown_and_milestones(self, tmp_path):
+        path = _write_stream(tmp_path / "s.jsonl", _chain())
+        text = render_timeline(collect_traces(load_streams([path])))
+        assert TRACE in text
+        assert "queue-wait 0.250s" in text
+        assert "run 0.750s" in text
+        assert "cache miss (0.500s)" in text
+        assert "server.lease" in text and "[s.jsonl]" in text
+
+    def test_empty_input_explains_itself(self):
+        assert "--trace" in render_timeline([])
+
+
+class TestChromeTrace:
+    def test_export_is_valid_and_spans_carry_span_ids(self, tmp_path):
+        path = _write_stream(tmp_path / "s.jsonl", _chain())
+        doc = chrome_trace(collect_traces(load_streams([path])))
+        # Round-trips through JSON (the CLI writes exactly this).
+        doc = json.loads(json.dumps(doc))
+        events = doc["traceEvents"]
+        names = [e["name"] for e in events if e["ph"] == "X"]
+        assert names == ["job", "queue", "run", "cache"]
+        by_name = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert by_name["run"]["args"]["span"] == span_id_for(TRACE, "run")
+        assert by_name["run"]["args"]["elapsed_s"] == 0.75
+        assert by_name["queue"]["args"]["queue_wait_s"] == 0.25
+        assert all(e["dur"] >= 1 for e in events if e["ph"] == "X")
+        meta = [e for e in events if e["ph"] == "M"]
+        assert meta and meta[0]["args"]["name"].startswith("job ")
+
+    def test_one_tid_row_per_job(self, tmp_path):
+        stream = _chain() + _chain(trace=trace_id_for(FP, 1), rep=1)
+        path = _write_stream(tmp_path / "s.jsonl", stream)
+        doc = chrome_trace(collect_traces(load_streams([path])))
+        tids = {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert len(tids) == 2
+
+
+class TestCheckTraces:
+    def test_complete_admitted_chain_passes(self, tmp_path):
+        path = _write_stream(tmp_path / "s.jsonl", _chain())
+        assert check_traces(collect_traces(load_streams([path]))) == []
+
+    def test_admitted_but_unfinished_job_is_reported(self, tmp_path):
+        path = _write_stream(tmp_path / "s.jsonl", _chain(complete=False))
+        problems = check_traces(collect_traces(load_streams([path])))
+        assert len(problems) == 1
+        assert "server.complete" in problems[0]
+
+    def test_unadmitted_job_is_not_held_to_the_chain(self, tmp_path):
+        events = [{"event": "job.submit", "trace": TRACE, "job": FP, "rep": 0}]
+        path = _write_stream(tmp_path / "s.jsonl", events)
+        assert check_traces(collect_traces(load_streams([path]))) == []
