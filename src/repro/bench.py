@@ -10,10 +10,13 @@ Reports are machine-portable *by normalization*: every report carries
 ``norm_s``, the wall time of a fixed pure-numpy kernel on the machine
 that produced it.  :func:`compare` rescales the current numbers by the
 ratio of the two norms before applying the regression threshold, so a
-slower CI runner does not read as a slower simulator.  Parallel-campaign
-metrics additionally depend on the core count; they are compared only
-when both reports saw the same ``cpu_count`` (a single-core container
-can prove the parallel runner *correct*, never *fast*).
+slower CI runner does not read as a slower simulator.  Dimensionless
+metrics (speedup, batch size) are pure ratios and are never rescaled.
+Parallel-campaign metrics additionally depend on the core count *and*
+on the campaign length (worker spawn amortization, chunk sizing); they
+are compared only when both reports saw the same ``cpu_count`` and the
+same ``quick`` mode (a single-core container can prove the parallel
+runner *correct*, never *fast*).
 
 Timing protocol: each metric is the best of several batches (median-free
 min), because the minimum over batches is the statistic least sensitive
@@ -86,13 +89,24 @@ def _best_of(fn: Callable[[], float], batches: int) -> float:
     return min(fn() for _ in range(batches))
 
 
-def _metric(value: float, unit: str, direction: str, parallel: bool = False) -> dict[str, Any]:
-    return {
+def _metric(
+    value: float,
+    unit: str,
+    direction: str,
+    parallel: bool = False,
+    dimensionless: bool = False,
+) -> dict[str, Any]:
+    out = {
         "value": float(value),
         "unit": unit,
         "direction": direction,  # "lower" | "higher" is better
         "parallel": parallel,
     }
+    if dimensionless:
+        # A pure ratio (speedup, runs per batch): machine speed already
+        # divides out, so compare() must not norm-rescale it.
+        out["dimensionless"] = True
+    return out
 
 
 # -- layer benches -------------------------------------------------------------
@@ -200,12 +214,21 @@ def _campaign_specs() -> list[Any]:
     ]
 
 
-def bench_campaign(quick: bool = False, workers: int = 4) -> dict[str, dict[str, Any]]:
+def bench_campaign(
+    quick: bool = False,
+    workers: int = 4,
+    transfer_out: dict[str, Any] | None = None,
+) -> dict[str, dict[str, Any]]:
     """A reduced protocol campaign, serial and at ``workers`` processes.
 
     The only stage ``quick`` shortens (5 reps instead of 25): campaign
     metrics are rates, so they stay comparable across rep counts.  The
     result cache is disabled: the bench times execution, not replay.
+
+    The parallel leg also reports dispatch economics — mean batch size
+    and parent-side dispatch overhead per run — and, via
+    ``transfer_out``, the raw spool-transfer counters (batches, jobs,
+    frames, bytes) for the CI artifact.
     """
     from .experiments.common import run_specs
 
@@ -223,8 +246,12 @@ def bench_campaign(quick: bool = False, workers: int = 4) -> dict[str, dict[str,
         "campaign.serial_runs_per_s": _metric(total / serial_s, "runs/s", "higher"),
     }
     if workers > 1:
+        stats: dict[str, Any] = {}
         start = time.perf_counter()
-        pstore = run_specs(specs, repetitions=reps, seed=7, workers=workers, cache=False)
+        pstore = run_specs(
+            specs, repetitions=reps, seed=7, workers=workers, cache=False,
+            stats_out=stats,
+        )
         parallel_s = time.perf_counter() - start
         if len(pstore) != total:
             raise ReproError(
@@ -234,8 +261,23 @@ def bench_campaign(quick: bool = False, workers: int = 4) -> dict[str, dict[str,
             total / parallel_s, "runs/s", "higher", parallel=True
         )
         out[f"campaign.speedup_{workers}w"] = _metric(
-            serial_s / parallel_s, "x", "higher", parallel=True
+            serial_s / parallel_s, "x", "higher", parallel=True, dimensionless=True
         )
+        transfer = stats.get("transfer") or {}
+        jobs = float(transfer.get("jobs", 0) or 0)
+        batches = float(transfer.get("batches", 0) or 0)
+        if jobs and batches:
+            out["campaign.dispatch_overhead_us"] = _metric(
+                transfer["dispatch_overhead_s"] / jobs * 1e6,
+                "us/run",
+                "lower",
+                parallel=True,
+            )
+            out["campaign.batch_size"] = _metric(
+                jobs / batches, "runs/batch", "higher", parallel=True, dimensionless=True
+            )
+        if transfer_out is not None and transfer:
+            transfer_out.update(transfer)
     return out
 
 
@@ -245,10 +287,11 @@ def bench_campaign(quick: bool = False, workers: int = 4) -> dict[str, dict[str,
 def collect(quick: bool = False, workers: int = 4) -> dict[str, Any]:
     """Run every bench layer and assemble the report."""
     metrics: dict[str, dict[str, Any]] = {}
+    transfer: dict[str, Any] = {}
     metrics.update(bench_solver(quick))
     metrics.update(bench_fluid(quick))
-    metrics.update(bench_campaign(quick, workers=workers))
-    return {
+    metrics.update(bench_campaign(quick, workers=workers, transfer_out=transfer))
+    report = {
         "schema": BENCH_SCHEMA,
         "rev": _git_rev(),
         "python": platform.python_version(),
@@ -258,6 +301,12 @@ def collect(quick: bool = False, workers: int = 4) -> dict[str, Any]:
         "norm_s": measure_norm(),
         "metrics": metrics,
     }
+    if transfer:
+        # Raw spool-transfer counters from the parallel campaign leg:
+        # not gated (they are shape, not speed), but archived by CI so
+        # dispatch economics stay inspectable across revisions.
+        report["transfer"] = transfer
+    return report
 
 
 def write_report(report: dict[str, Any], out_dir: str | Path = "benchmarks") -> Path:
@@ -299,15 +348,21 @@ def compare(
     """Compare two reports; returns (regressions, detail lines).
 
     Current values are rescaled by the norm ratio before the threshold
-    is applied, so machine speed divides out.  Parallel metrics are
-    skipped unless both reports ran with the same ``cpu_count``; metrics
-    absent from either report are skipped with a note.
+    is applied, so machine speed divides out — except dimensionless
+    ratios (speedup, batch size), which are compared as-is.  Parallel
+    metrics are skipped unless both reports ran with the same
+    ``cpu_count`` *and* the same ``quick`` mode (campaign length changes
+    spawn amortization and chunk shape); metrics absent from either
+    report are skipped with a note.
     """
     if threshold < 0:
         raise ReproError("regression threshold must be non-negative")
     scale = baseline["norm_s"] / current["norm_s"]
-    same_cpus = current.get("cpu_count") == baseline.get("cpu_count")
+    cur_cpus = current.get("cpu_count")
+    base_cpus = baseline.get("cpu_count")
+    same_cpus = cur_cpus == base_cpus
     regressions: list[str] = []
+    skipped = 0
     lines: list[str] = [
         f"baseline {baseline['rev']} (norm {baseline['norm_s'] * 1e3:.1f}ms) vs "
         f"current {current['rev']} (norm {current['norm_s'] * 1e3:.1f}ms), "
@@ -316,15 +371,34 @@ def compare(
     for name, base in sorted(baseline["metrics"].items()):
         cur = current["metrics"].get(name)
         if cur is None:
+            skipped += 1
             lines.append(f"  {name:<36s} skipped (absent from current report)")
             continue
         if base.get("parallel") and not same_cpus:
-            lines.append(f"  {name:<36s} skipped (cpu_count differs)")
+            # Say *which* counts disagree: a silent skip here once hid a
+            # parallel regression behind a runner-shape change.
+            skipped += 1
+            lines.append(
+                f"  {name:<36s} skipped (cpu_count {cur_cpus} vs {base_cpus})"
+            )
+            continue
+        if base.get("parallel") and current.get("quick") != baseline.get("quick"):
+            # A 10-run quick campaign is spawn-dominated and chunks to
+            # size 1; its dispatch shape is incomparable to a full run.
+            skipped += 1
+            lines.append(
+                f"  {name:<36s} skipped (quick {current.get('quick')} "
+                f"vs {baseline.get('quick')})"
+            )
             continue
         # A "lower is better" time shrinks on a faster machine; divide
         # the machine advantage back out.  Rates are the reciprocal case.
+        # Dimensionless ratios already divide machine speed out.
         direction = base["direction"]
-        adjusted = cur["value"] * scale if direction == "lower" else cur["value"] / scale
+        if base.get("dimensionless"):
+            adjusted = cur["value"]
+        else:
+            adjusted = cur["value"] * scale if direction == "lower" else cur["value"] / scale
         if direction == "lower":
             ratio = adjusted / base["value"]
             regressed = adjusted > base["value"] * (1.0 + threshold)
@@ -341,4 +415,7 @@ def compare(
                 f"{name}: {adjusted:.2f} {base['unit']} vs baseline "
                 f"{base['value']:.2f} (norm-adjusted, >{threshold:.0%} worse)"
             )
+    lines.append(
+        f"  {len(regressions)} regression(s), {skipped} metric(s) skipped"
+    )
     return regressions, lines

@@ -231,6 +231,7 @@ def run_specs(
     workers: int | None = None,
     cache: bool = True,
     cache_dir: str | Path | None = None,
+    stats_out: dict[str, Any] | None = None,
 ) -> RecordStore:
     """Run a sweep under the paper's protocol and return the records.
 
@@ -308,6 +309,16 @@ def run_specs(
             checkpoint_every=checkpoint_every,
             on_violation=on_violation,
         )
-    if resume and checkpoint is not None:
-        return runner.resume(plan, progress=progress)
-    return runner.run(plan, progress=progress)
+    try:
+        if resume and checkpoint is not None:
+            return runner.resume(plan, progress=progress)
+        return runner.run(plan, progress=progress)
+    finally:
+        # Orchestration accounting for callers that want it (bench, ops
+        # tooling): supervision counters always, batched-dispatch
+        # transfer stats when the parallel runner produced them.
+        if stats_out is not None:
+            stats_out["supervision"] = dict(runner.supervision_stats)
+            transfer = getattr(runner, "transfer_stats", None)
+            if transfer:
+                stats_out["transfer"] = dict(transfer)

@@ -8,6 +8,15 @@ exploits exactly that — and nothing more:
 
 * every pending (spec, rep) pair is executed in a supervised worker
   process (raw :mod:`multiprocessing` workers, one duplex pipe each);
+  dispatch is *batched*: each message hands a worker a chunk of runs
+  (sized adaptively from queue depth and worker count, specs deduped
+  per batch) instead of one, so per-run IPC and scheduling overhead is
+  amortised across the chunk;
+* results do not travel over the pipe: workers append each outcome as
+  a length-prefixed pickle frame to a per-batch spool file (flushed
+  before the ``prog`` progress marker is sent), and the parent reads
+  complete frames incrementally — a worker killed mid-batch loses only
+  its unfinished runs, finished frames are salvaged from the spool;
 * outcomes are merged in the parent **in protocol order**, so the
   resulting :class:`~repro.methodology.records.RecordStore` — records,
   simulated wall clock, block indices, checkpoints — is byte-identical
@@ -56,9 +65,14 @@ surfaces as a structured failed outcome, subject to the normal
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
+import pickle
+import shutil
 import signal
+import struct
+import tempfile
 import threading
 import time
 from collections import deque
@@ -158,7 +172,7 @@ def _worker_run(spec: ExperimentSpec, rep: int) -> _WorkerReply:
 def _supervised_main(
     conn: Any, executor: Executor, level: str, capture: bool, heartbeat_s: float
 ) -> None:
-    """Worker process main loop: heartbeats + one run per request.
+    """Worker process main loop: heartbeats + one batch of runs per request.
 
     SIGINT/SIGTERM are ignored — graceful shutdown is the parent's job
     (it drains and then closes the pipe).  A daemon thread sends a
@@ -190,25 +204,38 @@ def _supervised_main(
             message = conn.recv()
             if message is None:
                 break
-            ordinal, spec, rep = message
-            reply = _worker_run(spec, rep)
-            try:
-                with send_lock:
-                    conn.send(("done", ordinal, reply))
-            except (OSError, EOFError):
-                raise
-            except Exception as exc:
-                # The outcome could not cross the pickling boundary;
-                # ship a structured failure instead of dying silently.
-                fallback = _WorkerReply(
-                    pid=pid,
-                    elapsed_s=reply.elapsed_s,
-                    outcome=RunOutcome(
-                        error_type=type(exc).__name__, message=str(exc)
-                    ),
-                )
-                with send_lock:
-                    conn.send(("done", ordinal, fallback))
+            _, batch_id, spool_path, specs, jobs = message
+            with open(spool_path, "wb") as spool:
+                for ordinal, spec_key, rep in jobs:
+                    reply = _worker_run(specs[spec_key], rep)
+                    try:
+                        payload = pickle.dumps(
+                            (ordinal, reply), protocol=pickle.HIGHEST_PROTOCOL
+                        )
+                    except Exception as exc:
+                        # The outcome could not cross the pickling
+                        # boundary; spool a structured failure instead
+                        # of dying silently.
+                        fallback = _WorkerReply(
+                            pid=pid,
+                            elapsed_s=reply.elapsed_s,
+                            outcome=RunOutcome(
+                                error_type=type(exc).__name__, message=str(exc)
+                            ),
+                        )
+                        payload = pickle.dumps(
+                            (ordinal, fallback), protocol=pickle.HIGHEST_PROTOCOL
+                        )
+                    spool.write(struct.pack("<I", len(payload)))
+                    spool.write(payload)
+                    # Flush to the OS before announcing progress: if
+                    # this process is killed right after, the parent
+                    # still salvages every announced frame.
+                    spool.flush()
+                    with send_lock:
+                        conn.send(("prog", batch_id, ordinal))
+            with send_lock:
+                conn.send(("bdone", batch_id, len(jobs)))
     except (EOFError, OSError, KeyboardInterrupt):
         pass
     finally:
@@ -235,6 +262,20 @@ class _Task:
     not_before: float = 0.0
     dispatched: bool = False
     discarded: bool = False
+    # Prefetched cache hit: resolved in-parent at merge position, never
+    # dispatched to a worker.
+    local: bool = False
+
+
+@dataclass
+class _Batch:
+    """A chunk of runs dispatched to one worker in a single message."""
+
+    batch_id: int
+    spool: Path
+    tasks: dict[int, _Task]  # ordinal -> task; drained as frames land
+    offset: int = 0  # bytes of the spool consumed so far
+    completed: bool = False  # worker sent its bdone marker
 
 
 @dataclass
@@ -243,7 +284,7 @@ class _WorkerHandle:
 
     process: Any
     conn: Any
-    task: _Task | None = None
+    batch: _Batch | None = None
     dispatched_at: float = 0.0
     last_seen: float = 0.0
     broken: bool = False
@@ -259,6 +300,7 @@ class _Supervisor:
         queue: Any,
         stats: dict[str, int],
         worker_ids: dict[int, int],
+        spool_dir: Path,
     ):
         self.runner = runner
         self.policy = runner.policy
@@ -267,6 +309,7 @@ class _Supervisor:
         self.queue = queue
         self.stats = stats
         self.worker_ids = worker_ids
+        self.spool_dir = spool_dir
         self.ctx = _pool_context()
         self.window = self.policy.window_for(self.n_workers)
         self.workers: list[_WorkerHandle] = []
@@ -277,6 +320,17 @@ class _Supervisor:
         self.frontier = 0
         self.draining = False
         self.drain_signal: str | None = None
+        self.next_batch = 0
+        # Dispatch/transfer accounting, surfaced as
+        # ``runner.transfer_stats`` for bench and ops tooling.
+        self.transfer: dict[str, float] = {
+            "batches": 0,
+            "jobs": 0,
+            "specs": 0,
+            "frames": 0,
+            "spool_bytes": 0,
+            "dispatch_overhead_s": 0.0,
+        }
 
     # -- worker lifecycle --------------------------------------------------
 
@@ -303,6 +357,8 @@ class _Supervisor:
         return handle
 
     def start(self) -> None:
+        if self._outstanding() == 0:
+            return  # fully prefetched/recorded campaign: nothing to dispatch
         want = min(self.n_workers, max(1, self._outstanding()))
         for _ in range(want):
             self._spawn()
@@ -325,7 +381,7 @@ class _Supervisor:
     def _maybe_respawn(self) -> None:
         if self.draining:
             return
-        busy = sum(1 for h in self.workers if h.task is not None)
+        busy = sum(1 for h in self.workers if h.batch is not None)
         want = min(self.n_workers, busy + self._outstanding())
         while len(self.workers) < want:
             self._spawn()
@@ -366,11 +422,48 @@ class _Supervisor:
             if self.bus.enabled:
                 self.bus.emit("worker.heartbeat", pid=int(message[1]))
             return
-        if kind == "done":
-            ordinal, reply = message[1], message[2]
-            if handle.task is not None and handle.task.ordinal == ordinal:
-                handle.task = None
-            # A worker presumed dead may still have answered: the reply
+        batch = handle.batch
+        if batch is None or batch.batch_id != message[1]:
+            return  # stale marker from a batch already salvaged
+        if kind == "prog":
+            # One more run's frame is durably spooled: reset the per-run
+            # watchdog clock and collect what's ready.
+            handle.dispatched_at = handle.last_seen
+            self._collect(batch)
+        elif kind == "bdone":
+            batch.completed = True
+            self._collect(batch)
+            self._finish_batch(handle)
+
+    def _collect(self, batch: _Batch) -> None:
+        """Read every complete spool frame past the consumed offset.
+
+        The spool is append-only and each frame is flushed before its
+        ``prog`` marker, so a torn tail can only be the frame being
+        written at the moment of a kill — parsing stops at the last
+        complete frame and resumes from the same offset next time.
+        """
+        try:
+            with open(batch.spool, "rb") as spool:
+                spool.seek(batch.offset)
+                data = spool.read()
+        except OSError:
+            return
+        pos = 0
+        while pos + 4 <= len(data):
+            (length,) = struct.unpack_from("<I", data, pos)
+            if pos + 4 + length > len(data):
+                break
+            try:
+                ordinal, reply = pickle.loads(data[pos + 4 : pos + 4 + length])
+            except Exception:
+                break  # corrupt tail: salvage stops at the last good frame
+            pos += 4 + length
+            ordinal = int(ordinal)
+            self.transfer["frames"] += 1
+            self.transfer["spool_bytes"] += 4 + length
+            batch.tasks.pop(ordinal, None)
+            # A worker presumed dead may still have delivered: the reply
             # wins, any scheduled retry of the same run is dropped.
             if any(t.ordinal == ordinal for t in self.delayed):
                 self.delayed = [t for t in self.delayed if t.ordinal != ordinal]
@@ -379,6 +472,40 @@ class _Supervisor:
                     t for t in self.requeue_ready if t.ordinal != ordinal
                 ]
             self.results[ordinal] = reply
+        batch.offset += pos
+
+    def _finish_batch(self, handle: _WorkerHandle) -> None:
+        batch = handle.batch
+        handle.batch = None
+        if batch is None:
+            return
+        # A clean bdone with frames unaccounted for should not happen
+        # (each frame is flushed before its marker); requeue leftovers
+        # as an infra fault rather than losing them.
+        if batch.tasks:
+            now = time.monotonic()
+            for task in sorted(batch.tasks.values(), key=lambda t: t.ordinal):
+                if task.ordinal not in self.results:
+                    self._infra_failure(task, "worker-died", now)
+        try:
+            batch.spool.unlink()
+        except OSError:
+            pass
+
+    def _salvage(self, handle: _WorkerHandle, reason: str, now: float) -> None:
+        """Recover a dead worker's batch: keep spooled runs, requeue the rest."""
+        batch = handle.batch
+        handle.batch = None
+        if batch is None:
+            return
+        self._collect(batch)
+        for task in sorted(batch.tasks.values(), key=lambda t: t.ordinal):
+            if task.ordinal not in self.results:
+                self._infra_failure(task, reason, now)
+        try:
+            batch.spool.unlink()
+        except OSError:
+            pass
 
     # -- fault handling ----------------------------------------------------
 
@@ -436,20 +563,20 @@ class _Supervisor:
         for handle in list(self.workers):
             if not handle.broken and handle.process.is_alive():
                 continue
-            # Salvage replies that were buffered before death.
+            # Consume progress markers buffered before death, then
+            # salvage finished frames straight from the spool file.
             self._drain_conn(handle)
-            task = handle.task
-            handle.task = None
+            self._salvage(handle, "worker-died", now)
             self._retire(handle)
-            if task is not None and task.ordinal not in self.results:
-                self._infra_failure(task, "worker-died", now)
         self._maybe_respawn()
 
     def _watchdog(self, now: float) -> None:
         for handle in list(self.workers):
-            task = handle.task
-            if task is None:
+            if handle.batch is None:
                 continue
+            # ``dispatched_at`` resets at every ``prog`` marker, so the
+            # timeout stays a *per-run* wall-clock ceiling even when
+            # runs travel in batches.
             if now - handle.dispatched_at > self.policy.run_timeout_s:
                 reason = "timeout"
             elif now - handle.last_seen > self.policy.stall_threshold_s:
@@ -458,10 +585,8 @@ class _Supervisor:
                 continue
             handle.process.kill()
             self._drain_conn(handle)
-            handle.task = None
+            self._salvage(handle, reason, now)
             self._retire(handle)
-            if task.ordinal not in self.results:
-                self._infra_failure(task, reason, now)
         self._maybe_respawn()
 
     # -- scheduling --------------------------------------------------------
@@ -491,40 +616,94 @@ class _Supervisor:
             return self.pending.popleft()
         return None
 
-    def _send(self, handle: _WorkerHandle, task: _Task, now: float) -> None:
+    def _chunk_size(self) -> int:
+        """Runs per batch, adapted to queue depth and worker count.
+
+        A deep queue earns big chunks (per-run dispatch overhead is
+        amortised); near the end of the campaign the chunk shrinks
+        toward 1 so the stragglers spread across workers instead of
+        queueing behind one.
+        """
+        outstanding = self._outstanding()
+        if outstanding <= 0:
+            return 1
+        target = math.ceil(outstanding / (self.n_workers * 4))
+        return max(1, min(target, self.policy.max_batch, self.window))
+
+    def _send_batch(self, handle: _WorkerHandle, tasks: list[_Task], now: float) -> None:
+        started = time.perf_counter()
+        self.next_batch += 1
+        batch_id = self.next_batch
+        spool = self.spool_dir / f"batch-{batch_id:06d}.bin"
+        # Ship each distinct spec once per batch; jobs reference it by
+        # key.  Same-spec runs execute back to back inside the batch so
+        # the worker's engine-context cache stays warm (merge order is
+        # by ordinal, so execution order within a batch is free).
+        specs: dict[str, ExperimentSpec] = {}
+        jobs: list[tuple[int, str, int]] = []
+        for task in sorted(tasks, key=lambda t: (t.planned.spec.key, t.planned.rep)):
+            specs.setdefault(task.planned.spec.key, task.planned.spec)
+            jobs.append((task.ordinal, task.planned.spec.key, task.planned.rep))
+        batch = _Batch(
+            batch_id=batch_id, spool=spool, tasks={t.ordinal: t for t in tasks}
+        )
         try:
-            handle.conn.send((task.ordinal, task.planned.spec, task.planned.rep))
+            handle.conn.send(("batch", batch_id, str(spool), specs, jobs))
         except (OSError, ValueError):
-            # Worker already gone; let the reaper requeue the task.
+            # Worker already gone; let the reaper requeue the batch.
             handle.broken = True
-            handle.task = task
-            task.dispatched = True
+            handle.batch = batch
+            for task in tasks:
+                task.dispatched = True
             return
-        task.dispatched = True
-        handle.task = task
+        for task in tasks:
+            task.dispatched = True
+        handle.batch = batch
         handle.dispatched_at = now
         handle.last_seen = now
         if self.queue is not None:
-            self.queue.lease(task.planned.spec.key, task.planned.rep)
-        if self.bus.enabled:
-            self.bus.emit(
-                "orchestrator.dispatch",
-                spec=task.planned.spec.key,
-                rep=task.planned.rep,
-                attempt=task.attempts,
-                worker=self.worker_ids.get(handle.process.pid, 0),
+            self.queue.lease_many(
+                [(t.planned.spec.key, t.planned.rep) for t in tasks]
             )
+        self.transfer["batches"] += 1
+        self.transfer["jobs"] += len(jobs)
+        self.transfer["specs"] += len(specs)
+        self.transfer["dispatch_overhead_s"] += time.perf_counter() - started
+        if self.bus.enabled:
+            worker = self.worker_ids.get(handle.process.pid, 0)
+            self.bus.emit(
+                "orchestrator.batch",
+                batch=batch_id,
+                size=len(jobs),
+                specs=len(specs),
+                worker=worker,
+            )
+            for task in tasks:
+                self.bus.emit(
+                    "orchestrator.dispatch",
+                    spec=task.planned.spec.key,
+                    rep=task.planned.rep,
+                    attempt=task.attempts,
+                    worker=worker,
+                    batch=batch_id,
+                )
 
     def _dispatch(self, now: float) -> None:
         if self.draining:
             return
         for handle in self.workers:
-            if handle.task is not None or handle.broken:
+            if handle.batch is not None or handle.broken:
                 continue
-            task = self._next_task()
-            if task is None:
+            chunk = self._chunk_size()
+            tasks: list[_Task] = []
+            while len(tasks) < chunk:
+                task = self._next_task()
+                if task is None:
+                    break
+                tasks.append(task)
+            if not tasks:
                 return
-            self._send(handle, task, now)
+            self._send_batch(handle, tasks, now)
 
     def _check_interrupt(self) -> None:
         if self.draining:
@@ -539,7 +718,9 @@ class _Supervisor:
                 "orchestrator.drain",
                 signal=sig,
                 pending=self._outstanding(),
-                inflight=sum(1 for h in self.workers if h.task is not None),
+                inflight=sum(
+                    len(h.batch.tasks) for h in self.workers if h.batch is not None
+                ),
             )
 
     def tick(self) -> None:
@@ -607,6 +788,10 @@ class ParallelProtocolRunner(ProtocolRunner):
         # serial path; supervise=True forces worker processes anyway so
         # single-worker campaigns get timeouts and crash isolation too.
         self.force_supervise = bool(supervise)
+        # Batched-dispatch accounting from the last supervised run():
+        # batches/jobs dispatched, spool frames/bytes transferred, and
+        # the parent-side dispatch overhead in seconds.
+        self.transfer_stats: dict[str, float] = {}
 
     # -- telemetry -----------------------------------------------------------
 
@@ -657,6 +842,32 @@ class ParallelProtocolRunner(ProtocolRunner):
                 ordinal += 1
             schedule.append(("block", block_index, wait))
 
+        # Bulk cache prefetch (executors that support it): prefetched
+        # runs never go to a worker — the parent resolves them at merge
+        # position through the exact serial code path, so per-run cache
+        # tallies and replay events match a serial campaign's.
+        local_keys: set[tuple[str, int]] = set()
+        prefetch = getattr(self.executor, "prefetch", None)
+        if callable(prefetch):
+            jobs = [
+                (entry[1].planned.spec, entry[1].planned.rep)
+                for entry in schedule
+                if entry[0] == "run"
+            ]
+            if jobs:
+                with prof.span("runner.prefetch"):
+                    prefetch(jobs)
+            staged = getattr(self.executor, "prefetched", None)
+            if isinstance(staged, dict):
+                local_keys = set(staged.keys())
+        if local_keys:
+            for entry in schedule:
+                if entry[0] != "run":
+                    continue
+                task = entry[1]
+                if (task.planned.spec.key, task.planned.rep) in local_keys:
+                    task.local = True
+
         queue = self._open_queue()
         if queue is not None:
             queue.enqueue_many(
@@ -667,8 +878,13 @@ class ParallelProtocolRunner(ProtocolRunner):
                 ]
             )
 
-        supervisor = _Supervisor(self, bus, queue, self.supervision_stats, worker_ids)
-        supervisor.pending.extend(entry[1] for entry in schedule if entry[0] == "run")
+        spool_dir = Path(tempfile.mkdtemp(prefix="repro-spool-"))
+        supervisor = _Supervisor(
+            self, bus, queue, self.supervision_stats, worker_ids, spool_dir
+        )
+        supervisor.pending.extend(
+            entry[1] for entry in schedule if entry[0] == "run" and not entry[1].local
+        )
 
         block_ran: dict[int, bool] = {}
         interrupted: str | None = None
@@ -709,6 +925,44 @@ class ParallelProtocolRunner(ProtocolRunner):
                         queue.mark_done(*key)
                     supervisor.frontier = task.ordinal + 1
                     merge_index += 1
+                    continue
+                if task.local:
+                    # Prefetched cache hit: resolve it in-parent at its
+                    # merge position, through the serial runner's exact
+                    # lease/execute/merge sequence.
+                    sig = (
+                        supervisor.drain_signal
+                        if supervisor.draining
+                        else pending_signal()
+                    )
+                    if sig is not None:
+                        interrupted = sig
+                        break
+                    block_ran[task.block] = True
+                    with trace_scope(self._trace_context(task.planned)):
+                        self._emit_start(bus, task.planned, task.block, wall_clock)
+                        if queue is not None:
+                            queue.lease(*key)
+                        outcome = execute_outcome(
+                            self.executor, task.planned.spec, task.planned.rep
+                        )
+                        if queue is not None:
+                            if outcome.ok:
+                                queue.mark_done(*key)
+                            else:
+                                queue.mark_failed(*key)
+                        wall_clock = self._merge(
+                            store, task.planned, task.block, wall_clock, outcome, bus
+                        )
+                    supervisor.frontier = task.ordinal + 1
+                    merge_index += 1
+                    if not outcome.ok:
+                        continue
+                    done.add(key)
+                    executed_since_checkpoint += 1
+                    if executed_since_checkpoint >= self.checkpoint_every:
+                        self._checkpoint(store)
+                        executed_since_checkpoint = 0
                     continue
                 reply = supervisor.results.pop(task.ordinal, None)
                 if reply is None:
@@ -781,6 +1035,8 @@ class ParallelProtocolRunner(ProtocolRunner):
                     executed_since_checkpoint = 0
         finally:
             supervisor.shutdown()
+            self.transfer_stats = dict(supervisor.transfer)
+            shutil.rmtree(spool_dir, ignore_errors=True)
             if queue is not None:
                 queue.close(
                     remove=(interrupted is None and merge_index >= len(schedule))

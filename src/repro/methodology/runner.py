@@ -411,6 +411,23 @@ class ProtocolRunner:
                     if (planned.spec.key, planned.rep) not in done
                 ]
             )
+        # Executors that can bulk-load cached results ahead of time (the
+        # service executor does) get the whole pending campaign in one
+        # call: one directory scan per fingerprint instead of one failed
+        # open per missing entry.  Per-run hit accounting still happens
+        # at each run's position in the schedule, so the event stream
+        # and cache tallies are byte-identical to the per-run path.
+        prefetch = getattr(self.executor, "prefetch", None)
+        if callable(prefetch):
+            pending_jobs = [
+                (planned.spec, planned.rep)
+                for block in plan.blocks
+                for planned in block
+                if (planned.spec.key, planned.rep) not in done
+            ]
+            if pending_jobs:
+                with get_profiler().span("runner.prefetch"):
+                    prefetch(pending_jobs)
         interrupted: str | None = None
         completed = False
         try:

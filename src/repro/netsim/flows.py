@@ -51,7 +51,6 @@ class FluidFlow:
 
     # Runtime state managed by the simulation.
     remaining_bytes: float = field(init=False)
-    rate_mib_s: float = field(init=False, default=0.0)
     started_at: float | None = field(init=False, default=None)
     finished_at: float | None = field(init=False, default=None)
     # Robustness state (fault injection): when the flow last dropped to

@@ -61,6 +61,10 @@ _SEG_CACHE_SIZE = 128
 _BINDING_UTILIZATION = 0.94
 _TIME_EPS = 1e-12
 _RATE_EPS = 1e-9  # MiB/s below which a flow counts as stalled (no progress)
+# Noise epochs presolved ahead per batch when the population is stable:
+# their capacity vectors are predicted, solved in one stacked
+# ``MaxMinSolver.solve_batch`` call, and seeded into the segment cache.
+_PRESOLVE_EPOCHS = 8
 
 
 @dataclass(frozen=True)
@@ -80,7 +84,20 @@ def _distinct_tag_of(provider: object) -> str | None:
 
 
 class CapacityProvider(Protocol):
-    """Anything that yields a capacity (MiB/s) for a segment context."""
+    """Anything that yields a capacity (MiB/s) for a segment context.
+
+    A provider may additionally declare ``noise_scaled = True`` as a
+    promise that its capacity is a constant times ``ctx.noise`` for any
+    fixed active-flow population — i.e. it ignores ``ctx.time`` and
+    ``capacity(ctx) == capacity(ctx with noise=1.0) * ctx.noise`` bit
+    for bit (``x * 1.0 == x`` in IEEE arithmetic, so returning
+    ``f(ctx) * ctx.noise`` satisfies this automatically).  The fluid
+    engine folds declared providers into one per-population base vector
+    and evaluates whole segments — and batches of future noise epochs —
+    with a single elementwise multiply instead of per-resource Python
+    calls.  Providers that do not declare it are evaluated exactly as
+    before, one call per segment.
+    """
 
     def capacity(self, ctx: ResourceContext) -> float:  # pragma: no cover
         ...
@@ -91,6 +108,8 @@ class ConstantCapacity:
     """A fixed-capacity resource (a plain link); noise still applies."""
 
     mib_s: float
+
+    noise_scaled = True
 
     def __post_init__(self) -> None:
         if self.mib_s < 0:
@@ -350,16 +369,40 @@ class FluidSimulation:
         noise_rng = rng
         multipliers = np.ones(len(rids))
         current_epoch = -1
+        # Noise epochs drawn ahead for presolved segments.  The
+        # per-(resource, epoch) draw order is exactly the lazy order, so
+        # pre-drawing is byte-safe whenever epochs are consumed
+        # consecutively — which the presolve gate guarantees (no future
+        # arrivals and no retries means no idle gap can skip an epoch).
+        # The rng is the per-run "noise" stream and is never touched
+        # after the run, so draws beyond the final epoch are inert.
+        predrawn: dict[int, np.ndarray] = {}
+        drawn_max = -1
 
         def resample_noise(epoch: int) -> None:
-            nonlocal current_epoch
+            nonlocal current_epoch, drawn_max
             if epoch == current_epoch:
                 return
             current_epoch = epoch
             if isinstance(self.noise, NoNoise) or noise_rng is None:
                 return
+            row = predrawn.pop(epoch, None)
+            if row is not None:
+                multipliers[:] = row
+                return
             for i, rid in enumerate(rids):
                 multipliers[i] = self.noise.multiplier(rid, epoch, noise_rng)
+            if epoch > drawn_max:
+                drawn_max = epoch
+
+        def draw_ahead(upto: int) -> None:
+            nonlocal drawn_max
+            for e in range(drawn_max + 1, upto + 1):
+                row = np.empty(len(rids))
+                for i, rid in enumerate(rids):
+                    row[i] = self.noise.multiplier(rid, e, noise_rng)
+                predrawn[e] = row
+                drawn_max = e
 
         now = pending[0].start_time
         segments = 0
@@ -377,10 +420,51 @@ class FluidSimulation:
         req_sizes = np.zeros(0)
         solver: MaxMinSolver | None = None
         seg_cache: dict[bytes, tuple] = {}
-        while pending or active or retry_heap:
+        # Segment keys seeded by the epoch presolve that the main loop
+        # has not reached yet: their first use is accounted as the
+        # inline solve it replaced, not as a cache hit, so telemetry
+        # counters are unchanged by presolving.
+        presolved: set[bytes] = set()
+        # Per-population vectorized state: base capacities of the
+        # noise-scaled providers (one elementwise multiply per segment
+        # replaces per-resource Python calls), the providers that still
+        # need a call per segment, per-flow remaining-bytes and
+        # stall-clock arrays (authoritative between rebuilds; flushed
+        # back into the flow objects whenever the population changes),
+        # and per-observed-resource member index lists.
+        providers_list = [self._providers[rid] for rid in rids]
+        era_base = np.zeros(len(rids))
+        era_dyn: list[tuple[int, str, CapacityProvider, int]] = []
+        rem_arr = np.zeros(0)
+        stalled = np.zeros(0)
+        obs_members: list[tuple[str, list[int]]] = []
+        arrays_valid = False
+        presolve_horizon = -1
+        pending_i = 0
+        retry_policy = self.retry
+
+        def flush_flow_state() -> None:
+            # Write the authoritative arrays back into the flow objects
+            # (exactly the values the scalar loop would have left there).
+            for j, flow in enumerate(active):
+                flow.remaining_bytes = float(rem_arr[j])
+            if retry_policy is not None:
+                for j, flow in enumerate(active):
+                    s = stalled[j]
+                    flow.stalled_since = None if math.isnan(s) else float(s)
+
+        while pending_i < len(pending) or active or retry_heap:
             # Admit arrivals and due retries.
-            while pending and pending[0].start_time <= now + _TIME_EPS:
-                flow = pending.pop(0)
+            admit = (
+                pending_i < len(pending)
+                and pending[pending_i].start_time <= now + _TIME_EPS
+            ) or (retry_heap and retry_heap[0][0] <= now + _TIME_EPS)
+            if admit and arrays_valid:
+                flush_flow_state()
+                arrays_valid = False
+            while pending_i < len(pending) and pending[pending_i].start_time <= now + _TIME_EPS:
+                flow = pending[pending_i]
+                pending_i += 1
                 flow.started_at = now
                 active.append(flow)
                 members_dirty = True
@@ -396,7 +480,9 @@ class FluidSimulation:
                 # across the gap.
                 for rid in observe:
                     series[rid].append(now, 0.0)
-                next_times = [pending[0].start_time] if pending else []
+                next_times = (
+                    [pending[pending_i].start_time] if pending_i < len(pending) else []
+                )
                 if retry_heap:
                     next_times.append(retry_heap[0][0])
                 now = min(next_times)
@@ -429,24 +515,46 @@ class FluidSimulation:
                         for f in active
                     ]
                 )
+                # Fold noise-scaled providers into one base vector: for
+                # them ``capacity == base * noise`` bit for bit, so each
+                # segment needs a single elementwise multiply.  The rest
+                # keep their per-segment Python call.
+                era_base = np.zeros(len(rids))
+                era_dyn = []
+                for i, rid in enumerate(rids):
+                    provider = providers_list[i]
+                    ctx_distinct = len(distinct.get(i, ())) or 1
+                    if getattr(provider, "noise_scaled", False):
+                        era_base[i] = provider.capacity(
+                            ResourceContext(now, depth[i], int(nflows[i]), 1.0, ctx_distinct)
+                        )
+                    else:
+                        era_dyn.append((i, rid, provider, ctx_distinct))
+                obs_members = [
+                    (rid, [j for j, idxs in enumerate(memberships) if rid_index[rid] in idxs])
+                    for rid in observe
+                ]
+                rem_arr = np.array([f.remaining_bytes for f in active], dtype=float)
+                if retry_policy is not None:
+                    stalled = np.array(
+                        [
+                            np.nan if f.stalled_since is None else f.stalled_since
+                            for f in active
+                        ],
+                        dtype=float,
+                    )
+                arrays_valid = True
+                presolve_horizon = -1
                 solver = MaxMinSolver(memberships, len(rids))
                 seg_cache = {}
+                presolved = set()
                 members_dirty = False
 
-            capacities = np.array(
-                [
-                    self._providers[rid].capacity(
-                        ResourceContext(
-                            now,
-                            depth[i],
-                            int(nflows[i]),
-                            multipliers[i],
-                            len(distinct.get(i, ())) or 1,
-                        )
-                    )
-                    for i, rid in enumerate(rids)
-                ]
-            )
+            capacities = era_base * multipliers
+            for i, rid, provider, ctx_distinct in era_dyn:
+                capacities[i] = provider.capacity(
+                    ResourceContext(now, depth[i], int(nflows[i]), multipliers[i], ctx_distinct)
+                )
             if np.any(capacities < 0):
                 raise SimulationError("capacity provider returned a negative capacity")
 
@@ -462,7 +570,12 @@ class FluidSimulation:
             cached = seg_cache.get(seg_key)
             if cached is not None:
                 rates, caps, caps_used, iterations = cached
-                solve_cache_hits += 1
+                if seg_key in presolved:
+                    # First use of a presolved segment: account it as the
+                    # inline solve it replaced, not as a cache hit.
+                    presolved.discard(seg_key)
+                else:
+                    solve_cache_hits += 1
             else:
                 iterations = 1
                 rates = solver.solve(capacities)
@@ -478,31 +591,33 @@ class FluidSimulation:
                     caps = new_caps
                 if len(seg_cache) >= _SEG_CACHE_SIZE:
                     seg_cache.clear()
+                    presolved.clear()
                 seg_cache[seg_key] = (rates, caps, caps_used, iterations)
             solver_iterations += iterations
             if profiled:
                 prof.record("fluid.solve", perf_counter() - solve_t0)
-            for flow, rate in zip(active, rates):
-                flow.rate_mib_s = float(rate)
-            if self.retry is not None:
+            stall_mask = None
+            if retry_policy is not None:
                 # A zero-rate flow is a chunk request making no progress:
                 # start (or keep) its stall clock; any progress clears it.
-                for flow, rate in zip(active, rates):
-                    if rate <= _RATE_EPS:
-                        if flow.stalled_since is None:
-                            flow.stalled_since = now
-                    else:
-                        flow.stalled_since = None
+                stalled = np.where(
+                    rates <= _RATE_EPS,
+                    np.where(np.isnan(stalled), now, stalled),
+                    np.nan,
+                )
+                stall_mask = ~np.isnan(stalled)
 
             # Segment boundary: earliest of completion / arrival / epoch
             # end / capacity breakpoint / retry wake-up / stall timeout.
             dt = math.inf
+            first_done = math.inf
             rates_bytes = rates * 1024.0**2
-            for flow, rb in zip(active, rates_bytes):
-                if rb > 0:
-                    dt = min(dt, flow.remaining_bytes / rb)
-            if pending:
-                dt = min(dt, pending[0].start_time - now)
+            moving = rates_bytes > 0
+            if moving.any():
+                first_done = (rem_arr[moving] / rates_bytes[moving]).min()
+                dt = min(dt, first_done)
+            if pending_i < len(pending):
+                dt = min(dt, pending[pending_i].start_time - now)
             if has_epochs:
                 dt = min(dt, (epoch + 1) * epoch_len - now)
             if bounds:
@@ -511,14 +626,68 @@ class FluidSimulation:
                     dt = min(dt, bounds[nxt] - now)
             if retry_heap:
                 dt = min(dt, retry_heap[0][0] - now)
-            if self.retry is not None:
-                for flow in active:
-                    if flow.stalled_since is not None:
-                        dt = min(dt, flow.stalled_since + self.retry.timeout_s - now)
+            if stall_mask is not None and stall_mask.any():
+                dt = min(dt, ((stalled[stall_mask] + retry_policy.timeout_s) - now).min())
             if not math.isfinite(dt) or dt < 0:
                 stuck = [f.flow_id for f in active]
                 raise SimulationError(f"fluid simulation stalled at t={now}: flows {stuck}")
             dt = max(dt, 0.0)
+
+            if (
+                has_epochs
+                and not era_dyn
+                and retry_policy is None
+                and pending_i >= len(pending)
+                and not retry_heap
+                and noise_rng is not None
+                and not isinstance(self.noise, NoNoise)
+                and math.isfinite(first_done)
+            ):
+                # Stable population, predictable capacities: pre-draw the
+                # noise of the epochs up to the estimated first
+                # completion (a membership change retires the cache
+                # anyway), predict their capacity vectors, and solve them
+                # as one stacked batch seeding the segment cache.  A
+                # prediction that turns out wrong is merely a cache miss
+                # — never a wrong result.
+                start_e = max(epoch, presolve_horizon) + 1
+                horizon = min(
+                    epoch + _PRESOLVE_EPOCHS, int((now + first_done) / epoch_len)
+                )
+                if horizon >= start_e:
+                    presolve_t0 = perf_counter() if profiled else 0.0
+                    draw_ahead(horizon)
+                    lane_caps: list[np.ndarray] = []
+                    lane_keys: list[bytes] = []
+                    seen_keys: set[bytes] = set()
+                    for e in range(start_e, horizon + 1):
+                        mult = predrawn.get(e)
+                        if mult is None:  # pragma: no cover - draw_ahead covers these
+                            break
+                        caps_e = era_base * mult
+                        if np.any(caps_e < 0):
+                            # Leave it to the main loop to surface the
+                            # usual SimulationError at that epoch.
+                            break
+                        key_e = caps_e.tobytes()
+                        if key_e in seg_cache or key_e in seen_keys:
+                            continue
+                        seen_keys.add(key_e)
+                        lane_caps.append(caps_e)
+                        lane_keys.append(key_e)
+                    if lane_caps:
+                        entries = self._solve_lanes(
+                            solver, np.stack(lane_caps), nprocs, req_sizes
+                        )
+                        for key_e, entry in zip(lane_keys, entries):
+                            if len(seg_cache) >= _SEG_CACHE_SIZE:
+                                seg_cache.clear()
+                                presolved.clear()
+                            seg_cache[key_e] = entry
+                            presolved.add(key_e)
+                    if profiled:
+                        prof.record("fluid.presolve", perf_counter() - presolve_t0)
+                    presolve_horizon = horizon
 
             if bus.debug:
                 bus.emit(
@@ -540,10 +709,8 @@ class FluidSimulation:
                     flow_labels=[f.flow_id for f in active],
                 )
 
-            for rid in observe:
-                i = rid_index[rid]
-                throughput = sum(r for idxs, r in zip(memberships, rates) if i in idxs)
-                series[rid].append(now, float(throughput))
+            for rid, member_js in obs_members:
+                series[rid].append(now, float(sum(rates[j] for j in member_js)))
 
             if detail:
                 usage = np.zeros(len(rids))
@@ -570,51 +737,79 @@ class FluidSimulation:
                     )
                 )
 
-            # Integrate the segment.
+            # Integrate the segment (elementwise, identical to the
+            # per-flow updates it replaces).
             now += dt
             if now > max_time:
                 raise SimulationError(f"fluid simulation exceeded max_time={max_time}")
-            still_active: list[FluidFlow] = []
-            for flow, rb in zip(active, rates_bytes):
-                flow.remaining_bytes -= rb * dt
-                if flow.remaining_bytes <= _BYTES_EPS:
-                    flow.remaining_bytes = 0.0
-                    flow.finished_at = now
-                elif (
-                    self.retry is not None
-                    and flow.stalled_since is not None
-                    and now >= flow.stalled_since + self.retry.timeout_s - _TIME_EPS
-                ):
-                    # Chunk-request timeout: back off and retry, or give
-                    # up once the retry budget is spent.
-                    flow.attempts += 1
-                    flow.stalled_since = None
-                    if flow.attempts > self.retry.max_retries:
-                        flow.abandoned = True
+            rem_arr = rem_arr - rates_bytes * dt
+            done_mask = rem_arr <= _BYTES_EPS
+            if stall_mask is not None:
+                timed_mask = (
+                    ~done_mask
+                    & stall_mask
+                    & (now >= (stalled + retry_policy.timeout_s) - _TIME_EPS)
+                )
+                changed = bool(done_mask.any() or timed_mask.any())
+            else:
+                changed = bool(done_mask.any())
+            if changed:
+                # Some flow completes or times out this segment: flush
+                # the arrays back and take the per-flow slow path so the
+                # completion/retry/abandon bookkeeping stays verbatim.
+                flush_flow_state()
+                arrays_valid = False
+                still_active: list[FluidFlow] = []
+                for flow in active:
+                    if flow.remaining_bytes <= _BYTES_EPS:
+                        flow.remaining_bytes = 0.0
                         flow.finished_at = now
-                        trace.append(FlowTraceEvent(now, flow.flow_id, "abandon", flow.attempts))
-                        if bus.enabled:
-                            bus.emit(
-                                "flow.abandon", t=now, flow_id=flow.flow_id, attempt=flow.attempts
+                    elif (
+                        retry_policy is not None
+                        and flow.stalled_since is not None
+                        and now >= flow.stalled_since + retry_policy.timeout_s - _TIME_EPS
+                    ):
+                        # Chunk-request timeout: back off and retry, or
+                        # give up once the retry budget is spent.
+                        flow.attempts += 1
+                        flow.stalled_since = None
+                        if flow.attempts > retry_policy.max_retries:
+                            flow.abandoned = True
+                            flow.finished_at = now
+                            trace.append(
+                                FlowTraceEvent(now, flow.flow_id, "abandon", flow.attempts)
                             )
-                        if checker is not None:
-                            checker.retract_bytes(
-                                [rid_index[r] for r in flow.resources], flow.remaining_bytes
+                            if bus.enabled:
+                                bus.emit(
+                                    "flow.abandon",
+                                    t=now,
+                                    flow_id=flow.flow_id,
+                                    attempt=flow.attempts,
+                                )
+                            if checker is not None:
+                                checker.retract_bytes(
+                                    [rid_index[r] for r in flow.resources],
+                                    flow.remaining_bytes,
+                                )
+                        else:
+                            trace.append(
+                                FlowTraceEvent(now, flow.flow_id, "retry", flow.attempts)
                             )
+                            if bus.enabled:
+                                bus.emit(
+                                    "flow.retry",
+                                    t=now,
+                                    flow_id=flow.flow_id,
+                                    attempt=flow.attempts,
+                                )
+                            retry_seq += 1
+                            ready = now + retry_policy.backoff_s(flow.attempts)
+                            heapq.heappush(retry_heap, (ready, retry_seq, flow))
                     else:
-                        trace.append(FlowTraceEvent(now, flow.flow_id, "retry", flow.attempts))
-                        if bus.enabled:
-                            bus.emit(
-                                "flow.retry", t=now, flow_id=flow.flow_id, attempt=flow.attempts
-                            )
-                        retry_seq += 1
-                        ready = now + self.retry.backoff_s(flow.attempts)
-                        heapq.heappush(retry_heap, (ready, retry_seq, flow))
-                else:
-                    still_active.append(flow)
-            if len(still_active) != len(active):
-                members_dirty = True
-            active = still_active
+                        still_active.append(flow)
+                if len(still_active) != len(active):
+                    members_dirty = True
+                active = still_active
             segments += 1
 
         for rid in observe:
@@ -646,3 +841,48 @@ class FluidSimulation:
             segment_details=details,
             trace=trace,
         )
+
+    def _solve_lanes(
+        self,
+        solver: MaxMinSolver,
+        lane_caps: np.ndarray,
+        nprocs: np.ndarray,
+        req_sizes: np.ndarray,
+    ) -> list[tuple]:
+        """Solve a stacked batch of segment capacity vectors.
+
+        Runs the same latency-cap fixed point as the inline segment
+        solve, but with every lane's max-min allocation computed in one
+        :meth:`MaxMinSolver.solve_batch` call per iteration.  Each
+        lane's trajectory — rates, caps, the cap vector solved against,
+        iteration count — is bit-identical to the scalar path, so
+        seeding the segment cache with these entries leaves results
+        unchanged.
+        """
+        lanes = lane_caps.shape[0]
+        first = solver.solve_batch(lane_caps)
+        out_rates = [first[b] for b in range(lanes)]
+        caps = [self.latency.flow_caps(first[b], nprocs, req_sizes) for b in range(lanes)]
+        caps_used: list[np.ndarray | None] = [None] * lanes
+        iters = [1] * lanes
+        live = list(range(lanes))
+        for _ in range(self.cap_iterations):
+            if not live:
+                break
+            solved = solver.solve_batch(
+                lane_caps[np.array(live)], np.stack([caps[b] for b in live])
+            )
+            nxt: list[int] = []
+            for k, b in enumerate(live):
+                caps_used[b] = caps[b]
+                iters[b] += 1
+                out_rates[b] = solved[k]
+                new_caps = np.maximum(
+                    caps[b], self.latency.flow_caps(solved[k], nprocs, req_sizes)
+                )
+                if np.allclose(new_caps, caps[b], rtol=1e-6, atol=1e-9):
+                    continue
+                caps[b] = new_caps
+                nxt.append(b)
+            live = nxt
+        return [(out_rates[b], caps[b], caps_used[b], iters[b]) for b in range(lanes)]

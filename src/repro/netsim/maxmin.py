@@ -33,6 +33,9 @@ from ..errors import FlowError
 
 __all__ = ["MaxMinSolver", "max_min_rates", "solve_with_caps", "fairness_violations"]
 
+# Hard ceiling on the lanes of one stacked solve; callers chunk above it.
+_MAX_BATCH_LANES = 4096
+
 _EPS = 1e-9
 
 
@@ -98,8 +101,19 @@ class MaxMinSolver:
         # the common case at the top of a solve (no dead resources, no
         # zero caps), saved so the fill loop can start incrementally.
         self._users_all = self._incidence.sum(axis=0)
+        # Integer view of the incidence for exact batched matmuls (the
+        # products are sums of 0/1 integers, so they match the
+        # boolean-mask reductions of the scalar path bit for bit).
+        # Built lazily: only batched solves need it.
+        self._inc_int_cache: np.ndarray | None = None
         self._cache: dict[tuple[bytes, bytes | None], np.ndarray] = {}
         self._cache_size = int(cache_size)
+
+    @property
+    def _inc_int(self) -> np.ndarray:
+        if self._inc_int_cache is None:
+            self._inc_int_cache = self._incidence.astype(np.intp)
+        return self._inc_int_cache
 
     @property
     def incidence(self) -> np.ndarray:
@@ -148,6 +162,135 @@ class MaxMinSolver:
         if len(self._cache) >= self._cache_size:
             self._cache.clear()
         self._cache[key] = rates
+        return rates
+
+    def solve_batch(
+        self,
+        capacities: np.ndarray | Sequence[Sequence[float]],
+        flow_caps: np.ndarray | Sequence[Sequence[float]] | None = None,
+    ) -> np.ndarray:
+        """Max-min fair rates for a stacked batch of capacity vectors.
+
+        ``capacities`` is ``(lanes, num_resources)``; ``flow_caps``,
+        when given, is ``(lanes, num_flows)``.  Lane ``b`` of the
+        returned ``(lanes, num_flows)`` array is **bit-identical** to
+        ``solve(capacities[b], flow_caps[b])``: the batched fill runs
+        every lane through the same elementwise arithmetic the scalar
+        loop performs, and its only reductions (mins, 0/1 integer sums)
+        are exact.  Lanes hit the same keyed cache as :meth:`solve`, so
+        mixing batched and scalar calls stays coherent.
+        """
+        caps = np.asarray(capacities, dtype=float)
+        if caps.ndim != 2 or caps.shape[1] != self.num_resources:
+            raise FlowError(
+                f"capacities must have shape (lanes, {self.num_resources}), "
+                f"got {caps.shape}"
+            )
+        if caps.shape[0] > _MAX_BATCH_LANES:
+            raise FlowError(f"batch of {caps.shape[0]} lanes exceeds {_MAX_BATCH_LANES}")
+        if np.any(caps < 0):
+            raise FlowError("negative resource capacity")
+        fc: np.ndarray | None = None
+        if flow_caps is not None:
+            fc = np.asarray(flow_caps, dtype=float)
+            if fc.shape != (caps.shape[0], self.num_flows):
+                raise FlowError(
+                    f"flow_caps must have shape ({caps.shape[0]}, {self.num_flows}), "
+                    f"got {fc.shape}"
+                )
+            if np.any(fc < 0):
+                raise FlowError("negative flow cap")
+        lanes = caps.shape[0]
+        out = np.zeros((lanes, self.num_flows))
+        keys: list[tuple[bytes, bytes | None]] = []
+        misses: list[int] = []
+        for b in range(lanes):
+            key = (caps[b].tobytes(), fc[b].tobytes() if fc is not None else None)
+            keys.append(key)
+            hit = self._cache.get(key)
+            if hit is not None:
+                out[b] = hit
+            else:
+                misses.append(b)
+        if misses:
+            fresh = self._fill_batch(
+                caps[misses], None if fc is None else fc[misses]
+            )
+            for row, b in enumerate(misses):
+                rates = fresh[row].copy()
+                rates.setflags(write=False)
+                if len(self._cache) >= self._cache_size:
+                    self._cache.clear()
+                self._cache[keys[b]] = rates
+                out[b] = rates
+        return out
+
+    def _fill_batch(self, caps: np.ndarray, flow_caps: np.ndarray | None) -> np.ndarray:
+        """Progressive filling over stacked lanes (validated inputs only).
+
+        Every operation below is either elementwise per lane or an exact
+        reduction (min, 0/1 integer sum), so each lane's trajectory —
+        deltas, freeze order, final rates — reproduces the scalar
+        :meth:`_fill` bit for bit.  Finished lanes are masked out of the
+        updates and keep their values.
+        """
+        lanes = caps.shape[0]
+        nflows, nres = self.num_flows, self.num_resources
+        incidence = self._incidence
+        inc_int = self._inc_int
+        rates = np.zeros((lanes, nflows))
+        if nflows == 0 or lanes == 0:
+            return rates
+
+        if flow_caps is None:
+            cap_rem = np.full((lanes, nflows), np.inf)
+        else:
+            cap_rem = flow_caps.astype(float, copy=True)
+
+        active = np.ones((lanes, nflows), dtype=bool)
+        rem = caps.astype(float).copy()
+
+        zero_res = rem <= _EPS
+        if zero_res.any():
+            active &= ~((zero_res.astype(np.intp) @ inc_int.T) > 0)
+        active &= cap_rem > _EPS
+
+        users = active.astype(np.intp) @ inc_int  # (lanes, nres), exact
+
+        for _ in range(nflows + nres + 1):
+            live = active.any(axis=1)
+            if not live.any():
+                break
+            with np.errstate(divide="ignore", invalid="ignore"):
+                headroom = np.where(users > 0, rem / np.maximum(users, 1), np.inf)
+            delta_res = headroom.min(axis=1)
+            delta_cap = np.where(active, cap_rem, np.inf).min(axis=1)
+            delta = np.minimum(delta_res, delta_cap)
+            if not np.isfinite(delta[live]).all():
+                raise FlowError("unbounded max-min allocation (no finite constraint)")
+            delta = np.where(live, np.maximum(delta, 0.0), 0.0)
+
+            rates += np.where(active, delta[:, None], 0.0)
+            rem -= delta[:, None] * users
+            cap_rem -= np.where(active, delta[:, None], 0.0)
+
+            saturated_res = (rem <= _EPS) & (users > 0)
+            freeze = active & (
+                ((saturated_res.astype(np.intp) @ inc_int.T) > 0) | (cap_rem <= _EPS)
+            )
+            stuck = live & ~freeze.any(axis=1)
+            if stuck.any():
+                # Numerical corner, per lane: force-freeze the flow at
+                # the tightest constraint so progress is guaranteed.
+                for b in np.flatnonzero(stuck):
+                    tight = int(np.argmin(np.where(active[b], cap_rem[b], np.inf)))
+                    freeze[b, tight] = True
+            removed = active & freeze
+            if removed.any():
+                users -= removed.astype(np.intp) @ inc_int
+            active &= ~freeze
+        else:  # pragma: no cover - loop bound is a hard invariant
+            raise FlowError("max-min allocation did not converge")
         return rates
 
     def _fill(self, caps: np.ndarray, flow_caps: np.ndarray | None) -> np.ndarray:

@@ -334,6 +334,38 @@ class DurableJobQueue:
         self._append(entry, op="lease")
         return entry
 
+    def lease_many(
+        self, jobs: list[tuple[str, int]], now: float | None = None
+    ) -> list[JobEntry]:
+        """Lease a batch of queued jobs under one fsync.
+
+        Batched dispatch hands a whole chunk of runs to one worker; the
+        journal still records one lease per job (resume sees the same
+        per-job states either way), but they are appended and fsync'd as
+        a single write, like :meth:`enqueue_many`.
+        """
+        self._require_open()
+        clock = time.time() if now is None else now
+        records: list[dict[str, Any]] = []
+        leased: list[JobEntry] = []
+        for key, rep in jobs:
+            entry = self.entries.get((key, int(rep)))
+            if entry is None:
+                entry = JobEntry(key=key, rep=int(rep))
+                self.entries[entry.job_id] = entry
+                records.append(self._record(entry, "enqueue"))
+            if entry.state in ("done", "failed"):
+                raise OrchestratorError(
+                    f"cannot lease {entry.state} job ({key!r}, rep {rep})"
+                )
+            entry.state = "leased"
+            entry.owner = self.owner
+            entry.lease_expires = clock + float(self.lease_s)
+            records.append(self._record(entry, "lease"))
+            leased.append(entry)
+        self._journal.append_many(records)
+        return leased
+
     def requeue(self, key: str, rep: int, attempt: int | None = None) -> JobEntry:
         """Return a leased job to ``queued`` (retry after a worker fault)."""
         self._require_open()

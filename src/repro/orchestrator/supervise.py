@@ -36,6 +36,9 @@ class SupervisionPolicy:
     ``backoff_cap_s``    ceiling for the exponential delay;
     ``window``           max runs in flight ahead of the merge frontier
                          (default: 4 x workers, set by the runner);
+    ``max_batch``        max (spec, rep) runs dispatched to one worker
+                         in a single batch message — the adaptive chunk
+                         size never exceeds it (1 disables batching);
     ``lease_s``          job-queue lease duration (default: derived
                          from the run timeout with slack).
     """
@@ -47,6 +50,7 @@ class SupervisionPolicy:
     backoff_base_s: float = 0.25
     backoff_cap_s: float = 5.0
     window: int | None = None
+    max_batch: int = 16
 
     def __post_init__(self) -> None:
         if self.run_timeout_s <= 0:
@@ -59,6 +63,8 @@ class SupervisionPolicy:
             raise ConfigError("backoff delays must be >= 0")
         if self.window is not None and self.window < 1:
             raise ConfigError("window must be >= 1")
+        if self.max_batch < 1:
+            raise ConfigError("max_batch must be >= 1")
 
     @property
     def stall_threshold_s(self) -> float:

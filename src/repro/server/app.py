@@ -182,6 +182,10 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         self._lock = threading.RLock()
         self._jobs: dict[tuple[str, int], _Job] = {}
         self._work: collections.deque[_Job] = collections.deque()
+        # Bulk-prefetched result-cache entries for queued jobs, staged by
+        # workers and consumed by _execute with per-job hit accounting.
+        self._prefetched: dict[tuple[str, int], dict[str, Any]] = {}
+        self._prefetch_seen: set[tuple[str, int]] = set()
         self._work_cv = threading.Condition(self._lock)
         self._stopping = False
         self._drained = threading.Event()
@@ -387,35 +391,75 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
                     rep=job.rep,
                     queue_wait_s=wait_s,
                 )
+            self._prefetch_backlog(job)
             self._execute(job)
             with self._lock:
                 self.worker_state[me] = "idle"
             self._maybe_drained()
+
+    def _prefetch_backlog(self, current: _Job) -> None:
+        """Bulk-load cache entries for the queued backlog (plus ``current``).
+
+        One directory scan per distinct fingerprint covers every queued
+        rep; staged entries are consumed by :meth:`_execute`, which does
+        the per-job hit accounting — so tallies, events and breaker
+        state match the per-run lookup path exactly.  Prefetch itself
+        counts and emits nothing; a failure here degrades silently to
+        the per-run path.
+        """
+        with self._lock:
+            backlog = [
+                (j.scenario, j.rep)
+                for j in [current, *self._work]
+                if j.scenario is not None
+                and (j.fingerprint, j.rep) not in self._prefetch_seen
+            ]
+            for spec, rep in backlog:
+                self._prefetch_seen.add((spec.fingerprint, rep))
+        if not backlog:
+            return
+        try:
+            entries = get_service().prefetch(
+                backlog, cache=True, cache_dir=self.cache_dir
+            )
+        except Exception:  # noqa: BLE001 — prefetch is opportunistic
+            return
+        if entries:
+            with self._lock:
+                for (fingerprint, _engine, rep), entry in entries.items():
+                    self._prefetched[(fingerprint, rep)] = entry
 
     def _execute(self, job: _Job) -> None:
         scenario = job.scenario
         assert scenario is not None  # only spec-backed jobs reach the deque
         bus = get_bus()
         run_ctx = job.span("run") if bus.tracing and job.trace else None
-        pre_cached = False
-        try:
-            pre_cached = self._store.load(scenario, job.rep) is not None
-        except OSError:
-            pre_cached = False
+        with self._lock:
+            prefetched = self._prefetched.pop((scenario.fingerprint, job.rep), None)
+        pre_cached = prefetched is not None
+        if prefetched is None:
+            try:
+                pre_cached = self._store.load(scenario, job.rep) is not None
+            except OSError:
+                pre_cached = False
         started = time.perf_counter()
         try:
             # The run span covers execution: with tracing on, the
             # service's cache probe and the engine's own events are all
             # stamped with this job's trace while we hold the scope.
             with trace_scope(run_ctx), _EXEC_LOCK:
-                result = get_service().run(
-                    scenario, job.rep, cache=True, cache_dir=self.cache_dir
-                )
-            entry = None
-            try:
-                entry = self._store.load(scenario, job.rep)
-            except OSError:
-                entry = None
+                if prefetched is not None:
+                    result = get_service().resolve_prefetched(prefetched)
+                else:
+                    result = get_service().run(
+                        scenario, job.rep, cache=True, cache_dir=self.cache_dir
+                    )
+            entry = prefetched
+            if entry is None:
+                try:
+                    entry = self._store.load(scenario, job.rep)
+                except OSError:
+                    entry = None
             if entry is not None:
                 job.result = entry["result"]
                 job.events = list(entry.get("events", ()))

@@ -472,6 +472,101 @@ class SimulationService:
         self._emit_cache_span(bus, "miss", probe_started)
         return result
 
+    def prefetch(
+        self,
+        jobs: "list[tuple[ScenarioSpec, int]]",
+        *,
+        cache: bool | None = None,
+        cache_dir: str | Path | None = None,
+    ) -> dict[tuple[str, str, int], dict[str, Any]]:
+        """Bulk cache lookup: load every hit among ``jobs`` in one pass.
+
+        Jobs are grouped by fingerprint and each fingerprint directory
+        is scanned **once** (one ``scandir`` replaces a failed ``open``
+        per missing rep), visiting directories in sorted order.  Returns
+        raw cache entries keyed by ``(fingerprint, engine, rep)``.
+
+        This emits nothing and counts nothing: consume each entry with
+        :meth:`resolve_prefetched` at the position the run would have
+        executed, so events, counters (one ``hit`` per run — never per
+        batch) and results are byte-identical to the per-run path.  Jobs
+        absent from the returned map are cache misses and should go
+        through :meth:`run` as usual.  I/O errors here leave the job a
+        miss; breaker accounting stays on the authoritative per-run
+        path, and nothing is probed while the breaker is not closed.
+        """
+        if cache is None:
+            cache = bool(_CACHE_DEFAULTS["cache"])
+        if cache_dir is None:
+            cache_dir = _CACHE_DEFAULTS["cache_dir"]
+        out: dict[tuple[str, str, int], dict[str, Any]] = {}
+        if not cache or self.breaker.state != "closed":
+            return out
+        store = ResultCache(cache_dir)
+        by_fp: dict[str, list[tuple[ScenarioSpec, int]]] = {}
+        for spec, rep in jobs:
+            if spec.options.validation is not ValidationLevel.OFF:
+                continue
+            by_fp.setdefault(spec.fingerprint, []).append((spec, int(rep)))
+        for fp in sorted(by_fp):
+            probe = by_fp[fp][0][0]
+            try:
+                names = {e.name for e in os.scandir(store.path_for(probe, 0).parent)}
+            except OSError:
+                continue
+            for spec, rep in sorted(by_fp[fp], key=lambda job: job[1]):
+                key = (spec.fingerprint, spec.engine, rep)
+                if key in out or store.path_for(spec, rep).name not in names:
+                    continue
+                try:
+                    entry = store.load(spec, rep)
+                except OSError:
+                    continue
+                if entry is not None:
+                    out[key] = entry
+        return out
+
+    def resolve_prefetched(self, entry: Mapping[str, Any]) -> RunResult:
+        """Consume one prefetched cache entry as the hit it stands for.
+
+        Replays the stored telemetry events, counts exactly one ``hit``
+        and closes the trace span — the same sequence :meth:`run`
+        performs on an inline hit — so a prefetched campaign is
+        byte-identical to one probing the cache run by run.
+        """
+        bus = get_bus()
+        started = time.perf_counter()
+        self.breaker.record_success()
+        self._emit_breaker(bus)
+        _count("hit")
+        if bus.enabled:
+            self._replay_events(bus, entry.get("events", ()))
+        self._emit_cache_span(bus, "hit", started)
+        return result_from_jsonable(entry["result"])
+
+    def run_many(
+        self,
+        jobs: "list[tuple[ScenarioSpec, int]]",
+        *,
+        cache: bool | None = None,
+        cache_dir: str | Path | None = None,
+    ) -> list[RunResult]:
+        """Execute (or replay) many ``(spec, rep)`` jobs, in job order.
+
+        One fingerprint-sorted bulk pass resolves every cache hit; only
+        the misses execute.  Results come back in the order given, and
+        each job's events/counters are emitted at its own position.
+        """
+        entries = self.prefetch(jobs, cache=cache, cache_dir=cache_dir)
+        results: list[RunResult] = []
+        for spec, rep in jobs:
+            entry = entries.pop((spec.fingerprint, spec.engine, int(rep)), None)
+            if entry is not None:
+                results.append(self.resolve_prefetched(entry))
+            else:
+                results.append(self.run(spec, rep, cache=cache, cache_dir=cache_dir))
+        return results
+
     def _cache_fault(self, bus: Any) -> None:
         _count("error")
         self.breaker.record_failure()
@@ -537,9 +632,50 @@ class ServiceExecutor:
     cache: bool = True
     cache_dir: str | None = None
     seed: int = 0
+    # Prefetched cache entries keyed by (planned key, rep), populated by
+    # the runners' bulk pass and *popped* per run so every hit is
+    # replayed and counted exactly once, at the run's own position.
+    # Never pickled: workers re-probe their own cache.
+    prefetched: dict[tuple[str, int], dict[str, Any]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def __call__(self, spec: ExperimentSpec, rep: int) -> RunResult:
         scenario = self.scenarios.get(spec.key)
         if scenario is None:
             raise ExperimentError(f"no compiled scenario for planned spec {spec.key!r}")
+        entry = self.prefetched.pop((spec.key, int(rep)), None)
+        if entry is not None:
+            return get_service().resolve_prefetched(entry)
         return get_service().run(scenario, rep, cache=self.cache, cache_dir=self.cache_dir)
+
+    def prefetch(self, jobs: "list[tuple[ExperimentSpec, int]]") -> int:
+        """Bulk-load the cache entries for the given planned jobs.
+
+        Returns how many hits were staged.  Safe to call with jobs whose
+        keys are unknown (they are skipped and will fail per-run with
+        the usual error).
+        """
+        pairs = [
+            (self.scenarios[spec.key], int(rep))
+            for spec, rep in jobs
+            if spec.key in self.scenarios
+        ]
+        entries = get_service().prefetch(pairs, cache=self.cache, cache_dir=self.cache_dir)
+        staged = 0
+        for spec, rep in jobs:
+            scenario = self.scenarios.get(spec.key)
+            if scenario is None:
+                continue
+            entry = entries.get((scenario.fingerprint, scenario.engine, int(rep)))
+            if entry is not None and (spec.key, int(rep)) not in self.prefetched:
+                self.prefetched[(spec.key, int(rep))] = entry
+                staged += 1
+        return staged
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Entries can be large and are parent-side state: workers probe
+        # their own cache, so the staged map never crosses the pipe.
+        state = self.__dict__.copy()
+        state["prefetched"] = {}
+        return state

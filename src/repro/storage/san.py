@@ -99,6 +99,9 @@ class SanModel:
 
     spec: SanRampSpec
 
+    # Population-and-noise only (no ctx.time): foldable by the engine.
+    noise_scaled = True
+
     def capacity(self, ctx: ResourceContext) -> float:
         return self.spec.capacity_at(ctx.depth) * ctx.noise
 

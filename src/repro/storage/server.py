@@ -69,6 +69,9 @@ class ServerIngestModel:
     host: str
     spec: ServerIngestSpec
 
+    # Population-and-noise only (no ctx.time): foldable by the engine.
+    noise_scaled = True
+
     def capacity(self, ctx: ResourceContext) -> float:
         return self.spec.rate_at_depth(ctx.depth) * ctx.noise
 
@@ -126,6 +129,8 @@ class StoragePoolModel:
     spec: StoragePoolSpec
 
     distinct_tag = "target"
+    # Population-and-noise only (no ctx.time): foldable by the engine.
+    noise_scaled = True
 
     def capacity(self, ctx: ResourceContext) -> float:
         if ctx.nflows == 0:

@@ -72,6 +72,10 @@ class StorageTargetModel:
     target_id: str
     spec: TargetServiceSpec
 
+    # Depends only on the active population (depth) and noise — lets
+    # the fluid engine fold it into the per-population base vector.
+    noise_scaled = True
+
     def capacity(self, ctx: ResourceContext) -> float:
         return self.spec.rate_at_depth(ctx.depth) * ctx.noise
 

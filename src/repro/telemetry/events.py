@@ -115,6 +115,14 @@ EVENT_TYPES: dict[str, dict[str, tuple[type, ...]]] = {
         "attempt": (int,),
         "worker": (int,),
     },
+    # A chunk of runs shipped to one worker in a single message (debug
+    # level): ``size`` runs, ``specs`` distinct spec payloads after
+    # per-batch dedup.
+    "orchestrator.batch": {
+        "batch": (int,),
+        "size": (int,),
+        "specs": (int,),
+    },
     # An infra fault (dead/hung/stalled worker) sent a run back to the
     # queue with a backoff delay.
     "orchestrator.requeue": {
@@ -266,12 +274,21 @@ EVENT_TYPES: dict[str, dict[str, tuple[type, ...]]] = {
 
 # Events only emitted when the bus runs at debug level.
 DEBUG_EVENTS = frozenset(
-    {"flow.start", "segment.solve", "trace.record", "worker.heartbeat", "orchestrator.dispatch"}
+    {
+        "flow.start",
+        "segment.solve",
+        "trace.record",
+        "worker.heartbeat",
+        "orchestrator.dispatch",
+        "orchestrator.batch",
+    }
 )
 
 # Optional per-type payload fields (validated when present).
 _OPTIONAL_FIELDS: dict[str, dict[str, tuple[type, ...]]] = {
     "run.end": {"servers": (dict,)},
+    # The batch id a dispatched run travelled in (batched dispatch).
+    "orchestrator.dispatch": {"batch": (int,)},
     "invariant.check": {"detail": (str,)},
     "trace.record": {"value": (int, float, str, bool, type(None))},
     "segment.solve": {"binding": (list,)},

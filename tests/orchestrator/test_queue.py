@@ -40,6 +40,26 @@ class TestTransitions:
         assert queue.enqueue_many([("a", 0)]) == 0  # already pending
         assert len(queue.pending()) == 3
 
+    def test_lease_many_single_append_and_auto_enqueue(self, tmp_path):
+        path = tmp_path / "q.journal"
+        queue = reopened(path)
+        queue.enqueue("a", 0)
+        entries = queue.lease_many([("a", 0), ("a", 1), ("b", 0)])
+        assert [e.job_id for e in entries] == [("a", 0), ("a", 1), ("b", 0)]
+        assert all(e.state == "leased" for e in entries)
+        queue.close()
+        # Unknown jobs are journaled as enqueue+lease in the same batch:
+        # a reopen (same live owner, lease kept) sees all three leased.
+        fresh = reopened(path)
+        assert fresh.counts()["leased"] == 3
+
+    def test_lease_many_of_finished_job_rejected(self, tmp_path):
+        queue = reopened(tmp_path / "q.journal")
+        queue.enqueue("a", 0)
+        queue.mark_done("a", 0)
+        with pytest.raises(OrchestratorError, match="done"):
+            queue.lease_many([("b", 0), ("a", 0)])
+
     def test_requeue_increments_attempt(self, tmp_path):
         queue = reopened(tmp_path / "q.journal")
         queue.enqueue("a", 0)

@@ -142,6 +142,59 @@ class TestResultCache:
         assert after == before + 1
 
 
+class TestBulkLookup:
+    """The bulk path (prefetch / run_many) is tally- and result-
+    equivalent to probing the cache run by run — the parallel runner
+    and the job server depend on this for ``service.cache`` parity."""
+
+    def _jobs(self, reps=2):
+        specs = (_spec(stripe_count=2), _spec(stripe_count=4))
+        return [(spec, rep) for spec in specs for rep in range(reps)]
+
+    def test_run_many_cold_then_warm_tallies(self, tmp_path):
+        svc = get_service()
+        jobs = self._jobs()
+        before = service.cache_stats()
+        cold = svc.run_many(jobs, cache_dir=tmp_path)
+        assert _delta(before, service.cache_stats())["miss"] == 4
+        before = service.cache_stats()
+        warm = svc.run_many(jobs, cache_dir=tmp_path)
+        stats = _delta(before, service.cache_stats())
+        assert stats["hit"] == 4 and stats["miss"] == 0
+        assert [result_fingerprint(r) for r in warm] == [
+            result_fingerprint(r) for r in cold
+        ]
+
+    def test_run_many_mixed_matches_per_run(self, tmp_path):
+        svc = get_service()
+        jobs = self._jobs()
+        for spec, rep in jobs[:2]:  # pre-warm half through the per-run path
+            svc.run(spec, rep, cache_dir=tmp_path)
+        before = service.cache_stats()
+        bulk = svc.run_many(jobs, cache_dir=tmp_path)
+        stats = _delta(before, service.cache_stats())
+        assert stats["hit"] == 2 and stats["miss"] == 2
+        per_run = [svc.run(spec, rep, cache_dir=tmp_path) for spec, rep in jobs]
+        assert [result_fingerprint(r) for r in bulk] == [
+            result_fingerprint(r) for r in per_run
+        ]
+
+    def test_prefetch_counts_nothing_until_resolved(self, tmp_path):
+        svc = get_service()
+        jobs = self._jobs(reps=1)
+        for spec, rep in jobs:
+            svc.run(spec, rep, cache_dir=tmp_path)
+        before = service.cache_stats()
+        entries = svc.prefetch(jobs, cache_dir=tmp_path)
+        assert all(v == 0 for v in _delta(before, service.cache_stats()).values())
+        assert len(entries) == 2
+        before = service.cache_stats()
+        for entry in entries.values():
+            svc.resolve_prefetched(entry)
+        # Exactly one hit per run, counted at resolve time, never per batch.
+        assert _delta(before, service.cache_stats())["hit"] == 2
+
+
 class TestServiceExecutor:
     def test_unknown_plan_key_rejected(self):
         from repro.errors import ExperimentError
