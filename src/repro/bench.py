@@ -1,8 +1,9 @@
 """Tracked performance benchmarks of the simulation hot paths.
 
-``beegfs-repro bench`` times the three layers the campaign cost is made
-of — the max-min solver, one fluid-engine run, and a full protocol
-campaign (serial and parallel) — and writes a ``BENCH_<rev>.json``
+``beegfs-repro bench`` times the layers the campaign cost is made of —
+the max-min solver, one fluid-engine run, per-tier cache-hit replay
+(hot vs disk), and a full protocol campaign (serial and parallel) —
+and writes a ``BENCH_<rev>.json``
 report next to the committed baseline, so performance regressions are
 caught the same way correctness regressions are.
 
@@ -281,6 +282,55 @@ def bench_campaign(
     return out
 
 
+def bench_cache(quick: bool = False) -> dict[str, dict[str, Any]]:
+    """Cache-hit latency per tier: hot (memory) vs disk.
+
+    One run populates a throwaway cache; hot hits then replay from the
+    in-process LRU, and disk hits are forced by dropping the hot tier
+    before each lookup.  Both legs time the full ``service.run`` hit
+    path (replayed events included), so the gap is exactly what tiering
+    buys a warm campaign.  Cheap enough to run at full fidelity in
+    quick mode.
+    """
+    import tempfile as _tempfile
+
+    from .scenario.compile import compile_scenario
+    from .methodology.plan import ExperimentSpec
+    from .service import get_service
+
+    spec = ExperimentSpec(exp_id="bench", scenario="scenario1", factors=_BENCH_FACTORS)
+    scenario = compile_scenario(spec, seed=7)
+    svc = get_service()
+    hits = 10
+    batches = 3
+    with _tempfile.TemporaryDirectory(prefix="bench-cache-") as tmp:
+        svc.run(scenario, 0, cache=True, cache_dir=tmp)  # populate, cold
+        svc.run(scenario, 0, cache=True, cache_dir=tmp)  # warm the hot tier
+
+        def timed_hot() -> float:
+            start = time.perf_counter()
+            for _ in range(hits):
+                svc.run(scenario, 0, cache=True, cache_dir=tmp)
+            return (time.perf_counter() - start) / hits
+
+        def timed_disk() -> float:
+            elapsed = 0.0
+            for _ in range(hits):
+                svc.drop_memory_tiers(tmp)
+                start = time.perf_counter()
+                svc.run(scenario, 0, cache=True, cache_dir=tmp)
+                elapsed += time.perf_counter() - start
+            return elapsed / hits
+
+        hot = _best_of(timed_hot, batches)
+        disk = _best_of(timed_disk, batches)
+        svc.drop_memory_tiers(tmp)
+    return {
+        "cache.hot_hit_us": _metric(hot * 1e6, "us/hit", "lower"),
+        "cache.disk_hit_us": _metric(disk * 1e6, "us/hit", "lower"),
+    }
+
+
 # -- report --------------------------------------------------------------------
 
 
@@ -290,6 +340,7 @@ def collect(quick: bool = False, workers: int = 4) -> dict[str, Any]:
     transfer: dict[str, Any] = {}
     metrics.update(bench_solver(quick))
     metrics.update(bench_fluid(quick))
+    metrics.update(bench_cache(quick))
     metrics.update(bench_campaign(quick, workers=workers, transfer_out=transfer))
     report = {
         "schema": BENCH_SCHEMA,

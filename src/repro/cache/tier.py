@@ -1,0 +1,151 @@
+"""The cache-tier interface and the entry format every tier speaks.
+
+A cache **entry** is a plain JSON-able dict, self-describing through
+its header fields (``schema``, ``fingerprint``, ``model_revision``,
+``engine``, ``rep``) with the full spec embedded, the codec-normalized
+result, and the run's captured telemetry events.  Every tier stores and
+returns whole entries, so promotion between tiers is a byte-faithful
+copy and a fingerprint collision with a *different* spec stays
+detectable no matter which tier served it.
+
+Entries are treated as immutable once constructed: the memory tier
+hands out the same dict object on every hit, and the replay path only
+reads from it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Mapping, Protocol, runtime_checkable
+
+from ..scenario import MODEL_REVISION, ScenarioSpec
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheTier",
+    "EntryKey",
+    "entry_key",
+    "make_entry",
+    "safe_fingerprint",
+    "safe_token",
+    "validate_entry",
+]
+
+CACHE_SCHEMA = 1
+
+# A lookup key: (spec fingerprint, engine, rep).  The model revision is
+# a process-wide constant and rides beside the key where it matters
+# (wire frames, entry headers).
+EntryKey = tuple[str, str, int]
+
+# Fingerprints and engine names appear in file paths and wire frames;
+# both are validated before they touch a filesystem so a hostile peer
+# cannot traverse out of the cache root.
+_FINGERPRINT_RE = re.compile(r"^[0-9a-f]{8,128}$")
+_TOKEN_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
+
+
+def safe_fingerprint(value: Any) -> str | None:
+    """``value`` as a path-safe fingerprint string, or ``None``."""
+    if isinstance(value, str) and _FINGERPRINT_RE.match(value):
+        return value
+    return None
+
+
+def safe_token(value: Any) -> str | None:
+    """``value`` as a path-safe name token (engine), or ``None``."""
+    if isinstance(value, str) and _TOKEN_RE.match(value):
+        return value
+    return None
+
+
+def make_entry(
+    spec: ScenarioSpec, rep: int, result: Any, events: list[dict[str, Any]]
+) -> dict[str, Any]:
+    """Build the canonical cache entry for one finished run.
+
+    ``result`` is a :class:`~repro.engine.result.RunResult`; it is
+    normalized through the exact JSON codec here, which is what makes a
+    cold result and its later replay byte-identical.
+    """
+    from ..engine.result import result_to_jsonable
+
+    return {
+        "schema": CACHE_SCHEMA,
+        "fingerprint": spec.fingerprint,
+        "model_revision": MODEL_REVISION,
+        "engine": spec.engine,
+        "rep": int(rep),
+        "spec": spec.to_jsonable(),
+        "result": result_to_jsonable(result),
+        "events": events,
+    }
+
+
+def entry_key(entry: Mapping[str, Any]) -> EntryKey:
+    """The ``(fingerprint, engine, rep)`` key an entry stands for."""
+    return (str(entry["fingerprint"]), str(entry["engine"]), int(entry["rep"]))
+
+
+def validate_entry(
+    entry: Any,
+    *,
+    fingerprint: str | None = None,
+    engine: str | None = None,
+    rep: int | None = None,
+    model_revision: int | None = None,
+) -> bool:
+    """Is ``entry`` a well-formed cache entry (optionally for this key)?
+
+    Header validation only — the embedded result is decoded lazily by
+    the consumer.  Used on every tier boundary: a disk read, a wire
+    frame from a remote peer, a promotion into the memory tier.
+    """
+    if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA:
+        return False
+    fp = safe_fingerprint(entry.get("fingerprint"))
+    eng = safe_token(entry.get("engine"))
+    if fp is None or eng is None:
+        return False
+    if not isinstance(entry.get("rep"), int) or isinstance(entry.get("rep"), bool):
+        return False
+    if not isinstance(entry.get("model_revision"), int):
+        return False
+    if "result" not in entry:
+        return False
+    if fingerprint is not None and fp != fingerprint:
+        return False
+    if engine is not None and eng != engine:
+        return False
+    if rep is not None and entry["rep"] != int(rep):
+        return False
+    wanted_rev = MODEL_REVISION if model_revision is None else int(model_revision)
+    if entry["model_revision"] != wanted_rev:
+        return False
+    return True
+
+
+@runtime_checkable
+class CacheTier(Protocol):
+    """What every tier offers; see the package docstring for the roles.
+
+    ``lookup``/``lookup_many`` return whole entries (or omit the key on
+    a miss).  ``store_entry`` persists one entry.  Tiers report
+    occupancy through ``stats`` and bound it through ``gc``.  I/O
+    failures surface as ``OSError`` — the composite (not the tier)
+    decides whether that strikes a breaker, degrades, or propagates.
+    """
+
+    name: str
+
+    def lookup(self, spec: ScenarioSpec, rep: int) -> dict[str, Any] | None: ...
+
+    def lookup_many(
+        self, jobs: "list[tuple[ScenarioSpec, int]]"
+    ) -> dict[EntryKey, dict[str, Any]]: ...
+
+    def store_entry(self, entry: Mapping[str, Any]) -> None: ...
+
+    def stats(self) -> dict[str, Any]: ...
+
+    def gc(self, max_bytes: int, dry_run: bool = False) -> dict[str, int]: ...

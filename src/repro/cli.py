@@ -7,7 +7,7 @@ Subcommands
     Show every registered experiment with its paper reference.
 ``run EXP_ID [--reps N] [--seed S] [--out DIR] [--on-error {fail,skip}]
 [--checkpoint PATH] [--resume] [--verify {off,basic,paranoid}]
-[--workers N] [--no-cache] [--cache-dir DIR]``
+[--workers N] [--no-cache] [--cache-dir DIR] [--cache-remote HOST:PORT]``
     Run one experiment (or ``all``), print its figure, optionally
     archive the raw records as CSV — the way the paper publishes its
     results repository.  ``--on-error skip`` quarantines raising runs
@@ -17,10 +17,13 @@ Subcommands
     inside the engines; a violating run is quarantined like a crash
     under ``--on-error skip``.  ``--workers N`` executes runs in N
     worker processes with byte-identical results.  Previously-simulated
-    (configuration, rep) pairs replay from the content-addressed result
-    cache (``$REPRO_CACHE_DIR`` or ``~/.cache/beegfs-repro``; override
-    with ``--cache-dir``, disable with ``--no-cache``); a cache summary
-    is printed on stderr after the campaign.
+    (configuration, rep) pairs replay from the tiered content-addressed
+    result cache — an in-process hot tier over the on-disk store
+    (``$REPRO_CACHE_DIR`` or ``~/.cache/beegfs-repro``; override with
+    ``--cache-dir``, disable with ``--no-cache``), plus an optional
+    shared remote tier behind a ``repro serve`` instance
+    (``--cache-remote HOST:PORT``; outages degrade to the local tiers).
+    A cache summary is printed on stderr after the campaign.
 ``verify [--suite {invariants,conformance,replay,all}] [--level
 {basic,paranoid}] [--reps N] [--seed S] [--golden PATH]
 [--update-golden] [--inject {over-capacity,byte-loss,rng-perturb}]``
@@ -51,10 +54,17 @@ Subcommands
     entries, deny the cache directory — and assert every campaign still
     completes with a byte-identical record store.  Exit 0 means all
     injections were survived.
-``cache gc --max-bytes N [--cache-dir DIR] [--dry-run]``
-    Evict result-cache entries, oldest first, until the cache fits in N
-    bytes (accepts unit suffixes, e.g. ``500MiB``).  ``--dry-run``
-    reports what would be evicted without deleting anything.
+``cache gc --max-bytes N [--cache-dir DIR] [--tier {disk,memory}]
+[--dry-run]``
+    Evict result-cache entries, least recently used first, until the
+    tier fits in N bytes (accepts unit suffixes, e.g. ``500MiB``).
+    Cache hits touch entry mtimes, so disk eviction order is true LRU.
+    ``--dry-run`` reports what would be evicted without deleting
+    anything.
+``cache stats [--cache-dir DIR] [--remote HOST:PORT]``
+    Per-tier occupancy (entries, bytes, quarantined corrupt files) and
+    this process's probe tallies with hit ratios; with ``--remote``,
+    also the serving host's remote-tier tally.
 ``serve --state-dir DIR [--host H] [--port P] [--workers N]
 [--max-pending N] [--io-timeout-s S] [--session-lease-s S]
 [--telemetry PATH] [--trace] [--metrics-port P] [--slo-* ...]``
@@ -209,6 +219,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="result cache directory (default: $REPRO_CACHE_DIR or "
         "~/.cache/beegfs-repro)",
     )
+    run_p.add_argument(
+        "--cache-remote",
+        default=None,
+        metavar="HOST:PORT",
+        help="also use a 'repro serve' instance as a shared remote cache "
+        "tier (read-through/write-behind; outages degrade to local tiers)",
+    )
 
     verify_p = sub.add_parser("verify", help="run the simulation guardrails")
     verify_p.add_argument(
@@ -324,15 +341,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_p.add_argument("--quiet", action="store_true", help="suppress progress lines")
 
-    cache_p = sub.add_parser("cache", help="manage the on-disk result cache")
-    cache_p.add_argument("action", choices=["gc"])
-    cache_p.add_argument(
+    cache_p = sub.add_parser("cache", help="manage the tiered result cache")
+    cache_sub = cache_p.add_subparsers(dest="action", required=True)
+    cache_gc_p = cache_sub.add_parser(
+        "gc", help="evict entries, least recently used first, to a size bound"
+    )
+    cache_gc_p.add_argument(
         "--max-bytes",
         required=True,
         metavar="N",
         help="target cache size; unit suffixes accepted (e.g. 500MiB, 2GiB)",
     )
-    cache_p.add_argument(
+    cache_gc_p.add_argument(
         "--cache-dir",
         type=Path,
         default=None,
@@ -340,10 +360,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="result cache directory (default: $REPRO_CACHE_DIR or "
         "~/.cache/beegfs-repro)",
     )
-    cache_p.add_argument(
+    cache_gc_p.add_argument(
+        "--tier",
+        choices=["disk", "memory"],
+        default="disk",
+        help="which tier to collect (default: disk; the remote tier is "
+        "collected on its serving host)",
+    )
+    cache_gc_p.add_argument(
         "--dry-run",
         action="store_true",
         help="report what would be evicted without deleting anything",
+    )
+    cache_stats_p = cache_sub.add_parser(
+        "stats", help="per-tier occupancy and probe tallies"
+    )
+    cache_stats_p.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="result cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/beegfs-repro)",
+    )
+    cache_stats_p.add_argument(
+        "--remote",
+        default=None,
+        metavar="HOST:PORT",
+        help="include a remote tier served by this 'repro serve' instance",
     )
 
     serve_p = sub.add_parser(
@@ -634,7 +678,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         profiler = stack.enter_context(profiling(args.profile)) if args.profile else None
         stack.enter_context(
             service.cache_config(
-                cache=False if args.no_cache else None, cache_dir=args.cache_dir
+                cache=False if args.no_cache else None,
+                cache_dir=args.cache_dir,
+                cache_remote=args.cache_remote,
             )
         )
         try:
@@ -652,6 +698,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     workers=args.workers if args.workers > 1 else None,
                     cache=False if args.no_cache else None,
                     cache_dir=args.cache_dir,
+                    cache_remote=args.cache_remote,
                 ):
                     output = info.run(progress=progress, **kwargs)
                 print(output.figure)
@@ -723,14 +770,29 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    from .service import ResultCache
+    if args.action == "stats":
+        return _cmd_cache_stats(args)
+    return _cmd_cache_gc(args)
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    from .service import ResultCache, get_service
     from .units import parse_size
 
     cache = ResultCache(args.cache_dir)
-    summary = cache.gc(int(parse_size(args.max_bytes)), dry_run=args.dry_run)
+    where = cache.root if args.tier == "disk" else "the hot tier"
+    if args.tier == "disk":
+        summary = cache.gc(int(parse_size(args.max_bytes)), dry_run=args.dry_run)
+    else:
+        # A fresh CLI process has an empty hot tier; this path exists
+        # for embedders and symmetry, and reports honestly.
+        tiers = get_service()._tiered(args.cache_dir)
+        summary = tiers.gc(
+            int(parse_size(args.max_bytes)), tier="memory", dry_run=args.dry_run
+        )
     if args.dry_run:
         print(
-            f"cache gc in {cache.root} (dry run): "
+            f"cache gc ({args.tier}) in {where} (dry run): "
             f"{summary['scanned']} entr(y/ies) scanned, "
             f"{summary['evicted']} would be evicted "
             f"({summary['freed_bytes']} bytes would be freed), "
@@ -738,10 +800,53 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         )
     else:
         print(
-            f"cache gc in {cache.root}: {summary['scanned']} entr(y/ies) scanned, "
+            f"cache gc ({args.tier}) in {where}: "
+            f"{summary['scanned']} entr(y/ies) scanned, "
             f"{summary['evicted']} evicted ({summary['freed_bytes']} bytes freed), "
             f"{summary['remaining_bytes']} bytes remain"
         )
+    return 0
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    from .service import get_service
+
+    tiers = get_service()._tiered(args.cache_dir, args.remote)
+    for tier, info in tiers.stats().items():
+        hits = int(info.get("hit", 0))
+        probes = hits + int(info.get("miss", 0))
+        ratio = f"{hits / probes:.2f}" if probes else "n/a"
+        keys = (
+            "entries",
+            "bytes",
+            "corrupt",
+            "root",
+            "address",
+            "pending_puts",
+            "puts",
+            "put_errors",
+            "hit",
+            "miss",
+            "error",
+            "degraded",
+        )
+        detail = ", ".join(f"{k}={info[k]}" for k in keys if k in info)
+        print(f"{tier}: {detail}, hit_ratio={ratio}")
+    if args.remote:
+        # Best effort: ask the serving host for its side of the tally.
+        from .cache.remote import RemoteTier
+        from .server.protocol import message
+
+        tier = RemoteTier.from_address(args.remote, timeout_s=3.0)
+        try:
+            reply = tier._roundtrip(message("stats"))
+            server_side = reply.get("remote_cache") or {}
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(server_side.items()))
+            print(f"remote (server side): {detail or 'no tally'}")
+        except OSError as exc:
+            print(f"remote (server side): unreachable ({exc})", file=sys.stderr)
+        finally:
+            tier.close()
     return 0
 
 

@@ -186,6 +186,7 @@ def protocol_options(
     workers: int | None = None,
     cache: bool | None = None,
     cache_dir: str | Path | None = None,
+    cache_remote: str | None = None,
 ) -> Iterator[None]:
     """Override the runner policy of every ``run_specs`` call inside.
 
@@ -203,6 +204,7 @@ def protocol_options(
         ("workers", workers),
         ("cache", cache),
         ("cache_dir", cache_dir),
+        ("cache_remote", cache_remote),
     ):
         if value is not None:
             _RUNNER_OVERRIDES[name] = value
@@ -231,6 +233,7 @@ def run_specs(
     workers: int | None = None,
     cache: bool = True,
     cache_dir: str | Path | None = None,
+    cache_remote: str | None = None,
     stats_out: dict[str, Any] | None = None,
 ) -> RecordStore:
     """Run a sweep under the paper's protocol and return the records.
@@ -261,6 +264,7 @@ def run_specs(
     workers = _RUNNER_OVERRIDES.get("workers", workers)
     cache = _RUNNER_OVERRIDES.get("cache", cache)
     cache_dir = _RUNNER_OVERRIDES.get("cache_dir", cache_dir)
+    cache_remote = _RUNNER_OVERRIDES.get("cache_remote", cache_remote)
     if validation is not None:
         options = replace(options, validation=ValidationLevel.parse(validation))
     protocol = ProtocolConfig(
@@ -289,6 +293,7 @@ def run_specs(
             scenarios=scenarios,
             cache=bool(cache),
             cache_dir=None if cache_dir is None else str(cache_dir),
+            cache_remote=None if cache_remote is None else str(cache_remote),
             seed=seed,
         )
     if workers is not None and workers > 1:

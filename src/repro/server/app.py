@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from ..cache import validate_entry
 from ..engine.result import result_to_jsonable
 from ..errors import ConfigError, ProtocolError
 from ..orchestrator.queue import DurableJobQueue
@@ -208,6 +209,14 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
         self.slo = SLOTracker(config.slo_policy())
         self.worker_state: dict[str, str] = {}
         self._cache_tally = {"hits": 0, "misses": 0}
+        # Remote-tier traffic (clients using this server as a shared
+        # warm cache tier over cache-get/cache-put frames).
+        self._remote_cache_tally = {
+            "get_hits": 0,
+            "get_misses": 0,
+            "puts": 0,
+            "put_errors": 0,
+        }
         self._completions = 0
         self._metrics_server: MetricsServer | None = None
 
@@ -517,7 +526,13 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
     def dispatch(self, msg: dict[str, Any], peer: "_Handler") -> dict[str, Any]:
         check_version(msg)
         mtype = msg.get("type")
-        handler = getattr(self, f"_req_{mtype}", None)
+        # Hyphenated frame types (cache-get, cache-put) map onto
+        # underscore method names.
+        handler = (
+            getattr(self, f"_req_{mtype.replace('-', '_')}", None)
+            if isinstance(mtype, str)
+            else None
+        )
         if mtype not in ("hello",) and isinstance(msg.get("session"), str):
             with self._lock:
                 self.sessions.renew(msg["session"])
@@ -696,6 +711,60 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
                 _emit("server.session", action="close", session=sid)
         return message("bye")
 
+    # -- the shared warm tier (sessionless cache frames) -------------------
+
+    # Bound on keys per cache-get frame, slightly above the client's
+    # batch size so a well-behaved RemoteTier never trips it.
+    _MAX_CACHE_KEYS = 256
+
+    def _req_cache_get(self, msg: dict[str, Any], peer: "_Handler") -> dict[str, Any]:
+        keys = msg.get("keys")
+        if not isinstance(keys, list) or len(keys) > self._MAX_CACHE_KEYS:
+            raise ProtocolError(
+                f"cache-get needs a keys list of at most {self._MAX_CACHE_KEYS}"
+            )
+        revision = msg.get("model_revision")
+        entries: list[dict[str, Any]] = []
+        hits = 0
+        misses = 0
+        for key in keys:
+            if not (isinstance(key, (list, tuple)) and len(key) == 3):
+                raise ProtocolError("cache-get keys are [fingerprint, engine, rep]")
+            fingerprint, engine, rep = key
+            try:
+                entry = self._store.load_key(
+                    str(fingerprint),
+                    str(engine),
+                    int(rep),
+                    model_revision=int(revision) if revision is not None else None,
+                )
+            except (OSError, TypeError, ValueError):
+                entry = None
+            if entry is not None:
+                entries.append(entry)
+                hits += 1
+            else:
+                misses += 1
+        with self._lock:
+            self._remote_cache_tally["get_hits"] += hits
+            self._remote_cache_tally["get_misses"] += misses
+        return message("cache-entries", entries=entries)
+
+    def _req_cache_put(self, msg: dict[str, Any], peer: "_Handler") -> dict[str, Any]:
+        entry = msg.get("entry")
+        stored = False
+        if isinstance(entry, dict) and validate_entry(
+            entry, model_revision=entry.get("model_revision")
+        ):
+            try:
+                self._store.store_entry(entry)
+                stored = True
+            except (OSError, ConfigError):
+                stored = False
+        with self._lock:
+            self._remote_cache_tally["puts" if stored else "put_errors"] += 1
+        return message("cache-ok", stored=stored)
+
     def stats(self) -> dict[str, Any]:
         with self._lock:
             snapshot = {
@@ -704,6 +773,7 @@ class OrchestratorServer(socketserver.ThreadingTCPServer):
                 "jobs": self.queue.counts(),
                 "workers": dict(self.worker_state),
                 "cache": dict(self._cache_tally),
+                "remote_cache": dict(self._remote_cache_tally),
             }
         hits = snapshot["cache"]["hits"]
         total = hits + snapshot["cache"]["misses"]

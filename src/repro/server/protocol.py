@@ -21,6 +21,10 @@ Request types (client → server)::
     stats   {}                            server introspection
     bye     {}                            close the session
 
+    cache-get {keys, model_revision}      bulk remote-cache lookup: keys is
+                                          [[fingerprint, engine, rep], ...]
+    cache-put {entry}                     offer one whole cache entry
+
 Response types (server → client)::
 
     welcome  {session, lease_s}           session opened/resumed
@@ -31,6 +35,14 @@ Response types (server → client)::
     stats    {...}
     error    {error, message}             malformed or unserviceable request
     bye      {}
+
+    cache-entries {entries}               the validated entries held for a
+                                          cache-get (absent keys missing)
+    cache-ok {stored}                     cache-put acknowledged
+
+The cache frames are **sessionless** (no ``hello`` required, no lease
+renewed): they serve :class:`repro.cache.remote.RemoteTier`, which
+treats the server as a shared warm tier rather than a job executor.
 
 The optional ``trace`` field is the deterministic distributed-trace id
 of :mod:`repro.telemetry.trace` — an *optimization*, not a contract:
@@ -75,7 +87,16 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 _HEADER = struct.Struct(">I")
 
-REQUEST_TYPES = ("hello", "submit", "wait", "ping", "stats", "bye")
+REQUEST_TYPES = (
+    "hello",
+    "submit",
+    "wait",
+    "ping",
+    "stats",
+    "bye",
+    "cache-get",
+    "cache-put",
+)
 RESPONSE_TYPES = (
     "welcome",
     "accepted",
@@ -85,6 +106,8 @@ RESPONSE_TYPES = (
     "stats",
     "error",
     "bye",
+    "cache-entries",
+    "cache-ok",
 )
 
 

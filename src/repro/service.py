@@ -16,12 +16,17 @@ The service owns:
   100-repetition campaign pays engine construction once — the role the
   per-campaign ``StandardExecutor`` caches used to play, now shared
   process-wide;
-* the **content-addressed result cache**: on-disk JSON entries keyed by
-  ``(spec fingerprint, model revision, engine, rep)``.  A hit replays
-  the stored :class:`~repro.engine.result.RunResult` *and* the engine's
-  telemetry events byte-identically without executing anything; a miss
-  executes, normalizes the result through the exact JSON codec (so cold
-  and warm runs are bit-equal), and populates the entry atomically.
+* the **content-addressed result cache**: a tiered composite
+  (:mod:`repro.cache`) keyed by ``(spec fingerprint, model revision,
+  engine, rep)`` — an in-process LRU hot tier, the durable on-disk
+  tier of record, and an optional read-through/write-behind remote
+  tier shared through a ``repro serve`` instance.  A hit in any tier
+  replays the stored :class:`~repro.engine.result.RunResult` *and* the
+  engine's telemetry events byte-identically without executing
+  anything (and promotes the entry into the faster tiers); a miss
+  executes, normalizes the result through the exact JSON codec (so
+  cold and warm runs are bit-equal), and populates every tier, disk
+  first and atomically.
 
 Runs with ``validation`` enabled bypass the cache in both directions:
 the whole point of a validated run is to execute the checkers (and the
@@ -35,21 +40,19 @@ back with each outcome.
 
 from __future__ import annotations
 
-import json
-import os
-import tempfile
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterator, Mapping
 
+from .cache import CACHE_SCHEMA, MemoryTier, RemoteTier, ResultCache, TieredCache
+from .cache.disk import default_cache_dir
 from .engine.result import RunResult, result_from_jsonable, result_to_jsonable
 from .errors import ConfigError, ExperimentError
 from .methodology.plan import ExperimentSpec
-from .orchestrator.journal import fsync_dir
 from .orchestrator.supervise import CircuitBreaker
-from .scenario import MODEL_REVISION, ScenarioSpec
+from .scenario import ScenarioSpec
 from .telemetry.bus import RingBufferSink, get_bus
 from .telemetry.trace import current_trace, trace_scope
 from .verify.level import ValidationLevel
@@ -69,8 +72,6 @@ __all__ = [
     "add_cache_stats",
 ]
 
-CACHE_SCHEMA = 1
-
 # How many constructed engine contexts the service keeps alive; oldest
 # evicted first.  Campaigns sweep far fewer distinct configurations
 # than this between construction and last use.
@@ -88,8 +89,18 @@ _ENVELOPE_KEYS = ("schema", "seq", "event", "t")
 # -- cache statistics --------------------------------------------------------------
 
 # "degraded" counts runs executed cache-off because the circuit breaker
-# was open; "error" counts cache I/O failures (each also a breaker strike).
-_STATS = {"hit": 0, "miss": 0, "bypassed": 0, "uncached": 0, "degraded": 0, "error": 0}
+# was open; "error" counts cache I/O failures (each also a breaker
+# strike); "corrupt" counts disk entries quarantined after a decode
+# failure (each such lookup also counts the usual "miss").
+_STATS = {
+    "hit": 0,
+    "miss": 0,
+    "bypassed": 0,
+    "uncached": 0,
+    "degraded": 0,
+    "error": 0,
+    "corrupt": 0,
+}
 
 
 def cache_stats() -> dict[str, int]:
@@ -177,24 +188,26 @@ register_builder("standard", _build_standard)
 
 # -- the result cache --------------------------------------------------------------
 
-
-def default_cache_dir() -> Path:
-    """``$REPRO_CACHE_DIR`` or ``~/.cache/beegfs-repro``."""
-    env = os.environ.get("REPRO_CACHE_DIR")
-    if env:
-        return Path(env)
-    return Path.home() / ".cache" / "beegfs-repro"
-
+# The cache implementation itself lives in repro.cache (tiers, the
+# composite, GC, quarantine); the service owns the policy, the tally
+# and the persistent tier instances.
 
 # Ambient cache policy for service.run() calls that pass None: lets the
-# CLI's --no-cache/--cache-dir reach experiments that call the service
-# directly (timeline figures) without per-module plumbing.
-_CACHE_DEFAULTS: dict[str, Any] = {"cache": True, "cache_dir": None}
+# CLI's --no-cache/--cache-dir/--cache-remote reach experiments that
+# call the service directly (timeline figures) without per-module
+# plumbing.
+_CACHE_DEFAULTS: dict[str, Any] = {
+    "cache": True,
+    "cache_dir": None,
+    "cache_remote": None,
+}
 
 
 @contextmanager
 def cache_config(
-    cache: bool | None = None, cache_dir: str | Path | None = None
+    cache: bool | None = None,
+    cache_dir: str | Path | None = None,
+    cache_remote: str | None = None,
 ) -> Iterator[None]:
     """Override the default cache policy for the enclosed calls."""
     previous = dict(_CACHE_DEFAULTS)
@@ -202,162 +215,13 @@ def cache_config(
         _CACHE_DEFAULTS["cache"] = bool(cache)
     if cache_dir is not None:
         _CACHE_DEFAULTS["cache_dir"] = str(cache_dir)
+    if cache_remote is not None:
+        _CACHE_DEFAULTS["cache_remote"] = str(cache_remote)
     try:
         yield
     finally:
         _CACHE_DEFAULTS.clear()
         _CACHE_DEFAULTS.update(previous)
-
-
-class ResultCache:
-    """Content-addressed on-disk store of simulated run results.
-
-    Layout: ``<root>/<fp[:2]>/<fp>/<engine>-m<model_revision>-r<rep>.json``
-    where ``fp`` is the spec's behaviour fingerprint.  Entries are JSON
-    with the full spec embedded, so an entry is self-describing (and a
-    fingerprint collision with a *different* spec would be detectable).
-    Writes are atomic (same-directory tempfile + ``os.replace``), so
-    concurrent campaigns over one cache directory cannot corrupt it.
-    """
-
-    def __init__(self, root: str | Path | None = None):
-        self.root = Path(root) if root is not None else default_cache_dir()
-
-    def path_for(self, spec: ScenarioSpec, rep: int) -> Path:
-        fp = spec.fingerprint
-        return self.root / fp[:2] / fp / f"{spec.engine}-m{MODEL_REVISION}-r{int(rep)}.json"
-
-    def load(self, spec: ScenarioSpec, rep: int) -> dict[str, Any] | None:
-        """The entry for (spec, rep), or ``None`` on a miss or corruption.
-
-        A missing file is a normal miss; a torn/garbled entry degrades
-        to a miss (the run simply re-executes).  Any *other* ``OSError``
-        — dead mount, permission loss, not-a-directory — propagates so
-        the service can count it against the cache circuit breaker.
-        """
-        path = self.path_for(spec, rep)
-        try:
-            text = path.read_text()
-        except FileNotFoundError:
-            return None
-        try:
-            entry = json.loads(text)
-        except json.JSONDecodeError:
-            return None
-        if (
-            entry.get("schema") != CACHE_SCHEMA
-            or entry.get("fingerprint") != spec.fingerprint
-            or entry.get("model_revision") != MODEL_REVISION
-            or entry.get("engine") != spec.engine
-            or entry.get("rep") != int(rep)
-        ):
-            return None
-        return entry
-
-    def store(
-        self,
-        spec: ScenarioSpec,
-        rep: int,
-        result: RunResult,
-        events: list[dict[str, Any]],
-    ) -> Path:
-        path = self.path_for(spec, rep)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {
-            "schema": CACHE_SCHEMA,
-            "fingerprint": spec.fingerprint,
-            "model_revision": MODEL_REVISION,
-            "engine": spec.engine,
-            "rep": int(rep),
-            "spec": spec.to_jsonable(),
-            "result": result_to_jsonable(result),
-            "events": events,
-        }
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(entry, handle)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, path)
-            # The rename itself must survive a crash: sync the directory.
-            fsync_dir(path.parent)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return path
-
-    def __len__(self) -> int:
-        if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*/*.json"))
-
-    def gc(self, max_bytes: int, dry_run: bool = False) -> dict[str, int]:
-        """Evict entries, oldest mtime first, until the cache fits.
-
-        LRU-by-mtime: a cache hit does not touch mtime, so this is
-        strictly least-recently-*written* — good enough for a cache
-        whose entries are immutable.  Emptied fingerprint directories
-        are pruned.  Returns a summary and emits a ``cache.gc`` event
-        plus the ``service.cache.evicted`` counter.
-
-        ``dry_run=True`` deletes nothing: the summary reports what a
-        real pass *would* evict (and no event or counter is emitted,
-        since nothing happened).
-        """
-        if max_bytes < 0:
-            raise ConfigError(f"max_bytes must be >= 0, got {max_bytes}")
-        files: list[tuple[float, int, Path]] = []
-        if self.root.is_dir():
-            for path in self.root.glob("*/*/*.json"):
-                try:
-                    st = path.stat()
-                except OSError:
-                    continue
-                files.append((st.st_mtime, st.st_size, path))
-        files.sort(key=lambda item: (item[0], str(item[2])))
-        total = sum(size for _, size, _ in files)
-        evicted = 0
-        freed = 0
-        for _, size, path in files:
-            if total - freed <= max_bytes:
-                break
-            if not dry_run:
-                try:
-                    path.unlink()
-                except OSError:
-                    continue
-            evicted += 1
-            freed += size
-        if evicted and not dry_run:
-            for depth in ("*/*", "*"):
-                for directory in self.root.glob(depth):
-                    try:
-                        directory.rmdir()
-                    except OSError:
-                        pass  # not empty (or gone already)
-        summary = {
-            "scanned": len(files),
-            "evicted": evicted,
-            "freed_bytes": freed,
-            "remaining_bytes": total - freed,
-            "dry_run": bool(dry_run),
-        }
-        if dry_run:
-            return summary
-        bus = get_bus()
-        if bus.enabled:
-            bus.metrics.counter("service.cache.evicted").inc(evicted)
-            bus.emit(
-                "cache.gc",
-                evicted=evicted,
-                freed_bytes=freed,
-                remaining_bytes=total - freed,
-            )
-        return summary
 
 
 # -- the service -------------------------------------------------------------------
@@ -368,10 +232,90 @@ class SimulationService:
 
     def __init__(self) -> None:
         self._contexts: dict[tuple[str, str, str], BuiltScenario] = {}
-        # Cache-tier circuit breaker: repeated cache OSErrors trip it
-        # open and runs degrade to cache-off instead of failing the
-        # campaign; after the cooldown one probe half-opens it.
+        # Cache circuit breaker for the tier of record: repeated disk
+        # OSErrors trip it open and runs degrade to cache-off instead of
+        # failing the campaign; after the cooldown one probe half-opens
+        # it.  (An unreadable tier of record means results cannot be
+        # made durable; serving hot hits anyway would diverge tallies.)
         self.breaker = CircuitBreaker()
+        # The remote tier's own breaker: remote faults degrade lookups
+        # to the local tiers without touching the disk breaker.
+        self.remote_breaker = CircuitBreaker()
+        # Persistent tier state, keyed by cache root / remote address —
+        # hot tiers must not alias across roots (chaos injections reuse
+        # fingerprints across fresh cache directories).
+        self._memory_tiers: dict[str, MemoryTier] = {}
+        self._remote_tiers: dict[str, RemoteTier] = {}
+
+    # -- tier plumbing -----------------------------------------------------
+
+    def _on_corrupt(self, path: Path) -> None:
+        del path  # the tally is global; the event already names nothing
+        _count("corrupt")
+
+    def _tiered(
+        self,
+        cache_dir: str | Path | None,
+        cache_remote: str | None = None,
+    ) -> TieredCache:
+        """The tiered composite for one cache root (+ optional remote).
+
+        The composite itself is cheap and per-call; the tiers behind it
+        (hot LRU per root, one connection per remote address) and the
+        breakers persist on the service.
+        """
+        root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        root_key = str(root)
+        memory = self._memory_tiers.get(root_key)
+        if memory is None:
+            memory = self._memory_tiers.setdefault(root_key, MemoryTier())
+        remote = None
+        if cache_remote:
+            address = str(cache_remote)
+            remote = self._remote_tiers.get(address)
+            if remote is None:
+                remote = self._remote_tiers.setdefault(
+                    address, RemoteTier.from_address(address)
+                )
+        return TieredCache(
+            disk=ResultCache(root, on_corrupt=self._on_corrupt),
+            memory=memory,
+            remote=remote,
+            remote_breaker=self.remote_breaker,
+        )
+
+    def drop_memory_tiers(self, cache_dir: str | Path | None = None) -> None:
+        """Forget hot-tier contents (tests, and disk-tier fault drills).
+
+        With ``cache_dir`` given, only that root's hot tier is cleared;
+        otherwise all of them are.
+        """
+        if cache_dir is not None:
+            root_key = str(Path(cache_dir))
+            tier = self._memory_tiers.get(root_key)
+            if tier is not None:
+                tier.clear()
+            return
+        for tier in self._memory_tiers.values():
+            tier.clear()
+        self._memory_tiers.clear()
+
+    def reset_tiers(self) -> None:
+        """Drop all tier state: hot tiers, remote connections, breakers'
+        remote half.  (The disk breaker is reset by callers that own it,
+        e.g. the chaos harness.)"""
+        self.drop_memory_tiers()
+        for remote in self._remote_tiers.values():
+            remote.close()
+        self._remote_tiers.clear()
+        self.remote_breaker = CircuitBreaker()
+
+    def flush_remote(self, timeout: float = 10.0) -> bool:
+        """Drain every remote tier's write-behind queue (CI barriers)."""
+        ok = True
+        for remote in self._remote_tiers.values():
+            ok = remote.flush(timeout=timeout) and ok
+        return ok
 
     def context(self, spec: ScenarioSpec) -> BuiltScenario:
         """The constructed engine context for a spec, built at most once."""
@@ -397,25 +341,30 @@ class SimulationService:
         *,
         cache: bool | None = None,
         cache_dir: str | Path | None = None,
+        cache_remote: str | None = None,
     ) -> RunResult:
         """Execute (or replay) one repetition of a scenario.
 
-        ``cache``/``cache_dir`` default to the ambient
+        ``cache``/``cache_dir``/``cache_remote`` default to the ambient
         :func:`cache_config` policy.  Validated runs never touch the
         cache: their purpose is to execute the invariant checkers.  On a
         miss the result is passed through the exact JSON codec before it
         is returned, so a cold result and its later cache-hit replay are
         byte-identical.
 
-        Cache I/O failures never fail the run: each ``OSError`` on load
-        or store is counted (``error``) and strikes the circuit breaker;
-        once the breaker opens, runs execute cache-off (``degraded``)
-        until the cooldown's half-open probe succeeds.
+        Cache I/O failures never fail the run: each disk ``OSError`` on
+        load or store is counted (``error``) and strikes the circuit
+        breaker; once the breaker opens, runs execute cache-off
+        (``degraded``) until the cooldown's half-open probe succeeds.
+        Remote-tier faults degrade inside the composite (per-tier
+        breaker) and never reach this accounting.
         """
         if cache is None:
             cache = bool(_CACHE_DEFAULTS["cache"])
         if cache_dir is None:
             cache_dir = _CACHE_DEFAULTS["cache_dir"]
+        if cache_remote is None:
+            cache_remote = _CACHE_DEFAULTS["cache_remote"]
         use_cache = cache and spec.options.validation is ValidationLevel.OFF
         bus = get_bus()
         degraded = use_cache and not self.breaker.allow()
@@ -429,10 +378,10 @@ class SimulationService:
             ctx = self.context(spec)
             return ctx.engine.run(ctx.make_apps(), rep=rep)
 
-        store = ResultCache(cache_dir)
+        tiers = self._tiered(cache_dir, cache_remote)
         probe_started = time.perf_counter()
         try:
-            entry = store.load(spec, rep)
+            entry = tiers.lookup(spec, rep)
         except OSError:
             self._cache_fault(bus)
             entry = None
@@ -461,7 +410,7 @@ class SimulationService:
             bus.detach(ring)
         result = result_from_jsonable(result_to_jsonable(result))
         try:
-            store.store(spec, rep, result, ring.events)
+            tiers.store(spec, rep, result, ring.events)
         except OSError:
             self._cache_fault(bus)
         else:
@@ -478,53 +427,43 @@ class SimulationService:
         *,
         cache: bool | None = None,
         cache_dir: str | Path | None = None,
+        cache_remote: str | None = None,
     ) -> dict[tuple[str, str, int], dict[str, Any]]:
         """Bulk cache lookup: load every hit among ``jobs`` in one pass.
 
-        Jobs are grouped by fingerprint and each fingerprint directory
-        is scanned **once** (one ``scandir`` replaces a failed ``open``
-        per missing rep), visiting directories in sorted order.  Returns
+        Walks the tiers fast → slow: the hot tier answers first, the
+        remainder goes through the disk tier's one-``scandir``-per-
+        fingerprint bulk pass, and what is still missing is fetched from
+        the remote tier (when configured) in batched frames.  Returns
         raw cache entries keyed by ``(fingerprint, engine, rep)``.
 
-        This emits nothing and counts nothing: consume each entry with
-        :meth:`resolve_prefetched` at the position the run would have
-        executed, so events, counters (one ``hit`` per run — never per
-        batch) and results are byte-identical to the per-run path.  Jobs
-        absent from the returned map are cache misses and should go
-        through :meth:`run` as usual.  I/O errors here leave the job a
-        miss; breaker accounting stays on the authoritative per-run
-        path, and nothing is probed while the breaker is not closed.
+        This emits nothing and counts nothing in the run tally: consume
+        each entry with :meth:`resolve_prefetched` at the position the
+        run would have executed, so events, counters (one ``hit`` per
+        run — never per batch) and results are byte-identical to the
+        per-run path.  Jobs absent from the returned map are cache
+        misses and should go through :meth:`run` as usual.  I/O errors
+        here leave the job a miss; breaker accounting stays on the
+        authoritative per-run path, and nothing is probed while the
+        breaker is not closed.
         """
         if cache is None:
             cache = bool(_CACHE_DEFAULTS["cache"])
         if cache_dir is None:
             cache_dir = _CACHE_DEFAULTS["cache_dir"]
+        if cache_remote is None:
+            cache_remote = _CACHE_DEFAULTS["cache_remote"]
         out: dict[tuple[str, str, int], dict[str, Any]] = {}
         if not cache or self.breaker.state != "closed":
             return out
-        store = ResultCache(cache_dir)
-        by_fp: dict[str, list[tuple[ScenarioSpec, int]]] = {}
-        for spec, rep in jobs:
-            if spec.options.validation is not ValidationLevel.OFF:
-                continue
-            by_fp.setdefault(spec.fingerprint, []).append((spec, int(rep)))
-        for fp in sorted(by_fp):
-            probe = by_fp[fp][0][0]
-            try:
-                names = {e.name for e in os.scandir(store.path_for(probe, 0).parent)}
-            except OSError:
-                continue
-            for spec, rep in sorted(by_fp[fp], key=lambda job: job[1]):
-                key = (spec.fingerprint, spec.engine, rep)
-                if key in out or store.path_for(spec, rep).name not in names:
-                    continue
-                try:
-                    entry = store.load(spec, rep)
-                except OSError:
-                    continue
-                if entry is not None:
-                    out[key] = entry
-        return out
+        pairs = [
+            (spec, int(rep))
+            for spec, rep in jobs
+            if spec.options.validation is ValidationLevel.OFF
+        ]
+        if not pairs:
+            return out
+        return self._tiered(cache_dir, cache_remote).lookup_many(pairs)
 
     def resolve_prefetched(self, entry: Mapping[str, Any]) -> RunResult:
         """Consume one prefetched cache entry as the hit it stands for.
@@ -550,6 +489,7 @@ class SimulationService:
         *,
         cache: bool | None = None,
         cache_dir: str | Path | None = None,
+        cache_remote: str | None = None,
     ) -> list[RunResult]:
         """Execute (or replay) many ``(spec, rep)`` jobs, in job order.
 
@@ -557,14 +497,24 @@ class SimulationService:
         the misses execute.  Results come back in the order given, and
         each job's events/counters are emitted at its own position.
         """
-        entries = self.prefetch(jobs, cache=cache, cache_dir=cache_dir)
+        entries = self.prefetch(
+            jobs, cache=cache, cache_dir=cache_dir, cache_remote=cache_remote
+        )
         results: list[RunResult] = []
         for spec, rep in jobs:
             entry = entries.pop((spec.fingerprint, spec.engine, int(rep)), None)
             if entry is not None:
                 results.append(self.resolve_prefetched(entry))
             else:
-                results.append(self.run(spec, rep, cache=cache, cache_dir=cache_dir))
+                results.append(
+                    self.run(
+                        spec,
+                        rep,
+                        cache=cache,
+                        cache_dir=cache_dir,
+                        cache_remote=cache_remote,
+                    )
+                )
         return results
 
     def _cache_fault(self, bus: Any) -> None:
@@ -631,6 +581,7 @@ class ServiceExecutor:
     scenarios: dict[str, ScenarioSpec] = field(default_factory=dict)
     cache: bool = True
     cache_dir: str | None = None
+    cache_remote: str | None = None
     seed: int = 0
     # Prefetched cache entries keyed by (planned key, rep), populated by
     # the runners' bulk pass and *popped* per run so every hit is
@@ -647,7 +598,13 @@ class ServiceExecutor:
         entry = self.prefetched.pop((spec.key, int(rep)), None)
         if entry is not None:
             return get_service().resolve_prefetched(entry)
-        return get_service().run(scenario, rep, cache=self.cache, cache_dir=self.cache_dir)
+        return get_service().run(
+            scenario,
+            rep,
+            cache=self.cache,
+            cache_dir=self.cache_dir,
+            cache_remote=self.cache_remote,
+        )
 
     def prefetch(self, jobs: "list[tuple[ExperimentSpec, int]]") -> int:
         """Bulk-load the cache entries for the given planned jobs.
@@ -661,7 +618,12 @@ class ServiceExecutor:
             for spec, rep in jobs
             if spec.key in self.scenarios
         ]
-        entries = get_service().prefetch(pairs, cache=self.cache, cache_dir=self.cache_dir)
+        entries = get_service().prefetch(
+            pairs,
+            cache=self.cache,
+            cache_dir=self.cache_dir,
+            cache_remote=self.cache_remote,
+        )
         staged = 0
         for spec, rep in jobs:
             scenario = self.scenarios.get(spec.key)

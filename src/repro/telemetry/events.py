@@ -166,6 +166,13 @@ EVENT_TYPES: dict[str, dict[str, tuple[type, ...]]] = {
         "freed_bytes": (int,),
         "remaining_bytes": (int,),
     },
+    # A cache tier degraded or faulted during a tiered lookup/store
+    # (emitted outside the capture ring, so cached event streams never
+    # carry it).  Routine hits/misses are counters, not events.
+    "cache.tier": {
+        "tier": (str,),  # "memory" | "disk" | "remote"
+        "status": (str,),  # "error" | "degraded"
+    },
     # -- networked orchestrator server ---------------------------------------
     # The server began accepting connections on its port.
     "server.start": {"port": (int,), "pid": (int,), "state_dir": (str,)},
@@ -299,6 +306,10 @@ _OPTIONAL_FIELDS: dict[str, dict[str, tuple[type, ...]]] = {
         "elapsed_s": (int, float, type(None)),
         "status": (str,),
     },
+    # Which tier's breaker transitioned (absent: the disk tier of
+    # record, the pre-tiering emitter) / which tier was collected.
+    "orchestrator.breaker": {"tier": (str,)},
+    "cache.gc": {"tier": (str,)},
 }
 
 # Optional fields accepted on *every* event type: ``worker`` tags an

@@ -1,0 +1,80 @@
+"""Concurrent disk-tier writers: many processes, one cache root.
+
+The disk tier's atomic-write protocol (same-directory tempfile +
+``os.replace``) is what lets independent campaigns share a cache
+directory.  Here several real processes hammer the same small key space
+simultaneously; afterwards every entry must decode and validate — a
+torn or interleaved write would fail both.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+from repro.cache import CACHE_SCHEMA, ResultCache, validate_entry
+from repro.scenario import MODEL_REVISION
+
+_FINGERPRINTS = [f"{i:02x}" * 8 for i in range(4)]
+_REPS = (0, 1)
+
+
+def _entry(fp: str, rep: int, writer: int) -> dict:
+    # Each writer pads differently so concurrent stores of the same key
+    # race with *different* bodies — the worst case for interleaving.
+    return {
+        "schema": CACHE_SCHEMA,
+        "fingerprint": fp,
+        "model_revision": MODEL_REVISION,
+        "engine": "fluid",
+        "rep": rep,
+        "spec": {},
+        "result": {"writer": writer, "pad": "x" * (100 + writer * 37)},
+        "events": [],
+    }
+
+
+def _hammer(root: str, writer: int, rounds: int) -> None:
+    store = ResultCache(root)
+    for _ in range(rounds):
+        for fp in _FINGERPRINTS:
+            for rep in _REPS:
+                store.store_entry(_entry(fp, rep, writer))
+
+
+class TestConcurrentWriters:
+    def test_parallel_processes_never_tear_entries(self, tmp_path):
+        ctx = multiprocessing.get_context("spawn")
+        procs = [
+            ctx.Process(target=_hammer, args=(str(tmp_path), writer, 10))
+            for writer in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        store = ResultCache(tmp_path)
+        assert len(store) == len(_FINGERPRINTS) * len(_REPS)
+        assert store.stats()["corrupt"] == 0
+        for fp in _FINGERPRINTS:
+            for rep in _REPS:
+                entry = store.load_key(fp, "fluid", rep)
+                assert entry is not None, f"({fp}, {rep}) unreadable after race"
+                assert validate_entry(entry, fingerprint=fp, rep=rep)
+                # The body is one writer's whole payload, never a blend.
+                writer = entry["result"]["writer"]
+                assert entry["result"]["pad"] == "x" * (100 + writer * 37)
+
+    def test_no_tempfile_litter(self, tmp_path):
+        ctx = multiprocessing.get_context("spawn")
+        procs = [
+            ctx.Process(target=_hammer, args=(str(tmp_path), writer, 3))
+            for writer in range(2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []

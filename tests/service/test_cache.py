@@ -88,10 +88,19 @@ class TestResultCache:
         cold = svc.run(spec, 0, cache_dir=tmp_path)
         path = ResultCache(tmp_path).path_for(spec, 0)
         path.write_text("{not json")
+        # The hot tier would happily keep serving the pre-corruption
+        # entry; drop it so the disk tier's handling is what's probed.
+        svc.drop_memory_tiers(tmp_path)
         before = service.cache_stats()
         again = svc.run(spec, 0, cache_dir=tmp_path)
-        assert _delta(before, service.cache_stats())["miss"] == 1
+        stats = _delta(before, service.cache_stats())
+        assert stats["miss"] == 1
+        assert stats["corrupt"] == 1
         assert result_fingerprint(again) == result_fingerprint(cold)
+        # The garbled file was quarantined, not left to fail every
+        # future lookup — and the re-executed run re-stored the entry.
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert path.exists()
 
     def test_entry_header_mismatch_degrades_to_miss(self, tmp_path):
         spec = _spec()
@@ -101,9 +110,13 @@ class TestResultCache:
         entry = json.loads(path.read_text())
         entry["model_revision"] = 999
         path.write_text(json.dumps(entry))
+        svc.drop_memory_tiers(tmp_path)
         before = service.cache_stats()
         svc.run(spec, 0, cache_dir=tmp_path)
-        assert _delta(before, service.cache_stats())["miss"] == 1
+        stats = _delta(before, service.cache_stats())
+        assert stats["miss"] == 1
+        # Decodable-but-wrong headers are not corruption: no quarantine.
+        assert stats["corrupt"] == 0
 
     def test_hit_replays_engine_events(self, tmp_path):
         # A mid-run outage produces engine-level events (fault.trigger,
